@@ -1,0 +1,24 @@
+//! Figure 10: flow-churn handling — benchmarks the SDN-vs-SDNFV sweep and a
+//! single controller-mediated flow setup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdnfv_sim::flow_churn::FlowChurnExperiment;
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_flow_churn");
+    group.sample_size(10);
+    let experiment = FlowChurnExperiment::default();
+    let rates: Vec<f64> = (0..=12).map(|r| r as f64 * 1000.0).collect();
+    group.bench_function("sweep", |b| b.iter(|| black_box(experiment.run(&rates))));
+    group.bench_function("sdn_point_4k", |b| {
+        b.iter(|| black_box(experiment.sdn_output_rate(4000.0)))
+    });
+    group.bench_function("sdnfv_point_4k", |b| {
+        b.iter(|| black_box(experiment.sdnfv_output_rate(4000.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

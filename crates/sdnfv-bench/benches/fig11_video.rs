@@ -1,0 +1,38 @@
+//! Figure 11: the video policy-change scenario — benchmarks a scaled-down
+//! run plus the video pipeline's per-packet cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdnfv_nf::nfs::VideoDetectorNf;
+use sdnfv_nf::{NetworkFunction, NfContext, Verdict};
+use sdnfv_proto::http::response_with_content_type;
+use sdnfv_proto::packet::PacketBuilder;
+use sdnfv_sim::video::VideoExperiment;
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_video");
+    group.sample_size(10);
+    let experiment = VideoExperiment {
+        duration_secs: 40.0,
+        throttle_start_secs: 10.0,
+        throttle_end_secs: 30.0,
+        concurrent_flows: 20,
+        ..VideoExperiment::default()
+    };
+    group.bench_function("scenario_40s", |b| b.iter(|| black_box(experiment.run())));
+
+    let mut detector = VideoDetectorNf::new(Verdict::ToPort(1));
+    let pkt = PacketBuilder::tcp()
+        .src_port(80)
+        .dst_port(40000)
+        .payload(&response_with_content_type(200, "video/mp4"))
+        .build();
+    let mut ctx = NfContext::new(0);
+    group.bench_function("video_detector_per_packet", |b| {
+        b.iter(|| black_box(detector.process(&pkt, &mut ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 12: the memcached proxy — benchmarks the real NF's per-request
+//! cost (the number that sets the SDNFV curve's knee) and the model sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdnfv_nf::nfs::{Backend, MemcachedProxyNf};
+use sdnfv_nf::{NetworkFunction, NfContext};
+use sdnfv_proto::memcached::get_request;
+use sdnfv_proto::packet::PacketBuilder;
+use sdnfv_sim::memcached;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_memcached");
+    let mut proxy = MemcachedProxyNf::new(
+        vec![
+            Backend::new(Ipv4Addr::new(10, 10, 0, 1), 11211),
+            Backend::new(Ipv4Addr::new(10, 10, 0, 2), 11211),
+            Backend::new(Ipv4Addr::new(10, 10, 0, 3), 11211),
+        ],
+        1,
+    );
+    let request = PacketBuilder::udp()
+        .dst_ip([10, 10, 0, 100])
+        .dst_port(11211)
+        .payload(&get_request(7, "user:42"))
+        .build();
+    let mut ctx = NfContext::new(0);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("proxy_per_request", |b| {
+        b.iter(|| {
+            let mut pkt = request.clone();
+            black_box(proxy.process_mut(&mut pkt, &mut ctx))
+        })
+    });
+    group.bench_function("figure12_sweep", |b| {
+        b.iter(|| black_box(memcached::figure12()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

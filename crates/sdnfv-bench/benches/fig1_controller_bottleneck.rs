@@ -1,0 +1,38 @@
+//! Figure 1: the cost of consulting the controller — benchmarks the OVS
+//! model sweep and the controller's packet-in path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdnfv_control::SdnController;
+use sdnfv_proto::flow::{FlowKey, IpProtocol};
+use sdnfv_sim::ovs::OvsExperiment;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_controller_bottleneck");
+    let model = OvsExperiment::default();
+    let fractions: Vec<f64> = (0..=25).map(|p| p as f64).collect();
+    group.bench_function("ovs_sweep", |b| {
+        b.iter(|| black_box(model.run(&[1000, 256], &fractions)))
+    });
+
+    let key = FlowKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        1000,
+        80,
+        IpProtocol::Tcp,
+    );
+    group.bench_function("controller_packet_in", |b| {
+        let mut controller = SdnController::new(31_000_000, usize::MAX >> 1);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000_000;
+            black_box(controller.packet_in(now, 0, 0, &key, |_, _, _| Vec::new()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 5: placement solver cost on the paper's 22-node topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdnfv_placement::{
+    DivisionSolver, GreedySolver, OptimalSolver, PlacementProblem, PlacementSolver,
+};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_placement");
+    group.sample_size(10);
+    let problem = PlacementProblem::paper_figure5(20, 1.0, 16631);
+    let solvers: Vec<(&str, Box<dyn PlacementSolver>)> = vec![
+        ("greedy", Box::new(GreedySolver::default())),
+        ("optimal", Box::new(OptimalSolver::default())),
+        ("division", Box::new(DivisionSolver::default())),
+    ];
+    for (name, solver) in &solvers {
+        group.bench_with_input(BenchmarkId::new("solve_20_flows", name), &(), |b, _| {
+            b.iter(|| black_box(solver.solve(&problem)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 8: the ant/elephant scenario — benchmarks a scaled-down run of the
+//! simulation plus the detector's per-packet cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdnfv_flowtable::{Action, ServiceId};
+use sdnfv_nf::nfs::AntDetectorNf;
+use sdnfv_nf::{NetworkFunction, NfContext};
+use sdnfv_proto::packet::PacketBuilder;
+use sdnfv_sim::ant::AntExperiment;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_ant");
+    group.sample_size(10);
+    let experiment = AntExperiment {
+        duration_secs: 20.0,
+        ant_phase_start_secs: 5.0,
+        ant_phase_end_secs: 12.0,
+        ..AntExperiment::default()
+    };
+    group.bench_function("scenario_20s", |b| b.iter(|| black_box(experiment.run())));
+
+    let mut detector = AntDetectorNf::paper_defaults(ServiceId::new(1), 2, 1);
+    let _ = Action::ToPort(1);
+    let pkt = PacketBuilder::udp().total_size(64).build();
+    let mut ctx = NfContext::new(0);
+    group.bench_function("detector_per_packet", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1000;
+            ctx.set_now_ns(now);
+            black_box(detector.process(&pkt, &mut ctx))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 9: the DDoS scenario — benchmarks a scaled-down run and the
+//! detector's per-packet cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdnfv_nf::nfs::DdosDetectorNf;
+use sdnfv_nf::{NetworkFunction, NfContext};
+use sdnfv_proto::packet::PacketBuilder;
+use sdnfv_sim::ddos::DdosExperiment;
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_ddos");
+    group.sample_size(10);
+    let experiment = DdosExperiment {
+        duration_secs: 30.0,
+        attack_start_secs: 5.0,
+        attack_ramp_gbps_per_sec: 0.3,
+        vm_boot_ns: 2_000_000_000,
+        ..DdosExperiment::default()
+    };
+    group.bench_function("scenario_30s", |b| b.iter(|| black_box(experiment.run())));
+
+    let mut detector = DdosDetectorNf::paper_defaults();
+    let pkt = PacketBuilder::udp().src_ip([66, 0, 0, 1]).total_size(1000).build();
+    let mut ctx = NfContext::new(0);
+    group.bench_function("detector_per_packet", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1000;
+            ctx.set_now_ns(now);
+            black_box(detector.process(&pkt, &mut ctx))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! §5.1 micro-measurements: flow-table lookup (~30 ns in the paper),
+//! min-queue instance pick (~15 ns), and the modelled SDN lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdnfv_dataplane::loadbalance::{LoadBalancePolicy, LoadBalancer};
+use sdnfv_dataplane::LookupCache;
+use sdnfv_flowtable::{Action, FlowMatch, FlowRule, FlowTable, RulePort, ServiceId};
+use sdnfv_proto::flow::{FlowKey, IpProtocol};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn key(port: u16) -> FlowKey {
+    FlowKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        port,
+        80,
+        IpProtocol::Udp,
+    )
+}
+
+fn populated_table() -> FlowTable {
+    let mut table = FlowTable::new();
+    table.insert(FlowRule::new(
+        FlowMatch::at_step(RulePort::Nic(0)),
+        vec![Action::ToService(ServiceId::new(1))],
+    ));
+    for service in 1..=8u32 {
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(ServiceId::new(service)),
+            vec![
+                Action::ToService(ServiceId::new(service + 1)),
+                Action::ToPort(1),
+            ],
+        ));
+    }
+    // Some exact per-flow rules, as a busy host would have.
+    for port in 0..64 {
+        table.insert(FlowRule::new(
+            FlowMatch::exact(RulePort::Service(ServiceId::new(1)), &key(port)),
+            vec![Action::ToService(ServiceId::new(2))],
+        ));
+    }
+    table
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_flow_ops");
+
+    let mut table = populated_table();
+    group.bench_function("flow_table_lookup_wildcard", |b| {
+        b.iter(|| black_box(table.lookup(RulePort::Service(ServiceId::new(3)), &key(1000))))
+    });
+    group.bench_function("flow_table_lookup_exact", |b| {
+        b.iter(|| black_box(table.lookup(RulePort::Service(ServiceId::new(1)), &key(7))))
+    });
+
+    let mut cache = LookupCache::new(1024);
+    let decision = table
+        .lookup(RulePort::Service(ServiceId::new(3)), &key(1000))
+        .expect("rule installed");
+    cache.put(&key(1000), RulePort::Service(ServiceId::new(3)), 0, decision);
+    group.bench_function("cached_lookup", |b| {
+        b.iter(|| black_box(cache.get(&key(1000), RulePort::Service(ServiceId::new(3)), 0)))
+    });
+
+    let mut balancer = LoadBalancer::new(LoadBalancePolicy::MinQueue);
+    let queues = [7usize, 3, 9, 1, 5, 8];
+    group.bench_function("min_queue_pick", |b| {
+        b.iter(|| black_box(balancer.pick(&queues, Some(&key(1)))))
+    });
+
+    let mut flow_hash = LoadBalancer::new(LoadBalancePolicy::FlowHash);
+    group.bench_function("flow_hash_pick", |b| {
+        b.iter(|| black_box(flow_hash.pick(&queues, Some(&key(1)))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

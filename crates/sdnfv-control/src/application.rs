@@ -1,0 +1,364 @@
+//! The SDNFV Application: the top of the control hierarchy.
+
+use std::collections::HashMap;
+
+use sdnfv_flowtable::{Action, FlowMatch, FlowRule, RulePort, ServiceId};
+use sdnfv_graph::{CompileOptions, GraphNode, ServiceGraph};
+use sdnfv_nf::NfMessage;
+use sdnfv_placement::{Placement, PlacementProblem, PlacementSolver};
+use sdnfv_proto::flow::FlowKey;
+use sdnfv_proto::packet::Port;
+
+use crate::HostId;
+
+/// An action the SDNFV Application asks the lower layers to perform in
+/// response to a packet-in or a cross-layer message.
+#[derive(Debug, PartialEq)]
+pub enum AppAction {
+    /// Install flow rules on a host (via the SDN controller).
+    InstallRules {
+        /// Target host.
+        host: HostId,
+        /// Rules to install.
+        rules: Vec<FlowRule>,
+    },
+    /// Ask the NFV orchestrator to launch a new NF instance on a host.
+    LaunchNf {
+        /// Target host.
+        host: HostId,
+        /// Service (by registry name) to launch.
+        service_name: String,
+    },
+    /// The cross-layer message is consistent with the service graph; the NF
+    /// Manager's local change stands.
+    Approve,
+    /// The cross-layer message violates the service graph; the NF Manager
+    /// should revert it.
+    Reject,
+}
+
+/// The SDNFV Application (paper Figure 2): service graphs, policies, the
+/// placement engine, and the message-handling logic that ties the hierarchy
+/// together.
+pub struct SdnfvApplication {
+    graphs: HashMap<String, ServiceGraph>,
+    active_graph: Option<String>,
+    /// Maps `Custom` message keys (e.g. `"ddos.alarm"`) to the service that
+    /// should be launched in response, mirroring the Figure 9 workflow.
+    launch_triggers: HashMap<String, String>,
+    /// Custom messages received, for inspection by operators and tests.
+    custom_log: Vec<(ServiceId, String, String)>,
+    default_compile: CompileOptions,
+}
+
+impl std::fmt::Debug for SdnfvApplication {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SdnfvApplication")
+            .field("graphs", &self.graphs.keys().collect::<Vec<_>>())
+            .field("active_graph", &self.active_graph)
+            .finish()
+    }
+}
+
+impl Default for SdnfvApplication {
+    fn default() -> Self {
+        SdnfvApplication::new()
+    }
+}
+
+impl SdnfvApplication {
+    /// Creates an application with no graphs registered.
+    pub fn new() -> Self {
+        SdnfvApplication {
+            graphs: HashMap::new(),
+            active_graph: None,
+            launch_triggers: HashMap::new(),
+            custom_log: Vec::new(),
+            default_compile: CompileOptions::default(),
+        }
+    }
+
+    /// Registers a service graph; the first registered graph becomes active.
+    pub fn register_graph(&mut self, graph: ServiceGraph) {
+        let name = graph.name().to_string();
+        self.graphs.insert(name.clone(), graph);
+        if self.active_graph.is_none() {
+            self.active_graph = Some(name);
+        }
+    }
+
+    /// Selects which registered graph drives rule generation.
+    pub fn set_active_graph(&mut self, name: &str) -> bool {
+        if self.graphs.contains_key(name) {
+            self.active_graph = Some(name.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The active service graph, if any.
+    pub fn active_graph(&self) -> Option<&ServiceGraph> {
+        self.active_graph.as_ref().and_then(|n| self.graphs.get(n))
+    }
+
+    /// A registered graph by name.
+    pub fn graph(&self, name: &str) -> Option<&ServiceGraph> {
+        self.graphs.get(name)
+    }
+
+    /// Sets the compile options used when generating rules.
+    pub fn set_compile_options(&mut self, options: CompileOptions) {
+        self.default_compile = options;
+    }
+
+    /// Registers a `Custom` message key that should trigger launching a new
+    /// NF (e.g. `"ddos.alarm"` → `"scrubber"`).
+    pub fn register_launch_trigger(
+        &mut self,
+        message_key: impl Into<String>,
+        service_name: impl Into<String>,
+    ) {
+        self.launch_triggers
+            .insert(message_key.into(), service_name.into());
+    }
+
+    /// Custom messages received so far, as `(from, key, value)` tuples.
+    pub fn custom_messages(&self) -> &[(ServiceId, String, String)] {
+        &self.custom_log
+    }
+
+    /// The proactive wildcard rules for a host implementing the active
+    /// graph (paper §3.4 "pre-populate rules").
+    pub fn proactive_rules(&self) -> Vec<FlowRule> {
+        self.active_graph()
+            .map(|g| g.compile(&self.default_compile))
+            .unwrap_or_default()
+    }
+
+    /// Reactive, per-flow rules for a packet-in: the active graph's rules
+    /// specialized to exactly the flow that missed, at a higher priority
+    /// than any wildcard rules (paper Figure 4).
+    pub fn reactive_rules_for_flow(&self, _host: HostId, port: Port, key: &FlowKey) -> Vec<FlowRule> {
+        let Some(graph) = self.active_graph() else {
+            return Vec::new();
+        };
+        let mut options = self.default_compile.clone();
+        options.ingress_ports = vec![port];
+        options.priority = options.priority.saturating_add(100);
+        graph
+            .compile(&options)
+            .into_iter()
+            .map(|mut rule| {
+                // Narrow every generated rule to this 5-tuple while keeping
+                // its step (ingress port or service).
+                let step = rule.matcher.step;
+                rule.matcher = FlowMatch {
+                    step,
+                    ..FlowMatch::exact(step.unwrap_or(RulePort::Nic(port)), key)
+                };
+                rule
+            })
+            .collect()
+    }
+
+    /// Validates a cross-layer message from an NF against the active service
+    /// graph and decides what should happen (paper §3.4).
+    pub fn handle_manager_message(
+        &mut self,
+        host: HostId,
+        from: ServiceId,
+        message: &NfMessage,
+    ) -> Vec<AppAction> {
+        match message {
+            NfMessage::Custom { key, value } => {
+                self.custom_log.push((from, key.clone(), value.clone()));
+                match self.launch_triggers.get(key) {
+                    Some(service_name) => vec![AppAction::LaunchNf {
+                        host,
+                        service_name: service_name.clone(),
+                    }],
+                    None => vec![AppAction::Approve],
+                }
+            }
+            NfMessage::ChangeDefault {
+                service,
+                new_default,
+                ..
+            } => {
+                let allowed = match (self.active_graph(), new_default) {
+                    (Some(graph), Action::ToService(target)) => graph
+                        .successors(GraphNode::Service(*service))
+                        .contains(&GraphNode::Service(*target)),
+                    (Some(graph), Action::ToPort(_)) => graph
+                        .successors(GraphNode::Service(*service))
+                        .contains(&GraphNode::Sink),
+                    (Some(_), Action::Drop) => true,
+                    (Some(_), Action::ToController) => true,
+                    (None, _) => true,
+                };
+                vec![if allowed { AppAction::Approve } else { AppAction::Reject }]
+            }
+            // SkipMe / RequestMe only ever steer along edges that already
+            // exist in the flow tables, so they are approved.
+            NfMessage::SkipMe { .. } | NfMessage::RequestMe { .. } => vec![AppAction::Approve],
+        }
+    }
+
+    /// Runs the placement engine over a problem instance (paper §3.5) and
+    /// reports, per host, how many instances of each service to launch.
+    pub fn plan_placement(
+        &self,
+        solver: &dyn PlacementSolver,
+        problem: &PlacementProblem,
+    ) -> (Placement, HashMap<HostId, Vec<(ServiceId, u32)>>) {
+        let placement = solver.solve(problem);
+        let report = placement.utilization(problem);
+        let mut per_host: HashMap<HostId, Vec<(ServiceId, u32)>> = HashMap::new();
+        for ((node, service), instances) in &report.instances {
+            per_host.entry(*node).or_default().push((*service, *instances));
+        }
+        for list in per_host.values_mut() {
+            list.sort();
+        }
+        (placement, per_host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_graph::catalog;
+    use sdnfv_nf::nfs::ddos::DDOS_ALARM_KEY;
+    use sdnfv_placement::{GreedySolver, PlacementProblem};
+    use sdnfv_proto::flow::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            80,
+            IpProtocol::Tcp,
+        )
+    }
+
+    fn app_with_anomaly_graph() -> (SdnfvApplication, catalog::AnomalyServices) {
+        let (graph, services) = catalog::anomaly_detection();
+        let mut app = SdnfvApplication::new();
+        app.register_graph(graph);
+        (app, services)
+    }
+
+    #[test]
+    fn graph_registration_and_activation() {
+        let (mut app, _) = app_with_anomaly_graph();
+        let (video, _) = catalog::video_optimizer();
+        app.register_graph(video);
+        assert_eq!(app.active_graph().unwrap().name(), "anomaly-detection");
+        assert!(app.set_active_graph("video-optimizer"));
+        assert_eq!(app.active_graph().unwrap().name(), "video-optimizer");
+        assert!(!app.set_active_graph("missing"));
+        assert!(app.graph("anomaly-detection").is_some());
+        assert!(app.graph("nope").is_none());
+    }
+
+    #[test]
+    fn proactive_and_reactive_rules() {
+        let (app, _) = app_with_anomaly_graph();
+        let proactive = app.proactive_rules();
+        assert_eq!(proactive.len(), 6); // ingress + 5 services
+        let reactive = app.reactive_rules_for_flow(0, 0, &key());
+        assert_eq!(reactive.len(), 6);
+        // Reactive rules are flow-specific and higher priority.
+        assert!(reactive.iter().all(|r| r.priority > proactive[0].priority));
+        assert!(reactive.iter().all(|r| r.matcher.src_port == Some(1000)));
+        // An application without a graph produces nothing.
+        let empty = SdnfvApplication::new();
+        assert!(empty.proactive_rules().is_empty());
+        assert!(empty.reactive_rules_for_flow(0, 0, &key()).is_empty());
+    }
+
+    #[test]
+    fn ddos_alarm_triggers_scrubber_launch() {
+        let (mut app, services) = app_with_anomaly_graph();
+        app.register_launch_trigger(DDOS_ALARM_KEY, "scrubber");
+        let actions = app.handle_manager_message(
+            2,
+            services.ddos,
+            &NfMessage::custom(DDOS_ALARM_KEY, "66.0.0.0/16"),
+        );
+        assert_eq!(
+            actions,
+            vec![AppAction::LaunchNf {
+                host: 2,
+                service_name: "scrubber".to_string()
+            }]
+        );
+        assert_eq!(app.custom_messages().len(), 1);
+        // Unknown custom keys are merely recorded.
+        let actions =
+            app.handle_manager_message(2, services.ddos, &NfMessage::custom("stats", "42"));
+        assert_eq!(actions, vec![AppAction::Approve]);
+        assert_eq!(app.custom_messages().len(), 2);
+    }
+
+    #[test]
+    fn change_default_validation_follows_graph_edges() {
+        let (mut app, services) = app_with_anomaly_graph();
+        // sampler -> ddos is an edge: approved.
+        let approve = app.handle_manager_message(
+            0,
+            services.sampler,
+            &NfMessage::ChangeDefault {
+                flows: FlowMatch::any(),
+                service: services.sampler,
+                new_default: Action::ToService(services.ddos),
+            },
+        );
+        assert_eq!(approve, vec![AppAction::Approve]);
+        // sampler -> scrubber is NOT an edge: rejected.
+        let reject = app.handle_manager_message(
+            0,
+            services.sampler,
+            &NfMessage::ChangeDefault {
+                flows: FlowMatch::any(),
+                service: services.sampler,
+                new_default: Action::ToService(services.scrubber),
+            },
+        );
+        assert_eq!(reject, vec![AppAction::Reject]);
+        // The sampler's default path reaches the sink, so steering to a port
+        // is allowed; SkipMe/RequestMe are always approved.
+        let to_port = app.handle_manager_message(
+            0,
+            services.sampler,
+            &NfMessage::ChangeDefault {
+                flows: FlowMatch::any(),
+                service: services.sampler,
+                new_default: Action::ToPort(1),
+            },
+        );
+        assert_eq!(to_port, vec![AppAction::Approve]);
+        let skip = app.handle_manager_message(
+            0,
+            services.sampler,
+            &NfMessage::SkipMe {
+                flows: FlowMatch::any(),
+            },
+        );
+        assert_eq!(skip, vec![AppAction::Approve]);
+    }
+
+    #[test]
+    fn placement_planning_reports_instances_per_host() {
+        let (app, _) = app_with_anomaly_graph();
+        let problem = PlacementProblem::paper_figure5(5, 1.0, 3);
+        let (placement, per_host) = app.plan_placement(&GreedySolver::default(), &problem);
+        assert!(placement.placed_flows() > 0);
+        assert!(!per_host.is_empty());
+        let total_instances: u32 = per_host.values().flatten().map(|(_, n)| *n).sum();
+        assert!(total_instances > 0);
+    }
+}

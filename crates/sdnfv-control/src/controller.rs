@@ -1,0 +1,196 @@
+//! The SDN controller model.
+//!
+//! The paper uses POX, a single-threaded controller whose per-request
+//! processing time dominates whenever a significant share of traffic needs a
+//! controller decision (Figure 1) or whenever many new flows arrive per
+//! second (Figure 10). [`SdnController`] reproduces that behaviour: each
+//! packet-in occupies the controller for a configurable service time, and
+//! requests queue behind each other; the reply (a set of flow rules produced
+//! by the SDNFV Application) becomes available only when its processing
+//! completes.
+
+use sdnfv_flowtable::FlowRule;
+use sdnfv_proto::flow::FlowKey;
+use sdnfv_proto::packet::Port;
+
+use crate::HostId;
+
+/// Counters describing controller load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerStats {
+    /// Packet-in events received.
+    pub packet_ins: u64,
+    /// Flow-mod responses issued.
+    pub flow_mods: u64,
+    /// Packet-ins dropped because the request queue was full.
+    pub rejected: u64,
+}
+
+/// A packet-in that has been processed: the rules to install and the time at
+/// which they become effective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowModReply {
+    /// Host the rules are destined for.
+    pub host: HostId,
+    /// Time (ns) at which the controller finished computing the rules.
+    pub ready_at_ns: u64,
+    /// The rules to install on the host.
+    pub rules: Vec<FlowRule>,
+}
+
+/// The (single-threaded) SDN controller bottleneck model.
+#[derive(Debug, Clone)]
+pub struct SdnController {
+    /// Time the controller spends on one packet-in (31 ms measured for POX
+    /// in the paper's §5.1).
+    service_time_ns: u64,
+    /// Maximum queued requests before packet-ins are rejected.
+    queue_limit: usize,
+    /// Time at which the controller becomes free.
+    busy_until_ns: u64,
+    queued: usize,
+    stats: ControllerStats,
+}
+
+impl Default for SdnController {
+    fn default() -> Self {
+        SdnController::new(31_000_000, 4096)
+    }
+}
+
+impl SdnController {
+    /// Creates a controller with the given per-request service time and
+    /// request queue limit.
+    pub fn new(service_time_ns: u64, queue_limit: usize) -> Self {
+        SdnController {
+            service_time_ns,
+            queue_limit,
+            busy_until_ns: 0,
+            queued: 0,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The per-request service time.
+    pub fn service_time_ns(&self) -> u64 {
+        self.service_time_ns
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// The number of requests currently queued or in service at `now_ns`.
+    pub fn backlog(&self, now_ns: u64) -> usize {
+        if self.busy_until_ns <= now_ns {
+            0
+        } else {
+            // Each queued request accounts for one service time of backlog.
+            (((self.busy_until_ns - now_ns) + self.service_time_ns - 1) / self.service_time_ns)
+                as usize
+        }
+    }
+
+    /// Maximum packet-in rate (per second) the controller can sustain.
+    pub fn max_rate_per_sec(&self) -> f64 {
+        1e9 / self.service_time_ns as f64
+    }
+
+    /// Handles a packet-in from `host`: the SDNFV Application's `rule_source`
+    /// callback computes the rules, and the reply is stamped with the time
+    /// the serial controller will actually have finished processing it.
+    ///
+    /// Returns `None` (counting a rejection) when the request queue is full.
+    pub fn packet_in(
+        &mut self,
+        now_ns: u64,
+        host: HostId,
+        port: Port,
+        key: &FlowKey,
+        rule_source: impl FnOnce(HostId, Port, &FlowKey) -> Vec<FlowRule>,
+    ) -> Option<FlowModReply> {
+        self.stats.packet_ins += 1;
+        if self.backlog(now_ns) >= self.queue_limit {
+            self.stats.rejected += 1;
+            return None;
+        }
+        let start = self.busy_until_ns.max(now_ns);
+        let ready_at_ns = start + self.service_time_ns;
+        self.busy_until_ns = ready_at_ns;
+        self.queued = self.backlog(now_ns);
+        let rules = rule_source(host, port, key);
+        self.stats.flow_mods += 1;
+        Some(FlowModReply {
+            host,
+            ready_at_ns,
+            rules,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_flowtable::{Action, FlowMatch, FlowRule, ServiceId};
+    use sdnfv_proto::flow::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            port,
+            80,
+            IpProtocol::Udp,
+        )
+    }
+
+    fn one_rule(_: HostId, _: Port, _: &FlowKey) -> Vec<FlowRule> {
+        vec![FlowRule::new(
+            FlowMatch::any(),
+            vec![Action::ToService(ServiceId::new(1))],
+        )]
+    }
+
+    #[test]
+    fn requests_queue_behind_each_other() {
+        let mut controller = SdnController::new(1_000_000, 100);
+        let a = controller.packet_in(0, 0, 0, &key(1), one_rule).unwrap();
+        let b = controller.packet_in(0, 0, 0, &key(2), one_rule).unwrap();
+        let c = controller.packet_in(500_000, 0, 0, &key(3), one_rule).unwrap();
+        assert_eq!(a.ready_at_ns, 1_000_000);
+        assert_eq!(b.ready_at_ns, 2_000_000);
+        // The third request arrives while the first two are still queued.
+        assert_eq!(c.ready_at_ns, 3_000_000);
+        assert_eq!(controller.stats().packet_ins, 3);
+        assert_eq!(controller.stats().flow_mods, 3);
+        assert_eq!(a.rules.len(), 1);
+    }
+
+    #[test]
+    fn idle_controller_resets_backlog() {
+        let mut controller = SdnController::new(1_000_000, 100);
+        controller.packet_in(0, 0, 0, &key(1), one_rule).unwrap();
+        assert_eq!(controller.backlog(0), 1);
+        assert_eq!(controller.backlog(2_000_000), 0);
+        let late = controller.packet_in(5_000_000, 0, 0, &key(2), one_rule).unwrap();
+        assert_eq!(late.ready_at_ns, 6_000_000);
+    }
+
+    #[test]
+    fn queue_limit_rejects_bursts() {
+        let mut controller = SdnController::new(1_000_000, 2);
+        assert!(controller.packet_in(0, 0, 0, &key(1), one_rule).is_some());
+        assert!(controller.packet_in(0, 0, 0, &key(2), one_rule).is_some());
+        assert!(controller.packet_in(0, 0, 0, &key(3), one_rule).is_none());
+        assert_eq!(controller.stats().rejected, 1);
+    }
+
+    #[test]
+    fn paper_defaults_and_rate() {
+        let controller = SdnController::default();
+        assert_eq!(controller.service_time_ns(), 31_000_000);
+        assert!((controller.max_rate_per_sec() - 32.26).abs() < 0.1);
+    }
+}

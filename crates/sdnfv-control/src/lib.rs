@@ -1,0 +1,31 @@
+//! The SDNFV control plane (paper §3.1, Figure 2).
+//!
+//! Three cooperating components sit above the per-host NF Managers:
+//!
+//! * the [`SdnController`](controller::SdnController) — the OpenFlow-speaking
+//!   controller (POX in the paper). It converts packet-in events into flow
+//!   rules by consulting the SDNFV Application, and models the controller's
+//!   serial processing bottleneck so the evaluation can reproduce Figures 1,
+//!   10 and 11;
+//! * the [`NfvOrchestrator`](orchestrator::NfvOrchestrator) — instantiates
+//!   network functions from a registry, modelling the VM boot delay
+//!   (≈7.75 s in the paper) that Figure 9 exposes;
+//! * the [`SdnfvApplication`](application::SdnfvApplication) — the top of the
+//!   hierarchy: it owns the service graphs and policies, derives flow rules
+//!   for hosts, validates cross-layer messages coming up from NF Managers,
+//!   and reacts to application-level triggers (such as a DDoS alarm) by
+//!   launching new NFs and rewiring flows.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod application;
+pub mod controller;
+pub mod orchestrator;
+
+pub use application::{AppAction, SdnfvApplication};
+pub use controller::{ControllerStats, SdnController};
+pub use orchestrator::{LaunchTicket, NfvOrchestrator};
+
+/// Identifier of an NF host (an NF Manager instance) in the network.
+pub type HostId = usize;

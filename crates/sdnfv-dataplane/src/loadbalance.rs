@@ -1,0 +1,144 @@
+//! Load balancing across multiple NF instances of the same service
+//! (paper §4.2 "Automatic Load Balancing").
+
+use sdnfv_proto::flow::FlowKey;
+
+/// Policy used by the NF Manager to pick one of several instances of the
+/// same service for a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadBalancePolicy {
+    /// Rotate through instances regardless of their load.
+    RoundRobin,
+    /// Pick the instance with the fewest occupied ring slots. Not safe for
+    /// NFs holding per-flow state, since consecutive packets of a flow may
+    /// visit different instances.
+    #[default]
+    MinQueue,
+    /// Hash the flow 5-tuple so every packet of a flow lands on the same
+    /// instance — required for stateful NFs.
+    FlowHash,
+}
+
+/// Stateful selector implementing a [`LoadBalancePolicy`].
+#[derive(Debug, Clone, Default)]
+pub struct LoadBalancer {
+    policy: LoadBalancePolicy,
+    next: usize,
+    decisions: u64,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer with the given policy.
+    pub fn new(policy: LoadBalancePolicy) -> Self {
+        LoadBalancer {
+            policy,
+            next: 0,
+            decisions: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> LoadBalancePolicy {
+        self.policy
+    }
+
+    /// Total balancing decisions made.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Picks an instance index given the per-instance queue occupancies and
+    /// the packet's flow key (when available).
+    ///
+    /// Returns `None` when there are no instances.
+    pub fn pick(&mut self, queue_lengths: &[usize], key: Option<&FlowKey>) -> Option<usize> {
+        if queue_lengths.is_empty() {
+            return None;
+        }
+        self.decisions += 1;
+        let n = queue_lengths.len();
+        let index = match self.policy {
+            LoadBalancePolicy::RoundRobin => {
+                let index = self.next % n;
+                self.next = (self.next + 1) % n;
+                index
+            }
+            LoadBalancePolicy::MinQueue => queue_lengths
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, len)| **len)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            LoadBalancePolicy::FlowHash => match key {
+                Some(key) => (key.stable_hash() % n as u64) as usize,
+                None => {
+                    let index = self.next % n;
+                    self.next = (self.next + 1) % n;
+                    index
+                }
+            },
+        };
+        Some(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::flow::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+            80,
+            IpProtocol::Udp,
+        )
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut lb = LoadBalancer::new(LoadBalancePolicy::RoundRobin);
+        let queues = [0, 0, 0];
+        let picks: Vec<_> = (0..6).map(|_| lb.pick(&queues, None).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(lb.decisions(), 6);
+        assert_eq!(lb.policy(), LoadBalancePolicy::RoundRobin);
+    }
+
+    #[test]
+    fn min_queue_picks_least_loaded() {
+        let mut lb = LoadBalancer::new(LoadBalancePolicy::MinQueue);
+        assert_eq!(lb.pick(&[5, 2, 9], None), Some(1));
+        assert_eq!(lb.pick(&[0, 2, 9], None), Some(0));
+        // Ties go to the lowest index.
+        assert_eq!(lb.pick(&[3, 3, 3], None), Some(0));
+    }
+
+    #[test]
+    fn flow_hash_is_sticky_per_flow() {
+        let mut lb = LoadBalancer::new(LoadBalancePolicy::FlowHash);
+        let queues = [0, 0, 0, 0];
+        let a = lb.pick(&queues, Some(&key(1000))).unwrap();
+        for _ in 0..10 {
+            assert_eq!(lb.pick(&queues, Some(&key(1000))), Some(a));
+        }
+        // Different flows spread over instances.
+        let mut seen = std::collections::HashSet::new();
+        for port in 0..64 {
+            seen.insert(lb.pick(&queues, Some(&key(port))).unwrap());
+        }
+        assert!(seen.len() > 1);
+        // Without a key it falls back to round robin rather than panicking.
+        assert!(lb.pick(&queues, None).is_some());
+    }
+
+    #[test]
+    fn empty_instance_list_returns_none() {
+        let mut lb = LoadBalancer::new(LoadBalancePolicy::MinQueue);
+        assert_eq!(lb.pick(&[], Some(&key(1))), None);
+        assert_eq!(lb.decisions(), 0);
+    }
+}

@@ -1,0 +1,623 @@
+//! The inline (synchronous) NF Manager engine.
+//!
+//! This engine owns the host's flow table and NF instances and walks each
+//! packet through its service chain on the calling thread. It implements the
+//! full SDNFV semantics — default actions, NF verdict validation, parallel
+//! rule handling with conflict resolution, load balancing across replicas,
+//! lookup caching, and cross-layer message application — in a deterministic
+//! way, which is what the discrete-event simulator and most tests need.
+//! The multi-threaded twin lives in [`crate::runtime`].
+
+use std::collections::HashMap;
+
+use sdnfv_flowtable::{Action, Decision, RulePort, ServiceId, SharedFlowTable};
+use sdnfv_graph::{CompileOptions, ServiceGraph};
+use sdnfv_nf::{NetworkFunction, NfContext, NfMessage, Verdict};
+use sdnfv_proto::flow::FlowKey;
+use sdnfv_proto::packet::Port;
+use sdnfv_proto::Packet;
+
+use crate::cache::LookupCache;
+use crate::conflict::resolve_parallel_verdicts;
+use crate::loadbalance::{LoadBalancePolicy, LoadBalancer};
+use crate::messages::{apply_nf_message, AppliedChange, NfManagerMessage};
+use crate::stats::HostStats;
+
+/// Configuration of an [`NfManager`].
+#[derive(Debug, Clone)]
+pub struct NfManagerConfig {
+    /// Policy for spreading packets over multiple instances of a service.
+    pub load_balance: LoadBalancePolicy,
+    /// Whether flow-table lookups are cached per flow and step.
+    pub enable_lookup_cache: bool,
+    /// Capacity of the lookup cache.
+    pub lookup_cache_capacity: usize,
+    /// Upper bound on hops a packet may take inside one host (cycle guard).
+    pub max_chain_hops: usize,
+    /// Whether NFs are trusted: trusted NFs may change defaults to actions
+    /// outside the service graph (`force` in `ChangeDefault`).
+    pub trusted_nfs: bool,
+}
+
+impl Default for NfManagerConfig {
+    fn default() -> Self {
+        NfManagerConfig {
+            load_balance: LoadBalancePolicy::MinQueue,
+            enable_lookup_cache: true,
+            lookup_cache_capacity: 4096,
+            max_chain_hops: 64,
+            trusted_nfs: false,
+        }
+    }
+}
+
+/// What happened to a packet handed to [`NfManager::process_packet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketOutcome {
+    /// The packet left the host through the given NIC port.
+    Transmitted {
+        /// Egress port.
+        port: Port,
+        /// The (possibly rewritten) packet.
+        packet: Packet,
+    },
+    /// The packet was dropped (by an NF verdict, a drop rule, or because it
+    /// was unparseable).
+    Dropped,
+    /// The flow table had no rule for the packet; it must be sent to the SDN
+    /// controller (table-miss path).
+    PuntedToController {
+        /// The packet that missed.
+        packet: Packet,
+    },
+}
+
+struct NfInstance {
+    nf: Box<dyn NetworkFunction>,
+    invocations: u64,
+    /// Emulated queue occupancy, settable by the simulator to exercise
+    /// queue-length based load balancing.
+    queue_len: usize,
+}
+
+/// The inline NF Manager engine.
+pub struct NfManager {
+    config: NfManagerConfig,
+    table: SharedFlowTable,
+    instances: HashMap<ServiceId, Vec<NfInstance>>,
+    balancers: HashMap<ServiceId, LoadBalancer>,
+    cache: LookupCache,
+    stats: HostStats,
+    outbox: Vec<NfManagerMessage>,
+}
+
+impl std::fmt::Debug for NfManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NfManager")
+            .field("services", &self.instances.keys().collect::<Vec<_>>())
+            .field("rules", &self.table.len())
+            .finish()
+    }
+}
+
+impl Default for NfManager {
+    fn default() -> Self {
+        NfManager::new(NfManagerConfig::default())
+    }
+}
+
+impl NfManager {
+    /// Creates a manager with the given configuration.
+    pub fn new(config: NfManagerConfig) -> Self {
+        let cache = LookupCache::new(config.lookup_cache_capacity.max(1));
+        NfManager {
+            config,
+            table: SharedFlowTable::new(),
+            instances: HashMap::new(),
+            balancers: HashMap::new(),
+            cache,
+            stats: HostStats::new(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// The host's flow table (shared with the control-plane connection).
+    pub fn flow_table(&self) -> &SharedFlowTable {
+        &self.table
+    }
+
+    /// Host statistics.
+    pub fn stats(&self) -> &HostStats {
+        &self.stats
+    }
+
+    /// Attaches an NF instance implementing `service`. Multiple instances of
+    /// the same service are load-balanced (paper §3.3).
+    ///
+    /// The NF's `on_start` hook runs immediately; any messages it emits are
+    /// applied/queued just like messages emitted while processing packets.
+    pub fn add_nf(&mut self, service: ServiceId, mut nf: Box<dyn NetworkFunction>) {
+        let mut ctx = NfContext::new(0);
+        nf.on_start(&mut ctx);
+        self.handle_messages(service, &mut ctx);
+        self.instances.entry(service).or_default().push(NfInstance {
+            nf,
+            invocations: 0,
+            queue_len: 0,
+        });
+        self.balancers
+            .entry(service)
+            .or_insert_with(|| LoadBalancer::new(self.config.load_balance));
+    }
+
+    /// Removes every instance of `service`, returning how many were removed.
+    pub fn remove_service(&mut self, service: ServiceId) -> usize {
+        self.balancers.remove(&service);
+        self.instances.remove(&service).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Returns `true` if at least one instance of `service` is attached.
+    pub fn has_service(&self, service: ServiceId) -> bool {
+        self.instances.get(&service).map_or(false, |v| !v.is_empty())
+    }
+
+    /// Number of instances attached for `service`.
+    pub fn instance_count(&self, service: ServiceId) -> usize {
+        self.instances.get(&service).map_or(0, |v| v.len())
+    }
+
+    /// Total NF invocations for `service` across its instances.
+    pub fn service_invocations(&self, service: ServiceId) -> u64 {
+        self.instances
+            .get(&service)
+            .map_or(0, |v| v.iter().map(|i| i.invocations).sum())
+    }
+
+    /// Sets the emulated queue occupancy of one instance (used by the
+    /// simulator to drive queue-length load balancing).
+    pub fn set_instance_queue_len(&mut self, service: ServiceId, index: usize, len: usize) {
+        if let Some(instance) = self
+            .instances
+            .get_mut(&service)
+            .and_then(|v| v.get_mut(index))
+        {
+            instance.queue_len = len;
+        }
+    }
+
+    /// Compiles `graph` with `options` and installs the resulting rules.
+    pub fn install_graph(&mut self, graph: &ServiceGraph, options: &CompileOptions) {
+        for rule in graph.compile(options) {
+            self.table.insert(rule);
+        }
+    }
+
+    /// Installs a single rule directly (as the SDN controller would).
+    pub fn install_rule(&mut self, rule: sdnfv_flowtable::FlowRule) -> sdnfv_flowtable::RuleId {
+        self.table.insert(rule)
+    }
+
+    /// Applies a cross-layer message on behalf of `from`, exactly as if an
+    /// attached NF had emitted it (used by the control plane and tests).
+    pub fn apply_message(&mut self, from: ServiceId, message: &NfMessage) -> AppliedChange {
+        let force = self.config.trusted_nfs;
+        let change = self
+            .table
+            .with_write(|table| apply_nf_message(table, from, message, force));
+        self.stats.add_nf_messages(1);
+        self.outbox.push(NfManagerMessage {
+            from,
+            message: message.clone(),
+        });
+        change
+    }
+
+    /// Drains the messages NFs have emitted since the last call; the caller
+    /// (the SDNFV Application / SDN controller connection) consumes these.
+    pub fn take_messages(&mut self) -> Vec<NfManagerMessage> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Applies and queues every message an NF left in its context.
+    fn handle_messages(&mut self, from: ServiceId, ctx: &mut NfContext) {
+        for message in ctx.take_messages() {
+            self.apply_message(from, &message);
+        }
+    }
+
+    /// Processes one packet to completion through the host.
+    pub fn process_packet(&mut self, mut packet: Packet, now_ns: u64) -> PacketOutcome {
+        self.stats.add_received(1);
+        let Some(key) = packet.flow_key() else {
+            self.stats.add_dropped(1);
+            return PacketOutcome::Dropped;
+        };
+        let mut step = RulePort::Nic(packet.ingress_port);
+        // When an NF explicitly steers the packet, the target is carried here
+        // and validated against the rule at the NF's own step.
+        let mut forced: Option<Action> = None;
+
+        for _ in 0..self.config.max_chain_hops {
+            let action = if let Some(action) = forced.take() {
+                action
+            } else {
+                let Some(decision) = self.lookup(step, &key) else {
+                    self.stats.add_controller_punts(1);
+                    return PacketOutcome::PuntedToController { packet };
+                };
+                if decision.parallel {
+                    match self.run_parallel(&decision, &mut packet, &key, now_ns, &mut step) {
+                        ParallelOutcome::Continue(next_forced) => {
+                            forced = next_forced;
+                            continue;
+                        }
+                        ParallelOutcome::Finished(outcome) => return outcome,
+                    }
+                }
+                match decision.default_action() {
+                    Some(action) => action,
+                    None => {
+                        self.stats.add_dropped(1);
+                        return PacketOutcome::Dropped;
+                    }
+                }
+            };
+
+            match action {
+                Action::Drop => {
+                    self.stats.add_dropped(1);
+                    return PacketOutcome::Dropped;
+                }
+                Action::ToPort(port) => {
+                    self.stats.add_transmitted(1);
+                    return PacketOutcome::Transmitted { port, packet };
+                }
+                Action::ToController => {
+                    self.stats.add_controller_punts(1);
+                    return PacketOutcome::PuntedToController { packet };
+                }
+                Action::ToService(service) => {
+                    let verdict = match self.invoke(service, &mut packet, now_ns) {
+                        Some(v) => v,
+                        None => {
+                            // No instance of the service is attached: the
+                            // packet cannot make progress.
+                            self.stats.add_dropped(1);
+                            return PacketOutcome::Dropped;
+                        }
+                    };
+                    step = RulePort::Service(service);
+                    forced = match verdict {
+                        Verdict::Default => None,
+                        Verdict::Discard => Some(Action::Drop),
+                        other => {
+                            let requested = other.as_action().expect("non-default verdict");
+                            Some(self.validate_requested(step, &key, requested))
+                        }
+                    };
+                }
+            }
+        }
+        // The hop bound was exceeded (mis-configured rules); drop the packet.
+        self.stats.add_dropped(1);
+        PacketOutcome::Dropped
+    }
+
+    /// Looks up the decision for `(step, key)`, consulting the cache first.
+    fn lookup(&mut self, step: RulePort, key: &FlowKey) -> Option<Decision> {
+        if self.config.enable_lookup_cache {
+            let generation = self.table.generation();
+            if let Some(hit) = self.cache.get(key, step, generation) {
+                return Some(hit);
+            }
+            let decision = self.table.lookup(step, key)?;
+            self.cache.put(key, step, generation, decision.clone());
+            Some(decision)
+        } else {
+            self.table.lookup(step, key)
+        }
+    }
+
+    /// Validates an NF's explicit steering request against the allowed next
+    /// hops at its step; disallowed requests fall back to the default action
+    /// (or drop if there is none).
+    fn validate_requested(&mut self, step: RulePort, key: &FlowKey, requested: Action) -> Action {
+        match self.lookup(step, key) {
+            Some(decision) if decision.allows(requested) => requested,
+            Some(decision) => decision.default_action().unwrap_or(Action::Drop),
+            // Drop requests are always honoured even without a rule.
+            None if requested == Action::Drop => Action::Drop,
+            None => Action::ToController,
+        }
+    }
+
+    /// Invokes one instance of `service` on the packet, returning its
+    /// verdict, or `None` if no instance is attached.
+    fn invoke(&mut self, service: ServiceId, packet: &mut Packet, now_ns: u64) -> Option<Verdict> {
+        let instances = self.instances.get_mut(&service)?;
+        if instances.is_empty() {
+            return None;
+        }
+        let queue_lengths: Vec<usize> = instances.iter().map(|i| i.queue_len).collect();
+        let balancer = self
+            .balancers
+            .entry(service)
+            .or_insert_with(|| LoadBalancer::new(self.config.load_balance));
+        let key = packet.flow_key();
+        let index = balancer.pick(&queue_lengths, key.as_ref()).unwrap_or(0);
+        let instance = &mut instances[index];
+        instance.invocations += 1;
+        let mut ctx = NfContext::new(now_ns);
+        let verdict = if instance.nf.read_only() {
+            instance.nf.process(packet, &mut ctx)
+        } else {
+            instance.nf.process_mut(packet, &mut ctx)
+        };
+        self.stats.add_nf_invocations(1);
+        self.handle_messages(service, &mut ctx);
+        Some(verdict)
+    }
+
+    /// Runs all services of a parallel rule on the packet and resolves their
+    /// verdicts. `step` is advanced to the last parallel service.
+    fn run_parallel(
+        &mut self,
+        decision: &Decision,
+        packet: &mut Packet,
+        key: &FlowKey,
+        now_ns: u64,
+        step: &mut RulePort,
+    ) -> ParallelOutcome {
+        self.stats.add_parallel_dispatches(1);
+        let mut verdicts = Vec::with_capacity(decision.actions.len());
+        let mut last_service = None;
+        for action in &decision.actions {
+            match action {
+                Action::ToService(service) => {
+                    last_service = Some(*service);
+                    match self.invoke(*service, packet, now_ns) {
+                        Some(v) => verdicts.push(v),
+                        None => verdicts.push(Verdict::Default),
+                    }
+                }
+                // Parallel lists only ever contain services (the compiler
+                // guarantees it); anything else is treated as default.
+                _ => verdicts.push(Verdict::Default),
+            }
+        }
+        let Some(last) = last_service else {
+            self.stats.add_dropped(1);
+            return ParallelOutcome::Finished(PacketOutcome::Dropped);
+        };
+        *step = RulePort::Service(last);
+        match resolve_parallel_verdicts(&verdicts) {
+            Verdict::Default => ParallelOutcome::Continue(None),
+            Verdict::Discard => {
+                self.stats.add_dropped(1);
+                ParallelOutcome::Finished(PacketOutcome::Dropped)
+            }
+            other => {
+                let requested = other.as_action().expect("non-default verdict");
+                let action = self.validate_requested(*step, key, requested);
+                ParallelOutcome::Continue(Some(action))
+            }
+        }
+    }
+}
+
+enum ParallelOutcome {
+    /// Keep walking the chain; an optional validated action overrides the
+    /// next lookup's default.
+    Continue(Option<Action>),
+    Finished(PacketOutcome),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_flowtable::{FlowMatch, FlowRule};
+    use sdnfv_graph::catalog;
+    use sdnfv_nf::nfs::{ComputeNf, FirewallNf, NoOpNf, SamplerNf, ScrubberNf};
+    use sdnfv_proto::packet::PacketBuilder;
+
+    fn udp_packet(src_port: u16) -> Packet {
+        PacketBuilder::udp()
+            .src_ip([10, 0, 0, 1])
+            .dst_ip([10, 9, 9, 9])
+            .src_port(src_port)
+            .dst_port(80)
+            .ingress_port(0)
+            .build()
+    }
+
+    /// source -> noop chain of `n` services -> port 1.
+    fn chain_manager(n: usize, parallel: bool) -> NfManager {
+        let names: Vec<(String, bool)> = (0..n).map(|i| (format!("nf{i}"), true)).collect();
+        let refs: Vec<(&str, bool)> = names.iter().map(|(s, ro)| (s.as_str(), *ro)).collect();
+        let (graph, ids) = catalog::chain(&refs);
+        let mut manager = NfManager::default();
+        manager.install_graph(
+            &graph,
+            &CompileOptions {
+                ingress_ports: vec![0],
+                egress_port: 1,
+                enable_parallel: parallel,
+                ..CompileOptions::default()
+            },
+        );
+        for id in ids {
+            manager.add_nf(id, Box::new(NoOpNf::new()));
+        }
+        manager
+    }
+
+    #[test]
+    fn empty_table_punts_to_controller() {
+        let mut manager = NfManager::default();
+        match manager.process_packet(udp_packet(1), 0) {
+            PacketOutcome::PuntedToController { .. } => {}
+            other => panic!("expected punt, got {other:?}"),
+        }
+        assert_eq!(manager.stats().snapshot().controller_punts, 1);
+    }
+
+    #[test]
+    fn sequential_chain_transmits() {
+        let mut manager = chain_manager(3, false);
+        match manager.process_packet(udp_packet(1), 0) {
+            PacketOutcome::Transmitted { port, .. } => assert_eq!(port, 1),
+            other => panic!("expected transmit, got {other:?}"),
+        }
+        let snap = manager.stats().snapshot();
+        assert_eq!(snap.nf_invocations, 3);
+        assert_eq!(snap.transmitted, 1);
+        assert_eq!(snap.parallel_dispatches, 0);
+    }
+
+    #[test]
+    fn parallel_chain_transmits_with_one_dispatch() {
+        let mut manager = chain_manager(3, true);
+        match manager.process_packet(udp_packet(1), 0) {
+            PacketOutcome::Transmitted { port, .. } => assert_eq!(port, 1),
+            other => panic!("expected transmit, got {other:?}"),
+        }
+        let snap = manager.stats().snapshot();
+        assert_eq!(snap.nf_invocations, 3);
+        assert_eq!(snap.parallel_dispatches, 1);
+    }
+
+    #[test]
+    fn firewall_discard_drops_packet() {
+        let (graph, ids) = catalog::chain(&[("firewall", true)]);
+        let mut manager = NfManager::default();
+        manager.install_graph(&graph, &CompileOptions::default());
+        manager.add_nf(ids[0], Box::new(FirewallNf::deny_by_default()));
+        assert_eq!(manager.process_packet(udp_packet(5), 0), PacketOutcome::Dropped);
+        assert_eq!(manager.stats().snapshot().dropped, 1);
+    }
+
+    #[test]
+    fn nf_steering_respects_allowed_edges() {
+        // Graph: sampler may send to scrubber; a stray service is not allowed.
+        let (graph, svcs) = catalog::anomaly_detection();
+        let mut manager = NfManager::default();
+        manager.install_graph(&graph, &CompileOptions::default());
+        manager.add_nf(svcs.firewall, Box::new(NoOpNf::new()));
+        // Sample every packet so traffic goes to the DDoS/IDS path.
+        manager.add_nf(svcs.sampler, Box::new(SamplerNf::per_packet(svcs.ddos, 1)));
+        manager.add_nf(svcs.ddos, Box::new(NoOpNf::new()));
+        manager.add_nf(svcs.ids, Box::new(NoOpNf::new()));
+        manager.add_nf(svcs.scrubber, Box::new(ScrubberNf::new()));
+        match manager.process_packet(udp_packet(7), 0) {
+            PacketOutcome::Transmitted { port, .. } => assert_eq!(port, 1),
+            other => panic!("expected transmit, got {other:?}"),
+        }
+        // firewall, sampler, ddos, ids all ran; scrubber did not (clean pkt).
+        assert_eq!(manager.service_invocations(svcs.scrubber), 0);
+        assert_eq!(manager.service_invocations(svcs.ddos), 1);
+    }
+
+    #[test]
+    fn missing_nf_instance_drops() {
+        let mut manager = chain_manager(2, false);
+        // Remove the second NF; packets reaching it are dropped.
+        let (_, ids) = catalog::chain(&[("nf0", true), ("nf1", true)]);
+        assert_eq!(manager.remove_service(ids[1]), 1);
+        assert!(!manager.has_service(ids[1]));
+        assert_eq!(manager.process_packet(udp_packet(9), 0), PacketOutcome::Dropped);
+    }
+
+    #[test]
+    fn load_balances_across_instances() {
+        let (graph, ids) = catalog::chain(&[("worker", true)]);
+        let mut manager = NfManager::new(NfManagerConfig {
+            load_balance: LoadBalancePolicy::RoundRobin,
+            ..NfManagerConfig::default()
+        });
+        manager.install_graph(&graph, &CompileOptions::default());
+        manager.add_nf(ids[0], Box::new(NoOpNf::new()));
+        manager.add_nf(ids[0], Box::new(NoOpNf::new()));
+        assert_eq!(manager.instance_count(ids[0]), 2);
+        for i in 0..10 {
+            manager.process_packet(udp_packet(i), 0);
+        }
+        // Round robin splits the 10 packets 5/5 between the two instances.
+        assert_eq!(manager.service_invocations(ids[0]), 10);
+        let per_instance: Vec<u64> = manager.instances[&ids[0]]
+            .iter()
+            .map(|i| i.invocations)
+            .collect();
+        assert_eq!(per_instance, vec![5, 5]);
+    }
+
+    #[test]
+    fn lookup_cache_counts_hits() {
+        let mut manager = chain_manager(2, false);
+        for _ in 0..5 {
+            manager.process_packet(udp_packet(1), 0);
+        }
+        assert!(manager.cache.hits() > 0, "repeated packets should hit the cache");
+        // Disabling the cache still works.
+        let mut manager = NfManager::new(NfManagerConfig {
+            enable_lookup_cache: false,
+            ..NfManagerConfig::default()
+        });
+        let (graph, ids) = catalog::chain(&[("nf0", true)]);
+        manager.install_graph(&graph, &CompileOptions::default());
+        manager.add_nf(ids[0], Box::new(ComputeNf::new(1)));
+        for _ in 0..3 {
+            manager.process_packet(udp_packet(1), 0);
+        }
+        assert_eq!(manager.cache.hits(), 0);
+    }
+
+    #[test]
+    fn messages_are_applied_and_queued() {
+        let (graph, svcs) = catalog::anomaly_detection();
+        let mut manager = NfManager::default();
+        manager.install_graph(&graph, &CompileOptions::default());
+        // Apply a ChangeDefault on behalf of the sampler: send everything to
+        // the DDoS detector (an allowed edge).
+        let change = manager.apply_message(
+            svcs.sampler,
+            &NfMessage::ChangeDefault {
+                flows: FlowMatch::any(),
+                service: svcs.sampler,
+                new_default: Action::ToService(svcs.ddos),
+            },
+        );
+        assert_eq!(change, AppliedChange::RulesUpdated(1));
+        let messages = manager.take_messages();
+        assert_eq!(messages.len(), 1);
+        assert_eq!(messages[0].from, svcs.sampler);
+        assert!(manager.take_messages().is_empty());
+    }
+
+    #[test]
+    fn hop_bound_prevents_infinite_loops() {
+        // A rule that points a service at itself would loop forever without
+        // the hop guard.
+        let mut manager = NfManager::new(NfManagerConfig {
+            max_chain_hops: 8,
+            ..NfManagerConfig::default()
+        });
+        let svc = ServiceId::new(1);
+        manager.install_rule(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(svc)],
+        ));
+        manager.install_rule(FlowRule::new(
+            FlowMatch::at_step(svc),
+            vec![Action::ToService(svc)],
+        ));
+        manager.add_nf(svc, Box::new(NoOpNf::new()));
+        assert_eq!(manager.process_packet(udp_packet(3), 0), PacketOutcome::Dropped);
+    }
+
+    #[test]
+    fn non_ip_packets_are_dropped() {
+        let mut manager = chain_manager(1, false);
+        let outcome = manager.process_packet(Packet::from_bytes(vec![0u8; 12]), 0);
+        assert_eq!(outcome, PacketOutcome::Dropped);
+    }
+}

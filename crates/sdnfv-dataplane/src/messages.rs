@@ -1,0 +1,287 @@
+//! Application of NF cross-layer messages to the host flow table
+//! (paper §3.4).
+
+use sdnfv_flowtable::{Action, FlowTable, RulePort, ServiceId};
+use sdnfv_nf::NfMessage;
+
+/// A cross-layer message attributed to the NF (service) that sent it, as the
+/// NF Manager forwards it to the SDNFV Application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NfManagerMessage {
+    /// Service that sent the message.
+    pub from: ServiceId,
+    /// The message itself.
+    pub message: NfMessage,
+}
+
+/// What applying a message changed locally, reported back to the caller (and
+/// ultimately to the control plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppliedChange {
+    /// The message updated this many local flow-table rules.
+    RulesUpdated(usize),
+    /// The message is not a flow-table change; it must be forwarded to the
+    /// SDNFV Application (e.g. a `Custom` message like a DDoS alarm).
+    ForwardToApplication,
+}
+
+/// Applies a cross-layer message from service `from` to the host flow table.
+///
+/// * `SkipMe(F, S)` — rules whose default points at `S` are retargeted to
+///   `S`'s own default action, so `S` is bypassed for flows matching `F`.
+/// * `RequestMe(F, S)` — every rule that lists `S` as an allowed next hop
+///   makes it the default for flows matching `F`.
+/// * `ChangeDefault(F, S, T)` — the default of `S`'s rules becomes `T` for
+///   flows matching `F` (only if `T` is an allowed next hop, unless `force`).
+/// * `Custom` — not a table change; reported as
+///   [`AppliedChange::ForwardToApplication`].
+///
+/// `force` relaxes the service-graph constraint for `ChangeDefault`; the NF
+/// Manager passes `false` for untrusted NFs and lets the SDNFV Application
+/// decide whether to re-apply with `force = true`.
+pub fn apply_nf_message(
+    table: &mut FlowTable,
+    from: ServiceId,
+    message: &NfMessage,
+    force: bool,
+) -> AppliedChange {
+    match message {
+        NfMessage::SkipMe { flows } => {
+            // Find the sending service's own default action; if it has no
+            // rule, nothing can be bypassed.
+            let own_default = table
+                .rules_for_service(from)
+                .first()
+                .and_then(|(_, rule)| rule.default_action());
+            match own_default {
+                Some(default) => {
+                    AppliedChange::RulesUpdated(table.retarget_defaults(from, flows, default))
+                }
+                None => AppliedChange::RulesUpdated(0),
+            }
+        }
+        NfMessage::RequestMe { flows } => AppliedChange::RulesUpdated(
+            table.promote_where_allowed(flows, Action::ToService(from)),
+        ),
+        NfMessage::ChangeDefault {
+            flows,
+            service,
+            new_default,
+        } => {
+            // A ChangeDefault scoped to one exact flow must not disturb the
+            // wildcard rule other flows follow (Figure 4 of the paper shows
+            // per-flow rules added next to the `*` rules). Install or update
+            // a specific higher-priority rule for that flow instead.
+            if let Some((step, key)) = flows.exact_key() {
+                if step == RulePort::Service(*service) {
+                    let template = match table.exact_rule_id(step, &key) {
+                        Some(id) => table.rule(id).cloned().map(|rule| (Some(id), rule)),
+                        None => table.peek(step, &key).cloned().map(|rule| (None, rule)),
+                    };
+                    let Some((existing_id, base)) = template else {
+                        return AppliedChange::RulesUpdated(0);
+                    };
+                    if !base.allows(*new_default) && !force {
+                        return AppliedChange::RulesUpdated(0);
+                    }
+                    let mut specific = base.clone();
+                    specific.matcher = *flows;
+                    if existing_id.is_none() {
+                        specific.priority = base.priority.saturating_add(10);
+                    }
+                    specific.set_default_action(*new_default);
+                    if let Some(id) = existing_id {
+                        table.remove(id);
+                    }
+                    table.insert(specific);
+                    return AppliedChange::RulesUpdated(1);
+                }
+            }
+            AppliedChange::RulesUpdated(table.change_default(*service, flows, *new_default, force))
+        }
+        NfMessage::Custom { .. } => AppliedChange::ForwardToApplication,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_flowtable::{FlowMatch, FlowRule};
+    use sdnfv_proto::flow::{FlowKey, IpProtocol};
+    use std::net::Ipv4Addr;
+
+    const FIREWALL: ServiceId = ServiceId::new(1);
+    const SAMPLER: ServiceId = ServiceId::new(2);
+    const SCRUBBER: ServiceId = ServiceId::new(5);
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1234,
+            80,
+            IpProtocol::Tcp,
+        )
+    }
+
+    /// firewall -> sampler -> out, with sampler allowed to reach the scrubber.
+    fn table() -> FlowTable {
+        let mut t = FlowTable::new();
+        t.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(FIREWALL)],
+        ));
+        t.insert(FlowRule::new(
+            FlowMatch::at_step(FIREWALL),
+            vec![Action::ToService(SAMPLER), Action::ToPort(1)],
+        ));
+        t.insert(FlowRule::new(
+            FlowMatch::at_step(SAMPLER),
+            vec![Action::ToPort(1), Action::ToService(SCRUBBER)],
+        ));
+        t.insert(FlowRule::new(
+            FlowMatch::at_step(SCRUBBER),
+            vec![Action::ToPort(1)],
+        ));
+        t
+    }
+
+    #[test]
+    fn skip_me_bypasses_sender() {
+        let mut t = table();
+        let change = apply_nf_message(
+            &mut t,
+            SAMPLER,
+            &NfMessage::SkipMe {
+                flows: FlowMatch::any(),
+            },
+            false,
+        );
+        assert_eq!(change, AppliedChange::RulesUpdated(1));
+        // The firewall now defaults straight to port 1 instead of the sampler.
+        assert_eq!(
+            t.peek(RulePort::Service(FIREWALL), &key()).unwrap().default_action(),
+            Some(Action::ToPort(1))
+        );
+    }
+
+    #[test]
+    fn skip_me_without_own_rule_is_a_noop() {
+        let mut t = table();
+        let change = apply_nf_message(
+            &mut t,
+            ServiceId::new(99),
+            &NfMessage::SkipMe {
+                flows: FlowMatch::any(),
+            },
+            false,
+        );
+        assert_eq!(change, AppliedChange::RulesUpdated(0));
+    }
+
+    #[test]
+    fn request_me_promotes_allowed_edges() {
+        let mut t = table();
+        let change = apply_nf_message(
+            &mut t,
+            SCRUBBER,
+            &NfMessage::RequestMe {
+                flows: FlowMatch::any(),
+            },
+            false,
+        );
+        // Only the sampler has an edge to the scrubber.
+        assert_eq!(change, AppliedChange::RulesUpdated(1));
+        assert_eq!(
+            t.peek(RulePort::Service(SAMPLER), &key()).unwrap().default_action(),
+            Some(Action::ToService(SCRUBBER))
+        );
+        // The firewall is untouched.
+        assert_eq!(
+            t.peek(RulePort::Service(FIREWALL), &key()).unwrap().default_action(),
+            Some(Action::ToService(SAMPLER))
+        );
+    }
+
+    #[test]
+    fn change_default_on_wildcard_rule() {
+        let mut t = table();
+        let change = apply_nf_message(
+            &mut t,
+            SAMPLER,
+            &NfMessage::ChangeDefault {
+                flows: FlowMatch::any(),
+                service: SAMPLER,
+                new_default: Action::ToService(SCRUBBER),
+            },
+            false,
+        );
+        assert_eq!(change, AppliedChange::RulesUpdated(1));
+        assert_eq!(
+            t.peek(RulePort::Service(SAMPLER), &key()).unwrap().default_action(),
+            Some(Action::ToService(SCRUBBER))
+        );
+    }
+
+    #[test]
+    fn per_flow_change_default_installs_specific_rule() {
+        let mut t = table();
+        let flows = FlowMatch::exact(RulePort::Service(SAMPLER), &key());
+        let change = apply_nf_message(
+            &mut t,
+            SAMPLER,
+            &NfMessage::ChangeDefault {
+                flows,
+                service: SAMPLER,
+                new_default: Action::ToService(SCRUBBER),
+            },
+            false,
+        );
+        assert_eq!(change, AppliedChange::RulesUpdated(1));
+        // The specific flow now defaults to the scrubber …
+        assert_eq!(
+            t.peek(RulePort::Service(SAMPLER), &key()).unwrap().default_action(),
+            Some(Action::ToService(SCRUBBER))
+        );
+        // … while other flows keep the wildcard default.
+        let mut other = key();
+        other.src_port = 9999;
+        assert_eq!(
+            t.peek(RulePort::Service(SAMPLER), &other).unwrap().default_action(),
+            Some(Action::ToPort(1))
+        );
+    }
+
+    #[test]
+    fn change_default_respects_graph_constraint_unless_forced() {
+        let mut t = table();
+        // Port 9 is not an allowed next hop of the firewall.
+        let msg = NfMessage::ChangeDefault {
+            flows: FlowMatch::any(),
+            service: FIREWALL,
+            new_default: Action::ToPort(9),
+        };
+        assert_eq!(
+            apply_nf_message(&mut t, FIREWALL, &msg, false),
+            AppliedChange::RulesUpdated(0)
+        );
+        assert_eq!(
+            apply_nf_message(&mut t, FIREWALL, &msg, true),
+            AppliedChange::RulesUpdated(1)
+        );
+    }
+
+    #[test]
+    fn custom_messages_are_forwarded() {
+        let mut t = table();
+        assert_eq!(
+            apply_nf_message(
+                &mut t,
+                FIREWALL,
+                &NfMessage::custom("ddos.alarm", "10.0.0.0/16"),
+                false
+            ),
+            AppliedChange::ForwardToApplication
+        );
+    }
+}

@@ -1,0 +1,798 @@
+//! The multi-threaded NF Manager runtime (paper §4.1).
+//!
+//! Thread layout, mirroring the paper's implementation on top of the
+//! lock-free rings of [`sdnfv-ring`](sdnfv_ring):
+//!
+//! ```text
+//!                 ┌───────────────► NF thread (VM) ───────────┐
+//!  inject ──► RX thread ──► …                                 ▼
+//!                 └───────────────► NF thread (VM) ──► TX thread ──► egress
+//!                                        ▲                    │
+//!                                        └────────────────────┘
+//! ```
+//!
+//! * the **RX thread** polls the ingress ring, performs the first flow-table
+//!   lookup and dispatches packet descriptors to NF rings (several at once
+//!   for parallel rules, with the shared reference counter set accordingly);
+//! * each **NF thread** models one network-function VM: it polls its two
+//!   input rings (one fed by RX, one fed by TX, keeping every ring
+//!   single-producer), runs the network function, applies any cross-layer
+//!   messages to the shared flow table, and hands completed packets to the
+//!   TX thread;
+//! * the **TX thread** resolves conflicting verdicts, performs the next
+//!   flow-table lookup (with a per-thread lookup cache), and either forwards
+//!   the descriptor to the next NF, transmits the packet out the egress
+//!   ring, or drops it.
+//!
+//! Packets are never copied between threads — descriptors reference the same
+//! [`SharedPacket`] buffer — except once at egress when the frame leaves the
+//! host.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use sdnfv_flowtable::{Action, RulePort, ServiceId, SharedFlowTable};
+use sdnfv_nf::{NetworkFunction, NfContext, Verdict};
+use sdnfv_proto::flow::FlowKey;
+use sdnfv_proto::packet::Port;
+use sdnfv_proto::Packet;
+use sdnfv_ring::{spsc_ring, Consumer, Producer, SharedPacket};
+
+use crate::cache::LookupCache;
+use crate::conflict::resolve_parallel_verdicts;
+use crate::messages::apply_nf_message;
+use crate::stats::HostStats;
+
+/// Configuration of a [`ThreadedHost`].
+#[derive(Debug, Clone)]
+pub struct ThreadedHostConfig {
+    /// Capacity of each NF input ring.
+    pub nf_ring_capacity: usize,
+    /// Capacity of the ingress ring packets are injected into.
+    pub ingress_capacity: usize,
+    /// Capacity of the egress ring transmitted packets appear on.
+    pub egress_capacity: usize,
+    /// Whether the RX/TX threads cache flow-table lookups (§4.2).
+    pub enable_lookup_cache: bool,
+    /// Whether NFs are trusted when applying `ChangeDefault` messages.
+    pub trusted_nfs: bool,
+}
+
+impl Default for ThreadedHostConfig {
+    fn default() -> Self {
+        ThreadedHostConfig {
+            nf_ring_capacity: 1024,
+            ingress_capacity: 8192,
+            egress_capacity: 8192,
+            enable_lookup_cache: true,
+            trusted_nfs: false,
+        }
+    }
+}
+
+/// A packet that left the host: the egress port and the frame.
+pub type HostOutput = (Port, Packet);
+
+struct WorkItem {
+    shared: SharedPacket,
+    key: FlowKey,
+    /// The step used for the lookup after this dispatch completes (the last
+    /// service in the dispatched action list).
+    exit_service: ServiceId,
+    collector: Arc<Mutex<Vec<Verdict>>>,
+}
+
+struct DoneItem {
+    shared: SharedPacket,
+    key: FlowKey,
+    exit_service: ServiceId,
+    collector: Arc<Mutex<Vec<Verdict>>>,
+}
+
+/// A handle to a running multi-threaded NF host.
+pub struct ThreadedHost {
+    ingress: Producer<Packet>,
+    egress: Consumer<HostOutput>,
+    stats: HostStats,
+    table: SharedFlowTable,
+    running: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for ThreadedHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedHost")
+            .field("threads", &self.handles.len())
+            .field("rules", &self.table.len())
+            .finish()
+    }
+}
+
+impl ThreadedHost {
+    /// Starts the host threads.
+    ///
+    /// `table` holds the (already configured) flow rules; `nfs` lists the NF
+    /// instances to run, one thread each, keyed by the service they provide.
+    pub fn start(
+        table: SharedFlowTable,
+        nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)>,
+        config: ThreadedHostConfig,
+    ) -> Self {
+        let stats = HostStats::new();
+        let running = Arc::new(AtomicBool::new(true));
+        let epoch = Instant::now();
+
+        let (ingress_tx, ingress_rx) = spsc_ring::<Packet>(config.ingress_capacity.max(1));
+        let (egress_tx, egress_rx) = spsc_ring::<HostOutput>(config.egress_capacity.max(1));
+        // The egress ring technically has two producing threads (RX for
+        // rules that forward without touching an NF, TX for everything
+        // else); the producer handle is shared behind a mutex since egress
+        // is off the per-NF fast path.
+        let egress_producer: SharedEgress = Arc::new(Mutex::new(egress_tx));
+
+        // Per-NF rings. Each NF has two input rings (fed by RX and TX
+        // respectively, so each ring keeps a single producer) and one done
+        // ring consumed by the TX thread.
+        let mut from_rx_producers = Vec::new();
+        let mut from_tx_producers = Vec::new();
+        let mut done_consumers = Vec::new();
+        let mut nf_threads_setup = Vec::new();
+        let mut service_instances: HashMap<ServiceId, Vec<usize>> = HashMap::new();
+
+        for (index, (service, nf)) in nfs.into_iter().enumerate() {
+            let cap = config.nf_ring_capacity.max(1);
+            let (rx_p, rx_c) = spsc_ring::<WorkItem>(cap);
+            let (tx_p, tx_c) = spsc_ring::<WorkItem>(cap);
+            let (done_p, done_c) = spsc_ring::<DoneItem>(cap);
+            from_rx_producers.push(rx_p);
+            from_tx_producers.push(tx_p);
+            done_consumers.push(done_c);
+            service_instances.entry(service).or_default().push(index);
+            nf_threads_setup.push((service, nf, rx_c, tx_c, done_p));
+        }
+
+        let mut handles = Vec::new();
+
+        // NF threads.
+        for (service, nf, rx_c, tx_c, done_p) in nf_threads_setup {
+            let running = Arc::clone(&running);
+            let stats = stats.clone();
+            let table = table.clone();
+            let trusted = config.trusted_nfs;
+            let epoch_clone = epoch;
+            handles.push(std::thread::spawn(move || {
+                nf_thread_loop(
+                    service, nf, rx_c, tx_c, done_p, running, stats, table, trusted, epoch_clone,
+                );
+            }));
+        }
+
+        // RX thread.
+        {
+            let running = Arc::clone(&running);
+            let stats = stats.clone();
+            let table = table.clone();
+            let service_instances = service_instances.clone();
+            let egress = Arc::clone(&egress_producer);
+            let enable_cache = config.enable_lookup_cache;
+            handles.push(std::thread::spawn(move || {
+                rx_thread_loop(
+                    ingress_rx,
+                    from_rx_producers,
+                    service_instances,
+                    egress,
+                    table,
+                    stats,
+                    running,
+                    enable_cache,
+                );
+            }));
+        }
+
+        // TX thread.
+        {
+            let running = Arc::clone(&running);
+            let stats = stats.clone();
+            let table = table.clone();
+            let enable_cache = config.enable_lookup_cache;
+            let egress = Arc::clone(&egress_producer);
+            handles.push(std::thread::spawn(move || {
+                tx_thread_loop(
+                    done_consumers,
+                    from_tx_producers,
+                    service_instances,
+                    egress,
+                    table,
+                    stats,
+                    running,
+                    enable_cache,
+                );
+            }));
+        }
+
+        ThreadedHost {
+            ingress: ingress_tx,
+            egress: egress_rx,
+            stats,
+            table,
+            running,
+            handles,
+            epoch,
+        }
+    }
+
+    /// Injects a packet into the host, stamping its receive timestamp.
+    /// Returns `false` (and counts an overflow drop) if the ingress ring is
+    /// full.
+    pub fn inject(&self, mut packet: Packet) -> bool {
+        packet.timestamp_ns = self.now_ns();
+        match self.ingress.push(packet) {
+            Ok(()) => true,
+            Err(_) => {
+                self.stats.add_overflow_drops(1);
+                false
+            }
+        }
+    }
+
+    /// Nanoseconds since the host started (the clock used for packet
+    /// timestamps).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Retrieves one transmitted packet, if any.
+    pub fn poll_egress(&self) -> Option<HostOutput> {
+        self.egress.pop()
+    }
+
+    /// Number of packets currently waiting in the ingress ring.
+    pub fn ingress_depth(&self) -> usize {
+        self.ingress.len()
+    }
+
+    /// Host statistics.
+    pub fn stats(&self) -> &HostStats {
+        &self.stats
+    }
+
+    /// The host's shared flow table.
+    pub fn flow_table(&self) -> &SharedFlowTable {
+        &self.table
+    }
+
+    /// Stops all threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.running.store(false, Ordering::Release);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadedHost {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::Release);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The egress producer shared (behind a mutex) by the RX and TX threads; see
+/// the comment at its construction in [`ThreadedHost::start`].
+type SharedEgress = Arc<Mutex<Producer<HostOutput>>>;
+
+#[allow(clippy::too_many_arguments)]
+fn rx_thread_loop(
+    ingress: Consumer<Packet>,
+    nf_rings: Vec<Producer<WorkItem>>,
+    service_instances: HashMap<ServiceId, Vec<usize>>,
+    egress: SharedEgress,
+    table: SharedFlowTable,
+    stats: HostStats,
+    running: Arc<AtomicBool>,
+    enable_cache: bool,
+) {
+    let mut cache = LookupCache::new(4096);
+    let mut idle: u32 = 0;
+    while running.load(Ordering::Acquire) {
+        let Some(packet) = ingress.pop() else {
+            idle_backoff(&mut idle);
+            continue;
+        };
+        idle = 0;
+        stats.add_received(1);
+        let Some(key) = packet.flow_key() else {
+            stats.add_dropped(1);
+            continue;
+        };
+        let step = RulePort::Nic(packet.ingress_port);
+        let decision = lookup_with_cache(&table, &mut cache, enable_cache, step, &key);
+        let Some(decision) = decision else {
+            // No controller thread is attached in the threaded runtime; a
+            // miss is counted and the packet is dropped.
+            stats.add_controller_punts(1);
+            continue;
+        };
+        dispatch(
+            packet,
+            key,
+            &decision.actions,
+            decision.parallel,
+            &nf_rings,
+            &service_instances,
+            &egress,
+            &stats,
+        );
+    }
+}
+
+/// Dispatches a packet according to an action list (shared by RX and TX).
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    packet: Packet,
+    key: FlowKey,
+    actions: &[Action],
+    parallel: bool,
+    nf_rings: &[Producer<WorkItem>],
+    service_instances: &HashMap<ServiceId, Vec<usize>>,
+    egress: &SharedEgress,
+    stats: &HostStats,
+) {
+    if parallel {
+        let targets: Vec<ServiceId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::ToService(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        if targets.is_empty() {
+            stats.add_dropped(1);
+            return;
+        }
+        let indices: Vec<usize> = targets
+            .iter()
+            .filter_map(|s| pick_instance(service_instances, nf_rings, *s))
+            .collect();
+        if indices.len() != targets.len() || indices.iter().any(|i| nf_rings[*i].is_full()) {
+            stats.add_overflow_drops(1);
+            return;
+        }
+        stats.add_parallel_dispatches(1);
+        let shared = SharedPacket::new(packet, indices.len() as u32);
+        let collector = Arc::new(Mutex::new(Vec::with_capacity(indices.len())));
+        let exit_service = *targets.last().expect("targets is non-empty");
+        for index in indices {
+            let item = WorkItem {
+                shared: shared.clone(),
+                key,
+                exit_service,
+                collector: Arc::clone(&collector),
+            };
+            if nf_rings[index].push(item).is_err() {
+                // The capacity check above makes this unlikely; account for
+                // the reader that will never run.
+                stats.add_overflow_drops(1);
+                shared.complete_one();
+            }
+        }
+        return;
+    }
+
+    match actions.first().copied() {
+        Some(Action::ToService(service)) => {
+            match pick_instance(service_instances, nf_rings, service) {
+                Some(index) => {
+                    let shared = SharedPacket::new(packet, 1);
+                    let item = WorkItem {
+                        shared,
+                        key,
+                        exit_service: service,
+                        collector: Arc::new(Mutex::new(Vec::with_capacity(1))),
+                    };
+                    if nf_rings[index].push(item).is_err() {
+                        stats.add_overflow_drops(1);
+                    }
+                }
+                None => stats.add_dropped(1),
+            }
+        }
+        Some(Action::ToPort(port)) => {
+            if egress.lock().push((port, packet)).is_err() {
+                stats.add_overflow_drops(1);
+            } else {
+                stats.add_transmitted(1);
+            }
+        }
+        Some(Action::ToController) => stats.add_controller_punts(1),
+        Some(Action::Drop) | None => stats.add_dropped(1),
+    }
+}
+
+/// Picks the least-loaded instance (by ring occupancy) of a service.
+fn pick_instance(
+    service_instances: &HashMap<ServiceId, Vec<usize>>,
+    nf_rings: &[Producer<WorkItem>],
+    service: ServiceId,
+) -> Option<usize> {
+    let candidates = service_instances.get(&service)?;
+    candidates
+        .iter()
+        .copied()
+        .min_by_key(|index| nf_rings[*index].len())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn nf_thread_loop(
+    service: ServiceId,
+    mut nf: Box<dyn NetworkFunction>,
+    from_rx: Consumer<WorkItem>,
+    from_tx: Consumer<WorkItem>,
+    done: Producer<DoneItem>,
+    running: Arc<AtomicBool>,
+    stats: HostStats,
+    table: SharedFlowTable,
+    trusted: bool,
+    epoch: Instant,
+) {
+    let mut ctx = NfContext::new(0);
+    {
+        nf.on_start(&mut ctx);
+        for message in ctx.take_messages() {
+            stats.add_nf_messages(1);
+            table.with_write(|t| apply_nf_message(t, service, &message, trusted));
+        }
+    }
+    let mut idle: u32 = 0;
+    while running.load(Ordering::Acquire) {
+        let item = from_rx.pop().or_else(|| from_tx.pop());
+        let Some(item) = item else {
+            idle_backoff(&mut idle);
+            continue;
+        };
+        idle = 0;
+        ctx.set_now_ns(epoch.elapsed().as_nanos() as u64);
+        let verdict = if nf.read_only() {
+            item.shared.with_read(|p| nf.process(p, &mut ctx))
+        } else {
+            item.shared.with_write(|p| nf.process_mut(p, &mut ctx))
+        };
+        stats.add_nf_invocations(1);
+        for message in ctx.take_messages() {
+            stats.add_nf_messages(1);
+            table.with_write(|t| apply_nf_message(t, service, &message, trusted));
+        }
+        item.collector.lock().push(verdict);
+        let last = item.shared.complete_one();
+        if last {
+            let done_item = DoneItem {
+                shared: item.shared,
+                key: item.key,
+                exit_service: item.exit_service,
+                collector: item.collector,
+            };
+            if done.push(done_item).is_err() {
+                stats.add_overflow_drops(1);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tx_thread_loop(
+    done_rings: Vec<Consumer<DoneItem>>,
+    nf_rings: Vec<Producer<WorkItem>>,
+    service_instances: HashMap<ServiceId, Vec<usize>>,
+    egress_shared: SharedEgress,
+    table: SharedFlowTable,
+    stats: HostStats,
+    running: Arc<AtomicBool>,
+    enable_cache: bool,
+) {
+    let mut cache = LookupCache::new(4096);
+    let mut idle: u32 = 0;
+    while running.load(Ordering::Acquire) {
+        let mut did_work = false;
+        for ring in &done_rings {
+            let Some(item) = ring.pop() else { continue };
+            did_work = true;
+            let verdicts = item.collector.lock().clone();
+            let resolved = resolve_parallel_verdicts(&verdicts);
+            let step = RulePort::Service(item.exit_service);
+            let action = match resolved {
+                Verdict::Discard => Action::Drop,
+                Verdict::Default => {
+                    match lookup_with_cache(&table, &mut cache, enable_cache, step, &item.key) {
+                        Some(decision) => {
+                            // Follow the whole decision (it may itself be a
+                            // parallel rule or a multi-action list).
+                            forward_decision(
+                                item,
+                                &decision.actions,
+                                decision.parallel,
+                                &nf_rings,
+                                &service_instances,
+                                &egress_shared,
+                                &stats,
+                            );
+                            continue;
+                        }
+                        None => Action::ToController,
+                    }
+                }
+                other => {
+                    let requested = other.as_action().expect("non-default verdict");
+                    match lookup_with_cache(&table, &mut cache, enable_cache, step, &item.key) {
+                        Some(decision) if decision.allows(requested) => requested,
+                        Some(decision) => decision.default_action().unwrap_or(Action::Drop),
+                        None => requested,
+                    }
+                }
+            };
+            forward_decision(
+                item,
+                &[action],
+                false,
+                &nf_rings,
+                &service_instances,
+                &egress_shared,
+                &stats,
+            );
+        }
+        if !did_work {
+            idle_backoff(&mut idle);
+        } else {
+            idle = 0;
+        }
+    }
+}
+
+/// Forwards a completed packet according to an action list by re-arming its
+/// shared buffer and dispatching again (or transmitting / dropping it).
+#[allow(clippy::too_many_arguments)]
+fn forward_decision(
+    item: DoneItem,
+    actions: &[Action],
+    parallel: bool,
+    nf_rings: &[Producer<WorkItem>],
+    service_instances: &HashMap<ServiceId, Vec<usize>>,
+    egress: &SharedEgress,
+    stats: &HostStats,
+) {
+    // Fast paths that do not need to re-dispatch the descriptor.
+    if !parallel {
+        match actions.first().copied() {
+            Some(Action::ToPort(port)) => {
+                let packet = item.shared.clone_packet();
+                if egress.lock().push((port, packet)).is_err() {
+                    stats.add_overflow_drops(1);
+                } else {
+                    stats.add_transmitted(1);
+                }
+                return;
+            }
+            Some(Action::Drop) | None => {
+                stats.add_dropped(1);
+                return;
+            }
+            Some(Action::ToController) => {
+                stats.add_controller_punts(1);
+                return;
+            }
+            Some(Action::ToService(_)) => {}
+        }
+    }
+    // Re-dispatch to one or more NFs: re-arm the shared buffer (all previous
+    // readers have completed) and reuse the zero-copy path.
+    let targets: Vec<ServiceId> = actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::ToService(s) => Some(*s),
+            _ => None,
+        })
+        .collect();
+    if targets.is_empty() {
+        stats.add_dropped(1);
+        return;
+    }
+    let indices: Vec<usize> = targets
+        .iter()
+        .filter_map(|s| pick_instance(service_instances, nf_rings, *s))
+        .collect();
+    if indices.len() != targets.len() || indices.iter().any(|i| nf_rings[*i].is_full()) {
+        stats.add_overflow_drops(1);
+        return;
+    }
+    if parallel {
+        stats.add_parallel_dispatches(1);
+    }
+    item.shared.re_arm(indices.len() as u32);
+    let collector = Arc::new(Mutex::new(Vec::with_capacity(indices.len())));
+    let exit_service = *targets.last().expect("targets is non-empty");
+    for index in indices {
+        let work = WorkItem {
+            shared: item.shared.clone(),
+            key: item.key,
+            exit_service,
+            collector: Arc::clone(&collector),
+        };
+        if nf_rings[index].push(work).is_err() {
+            stats.add_overflow_drops(1);
+            item.shared.complete_one();
+        }
+    }
+}
+
+fn lookup_with_cache(
+    table: &SharedFlowTable,
+    cache: &mut LookupCache,
+    enabled: bool,
+    step: RulePort,
+    key: &FlowKey,
+) -> Option<sdnfv_flowtable::Decision> {
+    if enabled {
+        let generation = table.generation();
+        if let Some(hit) = cache.get(key, step, generation) {
+            return Some(hit);
+        }
+        let decision = table.lookup(step, key)?;
+        cache.put(key, step, generation, decision.clone());
+        Some(decision)
+    } else {
+        table.lookup(step, key)
+    }
+}
+
+fn idle_backoff(idle: &mut u32) {
+    *idle += 1;
+    if *idle < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_flowtable::{FlowMatch, FlowRule};
+    use sdnfv_graph::{catalog, CompileOptions};
+    use sdnfv_nf::nfs::{ComputeNf, NoOpNf};
+    use sdnfv_proto::packet::PacketBuilder;
+    use std::time::Duration;
+
+    fn packet(src_port: u16) -> Packet {
+        PacketBuilder::udp()
+            .src_ip([10, 0, 0, 1])
+            .dst_ip([10, 0, 0, 2])
+            .src_port(src_port)
+            .dst_port(80)
+            .ingress_port(0)
+            .total_size(256)
+            .build()
+    }
+
+    fn collect_outputs(host: &ThreadedHost, expected: usize) -> Vec<HostOutput> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut out = Vec::new();
+        while out.len() < expected && Instant::now() < deadline {
+            if let Some(item) = host.poll_egress() {
+                out.push(item);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn zero_nf_forwarding() {
+        let table = SharedFlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToPort(1)],
+        ));
+        let host = ThreadedHost::start(table, vec![], ThreadedHostConfig::default());
+        for i in 0..50 {
+            assert!(host.inject(packet(i)));
+        }
+        let outputs = collect_outputs(&host, 50);
+        assert_eq!(outputs.len(), 50);
+        assert!(outputs.iter().all(|(port, _)| *port == 1));
+        let snap = host.stats().snapshot();
+        assert_eq!(snap.received, 50);
+        assert_eq!(snap.transmitted, 50);
+        host.shutdown();
+    }
+
+    #[test]
+    fn sequential_chain_through_threads() {
+        let (graph, ids) = catalog::chain(&[("a", true), ("b", true), ("c", true)]);
+        let table = SharedFlowTable::new();
+        for rule in graph.compile(&CompileOptions::default()) {
+            table.insert(rule);
+        }
+        let nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)> = ids
+            .iter()
+            .map(|id| (*id, Box::new(NoOpNf::new()) as Box<dyn NetworkFunction>))
+            .collect();
+        let host = ThreadedHost::start(table, nfs, ThreadedHostConfig::default());
+        for i in 0..100 {
+            assert!(host.inject(packet(i)));
+        }
+        let outputs = collect_outputs(&host, 100);
+        assert_eq!(outputs.len(), 100);
+        let snap = host.stats().snapshot();
+        assert_eq!(snap.nf_invocations, 300);
+        assert_eq!(snap.transmitted, 100);
+        assert_eq!(snap.dropped, 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn parallel_chain_through_threads() {
+        let (graph, ids) = catalog::chain(&[("a", true), ("b", true)]);
+        let table = SharedFlowTable::new();
+        for rule in graph.compile(&CompileOptions {
+            enable_parallel: true,
+            ..CompileOptions::default()
+        }) {
+            table.insert(rule);
+        }
+        let nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)> = ids
+            .iter()
+            .map(|id| (*id, Box::new(ComputeNf::new(10)) as Box<dyn NetworkFunction>))
+            .collect();
+        let host = ThreadedHost::start(table, nfs, ThreadedHostConfig::default());
+        for i in 0..50 {
+            assert!(host.inject(packet(i)));
+        }
+        let outputs = collect_outputs(&host, 50);
+        assert_eq!(outputs.len(), 50);
+        let snap = host.stats().snapshot();
+        assert_eq!(snap.parallel_dispatches, 50);
+        assert_eq!(snap.nf_invocations, 100);
+        host.shutdown();
+    }
+
+    #[test]
+    fn table_miss_counts_punt() {
+        let host = ThreadedHost::start(
+            SharedFlowTable::new(),
+            vec![],
+            ThreadedHostConfig::default(),
+        );
+        assert!(host.inject(packet(1)));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while host.stats().snapshot().controller_punts == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(host.stats().snapshot().controller_punts, 1);
+        host.shutdown();
+    }
+
+    #[test]
+    fn timestamps_allow_latency_measurement() {
+        let table = SharedFlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToPort(1)],
+        ));
+        let host = ThreadedHost::start(table, vec![], ThreadedHostConfig::default());
+        assert!(host.inject(packet(1)));
+        let outputs = collect_outputs(&host, 1);
+        let (_, pkt) = &outputs[0];
+        let latency = host.now_ns().saturating_sub(pkt.timestamp_ns);
+        assert!(latency > 0);
+        assert!(latency < 5_000_000_000, "latency should be far below 5s");
+        host.shutdown();
+    }
+}

@@ -1,0 +1,139 @@
+//! Counters describing the activity of one NF host.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A snapshot of the host counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostStatsSnapshot {
+    /// Packets received from the wire (or the traffic generator).
+    pub received: u64,
+    /// Packets transmitted out a NIC port.
+    pub transmitted: u64,
+    /// Packets dropped by an NF verdict or a drop rule.
+    pub dropped: u64,
+    /// Packets dropped because a ring or the packet pool was full.
+    pub overflow_drops: u64,
+    /// Packets punted to the SDN controller on a flow-table miss.
+    pub controller_punts: u64,
+    /// Packets dispatched to more than one NF in parallel.
+    pub parallel_dispatches: u64,
+    /// Total NF invocations.
+    pub nf_invocations: u64,
+    /// Cross-layer messages emitted by NFs.
+    pub nf_messages: u64,
+}
+
+/// Thread-safe counters shared by all threads of one host.
+#[derive(Debug, Clone, Default)]
+pub struct HostStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    received: AtomicU64,
+    transmitted: AtomicU64,
+    dropped: AtomicU64,
+    overflow_drops: AtomicU64,
+    controller_punts: AtomicU64,
+    parallel_dispatches: AtomicU64,
+    nf_invocations: AtomicU64,
+    nf_messages: AtomicU64,
+}
+
+macro_rules! counter {
+    ($inc:ident, $get:ident, $field:ident, $doc:literal) => {
+        #[doc = concat!("Increments the number of ", $doc, ".")]
+        pub fn $inc(&self, n: u64) {
+            self.inner.$field.fetch_add(n, Ordering::Relaxed);
+        }
+
+        #[doc = concat!("Returns the number of ", $doc, ".")]
+        pub fn $get(&self) -> u64 {
+            self.inner.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl HostStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        HostStats::default()
+    }
+
+    counter!(add_received, received, received, "packets received");
+    counter!(add_transmitted, transmitted, transmitted, "packets transmitted");
+    counter!(add_dropped, dropped, dropped, "packets dropped by NFs or rules");
+    counter!(
+        add_overflow_drops,
+        overflow_drops,
+        overflow_drops,
+        "packets dropped due to full rings or pools"
+    );
+    counter!(
+        add_controller_punts,
+        controller_punts,
+        controller_punts,
+        "packets punted to the SDN controller"
+    );
+    counter!(
+        add_parallel_dispatches,
+        parallel_dispatches,
+        parallel_dispatches,
+        "packets dispatched to parallel NFs"
+    );
+    counter!(add_nf_invocations, nf_invocations, nf_invocations, "NF invocations");
+    counter!(add_nf_messages, nf_messages, nf_messages, "NF cross-layer messages");
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> HostStatsSnapshot {
+        HostStatsSnapshot {
+            received: self.received(),
+            transmitted: self.transmitted(),
+            dropped: self.dropped(),
+            overflow_drops: self.overflow_drops(),
+            controller_punts: self.controller_punts(),
+            parallel_dispatches: self.parallel_dispatches(),
+            nf_invocations: self.nf_invocations(),
+            nf_messages: self.nf_messages(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = HostStats::new();
+        stats.add_received(10);
+        stats.add_received(5);
+        stats.add_transmitted(8);
+        stats.add_dropped(2);
+        stats.add_overflow_drops(1);
+        stats.add_controller_punts(3);
+        stats.add_parallel_dispatches(4);
+        stats.add_nf_invocations(20);
+        stats.add_nf_messages(1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.received, 15);
+        assert_eq!(snap.transmitted, 8);
+        assert_eq!(snap.dropped, 2);
+        assert_eq!(snap.overflow_drops, 1);
+        assert_eq!(snap.controller_punts, 3);
+        assert_eq!(snap.parallel_dispatches, 4);
+        assert_eq!(snap.nf_invocations, 20);
+        assert_eq!(snap.nf_messages, 1);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let stats = HostStats::new();
+        let clone = stats.clone();
+        stats.add_received(1);
+        clone.add_received(1);
+        assert_eq!(stats.received(), 2);
+    }
+}

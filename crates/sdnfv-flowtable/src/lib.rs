@@ -1,0 +1,28 @@
+//! Service-ID-extended match/action flow tables for the SDNFV data plane.
+//!
+//! The paper extends OpenFlow-style flow tables in two ways (§3.3):
+//!
+//! 1. every rule is keyed not only by packet match fields but also by the
+//!    *step* it applies to — either a NIC port (for packets entering the
+//!    host) or the Service ID of the NF that just finished with the packet;
+//! 2. every rule carries a *list* of actions plus a flag saying whether the
+//!    list is a set of parallel destinations (read-only NFs that may process
+//!    the packet simultaneously) or a menu of allowed next hops from which
+//!    the NF picks — with the first entry being the default.
+//!
+//! This crate provides those tables: [`FlowMatch`] wildcard matching,
+//! [`FlowRule`]s, the single-threaded [`FlowTable`] and the lock-protected
+//! [`SharedFlowTable`] used by the multi-threaded NF Manager.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod matching;
+pub mod rule;
+pub mod table;
+pub mod types;
+
+pub use matching::{FlowMatch, IpPrefix};
+pub use rule::{Action, Decision, FlowRule, RuleId};
+pub use table::{FlowTable, SharedFlowTable, TableStats};
+pub use types::{RulePort, ServiceId};

@@ -1,0 +1,609 @@
+//! The per-host flow table and its thread-safe wrapper.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sdnfv_proto::flow::FlowKey;
+
+use crate::matching::FlowMatch;
+use crate::rule::{Action, Decision, FlowRule, RuleId};
+use crate::types::{RulePort, ServiceId};
+
+/// Counters exported by a [`FlowTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableStats {
+    /// Total lookups performed.
+    pub lookups: u64,
+    /// Lookups that matched a rule.
+    pub hits: u64,
+    /// Lookups that matched no rule (table misses, i.e. controller punts).
+    pub misses: u64,
+}
+
+/// The flow table held by one NF Manager.
+///
+/// Rules are matched by priority (highest first), then by match specificity,
+/// then by recency of installation. Exact per-flow rules are additionally
+/// indexed by their `(step, 5-tuple)` key so the common case — a packet of an
+/// established flow finishing at a service — is a hash lookup.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    rules: HashMap<RuleId, FlowRule>,
+    /// Lookup order: rule ids sorted by (priority desc, specificity desc,
+    /// insertion order desc).
+    order: Vec<RuleId>,
+    exact: HashMap<(RulePort, FlowKey), RuleId>,
+    next_id: u64,
+    hit_counts: HashMap<RuleId, u64>,
+    stats: TableStats,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Installs a rule and returns its id.
+    pub fn insert(&mut self, rule: FlowRule) -> RuleId {
+        let id = RuleId(self.next_id);
+        self.next_id += 1;
+        if let Some((step, key)) = rule.matcher.exact_key() {
+            self.exact.insert((step, key), id);
+        }
+        self.rules.insert(id, rule);
+        self.hit_counts.insert(id, 0);
+        self.rebuild_order();
+        id
+    }
+
+    /// Removes a rule.
+    pub fn remove(&mut self, id: RuleId) -> Option<FlowRule> {
+        let rule = self.rules.remove(&id)?;
+        self.hit_counts.remove(&id);
+        if let Some(key) = rule.matcher.exact_key() {
+            if self.exact.get(&key) == Some(&id) {
+                self.exact.remove(&key);
+            }
+        }
+        self.rebuild_order();
+        Some(rule)
+    }
+
+    fn rebuild_order(&mut self) {
+        let mut ids: Vec<RuleId> = self.rules.keys().copied().collect();
+        ids.sort_by(|a, b| {
+            let ra = &self.rules[a];
+            let rb = &self.rules[b];
+            rb.priority
+                .cmp(&ra.priority)
+                .then(rb.matcher.specificity().cmp(&ra.matcher.specificity()))
+                .then(b.0.cmp(&a.0))
+        });
+        self.order = ids;
+    }
+
+    /// Looks up the rule governing a packet of flow `key` at `step`.
+    pub fn lookup(&mut self, step: RulePort, key: &FlowKey) -> Option<Decision> {
+        self.stats.lookups += 1;
+        let id = self.find_rule_id(step, key);
+        match id {
+            Some(id) => {
+                self.stats.hits += 1;
+                *self.hit_counts.entry(id).or_insert(0) += 1;
+                let rule = &self.rules[&id];
+                Some(Decision {
+                    rule_id: id,
+                    actions: rule.actions.clone(),
+                    parallel: rule.parallel,
+                })
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read-only lookup that does not update statistics (used by tests and by
+    /// the control plane when validating messages).
+    pub fn peek(&self, step: RulePort, key: &FlowKey) -> Option<&FlowRule> {
+        self.find_rule_id(step, key).map(|id| &self.rules[&id])
+    }
+
+    fn find_rule_id(&self, step: RulePort, key: &FlowKey) -> Option<RuleId> {
+        // Exact rules take precedence over any wildcard of equal priority;
+        // but a higher-priority wildcard still wins, so consult the ordered
+        // scan and use the exact index only as a fast path when the winning
+        // priority band contains the exact rule.
+        if let Some(&exact_id) = self.exact.get(&(step, *key)) {
+            let exact_priority = self.rules[&exact_id].priority;
+            let better = self.order.iter().find(|id| {
+                let rule = &self.rules[id];
+                rule.priority > exact_priority && rule.matcher.matches(step, key)
+            });
+            return Some(better.copied().unwrap_or(exact_id));
+        }
+        self.order
+            .iter()
+            .find(|id| self.rules[id].matcher.matches(step, key))
+            .copied()
+    }
+
+    /// Returns the rule with the given id.
+    pub fn rule(&self, id: RuleId) -> Option<&FlowRule> {
+        self.rules.get(&id)
+    }
+
+    /// Returns the id of the exact per-flow rule installed for `(step, key)`,
+    /// if one exists (wildcard rules are not considered).
+    pub fn exact_rule_id(&self, step: RulePort, key: &FlowKey) -> Option<RuleId> {
+        self.exact.get(&(step, *key)).copied()
+    }
+
+    /// Iterates over all installed rules.
+    pub fn rules(&self) -> impl Iterator<Item = (RuleId, &FlowRule)> {
+        self.order.iter().map(move |id| (*id, &self.rules[id]))
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` if the table has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of times rule `id` has been hit.
+    pub fn hit_count(&self, id: RuleId) -> u64 {
+        self.hit_counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Lookup/hit/miss counters.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Updates the default action of every rule for service `service` whose
+    /// match intersects `flows` — the table half of `ChangeDefault(F, S, T)`.
+    ///
+    /// Returns the number of rules updated. Only rules that already allow
+    /// `new_default` (or rules explicitly forced with `force`) are changed,
+    /// preserving the service-graph constraint that NFs may only steer along
+    /// existing edges.
+    pub fn change_default(
+        &mut self,
+        service: ServiceId,
+        flows: &FlowMatch,
+        new_default: Action,
+        force: bool,
+    ) -> usize {
+        let mut updated = 0;
+        for rule in self.rules.values_mut() {
+            let applies = rule.matcher.step == Some(RulePort::Service(service))
+                && matches_intersect(&rule.matcher, flows);
+            if !applies {
+                continue;
+            }
+            if rule.allows(new_default) || force {
+                rule.set_default_action(new_default);
+                updated += 1;
+            }
+        }
+        updated
+    }
+
+    /// Retargets rules whose default currently points at `service` so that
+    /// they instead default to `new_default` — used for `SkipMe` (bypass the
+    /// service) and `RequestMe` (steal the default edge) messages.
+    ///
+    /// Returns the number of rules updated.
+    pub fn retarget_defaults(
+        &mut self,
+        pointing_at: ServiceId,
+        flows: &FlowMatch,
+        new_default: Action,
+    ) -> usize {
+        let mut updated = 0;
+        for rule in self.rules.values_mut() {
+            if rule.default_action() == Some(Action::ToService(pointing_at))
+                && matches_intersect(&rule.matcher, flows)
+                && new_default != Action::ToService(pointing_at)
+            {
+                rule.set_default_action(new_default);
+                updated += 1;
+            }
+        }
+        updated
+    }
+
+    /// Makes `action` the default of every rule that already lists it as an
+    /// allowed action and whose match intersects `flows` — the table half of
+    /// `RequestMe(F, S)` ("all nodes that have an edge to S set S as their
+    /// default action").
+    ///
+    /// Returns the number of rules updated.
+    pub fn promote_where_allowed(&mut self, flows: &FlowMatch, action: Action) -> usize {
+        let mut updated = 0;
+        for rule in self.rules.values_mut() {
+            if rule.allows(action)
+                && rule.default_action() != Some(action)
+                && matches_intersect(&rule.matcher, flows)
+            {
+                rule.set_default_action(action);
+                updated += 1;
+            }
+        }
+        updated
+    }
+
+    /// Rules whose step is the given service (the out-edges installed for it).
+    pub fn rules_for_service(&self, service: ServiceId) -> Vec<(RuleId, &FlowRule)> {
+        self.order
+            .iter()
+            .filter(|id| self.rules[id].matcher.step == Some(RulePort::Service(service)))
+            .map(|id| (*id, &self.rules[id]))
+            .collect()
+    }
+}
+
+/// Conservative intersection test between an installed rule's matcher and a
+/// message's flow filter: they intersect unless a field is constrained to
+/// provably disjoint values in both.
+fn matches_intersect(rule: &FlowMatch, filter: &FlowMatch) -> bool {
+    fn fields_disjoint<T: PartialEq + Copy>(a: Option<T>, b: Option<T>) -> bool {
+        matches!((a, b), (Some(x), Some(y)) if x != y)
+    }
+    if fields_disjoint(rule.src_port, filter.src_port)
+        || fields_disjoint(rule.dst_port, filter.dst_port)
+        || fields_disjoint(rule.protocol, filter.protocol)
+    {
+        return false;
+    }
+    let prefix_disjoint = |a: Option<crate::matching::IpPrefix>,
+                           b: Option<crate::matching::IpPrefix>| {
+        match (a, b) {
+            (Some(x), Some(y)) => !(x.contains(y.addr) || y.contains(x.addr)),
+            _ => false,
+        }
+    };
+    if prefix_disjoint(rule.src_ip, filter.src_ip) || prefix_disjoint(rule.dst_ip, filter.dst_ip) {
+        return false;
+    }
+    true
+}
+
+/// A [`FlowTable`] shareable between the NF Manager threads.
+///
+/// The lock sits outside the per-packet fast path in the paper's design
+/// (lookups are cached in packet descriptors); here a reader/writer lock
+/// keeps the table consistent between the RX thread, TX threads and the Flow
+/// Controller thread.
+#[derive(Debug, Clone, Default)]
+pub struct SharedFlowTable {
+    inner: Arc<RwLock<FlowTable>>,
+    /// Bumped on every mutation; lets lock-free per-thread lookup caches
+    /// detect staleness cheaply.
+    generation: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl SharedFlowTable {
+    /// Creates an empty shared table.
+    pub fn new() -> Self {
+        SharedFlowTable::default()
+    }
+
+    fn bump(&self) {
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// A counter that increases on every mutation of the table. Cached
+    /// lookup results tagged with an older generation must be discarded.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Installs a rule.
+    pub fn insert(&self, rule: FlowRule) -> RuleId {
+        self.bump();
+        self.inner.write().insert(rule)
+    }
+
+    /// Removes a rule.
+    pub fn remove(&self, id: RuleId) -> Option<FlowRule> {
+        self.bump();
+        self.inner.write().remove(id)
+    }
+
+    /// Looks up the decision for a flow at a step.
+    pub fn lookup(&self, step: RulePort, key: &FlowKey) -> Option<Decision> {
+        self.inner.write().lookup(step, key)
+    }
+
+    /// Runs `f` with read access to the underlying table.
+    pub fn with_read<R>(&self, f: impl FnOnce(&FlowTable) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with write access to the underlying table. The table
+    /// generation is bumped, so only use this for mutations.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut FlowTable) -> R) -> R {
+        self.bump();
+        f(&mut self.inner.write())
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Returns `true` if the table has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Lookup/hit/miss counters.
+    pub fn stats(&self) -> TableStats {
+        self.inner.read().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::IpPrefix;
+    use sdnfv_proto::flow::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn key(src_last: u8) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, src_last),
+            Ipv4Addr::new(192, 168, 1, 1),
+            1000,
+            80,
+            IpProtocol::Tcp,
+        )
+    }
+
+    fn svc(id: u32) -> ServiceId {
+        ServiceId::new(id)
+    }
+
+    #[test]
+    fn wildcard_rule_matches_everything_at_step() {
+        let mut table = FlowTable::new();
+        let id = table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(svc(1))],
+        ));
+        let d = table.lookup(RulePort::Nic(0), &key(1)).unwrap();
+        assert_eq!(d.rule_id, id);
+        assert_eq!(d.default_action(), Some(Action::ToService(svc(1))));
+        assert!(table.lookup(RulePort::Nic(1), &key(1)).is_none());
+        assert_eq!(table.stats().hits, 1);
+        assert_eq!(table.stats().misses, 1);
+        assert_eq!(table.hit_count(id), 1);
+    }
+
+    #[test]
+    fn exact_rule_beats_wildcard_of_same_priority() {
+        let mut table = FlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(svc(1))],
+        ));
+        let exact = table.insert(FlowRule::new(
+            FlowMatch::exact(RulePort::Nic(0), &key(7)),
+            vec![Action::ToService(svc(9))],
+        ));
+        assert_eq!(table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id, exact);
+        assert_eq!(
+            table
+                .lookup(RulePort::Nic(0), &key(8))
+                .unwrap()
+                .default_action(),
+            Some(Action::ToService(svc(1)))
+        );
+    }
+
+    #[test]
+    fn higher_priority_wildcard_beats_exact() {
+        let mut table = FlowTable::new();
+        let exact = table.insert(FlowRule::new(
+            FlowMatch::exact(RulePort::Nic(0), &key(7)),
+            vec![Action::ToService(svc(9))],
+        ));
+        let priority = table.insert(
+            FlowRule::new(FlowMatch::at_step(RulePort::Nic(0)), vec![Action::Drop])
+                .with_priority(100),
+        );
+        assert_eq!(
+            table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id,
+            priority
+        );
+        table.remove(priority);
+        assert_eq!(table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id, exact);
+    }
+
+    #[test]
+    fn remove_clears_exact_index() {
+        let mut table = FlowTable::new();
+        let id = table.insert(FlowRule::new(
+            FlowMatch::exact(RulePort::Nic(0), &key(7)),
+            vec![Action::Drop],
+        ));
+        assert_eq!(table.len(), 1);
+        let removed = table.remove(id).unwrap();
+        assert_eq!(removed.actions, vec![Action::Drop]);
+        assert!(table.lookup(RulePort::Nic(0), &key(7)).is_none());
+        assert!(table.is_empty());
+        assert!(table.remove(id).is_none());
+    }
+
+    #[test]
+    fn specificity_breaks_priority_ties() {
+        let mut table = FlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(svc(1))],
+        ));
+        let narrower = table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0))
+                .with_src_ip(IpPrefix::new(Ipv4Addr::new(10, 0, 0, 0), 24)),
+            vec![Action::ToService(svc(2))],
+        ));
+        assert_eq!(
+            table.lookup(RulePort::Nic(0), &key(5)).unwrap().rule_id,
+            narrower
+        );
+    }
+
+    #[test]
+    fn service_step_rules() {
+        let mut table = FlowTable::new();
+        let id = table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(3)),
+            vec![Action::ToService(svc(4)), Action::ToPort(1)],
+        ));
+        let d = table.lookup(RulePort::Service(svc(3)), &key(1)).unwrap();
+        assert_eq!(d.rule_id, id);
+        assert!(d.allows(Action::ToPort(1)));
+        assert_eq!(table.rules_for_service(svc(3)).len(), 1);
+        assert_eq!(table.rules_for_service(svc(4)).len(), 0);
+    }
+
+    #[test]
+    fn change_default_respects_allowed_actions() {
+        let mut table = FlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(1)),
+            vec![Action::ToService(svc(2)), Action::ToService(svc(3))],
+        ));
+        // svc(3) is allowed, so the default flips.
+        let updated = table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(3)), false);
+        assert_eq!(updated, 1);
+        assert_eq!(
+            table.peek(RulePort::Service(svc(1)), &key(1)).unwrap().default_action(),
+            Some(Action::ToService(svc(3)))
+        );
+        // svc(9) is not an allowed next hop: without force nothing changes.
+        let updated = table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(9)), false);
+        assert_eq!(updated, 0);
+        let updated = table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(9)), true);
+        assert_eq!(updated, 1);
+    }
+
+    #[test]
+    fn change_default_honours_flow_filter() {
+        let mut table = FlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(1)).with_src_port(1000),
+            vec![Action::ToPort(0), Action::ToService(svc(2))],
+        ));
+        // Filter on a disjoint src port: no rule should change.
+        let filter = FlowMatch::any().with_src_port(2000);
+        assert_eq!(table.change_default(svc(1), &filter, Action::ToService(svc(2)), false), 0);
+        // Overlapping filter applies.
+        let filter = FlowMatch::any().with_src_port(1000);
+        assert_eq!(table.change_default(svc(1), &filter, Action::ToService(svc(2)), false), 1);
+    }
+
+    #[test]
+    fn retarget_defaults_for_skipme() {
+        let mut table = FlowTable::new();
+        // Firewall (svc 1) defaults to Sampler (svc 2); Sampler defaults to port 0.
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(1)),
+            vec![Action::ToService(svc(2)), Action::ToPort(0)],
+        ));
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(2)),
+            vec![Action::ToPort(0)],
+        ));
+        // SkipMe(svc 2): everything defaulting to svc 2 now defaults to svc 2's default.
+        let updated = table.retarget_defaults(svc(2), &FlowMatch::any(), Action::ToPort(0));
+        assert_eq!(updated, 1);
+        assert_eq!(
+            table.peek(RulePort::Service(svc(1)), &key(1)).unwrap().default_action(),
+            Some(Action::ToPort(0))
+        );
+    }
+
+    #[test]
+    fn promote_where_allowed_is_requestme() {
+        let mut table = FlowTable::new();
+        // Sampler (svc 2) may send to the scrubber (svc 5) but defaults out.
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(2)),
+            vec![Action::ToPort(0), Action::ToService(svc(5))],
+        ));
+        // The firewall (svc 1) has no edge to the scrubber.
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(1)),
+            vec![Action::ToService(svc(2))],
+        ));
+        let updated = table.promote_where_allowed(&FlowMatch::any(), Action::ToService(svc(5)));
+        assert_eq!(updated, 1);
+        assert_eq!(
+            table.peek(RulePort::Service(svc(2)), &key(1)).unwrap().default_action(),
+            Some(Action::ToService(svc(5)))
+        );
+        assert_eq!(
+            table.peek(RulePort::Service(svc(1)), &key(1)).unwrap().default_action(),
+            Some(Action::ToService(svc(2)))
+        );
+        // Promoting again changes nothing (already the default).
+        assert_eq!(
+            table.promote_where_allowed(&FlowMatch::any(), Action::ToService(svc(5))),
+            0
+        );
+    }
+
+    #[test]
+    fn shared_table_generation_tracks_mutations() {
+        let shared = SharedFlowTable::new();
+        let g0 = shared.generation();
+        let id = shared.insert(FlowRule::new(FlowMatch::any(), vec![Action::Drop]));
+        assert!(shared.generation() > g0);
+        let g1 = shared.generation();
+        // Lookups do not bump the generation.
+        let _ = shared.lookup(RulePort::Nic(0), &key(1));
+        assert_eq!(shared.generation(), g1);
+        shared.remove(id);
+        assert!(shared.generation() > g1);
+    }
+
+    #[test]
+    fn shared_table_is_usable_from_clones() {
+        let shared = SharedFlowTable::new();
+        let clone = shared.clone();
+        shared.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(svc(1))],
+        ));
+        assert_eq!(clone.len(), 1);
+        assert!(!clone.is_empty());
+        assert!(clone.lookup(RulePort::Nic(0), &key(2)).is_some());
+        assert_eq!(clone.stats().hits, 1);
+        clone.with_write(|t| {
+            t.insert(FlowRule::new(FlowMatch::any(), vec![Action::Drop]));
+        });
+        assert_eq!(shared.with_read(|t| t.len()), 2);
+    }
+
+    #[test]
+    fn parallel_decision_propagates_flag() {
+        let mut table = FlowTable::new();
+        table.insert(FlowRule::parallel(
+            FlowMatch::at_step(svc(1)),
+            vec![Action::ToService(svc(2)), Action::ToService(svc(3))],
+        ));
+        let d = table.lookup(RulePort::Service(svc(1)), &key(1)).unwrap();
+        assert!(d.parallel);
+        assert_eq!(d.actions.len(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the optimized flow table agrees with a naive reference
+//! matcher on every lookup.
+
+use proptest::prelude::*;
+use sdnfv_flowtable::{Action, FlowMatch, FlowRule, FlowTable, IpPrefix, RulePort, ServiceId};
+use sdnfv_proto::flow::{FlowKey, IpProtocol};
+use std::net::Ipv4Addr;
+
+/// Strategy for a small universe of flow keys so rules and lookups collide.
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (0u8..4, 0u8..4, 0u16..4, 0u16..4, any::<bool>()).prop_map(|(s, d, sp, dp, tcp)| {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, s),
+            Ipv4Addr::new(10, 0, 1, d),
+            1000 + sp,
+            80 + dp,
+            if tcp { IpProtocol::Tcp } else { IpProtocol::Udp },
+        )
+    })
+}
+
+fn arb_step() -> impl Strategy<Value = RulePort> {
+    prop_oneof![
+        (0u16..3).prop_map(RulePort::Nic),
+        (1u32..5).prop_map(|s| RulePort::Service(ServiceId::new(s))),
+    ]
+}
+
+fn arb_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        proptest::option::of(arb_step()),
+        proptest::option::of((0u8..4, prop_oneof![Just(24u8), Just(32u8), Just(8u8)])),
+        proptest::option::of(0u16..4),
+        proptest::option::of(any::<bool>()),
+    )
+        .prop_map(|(step, src, dport, proto)| FlowMatch {
+            step,
+            src_ip: src.map(|(last, len)| IpPrefix::new(Ipv4Addr::new(10, 0, 0, last), len)),
+            dst_ip: None,
+            src_port: None,
+            dst_port: dport.map(|d| 80 + d),
+            protocol: proto.map(|tcp| if tcp { IpProtocol::Tcp } else { IpProtocol::Udp }),
+        })
+}
+
+fn arb_rule() -> impl Strategy<Value = FlowRule> {
+    (arb_match(), 1u32..6, 0u16..3, any::<bool>()).prop_map(|(m, svc, prio, parallel)| {
+        let mut rule = if parallel {
+            FlowRule::parallel(
+                m,
+                vec![
+                    Action::ToService(ServiceId::new(svc)),
+                    Action::ToService(ServiceId::new(svc + 1)),
+                ],
+            )
+        } else {
+            FlowRule::new(m, vec![Action::ToService(ServiceId::new(svc)), Action::ToPort(0)])
+        };
+        rule.priority = prio;
+        rule
+    })
+}
+
+/// Reference matcher: scan all rules, keep the best by (priority,
+/// specificity, recency) — the semantics the optimized table must provide.
+fn reference_lookup<'a>(
+    rules: &'a [(usize, FlowRule)],
+    step: RulePort,
+    key: &FlowKey,
+) -> Option<&'a (usize, FlowRule)> {
+    rules
+        .iter()
+        .filter(|(_, r)| r.matcher.matches(step, key))
+        .max_by(|(ia, a), (ib, b)| {
+            a.priority
+                .cmp(&b.priority)
+                .then(a.matcher.specificity().cmp(&b.matcher.specificity()))
+                .then(ia.cmp(ib))
+        })
+}
+
+proptest! {
+    #[test]
+    fn table_agrees_with_reference(
+        rules in proptest::collection::vec(arb_rule(), 1..20),
+        lookups in proptest::collection::vec((arb_step(), arb_key()), 1..40),
+    ) {
+        let mut table = FlowTable::new();
+        let indexed: Vec<(usize, FlowRule)> = rules.into_iter().enumerate().collect();
+        for (_, rule) in &indexed {
+            table.insert(rule.clone());
+        }
+        for (step, key) in lookups {
+            let got = table.lookup(step, &key);
+            let expected = reference_lookup(&indexed, step, &key);
+            match (got, expected) {
+                (None, None) => {}
+                (Some(d), Some((_, rule))) => {
+                    // The matched rule must have identical priority/actions to
+                    // the reference winner (several rules may tie exactly).
+                    prop_assert_eq!(&d.actions, &rule.actions);
+                    prop_assert_eq!(d.parallel, rule.parallel);
+                }
+                (got, expected) => {
+                    return Err(TestCaseError::fail(format!(
+                        "table and reference disagree: {got:?} vs {expected:?}"
+                    )));
+                }
+            }
+        }
+        let stats = table.stats();
+        prop_assert_eq!(stats.lookups, stats.hits + stats.misses);
+    }
+
+    #[test]
+    fn default_change_preserves_action_set_membership(
+        mut rule in arb_rule(),
+        new_svc in 1u32..8,
+    ) {
+        let new_action = Action::ToService(ServiceId::new(new_svc));
+        let before: std::collections::HashSet<_> = rule.actions.iter().copied().collect();
+        rule.set_default_action(new_action);
+        prop_assert_eq!(rule.default_action(), Some(new_action));
+        // Every previously-allowed action is still allowed.
+        for a in before {
+            prop_assert!(rule.allows(a));
+        }
+        // No duplicates introduced.
+        let unique: std::collections::HashSet<_> = rule.actions.iter().copied().collect();
+        prop_assert_eq!(unique.len(), rule.actions.len());
+    }
+}

@@ -1,0 +1,219 @@
+//! Ready-made service graphs for the paper's motivating applications
+//! (§2.2) plus simple chains used by benchmarks and the placement engine.
+
+use sdnfv_flowtable::ServiceId;
+
+use crate::graph::{ServiceGraph, ServiceGraphBuilder};
+use crate::node::GraphNode;
+
+/// Service ids of the anomaly-detection application (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnomalyServices {
+    /// Perimeter firewall every packet traverses first.
+    pub firewall: ServiceId,
+    /// Samples a subset of traffic for deeper analysis.
+    pub sampler: ServiceId,
+    /// Detects anomalous traffic surges across flows.
+    pub ddos: ServiceId,
+    /// Signature-based intrusion detection.
+    pub ids: ServiceId,
+    /// Deep inspection of flows flagged as suspicious.
+    pub scrubber: ServiceId,
+}
+
+/// Builds the anomaly-detection service graph:
+///
+/// ```text
+/// source → firewall → sampler → sink            (default path)
+///                        ↘ ddos → ids → sink    (sampled traffic)
+///                                   ↘ scrubber → sink (suspicious)
+/// ```
+///
+/// The DDoS detector and IDS are read-only and adjacent, so they form a
+/// parallel segment when parallel processing is enabled.
+pub fn anomaly_detection() -> (ServiceGraph, AnomalyServices) {
+    let mut b = ServiceGraphBuilder::new("anomaly-detection");
+    let firewall = b.add_service("firewall", true);
+    let sampler = b.add_service("sampler", true);
+    let ddos = b.add_service("ddos-detector", true);
+    let ids = b.add_service("ids", true);
+    let scrubber = b.add_service("scrubber", true);
+
+    b.add_default_edge(GraphNode::Source, firewall);
+    b.add_default_edge(firewall, sampler);
+    b.add_default_edge(sampler, GraphNode::Sink);
+    b.add_edge(sampler, ddos);
+    b.add_default_edge(ddos, ids);
+    b.add_default_edge(ids, GraphNode::Sink);
+    b.add_edge(ids, scrubber);
+    b.add_default_edge(scrubber, GraphNode::Sink);
+
+    let graph = b.build().expect("anomaly detection graph is well formed");
+    (
+        graph,
+        AnomalyServices {
+            firewall,
+            sampler,
+            ddos,
+            ids,
+            scrubber,
+        },
+    )
+}
+
+/// Service ids of the video-optimization application (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VideoServices {
+    /// Perimeter firewall.
+    pub firewall: ServiceId,
+    /// Detects video flows by inspecting HTTP headers.
+    pub video_detector: ServiceId,
+    /// Decides whether a video flow's quality should be adjusted.
+    pub policy_engine: ServiceId,
+    /// Checks whether transcoding retains acceptable quality.
+    pub quality_detector: ServiceId,
+    /// Transcodes video to a lower bit rate.
+    pub transcoder: ServiceId,
+    /// Caches transcoded content.
+    pub cache: ServiceId,
+    /// Rate-limits flows to the target bandwidth.
+    pub shaper: ServiceId,
+}
+
+/// Builds the video-optimization service graph:
+///
+/// ```text
+/// source → firewall → video-detector → policy-engine → quality-detector →
+///          transcoder → cache → shaper → sink
+/// ```
+///
+/// with escape edges letting the video detector send non-video flows
+/// straight out, and the policy engine / quality detector skip the
+/// transcoder for flows that need no adjustment.
+pub fn video_optimizer() -> (ServiceGraph, VideoServices) {
+    let mut b = ServiceGraphBuilder::new("video-optimizer");
+    let firewall = b.add_service("firewall", true);
+    let video_detector = b.add_service("video-detector", true);
+    let policy_engine = b.add_service("policy-engine", true);
+    let quality_detector = b.add_service("quality-detector", true);
+    let transcoder = b.add_service("transcoder", false);
+    let cache = b.add_service("cache", false);
+    let shaper = b.add_service("shaper", false);
+
+    b.add_default_edge(GraphNode::Source, firewall);
+    b.add_default_edge(firewall, video_detector);
+    b.add_default_edge(video_detector, policy_engine);
+    b.add_edge(video_detector, GraphNode::Sink);
+    b.add_default_edge(policy_engine, quality_detector);
+    b.add_edge(policy_engine, cache);
+    b.add_default_edge(quality_detector, transcoder);
+    b.add_edge(quality_detector, cache);
+    b.add_default_edge(transcoder, cache);
+    b.add_default_edge(cache, shaper);
+    b.add_default_edge(shaper, GraphNode::Sink);
+
+    let graph = b.build().expect("video optimizer graph is well formed");
+    (
+        graph,
+        VideoServices {
+            firewall,
+            video_detector,
+            policy_engine,
+            quality_detector,
+            transcoder,
+            cache,
+            shaper,
+        },
+    )
+}
+
+/// Builds a linear chain `source → s1 → s2 → … → sink` from `(name,
+/// read_only)` pairs, as used by the latency/throughput benchmarks (Table 2,
+/// Figures 6–7) and the placement experiments (J1–J5 in Figure 5).
+pub fn chain(services: &[(&str, bool)]) -> (ServiceGraph, Vec<ServiceId>) {
+    let mut b = ServiceGraphBuilder::new("chain");
+    let ids: Vec<ServiceId> = services
+        .iter()
+        .map(|(name, read_only)| b.add_service(*name, *read_only))
+        .collect();
+    let mut prev = GraphNode::Source;
+    for id in &ids {
+        b.add_default_edge(prev, *id);
+        prev = GraphNode::Service(*id);
+    }
+    b.add_default_edge(prev, GraphNode::Sink);
+    (b.build().expect("chains are always well formed"), ids)
+}
+
+/// The five-service chain (J1–J5) used throughout the placement evaluation.
+pub fn placement_chain() -> (ServiceGraph, Vec<ServiceId>) {
+    chain(&[
+        ("j1", true),
+        ("j2", true),
+        ("j3", true),
+        ("j4", true),
+        ("j5", false),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CompileOptions;
+
+    #[test]
+    fn anomaly_graph_structure() {
+        let (g, svc) = anomaly_detection();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.default_path(), vec![svc.firewall, svc.sampler]);
+        // Sampler can escalate to the DDoS detector.
+        assert!(g
+            .successors(svc.sampler)
+            .contains(&GraphNode::Service(svc.ddos)));
+        // DDoS and IDS form a parallel segment (both read-only, linear).
+        let segments = g.parallel_segments();
+        assert!(segments.contains(&vec![svc.ddos, svc.ids]));
+    }
+
+    #[test]
+    fn video_graph_structure() {
+        let (g, svc) = video_optimizer();
+        assert_eq!(g.len(), 7);
+        let path = g.default_path();
+        assert_eq!(
+            path,
+            vec![
+                svc.firewall,
+                svc.video_detector,
+                svc.policy_engine,
+                svc.quality_detector,
+                svc.transcoder,
+                svc.cache,
+                svc.shaper
+            ]
+        );
+        // The policy engine may bypass transcoding.
+        assert!(g
+            .successors(svc.policy_engine)
+            .contains(&GraphNode::Service(svc.cache)));
+        // And the video detector can send non-video flows straight out.
+        assert!(g.successors(svc.video_detector).contains(&GraphNode::Sink));
+    }
+
+    #[test]
+    fn chains_have_expected_length_and_compile() {
+        let (g, ids) = placement_chain();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(g.default_path(), ids);
+        let rules = g.compile(&CompileOptions::default());
+        // one ingress + one per service
+        assert_eq!(rules.len(), 6);
+    }
+
+    #[test]
+    fn single_service_chain() {
+        let (g, ids) = chain(&[("only", true)]);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(g.default_path(), ids);
+    }
+}

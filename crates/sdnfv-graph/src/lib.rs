@@ -1,0 +1,30 @@
+//! Service graph abstractions for SDNFV (paper §3.2).
+//!
+//! A *service graph* describes a network application as a DAG whose vertices
+//! are abstract network services (identified by [`ServiceId`]) and whose
+//! edges are the allowed next hops a packet may take when an NF finishes
+//! with it. One outgoing edge per vertex is marked as the *default* path;
+//! NFs that know nothing about the rest of the graph simply follow it, while
+//! application-aware NFs may pick any other edge on a per-packet basis.
+//!
+//! The crate provides:
+//!
+//! * [`ServiceGraph`] / [`ServiceGraphBuilder`] — construction and
+//!   validation (acyclicity, reachability, default-path checks),
+//! * parallel-segment detection — consecutive read-only services that may
+//!   safely analyse the same packet simultaneously (§3.3),
+//! * compilation of a graph (or the projection of a graph onto one host)
+//!   into the extended flow rules of [`sdnfv-flowtable`](sdnfv_flowtable),
+//! * [`catalog`] — ready-made graphs for the paper's two motivating
+//!   applications (anomaly detection and video optimization).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod graph;
+pub mod node;
+
+pub use graph::{CompileOptions, GraphError, ServiceGraph, ServiceGraphBuilder};
+pub use node::{GraphNode, ServiceNode};
+pub use sdnfv_flowtable::ServiceId;

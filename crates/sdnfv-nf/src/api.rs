@@ -1,0 +1,255 @@
+//! The network-function programming interface (the "SDNFV-User library").
+
+use sdnfv_flowtable::{Action, FlowMatch, ServiceId};
+use sdnfv_proto::packet::Port;
+use sdnfv_proto::Packet;
+
+/// The per-packet action an NF requests when it finishes processing
+/// (paper §3.4 "NF Packet Actions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Follow the default action installed in the flow table.
+    Default,
+    /// Drop the packet.
+    Discard,
+    /// Send the packet to the NF providing the given service, if the flow
+    /// table lists it as an allowed next hop.
+    ToService(ServiceId),
+    /// Send the packet out the given NIC port, if allowed.
+    ToPort(Port),
+}
+
+impl Verdict {
+    /// Translates the verdict into a flow-table [`Action`], or `None` for
+    /// [`Verdict::Default`] (which defers to the table).
+    pub fn as_action(&self) -> Option<Action> {
+        match self {
+            Verdict::Default => None,
+            Verdict::Discard => Some(Action::Drop),
+            Verdict::ToService(id) => Some(Action::ToService(*id)),
+            Verdict::ToPort(p) => Some(Action::ToPort(*p)),
+        }
+    }
+}
+
+/// A cross-layer control message an NF can send to its NF Manager
+/// (paper §3.4 "Cross-Layer Control").
+///
+/// The manager attributes the message to the sending service and either
+/// applies it locally or forwards it to the SDNFV Application for
+/// validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NfMessage {
+    /// `SkipMe(F, S)`: flows matching `flows` should bypass the sending
+    /// service — NFs whose default edge leads to it will instead default to
+    /// its own default action.
+    SkipMe {
+        /// Flows the change applies to.
+        flows: FlowMatch,
+    },
+    /// `RequestMe(F, S)`: all nodes with an edge to the sending service make
+    /// it their default action for flows matching `flows`.
+    RequestMe {
+        /// Flows the change applies to.
+        flows: FlowMatch,
+    },
+    /// `ChangeDefault(F, S, T)`: update the default action of service
+    /// `service`'s rules to `new_default` for flows matching `flows`.
+    ChangeDefault {
+        /// Flows the change applies to.
+        flows: FlowMatch,
+        /// The service whose default action is updated.
+        service: ServiceId,
+        /// The new default action.
+        new_default: Action,
+    },
+    /// `Message(S, K, V)`: an application-defined key/value message for the
+    /// NF Manager or the SDNFV Application (e.g. a DDoS alarm).
+    Custom {
+        /// Application-defined key identifying the message handler.
+        key: String,
+        /// Application-defined value.
+        value: String,
+    },
+}
+
+impl NfMessage {
+    /// Convenience constructor for [`NfMessage::Custom`].
+    pub fn custom(key: impl Into<String>, value: impl Into<String>) -> Self {
+        NfMessage::Custom {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// Per-packet execution context handed to an NF.
+///
+/// It carries the current (virtual or wall-clock) time and collects the
+/// cross-layer messages the NF wants to send; the NF Manager drains them
+/// after the call returns.
+#[derive(Debug, Default)]
+pub struct NfContext {
+    now_ns: u64,
+    messages: Vec<NfMessage>,
+}
+
+impl NfContext {
+    /// Creates a context for a packet processed at time `now_ns`.
+    pub fn new(now_ns: u64) -> Self {
+        NfContext {
+            now_ns,
+            messages: Vec::new(),
+        }
+    }
+
+    /// Current time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Updates the context's notion of time (used when one context is reused
+    /// across packets to avoid allocation).
+    pub fn set_now_ns(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+    }
+
+    /// Queues a cross-layer message for the NF Manager.
+    pub fn send(&mut self, message: NfMessage) {
+        self.messages.push(message);
+    }
+
+    /// Drains the queued messages (called by the NF Manager).
+    pub fn take_messages(&mut self) -> Vec<NfMessage> {
+        std::mem::take(&mut self.messages)
+    }
+
+    /// Returns `true` if the NF queued any messages.
+    pub fn has_messages(&self) -> bool {
+        !self.messages.is_empty()
+    }
+}
+
+/// A network function: the user-space packet-processing application running
+/// inside one NF "VM".
+///
+/// The data plane invokes [`NetworkFunction::process`] for functions that
+/// declare themselves [read-only](NetworkFunction::read_only) (these may be
+/// scheduled in parallel on the same packet), and
+/// [`NetworkFunction::process_mut`] for functions that modify packets.
+pub trait NetworkFunction: Send {
+    /// Human-readable service name (matched against service-graph vertex
+    /// names by the orchestrator).
+    fn name(&self) -> &str;
+
+    /// Whether this function only ever reads packets. Read-only functions
+    /// are eligible for parallel dispatch (paper §3.3).
+    fn read_only(&self) -> bool {
+        true
+    }
+
+    /// Called once when the function is attached to an NF Manager, before it
+    /// receives any packet. NFs that need to announce themselves (e.g. a
+    /// scrubber sending `RequestMe` on startup) do so here.
+    fn on_start(&mut self, _ctx: &mut NfContext) {}
+
+    /// Processes a packet the function must not modify.
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict;
+
+    /// Processes a packet the function may modify in place. The default
+    /// implementation falls back to the read-only path.
+    fn process_mut(&mut self, packet: &mut Packet, ctx: &mut NfContext) -> Verdict {
+        self.process(packet, ctx)
+    }
+}
+
+impl<T: NetworkFunction + ?Sized> NetworkFunction for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn read_only(&self) -> bool {
+        (**self).read_only()
+    }
+
+    fn on_start(&mut self, ctx: &mut NfContext) {
+        (**self).on_start(ctx)
+    }
+
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
+        (**self).process(packet, ctx)
+    }
+
+    fn process_mut(&mut self, packet: &mut Packet, ctx: &mut NfContext) -> Verdict {
+        (**self).process_mut(packet, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    struct Fixed(Verdict);
+
+    impl NetworkFunction for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+
+        fn process(&mut self, _packet: &Packet, ctx: &mut NfContext) -> Verdict {
+            ctx.send(NfMessage::custom("seen", "1"));
+            self.0
+        }
+    }
+
+    #[test]
+    fn verdict_to_action_mapping() {
+        assert_eq!(Verdict::Default.as_action(), None);
+        assert_eq!(Verdict::Discard.as_action(), Some(Action::Drop));
+        assert_eq!(
+            Verdict::ToService(ServiceId::new(3)).as_action(),
+            Some(Action::ToService(ServiceId::new(3)))
+        );
+        assert_eq!(Verdict::ToPort(2).as_action(), Some(Action::ToPort(2)));
+    }
+
+    #[test]
+    fn context_collects_messages() {
+        let mut ctx = NfContext::new(42);
+        assert_eq!(ctx.now_ns(), 42);
+        assert!(!ctx.has_messages());
+        ctx.send(NfMessage::custom("k", "v"));
+        assert!(ctx.has_messages());
+        let msgs = ctx.take_messages();
+        assert_eq!(msgs.len(), 1);
+        assert!(!ctx.has_messages());
+        ctx.set_now_ns(100);
+        assert_eq!(ctx.now_ns(), 100);
+    }
+
+    #[test]
+    fn boxed_nf_delegates() {
+        let mut nf: Box<dyn NetworkFunction> = Box::new(Fixed(Verdict::Discard));
+        assert_eq!(nf.name(), "fixed");
+        assert!(nf.read_only());
+        let mut ctx = NfContext::new(0);
+        nf.on_start(&mut ctx);
+        let mut pkt = PacketBuilder::udp().build();
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Discard);
+        assert_eq!(nf.process_mut(&mut pkt, &mut ctx), Verdict::Discard);
+        assert_eq!(ctx.take_messages().len(), 2);
+    }
+
+    #[test]
+    fn custom_message_constructor() {
+        let m = NfMessage::custom("ddos.alarm", "10.0.0.0/8");
+        assert_eq!(
+            m,
+            NfMessage::Custom {
+                key: "ddos.alarm".to_string(),
+                value: "10.0.0.0/8".to_string()
+            }
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! The SDNFV-User network function library (paper §4.3) and the network
+//! functions used throughout the paper's use cases and evaluation.
+//!
+//! A network function is any type implementing [`NetworkFunction`]: it is
+//! handed packets one at a time, may keep arbitrary per-flow or cross-flow
+//! state, and for every packet returns a [`Verdict`] — follow the default
+//! path, discard, or steer to a specific service or port. Longer-lived
+//! routing changes are requested through [`NfMessage`]s emitted via the
+//! [`NfContext`], which the NF Manager forwards up the control hierarchy
+//! (paper §3.4).
+//!
+//! The [`nfs`] module contains the paper's functions: the anomaly-detection
+//! chain (firewall, sampler, IDS, DDoS detector, scrubber), the video
+//! pipeline (video detector, policy engine, quality detector, transcoder,
+//! cache, shaper), the ant/elephant flow detector, the memcached proxy, and
+//! the no-op / compute-intensive functions used by the microbenchmarks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod nfs;
+pub mod registry;
+
+pub use api::{NetworkFunction, NfContext, NfMessage, Verdict};
+pub use registry::NfRegistry;

@@ -1,0 +1,287 @@
+//! The ant/elephant flow detector (paper §5.2, Figure 8).
+
+use sdnfv_flowtable::{Action, FlowMatch, RulePort, ServiceId};
+use sdnfv_proto::flow::FlowKey;
+use sdnfv_proto::Packet;
+use std::collections::HashMap;
+
+use crate::api::{NetworkFunction, NfContext, NfMessage, Verdict};
+
+/// Classification of a monitored flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowClass {
+    /// Small packets at a modest rate: latency-sensitive "ant" traffic.
+    Ant,
+    /// Large packets or sustained high rate: bulk "elephant" traffic.
+    Elephant,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FlowWindow {
+    bytes: u64,
+    packets: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    window: FlowWindow,
+    class: Option<FlowClass>,
+}
+
+/// Observes the size and rate of packets of each flow over a fixed
+/// observation window and reclassifies flows as *ant* or *elephant*. On a
+/// class change it emits a `ChangeDefault` message steering the flow onto
+/// the appropriate path (the fast, low-latency link for ants).
+#[derive(Debug, Clone)]
+pub struct AntDetectorNf {
+    /// Service whose default rule is rewritten when a flow is reclassified
+    /// (the detector itself, which sits on the flow's path).
+    own_service: ServiceId,
+    /// Default action for ant (latency-sensitive) flows.
+    ant_action: Action,
+    /// Default action for elephant (bulk) flows.
+    elephant_action: Action,
+    /// Observation window (the paper uses two seconds).
+    window_ns: u64,
+    /// Flows at or below this byte volume per window are ants.
+    ant_max_bytes_per_window: u64,
+    /// Packets at or below this average size are considered small.
+    ant_max_avg_packet: u64,
+    window_start_ns: u64,
+    flows: HashMap<FlowKey, FlowState>,
+    reclassifications: u64,
+}
+
+impl AntDetectorNf {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is zero.
+    pub fn new(
+        own_service: ServiceId,
+        ant_action: Action,
+        elephant_action: Action,
+        window_ns: u64,
+        ant_max_bytes_per_window: u64,
+        ant_max_avg_packet: u64,
+    ) -> Self {
+        assert!(window_ns > 0, "observation window must be non-zero");
+        AntDetectorNf {
+            own_service,
+            ant_action,
+            elephant_action,
+            window_ns,
+            ant_max_bytes_per_window,
+            ant_max_avg_packet,
+            window_start_ns: 0,
+            flows: HashMap::new(),
+            reclassifications: 0,
+        }
+    }
+
+    /// Detector configured like the paper's experiment: 2-second windows,
+    /// small packets below 256 bytes average, and a modest per-window byte
+    /// budget for ants.
+    pub fn paper_defaults(own_service: ServiceId, fast_port: u16, slow_port: u16) -> Self {
+        AntDetectorNf::new(
+            own_service,
+            Action::ToPort(fast_port),
+            Action::ToPort(slow_port),
+            2_000_000_000,
+            2_000_000,
+            256,
+        )
+    }
+
+    /// Current classification of a flow, if it has been observed.
+    pub fn class_of(&self, key: &FlowKey) -> Option<FlowClass> {
+        self.flows.get(key).and_then(|s| s.class)
+    }
+
+    /// Number of times any flow changed class.
+    pub fn reclassifications(&self) -> u64 {
+        self.reclassifications
+    }
+
+    fn classify(ant_max_bytes: u64, ant_max_avg_packet: u64, window: &FlowWindow) -> FlowClass {
+        let avg_packet = if window.packets == 0 {
+            0
+        } else {
+            window.bytes / window.packets
+        };
+        if window.bytes <= ant_max_bytes && avg_packet <= ant_max_avg_packet {
+            FlowClass::Ant
+        } else {
+            FlowClass::Elephant
+        }
+    }
+
+    fn end_window(&mut self, ctx: &mut NfContext) {
+        let (max_bytes, max_avg) = (self.ant_max_bytes_per_window, self.ant_max_avg_packet);
+        let mut changes = Vec::new();
+        for (key, state) in self.flows.iter_mut() {
+            if state.window.packets == 0 {
+                continue; // idle flows keep their class
+            }
+            let new_class = Self::classify(max_bytes, max_avg, &state.window);
+            if state.class != Some(new_class) {
+                state.class = Some(new_class);
+                changes.push((*key, new_class));
+            }
+            state.window = FlowWindow::default();
+        }
+        for (key, class) in changes {
+            self.reclassifications += 1;
+            let action = match class {
+                FlowClass::Ant => self.ant_action,
+                FlowClass::Elephant => self.elephant_action,
+            };
+            ctx.send(NfMessage::ChangeDefault {
+                flows: FlowMatch::exact(RulePort::Service(self.own_service), &key),
+                service: self.own_service,
+                new_default: action,
+            });
+        }
+    }
+}
+
+impl NetworkFunction for AntDetectorNf {
+    fn name(&self) -> &str {
+        "ant-detector"
+    }
+
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
+        let now = ctx.now_ns();
+        if now.saturating_sub(self.window_start_ns) >= self.window_ns {
+            self.window_start_ns = now;
+            self.end_window(ctx);
+        }
+        let Some(key) = packet.flow_key() else {
+            return Verdict::Default;
+        };
+        let state = self.flows.entry(key).or_insert(FlowState {
+            window: FlowWindow::default(),
+            class: None,
+        });
+        state.window.bytes += packet.len() as u64;
+        state.window.packets += 1;
+        Verdict::Default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    const SELF: ServiceId = ServiceId::new(60);
+    const FAST: Action = Action::ToPort(2);
+    const SLOW: Action = Action::ToPort(1);
+
+    fn detector() -> AntDetectorNf {
+        // 1 ms windows; ants send <= 1000 bytes/window with <= 128 B packets.
+        AntDetectorNf::new(SELF, FAST, SLOW, 1_000_000, 1000, 128)
+    }
+
+    fn small_packet(port: u16) -> Packet {
+        PacketBuilder::udp().src_port(port).total_size(64).build()
+    }
+
+    fn big_packet(port: u16) -> Packet {
+        PacketBuilder::udp().src_port(port).total_size(1024).build()
+    }
+
+    #[test]
+    fn classifies_ant_and_elephant() {
+        let mut nf = detector();
+        let mut ctx = NfContext::new(0);
+        // Flow 1: a few small packets. Flow 2: many large packets.
+        for _ in 0..5 {
+            nf.process(&small_packet(1), &mut ctx);
+        }
+        for _ in 0..20 {
+            nf.process(&big_packet(2), &mut ctx);
+        }
+        // Advance time past the window so classification happens.
+        ctx.set_now_ns(2_000_000);
+        nf.process(&small_packet(1), &mut ctx);
+        let ant_key = small_packet(1).flow_key().unwrap();
+        let elephant_key = big_packet(2).flow_key().unwrap();
+        assert_eq!(nf.class_of(&ant_key), Some(FlowClass::Ant));
+        assert_eq!(nf.class_of(&elephant_key), Some(FlowClass::Elephant));
+        assert_eq!(nf.reclassifications(), 2);
+        // Two ChangeDefault messages were emitted, one per flow.
+        let msgs = ctx.take_messages();
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs.iter().all(|m| matches!(m, NfMessage::ChangeDefault { .. })));
+    }
+
+    #[test]
+    fn phase_change_reclassifies_flow() {
+        let mut nf = detector();
+        let mut ctx = NfContext::new(0);
+        // Phase 1: heavy traffic -> elephant.
+        for _ in 0..20 {
+            nf.process(&big_packet(7), &mut ctx);
+        }
+        ctx.set_now_ns(1_500_000);
+        nf.process(&small_packet(7), &mut ctx);
+        let key = small_packet(7).flow_key().unwrap();
+        assert_eq!(nf.class_of(&key), Some(FlowClass::Elephant));
+        ctx.take_messages();
+        // Phase 2: the flow quiets down -> reclassified as ant.
+        for _ in 0..3 {
+            nf.process(&small_packet(7), &mut ctx);
+        }
+        ctx.set_now_ns(3_000_000);
+        nf.process(&small_packet(7), &mut ctx);
+        assert_eq!(nf.class_of(&key), Some(FlowClass::Ant));
+        let msgs = ctx.take_messages();
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0] {
+            NfMessage::ChangeDefault { new_default, .. } => assert_eq!(*new_default, FAST),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Phase 3: rate goes back up -> elephant again.
+        for _ in 0..30 {
+            nf.process(&big_packet(7), &mut ctx);
+        }
+        ctx.set_now_ns(4_500_000);
+        nf.process(&small_packet(7), &mut ctx);
+        assert_eq!(nf.class_of(&key), Some(FlowClass::Elephant));
+        assert_eq!(nf.reclassifications(), 3);
+    }
+
+    #[test]
+    fn stable_class_emits_no_messages() {
+        let mut nf = detector();
+        let mut ctx = NfContext::new(0);
+        for window in 1..4u64 {
+            for _ in 0..3 {
+                nf.process(&small_packet(5), &mut ctx);
+            }
+            ctx.set_now_ns(window * 1_500_000);
+        }
+        nf.process(&small_packet(5), &mut ctx);
+        // First classification emits one message; subsequent identical
+        // classifications stay quiet.
+        assert_eq!(ctx.take_messages().len(), 1);
+        assert_eq!(nf.reclassifications(), 1);
+    }
+
+    #[test]
+    fn paper_defaults_constructor() {
+        let nf = AntDetectorNf::paper_defaults(SELF, 2, 1);
+        assert_eq!(nf.name(), "ant-detector");
+        assert!(nf.read_only());
+    }
+
+    #[test]
+    fn classify_helper_handles_empty_window() {
+        assert_eq!(
+            AntDetectorNf::classify(1000, 128, &FlowWindow::default()),
+            FlowClass::Ant
+        );
+    }
+}

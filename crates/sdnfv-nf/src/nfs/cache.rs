@@ -1,0 +1,149 @@
+//! A content cache NF (paper §2.2 video pipeline).
+
+use sdnfv_proto::http::HttpRequest;
+use sdnfv_proto::Packet;
+use std::collections::{HashMap, VecDeque};
+
+use crate::api::{NetworkFunction, NfContext, Verdict};
+
+/// Remembers which content objects (HTTP request paths) have passed through
+/// it so that repeated requests can be recognised as cache hits. Hits are
+/// counted and, in a full deployment, would be served locally; here the NF
+/// tracks hit/miss statistics and always forwards along the default path,
+/// which is what the evaluation's data-plane experiments require.
+#[derive(Debug, Clone)]
+pub struct CacheNf {
+    capacity: usize,
+    entries: HashMap<String, u64>,
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheNf {
+    /// Creates a cache that remembers up to `capacity` objects (LRU-evicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        CacheNf {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of requests served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of requests that had to be fetched.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of objects currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn record(&mut self, path: String) {
+        if let Some(count) = self.entries.get_mut(&path) {
+            *count += 1;
+            self.hits += 1;
+            return;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.entries.remove(&evicted);
+            }
+        }
+        self.entries.insert(path.clone(), 1);
+        self.order.push_back(path);
+    }
+}
+
+impl NetworkFunction for CacheNf {
+    fn name(&self) -> &str {
+        "cache"
+    }
+
+    fn read_only(&self) -> bool {
+        false
+    }
+
+    fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        if let Ok(payload) = packet.l4_payload() {
+            if let Ok(request) = HttpRequest::parse(payload) {
+                self.record(request.path);
+            }
+        }
+        Verdict::Default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    fn request(path: &str) -> Packet {
+        PacketBuilder::tcp()
+            .dst_port(80)
+            .payload(format!("GET {path} HTTP/1.1\r\nHost: v\r\n\r\n").as_bytes())
+            .build()
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut nf = CacheNf::new(10);
+        let mut ctx = NfContext::new(0);
+        assert_eq!(nf.process(&request("/a.mp4"), &mut ctx), Verdict::Default);
+        assert_eq!(nf.process(&request("/a.mp4"), &mut ctx), Verdict::Default);
+        assert_eq!(nf.process(&request("/b.mp4"), &mut ctx), Verdict::Default);
+        assert_eq!(nf.hits(), 1);
+        assert_eq!(nf.misses(), 2);
+        assert_eq!(nf.len(), 2);
+        assert!(!nf.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_bounds_size() {
+        let mut nf = CacheNf::new(2);
+        let mut ctx = NfContext::new(0);
+        nf.process(&request("/1"), &mut ctx);
+        nf.process(&request("/2"), &mut ctx);
+        nf.process(&request("/3"), &mut ctx);
+        assert_eq!(nf.len(), 2);
+        // "/1" was evicted, so requesting it again is a miss.
+        nf.process(&request("/1"), &mut ctx);
+        assert_eq!(nf.misses(), 4);
+    }
+
+    #[test]
+    fn non_http_packets_pass_untouched() {
+        let mut nf = CacheNf::new(4);
+        let mut ctx = NfContext::new(0);
+        let pkt = PacketBuilder::udp().payload(&[1, 2, 3]).build();
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Default);
+        assert_eq!(nf.misses(), 0);
+        assert!(nf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = CacheNf::new(0);
+    }
+}

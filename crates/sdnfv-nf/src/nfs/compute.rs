@@ -1,0 +1,98 @@
+//! A CPU-intensive network function used by the parallel-vs-sequential
+//! latency experiment (Figure 6).
+
+use sdnfv_proto::Packet;
+
+use crate::api::{NetworkFunction, NfContext, Verdict};
+
+/// Performs a configurable amount of busy work over every packet's payload
+/// (repeated checksumming), then follows the default path.
+///
+/// The work is purely read-only, so several `ComputeNf` instances may run in
+/// parallel on the same packet — the case Figure 6 measures.
+#[derive(Debug, Clone)]
+pub struct ComputeNf {
+    rounds: u32,
+    packets: u64,
+    last_digest: u64,
+}
+
+impl ComputeNf {
+    /// Creates a function that performs `rounds` checksum passes per packet.
+    pub fn new(rounds: u32) -> Self {
+        ComputeNf {
+            rounds,
+            packets: 0,
+            last_digest: 0,
+        }
+    }
+
+    /// Number of packets processed.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// The digest of the last processed packet (prevents the busy work from
+    /// being optimized away and gives tests something to observe).
+    pub fn last_digest(&self) -> u64 {
+        self.last_digest
+    }
+}
+
+impl NetworkFunction for ComputeNf {
+    fn name(&self) -> &str {
+        "compute"
+    }
+
+    fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        for round in 0..self.rounds {
+            for &byte in packet.data() {
+                digest ^= u64::from(byte).wrapping_add(u64::from(round));
+                digest = digest.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        self.last_digest = digest;
+        self.packets += 1;
+        Verdict::Default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    #[test]
+    fn compute_is_deterministic_and_counts() {
+        let pkt = PacketBuilder::udp().payload(b"some payload data").build();
+        let mut a = ComputeNf::new(4);
+        let mut b = ComputeNf::new(4);
+        let mut ctx = NfContext::new(0);
+        assert_eq!(a.process(&pkt, &mut ctx), Verdict::Default);
+        assert_eq!(b.process(&pkt, &mut ctx), Verdict::Default);
+        assert_eq!(a.last_digest(), b.last_digest());
+        assert_eq!(a.packets(), 1);
+        assert!(a.read_only());
+    }
+
+    #[test]
+    fn more_rounds_changes_digest() {
+        let pkt = PacketBuilder::udp().payload(b"xyz").build();
+        let mut a = ComputeNf::new(1);
+        let mut b = ComputeNf::new(8);
+        let mut ctx = NfContext::new(0);
+        a.process(&pkt, &mut ctx);
+        b.process(&pkt, &mut ctx);
+        assert_ne!(a.last_digest(), b.last_digest());
+    }
+
+    #[test]
+    fn zero_rounds_is_effectively_noop() {
+        let pkt = PacketBuilder::udp().build();
+        let mut nf = ComputeNf::new(0);
+        let mut ctx = NfContext::new(0);
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Default);
+        assert_eq!(nf.packets(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! A stateless packet-filter firewall.
+
+use sdnfv_flowtable::FlowMatch;
+use sdnfv_proto::Packet;
+
+use crate::api::{NetworkFunction, NfContext, Verdict};
+
+/// One firewall rule: a match plus an allow/deny decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirewallRule {
+    /// Flows the rule applies to.
+    pub matcher: FlowMatch,
+    /// `true` to allow matching traffic, `false` to drop it.
+    pub allow: bool,
+}
+
+impl FirewallRule {
+    /// Creates an allow rule.
+    pub fn allow(matcher: FlowMatch) -> Self {
+        FirewallRule {
+            matcher,
+            allow: true,
+        }
+    }
+
+    /// Creates a deny rule.
+    pub fn deny(matcher: FlowMatch) -> Self {
+        FirewallRule {
+            matcher,
+            allow: false,
+        }
+    }
+}
+
+/// A simple first-match packet filter.
+///
+/// The firewall is deliberately unaware of the rest of the service graph: it
+/// either drops a packet or returns [`Verdict::Default`], exactly the
+/// "loosely coupled NF" the paper uses to motivate default actions (§3.4).
+#[derive(Debug, Clone, Default)]
+pub struct FirewallNf {
+    rules: Vec<FirewallRule>,
+    default_allow: bool,
+    passed: u64,
+    dropped: u64,
+}
+
+impl FirewallNf {
+    /// Creates a firewall that allows traffic not matched by any rule.
+    pub fn allow_by_default() -> Self {
+        FirewallNf {
+            default_allow: true,
+            ..FirewallNf::default()
+        }
+    }
+
+    /// Creates a firewall that drops traffic not matched by any rule.
+    pub fn deny_by_default() -> Self {
+        FirewallNf {
+            default_allow: false,
+            ..FirewallNf::default()
+        }
+    }
+
+    /// Appends a rule (first match wins).
+    pub fn with_rule(mut self, rule: FirewallRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Packets allowed through so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl NetworkFunction for FirewallNf {
+    fn name(&self) -> &str {
+        "firewall"
+    }
+
+    fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        let Some(key) = packet.flow_key() else {
+            // Non-IP traffic is dropped: the firewall fails closed.
+            self.dropped += 1;
+            return Verdict::Discard;
+        };
+        // The firewall's own rules are independent of the flow-table step, so
+        // match with the packet's ingress port as the step.
+        let step = sdnfv_flowtable::RulePort::Nic(packet.ingress_port);
+        let allow = self
+            .rules
+            .iter()
+            .find(|r| r.matcher.matches(step, &key))
+            .map(|r| r.allow)
+            .unwrap_or(self.default_allow);
+        if allow {
+            self.passed += 1;
+            Verdict::Default
+        } else {
+            self.dropped += 1;
+            Verdict::Discard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_flowtable::IpPrefix;
+    use sdnfv_proto::packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn pkt_from(src: [u8; 4]) -> Packet {
+        PacketBuilder::udp().src_ip(src).dst_port(80).build()
+    }
+
+    #[test]
+    fn default_allow_passes_unmatched_traffic() {
+        let mut fw = FirewallNf::allow_by_default();
+        let mut ctx = NfContext::new(0);
+        assert_eq!(fw.process(&pkt_from([10, 0, 0, 1]), &mut ctx), Verdict::Default);
+        assert_eq!(fw.passed(), 1);
+        assert_eq!(fw.dropped(), 0);
+    }
+
+    #[test]
+    fn deny_rule_drops_matching_prefix() {
+        let mut fw = FirewallNf::allow_by_default().with_rule(FirewallRule::deny(
+            FlowMatch::any().with_src_ip(IpPrefix::new(Ipv4Addr::new(192, 168, 0, 0), 16)),
+        ));
+        let mut ctx = NfContext::new(0);
+        assert_eq!(
+            fw.process(&pkt_from([192, 168, 3, 4]), &mut ctx),
+            Verdict::Discard
+        );
+        assert_eq!(fw.process(&pkt_from([10, 0, 0, 1]), &mut ctx), Verdict::Default);
+        assert_eq!(fw.dropped(), 1);
+        assert_eq!(fw.passed(), 1);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let prefix = IpPrefix::new(Ipv4Addr::new(10, 0, 0, 0), 8);
+        let mut fw = FirewallNf::deny_by_default()
+            .with_rule(FirewallRule::allow(FlowMatch::any().with_src_ip(prefix)))
+            .with_rule(FirewallRule::deny(FlowMatch::any().with_src_ip(prefix)));
+        let mut ctx = NfContext::new(0);
+        assert_eq!(fw.process(&pkt_from([10, 9, 9, 9]), &mut ctx), Verdict::Default);
+        // Unmatched traffic hits the deny default.
+        assert_eq!(
+            fw.process(&pkt_from([172, 16, 0, 1]), &mut ctx),
+            Verdict::Discard
+        );
+    }
+
+    #[test]
+    fn non_ip_traffic_is_dropped() {
+        let mut fw = FirewallNf::allow_by_default();
+        let mut ctx = NfContext::new(0);
+        let pkt = Packet::from_bytes(vec![0u8; 20]);
+        assert_eq!(fw.process(&pkt, &mut ctx), Verdict::Discard);
+        assert!(fw.read_only());
+    }
+}

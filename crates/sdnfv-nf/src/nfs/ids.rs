@@ -1,0 +1,191 @@
+//! A signature-based intrusion detection NF.
+
+use sdnfv_flowtable::{Action, FlowMatch, RulePort, ServiceId};
+use sdnfv_proto::Packet;
+use std::collections::HashSet;
+
+use crate::api::{NetworkFunction, NfContext, NfMessage, Verdict};
+
+/// Scans packet payloads for malicious signatures (e.g. SQL exploits in HTTP
+/// requests). When a signature is found the offending packet is diverted to
+/// the scrubber service and a `ChangeDefault` message pins *all* subsequent
+/// packets of the flow to the scrubber, as required by the anomaly-detection
+/// use case (paper §2.2).
+#[derive(Debug, Clone)]
+pub struct IdsNf {
+    /// The service id the IDS itself is deployed as (needed so the emitted
+    /// `ChangeDefault` can name whose default rule to rewrite).
+    own_service: ServiceId,
+    scrubber: ServiceId,
+    signatures: Vec<Vec<u8>>,
+    flagged_flows: HashSet<u64>,
+    alerts: u64,
+    inspected: u64,
+}
+
+impl IdsNf {
+    /// Creates an IDS with the default signature set.
+    pub fn new(own_service: ServiceId, scrubber: ServiceId) -> Self {
+        IdsNf::with_signatures(
+            own_service,
+            scrubber,
+            vec![
+                b"' OR '1'='1".to_vec(),
+                b"UNION SELECT".to_vec(),
+                b"/etc/passwd".to_vec(),
+                b"<script>".to_vec(),
+            ],
+        )
+    }
+
+    /// Creates an IDS with a custom signature set.
+    pub fn with_signatures(
+        own_service: ServiceId,
+        scrubber: ServiceId,
+        signatures: Vec<Vec<u8>>,
+    ) -> Self {
+        IdsNf {
+            own_service,
+            scrubber,
+            signatures,
+            flagged_flows: HashSet::new(),
+            alerts: 0,
+            inspected: 0,
+        }
+    }
+
+    /// Number of signature hits.
+    pub fn alerts(&self) -> u64 {
+        self.alerts
+    }
+
+    /// Number of packets inspected.
+    pub fn inspected(&self) -> u64 {
+        self.inspected
+    }
+
+    fn payload_matches(&self, packet: &Packet) -> bool {
+        let Ok(payload) = packet.l4_payload() else {
+            return false;
+        };
+        self.signatures
+            .iter()
+            .any(|sig| !sig.is_empty() && contains(payload, sig))
+    }
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+impl NetworkFunction for IdsNf {
+    fn name(&self) -> &str {
+        "ids"
+    }
+
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
+        self.inspected += 1;
+        let key = packet.flow_key();
+        // Already-flagged flows keep going to the scrubber even if later
+        // packets look innocent.
+        if let Some(key) = key {
+            if self.flagged_flows.contains(&key.stable_hash()) {
+                return Verdict::ToService(self.scrubber);
+            }
+        }
+        if self.payload_matches(packet) {
+            self.alerts += 1;
+            if let Some(key) = key {
+                self.flagged_flows.insert(key.stable_hash());
+                // Pin the rest of the flow to the scrubber.
+                ctx.send(NfMessage::ChangeDefault {
+                    flows: FlowMatch::exact(RulePort::Service(self.own_service), &key),
+                    service: self.own_service,
+                    new_default: Action::ToService(self.scrubber),
+                });
+            }
+            return Verdict::ToService(self.scrubber);
+        }
+        Verdict::Default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    const IDS: ServiceId = ServiceId::new(40);
+    const SCRUBBER: ServiceId = ServiceId::new(50);
+
+    fn http_packet(body: &str, src_port: u16) -> Packet {
+        PacketBuilder::tcp()
+            .src_port(src_port)
+            .dst_port(80)
+            .payload(format!("GET /q?{body} HTTP/1.1\r\n\r\n").as_bytes())
+            .build()
+    }
+
+    #[test]
+    fn clean_traffic_takes_default_path() {
+        let mut ids = IdsNf::new(IDS, SCRUBBER);
+        let mut ctx = NfContext::new(0);
+        assert_eq!(
+            ids.process(&http_packet("name=alice", 1000), &mut ctx),
+            Verdict::Default
+        );
+        assert_eq!(ids.alerts(), 0);
+        assert_eq!(ids.inspected(), 1);
+        assert!(!ctx.has_messages());
+    }
+
+    #[test]
+    fn signature_hit_diverts_and_pins_flow() {
+        let mut ids = IdsNf::new(IDS, SCRUBBER);
+        let mut ctx = NfContext::new(0);
+        let bad = http_packet("q=' OR '1'='1", 2000);
+        assert_eq!(ids.process(&bad, &mut ctx), Verdict::ToService(SCRUBBER));
+        assert_eq!(ids.alerts(), 1);
+        let msgs = ctx.take_messages();
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0] {
+            NfMessage::ChangeDefault {
+                service,
+                new_default,
+                ..
+            } => {
+                assert_eq!(*service, IDS);
+                assert_eq!(*new_default, Action::ToService(SCRUBBER));
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+        // A later innocuous packet of the same flow is still scrubbed.
+        let later = http_packet("q=hello", 2000);
+        assert_eq!(ids.process(&later, &mut ctx), Verdict::ToService(SCRUBBER));
+        // But the message is only sent once per flow.
+        assert!(!ctx.has_messages());
+    }
+
+    #[test]
+    fn custom_signatures() {
+        let mut ids = IdsNf::with_signatures(IDS, SCRUBBER, vec![b"attack-token".to_vec()]);
+        let mut ctx = NfContext::new(0);
+        assert_eq!(
+            ids.process(&http_packet("x=attack-token", 1), &mut ctx),
+            Verdict::ToService(SCRUBBER)
+        );
+        assert_eq!(
+            ids.process(&http_packet("x=UNION SELECT", 2), &mut ctx),
+            Verdict::Default,
+            "default signatures are not active when a custom set is supplied"
+        );
+    }
+
+    #[test]
+    fn non_payload_packets_pass() {
+        let mut ids = IdsNf::new(IDS, SCRUBBER);
+        let mut ctx = NfContext::new(0);
+        let pkt = Packet::from_bytes(vec![0u8; 10]);
+        assert_eq!(ids.process(&pkt, &mut ctx), Verdict::Default);
+    }
+}

@@ -1,0 +1,193 @@
+//! The application-aware memcached proxy / load balancer (paper §5.4,
+//! Figure 12).
+
+use sdnfv_proto::memcached::Request;
+use sdnfv_proto::Packet;
+use std::net::Ipv4Addr;
+
+use crate::api::{NetworkFunction, NfContext, Verdict};
+
+/// A memcached backend server the proxy can steer requests to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backend {
+    /// Server address.
+    pub ip: Ipv4Addr,
+    /// Server UDP port.
+    pub port: u16,
+}
+
+impl Backend {
+    /// Creates a backend description.
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        Backend { ip, port }
+    }
+}
+
+/// Parses incoming UDP memcached requests, maps the requested key to a
+/// backend server by hashing, and rewrites the packet's destination address
+/// so the request is delivered there. Responses flow directly from the
+/// server to the client without traversing the proxy, which is what gives
+/// the NF-based proxy its large advantage over TwemProxy in Figure 12.
+#[derive(Debug, Clone)]
+pub struct MemcachedProxyNf {
+    backends: Vec<Backend>,
+    /// Port packets are forwarded out of after rewriting.
+    egress_port: u16,
+    proxied: u64,
+    not_memcached: u64,
+}
+
+impl MemcachedProxyNf {
+    /// Creates a proxy balancing across `backends`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    pub fn new(backends: Vec<Backend>, egress_port: u16) -> Self {
+        assert!(!backends.is_empty(), "proxy needs at least one backend");
+        MemcachedProxyNf {
+            backends,
+            egress_port,
+            proxied: 0,
+            not_memcached: 0,
+        }
+    }
+
+    /// Requests rewritten and forwarded to a backend.
+    pub fn proxied(&self) -> u64 {
+        self.proxied
+    }
+
+    /// Packets that were not parseable memcached requests.
+    pub fn not_memcached(&self) -> u64 {
+        self.not_memcached
+    }
+
+    /// The backend a key maps to (exposed for tests and the simulator).
+    pub fn backend_for_key(&self, key: &str) -> Backend {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.backends[(hash % self.backends.len() as u64) as usize]
+    }
+}
+
+impl NetworkFunction for MemcachedProxyNf {
+    fn name(&self) -> &str {
+        "memcached-proxy"
+    }
+
+    fn read_only(&self) -> bool {
+        false
+    }
+
+    fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        // Read-only path (used only if misconfigured as parallel): classify
+        // but do not rewrite.
+        match packet.l4_payload().ok().and_then(|p| Request::parse(p).ok()) {
+            Some(_) => Verdict::Default,
+            None => {
+                self.not_memcached += 1;
+                Verdict::Default
+            }
+        }
+    }
+
+    fn process_mut(&mut self, packet: &mut Packet, _ctx: &mut NfContext) -> Verdict {
+        let request = match packet.l4_payload().ok().and_then(|p| Request::parse(p).ok()) {
+            Some(r) => r,
+            None => {
+                self.not_memcached += 1;
+                return Verdict::Default;
+            }
+        };
+        let backend = self.backend_for_key(request.command.key());
+        if packet.set_dst_ip(backend.ip).is_err() || packet.set_dst_port(backend.port).is_err() {
+            self.not_memcached += 1;
+            return Verdict::Default;
+        }
+        self.proxied += 1;
+        Verdict::ToPort(self.egress_port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::memcached::get_request;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    fn backends() -> Vec<Backend> {
+        vec![
+            Backend::new(Ipv4Addr::new(10, 10, 0, 1), 11211),
+            Backend::new(Ipv4Addr::new(10, 10, 0, 2), 11211),
+            Backend::new(Ipv4Addr::new(10, 10, 0, 3), 11211),
+        ]
+    }
+
+    fn get_packet(key: &str) -> Packet {
+        PacketBuilder::udp()
+            .src_ip([10, 0, 0, 50])
+            .dst_ip([10, 10, 0, 100]) // the proxy's VIP
+            .dst_port(11211)
+            .payload(&get_request(1, key))
+            .build()
+    }
+
+    #[test]
+    fn rewrites_destination_to_consistent_backend() {
+        let mut nf = MemcachedProxyNf::new(backends(), 1);
+        let mut ctx = NfContext::new(0);
+        let mut pkt = get_packet("user:42");
+        let verdict = nf.process_mut(&mut pkt, &mut ctx);
+        assert_eq!(verdict, Verdict::ToPort(1));
+        let expected = nf.backend_for_key("user:42");
+        assert_eq!(pkt.ipv4().unwrap().dst, expected.ip);
+        assert_eq!(pkt.udp().unwrap().dst_port, expected.port);
+        assert_eq!(nf.proxied(), 1);
+
+        // The same key always maps to the same backend.
+        let mut pkt2 = get_packet("user:42");
+        nf.process_mut(&mut pkt2, &mut ctx);
+        assert_eq!(pkt2.ipv4().unwrap().dst, expected.ip);
+    }
+
+    #[test]
+    fn distributes_keys_across_backends() {
+        let nf = MemcachedProxyNf::new(backends(), 1);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            seen.insert(nf.backend_for_key(&format!("key:{i}")).ip);
+        }
+        assert_eq!(seen.len(), 3, "all backends should receive some keys");
+    }
+
+    #[test]
+    fn non_memcached_traffic_passes_through() {
+        let mut nf = MemcachedProxyNf::new(backends(), 1);
+        let mut ctx = NfContext::new(0);
+        let mut pkt = PacketBuilder::udp().payload(b"not memcached").build();
+        assert_eq!(nf.process_mut(&mut pkt, &mut ctx), Verdict::Default);
+        assert_eq!(nf.not_memcached(), 1);
+        assert_eq!(nf.proxied(), 0);
+        assert!(!nf.read_only());
+    }
+
+    #[test]
+    fn read_only_path_does_not_rewrite() {
+        let mut nf = MemcachedProxyNf::new(backends(), 1);
+        let mut ctx = NfContext::new(0);
+        let pkt = get_packet("abc");
+        let before = pkt.ipv4().unwrap().dst;
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Default);
+        assert_eq!(pkt.ipv4().unwrap().dst, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn empty_backends_panics() {
+        let _ = MemcachedProxyNf::new(vec![], 1);
+    }
+}

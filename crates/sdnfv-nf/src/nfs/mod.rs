@@ -1,0 +1,53 @@
+//! The network functions used in the paper's use cases and evaluation.
+//!
+//! Security / anomaly detection (paper §2.2, §5.2):
+//! [`FirewallNf`](firewall::FirewallNf), [`SamplerNf`](sampler::SamplerNf),
+//! [`IdsNf`](ids::IdsNf), [`DdosDetectorNf`](ddos::DdosDetectorNf),
+//! [`ScrubberNf`](scrubber::ScrubberNf).
+//!
+//! Video optimization (paper §2.2, §5.3):
+//! [`VideoDetectorNf`](video_detector::VideoDetectorNf),
+//! [`PolicyEngineNf`](policy_engine::PolicyEngineNf),
+//! [`QualityDetectorNf`](quality_detector::QualityDetectorNf),
+//! [`TranscoderNf`](transcoder::TranscoderNf), [`CacheNf`](cache::CacheNf),
+//! [`ShaperNf`](shaper::ShaperNf).
+//!
+//! Flow management (paper §5.2): [`AntDetectorNf`](ant::AntDetectorNf).
+//!
+//! Application awareness (paper §5.4):
+//! [`MemcachedProxyNf`](memcached_proxy::MemcachedProxyNf).
+//!
+//! Microbenchmark helpers (paper §5.1): [`NoOpNf`](noop::NoOpNf),
+//! [`ComputeNf`](compute::ComputeNf), [`ForwarderNf`](noop::ForwarderNf).
+
+pub mod ant;
+pub mod cache;
+pub mod compute;
+pub mod ddos;
+pub mod firewall;
+pub mod ids;
+pub mod memcached_proxy;
+pub mod noop;
+pub mod policy_engine;
+pub mod quality_detector;
+pub mod sampler;
+pub mod scrubber;
+pub mod shaper;
+pub mod transcoder;
+pub mod video_detector;
+
+pub use ant::{AntDetectorNf, FlowClass};
+pub use cache::CacheNf;
+pub use compute::ComputeNf;
+pub use ddos::DdosDetectorNf;
+pub use firewall::{FirewallNf, FirewallRule};
+pub use ids::IdsNf;
+pub use memcached_proxy::{Backend, MemcachedProxyNf};
+pub use noop::{ForwarderNf, NoOpNf};
+pub use policy_engine::{PolicyEngineNf, PolicyHandle};
+pub use quality_detector::QualityDetectorNf;
+pub use sampler::SamplerNf;
+pub use scrubber::ScrubberNf;
+pub use shaper::ShaperNf;
+pub use transcoder::TranscoderNf;
+pub use video_detector::VideoDetectorNf;

@@ -1,0 +1,98 @@
+//! No-op and plain-forwarding functions used by the latency/throughput
+//! microbenchmarks (Table 2, Figure 7).
+
+use sdnfv_proto::packet::Port;
+use sdnfv_proto::Packet;
+
+use crate::api::{NetworkFunction, NfContext, Verdict};
+
+/// A network function that performs no processing and follows the default
+/// path. It models the "no-op application" of Table 2.
+#[derive(Debug, Default, Clone)]
+pub struct NoOpNf {
+    packets: u64,
+}
+
+impl NoOpNf {
+    /// Creates a no-op function.
+    pub fn new() -> Self {
+        NoOpNf::default()
+    }
+
+    /// Number of packets processed.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+}
+
+impl NetworkFunction for NoOpNf {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn process(&mut self, _packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        self.packets += 1;
+        Verdict::Default
+    }
+}
+
+/// A function that unconditionally forwards packets out a fixed NIC port —
+/// the "simple DPDK forwarder" baseline (0 VM row of Table 2 / Figure 7)
+/// expressed as an NF so the same harness can run it.
+#[derive(Debug, Clone)]
+pub struct ForwarderNf {
+    port: Port,
+    packets: u64,
+}
+
+impl ForwarderNf {
+    /// Creates a forwarder that sends every packet out `port`.
+    pub fn new(port: Port) -> Self {
+        ForwarderNf { port, packets: 0 }
+    }
+
+    /// Number of packets forwarded.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+}
+
+impl NetworkFunction for ForwarderNf {
+    fn name(&self) -> &str {
+        "forwarder"
+    }
+
+    fn process(&mut self, _packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        self.packets += 1;
+        Verdict::ToPort(self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    #[test]
+    fn noop_defaults_and_counts() {
+        let mut nf = NoOpNf::new();
+        let pkt = PacketBuilder::udp().build();
+        let mut ctx = NfContext::new(0);
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Default);
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Default);
+        assert_eq!(nf.packets(), 2);
+        assert!(nf.read_only());
+        assert_eq!(nf.name(), "noop");
+        assert!(!ctx.has_messages());
+    }
+
+    #[test]
+    fn forwarder_steers_to_port() {
+        let mut nf = ForwarderNf::new(3);
+        let pkt = PacketBuilder::udp().build();
+        let mut ctx = NfContext::new(0);
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::ToPort(3));
+        assert_eq!(nf.packets(), 1);
+        assert_eq!(nf.name(), "forwarder");
+    }
+}

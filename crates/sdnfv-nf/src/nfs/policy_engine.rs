@@ -1,0 +1,272 @@
+//! The video policy engine (paper §5.3, Figure 11).
+
+use parking_lot::RwLock;
+use sdnfv_flowtable::{Action, FlowMatch, RulePort, ServiceId};
+use sdnfv_proto::Packet;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::api::{NetworkFunction, NfContext, NfMessage, Verdict};
+
+#[derive(Debug, Default)]
+struct PolicyState {
+    /// When `true`, video flows must be transcoded down to a lower bit rate.
+    throttle: bool,
+    /// Bumped on every policy change so NFs can notice transitions.
+    version: u64,
+}
+
+/// A handle through which operators (or the SDNFV Application) change the
+/// active policy; the [`PolicyEngineNf`] observes changes on its packet path.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyHandle {
+    state: Arc<RwLock<PolicyState>>,
+}
+
+impl PolicyHandle {
+    /// Creates a handle with throttling disabled.
+    pub fn new() -> Self {
+        PolicyHandle::default()
+    }
+
+    /// Enables or disables throttling (the t=60 s policy flip in Figure 11).
+    pub fn set_throttle(&self, throttle: bool) {
+        let mut state = self.state.write();
+        if state.throttle != throttle {
+            state.throttle = throttle;
+            state.version += 1;
+        }
+    }
+
+    /// Returns `true` if throttling is currently required.
+    pub fn throttle(&self) -> bool {
+        self.state.read().throttle
+    }
+
+    fn snapshot(&self) -> (bool, u64) {
+        let state = self.state.read();
+        (state.throttle, state.version)
+    }
+}
+
+/// Decides, per flow, whether video traffic should be sent to the transcoder
+/// (when the network policy requires throttling) or straight along the fast
+/// path.
+///
+/// The engine exercises both halves of the paper's cross-layer protocol:
+///
+/// * while *not* throttling, it issues `ChangeDefault` messages so that the
+///   video detector sends established flows directly out of the host,
+///   removing the policy engine (and itself) from their path;
+/// * when the policy flips to throttling, it issues a `RequestMe` so all
+///   those flows are pulled back through the policy engine, after which each
+///   is handed to the transcoder.
+#[derive(Debug)]
+pub struct PolicyEngineNf {
+    own_service: ServiceId,
+    video_detector: ServiceId,
+    transcoder: ServiceId,
+    /// Egress action used for flows that need no processing.
+    fast_action: Action,
+    policy: PolicyHandle,
+    seen_version: u64,
+    /// Flows that have been offloaded to the fast path (by flow hash).
+    offloaded: HashMap<u64, FlowMatch>,
+    /// Flows whose default has already been pointed at the transcoder (by
+    /// flow hash) — the ChangeDefault is only sent once per flow.
+    throttled: HashMap<u64, ()>,
+    throttled_packets: u64,
+    fast_packets: u64,
+}
+
+impl PolicyEngineNf {
+    /// Creates a policy engine.
+    pub fn new(
+        own_service: ServiceId,
+        video_detector: ServiceId,
+        transcoder: ServiceId,
+        fast_action: Action,
+        policy: PolicyHandle,
+    ) -> Self {
+        PolicyEngineNf {
+            own_service,
+            video_detector,
+            transcoder,
+            fast_action,
+            policy,
+            seen_version: 0,
+            offloaded: HashMap::new(),
+            throttled: HashMap::new(),
+            throttled_packets: 0,
+            fast_packets: 0,
+        }
+    }
+
+    /// Packets steered to the transcoder.
+    pub fn throttled_packets(&self) -> u64 {
+        self.throttled_packets
+    }
+
+    /// Packets sent along the fast path.
+    pub fn fast_packets(&self) -> u64 {
+        self.fast_packets
+    }
+
+    fn note_policy_transition(&mut self, ctx: &mut NfContext) {
+        let (throttle, version) = self.policy.snapshot();
+        if version == self.seen_version {
+            return;
+        }
+        self.seen_version = version;
+        if throttle {
+            // Pull every offloaded flow back through the policy engine so it
+            // can be redirected to the transcoder (RequestMe in the paper).
+            ctx.send(NfMessage::RequestMe {
+                flows: FlowMatch::any(),
+            });
+            self.offloaded.clear();
+        } else {
+            self.throttled.clear();
+        }
+    }
+}
+
+impl NetworkFunction for PolicyEngineNf {
+    fn name(&self) -> &str {
+        "policy-engine"
+    }
+
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
+        self.note_policy_transition(ctx);
+        let throttle = self.policy.throttle();
+        let Some(key) = packet.flow_key() else {
+            return Verdict::Default;
+        };
+        if throttle {
+            self.throttled_packets += 1;
+            // Route this flow's future packets to the transcoder by default
+            // (once per flow), and send this packet there too.
+            if self.throttled.insert(key.stable_hash(), ()).is_none() {
+                ctx.send(NfMessage::ChangeDefault {
+                    flows: FlowMatch::exact(RulePort::Service(self.own_service), &key),
+                    service: self.own_service,
+                    new_default: Action::ToService(self.transcoder),
+                });
+            }
+            Verdict::ToService(self.transcoder)
+        } else {
+            self.fast_packets += 1;
+            let hash = key.stable_hash();
+            if !self.offloaded.contains_key(&hash) {
+                // Offload the flow: the video detector should send it
+                // straight out rather than through the policy engine.
+                let filter = FlowMatch::exact(RulePort::Service(self.video_detector), &key);
+                ctx.send(NfMessage::ChangeDefault {
+                    flows: filter,
+                    service: self.video_detector,
+                    new_default: self.fast_action,
+                });
+                self.offloaded.insert(hash, filter);
+            }
+            match self.fast_action {
+                Action::ToPort(p) => Verdict::ToPort(p),
+                Action::ToService(s) => Verdict::ToService(s),
+                Action::Drop => Verdict::Discard,
+                Action::ToController => Verdict::Default,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    const PE: ServiceId = ServiceId::new(3);
+    const VD: ServiceId = ServiceId::new(2);
+    const TC: ServiceId = ServiceId::new(4);
+
+    fn video_packet(src_port: u16) -> Packet {
+        PacketBuilder::tcp()
+            .src_port(src_port)
+            .dst_port(50000)
+            .payload(&[0u8; 400])
+            .build()
+    }
+
+    #[test]
+    fn fast_path_offloads_flows_to_video_detector() {
+        let policy = PolicyHandle::new();
+        let mut nf = PolicyEngineNf::new(PE, VD, TC, Action::ToPort(1), policy);
+        let mut ctx = NfContext::new(0);
+        assert_eq!(nf.process(&video_packet(100), &mut ctx), Verdict::ToPort(1));
+        let msgs = ctx.take_messages();
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0] {
+            NfMessage::ChangeDefault {
+                service,
+                new_default,
+                ..
+            } => {
+                assert_eq!(*service, VD);
+                assert_eq!(*new_default, Action::ToPort(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The offload message is sent only once per flow.
+        assert_eq!(nf.process(&video_packet(100), &mut ctx), Verdict::ToPort(1));
+        assert!(!ctx.has_messages());
+        assert_eq!(nf.fast_packets(), 2);
+    }
+
+    #[test]
+    fn throttling_redirects_to_transcoder_and_requests_flows_back() {
+        let policy = PolicyHandle::new();
+        let mut nf = PolicyEngineNf::new(PE, VD, TC, Action::ToPort(1), policy.clone());
+        let mut ctx = NfContext::new(0);
+        // Establish a fast-path flow first.
+        nf.process(&video_packet(200), &mut ctx);
+        ctx.take_messages();
+        // Flip the policy.
+        policy.set_throttle(true);
+        assert!(policy.throttle());
+        let verdict = nf.process(&video_packet(200), &mut ctx);
+        assert_eq!(verdict, Verdict::ToService(TC));
+        let msgs = ctx.take_messages();
+        // RequestMe (policy transition) + ChangeDefault (this flow -> transcoder).
+        assert_eq!(msgs.len(), 2);
+        assert!(matches!(msgs[0], NfMessage::RequestMe { .. }));
+        assert!(matches!(
+            msgs[1],
+            NfMessage::ChangeDefault {
+                new_default: Action::ToService(TC),
+                ..
+            }
+        ));
+        assert_eq!(nf.throttled_packets(), 1);
+        // Turning throttling back off returns flows to the fast path.
+        policy.set_throttle(false);
+        assert_eq!(nf.process(&video_packet(200), &mut ctx), Verdict::ToPort(1));
+    }
+
+    #[test]
+    fn policy_handle_versioning_ignores_redundant_sets() {
+        let policy = PolicyHandle::new();
+        policy.set_throttle(false);
+        let (_, v0) = policy.snapshot();
+        policy.set_throttle(true);
+        policy.set_throttle(true);
+        let (_, v1) = policy.snapshot();
+        assert_eq!(v1, v0 + 1);
+    }
+
+    #[test]
+    fn non_ip_packets_take_default() {
+        let policy = PolicyHandle::new();
+        let mut nf = PolicyEngineNf::new(PE, VD, TC, Action::ToPort(1), policy);
+        let mut ctx = NfContext::new(0);
+        let pkt = Packet::from_bytes(vec![0u8; 16]);
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Default);
+    }
+}

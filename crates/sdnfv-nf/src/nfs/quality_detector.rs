@@ -1,0 +1,149 @@
+//! Decides whether a video flow can be transcoded while retaining acceptable
+//! quality (paper §2.2).
+
+use sdnfv_flowtable::ServiceId;
+use sdnfv_proto::Packet;
+use std::collections::HashMap;
+
+use crate::api::{NetworkFunction, NfContext, Verdict};
+
+/// Estimates each flow's bit rate from observed packets; flows already at or
+/// below the minimum acceptable rate skip the transcoder (they are routed to
+/// the bypass service — typically the cache), while higher-rate flows follow
+/// the default path to the transcoder.
+#[derive(Debug, Clone)]
+pub struct QualityDetectorNf {
+    /// Minimum acceptable rate in bytes/second; flows below it are not
+    /// transcoded further.
+    min_rate_bytes_per_sec: u64,
+    /// Service to send flows that should skip the transcoder.
+    bypass: ServiceId,
+    flows: HashMap<u64, FlowRate>,
+    skipped: u64,
+    forwarded: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowRate {
+    first_ns: u64,
+    last_ns: u64,
+    bytes: u64,
+}
+
+impl QualityDetectorNf {
+    /// Creates a quality detector.
+    pub fn new(min_rate_bytes_per_sec: u64, bypass: ServiceId) -> Self {
+        QualityDetectorNf {
+            min_rate_bytes_per_sec,
+            bypass,
+            flows: HashMap::new(),
+            skipped: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Flows sent to the bypass service because transcoding would hurt
+    /// quality too much.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Packets forwarded toward the transcoder.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl NetworkFunction for QualityDetectorNf {
+    fn name(&self) -> &str {
+        "quality-detector"
+    }
+
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
+        let Some(key) = packet.flow_key() else {
+            return Verdict::Default;
+        };
+        let now = ctx.now_ns();
+        let entry = self.flows.entry(key.stable_hash()).or_insert(FlowRate {
+            first_ns: now,
+            last_ns: now,
+            bytes: 0,
+        });
+        entry.bytes += packet.len() as u64;
+        entry.last_ns = now;
+        let elapsed_ns = entry.last_ns.saturating_sub(entry.first_ns).max(1);
+        let rate = entry.bytes as f64 / (elapsed_ns as f64 / 1e9);
+        if entry.bytes > 0 && elapsed_ns > 1 && rate <= self.min_rate_bytes_per_sec as f64 {
+            self.skipped += 1;
+            Verdict::ToService(self.bypass)
+        } else {
+            self.forwarded += 1;
+            Verdict::Default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    const CACHE: ServiceId = ServiceId::new(6);
+
+    fn packet(src_port: u16, size: usize) -> Packet {
+        PacketBuilder::udp().src_port(src_port).total_size(size).build()
+    }
+
+    #[test]
+    fn high_rate_flows_go_to_transcoder() {
+        // Flow sends 1000 bytes/ms = 1 MB/s, above a 100 KB/s floor.
+        let mut nf = QualityDetectorNf::new(100_000, CACHE);
+        let mut ctx = NfContext::new(0);
+        for i in 0..10u64 {
+            ctx.set_now_ns(i * 1_000_000);
+            assert_eq!(nf.process(&packet(1, 1000), &mut ctx), Verdict::Default);
+        }
+        assert_eq!(nf.forwarded(), 10);
+        assert_eq!(nf.skipped(), 0);
+    }
+
+    #[test]
+    fn low_rate_flows_skip_transcoder() {
+        // Flow sends 100 bytes/s, below a 10 KB/s floor.
+        let mut nf = QualityDetectorNf::new(10_000, CACHE);
+        let mut ctx = NfContext::new(0);
+        ctx.set_now_ns(0);
+        // First packet: no elapsed time yet, forwarded by default.
+        assert_eq!(nf.process(&packet(2, 100), &mut ctx), Verdict::Default);
+        ctx.set_now_ns(1_000_000_000);
+        assert_eq!(nf.process(&packet(2, 100), &mut ctx), Verdict::ToService(CACHE));
+        assert_eq!(nf.skipped(), 1);
+    }
+
+    #[test]
+    fn flows_tracked_independently() {
+        let mut nf = QualityDetectorNf::new(10_000, CACHE);
+        let mut ctx = NfContext::new(0);
+        nf.process(&packet(3, 1000), &mut ctx);
+        nf.process(&packet(4, 10), &mut ctx);
+        ctx.set_now_ns(1_000_000_000);
+        // Flow 3 accumulates far more than 10 KB over the second, flow 4 does
+        // not; once enough volume is seen, flow 3 keeps being forwarded while
+        // flow 4 is diverted to the cache.
+        for _ in 0..100 {
+            nf.process(&packet(3, 1000), &mut ctx);
+        }
+        assert_eq!(nf.process(&packet(3, 1000), &mut ctx), Verdict::Default);
+        assert_eq!(nf.process(&packet(4, 10), &mut ctx), Verdict::ToService(CACHE));
+    }
+
+    #[test]
+    fn non_ip_defaults() {
+        let mut nf = QualityDetectorNf::new(10_000, CACHE);
+        let mut ctx = NfContext::new(0);
+        assert_eq!(
+            nf.process(&Packet::from_bytes(vec![0; 8]), &mut ctx),
+            Verdict::Default
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! A traffic sampler that diverts a subset of packets for deeper analysis.
+
+use sdnfv_flowtable::ServiceId;
+use sdnfv_proto::Packet;
+
+use crate::api::{NetworkFunction, NfContext, Verdict};
+
+/// Samples packets either deterministically (every N-th packet) or by flow
+/// hash (a stable fraction of flows), steering samples to an analysis
+/// service and everything else down the default path.
+#[derive(Debug, Clone)]
+pub struct SamplerNf {
+    target: ServiceId,
+    /// Sample 1 out of every `one_in` packets (or flows).
+    one_in: u64,
+    /// When `true`, sampling is per flow (hash-based) so all packets of a
+    /// sampled flow are diverted; otherwise it is per packet.
+    per_flow: bool,
+    counter: u64,
+    sampled: u64,
+}
+
+impl SamplerNf {
+    /// Creates a per-packet sampler diverting one in `one_in` packets to
+    /// `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `one_in` is zero.
+    pub fn per_packet(target: ServiceId, one_in: u64) -> Self {
+        assert!(one_in > 0, "sampling rate must be at least 1");
+        SamplerNf {
+            target,
+            one_in,
+            per_flow: false,
+            counter: 0,
+            sampled: 0,
+        }
+    }
+
+    /// Creates a per-flow sampler diverting roughly one in `one_in` flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `one_in` is zero.
+    pub fn per_flow(target: ServiceId, one_in: u64) -> Self {
+        assert!(one_in > 0, "sampling rate must be at least 1");
+        SamplerNf {
+            target,
+            one_in,
+            per_flow: true,
+            counter: 0,
+            sampled: 0,
+        }
+    }
+
+    /// Number of packets diverted to the analysis service.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+}
+
+impl NetworkFunction for SamplerNf {
+    fn name(&self) -> &str {
+        "sampler"
+    }
+
+    fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        let take = if self.per_flow {
+            packet
+                .flow_key()
+                .map(|k| k.stable_hash() % self.one_in == 0)
+                .unwrap_or(false)
+        } else {
+            self.counter += 1;
+            self.counter % self.one_in == 0
+        };
+        if take {
+            self.sampled += 1;
+            Verdict::ToService(self.target)
+        } else {
+            Verdict::Default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    const DDOS: ServiceId = ServiceId::new(30);
+
+    #[test]
+    fn per_packet_sampling_rate() {
+        let mut nf = SamplerNf::per_packet(DDOS, 4);
+        let pkt = PacketBuilder::udp().build();
+        let mut ctx = NfContext::new(0);
+        let mut diverted = 0;
+        for _ in 0..100 {
+            if nf.process(&pkt, &mut ctx) == Verdict::ToService(DDOS) {
+                diverted += 1;
+            }
+        }
+        assert_eq!(diverted, 25);
+        assert_eq!(nf.sampled(), 25);
+    }
+
+    #[test]
+    fn sample_every_packet() {
+        let mut nf = SamplerNf::per_packet(DDOS, 1);
+        let pkt = PacketBuilder::udp().build();
+        let mut ctx = NfContext::new(0);
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::ToService(DDOS));
+    }
+
+    #[test]
+    fn per_flow_sampling_is_consistent_within_a_flow() {
+        let mut nf = SamplerNf::per_flow(DDOS, 2);
+        let mut ctx = NfContext::new(0);
+        // All packets of the same flow get the same decision.
+        let pkt = PacketBuilder::udp().src_port(1111).build();
+        let first = nf.process(&pkt, &mut ctx);
+        for _ in 0..10 {
+            assert_eq!(nf.process(&pkt, &mut ctx), first);
+        }
+        // And across many flows roughly half are sampled.
+        let mut sampled_flows = 0;
+        for port in 0..200u16 {
+            let pkt = PacketBuilder::udp().src_port(port).build();
+            if nf.process(&pkt, &mut ctx) == Verdict::ToService(DDOS) {
+                sampled_flows += 1;
+            }
+        }
+        assert!((50..=150).contains(&sampled_flows), "got {sampled_flows}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_rate_panics() {
+        let _ = SamplerNf::per_packet(DDOS, 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! A video transcoder that emulates bit-rate reduction (paper §5.3).
+
+use sdnfv_proto::Packet;
+use std::collections::HashMap;
+
+use crate::api::{NetworkFunction, NfContext, Verdict};
+
+/// Emulates down-sampling a video stream by dropping a configurable fraction
+/// of each flow's packets, exactly as the paper's evaluation does ("the
+/// transcoder emulates down sampling by dropping packets", halving the rate
+/// in Figure 11).
+///
+/// The transcoder is not read-only (a real implementation rewrites payload),
+/// so it is never scheduled in parallel with other NFs.
+#[derive(Debug, Clone)]
+pub struct TranscoderNf {
+    /// Keep one packet out of every `keep_one_in` per flow; the rest are
+    /// dropped. `keep_one_in = 2` halves the rate.
+    keep_one_in: u64,
+    per_flow_counters: HashMap<u64, u64>,
+    transcoded: u64,
+    dropped: u64,
+}
+
+impl TranscoderNf {
+    /// Creates a transcoder that keeps one in `keep_one_in` packets per flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_one_in` is zero.
+    pub fn new(keep_one_in: u64) -> Self {
+        assert!(keep_one_in > 0, "keep rate must be at least 1");
+        TranscoderNf {
+            keep_one_in,
+            per_flow_counters: HashMap::new(),
+            transcoded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A transcoder that halves each flow's rate (the Figure 11 setting).
+    pub fn halving() -> Self {
+        TranscoderNf::new(2)
+    }
+
+    /// Packets passed through (after "transcoding").
+    pub fn transcoded(&self) -> u64 {
+        self.transcoded
+    }
+
+    /// Packets dropped to reduce the bit rate.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl NetworkFunction for TranscoderNf {
+    fn name(&self) -> &str {
+        "transcoder"
+    }
+
+    fn read_only(&self) -> bool {
+        false
+    }
+
+    fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        let hash = packet.flow_key().map(|k| k.stable_hash()).unwrap_or(0);
+        let counter = self.per_flow_counters.entry(hash).or_insert(0);
+        *counter += 1;
+        if *counter % self.keep_one_in == 0 {
+            self.transcoded += 1;
+            Verdict::Default
+        } else {
+            self.dropped += 1;
+            Verdict::Discard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    #[test]
+    fn halving_drops_every_other_packet_per_flow() {
+        let mut nf = TranscoderNf::halving();
+        let mut ctx = NfContext::new(0);
+        let pkt = PacketBuilder::udp().src_port(9).build();
+        let mut kept = 0;
+        for _ in 0..100 {
+            if nf.process(&pkt, &mut ctx) == Verdict::Default {
+                kept += 1;
+            }
+        }
+        assert_eq!(kept, 50);
+        assert_eq!(nf.transcoded(), 50);
+        assert_eq!(nf.dropped(), 50);
+        assert!(!nf.read_only());
+    }
+
+    #[test]
+    fn per_flow_counters_are_independent() {
+        let mut nf = TranscoderNf::new(2);
+        let mut ctx = NfContext::new(0);
+        let a = PacketBuilder::udp().src_port(1).build();
+        let b = PacketBuilder::udp().src_port(2).build();
+        // First packet of each flow is dropped, second kept, independently.
+        assert_eq!(nf.process(&a, &mut ctx), Verdict::Discard);
+        assert_eq!(nf.process(&b, &mut ctx), Verdict::Discard);
+        assert_eq!(nf.process(&a, &mut ctx), Verdict::Default);
+        assert_eq!(nf.process(&b, &mut ctx), Verdict::Default);
+    }
+
+    #[test]
+    fn keep_one_in_one_passes_everything() {
+        let mut nf = TranscoderNf::new(1);
+        let mut ctx = NfContext::new(0);
+        let pkt = PacketBuilder::udp().build();
+        for _ in 0..10 {
+            assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Default);
+        }
+        assert_eq!(nf.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_keep_rate_panics() {
+        let _ = TranscoderNf::new(0);
+    }
+}

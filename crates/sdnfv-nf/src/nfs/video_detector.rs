@@ -1,0 +1,166 @@
+//! Detects video flows by inspecting HTTP response headers (paper §2.2/§5.3).
+
+use sdnfv_proto::http::HttpResponse;
+use sdnfv_proto::Packet;
+use std::collections::HashMap;
+
+use crate::api::{NetworkFunction, NfContext, Verdict};
+
+/// Per-flow content classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Content {
+    Unknown,
+    Video,
+    Other,
+}
+
+/// Inspects the HTTP response headers of each flow to determine whether it
+/// carries video content. Video flows follow the default path (toward the
+/// policy engine); everything else takes the configured bypass verdict
+/// (typically straight out of the host).
+#[derive(Debug, Clone)]
+pub struct VideoDetectorNf {
+    bypass: Verdict,
+    flows: HashMap<u64, Content>,
+    video_flows: u64,
+    other_flows: u64,
+}
+
+impl VideoDetectorNf {
+    /// Creates a detector that sends non-video flows to `bypass` (e.g.
+    /// `Verdict::ToPort(egress)`); video flows follow the default path.
+    pub fn new(bypass: Verdict) -> Self {
+        VideoDetectorNf {
+            bypass,
+            flows: HashMap::new(),
+            video_flows: 0,
+            other_flows: 0,
+        }
+    }
+
+    /// Number of flows classified as video.
+    pub fn video_flows(&self) -> u64 {
+        self.video_flows
+    }
+
+    /// Number of flows classified as non-video.
+    pub fn other_flows(&self) -> u64 {
+        self.other_flows
+    }
+
+    fn classify(&mut self, packet: &Packet) -> Content {
+        let Some(key) = packet.flow_key() else {
+            return Content::Other;
+        };
+        let hash = key.stable_hash();
+        if let Some(existing) = self.flows.get(&hash) {
+            if *existing != Content::Unknown {
+                return *existing;
+            }
+        }
+        // Try to parse an HTTP response head out of the payload; until one is
+        // seen the flow stays unknown and follows the default path.
+        let content = match packet.l4_payload().ok().and_then(|p| HttpResponse::parse(p).ok()) {
+            Some(resp) if resp.is_video() => Content::Video,
+            Some(_) => Content::Other,
+            None => Content::Unknown,
+        };
+        if content != Content::Unknown {
+            match content {
+                Content::Video => self.video_flows += 1,
+                Content::Other => self.other_flows += 1,
+                Content::Unknown => {}
+            }
+        }
+        self.flows.insert(hash, content);
+        content
+    }
+}
+
+impl NetworkFunction for VideoDetectorNf {
+    fn name(&self) -> &str {
+        "video-detector"
+    }
+
+    fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        match self.classify(packet) {
+            // Video flows continue toward the policy engine.
+            Content::Video => Verdict::Default,
+            // Unknown flows (no HTTP head seen yet) also follow the default
+            // path so the policy engine sees them.
+            Content::Unknown => Verdict::Default,
+            // Anything else bypasses the video pipeline.
+            Content::Other => self.bypass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::http::response_with_content_type;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    fn response_packet(content_type: &str, src_port: u16) -> Packet {
+        PacketBuilder::tcp()
+            .src_port(src_port)
+            .dst_port(34000)
+            .payload(&response_with_content_type(200, content_type))
+            .build()
+    }
+
+    #[test]
+    fn video_flows_follow_default_path() {
+        let mut nf = VideoDetectorNf::new(Verdict::ToPort(1));
+        let mut ctx = NfContext::new(0);
+        let pkt = response_packet("video/mp4", 80);
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Default);
+        assert_eq!(nf.video_flows(), 1);
+        assert_eq!(nf.other_flows(), 0);
+    }
+
+    #[test]
+    fn non_video_flows_bypass() {
+        let mut nf = VideoDetectorNf::new(Verdict::ToPort(1));
+        let mut ctx = NfContext::new(0);
+        let pkt = response_packet("text/html", 80);
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::ToPort(1));
+        assert_eq!(nf.other_flows(), 1);
+        // Later packets of the same flow keep bypassing even without headers.
+        let data = PacketBuilder::tcp()
+            .src_port(80)
+            .dst_port(34000)
+            .payload(b"<html>...")
+            .build();
+        assert_eq!(nf.process(&data, &mut ctx), Verdict::ToPort(1));
+    }
+
+    #[test]
+    fn classification_sticks_once_learned() {
+        let mut nf = VideoDetectorNf::new(Verdict::ToPort(1));
+        let mut ctx = NfContext::new(0);
+        // First packet has no HTTP head: unknown, follows default.
+        let ack = PacketBuilder::tcp().src_port(81).dst_port(34001).build();
+        assert_eq!(nf.process(&ack, &mut ctx), Verdict::Default);
+        // Second packet carries the video header: flow becomes video.
+        let head = response_packet("video/webm", 81);
+        assert_eq!(nf.process(&head, &mut ctx), Verdict::Default);
+        assert_eq!(nf.video_flows(), 1);
+        // Subsequent payload packets of the flow stay on the default path.
+        let data = PacketBuilder::tcp()
+            .src_port(81)
+            .dst_port(34001)
+            .payload(&[0u8; 700])
+            .build();
+        assert_eq!(nf.process(&data, &mut ctx), Verdict::Default);
+    }
+
+    #[test]
+    fn non_ip_traffic_bypasses() {
+        let mut nf = VideoDetectorNf::new(Verdict::Discard);
+        let mut ctx = NfContext::new(0);
+        let pkt = Packet::from_bytes(vec![0u8; 30]);
+        assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Discard);
+        assert!(nf.read_only());
+    }
+}

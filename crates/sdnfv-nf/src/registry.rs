@@ -1,0 +1,110 @@
+//! A registry mapping service names to NF factories, used by the NFV
+//! orchestrator to instantiate network functions on demand.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::api::NetworkFunction;
+
+type Factory = Box<dyn Fn() -> Box<dyn NetworkFunction> + Send + Sync>;
+
+/// Maps service names (the names used in service-graph vertices) to factory
+/// functions producing fresh NF instances.
+///
+/// The NFV Orchestrator consults the registry when the SDNFV Application asks
+/// it to instantiate a service on a host (paper Figure 2, step 4).
+#[derive(Default)]
+pub struct NfRegistry {
+    factories: HashMap<String, Factory>,
+}
+
+impl fmt::Debug for NfRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NfRegistry")
+            .field("services", &self.names())
+            .finish()
+    }
+}
+
+impl NfRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        NfRegistry::default()
+    }
+
+    /// Registers a factory for `name`, replacing any existing entry.
+    pub fn register<F, N>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> N + Send + Sync + 'static,
+        N: NetworkFunction + 'static,
+    {
+        self.factories
+            .insert(name.into(), Box::new(move || Box::new(factory())));
+    }
+
+    /// Instantiates a fresh NF for `name`, if registered.
+    pub fn instantiate(&self, name: &str) -> Option<Box<dyn NetworkFunction>> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Returns `true` if a factory is registered for `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Registered service names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered factories.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Returns `true` if no factories are registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfs::noop::NoOpNf;
+    use crate::nfs::sampler::SamplerNf;
+    use sdnfv_flowtable::ServiceId;
+
+    #[test]
+    fn register_and_instantiate() {
+        let mut reg = NfRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("noop", NoOpNf::new);
+        reg.register("sampler", || SamplerNf::per_packet(ServiceId::new(1), 10));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains("noop"));
+        assert!(!reg.contains("missing"));
+        assert_eq!(reg.names(), vec!["noop".to_string(), "sampler".to_string()]);
+
+        let nf = reg.instantiate("noop").unwrap();
+        assert_eq!(nf.name(), "noop");
+        assert!(reg.instantiate("missing").is_none());
+        // Each instantiation is a fresh instance.
+        let a = reg.instantiate("sampler").unwrap();
+        let b = reg.instantiate("sampler").unwrap();
+        assert_eq!(a.name(), b.name());
+    }
+
+    #[test]
+    fn re_registering_replaces() {
+        let mut reg = NfRegistry::new();
+        reg.register("svc", NoOpNf::new);
+        reg.register("svc", || SamplerNf::per_packet(ServiceId::new(2), 5));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.instantiate("svc").unwrap().name(), "sampler");
+        let debug = format!("{reg:?}");
+        assert!(debug.contains("svc"));
+    }
+}

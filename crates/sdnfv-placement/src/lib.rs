@@ -1,0 +1,37 @@
+//! The SDNFV NF placement engine (paper §3.5, Figure 5).
+//!
+//! Given a network topology, a set of service types and a set of flows that
+//! each need a chain of services, the placement engine decides how many
+//! instances of each service run on which node and how every flow is routed
+//! through its chain, minimizing the maximum utilization `U` of links and
+//! CPU cores — the objective of the paper's MILP formulation (Table 1).
+//!
+//! Three solvers are provided, matching the algorithms compared in Figure 5:
+//!
+//! * [`GreedySolver`](solvers::GreedySolver) — the paper's greedy baseline:
+//!   walk the flow's shortest path and put services on the first node with a
+//!   free core;
+//! * [`OptimalSolver`](solvers::OptimalSolver) — the stand-in for solving
+//!   the MILP exactly: per-flow min-max dynamic programming combined with
+//!   iterated reassignment until no flow can improve the objective (see
+//!   DESIGN.md for why this substitution preserves the Figure 5 comparison);
+//! * [`DivisionSolver`](solvers::DivisionSolver) — the paper's Division
+//!   Heuristic: split the flows into small sub-problems, solve each with the
+//!   optimal solver, commit the resources, and continue.
+//!
+//! The [`model`] module defines the problem (topology, services, flows) and
+//! the [`solution`] module defines placements, routing, the utilization
+//! metrics and a validator checking every MILP constraint.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod solution;
+pub mod solvers;
+pub mod topology;
+
+pub use model::{FlowSpec, PlacementProblem, ServiceSpec};
+pub use solution::{Placement, PlacementError, UtilizationReport};
+pub use solvers::{DivisionSolver, GreedySolver, OptimalSolver, PlacementSolver};
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,140 @@
+//! Placement solvers: the greedy baseline, the optimal (MILP stand-in)
+//! solver and the division heuristic compared in Figure 5.
+
+mod division;
+mod greedy;
+mod optimal;
+
+pub use division::DivisionSolver;
+pub use greedy::GreedySolver;
+pub use optimal::OptimalSolver;
+
+use crate::model::PlacementProblem;
+use crate::solution::Placement;
+use crate::topology::{NodeId, Topology};
+
+/// Common interface of the placement algorithms.
+pub trait PlacementSolver {
+    /// Human-readable algorithm name (used in figure output).
+    fn name(&self) -> &'static str;
+
+    /// Places as many of the problem's flows as possible.
+    fn solve(&self, problem: &PlacementProblem) -> Placement;
+}
+
+/// All-pairs shortest paths (by delay), computed once per solve and shared
+/// by the solvers.
+#[derive(Debug, Clone)]
+pub(crate) struct PathCache {
+    paths: Vec<Vec<Option<Vec<usize>>>>,
+}
+
+impl PathCache {
+    pub(crate) fn new(topology: &Topology) -> Self {
+        let n = topology.node_count();
+        let mut paths = vec![vec![None; n]; n];
+        for from in 0..n {
+            for (to, row) in paths[from].iter_mut().enumerate() {
+                *row = topology.shortest_path(from, to);
+            }
+        }
+        PathCache { paths }
+    }
+
+    pub(crate) fn path(&self, from: NodeId, to: NodeId) -> Option<&Vec<usize>> {
+        self.paths[from][to].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FlowSpec, ServiceSpec};
+    use crate::topology::{Link, Node};
+    use sdnfv_flowtable::ServiceId;
+
+    pub(crate) fn small_problem(flow_count: usize) -> PlacementProblem {
+        let topology = Topology::rocketfuel_like(8, 14, 2, 10.0, 3);
+        let services = vec![
+            ServiceSpec::new(ServiceId::new(1), "j1", 10),
+            ServiceSpec::new(ServiceId::new(2), "j2", 4),
+        ];
+        let chain: Vec<ServiceId> = services.iter().map(|s| s.id).collect();
+        let flows = (0..flow_count)
+            .map(|id| FlowSpec {
+                id,
+                ingress: id % 8,
+                egress: (id + 3) % 8,
+                bandwidth: 1.0,
+                max_delay: 100.0,
+                chain: chain.clone(),
+            })
+            .collect();
+        PlacementProblem {
+            topology,
+            services,
+            flows,
+        }
+    }
+
+    #[test]
+    fn path_cache_matches_direct_dijkstra() {
+        let topology = Topology::new(
+            vec![Node { cores: 1 }; 4],
+            vec![
+                Link { a: 0, b: 1, delay: 1.0, capacity: 1.0 },
+                Link { a: 1, b: 2, delay: 1.0, capacity: 1.0 },
+                Link { a: 2, b: 3, delay: 1.0, capacity: 1.0 },
+            ],
+        );
+        let cache = PathCache::new(&topology);
+        assert_eq!(cache.path(0, 3), topology.shortest_path(0, 3).as_ref());
+        assert_eq!(cache.path(2, 2).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn all_solvers_produce_valid_placements() {
+        let problem = small_problem(6);
+        let solvers: Vec<Box<dyn PlacementSolver>> = vec![
+            Box::new(GreedySolver::default()),
+            Box::new(OptimalSolver::default()),
+            Box::new(DivisionSolver::default()),
+        ];
+        for solver in solvers {
+            let placement = solver.solve(&problem);
+            placement
+                .validate(&problem)
+                .unwrap_or_else(|e| panic!("{} produced invalid placement: {e:?}", solver.name()));
+            assert!(
+                placement.placed_flows() > 0,
+                "{} placed no flows",
+                solver.name()
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_is_no_worse_than_greedy() {
+        let problem = small_problem(8);
+        let greedy = GreedySolver::default().solve(&problem);
+        let optimal = OptimalSolver::default().solve(&problem);
+        let gr = greedy.utilization(&problem);
+        let or = optimal.utilization(&problem);
+        // The optimal solver must place at least as many flows, and when it
+        // places the same number its objective must not be worse.
+        assert!(or.placed_flows >= gr.placed_flows);
+        if or.placed_flows == gr.placed_flows && gr.placed_flows == problem.flows.len() {
+            assert!(or.max_utilization <= gr.max_utilization + 1e-9);
+        }
+    }
+
+    #[test]
+    fn division_is_between_greedy_and_optimal_in_spirit() {
+        let problem = small_problem(10);
+        let optimal = OptimalSolver::default().solve(&problem).utilization(&problem);
+        let division = DivisionSolver::default().solve(&problem).utilization(&problem);
+        // The division heuristic should achieve at least 60% of the optimal
+        // solver's placed flows (the paper reports ~85%).
+        assert!(division.placed_flows * 100 >= optimal.placed_flows * 60);
+    }
+}

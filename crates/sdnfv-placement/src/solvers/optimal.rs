@@ -1,0 +1,437 @@
+//! The MILP stand-in: per-flow min-max dynamic programming plus iterated
+//! reassignment (local search) until the objective stops improving.
+//!
+//! For one flow, given the load already committed by other flows, the best
+//! chain placement under the min-max objective can be found exactly by
+//! dynamic programming over (chain position, node): the objective composes
+//! with `max`, so Bellman's principle applies. Placing flows one at a time
+//! with that DP and then repeatedly re-placing each flow against the load of
+//! the others converges to a joint assignment that is locally optimal; on
+//! the paper's problem sizes this tracks the true MILP optimum closely (see
+//! DESIGN.md for the substitution note).
+
+use crate::model::{FlowSpec, PlacementProblem};
+use crate::solution::{FlowAssignment, LoadTracker, Placement};
+use crate::solvers::{PathCache, PlacementSolver};
+use crate::topology::NodeId;
+use sdnfv_flowtable::ServiceId;
+
+/// The optimal-placement stand-in solver.
+#[derive(Debug, Clone)]
+pub struct OptimalSolver {
+    /// Maximum improvement passes over all flows.
+    pub max_passes: usize,
+}
+
+impl Default for OptimalSolver {
+    fn default() -> Self {
+        OptimalSolver { max_passes: 4 }
+    }
+}
+
+/// Cost of putting one more flow of `service` on `node`, given that earlier
+/// positions of the *same* flow already consumed `extra` cores there:
+/// returns `(per-core utilization, additional cores needed)` or `None` if
+/// the node has no spare core for it.
+fn node_cost(
+    problem: &PlacementProblem,
+    tracker: &LoadTracker,
+    node: NodeId,
+    service: ServiceId,
+    extra: u32,
+) -> Option<(f64, u32)> {
+    let per_core = problem.service(service)?.flows_per_core;
+    let count = tracker.flows_on.get(&(node, service)).copied().unwrap_or(0);
+    let before = LoadTracker::cores_for(count, per_core);
+    let after = LoadTracker::cores_for(count + 1, per_core);
+    let delta = after - before;
+    let free = problem
+        .topology
+        .node(node)
+        .cores
+        .saturating_sub(tracker.cores_used[node])
+        .saturating_sub(extra);
+    if delta > free {
+        return None;
+    }
+    Some((f64::from(count + 1) / f64::from(after * per_core), delta))
+}
+
+/// Worst link utilization along `path` after adding `bandwidth` to it.
+fn segment_cost(
+    problem: &PlacementProblem,
+    tracker: &LoadTracker,
+    path: &[usize],
+    bandwidth: f64,
+) -> f64 {
+    path.iter()
+        .map(|link| {
+            (tracker.link_load[*link] + bandwidth) / problem.topology.link(*link).capacity
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Finds the min-max placement of one flow against the committed load, or
+/// `None` if no feasible placement exists.
+pub(crate) fn place_flow_dp(
+    problem: &PlacementProblem,
+    cache: &PathCache,
+    tracker: &LoadTracker,
+    flow: &FlowSpec,
+) -> Option<FlowAssignment> {
+    place_flow_dp_with_bias(problem, cache, tracker, flow, 0.0)
+}
+
+/// Like [`place_flow_dp`], but utilization costs are compared in buckets of
+/// `bucket` before tie-breaking on the number of newly opened cores. A
+/// non-zero bucket makes the solver *pack* partially used cores as long as
+/// the bottleneck stays within the same bucket, trading a little min-max
+/// quality for much better capacity — which is what the Division Heuristic
+/// needs, since it never revisits already committed sub-problems.
+pub(crate) fn place_flow_dp_with_bias(
+    problem: &PlacementProblem,
+    cache: &PathCache,
+    tracker: &LoadTracker,
+    flow: &FlowSpec,
+    bucket: f64,
+) -> Option<FlowAssignment> {
+    let n = problem.topology.node_count();
+    let positions = flow.chain.len();
+    if positions == 0 {
+        let path = cache.path(flow.ingress, flow.egress)?.clone();
+        return Some(FlowAssignment {
+            nodes: vec![],
+            route: vec![path],
+        });
+    }
+    // DP state: (node hosting the current position, cores this flow has
+    // already consumed on that node through consecutive earlier positions).
+    // The second dimension keeps the DP from oversubscribing a node's cores
+    // when it stacks several of the flow's services on it.
+    let extra_bound = positions + 1;
+    let index = |node: usize, extra: usize| node * extra_bound + extra;
+    #[derive(Clone, Copy)]
+    struct Entry {
+        cost: f64,
+        /// New cores this flow opens along the chain so far — used as a
+        /// tie-breaker so the solver packs partially used cores before
+        /// opening fresh ones (what a feasibility-constrained MILP would do).
+        opened: u32,
+        delay: f64,
+        parent: Option<(NodeId, usize)>,
+    }
+    // Lexicographic comparison: (possibly bucketed) bottleneck first, then
+    // cores opened, then delay.
+    let quantize = move |cost: f64| {
+        if bucket > 0.0 {
+            (cost / bucket).floor()
+        } else {
+            cost
+        }
+    };
+    let better_than = move |cost: f64, opened: u32, delay: f64, existing: &Entry| -> bool {
+        let (a, b) = (quantize(cost), quantize(existing.cost));
+        if a < b - 1e-12 {
+            return true;
+        }
+        if (a - b).abs() <= 1e-12 {
+            if opened < existing.opened {
+                return true;
+            }
+            if opened == existing.opened && delay < existing.delay {
+                return true;
+            }
+        }
+        false
+    };
+    let mut dp: Vec<Option<Entry>> = vec![None; n * extra_bound];
+    for node in 0..n {
+        let Some(path) = cache.path(flow.ingress, node) else { continue };
+        let Some((core, delta)) = node_cost(problem, tracker, node, flow.chain[0], 0) else {
+            continue;
+        };
+        let link = segment_cost(problem, tracker, path, flow.bandwidth);
+        dp[index(node, delta as usize)] = Some(Entry {
+            cost: core.max(link),
+            opened: delta,
+            delay: problem.topology.path_delay(path),
+            parent: None,
+        });
+    }
+    let mut parents: Vec<Vec<Option<(NodeId, usize)>>> =
+        vec![dp.iter().map(|e| e.and_then(|e| e.parent)).collect()];
+    for position in 1..positions {
+        let service = flow.chain[position];
+        let mut next: Vec<Option<Entry>> = vec![None; n * extra_bound];
+        for node in 0..n {
+            for prev in 0..n {
+                for prev_extra in 0..extra_bound {
+                    let Some(prev_entry) = dp[index(prev, prev_extra)] else { continue };
+                    // Cores already consumed by this flow on `node`: only
+                    // carried over when the flow stays on the same node.
+                    let carried = if prev == node { prev_extra as u32 } else { 0 };
+                    let Some((core, delta)) =
+                        node_cost(problem, tracker, node, service, carried)
+                    else {
+                        continue;
+                    };
+                    let Some(path) = cache.path(prev, node) else { continue };
+                    let link = segment_cost(problem, tracker, path, flow.bandwidth);
+                    let cost = prev_entry.cost.max(link).max(core);
+                    let opened = prev_entry.opened + delta;
+                    let delay = prev_entry.delay + problem.topology.path_delay(path);
+                    let extra = (carried + delta) as usize;
+                    let slot = &mut next[index(node, extra.min(extra_bound - 1))];
+                    let better = match slot {
+                        None => true,
+                        Some(existing) => better_than(cost, opened, delay, existing),
+                    };
+                    if better {
+                        *slot = Some(Entry {
+                            cost,
+                            opened,
+                            delay,
+                            parent: Some((prev, prev_extra)),
+                        });
+                    }
+                }
+            }
+        }
+        parents.push(next.iter().map(|e| e.and_then(|e| e.parent)).collect());
+        dp = next;
+    }
+    // Close the chain to the egress and pick the best final state.
+    let mut best_final: Option<(Entry, NodeId, usize)> = None;
+    for node in 0..n {
+        for extra in 0..extra_bound {
+            let Some(entry) = dp[index(node, extra)] else { continue };
+            let Some(path) = cache.path(node, flow.egress) else { continue };
+            let link = segment_cost(problem, tracker, path, flow.bandwidth);
+            let total_cost = entry.cost.max(link);
+            let total_delay = entry.delay + problem.topology.path_delay(path);
+            if total_delay > flow.max_delay {
+                continue;
+            }
+            let better = match &best_final {
+                None => true,
+                Some((existing, _, _)) => better_than(total_cost, entry.opened, total_delay, existing),
+            };
+            if better {
+                best_final = Some((
+                    Entry {
+                        cost: total_cost,
+                        opened: entry.opened,
+                        delay: total_delay,
+                        parent: entry.parent,
+                    },
+                    node,
+                    extra,
+                ));
+            }
+        }
+    }
+    let (_, last_node, last_extra) = best_final?;
+    // Reconstruct the node sequence.
+    let mut nodes = vec![last_node; positions];
+    let mut state = (last_node, last_extra);
+    for position in (1..positions).rev() {
+        let parent = parents[position][index(state.0, state.1)]?;
+        nodes[position - 1] = parent.0;
+        state = parent;
+    }
+    // Build the route and re-verify feasibility of shared-node core use by
+    // replaying onto a cloned tracker (the DP treats positions
+    // independently, so stacking several services of this flow on one node
+    // could oversubscribe its cores).
+    let mut waypoints = vec![flow.ingress];
+    waypoints.extend(&nodes);
+    waypoints.push(flow.egress);
+    let mut route = Vec::with_capacity(waypoints.len() - 1);
+    for pair in waypoints.windows(2) {
+        route.push(cache.path(pair[0], pair[1])?.clone());
+    }
+    let assignment = FlowAssignment { nodes, route };
+    let mut trial = tracker.clone();
+    trial.apply(problem, flow, &assignment);
+    for (node, used) in trial.cores_used.iter().enumerate() {
+        if *used > problem.topology.node(node).cores {
+            return None;
+        }
+    }
+    Some(assignment)
+}
+
+impl PlacementSolver for OptimalSolver {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn solve(&self, problem: &PlacementProblem) -> Placement {
+        let cache = PathCache::new(&problem.topology);
+        let mut tracker = LoadTracker::new(problem);
+        let mut placement = Placement::empty(problem);
+
+        // Initial pass: best-response placement in flow order.
+        for flow in &problem.flows {
+            if let Some(assignment) = place_flow_dp(problem, &cache, &tracker, flow) {
+                tracker.apply(problem, flow, &assignment);
+                placement.assignments[flow.id] = Some(assignment);
+            }
+        }
+
+        // Iterated reassignment: re-place each flow against everyone else.
+        for _ in 0..self.max_passes {
+            let mut improved = false;
+            for flow in &problem.flows {
+                let current = placement.assignments[flow.id].clone();
+                if let Some(current_assignment) = &current {
+                    tracker.remove(problem, flow, current_assignment);
+                }
+                let baseline = tracker.objective(problem);
+                match place_flow_dp(problem, &cache, &tracker, flow) {
+                    Some(new_assignment) => {
+                        tracker.apply(problem, flow, &new_assignment);
+                        let new_objective = tracker.objective(problem);
+                        let old_objective = match &current {
+                            Some(old) => {
+                                // Objective if we had kept the old assignment.
+                                tracker.remove(problem, flow, &new_assignment);
+                                tracker.apply(problem, flow, old);
+                                let o = tracker.objective(problem);
+                                tracker.remove(problem, flow, old);
+                                tracker.apply(problem, flow, &new_assignment);
+                                o
+                            }
+                            None => f64::INFINITY,
+                        };
+                        if new_objective < old_objective - 1e-9 || current.is_none() {
+                            if placement.assignments[flow.id].as_ref() != Some(&new_assignment) {
+                                improved = true;
+                            }
+                            placement.assignments[flow.id] = Some(new_assignment);
+                        } else {
+                            // Keep the previous assignment.
+                            tracker.remove(problem, flow, &new_assignment);
+                            let old = current.expect("old_objective finite implies Some");
+                            tracker.apply(problem, flow, &old);
+                            placement.assignments[flow.id] = Some(old);
+                        }
+                    }
+                    None => {
+                        // Could not re-place; restore the old assignment.
+                        if let Some(old) = current {
+                            tracker.apply(problem, flow, &old);
+                            placement.assignments[flow.id] = Some(old);
+                        } else {
+                            placement.assignments[flow.id] = None;
+                        }
+                        let _ = baseline;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ServiceSpec;
+    use crate::topology::{Link, Node, Topology};
+
+    fn problem_with_two_equal_paths() -> PlacementProblem {
+        // A diamond: 0 -> {1, 2} -> 3, services can go on 1 or 2.
+        let topology = Topology::new(
+            vec![
+                Node { cores: 0 },
+                Node { cores: 1 },
+                Node { cores: 1 },
+                Node { cores: 0 },
+            ],
+            vec![
+                Link { a: 0, b: 1, delay: 1.0, capacity: 2.0 },
+                Link { a: 0, b: 2, delay: 1.0, capacity: 2.0 },
+                Link { a: 1, b: 3, delay: 1.0, capacity: 2.0 },
+                Link { a: 2, b: 3, delay: 1.0, capacity: 2.0 },
+            ],
+        );
+        let service = ServiceSpec::new(ServiceId::new(1), "svc", 2);
+        PlacementProblem {
+            topology,
+            services: vec![service],
+            flows: (0..2)
+                .map(|id| FlowSpec {
+                    id,
+                    ingress: 0,
+                    egress: 3,
+                    bandwidth: 1.0,
+                    max_delay: 10.0,
+                    chain: vec![ServiceId::new(1)],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn dp_finds_feasible_min_max_placement() {
+        let problem = problem_with_two_equal_paths();
+        let cache = PathCache::new(&problem.topology);
+        let tracker = LoadTracker::new(&problem);
+        let assignment = place_flow_dp(&problem, &cache, &tracker, &problem.flows[0]).unwrap();
+        assert_eq!(assignment.nodes.len(), 1);
+        assert!(assignment.nodes[0] == 1 || assignment.nodes[0] == 2);
+        assert_eq!(assignment.route.len(), 2);
+    }
+
+    #[test]
+    fn solver_spreads_load_across_the_diamond() {
+        let problem = problem_with_two_equal_paths();
+        let placement = OptimalSolver::default().solve(&problem);
+        placement.validate(&problem).unwrap();
+        assert_eq!(placement.placed_flows(), 2);
+        let report = placement.utilization(&problem);
+        // Spreading the two flows over the two middle nodes keeps the link
+        // utilization at 1/2; stacking them would push a link to 1.0.
+        assert!(report.max_link_utilization <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_when_no_cores_anywhere() {
+        let mut problem = problem_with_two_equal_paths();
+        problem.flows.truncate(1);
+        // Remove all cores.
+        problem.topology = Topology::new(
+            vec![Node { cores: 0 }; 4],
+            problem.topology.links().to_vec(),
+        );
+        let placement = OptimalSolver::default().solve(&problem);
+        assert_eq!(placement.placed_flows(), 0);
+    }
+
+    #[test]
+    fn empty_chain_routes_directly() {
+        let mut problem = problem_with_two_equal_paths();
+        problem.flows = vec![FlowSpec {
+            id: 0,
+            ingress: 0,
+            egress: 3,
+            bandwidth: 1.0,
+            max_delay: 10.0,
+            chain: vec![],
+        }];
+        let cache = PathCache::new(&problem.topology);
+        let tracker = LoadTracker::new(&problem);
+        let assignment = place_flow_dp(&problem, &cache, &tracker, &problem.flows[0]).unwrap();
+        assert!(assignment.nodes.is_empty());
+        assert_eq!(assignment.route.len(), 1);
+    }
+
+    #[test]
+    fn solver_name() {
+        assert_eq!(OptimalSolver::default().name(), "optimal");
+    }
+}

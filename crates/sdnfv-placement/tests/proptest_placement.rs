@@ -1,0 +1,86 @@
+//! Property tests: every solver's output satisfies the MILP constraints on
+//! randomly generated problem instances.
+
+use proptest::prelude::*;
+use sdnfv_flowtable::ServiceId;
+use sdnfv_placement::model::{FlowSpec, PlacementProblem, ServiceSpec};
+use sdnfv_placement::topology::Topology;
+use sdnfv_placement::{DivisionSolver, GreedySolver, OptimalSolver, PlacementSolver};
+
+fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
+    (
+        6usize..14,          // nodes
+        1u32..4,             // cores per node
+        1usize..4,           // chain length
+        1usize..12,          // flow count
+        1u32..6,             // flows per core
+        1u64..1000,          // seed
+    )
+        .prop_map(|(nodes, cores, chain_len, flow_count, per_core, seed)| {
+            let links = nodes + nodes / 2 + 2;
+            let topology = Topology::rocketfuel_like(nodes, links, cores, 10.0, seed);
+            let services: Vec<ServiceSpec> = (1..=chain_len as u32)
+                .map(|j| ServiceSpec::new(ServiceId::new(j), format!("s{j}"), per_core))
+                .collect();
+            let chain: Vec<ServiceId> = services.iter().map(|s| s.id).collect();
+            let flows = (0..flow_count)
+                .map(|id| FlowSpec {
+                    id,
+                    ingress: (id * 3 + seed as usize) % nodes,
+                    egress: (id * 5 + 1 + seed as usize) % nodes,
+                    bandwidth: 1.0,
+                    max_delay: 500.0,
+                    chain: chain.clone(),
+                })
+                .collect();
+            PlacementProblem {
+                topology,
+                services,
+                flows,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_outputs_always_satisfy_constraints(problem in arb_problem()) {
+        let solvers: Vec<Box<dyn PlacementSolver>> = vec![
+            Box::new(GreedySolver::default()),
+            Box::new(OptimalSolver { max_passes: 2 }),
+            Box::new(DivisionSolver { group_size: 3, passes_per_group: 1, packing_bucket: 0.2 }),
+        ];
+        for solver in solvers {
+            let placement = solver.solve(&problem);
+            prop_assert_eq!(placement.assignments.len(), problem.flows.len());
+            if let Err(errors) = placement.validate(&problem) {
+                return Err(TestCaseError::fail(format!(
+                    "{} produced constraint violations: {errors:?}",
+                    solver.name()
+                )));
+            }
+            // Every placed flow's utilization report is internally consistent.
+            let report = placement.utilization(&problem);
+            prop_assert!(report.max_utilization >= report.max_link_utilization - 1e-12);
+            prop_assert!(report.max_utilization >= report.max_core_utilization - 1e-12);
+            prop_assert_eq!(report.placed_flows, placement.placed_flows());
+        }
+    }
+
+    #[test]
+    fn placements_are_deterministic(problem in arb_problem()) {
+        // The solvers are deterministic functions of the problem: running a
+        // solver twice yields the identical placement (important so the
+        // figure harness is reproducible).
+        for solver in [
+            Box::new(GreedySolver::default()) as Box<dyn PlacementSolver>,
+            Box::new(OptimalSolver { max_passes: 2 }),
+            Box::new(DivisionSolver { group_size: 3, passes_per_group: 1, packing_bucket: 0.2 }),
+        ] {
+            let a = solver.solve(&problem);
+            let b = solver.solve(&problem);
+            prop_assert_eq!(a, b, "{} is not deterministic", solver.name());
+        }
+    }
+}

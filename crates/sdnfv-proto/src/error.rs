@@ -1,0 +1,99 @@
+//! Error type shared by all protocol parsers.
+
+use std::fmt;
+
+/// Errors produced while parsing or building packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer is shorter than the header or payload being parsed.
+    Truncated {
+        /// Protocol layer that failed to parse (e.g. `"ipv4"`).
+        layer: &'static str,
+        /// Number of bytes required by the parser.
+        needed: usize,
+        /// Number of bytes actually available.
+        available: usize,
+    },
+    /// A field holds a value the parser cannot interpret.
+    InvalidField {
+        /// Protocol layer that failed to parse.
+        layer: &'static str,
+        /// Human-readable description of the offending field.
+        field: &'static str,
+    },
+    /// The packet does not carry the protocol that was requested
+    /// (e.g. asking for a TCP header on a UDP packet).
+    WrongProtocol {
+        /// Protocol that was expected.
+        expected: &'static str,
+        /// Protocol that was found instead.
+        found: String,
+    },
+    /// The payload is not valid for the application protocol
+    /// (HTTP / memcached) being parsed.
+    Malformed {
+        /// Protocol layer that failed to parse.
+        layer: &'static str,
+        /// Human readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{layer}: truncated packet (need {needed} bytes, have {available})"
+            ),
+            ProtoError::InvalidField { layer, field } => {
+                write!(f, "{layer}: invalid field {field}")
+            }
+            ProtoError::WrongProtocol { expected, found } => {
+                write!(f, "expected {expected} packet, found {found}")
+            }
+            ProtoError::Malformed { layer, reason } => write!(f, "{layer}: malformed ({reason})"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_truncated() {
+        let e = ProtoError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            available: 4,
+        };
+        assert!(e.to_string().contains("ipv4"));
+        assert!(e.to_string().contains("20"));
+    }
+
+    #[test]
+    fn display_wrong_protocol() {
+        let e = ProtoError::WrongProtocol {
+            expected: "tcp",
+            found: "udp".to_string(),
+        };
+        assert_eq!(e.to_string(), "expected tcp packet, found udp");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        let e = ProtoError::InvalidField {
+            layer: "eth",
+            field: "ethertype",
+        };
+        assert_err(&e);
+    }
+}

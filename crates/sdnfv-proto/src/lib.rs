@@ -1,0 +1,63 @@
+//! Packet model and protocol parsing for the SDNFV data plane.
+//!
+//! This crate provides the representation of network packets that flows
+//! through every other SDNFV component, together with zero-allocation
+//! parsers and builders for the protocols the paper's network functions
+//! inspect:
+//!
+//! * [`ethernet`] — Ethernet II frames,
+//! * [`ipv4`] — IPv4 headers with internet checksums,
+//! * [`tcp`] / [`udp`] — transport headers,
+//! * [`http`] — the subset of HTTP/1.x needed by the Video Detector and IDS,
+//! * [`memcached`] — the UDP memcached framing and text protocol used by the
+//!   application-aware load balancer (Figure 12 of the paper),
+//! * [`packet`] — the [`Packet`](packet::Packet) type carrying a raw frame
+//!   plus data-plane metadata, and convenience builders used by the traffic
+//!   generators.
+//!
+//! Flow identity is captured by [`FlowKey`](flow::FlowKey), the classic
+//! 5-tuple used for flow-table matching and flow-hash load balancing.
+//!
+//! # Example
+//!
+//! ```
+//! use sdnfv_proto::packet::PacketBuilder;
+//! use sdnfv_proto::flow::FlowKey;
+//!
+//! let pkt = PacketBuilder::udp()
+//!     .src_ip([10, 0, 0, 1])
+//!     .dst_ip([10, 0, 0, 2])
+//!     .src_port(5000)
+//!     .dst_port(53)
+//!     .payload(b"hello")
+//!     .build();
+//! let key = FlowKey::from_packet(&pkt).expect("valid UDP packet");
+//! assert_eq!(key.src_port, 5000);
+//! assert_eq!(key.dst_port, 53);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod ethernet;
+pub mod flow;
+pub mod http;
+pub mod ipv4;
+pub mod mac;
+pub mod memcached;
+pub mod packet;
+pub mod tcp;
+pub mod udp;
+
+pub use error::ProtoError;
+pub use ethernet::{EtherType, EthernetHeader};
+pub use flow::{FlowKey, IpProtocol};
+pub use ipv4::Ipv4Header;
+pub use mac::MacAddr;
+pub use packet::{Packet, PacketBuilder, Port};
+pub use tcp::TcpHeader;
+pub use udp::UdpHeader;
+
+/// Result alias used throughout the protocol crate.
+pub type Result<T> = std::result::Result<T, ProtoError>;

@@ -1,0 +1,119 @@
+//! Property-based tests: parse/serialize round-trips and parser robustness.
+
+use proptest::prelude::*;
+use sdnfv_proto::ethernet::{EtherType, EthernetHeader};
+use sdnfv_proto::flow::{FlowKey, IpProtocol};
+use sdnfv_proto::ipv4::Ipv4Header;
+use sdnfv_proto::mac::MacAddr;
+use sdnfv_proto::memcached;
+use sdnfv_proto::packet::{Packet, PacketBuilder};
+use sdnfv_proto::tcp::TcpHeader;
+use sdnfv_proto::udp::UdpHeader;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #[test]
+    fn ethernet_roundtrip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), et in any::<u16>()) {
+        let hdr = EthernetHeader::new(MacAddr::new(dst), MacAddr::new(src), EtherType::from(et));
+        let parsed = EthernetHeader::parse(&hdr.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, hdr);
+    }
+
+    #[test]
+    fn ipv4_roundtrip_and_checksum(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        proto in any::<u8>(),
+        payload_len in 0usize..1400,
+    ) {
+        let hdr = Ipv4Header::new(
+            Ipv4Addr::from(src),
+            Ipv4Addr::from(dst),
+            IpProtocol::from(proto),
+            payload_len,
+        );
+        let bytes = hdr.to_bytes();
+        let parsed = Ipv4Header::parse(&bytes).unwrap();
+        prop_assert_eq!(parsed.src, hdr.src);
+        prop_assert_eq!(parsed.dst, hdr.dst);
+        prop_assert_eq!(parsed.protocol.value(), proto);
+        prop_assert!(Ipv4Header::checksum_valid(&bytes));
+    }
+
+    #[test]
+    fn udp_roundtrip(src in any::<u16>(), dst in any::<u16>(), len in 0usize..60_000) {
+        let hdr = UdpHeader::new(src, dst, len.min(u16::MAX as usize - 8));
+        prop_assert_eq!(UdpHeader::parse(&hdr.to_bytes()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn tcp_roundtrip(src in any::<u16>(), dst in any::<u16>(), seq in any::<u32>(), ack in any::<u32>()) {
+        let mut hdr = TcpHeader::new(src, dst, seq);
+        hdr.ack = ack;
+        prop_assert_eq!(TcpHeader::parse(&hdr.to_bytes()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn built_packets_always_parse(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        is_tcp in any::<bool>(),
+    ) {
+        let builder = if is_tcp { PacketBuilder::tcp() } else { PacketBuilder::udp() };
+        let pkt = builder
+            .src_ip(Ipv4Addr::from(src))
+            .dst_ip(Ipv4Addr::from(dst))
+            .src_port(sport)
+            .dst_port(dport)
+            .payload(&payload)
+            .build();
+        let key = FlowKey::from_packet(&pkt).expect("built packets carry IPv4");
+        prop_assert_eq!(key.src_ip, Ipv4Addr::from(src));
+        prop_assert_eq!(key.dst_ip, Ipv4Addr::from(dst));
+        prop_assert_eq!(key.src_port, sport);
+        prop_assert_eq!(key.dst_port, dport);
+        prop_assert_eq!(pkt.l4_payload().unwrap(), &payload[..]);
+        // Reversing twice is the identity.
+        prop_assert_eq!(key.reversed().reversed(), key);
+    }
+
+    #[test]
+    fn padded_packets_have_exact_size(size in 60usize..1500) {
+        let pkt = PacketBuilder::udp().total_size(size).build();
+        prop_assert!(pkt.len() >= 42);
+        if size >= 42 {
+            prop_assert_eq!(pkt.len(), size.max(42));
+        }
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let pkt = Packet::from_bytes(data.clone());
+        let _ = pkt.ethernet();
+        let _ = pkt.ipv4();
+        let _ = pkt.tcp();
+        let _ = pkt.udp();
+        let _ = pkt.l4_payload();
+        let _ = pkt.flow_key();
+        let _ = sdnfv_proto::http::HttpRequest::parse(&data);
+        let _ = sdnfv_proto::http::HttpResponse::parse(&data);
+        let _ = memcached::Request::parse(&data);
+    }
+
+    #[test]
+    fn memcached_get_roundtrip(id in any::<u16>(), key in "[a-zA-Z0-9:_]{1,64}") {
+        let payload = memcached::get_request(id, &key);
+        let req = memcached::Request::parse(&payload).unwrap();
+        prop_assert_eq!(req.frame.request_id, id);
+        prop_assert_eq!(req.command.key(), key.as_str());
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic(src in any::<u32>(), dst in any::<u32>(), sp in any::<u16>(), dp in any::<u16>()) {
+        let key = FlowKey::new(Ipv4Addr::from(src), Ipv4Addr::from(dst), sp, dp, IpProtocol::Tcp);
+        prop_assert_eq!(key.stable_hash(), key.stable_hash());
+    }
+}

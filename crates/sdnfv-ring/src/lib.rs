@@ -1,0 +1,25 @@
+//! Lock-free communication primitives for the SDNFV data plane.
+//!
+//! The paper's NF Manager exchanges packets with network functions through
+//! asynchronous ring buffers backed by shared huge pages, so that no locks
+//! are taken on the packet path (§4.1). This crate provides the equivalents
+//! used by the [`sdnfv-dataplane`](../sdnfv_dataplane/index.html) runtime:
+//!
+//! * [`spsc`] — bounded single-producer/single-consumer rings whose producer
+//!   and consumer handles are distinct owned types, enforcing the
+//!   one-producer/one-consumer discipline at compile time,
+//! * [`pool`] — a bounded packet pool modelling the shared huge-page region
+//!   DPDK DMAs packets into; exhaustion translates to packet drops exactly
+//!   like a full mbuf pool,
+//! * [`shared`] — reference-counted packet handles used when the manager
+//!   dispatches one packet to several read-only NFs in parallel (§4.2).
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod shared;
+pub mod spsc;
+
+pub use pool::{PacketPool, PoolStats, PooledPacket};
+pub use shared::SharedPacket;
+pub use spsc::{spsc_ring, Consumer, Producer, PushError};

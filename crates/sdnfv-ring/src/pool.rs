@@ -1,0 +1,212 @@
+//! Bounded packet pool modelling the shared huge-page packet buffers.
+//!
+//! In the paper's platform, DPDK DMAs arriving frames into huge pages shared
+//! between the host and all NF VMs, and a fixed-size descriptor pool bounds
+//! how many packets can be in flight inside one host. [`PacketPool`] plays
+//! that role here: allocation hands out a [`PooledPacket`] handle, dropping
+//! the handle returns the slot, and allocation failures are counted so the
+//! data plane can report drops due to pool exhaustion.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sdnfv_proto::Packet;
+
+/// Statistics exported by a [`PacketPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Packets currently allocated from the pool.
+    pub in_use: usize,
+    /// Total successful allocations.
+    pub allocated: u64,
+    /// Allocations that failed because the pool was exhausted.
+    pub exhausted: u64,
+}
+
+struct PoolInner {
+    capacity: usize,
+    in_use: AtomicUsize,
+    allocated: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+/// A bounded pool of packet buffers shared by one NF host.
+#[derive(Clone)]
+pub struct PacketPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for PacketPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacketPool")
+            .field("capacity", &self.inner.capacity)
+            .field("in_use", &self.inner.in_use.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PacketPool {
+    /// Creates a pool with room for `capacity` in-flight packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "packet pool capacity must be non-zero");
+        PacketPool {
+            inner: Arc::new(PoolInner {
+                capacity,
+                in_use: AtomicUsize::new(0),
+                allocated: AtomicU64::new(0),
+                exhausted: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Wraps `packet` in a pooled handle, or returns `None` (counting the
+    /// failure) if the pool is exhausted. A `None` corresponds to the NIC
+    /// dropping the frame because no mbuf was available.
+    pub fn alloc(&self, packet: Packet) -> Option<PooledPacket> {
+        // Reserve a slot optimistically; back out if we overshot capacity.
+        let prev = self.inner.in_use.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.inner.capacity {
+            self.inner.in_use.fetch_sub(1, Ordering::AcqRel);
+            self.inner.exhausted.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.inner.allocated.fetch_add(1, Ordering::Relaxed);
+        Some(PooledPacket {
+            packet,
+            pool: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Pool capacity in packets.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Packets currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.inner.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Returns a snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            in_use: self.inner.in_use.load(Ordering::Relaxed),
+            allocated: self.inner.allocated.load(Ordering::Relaxed),
+            exhausted: self.inner.exhausted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A packet allocated from a [`PacketPool`]; releasing the handle returns
+/// its slot to the pool.
+pub struct PooledPacket {
+    packet: Packet,
+    pool: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for PooledPacket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledPacket")
+            .field("len", &self.packet.len())
+            .finish()
+    }
+}
+
+impl PooledPacket {
+    /// Read access to the packet.
+    pub fn packet(&self) -> &Packet {
+        &self.packet
+    }
+
+    /// Mutable access to the packet (requires exclusive ownership of the
+    /// handle, so this is always race-free).
+    pub fn packet_mut(&mut self) -> &mut Packet {
+        &mut self.packet
+    }
+
+    /// Consumes the handle and returns the packet, releasing the pool slot.
+    pub fn into_packet(self) -> Packet {
+        // `self` is dropped at the end of this function which releases the
+        // slot; cloning the frame out first keeps the accounting in Drop.
+        self.packet.clone()
+    }
+}
+
+impl std::ops::Deref for PooledPacket {
+    type Target = Packet;
+
+    fn deref(&self) -> &Packet {
+        &self.packet
+    }
+}
+
+impl std::ops::DerefMut for PooledPacket {
+    fn deref_mut(&mut self) -> &mut Packet {
+        &mut self.packet
+    }
+}
+
+impl Drop for PooledPacket {
+    fn drop(&mut self) {
+        self.pool.in_use.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    fn pkt() -> Packet {
+        PacketBuilder::udp().payload(b"test").build()
+    }
+
+    #[test]
+    fn allocation_and_release() {
+        let pool = PacketPool::new(2);
+        let a = pool.alloc(pkt()).unwrap();
+        let b = pool.alloc(pkt()).unwrap();
+        assert_eq!(pool.in_use(), 2);
+        assert!(pool.alloc(pkt()).is_none());
+        assert_eq!(pool.stats().exhausted, 1);
+        drop(a);
+        assert_eq!(pool.in_use(), 1);
+        let c = pool.alloc(pkt()).unwrap();
+        assert_eq!(pool.in_use(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.stats().allocated, 3);
+    }
+
+    #[test]
+    fn deref_gives_packet_access() {
+        let pool = PacketPool::new(1);
+        let mut p = pool.alloc(pkt()).unwrap();
+        assert_eq!(p.l4_payload().unwrap(), b"test");
+        p.packet_mut().ingress_port = 7;
+        assert_eq!(p.packet().ingress_port, 7);
+        let raw = p.into_packet();
+        assert_eq!(raw.ingress_port, 7);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = PacketPool::new(0);
+    }
+
+    #[test]
+    fn clone_shares_accounting() {
+        let pool = PacketPool::new(4);
+        let pool2 = pool.clone();
+        let _a = pool.alloc(pkt()).unwrap();
+        assert_eq!(pool2.in_use(), 1);
+        assert_eq!(pool2.capacity(), 4);
+    }
+}

@@ -1,0 +1,214 @@
+//! Reference-counted packet handles for parallel NF processing.
+//!
+//! When the NF Manager dispatches one packet to several read-only NFs at the
+//! same time (paper §4.2), each NF receives a [`SharedPacket`] handle over
+//! the same underlying buffer. The handle carries the explicit reference
+//! counter the paper adds to the DPDK packet descriptor: the RX thread
+//! initializes it to the parallelization factor and each NF decrements it on
+//! completion; whoever performs the final decrement learns that the packet is
+//! ready for the TX thread's conflict-resolution step.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use sdnfv_proto::Packet;
+
+struct SharedInner {
+    packet: RwLock<Packet>,
+    remaining: AtomicU32,
+    readers: u32,
+}
+
+/// A packet shared (read-mostly) between several concurrently running NFs.
+#[derive(Clone)]
+pub struct SharedPacket {
+    inner: Arc<SharedInner>,
+}
+
+impl std::fmt::Debug for SharedPacket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPacket")
+            .field("remaining", &self.remaining())
+            .field("readers", &self.inner.readers)
+            .finish()
+    }
+}
+
+impl SharedPacket {
+    /// Wraps `packet` for dispatch to `readers` parallel NFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readers` is zero.
+    pub fn new(packet: Packet, readers: u32) -> Self {
+        assert!(readers > 0, "a shared packet needs at least one reader");
+        SharedPacket {
+            inner: Arc::new(SharedInner {
+                packet: RwLock::new(packet),
+                remaining: AtomicU32::new(readers),
+                readers,
+            }),
+        }
+    }
+
+    /// Runs `f` with read access to the packet. Multiple NFs may hold read
+    /// access simultaneously — this is the parallel fast path.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Packet) -> R) -> R {
+        f(&self.inner.packet.read())
+    }
+
+    /// Runs `f` with exclusive write access to the packet.
+    ///
+    /// The data plane only grants this to NFs that declared themselves
+    /// non-read-only, which are never scheduled in parallel with others, so
+    /// in practice the lock is uncontended.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut Packet) -> R) -> R {
+        f(&mut self.inner.packet.write())
+    }
+
+    /// Records that one parallel NF finished with the packet. Returns `true`
+    /// for the final completion, i.e. when the caller should hand the packet
+    /// to the TX thread for conflict resolution.
+    pub fn complete_one(&self) -> bool {
+        let prev = self.inner.remaining.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "complete_one called more times than readers");
+        prev == 1
+    }
+
+    /// Number of parallel NFs that have not yet completed.
+    pub fn remaining(&self) -> u32 {
+        self.inner.remaining.load(Ordering::Acquire)
+    }
+
+    /// Re-arms the completion counter for another dispatch of the same
+    /// packet (the TX thread does this when forwarding a packet to the next
+    /// NF in a sequential chain, so the buffer is never copied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while previous readers are still outstanding or if
+    /// `readers` is zero.
+    pub fn re_arm(&self, readers: u32) {
+        assert!(readers > 0, "a shared packet needs at least one reader");
+        let previous = self.inner.remaining.swap(readers, Ordering::AcqRel);
+        assert_eq!(
+            previous, 0,
+            "re_arm called while {previous} readers are still outstanding"
+        );
+    }
+
+    /// The parallelization factor the packet was dispatched with.
+    pub fn readers(&self) -> u32 {
+        self.inner.readers
+    }
+
+    /// Extracts the packet once all handles but this one are gone, or returns
+    /// `self` if other NFs still reference it.
+    pub fn try_into_packet(self) -> Result<Packet, SharedPacket> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner.packet.into_inner()),
+            Err(inner) => Err(SharedPacket { inner }),
+        }
+    }
+
+    /// Clones the underlying frame (used when a copy must outlive the pool).
+    pub fn clone_packet(&self) -> Packet {
+        self.inner.packet.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+    use std::thread;
+
+    fn pkt() -> Packet {
+        PacketBuilder::udp().payload(b"shared").build()
+    }
+
+    #[test]
+    fn completion_counting() {
+        let sp = SharedPacket::new(pkt(), 3);
+        assert_eq!(sp.remaining(), 3);
+        assert_eq!(sp.readers(), 3);
+        assert!(!sp.complete_one());
+        assert!(!sp.complete_one());
+        assert!(sp.complete_one());
+        assert_eq!(sp.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more times than readers")]
+    fn over_completion_panics() {
+        let sp = SharedPacket::new(pkt(), 1);
+        let _ = sp.complete_one();
+        let _ = sp.complete_one();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader")]
+    fn zero_readers_panics() {
+        let _ = SharedPacket::new(pkt(), 0);
+    }
+
+    #[test]
+    fn parallel_reads_see_same_data() {
+        let sp = SharedPacket::new(pkt(), 4);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let sp = sp.clone();
+            handles.push(thread::spawn(move || {
+                let payload = sp.with_read(|p| p.l4_payload().unwrap().to_vec());
+                sp.complete_one();
+                payload
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), b"shared");
+        }
+        assert_eq!(sp.remaining(), 0);
+    }
+
+    #[test]
+    fn write_access_mutates_for_all() {
+        let sp = SharedPacket::new(pkt(), 1);
+        sp.with_write(|p| p.l4_payload_mut().unwrap()[0] = b'X');
+        assert_eq!(sp.with_read(|p| p.l4_payload().unwrap()[0]), b'X');
+    }
+
+    #[test]
+    fn into_packet_when_sole_owner() {
+        let sp = SharedPacket::new(pkt(), 2);
+        let clone = sp.clone();
+        let sp = sp.try_into_packet().unwrap_err();
+        drop(clone);
+        let packet = sp.try_into_packet().unwrap();
+        assert_eq!(packet.l4_payload().unwrap(), b"shared");
+    }
+
+    #[test]
+    fn re_arm_allows_sequential_reuse() {
+        let sp = SharedPacket::new(pkt(), 1);
+        assert!(sp.complete_one());
+        sp.re_arm(2);
+        assert_eq!(sp.remaining(), 2);
+        assert!(!sp.complete_one());
+        assert!(sp.complete_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "still outstanding")]
+    fn re_arm_with_outstanding_readers_panics() {
+        let sp = SharedPacket::new(pkt(), 2);
+        sp.re_arm(1);
+    }
+
+    #[test]
+    fn clone_packet_copies_frame() {
+        let sp = SharedPacket::new(pkt(), 1);
+        let copy = sp.clone_packet();
+        assert_eq!(copy.l4_payload().unwrap(), b"shared");
+    }
+}

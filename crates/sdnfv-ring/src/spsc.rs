@@ -1,0 +1,243 @@
+//! Bounded single-producer / single-consumer rings.
+//!
+//! The ring is backed by a lock-free array queue; the [`Producer`] and
+//! [`Consumer`] handles are separate owned (non-cloneable) types so that the
+//! single-producer / single-consumer discipline the paper relies on for
+//! lock-freedom is enforced by ownership rather than by convention.
+
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Error returned by [`Producer::push`] when the ring is full; the rejected
+/// element is handed back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+struct Shared<T> {
+    queue: ArrayQueue<T>,
+    /// Total elements ever enqueued (for occupancy statistics).
+    enqueued: AtomicU64,
+    /// Total elements ever dequeued.
+    dequeued: AtomicU64,
+    /// Pushes rejected because the ring was full (i.e. drops at this ring).
+    rejected: AtomicU64,
+}
+
+/// Creates a bounded SPSC ring with space for `capacity` elements.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn spsc_ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be non-zero");
+    let shared = Arc::new(Shared {
+        queue: ArrayQueue::new(capacity),
+        enqueued: AtomicU64::new(0),
+        dequeued: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+/// The producing side of an SPSC ring.
+#[derive(Debug)]
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming side of an SPSC ring.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("len", &self.queue.len())
+            .field("capacity", &self.queue.capacity())
+            .finish()
+    }
+}
+
+impl<T> Producer<T> {
+    /// Enqueues `value`, or returns it in a [`PushError`] if the ring is full.
+    pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        match self.shared.queue.push(value) {
+            Ok(()) => {
+                self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(value) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(PushError(value))
+            }
+        }
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Returns `true` if the ring holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.shared.queue.is_empty()
+    }
+
+    /// Returns `true` if the ring is full.
+    pub fn is_full(&self) -> bool {
+        self.shared.queue.is_full()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// Number of pushes rejected because the ring was full.
+    pub fn rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the oldest element, if any.
+    pub fn pop(&self) -> Option<T> {
+        let value = self.shared.queue.pop();
+        if value.is_some() {
+            self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Dequeues up to `max` elements into a vector (batch receive, as used by
+    /// poll-mode RX/TX threads).
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(max.min(self.len()));
+        for _ in 0..max {
+            match self.pop() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Number of elements currently queued. This is the "queue occupancy"
+    /// signal the NF Manager's load balancer reads (paper §4.2).
+    pub fn len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Returns `true` if the ring holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.shared.queue.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// Total elements ever dequeued.
+    pub fn dequeued(&self) -> u64 {
+        self.shared.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Total elements ever enqueued.
+    pub fn enqueued(&self) -> u64 {
+        self.shared.enqueued.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn push_pop_in_order() {
+        let (tx, rx) = spsc_ring(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        tx.push(3).unwrap();
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn full_ring_rejects_and_counts() {
+        let (tx, rx) = spsc_ring(2);
+        tx.push(10).unwrap();
+        tx.push(11).unwrap();
+        assert!(tx.is_full());
+        assert_eq!(tx.push(12), Err(PushError(12)));
+        assert_eq!(tx.rejected(), 1);
+        assert_eq!(rx.pop(), Some(10));
+        tx.push(13).unwrap();
+        assert_eq!(rx.pop_batch(10), vec![11, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = spsc_ring::<u8>(0);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (tx, rx) = spsc_ring(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(rx.enqueued(), 5);
+        let _ = rx.pop_batch(3);
+        assert_eq!(rx.dequeued(), 3);
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn cross_thread_delivery_preserves_all_elements() {
+        let (tx, rx) = spsc_ring(64);
+        const N: u64 = 100_000;
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(PushError(back)) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let consumer = thread::spawn(move || {
+            let mut next = 0u64;
+            while next < N {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, next, "elements must arrive in order");
+                    next += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            next
+        });
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), N);
+    }
+}

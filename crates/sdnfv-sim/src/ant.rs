@@ -1,0 +1,263 @@
+//! Figure 8: ant/elephant flow detection and rerouting.
+//!
+//! Two flows share a slow (congested) link. The Ant Detector NF observes
+//! packet sizes and rates over two-second windows; when flow 1 drops its
+//! rate it is reclassified as an "ant" and a `ChangeDefault` message moves
+//! its default path onto the fast link, cutting its latency — and relieving
+//! the slow link, which also helps flow 2. When flow 1 ramps back up it is
+//! reclassified as an elephant and returns to the slow link.
+
+use sdnfv_dataplane::{NfManager, PacketOutcome};
+use sdnfv_flowtable::{Action, FlowMatch, FlowRule, RulePort, ServiceId};
+use sdnfv_proto::packet::{Packet, PacketBuilder};
+
+use sdnfv_nf::nfs::AntDetectorNf;
+
+use crate::series::TimeSeries;
+
+/// Configuration of the Figure 8 scenario.
+#[derive(Debug, Clone)]
+pub struct AntExperiment {
+    /// Total experiment duration in seconds (180 s in the paper).
+    pub duration_secs: f64,
+    /// Simulation step in seconds.
+    pub step_secs: f64,
+    /// Time at which flow 1 reduces its rate (start of the ant phase).
+    pub ant_phase_start_secs: f64,
+    /// Time at which flow 1 ramps back up (end of the ant phase).
+    pub ant_phase_end_secs: f64,
+    /// Packets per second of flow 1 in its high-rate phases.
+    pub flow1_high_pps: f64,
+    /// Packets per second of flow 1 during the ant phase.
+    pub flow1_low_pps: f64,
+    /// Packets per second of flow 2 (constant).
+    pub flow2_pps: f64,
+    /// Capacity of the slow link in bytes per second.
+    pub slow_link_capacity: f64,
+    /// Base latency of the slow link in microseconds.
+    pub slow_base_latency_us: f64,
+    /// Base latency of the fast link in microseconds.
+    pub fast_base_latency_us: f64,
+}
+
+impl Default for AntExperiment {
+    fn default() -> Self {
+        AntExperiment {
+            duration_secs: 180.0,
+            step_secs: 0.5,
+            ant_phase_start_secs: 50.0,
+            ant_phase_end_secs: 105.0,
+            flow1_high_pps: 400.0,
+            flow1_low_pps: 20.0,
+            flow2_pps: 200.0,
+            slow_link_capacity: 300_000.0,
+            slow_base_latency_us: 150.0,
+            fast_base_latency_us: 90.0,
+        }
+    }
+}
+
+/// The Figure 8 output: per-flow latency over time plus bookkeeping about
+/// when the detector acted.
+#[derive(Debug, Clone)]
+pub struct AntResult {
+    /// Latency of flow 1 (the flow that becomes an ant) over time, in µs.
+    pub flow1_latency: TimeSeries,
+    /// Latency of flow 2 over time, in µs.
+    pub flow2_latency: TimeSeries,
+    /// Times (seconds) at which the detector changed a flow's default path.
+    pub reroute_times: Vec<f64>,
+}
+
+/// The slow and fast egress ports used by the scenario's flow rules.
+const SLOW_PORT: u16 = 1;
+const FAST_PORT: u16 = 2;
+
+impl AntExperiment {
+    fn flow1_packet(&self, size: usize) -> Packet {
+        PacketBuilder::udp()
+            .src_ip([10, 0, 0, 1])
+            .dst_ip([10, 0, 9, 9])
+            .src_port(5001)
+            .dst_port(7000)
+            .total_size(size)
+            .ingress_port(0)
+            .build()
+    }
+
+    fn flow2_packet(&self) -> Packet {
+        PacketBuilder::udp()
+            .src_ip([10, 0, 0, 2])
+            .dst_ip([10, 0, 9, 9])
+            .src_port(5002)
+            .dst_port(7000)
+            .total_size(1024)
+            .ingress_port(0)
+            .build()
+    }
+
+    /// Runs the scenario.
+    pub fn run(&self) -> AntResult {
+        let detector_svc = ServiceId::new(1);
+        let mut manager = NfManager::default();
+        // Ingress -> detector; detector defaults to the slow port but may
+        // steer to the fast port.
+        manager.install_rule(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(detector_svc)],
+        ));
+        manager.install_rule(FlowRule::new(
+            FlowMatch::at_step(detector_svc),
+            vec![Action::ToPort(SLOW_PORT), Action::ToPort(FAST_PORT)],
+        ));
+        // Detector thresholds: in a 2 s window, the high-rate or large-packet
+        // flow exceeds the byte budget, the quiet small-packet flow does not.
+        let window_ns = 2_000_000_000;
+        let ant_budget = (self.flow1_low_pps * 2.0 * 64.0 * 4.0) as u64;
+        manager.add_nf(
+            detector_svc,
+            Box::new(AntDetectorNf::new(
+                detector_svc,
+                Action::ToPort(FAST_PORT),
+                Action::ToPort(SLOW_PORT),
+                window_ns,
+                ant_budget.max(1),
+                256,
+            )),
+        );
+
+        let mut flow1_latency = TimeSeries::new("Flow1");
+        let mut flow2_latency = TimeSeries::new("Flow2");
+        let mut reroute_times = Vec::new();
+
+        let steps = (self.duration_secs / self.step_secs).round() as usize;
+        for step in 0..steps {
+            let t = step as f64 * self.step_secs;
+            let now_ns = (t * 1e9) as u64;
+            let flow1_pps = if t >= self.ant_phase_start_secs && t < self.ant_phase_end_secs {
+                self.flow1_low_pps
+            } else {
+                self.flow1_high_pps
+            };
+            // Generate this step's packets and record which port each flow
+            // used (packets of one flow all follow the same default in a
+            // step, so counting bytes per port is enough).
+            let mut slow_bytes = 0.0;
+            let mut fast_bytes = 0.0;
+            let mut flow_port = [SLOW_PORT; 2];
+            let flow1_count = (flow1_pps * self.step_secs).round() as usize;
+            let flow2_count = (self.flow2_pps * self.step_secs).round() as usize;
+            for i in 0..flow1_count.max(1) {
+                let pkt = self.flow1_packet(64);
+                if let PacketOutcome::Transmitted { port, packet } =
+                    manager.process_packet(pkt, now_ns + i as u64)
+                {
+                    flow_port[0] = port;
+                    match port {
+                        FAST_PORT => fast_bytes += packet.len() as f64,
+                        _ => slow_bytes += packet.len() as f64,
+                    }
+                }
+            }
+            for i in 0..flow2_count.max(1) {
+                let pkt = self.flow2_packet();
+                if let PacketOutcome::Transmitted { port, packet } =
+                    manager.process_packet(pkt, now_ns + i as u64)
+                {
+                    flow_port[1] = port;
+                    match port {
+                        FAST_PORT => fast_bytes += packet.len() as f64,
+                        _ => slow_bytes += packet.len() as f64,
+                    }
+                }
+            }
+            // Track reroutes (messages emitted by the detector).
+            for message in manager.take_messages() {
+                if matches!(message.message, sdnfv_nf::NfMessage::ChangeDefault { .. }) {
+                    reroute_times.push(t);
+                }
+            }
+            // Latency model: base latency plus congestion on the link used.
+            let slow_rate = slow_bytes / self.step_secs;
+            let slow_util = (slow_rate / self.slow_link_capacity).min(0.95);
+            let slow_latency = self.slow_base_latency_us / (1.0 - slow_util);
+            let fast_latency = self.fast_base_latency_us;
+            let latency_of = |port: u16| {
+                if port == FAST_PORT {
+                    fast_latency
+                } else {
+                    slow_latency
+                }
+            };
+            let _ = fast_bytes;
+            flow1_latency.push(t, latency_of(flow_port[0]));
+            flow2_latency.push(t, latency_of(flow_port[1]));
+        }
+
+        AntResult {
+            flow1_latency,
+            flow2_latency,
+            reroute_times,
+        }
+    }
+}
+
+/// Runs the paper's Figure 8 configuration.
+pub fn figure8() -> AntResult {
+    AntExperiment::default().run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ant_phase_lowers_flow1_latency() {
+        let result = figure8();
+        let before = result.flow1_latency.mean_between(20.0, 48.0).unwrap();
+        let during = result.flow1_latency.mean_between(60.0, 100.0).unwrap();
+        let after = result.flow1_latency.mean_between(130.0, 175.0).unwrap();
+        assert!(
+            during < before * 0.6,
+            "ant phase latency {during:.0}µs should be well below the elephant phase {before:.0}µs"
+        );
+        assert!(
+            after > during * 1.3,
+            "latency should rise again after the ant phase ({after:.0}µs vs {during:.0}µs)"
+        );
+    }
+
+    #[test]
+    fn flow2_benefits_from_reduced_contention() {
+        let result = figure8();
+        let before = result.flow2_latency.mean_between(20.0, 48.0).unwrap();
+        let during = result.flow2_latency.mean_between(60.0, 100.0).unwrap();
+        assert!(
+            during <= before,
+            "flow 2 should not get worse when flow 1 moves away ({during:.0} vs {before:.0})"
+        );
+    }
+
+    #[test]
+    fn detector_reroutes_at_phase_changes() {
+        let result = figure8();
+        assert!(
+            !result.reroute_times.is_empty(),
+            "the detector should have issued at least one ChangeDefault"
+        );
+        // At least one reroute happens shortly after the ant phase begins.
+        assert!(result
+            .reroute_times
+            .iter()
+            .any(|t| (50.0..70.0).contains(t)));
+    }
+
+    #[test]
+    fn series_cover_the_whole_experiment() {
+        let result = figure8();
+        assert_eq!(result.flow1_latency.len(), result.flow2_latency.len());
+        assert!(result.flow1_latency.len() >= 300);
+        let last = result.flow1_latency.points.last().unwrap().0;
+        assert!(last > 170.0);
+    }
+}

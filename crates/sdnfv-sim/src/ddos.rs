@@ -1,0 +1,257 @@
+//! Figure 9: multi-flow DDoS detection, scrubber VM launch and mitigation.
+//!
+//! A DDoS Detector NF aggregates traffic volume across all flows. Normal
+//! traffic runs at a constant rate while attack traffic from a distinct
+//! prefix ramps up. When the aggregate crosses the threshold the detector
+//! raises an alarm (`Message`), the SDNFV Application asks the orchestrator
+//! to boot a Scrubber VM (≈7.75 s), and once the scrubber starts it sends
+//! `RequestMe` so that all traffic is steered through it; the scrubber then
+//! drops the attack prefix, so outgoing traffic returns to the normal level
+//! even while incoming traffic keeps rising.
+
+use sdnfv_control::{AppAction, NfvOrchestrator, SdnfvApplication};
+use sdnfv_dataplane::{NfManager, PacketOutcome};
+use sdnfv_flowtable::{Action, FlowMatch, FlowRule, IpPrefix, RulePort, ServiceId};
+use sdnfv_nf::nfs::ddos::DDOS_ALARM_KEY;
+use sdnfv_nf::nfs::{DdosDetectorNf, ScrubberNf};
+use sdnfv_nf::NfRegistry;
+use sdnfv_proto::packet::PacketBuilder;
+use std::net::Ipv4Addr;
+
+use crate::series::TimeSeries;
+
+/// Scale factor between simulated bytes and the gigabit rates reported in
+/// the figure (the simulation generates 1/SCALE of the real traffic volume
+/// and multiplies rates back up when reporting).
+const SCALE: f64 = 1000.0;
+
+/// Configuration of the Figure 9 scenario.
+#[derive(Debug, Clone)]
+pub struct DdosExperiment {
+    /// Total duration in seconds (200 s in the paper).
+    pub duration_secs: f64,
+    /// Simulation step in seconds.
+    pub step_secs: f64,
+    /// Constant rate of legitimate traffic in Gbps (0.5 in the paper).
+    pub normal_gbps: f64,
+    /// Time at which the attack starts (30 s in the paper).
+    pub attack_start_secs: f64,
+    /// Rate at which the attack ramps, in Gbps per second.
+    pub attack_ramp_gbps_per_sec: f64,
+    /// Maximum attack rate in Gbps.
+    pub attack_max_gbps: f64,
+    /// Detection threshold in Gbps (3.2 in the paper).
+    pub threshold_gbps: f64,
+    /// Scrubber VM boot time in nanoseconds (7.75 s in the paper).
+    pub vm_boot_ns: u64,
+}
+
+impl Default for DdosExperiment {
+    fn default() -> Self {
+        DdosExperiment {
+            duration_secs: 200.0,
+            step_secs: 0.5,
+            normal_gbps: 0.5,
+            attack_start_secs: 30.0,
+            attack_ramp_gbps_per_sec: 0.045,
+            attack_max_gbps: 4.5,
+            threshold_gbps: 3.2,
+            vm_boot_ns: sdnfv_control::orchestrator::PAPER_VM_BOOT_NS,
+        }
+    }
+}
+
+/// Output of the Figure 9 scenario.
+#[derive(Debug, Clone)]
+pub struct DdosResult {
+    /// Incoming traffic over time (Gbps).
+    pub incoming: TimeSeries,
+    /// Outgoing (post-scrubbing) traffic over time (Gbps).
+    pub outgoing: TimeSeries,
+    /// Time at which the detector raised the alarm, if it did.
+    pub detection_secs: Option<f64>,
+    /// Time at which the scrubber VM became active, if it did.
+    pub scrubber_active_secs: Option<f64>,
+}
+
+impl DdosExperiment {
+    /// Runs the scenario.
+    pub fn run(&self) -> DdosResult {
+        let detector_svc = ServiceId::new(1);
+        let scrubber_svc = ServiceId::new(2);
+        let attack_prefix = IpPrefix::new(Ipv4Addr::new(66, 0, 0, 0), 16);
+
+        let mut manager = NfManager::default();
+        manager.install_rule(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(detector_svc)],
+        ));
+        // The detector's default is straight out, but the scrubber is an
+        // allowed next hop so a RequestMe can claim the default edge.
+        manager.install_rule(FlowRule::new(
+            FlowMatch::at_step(detector_svc),
+            vec![Action::ToPort(1), Action::ToService(scrubber_svc)],
+        ));
+        manager.install_rule(FlowRule::new(
+            FlowMatch::at_step(scrubber_svc),
+            vec![Action::ToPort(1)],
+        ));
+        // Detection threshold expressed in simulated (scaled-down) bytes/sec.
+        let threshold_scaled = self.threshold_gbps * 1e9 / 8.0 / SCALE;
+        manager.add_nf(
+            detector_svc,
+            Box::new(DdosDetectorNf::new(1_000_000_000, threshold_scaled as u64, 16)),
+        );
+
+        // Control plane: alarm -> launch the scrubber.
+        let mut app = SdnfvApplication::new();
+        app.register_launch_trigger(DDOS_ALARM_KEY, "scrubber");
+        let mut registry = NfRegistry::new();
+        registry.register("scrubber", move || ScrubberNf::for_prefix(attack_prefix));
+        let mut orchestrator = NfvOrchestrator::new(registry, self.vm_boot_ns);
+        let mut pending_launch: Option<(u64, Box<dyn sdnfv_nf::NetworkFunction>)> = None;
+
+        let mut incoming = TimeSeries::new("Incoming");
+        let mut outgoing = TimeSeries::new("Outgoing");
+        let mut detection_secs = None;
+        let mut scrubber_active_secs = None;
+
+        let packet_size = 1000usize;
+        let steps = (self.duration_secs / self.step_secs).round() as usize;
+        for step in 0..steps {
+            let t = step as f64 * self.step_secs;
+            let now_ns = (t * 1e9) as u64;
+
+            // Activate the scrubber when its boot completes.
+            if let Some((ready_at, _)) = &pending_launch {
+                if now_ns >= *ready_at {
+                    let (_, nf) = pending_launch.take().expect("checked above");
+                    manager.add_nf(scrubber_svc, nf);
+                    scrubber_active_secs = Some(t);
+                }
+            }
+
+            let attack_gbps = if t >= self.attack_start_secs {
+                ((t - self.attack_start_secs) * self.attack_ramp_gbps_per_sec)
+                    .min(self.attack_max_gbps)
+            } else {
+                0.0
+            };
+            let normal_bytes = self.normal_gbps * 1e9 / 8.0 * self.step_secs / SCALE;
+            let attack_bytes = attack_gbps * 1e9 / 8.0 * self.step_secs / SCALE;
+            let normal_count = (normal_bytes / packet_size as f64).round() as usize;
+            let attack_count = (attack_bytes / packet_size as f64).round() as usize;
+
+            let mut out_bytes = 0.0;
+            let mut in_bytes = 0.0;
+            let send = |manager: &mut NfManager, src: [u8; 4], count: usize, port_base: u16| {
+                let mut transmitted = 0.0;
+                let mut offered = 0.0;
+                for i in 0..count {
+                    let pkt = PacketBuilder::udp()
+                        .src_ip(src)
+                        .dst_ip([10, 200, 0, 1])
+                        .src_port(port_base + (i % 500) as u16)
+                        .dst_port(80)
+                        .total_size(packet_size)
+                        .ingress_port(0)
+                        .build();
+                    offered += pkt.len() as f64;
+                    if let PacketOutcome::Transmitted { packet, .. } =
+                        manager.process_packet(pkt, now_ns + i as u64)
+                    {
+                        transmitted += packet.len() as f64;
+                    }
+                }
+                (offered, transmitted)
+            };
+            let (o1, t1) = send(&mut manager, [10, 0, 0, 5], normal_count, 1000);
+            let (o2, t2) = send(&mut manager, [66, 0, 1, 5], attack_count, 2000);
+            in_bytes += o1 + o2;
+            out_bytes += t1 + t2;
+
+            // Pump cross-layer messages up to the application.
+            for message in manager.take_messages() {
+                for action in app.handle_manager_message(0, message.from, &message.message) {
+                    if let AppAction::LaunchNf { service_name, .. } = action {
+                        if detection_secs.is_none() {
+                            detection_secs = Some(t);
+                        }
+                        if pending_launch.is_none() && scrubber_active_secs.is_none() {
+                            if let Some(ticket) = orchestrator.launch(0, &service_name, now_ns) {
+                                pending_launch = Some((ticket.ready_at_ns, ticket.nf));
+                            }
+                        }
+                    }
+                }
+            }
+
+            let to_gbps = |bytes: f64| bytes / self.step_secs * 8.0 * SCALE / 1e9;
+            incoming.push(t, to_gbps(in_bytes));
+            outgoing.push(t, to_gbps(out_bytes));
+        }
+
+        DdosResult {
+            incoming,
+            outgoing,
+            detection_secs,
+            scrubber_active_secs,
+        }
+    }
+}
+
+/// Runs the paper's Figure 9 configuration.
+pub fn figure9() -> DdosResult {
+    DdosExperiment::default().run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_is_detected_and_scrubber_boots_later() {
+        let result = figure9();
+        let detected = result.detection_secs.expect("the attack must be detected");
+        let active = result
+            .scrubber_active_secs
+            .expect("the scrubber must eventually start");
+        // Detection happens once the aggregate crosses 3.2 Gbps, which with a
+        // 0.045 Gbps/s ramp from t=30 s is around t=90 s.
+        assert!(detected > 30.0 && detected < 150.0, "detected at {detected}");
+        // The scrubber becomes active roughly one VM boot time later.
+        let gap = active - detected;
+        assert!(
+            (7.0..=10.0).contains(&gap),
+            "scrubber activation lag {gap:.1}s should be about the 7.75 s VM boot time"
+        );
+    }
+
+    #[test]
+    fn outgoing_returns_to_normal_after_scrubbing() {
+        let result = figure9();
+        let active = result.scrubber_active_secs.unwrap();
+        // Before the attack, incoming == outgoing == normal rate.
+        let early_out = result.outgoing.mean_between(5.0, 25.0).unwrap();
+        assert!((early_out - 0.5).abs() < 0.15, "early outgoing {early_out}");
+        // While the attack grows but before scrubbing, outgoing tracks incoming.
+        let before_scrub = result.outgoing.mean_between(active - 6.0, active - 1.0).unwrap();
+        assert!(before_scrub > 1.0);
+        // Well after the scrubber starts, outgoing is back near the normal
+        // rate even though incoming keeps rising.
+        let after_out = result.outgoing.mean_between(active + 10.0, active + 40.0).unwrap();
+        let after_in = result.incoming.mean_between(active + 10.0, active + 40.0).unwrap();
+        assert!(after_out < 1.0, "outgoing after scrubbing {after_out}");
+        assert!(after_in > 2.0, "incoming should still be large, got {after_in}");
+    }
+
+    #[test]
+    fn incoming_ramp_matches_configuration() {
+        let result = figure9();
+        let at_100 = result.incoming.value_near(100.0).unwrap();
+        // 0.5 normal + 70 s of 0.045 Gbps/s ramp ≈ 3.65 Gbps.
+        assert!((at_100 - 3.65).abs() < 0.5, "incoming at t=100 was {at_100}");
+        // And it is capped at normal + max attack.
+        assert!(result.incoming.max_y().unwrap() <= 0.5 + 4.5 + 0.3);
+    }
+}

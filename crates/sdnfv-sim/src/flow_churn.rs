@@ -1,0 +1,170 @@
+//! Figure 10: sustainable output flow rate versus the rate of new flows,
+//! comparing the SDN-controller-mediated design with SDNFV.
+//!
+//! In the SDN baseline the video detector and policy engine live in the
+//! controller, so the first two packets of every new flow (the TCP ACK and
+//! the HTTP reply) make the round trip to the single-threaded controller
+//! before a rule can be installed. In SDNFV only the first packet's header
+//! is reported to the controller asynchronously while the NFs on the host
+//! make the decision locally; the sustainable rate is then bounded by the
+//! local data-plane work per flow, which is orders of magnitude cheaper.
+
+use sdnfv_control::SdnController;
+
+use crate::series::TimeSeries;
+
+/// Parameters for the Figure 10 experiment.
+#[derive(Debug, Clone)]
+pub struct FlowChurnExperiment {
+    /// Per-request processing time of the SDN controller in nanoseconds.
+    pub controller_ns_per_request: u64,
+    /// Number of packets of every new flow the SDN baseline must send to the
+    /// controller (2 in the paper: connection ACK + HTTP reply).
+    pub packets_to_controller_per_flow: u32,
+    /// Local NF processing cost per new flow on the SDNFV host, in
+    /// nanoseconds (video detector + policy engine on the first packets).
+    pub sdnfv_ns_per_flow: u64,
+    /// Duration of each simulated measurement interval in seconds.
+    pub interval_secs: f64,
+}
+
+impl Default for FlowChurnExperiment {
+    fn default() -> Self {
+        FlowChurnExperiment {
+            // The paper's Figure 10 knee is at roughly 1000 new flows/s for
+            // the SDN case, i.e. ~1 ms of controller work per flow.
+            controller_ns_per_request: 500_000,
+            packets_to_controller_per_flow: 2,
+            // SDNFV saturates at roughly 9x the SDN knee.
+            sdnfv_ns_per_flow: 110_000,
+            interval_secs: 1.0,
+        }
+    }
+}
+
+/// The two curves of Figure 10.
+#[derive(Debug, Clone)]
+pub struct FlowChurnResult {
+    /// Output flow rate achieved by the SDN-controller-mediated design.
+    pub sdn: TimeSeries,
+    /// Output flow rate achieved by SDNFV.
+    pub sdnfv: TimeSeries,
+}
+
+impl FlowChurnExperiment {
+    /// Output flows/second the SDN baseline sustains at a given offered new
+    /// flow rate, derived by replaying the offered flows against the serial
+    /// controller model for one measurement interval.
+    pub fn sdn_output_rate(&self, new_flows_per_sec: f64) -> f64 {
+        let mut controller = SdnController::new(
+            self.controller_ns_per_request * u64::from(self.packets_to_controller_per_flow),
+            usize::MAX >> 1,
+        );
+        let interval_ns = (self.interval_secs * 1e9) as u64;
+        let offered = (new_flows_per_sec * self.interval_secs) as u64;
+        if offered == 0 {
+            return 0.0;
+        }
+        let gap = interval_ns / offered;
+        let mut completed = 0u64;
+        for i in 0..offered {
+            let arrival = i * gap;
+            let reply = controller.packet_in(arrival, 0, 0, &dummy_key(i), |_, _, _| Vec::new());
+            if let Some(reply) = reply {
+                if reply.ready_at_ns <= interval_ns {
+                    completed += 1;
+                }
+            }
+        }
+        completed as f64 / self.interval_secs
+    }
+
+    /// Output flows/second SDNFV sustains at a given offered new flow rate:
+    /// bounded only by the local per-flow NF work.
+    pub fn sdnfv_output_rate(&self, new_flows_per_sec: f64) -> f64 {
+        let capacity = 1e9 / self.sdnfv_ns_per_flow as f64;
+        new_flows_per_sec.min(capacity)
+    }
+
+    /// Runs the sweep over offered new-flow rates.
+    pub fn run(&self, rates: &[f64]) -> FlowChurnResult {
+        let mut sdn = TimeSeries::new("SDN");
+        let mut sdnfv = TimeSeries::new("SDNFV");
+        for rate in rates {
+            sdn.push(*rate, self.sdn_output_rate(*rate));
+            sdnfv.push(*rate, self.sdnfv_output_rate(*rate));
+        }
+        FlowChurnResult { sdn, sdnfv }
+    }
+}
+
+fn dummy_key(i: u64) -> sdnfv_proto::flow::FlowKey {
+    sdnfv_proto::flow::FlowKey::new(
+        std::net::Ipv4Addr::from((10u32 << 24) | (i as u32 & 0xffff)),
+        std::net::Ipv4Addr::new(10, 255, 0, 1),
+        (i % 60000) as u16 + 1024,
+        80,
+        sdnfv_proto::flow::IpProtocol::Tcp,
+    )
+}
+
+/// The sweep the paper plots: 0–12 000 new flows per second.
+pub fn figure10() -> FlowChurnResult {
+    let rates: Vec<f64> = (0..=12).map(|r| r as f64 * 1000.0).collect();
+    FlowChurnExperiment::default().run(&rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdn_saturates_around_the_controller_knee() {
+        let experiment = FlowChurnExperiment::default();
+        let knee = 1e9 / (experiment.controller_ns_per_request as f64 * 2.0);
+        let below = experiment.sdn_output_rate(knee * 0.5);
+        let above = experiment.sdn_output_rate(knee * 4.0);
+        // Below the knee everything is admitted; above it the output plateaus.
+        assert!((below - knee * 0.5).abs() / (knee * 0.5) < 0.05);
+        assert!(above <= knee * 1.05);
+    }
+
+    #[test]
+    fn sdnfv_scales_roughly_nine_times_further() {
+        let result = figure10();
+        let sdn_max = result.sdn.max_y().unwrap();
+        let sdnfv_max = result.sdnfv.max_y().unwrap();
+        let ratio = sdnfv_max / sdn_max;
+        assert!(
+            (6.0..=12.0).contains(&ratio),
+            "expected SDNFV to sustain ~9x the SDN rate, got {ratio:.1}x"
+        );
+    }
+
+    #[test]
+    fn sdnfv_is_linear_until_its_own_capacity() {
+        let experiment = FlowChurnExperiment::default();
+        assert_eq!(experiment.sdnfv_output_rate(100.0), 100.0);
+        assert_eq!(experiment.sdnfv_output_rate(5000.0), 5000.0);
+        let capacity = 1e9 / experiment.sdnfv_ns_per_flow as f64;
+        assert_eq!(experiment.sdnfv_output_rate(capacity * 3.0), capacity);
+    }
+
+    #[test]
+    fn zero_offered_rate_is_zero_everywhere() {
+        let experiment = FlowChurnExperiment::default();
+        assert_eq!(experiment.sdn_output_rate(0.0), 0.0);
+        assert_eq!(experiment.sdnfv_output_rate(0.0), 0.0);
+    }
+
+    #[test]
+    fn curves_have_matching_x_axes() {
+        let result = figure10();
+        assert_eq!(result.sdn.len(), result.sdnfv.len());
+        for (a, b) in result.sdn.points.iter().zip(&result.sdnfv.points) {
+            assert_eq!(a.0, b.0);
+            // SDNFV is never worse than the SDN baseline.
+            assert!(b.1 + 1e-9 >= a.1);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Scenario simulators for the SDNFV evaluation (paper §5).
+//!
+//! The microbenchmarks (Table 2, Figures 6 and 7) run on the real threaded
+//! data plane in [`sdnfv-dataplane`](sdnfv_dataplane); everything that spans
+//! minutes of experiment time or needs an explicit controller / VM-boot
+//! model runs here instead, against the same flow tables, network functions
+//! and control-plane components, but under virtual time:
+//!
+//! * [`ovs`] — Figure 1: software-switch throughput collapse as the share of
+//!   packets punted to the SDN controller grows;
+//! * [`ant`] — Figure 8: ant/elephant detection rerouting a flow onto the
+//!   fast link and the latency effect over time;
+//! * [`ddos`] — Figure 9: cross-flow DDoS detection, scrubber VM launch
+//!   (with the paper's 7.75 s boot time) and traffic scrubbed thereafter;
+//! * [`flow_churn`] — Figure 10: sustainable output flow rate as the new
+//!   flow arrival rate grows, SDN-mediated vs SDNFV;
+//! * [`video`] — Figure 11: reaction of the video pipeline to a mid-stream
+//!   policy change, SDNFV vs SDN;
+//! * [`memcached`] — Figure 12: request RTT versus offered load for the
+//!   SDNFV memcached proxy against a TwemProxy-style kernel proxy.
+//!
+//! Every scenario returns plain data (time series / sweep points) that the
+//! `figures` binary in `sdnfv-bench` prints, and asserts nothing itself —
+//! the tests in each module check the qualitative shapes the paper reports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ant;
+pub mod ddos;
+pub mod flow_churn;
+pub mod memcached;
+pub mod ovs;
+pub mod series;
+pub mod video;
+
+pub use series::TimeSeries;

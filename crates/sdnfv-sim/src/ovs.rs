@@ -1,0 +1,141 @@
+//! Figure 1: software-switch throughput versus the share of packets that
+//! must consult the SDN controller.
+//!
+//! The paper measures Open vSwitch forwarding packets back out of the NIC,
+//! with a configurable percentage of traffic punted to a (single-threaded
+//! POX) controller. Throughput collapses as soon as the controller fraction
+//! is non-trivial because every punted packet serializes behind the
+//! controller's per-request processing time. This module reproduces that
+//! saturation model: the achievable rate is the largest offered rate at
+//! which neither the switch's own forwarding capacity nor the controller's
+//! serial capacity is exceeded.
+
+use crate::series::TimeSeries;
+
+/// Parameters of the Figure 1 experiment.
+#[derive(Debug, Clone)]
+pub struct OvsExperiment {
+    /// Per-packet forwarding cost of the software switch fast path, in
+    /// nanoseconds (OVS kernel path, ~0.6 µs/packet on the paper's servers).
+    pub switch_ns_per_packet: f64,
+    /// Per-packet handling cost at the controller (packet-in, decision,
+    /// packet-out) in nanoseconds. POX handles on the order of a few
+    /// thousand packets per second, i.e. hundreds of microseconds each.
+    pub controller_ns_per_packet: f64,
+    /// Line rate of the NIC in gigabits per second.
+    pub line_rate_gbps: f64,
+}
+
+impl Default for OvsExperiment {
+    fn default() -> Self {
+        OvsExperiment {
+            switch_ns_per_packet: 600.0,
+            controller_ns_per_packet: 300_000.0,
+            line_rate_gbps: 10.0,
+        }
+    }
+}
+
+impl OvsExperiment {
+    /// Maximum sustainable throughput in Gbps for a given packet size when
+    /// `controller_fraction` (0.0–1.0) of packets must go to the controller.
+    pub fn max_throughput_gbps(&self, packet_size_bytes: usize, controller_fraction: f64) -> f64 {
+        let fraction = controller_fraction.clamp(0.0, 1.0);
+        // Packets per second each component can sustain.
+        let switch_pps = 1e9 / self.switch_ns_per_packet;
+        let controller_pps_total = if fraction > 0.0 {
+            (1e9 / self.controller_ns_per_packet) / fraction
+        } else {
+            f64::INFINITY
+        };
+        let pps = switch_pps.min(controller_pps_total);
+        let gbps = pps * (packet_size_bytes as f64) * 8.0 / 1e9;
+        gbps.min(self.line_rate_gbps)
+    }
+
+    /// Runs the Figure 1 sweep: controller fraction 0–25 % for each packet
+    /// size, returning one curve per size.
+    pub fn run(&self, packet_sizes: &[usize], fractions_percent: &[f64]) -> Vec<TimeSeries> {
+        packet_sizes
+            .iter()
+            .map(|size| {
+                let mut series = TimeSeries::new(format!("{size}B packets"));
+                for pct in fractions_percent {
+                    series.push(*pct, self.max_throughput_gbps(*size, pct / 100.0));
+                }
+                series
+            })
+            .collect()
+    }
+}
+
+/// The sweep the paper plots: 0–25 % in 1 % steps for 256 B and 1000 B
+/// packets.
+pub fn figure1() -> Vec<TimeSeries> {
+    let fractions: Vec<f64> = (0..=25).map(|p| p as f64).collect();
+    OvsExperiment::default().run(&[1000, 256], &fractions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_controller_traffic_hits_line_rate_for_large_packets() {
+        let model = OvsExperiment::default();
+        let t = model.max_throughput_gbps(1000, 0.0);
+        assert!((t - 10.0).abs() < 1e-9, "expected line rate, got {t}");
+        // Small packets are limited by the switch's per-packet cost instead.
+        let t64 = model.max_throughput_gbps(64, 0.0);
+        assert!(t64 < 10.0);
+        assert!(t64 > 0.1);
+    }
+
+    #[test]
+    fn throughput_collapses_as_controller_fraction_grows() {
+        let model = OvsExperiment::default();
+        let t1 = model.max_throughput_gbps(1000, 0.01);
+        let t5 = model.max_throughput_gbps(1000, 0.05);
+        let t25 = model.max_throughput_gbps(1000, 0.25);
+        assert!(t1 > t5 && t5 > t25, "{t1} > {t5} > {t25} expected");
+        // By 25 % the controller dominates and throughput is far below line
+        // rate — the qualitative collapse of Figure 1.
+        assert!(t25 < 1.0);
+    }
+
+    #[test]
+    fn larger_packets_always_sustain_more_gbps() {
+        let model = OvsExperiment::default();
+        for pct in [1.0, 5.0, 10.0, 25.0] {
+            let small = model.max_throughput_gbps(256, pct / 100.0);
+            let large = model.max_throughput_gbps(1000, pct / 100.0);
+            assert!(large >= small);
+        }
+    }
+
+    #[test]
+    fn figure1_produces_two_monotone_curves() {
+        let curves = figure1();
+        assert_eq!(curves.len(), 2);
+        for curve in &curves {
+            assert_eq!(curve.len(), 26);
+            // Monotonically non-increasing in the controller fraction.
+            for pair in curve.points.windows(2) {
+                assert!(pair[1].1 <= pair[0].1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let model = OvsExperiment::default();
+        assert_eq!(
+            model.max_throughput_gbps(1000, -1.0),
+            model.max_throughput_gbps(1000, 0.0)
+        );
+        assert_eq!(
+            model.max_throughput_gbps(1000, 2.0),
+            model.max_throughput_gbps(1000, 1.0)
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! NF placement planning (paper §3.5 and Figure 5): compare the greedy
+//! baseline, the optimal solver and the division heuristic on the paper's
+//! 22-node topology, and show the per-host instance plan the SDNFV
+//! Application derives from the winning placement.
+//!
+//! Run with: `cargo run --example placement_planner`
+
+use sdnfv::control::SdnfvApplication;
+use sdnfv::graph::catalog;
+use sdnfv::placement::{
+    DivisionSolver, GreedySolver, OptimalSolver, PlacementProblem, PlacementSolver,
+};
+
+fn main() {
+    let flow_counts = [5usize, 10, 20, 30, 40];
+    let solvers: Vec<Box<dyn PlacementSolver>> = vec![
+        Box::new(GreedySolver::default()),
+        Box::new(OptimalSolver::default()),
+        Box::new(DivisionSolver::default()),
+    ];
+
+    println!("maximum utilization (link / core) by number of flows — 22 nodes, 64 links, chain J1–J5");
+    println!(
+        "{:>8} {:>22} {:>22} {:>22}",
+        "flows", "greedy", "optimal", "division"
+    );
+    for flows in flow_counts {
+        let problem = PlacementProblem::paper_figure5(flows, 1.0, 16631);
+        let mut row = format!("{flows:>8}");
+        for solver in &solvers {
+            let placement = solver.solve(&problem);
+            let report = placement.utilization(&problem);
+            row.push_str(&format!(
+                " {:>9.2}/{:<4.2} ({:>2}/{:<2})",
+                report.max_link_utilization,
+                report.max_core_utilization,
+                report.placed_flows,
+                flows
+            ));
+        }
+        println!("{row}");
+    }
+
+    // How many flows can each algorithm accommodate before it has to start
+    // rejecting them?
+    println!("\nflows accommodated before the first rejection:");
+    for solver in &solvers {
+        let mut supported = 0;
+        for flows in (5..=60).step_by(5) {
+            let problem = PlacementProblem::paper_figure5(flows, 1.0, 16631);
+            let placement = solver.solve(&problem);
+            if placement.placed_flows() == flows {
+                supported = flows;
+            } else {
+                break;
+            }
+        }
+        println!("  {:>9}: {supported} flows", solver.name());
+    }
+
+    // Feed the winning placement to the SDNFV Application to get the
+    // per-host instance plan the NFV orchestrator would execute.
+    let (graph, _) = catalog::anomaly_detection();
+    let mut app = SdnfvApplication::new();
+    app.register_graph(graph);
+    let problem = PlacementProblem::paper_figure5(20, 1.0, 16631);
+    let (placement, per_host) = app.plan_placement(&OptimalSolver::default(), &problem);
+    println!(
+        "\noptimal placement for 20 flows: {} placed, {} hosts used",
+        placement.placed_flows(),
+        per_host.len()
+    );
+    let mut hosts: Vec<_> = per_host.into_iter().collect();
+    hosts.sort();
+    for (host, instances) in hosts.iter().take(8) {
+        let summary: Vec<String> = instances
+            .iter()
+            .map(|(svc, count)| format!("{svc}×{count}"))
+            .collect();
+        println!("  host {host:>2}: {}", summary.join(", "));
+    }
+    if hosts.len() > 8 {
+        println!("  … and {} more hosts", hosts.len() - 8);
+    }
+}

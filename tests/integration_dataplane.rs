@@ -1,0 +1,183 @@
+//! End-to-end tests of the data plane: service graphs compiled into flow
+//! tables, NFs attached, packets pushed through both engines.
+
+use sdnfv::dataplane::{
+    LoadBalancePolicy, NfManager, NfManagerConfig, PacketOutcome, ThreadedHost,
+    ThreadedHostConfig,
+};
+use sdnfv::flowtable::{ServiceId, SharedFlowTable};
+use sdnfv::graph::{catalog, CompileOptions};
+use sdnfv::nf::nfs::{ComputeNf, FirewallNf, IdsNf, NoOpNf, SamplerNf, ScrubberNf};
+use sdnfv::nf::NetworkFunction;
+use sdnfv::proto::packet::{Packet, PacketBuilder};
+use std::time::{Duration, Instant};
+
+fn web_packet(src_port: u16, body: &str) -> Packet {
+    PacketBuilder::tcp()
+        .src_ip([10, 0, 0, 50])
+        .dst_ip([93, 184, 216, 34])
+        .src_port(src_port)
+        .dst_port(80)
+        .payload(format!("GET /{body} HTTP/1.1\r\n\r\n").as_bytes())
+        .ingress_port(0)
+        .build()
+}
+
+#[test]
+fn anomaly_detection_chain_scrubs_malicious_flows() {
+    let (graph, svc) = catalog::anomaly_detection();
+    let mut manager = NfManager::default();
+    manager.install_graph(&graph, &CompileOptions::default());
+    manager.add_nf(svc.firewall, Box::new(FirewallNf::allow_by_default()));
+    // Sample everything so the IDS sees every packet.
+    manager.add_nf(svc.sampler, Box::new(SamplerNf::per_packet(svc.ddos, 1)));
+    manager.add_nf(svc.ddos, Box::new(NoOpNf::new()));
+    manager.add_nf(svc.ids, Box::new(IdsNf::new(svc.ids, svc.scrubber)));
+    manager.add_nf(
+        svc.scrubber,
+        Box::new(ScrubberNf::new().with_signature(b"UNION SELECT".to_vec())),
+    );
+
+    // A clean flow goes out; an attack flow is pinned to the scrubber and
+    // its malicious packets are dropped there.
+    assert!(matches!(
+        manager.process_packet(web_packet(1000, "index.html"), 0),
+        PacketOutcome::Transmitted { .. }
+    ));
+    assert!(matches!(
+        manager.process_packet(web_packet(2000, "q?id=1 UNION SELECT secret"), 1),
+        PacketOutcome::Dropped
+    ));
+    // The IDS emitted a ChangeDefault pinning the flow; later clean-looking
+    // packets of the same flow still go through the scrubber (and pass).
+    let outcome = manager.process_packet(web_packet(2000, "innocuous"), 2);
+    assert!(matches!(outcome, PacketOutcome::Transmitted { .. }));
+    assert!(manager.service_invocations(svc.scrubber) >= 2);
+    let messages = manager.take_messages();
+    assert!(messages.iter().any(|m| m.from == svc.ids));
+}
+
+#[test]
+fn parallel_and_sequential_chains_agree_on_results() {
+    for parallel in [false, true] {
+        let (graph, ids) = catalog::chain(&[("a", true), ("b", true), ("c", true)]);
+        let mut manager = NfManager::default();
+        manager.install_graph(
+            &graph,
+            &CompileOptions {
+                enable_parallel: parallel,
+                ..CompileOptions::default()
+            },
+        );
+        for id in &ids {
+            manager.add_nf(*id, Box::new(ComputeNf::new(4)));
+        }
+        let mut transmitted = 0;
+        for i in 0..200 {
+            let pkt = PacketBuilder::udp()
+                .src_port(1000 + i)
+                .ingress_port(0)
+                .total_size(512)
+                .build();
+            if let PacketOutcome::Transmitted { port, .. } = manager.process_packet(pkt, u64::from(i))
+            {
+                assert_eq!(port, 1);
+                transmitted += 1;
+            }
+        }
+        assert_eq!(transmitted, 200);
+        let stats = manager.stats().snapshot();
+        assert_eq!(stats.nf_invocations, 600);
+        assert_eq!(stats.parallel_dispatches, if parallel { 200 } else { 0 });
+    }
+}
+
+#[test]
+fn flow_hash_load_balancing_keeps_flows_sticky() {
+    let (graph, ids) = catalog::chain(&[("worker", true)]);
+    let mut manager = NfManager::new(NfManagerConfig {
+        load_balance: LoadBalancePolicy::FlowHash,
+        ..NfManagerConfig::default()
+    });
+    manager.install_graph(&graph, &CompileOptions::default());
+    manager.add_nf(ids[0], Box::new(NoOpNf::new()));
+    manager.add_nf(ids[0], Box::new(NoOpNf::new()));
+    manager.add_nf(ids[0], Box::new(NoOpNf::new()));
+    // Many packets from a handful of flows: total invocations must add up
+    // and every flow must consistently hit one instance. We can't observe
+    // instance identity directly, but with flow hashing the distribution is
+    // deterministic, so re-running the same traffic gives identical stats.
+    let run = |manager: &mut NfManager| {
+        for flow in 0..6u16 {
+            for i in 0..50u64 {
+                let pkt = PacketBuilder::udp()
+                    .src_port(4000 + flow)
+                    .ingress_port(0)
+                    .build();
+                manager.process_packet(pkt, i);
+            }
+        }
+        manager.service_invocations(ids[0])
+    };
+    assert_eq!(run(&mut manager), 300);
+}
+
+#[test]
+fn threaded_host_handles_mixed_chain_with_rewriting_nf() {
+    // a (read-only) -> b (mutating): exercises both the read and write paths
+    // of the threaded runtime.
+    struct Rewriter;
+    impl NetworkFunction for Rewriter {
+        fn name(&self) -> &str {
+            "rewriter"
+        }
+        fn read_only(&self) -> bool {
+            false
+        }
+        fn process(&mut self, _p: &Packet, _c: &mut sdnfv::nf::NfContext) -> sdnfv::nf::Verdict {
+            sdnfv::nf::Verdict::Default
+        }
+        fn process_mut(
+            &mut self,
+            packet: &mut Packet,
+            _ctx: &mut sdnfv::nf::NfContext,
+        ) -> sdnfv::nf::Verdict {
+            packet
+                .set_dst_ip(std::net::Ipv4Addr::new(1, 2, 3, 4))
+                .expect("ipv4 packet");
+            sdnfv::nf::Verdict::Default
+        }
+    }
+
+    let (graph, ids) = catalog::chain(&[("inspect", true), ("rewrite", false)]);
+    let table = SharedFlowTable::new();
+    for rule in graph.compile(&CompileOptions::default()) {
+        table.insert(rule);
+    }
+    let nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)> = vec![
+        (ids[0], Box::new(NoOpNf::new())),
+        (ids[1], Box::new(Rewriter)),
+    ];
+    let host = ThreadedHost::start(table, nfs, ThreadedHostConfig::default());
+    for i in 0..100u16 {
+        assert!(host.inject(
+            PacketBuilder::udp()
+                .src_port(7000 + i)
+                .ingress_port(0)
+                .build()
+        ));
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut outputs = Vec::new();
+    while outputs.len() < 100 && Instant::now() < deadline {
+        if let Some(out) = host.poll_egress() {
+            outputs.push(out);
+        }
+    }
+    assert_eq!(outputs.len(), 100);
+    for (port, packet) in &outputs {
+        assert_eq!(*port, 1);
+        assert_eq!(packet.ipv4().unwrap().dst, std::net::Ipv4Addr::new(1, 2, 3, 4));
+    }
+    host.shutdown();
+}

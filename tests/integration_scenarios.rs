@@ -1,0 +1,114 @@
+//! Smoke tests for every evaluation scenario: each figure's driver runs end
+//! to end (on reduced parameters where the full run is long) and reproduces
+//! the paper's qualitative outcome.
+
+use sdnfv::sim::{ant, ddos, flow_churn, memcached, ovs, video};
+
+#[test]
+fn figure1_controller_share_collapses_throughput() {
+    let curves = ovs::figure1();
+    assert_eq!(curves.len(), 2);
+    for curve in &curves {
+        let at_zero = curve.points[0].1;
+        let at_25 = curve.points.last().unwrap().1;
+        assert!(
+            at_25 < at_zero / 5.0,
+            "{}: {at_zero} -> {at_25} should collapse",
+            curve.label
+        );
+    }
+}
+
+#[test]
+fn figure5_optimal_supports_more_flows_than_greedy() {
+    use sdnfv::placement::{GreedySolver, OptimalSolver, PlacementProblem, PlacementSolver};
+    // Find the largest flow count (in steps of 5) each algorithm fully
+    // accommodates on the paper topology.
+    let supported = |solver: &dyn PlacementSolver| {
+        let mut supported = 0;
+        for flows in (5..=80).step_by(5) {
+            let problem = PlacementProblem::paper_figure5(flows, 1.0, 16631);
+            if solver.solve(&problem).placed_flows() == flows {
+                supported = flows;
+            } else {
+                break;
+            }
+        }
+        supported
+    };
+    let greedy = supported(&GreedySolver::default());
+    let optimal = supported(&OptimalSolver::default());
+    assert!(
+        optimal > greedy,
+        "the optimal solver ({optimal} flows) must accommodate more than greedy ({greedy} flows)"
+    );
+}
+
+#[test]
+fn figure8_ant_flow_gets_fast_path() {
+    let result = ant::AntExperiment {
+        duration_secs: 60.0,
+        ant_phase_start_secs: 20.0,
+        ant_phase_end_secs: 45.0,
+        ..ant::AntExperiment::default()
+    }
+    .run();
+    let elephant_phase = result.flow1_latency.mean_between(5.0, 18.0).unwrap();
+    let ant_phase = result.flow1_latency.mean_between(25.0, 43.0).unwrap();
+    assert!(ant_phase < elephant_phase);
+    assert!(!result.reroute_times.is_empty());
+}
+
+#[test]
+fn figure9_scrubber_restores_outgoing_traffic() {
+    // A faster ramp and shorter boot keep the test quick while preserving
+    // the causal chain: detect → boot → scrub.
+    let result = ddos::DdosExperiment {
+        duration_secs: 60.0,
+        attack_start_secs: 10.0,
+        attack_ramp_gbps_per_sec: 0.2,
+        vm_boot_ns: 3_000_000_000,
+        ..ddos::DdosExperiment::default()
+    }
+    .run();
+    let detected = result.detection_secs.expect("attack detected");
+    let active = result.scrubber_active_secs.expect("scrubber active");
+    assert!(active > detected);
+    assert!((active - detected - 3.0).abs() < 1.5);
+    let late_out = result.outgoing.mean_between(active + 5.0, 60.0).unwrap();
+    let late_in = result.incoming.mean_between(active + 5.0, 60.0).unwrap();
+    assert!(late_out < late_in / 2.0);
+}
+
+#[test]
+fn figure10_sdnfv_outscales_sdn() {
+    let result = flow_churn::figure10();
+    assert!(result.sdnfv.max_y().unwrap() > result.sdn.max_y().unwrap() * 5.0);
+}
+
+#[test]
+fn figure11_sdnfv_reacts_faster_than_sdn() {
+    let result = video::VideoExperiment {
+        duration_secs: 120.0,
+        throttle_start_secs: 30.0,
+        throttle_end_secs: 90.0,
+        concurrent_flows: 30,
+        packets_per_flow_per_sec: 3.0,
+        ..video::VideoExperiment::default()
+    }
+    .run();
+    let before = result.sdnfv.mean_between(10.0, 28.0).unwrap();
+    let sdnfv_after = result.sdnfv.mean_between(32.0, 45.0).unwrap();
+    let sdn_after = result.sdn.mean_between(32.0, 45.0).unwrap();
+    assert!(sdnfv_after < before * 0.75, "SDNFV throttles promptly");
+    assert!(sdn_after > sdnfv_after, "SDN lags behind SDNFV");
+}
+
+#[test]
+fn figure12_sdnfv_proxy_outperforms_twemproxy_by_orders_of_magnitude() {
+    let result = memcached::figure12();
+    assert!(result.sdnfv_capacity_rps / result.twemproxy_capacity_rps > 50.0);
+    // And the real NF implementation is indeed in the right ballpark.
+    let measured = memcached::measure_proxy_ns_per_request(20_000);
+    assert!(measured < 20_000.0, "proxy should cost well under 20µs/request");
+}
