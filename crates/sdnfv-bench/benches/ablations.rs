@@ -83,11 +83,9 @@ fn bench_division_group_size(c: &mut Criterion) {
             group_size,
             ..DivisionSolver::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(group_size),
-            &(),
-            |b, _| b.iter(|| black_box(solver.solve(&problem))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(group_size), &(), |b, _| {
+            b.iter(|| black_box(solver.solve(&problem)))
+        });
     }
     group.finish();
 }

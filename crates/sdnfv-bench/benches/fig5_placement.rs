@@ -11,7 +11,7 @@ fn bench_fig5(c: &mut Criterion) {
     group.sample_size(10);
     let problem = PlacementProblem::paper_figure5(20, 1.0, 16631);
     let solvers: Vec<(&str, Box<dyn PlacementSolver>)> = vec![
-        ("greedy", Box::new(GreedySolver::default())),
+        ("greedy", Box::new(GreedySolver)),
         ("optimal", Box::new(OptimalSolver::default())),
         ("division", Box::new(DivisionSolver::default())),
     ];

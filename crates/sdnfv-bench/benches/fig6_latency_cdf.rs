@@ -38,7 +38,10 @@ fn bench_fig6(c: &mut Criterion) {
         ("3vm_sequential", 3, false),
     ] {
         let mut m = manager(nfs, parallel, 20);
-        let pkt = PacketBuilder::udp().total_size(1000).ingress_port(0).build();
+        let pkt = PacketBuilder::udp()
+            .total_size(1000)
+            .ingress_port(0)
+            .build();
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
             let mut now = 0u64;
             b.iter(|| {

@@ -1,36 +1,57 @@
 //! Figure 7: throughput vs packet size. Criterion reports per-packet
-//! processing throughput of the inline engine per packet size; the Gbps
-//! curves on the threaded runtime come from `figures -- fig7`.
+//! processing throughput of the inline engine per packet size — through the
+//! scalar entry point and through the batch-first `process_burst` path
+//! (burst of 32) — so both dispatch modes are visible per packet size. The
+//! Gbps curves on the threaded runtime come from `figures -- fig7`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sdnfv_dataplane::NfManager;
 use sdnfv_graph::{catalog, CompileOptions};
 use sdnfv_nf::nfs::NoOpNf;
-use sdnfv_proto::packet::PacketBuilder;
+use sdnfv_proto::packet::{Packet, PacketBuilder};
 use std::hint::black_box;
+
+const BURST: usize = 32;
+
+fn manager_2vm() -> NfManager {
+    let (graph, ids) = catalog::chain(&[("a", true), ("b", true)]);
+    let mut manager = NfManager::default();
+    manager.install_graph(&graph, &CompileOptions::default());
+    for id in ids {
+        manager.add_nf(id, Box::new(NoOpNf::new()));
+    }
+    manager
+}
 
 fn bench_fig7(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_throughput");
     for packet_size in [64usize, 256, 512, 1024] {
-        let (graph, ids) = catalog::chain(&[("a", true), ("b", true)]);
-        let mut manager = NfManager::default();
-        manager.install_graph(&graph, &CompileOptions::default());
-        for id in ids {
-            manager.add_nf(id, Box::new(NoOpNf::new()));
-        }
         let pkt = PacketBuilder::udp()
             .total_size(packet_size)
             .ingress_port(0)
             .build();
+
+        let mut manager = manager_2vm();
         group.throughput(Throughput::Bytes(packet_size as u64));
+        group.bench_with_input(BenchmarkId::new("2vm_chain", packet_size), &(), |b, _| {
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 1;
+                black_box(manager.process_packet(pkt.clone(), now))
+            })
+        });
+
+        let mut manager = manager_2vm();
+        let burst: Vec<Packet> = (0..BURST).map(|_| pkt.clone()).collect();
+        group.throughput(Throughput::Bytes((packet_size * BURST) as u64));
         group.bench_with_input(
-            BenchmarkId::new("2vm_chain", packet_size),
+            BenchmarkId::new("2vm_chain_burst32", packet_size),
             &(),
             |b, _| {
                 let mut now = 0u64;
                 b.iter(|| {
                     now += 1;
-                    black_box(manager.process_packet(pkt.clone(), now))
+                    black_box(manager.process_burst(burst.clone(), now))
                 })
             },
         );

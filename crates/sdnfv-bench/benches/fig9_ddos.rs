@@ -21,7 +21,10 @@ fn bench_fig9(c: &mut Criterion) {
     group.bench_function("scenario_30s", |b| b.iter(|| black_box(experiment.run())));
 
     let mut detector = DdosDetectorNf::paper_defaults();
-    let pkt = PacketBuilder::udp().src_ip([66, 0, 0, 1]).total_size(1000).build();
+    let pkt = PacketBuilder::udp()
+        .src_ip([66, 0, 0, 1])
+        .total_size(1000)
+        .build();
     let mut ctx = NfContext::new(0);
     group.bench_function("detector_per_packet", |b| {
         let mut now = 0u64;

@@ -1,11 +1,14 @@
 //! §5.1 micro-measurements: flow-table lookup (~30 ns in the paper),
-//! min-queue instance pick (~15 ns), and the modelled SDN lookup.
+//! min-queue instance pick (~15 ns), the modelled SDN lookup, and the ring
+//! transfer cost per packet — scalar vs batched (one atomic cursor update
+//! per burst).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sdnfv_dataplane::loadbalance::{LoadBalancePolicy, LoadBalancer};
 use sdnfv_dataplane::LookupCache;
 use sdnfv_flowtable::{Action, FlowMatch, FlowRule, FlowTable, RulePort, ServiceId};
 use sdnfv_proto::flow::{FlowKey, IpProtocol};
+use sdnfv_ring::spsc_ring;
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 
@@ -59,7 +62,12 @@ fn bench_micro(c: &mut Criterion) {
     let decision = table
         .lookup(RulePort::Service(ServiceId::new(3)), &key(1000))
         .expect("rule installed");
-    cache.put(&key(1000), RulePort::Service(ServiceId::new(3)), 0, decision);
+    cache.put(
+        &key(1000),
+        RulePort::Service(ServiceId::new(3)),
+        0,
+        decision,
+    );
     group.bench_function("cached_lookup", |b| {
         b.iter(|| black_box(cache.get(&key(1000), RulePort::Service(ServiceId::new(3)), 0)))
     });
@@ -73,6 +81,34 @@ fn bench_micro(c: &mut Criterion) {
     let mut flow_hash = LoadBalancer::new(LoadBalancePolicy::FlowHash);
     group.bench_function("flow_hash_pick", |b| {
         b.iter(|| black_box(flow_hash.pick(&queues, Some(&key(1)))))
+    });
+
+    // Ring transfer cost per element: 32 scalar push/pop pairs vs one
+    // push_n/pop_n burst of 32 (single atomic cursor update per burst).
+    const BURST: usize = 32;
+    group.throughput(Throughput::Elements(BURST as u64));
+    let (tx, rx) = spsc_ring::<u64>(1024);
+    group.bench_function("ring_scalar_transfer_32", |b| {
+        b.iter(|| {
+            for i in 0..BURST as u64 {
+                tx.push(i).unwrap();
+            }
+            for _ in 0..BURST {
+                black_box(rx.pop().unwrap());
+            }
+        })
+    });
+
+    let (tx, rx) = spsc_ring::<u64>(1024);
+    let mut staged: Vec<u64> = Vec::with_capacity(BURST);
+    let mut drained: Vec<u64> = Vec::with_capacity(BURST);
+    group.bench_function("ring_batched_transfer_32", |b| {
+        b.iter(|| {
+            staged.extend(0..BURST as u64);
+            tx.push_n(&mut staged);
+            drained.clear();
+            black_box(rx.pop_n(&mut drained, BURST));
+        })
     });
 
     group.finish();

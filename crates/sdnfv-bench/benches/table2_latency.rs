@@ -40,7 +40,10 @@ fn bench_table2(c: &mut Criterion) {
         ("3vm_sequential", 3, false),
     ] {
         let mut m = manager(nfs, parallel);
-        let pkt = PacketBuilder::udp().total_size(1000).ingress_port(0).build();
+        let pkt = PacketBuilder::udp()
+            .total_size(1000)
+            .ingress_port(0)
+            .build();
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
             let mut now = 0u64;
             b.iter(|| {

@@ -66,7 +66,10 @@ fn header(title: &str) {
 fn figure1() {
     header("Figure 1: OVS throughput vs % of packets sent to the SDN controller");
     let curves = ovs::figure1();
-    println!("{:>8} {:>16} {:>16}", "% to ctrl", &curves[0].label, &curves[1].label);
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "% to ctrl", &curves[0].label, &curves[1].label
+    );
     for i in 0..curves[0].points.len() {
         println!(
             "{:>8.0} {:>16.3} {:>16.3}",
@@ -78,7 +81,7 @@ fn figure1() {
 fn figure5() {
     header("Figure 5: NF placement — max utilization vs flows, and scalability");
     let solvers: Vec<Box<dyn PlacementSolver>> = vec![
-        Box::new(GreedySolver::default()),
+        Box::new(GreedySolver),
         Box::new(OptimalSolver::default()),
         Box::new(DivisionSolver::default()),
     ];
@@ -102,7 +105,10 @@ fn figure5() {
         println!("{row}");
     }
     println!("\n(right) flows fully accommodated vs capacity scale (1x, 2x, 5x, 10x)");
-    println!("{:>8} {:>10} {:>10} {:>10}", "scale", "greedy", "optimal", "division");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "scale", "greedy", "optimal", "division"
+    );
     for scale in [1.0f64, 2.0, 5.0, 10.0] {
         let mut row = format!("{scale:>8.0}");
         for solver in &solvers {
@@ -211,7 +217,10 @@ fn micro_flow_ops() {
     for service in 1..=8u32 {
         table.insert(FlowRule::new(
             FlowMatch::at_step(ServiceId::new(service)),
-            vec![Action::ToService(ServiceId::new(service + 1)), Action::ToPort(1)],
+            vec![
+                Action::ToService(ServiceId::new(service + 1)),
+                Action::ToPort(1),
+            ],
         ));
     }
     let key = FlowKey::new(
@@ -256,7 +265,10 @@ fn print_series(series: &[&sdnfv_sim::TimeSeries], x_label: &str, sample_every: 
     for i in (0..len).step_by(sample_every.max(1)) {
         print!("{:>10.1}", series[0].points[i].0);
         for s in series {
-            print!(" {:>14.2}", s.points.get(i).map(|p| p.1).unwrap_or(f64::NAN));
+            print!(
+                " {:>14.2}",
+                s.points.get(i).map(|p| p.1).unwrap_or(f64::NAN)
+            );
         }
         println!();
     }

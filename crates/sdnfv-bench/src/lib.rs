@@ -80,7 +80,10 @@ impl LatencySample {
 
     /// Minimum latency.
     pub fn min(&self) -> f64 {
-        self.latencies_us.iter().copied().fold(f64::INFINITY, f64::min)
+        self.latencies_us
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum latency.

@@ -139,7 +139,12 @@ impl SdnfvApplication {
     /// Reactive, per-flow rules for a packet-in: the active graph's rules
     /// specialized to exactly the flow that missed, at a higher priority
     /// than any wildcard rules (paper Figure 4).
-    pub fn reactive_rules_for_flow(&self, _host: HostId, port: Port, key: &FlowKey) -> Vec<FlowRule> {
+    pub fn reactive_rules_for_flow(
+        &self,
+        _host: HostId,
+        port: Port,
+        key: &FlowKey,
+    ) -> Vec<FlowRule> {
         let Some(graph) = self.active_graph() else {
             return Vec::new();
         };
@@ -197,7 +202,11 @@ impl SdnfvApplication {
                     (Some(_), Action::ToController) => true,
                     (None, _) => true,
                 };
-                vec![if allowed { AppAction::Approve } else { AppAction::Reject }]
+                vec![if allowed {
+                    AppAction::Approve
+                } else {
+                    AppAction::Reject
+                }]
             }
             // SkipMe / RequestMe only ever steer along edges that already
             // exist in the flow tables, so they are approved.
@@ -216,7 +225,10 @@ impl SdnfvApplication {
         let report = placement.utilization(problem);
         let mut per_host: HashMap<HostId, Vec<(ServiceId, u32)>> = HashMap::new();
         for ((node, service), instances) in &report.instances {
-            per_host.entry(*node).or_default().push((*service, *instances));
+            per_host
+                .entry(*node)
+                .or_default()
+                .push((*service, *instances));
         }
         for list in per_host.values_mut() {
             list.sort();
@@ -355,7 +367,7 @@ mod tests {
     fn placement_planning_reports_instances_per_host() {
         let (app, _) = app_with_anomaly_graph();
         let problem = PlacementProblem::paper_figure5(5, 1.0, 3);
-        let (placement, per_host) = app.plan_placement(&GreedySolver::default(), &problem);
+        let (placement, per_host) = app.plan_placement(&GreedySolver, &problem);
         assert!(placement.placed_flows() > 0);
         assert!(!per_host.is_empty());
         let total_instances: u32 = per_host.values().flatten().map(|(_, n)| *n).sum();

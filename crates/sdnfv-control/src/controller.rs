@@ -87,8 +87,7 @@ impl SdnController {
             0
         } else {
             // Each queued request accounts for one service time of backlog.
-            (((self.busy_until_ns - now_ns) + self.service_time_ns - 1) / self.service_time_ns)
-                as usize
+            (self.busy_until_ns - now_ns).div_ceil(self.service_time_ns) as usize
         }
     }
 
@@ -158,7 +157,9 @@ mod tests {
         let mut controller = SdnController::new(1_000_000, 100);
         let a = controller.packet_in(0, 0, 0, &key(1), one_rule).unwrap();
         let b = controller.packet_in(0, 0, 0, &key(2), one_rule).unwrap();
-        let c = controller.packet_in(500_000, 0, 0, &key(3), one_rule).unwrap();
+        let c = controller
+            .packet_in(500_000, 0, 0, &key(3), one_rule)
+            .unwrap();
         assert_eq!(a.ready_at_ns, 1_000_000);
         assert_eq!(b.ready_at_ns, 2_000_000);
         // The third request arrives while the first two are still queued.
@@ -174,7 +175,9 @@ mod tests {
         controller.packet_in(0, 0, 0, &key(1), one_rule).unwrap();
         assert_eq!(controller.backlog(0), 1);
         assert_eq!(controller.backlog(2_000_000), 0);
-        let late = controller.packet_in(5_000_000, 0, 0, &key(2), one_rule).unwrap();
+        let late = controller
+            .packet_in(5_000_000, 0, 0, &key(2), one_rule)
+            .unwrap();
         assert_eq!(late.ready_at_ns, 6_000_000);
     }
 

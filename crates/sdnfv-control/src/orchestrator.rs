@@ -82,7 +82,12 @@ impl NfvOrchestrator {
     /// Launches a new instance of `service_name` on `host` at time `now_ns`.
     ///
     /// Returns `None` if the registry has no factory for the service.
-    pub fn launch(&mut self, host: HostId, service_name: &str, now_ns: u64) -> Option<LaunchTicket> {
+    pub fn launch(
+        &mut self,
+        host: HostId,
+        service_name: &str,
+        now_ns: u64,
+    ) -> Option<LaunchTicket> {
         let nf = self.registry.instantiate(service_name)?;
         self.launched += 1;
         Some(LaunchTicket {

@@ -134,7 +134,12 @@ mod tests {
     fn different_steps_are_distinct_entries() {
         let mut cache = LookupCache::new(8);
         cache.put(&key(1), RulePort::Nic(0), 0, decision(1));
-        cache.put(&key(1), RulePort::Service(ServiceId::new(1)), 0, decision(2));
+        cache.put(
+            &key(1),
+            RulePort::Service(ServiceId::new(1)),
+            0,
+            decision(2),
+        );
         assert_eq!(cache.get(&key(1), RulePort::Nic(0), 0), Some(decision(1)));
         assert_eq!(
             cache.get(&key(1), RulePort::Service(ServiceId::new(1)), 0),

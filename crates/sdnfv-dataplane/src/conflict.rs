@@ -14,16 +14,10 @@ pub fn resolve_parallel_verdicts(verdicts: &[Verdict]) -> Verdict {
     if verdicts.iter().any(|v| matches!(v, Verdict::Discard)) {
         return Verdict::Discard;
     }
-    if let Some(v) = verdicts
-        .iter()
-        .find(|v| matches!(v, Verdict::ToPort(_)))
-    {
+    if let Some(v) = verdicts.iter().find(|v| matches!(v, Verdict::ToPort(_))) {
         return *v;
     }
-    if let Some(v) = verdicts
-        .iter()
-        .find(|v| matches!(v, Verdict::ToService(_)))
-    {
+    if let Some(v) = verdicts.iter().find(|v| matches!(v, Verdict::ToService(_))) {
         return *v;
     }
     Verdict::Default

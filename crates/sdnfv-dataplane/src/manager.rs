@@ -12,7 +12,10 @@ use std::collections::HashMap;
 
 use sdnfv_flowtable::{Action, Decision, RulePort, ServiceId, SharedFlowTable};
 use sdnfv_graph::{CompileOptions, ServiceGraph};
-use sdnfv_nf::{NetworkFunction, NfContext, NfMessage, Verdict};
+use sdnfv_nf::{
+    BurstMemo, NetworkFunction, NfContext, NfMessage, PacketBatch, PacketBatchMut, Verdict,
+    VerdictSlice,
+};
 use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
@@ -153,12 +156,15 @@ impl NfManager {
     /// Removes every instance of `service`, returning how many were removed.
     pub fn remove_service(&mut self, service: ServiceId) -> usize {
         self.balancers.remove(&service);
-        self.instances.remove(&service).map(|v| v.len()).unwrap_or(0)
+        self.instances
+            .remove(&service)
+            .map(|v| v.len())
+            .unwrap_or(0)
     }
 
     /// Returns `true` if at least one instance of `service` is attached.
     pub fn has_service(&self, service: ServiceId) -> bool {
-        self.instances.get(&service).map_or(false, |v| !v.is_empty())
+        self.instances.get(&service).is_some_and(|v| !v.is_empty())
     }
 
     /// Number of instances attached for `service`.
@@ -226,81 +232,250 @@ impl NfManager {
     }
 
     /// Processes one packet to completion through the host.
-    pub fn process_packet(&mut self, mut packet: Packet, now_ns: u64) -> PacketOutcome {
-        self.stats.add_received(1);
-        let Some(key) = packet.flow_key() else {
-            self.stats.add_dropped(1);
-            return PacketOutcome::Dropped;
-        };
-        let mut step = RulePort::Nic(packet.ingress_port);
-        // When an NF explicitly steers the packet, the target is carried here
-        // and validated against the rule at the NF's own step.
-        let mut forced: Option<Action> = None;
+    ///
+    /// This is the scalar convenience wrapper over
+    /// [`NfManager::process_burst`] — the burst path is the primary engine.
+    pub fn process_packet(&mut self, packet: Packet, now_ns: u64) -> PacketOutcome {
+        self.process_burst(vec![packet], now_ns)
+            .pop()
+            .expect("one outcome per packet")
+    }
 
-        for _ in 0..self.config.max_chain_hops {
-            let action = if let Some(action) = forced.take() {
-                action
-            } else {
-                let Some(decision) = self.lookup(step, &key) else {
-                    self.stats.add_controller_punts(1);
-                    return PacketOutcome::PuntedToController { packet };
-                };
-                if decision.parallel {
-                    match self.run_parallel(&decision, &mut packet, &key, now_ns, &mut step) {
-                        ParallelOutcome::Continue(next_forced) => {
-                            forced = next_forced;
-                            continue;
-                        }
-                        ParallelOutcome::Finished(outcome) => return outcome,
-                    }
-                }
-                match decision.default_action() {
-                    Some(action) => action,
-                    None => {
-                        self.stats.add_dropped(1);
-                        return PacketOutcome::Dropped;
-                    }
-                }
-            };
+    /// Processes a burst of packets to completion through the host,
+    /// returning one outcome per packet in input order.
+    ///
+    /// The burst is walked through the service chains in lock-step rounds:
+    /// each round resolves one flow-table action per in-flight packet
+    /// (looking the table up **once per distinct flow** in the burst), then
+    /// groups the packets bound for the same NF instance and invokes that
+    /// NF's batch entry point once for the whole group. Cross-layer messages
+    /// an NF emits anywhere inside a batch are applied before the next
+    /// round's lookups, so a `SkipMe`/`ChangeDefault` affects every
+    /// subsequent burst decision.
+    pub fn process_burst(&mut self, packets: Vec<Packet>, now_ns: u64) -> Vec<PacketOutcome> {
+        self.stats.add_received(packets.len() as u64);
+        let mut outcomes: Vec<Option<PacketOutcome>> = Vec::with_capacity(packets.len());
+        outcomes.resize_with(packets.len(), || None);
 
-            match action {
-                Action::Drop => {
+        let mut active: Vec<InFlight> = Vec::with_capacity(packets.len());
+        for (slot, packet) in packets.into_iter().enumerate() {
+            match packet.flow_key() {
+                Some(key) => {
+                    let step = RulePort::Nic(packet.ingress_port);
+                    active.push(InFlight {
+                        slot,
+                        packet,
+                        key,
+                        step,
+                        forced: None,
+                        hops: 0,
+                    });
+                }
+                None => {
                     self.stats.add_dropped(1);
-                    return PacketOutcome::Dropped;
-                }
-                Action::ToPort(port) => {
-                    self.stats.add_transmitted(1);
-                    return PacketOutcome::Transmitted { port, packet };
-                }
-                Action::ToController => {
-                    self.stats.add_controller_punts(1);
-                    return PacketOutcome::PuntedToController { packet };
-                }
-                Action::ToService(service) => {
-                    let verdict = match self.invoke(service, &mut packet, now_ns) {
-                        Some(v) => v,
-                        None => {
-                            // No instance of the service is attached: the
-                            // packet cannot make progress.
-                            self.stats.add_dropped(1);
-                            return PacketOutcome::Dropped;
-                        }
-                    };
-                    step = RulePort::Service(service);
-                    forced = match verdict {
-                        Verdict::Default => None,
-                        Verdict::Discard => Some(Action::Drop),
-                        other => {
-                            let requested = other.as_action().expect("non-default verdict");
-                            Some(self.validate_requested(step, &key, requested))
-                        }
-                    };
+                    outcomes[slot] = Some(PacketOutcome::Dropped);
                 }
             }
         }
-        // The hop bound was exceeded (mis-configured rules); drop the packet.
-        self.stats.add_dropped(1);
-        PacketOutcome::Dropped
+
+        while !active.is_empty() {
+            active = self.process_round(active, now_ns, &mut outcomes);
+        }
+
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every packet reaches an outcome"))
+            .collect()
+    }
+
+    /// Runs one lock-step round over the in-flight packets: resolve an
+    /// action per packet, then invoke NFs in per-instance batches. Returns
+    /// the packets still in flight.
+    fn process_round(
+        &mut self,
+        mut active: Vec<InFlight>,
+        now_ns: u64,
+        outcomes: &mut [Option<PacketOutcome>],
+    ) -> Vec<InFlight> {
+        // Phase A: resolve one action per in-flight packet. Lookups within
+        // the round are memoized per distinct (step, flow) — messages are
+        // only applied between rounds, so the memo cannot go stale.
+        let mut memo: BurstMemo<(RulePort, FlowKey), Option<Decision>> = BurstMemo::new();
+        let mut plans: Vec<Plan> = Vec::with_capacity(active.len());
+        for flight in active.iter_mut() {
+            if flight.hops >= self.config.max_chain_hops {
+                // The hop bound was exceeded (mis-configured rules).
+                plans.push(Plan::Drop);
+                continue;
+            }
+            flight.hops += 1;
+            let plan = if let Some(action) = flight.forced.take() {
+                Plan::from_action(action)
+            } else {
+                let decision = memo
+                    .get_or_insert_with((flight.step, flight.key), |(step, key)| {
+                        self.lookup(*step, key)
+                    })
+                    .clone();
+                match decision {
+                    None => Plan::Punt,
+                    Some(decision) if decision.parallel => Plan::Parallel(decision),
+                    Some(decision) => match decision.default_action() {
+                        Some(action) => Plan::from_action(action),
+                        None => Plan::Drop,
+                    },
+                }
+            };
+            plans.push(plan);
+        }
+
+        // Phase B: finish terminal packets, run parallel rules, and bucket
+        // the rest by target service.
+        let mut buckets: Vec<(ServiceId, Vec<InFlight>)> = Vec::new();
+        let mut survivors: Vec<InFlight> = Vec::with_capacity(active.len());
+        for (mut flight, plan) in active.drain(..).zip(plans) {
+            match plan {
+                Plan::Drop => {
+                    self.stats.add_dropped(1);
+                    outcomes[flight.slot] = Some(PacketOutcome::Dropped);
+                }
+                Plan::Punt => {
+                    self.stats.add_controller_punts(1);
+                    outcomes[flight.slot] = Some(PacketOutcome::PuntedToController {
+                        packet: flight.packet,
+                    });
+                }
+                Plan::Transmit(port) => {
+                    self.stats.add_transmitted(1);
+                    outcomes[flight.slot] = Some(PacketOutcome::Transmitted {
+                        port,
+                        packet: flight.packet,
+                    });
+                }
+                Plan::Parallel(decision) => {
+                    let mut step = flight.step;
+                    let key = flight.key;
+                    match self.run_parallel(&decision, &mut flight.packet, &key, now_ns, &mut step)
+                    {
+                        ParallelOutcome::Continue(forced) => {
+                            flight.step = step;
+                            flight.forced = forced;
+                            survivors.push(flight);
+                        }
+                        ParallelOutcome::Finished(outcome) => {
+                            outcomes[flight.slot] = Some(outcome);
+                        }
+                    }
+                }
+                Plan::Invoke(service) => match buckets.iter_mut().find(|(s, _)| *s == service) {
+                    Some((_, members)) => members.push(flight),
+                    None => buckets.push((service, vec![flight])),
+                },
+            }
+        }
+
+        // Phase C: per service, pick an instance per packet (preserving the
+        // per-packet load-balancing semantics) and invoke each instance once
+        // over its whole group.
+        for (service, members) in buckets {
+            self.invoke_service_batch(service, members, now_ns, outcomes, &mut survivors);
+        }
+        survivors
+    }
+
+    /// Invokes `service` over `members`, batched per chosen instance, and
+    /// pushes the packets that continue their chain onto `survivors`.
+    fn invoke_service_batch(
+        &mut self,
+        service: ServiceId,
+        mut members: Vec<InFlight>,
+        now_ns: u64,
+        outcomes: &mut [Option<PacketOutcome>],
+        survivors: &mut Vec<InFlight>,
+    ) {
+        let instance_count = self.instances.get(&service).map(|v| v.len()).unwrap_or(0);
+        if instance_count == 0 {
+            // No instance of the service is attached: the packets cannot
+            // make progress.
+            for flight in members {
+                self.stats.add_dropped(1);
+                outcomes[flight.slot] = Some(PacketOutcome::Dropped);
+            }
+            return;
+        }
+
+        // Pick an instance per packet, exactly as the scalar path does, so
+        // round-robin / flow-hash balancing observes every packet.
+        let queue_lengths: Vec<usize> = self.instances[&service]
+            .iter()
+            .map(|i| i.queue_len)
+            .collect();
+        let balancer = self
+            .balancers
+            .entry(service)
+            .or_insert_with(|| LoadBalancer::new(self.config.load_balance));
+        let picks: Vec<usize> = members
+            .iter()
+            .map(|f| balancer.pick(&queue_lengths, Some(&f.key)).unwrap_or(0))
+            .collect();
+
+        for instance_index in 0..instance_count {
+            let group: Vec<usize> = (0..members.len())
+                .filter(|i| picks[*i] == instance_index)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let mut ctx = NfContext::new(now_ns);
+            let mut verdicts = VerdictSlice::with_capacity(group.len());
+            let slots = verdicts.reset(group.len());
+            {
+                let instances = self
+                    .instances
+                    .get_mut(&service)
+                    .expect("service checked above");
+                let instance = &mut instances[instance_index];
+                instance.invocations += group.len() as u64;
+                if instance.nf.read_only() {
+                    let refs: Vec<&Packet> = group.iter().map(|i| &members[*i].packet).collect();
+                    instance
+                        .nf
+                        .process_batch(&PacketBatch::new(&refs), slots, &mut ctx);
+                } else {
+                    // Collect disjoint mutable borrows in one pass.
+                    let mut refs: Vec<&mut Packet> = Vec::with_capacity(group.len());
+                    let mut cursor = group.iter().peekable();
+                    for (index, member) in members.iter_mut().enumerate() {
+                        if cursor.peek() == Some(&&index) {
+                            cursor.next();
+                            refs.push(&mut member.packet);
+                        }
+                    }
+                    let mut batch = PacketBatchMut::new(&mut refs);
+                    instance.nf.process_batch_mut(&mut batch, slots, &mut ctx);
+                }
+            }
+            self.stats.add_nf_invocations(group.len() as u64);
+            // Apply the batch's cross-layer messages before any further
+            // lookup — including the verdict validation just below and the
+            // next round's table lookups.
+            self.handle_messages(service, &mut ctx);
+
+            let step = RulePort::Service(service);
+            for (verdict, member_index) in verdicts.as_slice().iter().zip(group) {
+                let flight = &mut members[member_index];
+                flight.step = step;
+                flight.forced = match verdict {
+                    Verdict::Default => None,
+                    Verdict::Discard => Some(Action::Drop),
+                    other => {
+                        let requested = other.as_action().expect("non-default verdict");
+                        Some(self.validate_requested(step, &flight.key, requested))
+                    }
+                };
+            }
+        }
+        survivors.append(&mut members);
     }
 
     /// Looks up the decision for `(step, key)`, consulting the cache first.
@@ -412,6 +587,41 @@ enum ParallelOutcome {
     Finished(PacketOutcome),
 }
 
+/// Per-packet state while a burst walks the service chains in lock-step.
+struct InFlight {
+    /// Index of this packet's slot in the outcome vector (input order).
+    slot: usize,
+    packet: Packet,
+    key: FlowKey,
+    /// The flow-table step the next lookup uses.
+    step: RulePort,
+    /// A validated action from an NF verdict, overriding the next lookup.
+    forced: Option<Action>,
+    /// Rounds consumed so far (bounded by `max_chain_hops`).
+    hops: usize,
+}
+
+/// What one round decided to do with one in-flight packet.
+enum Plan {
+    Drop,
+    Punt,
+    Transmit(Port),
+    Invoke(ServiceId),
+    /// A parallel rule: all its services run on the packet this round.
+    Parallel(Decision),
+}
+
+impl Plan {
+    fn from_action(action: Action) -> Self {
+        match action {
+            Action::Drop => Plan::Drop,
+            Action::ToPort(port) => Plan::Transmit(port),
+            Action::ToController => Plan::Punt,
+            Action::ToService(service) => Plan::Invoke(service),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,7 +702,10 @@ mod tests {
         let mut manager = NfManager::default();
         manager.install_graph(&graph, &CompileOptions::default());
         manager.add_nf(ids[0], Box::new(FirewallNf::deny_by_default()));
-        assert_eq!(manager.process_packet(udp_packet(5), 0), PacketOutcome::Dropped);
+        assert_eq!(
+            manager.process_packet(udp_packet(5), 0),
+            PacketOutcome::Dropped
+        );
         assert_eq!(manager.stats().snapshot().dropped, 1);
     }
 
@@ -524,7 +737,10 @@ mod tests {
         let (_, ids) = catalog::chain(&[("nf0", true), ("nf1", true)]);
         assert_eq!(manager.remove_service(ids[1]), 1);
         assert!(!manager.has_service(ids[1]));
-        assert_eq!(manager.process_packet(udp_packet(9), 0), PacketOutcome::Dropped);
+        assert_eq!(
+            manager.process_packet(udp_packet(9), 0),
+            PacketOutcome::Dropped
+        );
     }
 
     #[test]
@@ -556,7 +772,10 @@ mod tests {
         for _ in 0..5 {
             manager.process_packet(udp_packet(1), 0);
         }
-        assert!(manager.cache.hits() > 0, "repeated packets should hit the cache");
+        assert!(
+            manager.cache.hits() > 0,
+            "repeated packets should hit the cache"
+        );
         // Disabling the cache still works.
         let mut manager = NfManager::new(NfManagerConfig {
             enable_lookup_cache: false,
@@ -611,7 +830,89 @@ mod tests {
             vec![Action::ToService(svc)],
         ));
         manager.add_nf(svc, Box::new(NoOpNf::new()));
-        assert_eq!(manager.process_packet(udp_packet(3), 0), PacketOutcome::Dropped);
+        assert_eq!(
+            manager.process_packet(udp_packet(3), 0),
+            PacketOutcome::Dropped
+        );
+    }
+
+    #[test]
+    fn burst_outcomes_match_scalar_outcomes_in_order() {
+        // The same traffic mix through a burst and through scalar calls must
+        // yield identical outcomes and identical stats.
+        let build = || {
+            let (graph, ids) = catalog::chain(&[("fw", true), ("w", true)]);
+            let mut manager = NfManager::default();
+            manager.install_graph(&graph, &CompileOptions::default());
+            manager.add_nf(
+                ids[0],
+                Box::new(FirewallNf::allow_by_default().with_rule(
+                    sdnfv_nf::nfs::FirewallRule::deny(FlowMatch::any().with_src_port(666)),
+                )),
+            );
+            manager.add_nf(ids[1], Box::new(NoOpNf::new()));
+            manager
+        };
+        let packets = |_: ()| -> Vec<Packet> {
+            vec![
+                udp_packet(1),
+                udp_packet(666), // firewalled
+                udp_packet(2),
+                Packet::from_bytes(vec![0u8; 8]), // unparseable
+                udp_packet(1),                    // repeated flow: exercises the burst memo
+            ]
+        };
+
+        let mut scalar = build();
+        let scalar_outcomes: Vec<PacketOutcome> = packets(())
+            .into_iter()
+            .map(|p| scalar.process_packet(p, 7))
+            .collect();
+
+        let mut batched = build();
+        let burst_outcomes = batched.process_burst(packets(()), 7);
+
+        assert_eq!(burst_outcomes, scalar_outcomes);
+        assert_eq!(
+            batched.stats().snapshot().nf_invocations,
+            scalar.stats().snapshot().nf_invocations
+        );
+        assert_eq!(
+            batched.stats().snapshot().dropped,
+            scalar.stats().snapshot().dropped
+        );
+        assert_eq!(
+            batched.stats().snapshot().transmitted,
+            scalar.stats().snapshot().transmitted
+        );
+    }
+
+    #[test]
+    fn burst_load_balances_per_packet() {
+        let (graph, ids) = catalog::chain(&[("worker", true)]);
+        let mut manager = NfManager::new(NfManagerConfig {
+            load_balance: LoadBalancePolicy::RoundRobin,
+            ..NfManagerConfig::default()
+        });
+        manager.install_graph(&graph, &CompileOptions::default());
+        manager.add_nf(ids[0], Box::new(NoOpNf::new()));
+        manager.add_nf(ids[0], Box::new(NoOpNf::new()));
+        let burst: Vec<Packet> = (0..10).map(udp_packet).collect();
+        let outcomes = manager.process_burst(burst, 0);
+        assert_eq!(outcomes.len(), 10);
+        // Round robin still splits a single burst 5/5 between the instances.
+        let per_instance: Vec<u64> = manager.instances[&ids[0]]
+            .iter()
+            .map(|i| i.invocations)
+            .collect();
+        assert_eq!(per_instance, vec![5, 5]);
+    }
+
+    #[test]
+    fn empty_burst_is_a_no_op() {
+        let mut manager = chain_manager(1, false);
+        assert!(manager.process_burst(Vec::new(), 0).is_empty());
+        assert_eq!(manager.stats().snapshot().received, 0);
     }
 
     #[test]

@@ -60,9 +60,9 @@ pub fn apply_nf_message(
                 None => AppliedChange::RulesUpdated(0),
             }
         }
-        NfMessage::RequestMe { flows } => AppliedChange::RulesUpdated(
-            table.promote_where_allowed(flows, Action::ToService(from)),
-        ),
+        NfMessage::RequestMe { flows } => {
+            AppliedChange::RulesUpdated(table.promote_where_allowed(flows, Action::ToService(from)))
+        }
         NfMessage::ChangeDefault {
             flows,
             service,
@@ -160,7 +160,9 @@ mod tests {
         assert_eq!(change, AppliedChange::RulesUpdated(1));
         // The firewall now defaults straight to port 1 instead of the sampler.
         assert_eq!(
-            t.peek(RulePort::Service(FIREWALL), &key()).unwrap().default_action(),
+            t.peek(RulePort::Service(FIREWALL), &key())
+                .unwrap()
+                .default_action(),
             Some(Action::ToPort(1))
         );
     }
@@ -193,12 +195,16 @@ mod tests {
         // Only the sampler has an edge to the scrubber.
         assert_eq!(change, AppliedChange::RulesUpdated(1));
         assert_eq!(
-            t.peek(RulePort::Service(SAMPLER), &key()).unwrap().default_action(),
+            t.peek(RulePort::Service(SAMPLER), &key())
+                .unwrap()
+                .default_action(),
             Some(Action::ToService(SCRUBBER))
         );
         // The firewall is untouched.
         assert_eq!(
-            t.peek(RulePort::Service(FIREWALL), &key()).unwrap().default_action(),
+            t.peek(RulePort::Service(FIREWALL), &key())
+                .unwrap()
+                .default_action(),
             Some(Action::ToService(SAMPLER))
         );
     }
@@ -218,7 +224,9 @@ mod tests {
         );
         assert_eq!(change, AppliedChange::RulesUpdated(1));
         assert_eq!(
-            t.peek(RulePort::Service(SAMPLER), &key()).unwrap().default_action(),
+            t.peek(RulePort::Service(SAMPLER), &key())
+                .unwrap()
+                .default_action(),
             Some(Action::ToService(SCRUBBER))
         );
     }
@@ -240,14 +248,18 @@ mod tests {
         assert_eq!(change, AppliedChange::RulesUpdated(1));
         // The specific flow now defaults to the scrubber …
         assert_eq!(
-            t.peek(RulePort::Service(SAMPLER), &key()).unwrap().default_action(),
+            t.peek(RulePort::Service(SAMPLER), &key())
+                .unwrap()
+                .default_action(),
             Some(Action::ToService(SCRUBBER))
         );
         // … while other flows keep the wildcard default.
         let mut other = key();
         other.src_port = 9999;
         assert_eq!(
-            t.peek(RulePort::Service(SAMPLER), &other).unwrap().default_action(),
+            t.peek(RulePort::Service(SAMPLER), &other)
+                .unwrap()
+                .default_action(),
             Some(Action::ToPort(1))
         );
     }

@@ -11,18 +11,28 @@
 //!                                        └────────────────────┘
 //! ```
 //!
-//! * the **RX thread** polls the ingress ring, performs the first flow-table
-//!   lookup and dispatches packet descriptors to NF rings (several at once
-//!   for parallel rules, with the shared reference counter set accordingly);
+//! Every stage is **batch-first**: descriptors move between threads in
+//! bursts of up to [`ThreadedHostConfig::burst_size`] packets, with a single
+//! atomic ring-cursor update per burst ([`Producer::push_n`] /
+//! [`Consumer::pop_n`]).
+//!
+//! * the **RX thread** polls the ingress ring a burst at a time, performs
+//!   the first flow-table lookup **once per distinct flow in the burst**,
+//!   and stages packet descriptors per NF ring (several rings at once for
+//!   parallel rules, with the shared reference counter set accordingly),
+//!   flushing each ring with one batched push;
 //! * each **NF thread** models one network-function VM: it polls its two
 //!   input rings (one fed by RX, one fed by TX, keeping every ring
-//!   single-producer), runs the network function, applies any cross-layer
-//!   messages to the shared flow table, and hands completed packets to the
-//!   TX thread;
-//! * the **TX thread** resolves conflicting verdicts, performs the next
-//!   flow-table lookup (with a per-thread lookup cache), and either forwards
-//!   the descriptor to the next NF, transmits the packet out the egress
-//!   ring, or drops it.
+//!   single-producer) for a burst of descriptors, runs the network
+//!   function's batch entry point over the whole burst, applies any
+//!   cross-layer messages to the shared flow table *before* completed
+//!   packets are handed onward (so the TX thread's next lookups see them),
+//!   and pushes completed descriptors to the TX thread in one burst;
+//! * the **TX thread** drains the done rings in bursts, resolves
+//!   conflicting verdicts, performs the next flow-table lookup (memoized
+//!   per distinct flow in the burst, on top of a per-thread lookup cache),
+//!   and either stages the descriptor for the next NF, stages the packet
+//!   for egress, or drops it.
 //!
 //! Packets are never copied between threads — descriptors reference the same
 //! [`SharedPacket`] buffer — except once at egress when the frame leaves the
@@ -36,8 +46,10 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use sdnfv_flowtable::{Action, RulePort, ServiceId, SharedFlowTable};
-use sdnfv_nf::{NetworkFunction, NfContext, Verdict};
+use sdnfv_flowtable::{Action, Decision, RulePort, ServiceId, SharedFlowTable};
+use sdnfv_nf::{
+    BurstMemo, NetworkFunction, NfContext, PacketBatch, PacketBatchMut, Verdict, VerdictSlice,
+};
 use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
@@ -57,6 +69,11 @@ pub struct ThreadedHostConfig {
     pub ingress_capacity: usize,
     /// Capacity of the egress ring transmitted packets appear on.
     pub egress_capacity: usize,
+    /// Maximum number of packets moved per ring operation — the batch size
+    /// of the whole pipeline and the host's primary throughput knob. Larger
+    /// bursts amortize atomic ring updates, flow-table lookups and NF
+    /// dispatch over more packets at a small cost in per-packet latency.
+    pub burst_size: usize,
     /// Whether the RX/TX threads cache flow-table lookups (§4.2).
     pub enable_lookup_cache: bool,
     /// Whether NFs are trusted when applying `ChangeDefault` messages.
@@ -69,6 +86,7 @@ impl Default for ThreadedHostConfig {
             nf_ring_capacity: 1024,
             ingress_capacity: 8192,
             egress_capacity: 8192,
+            burst_size: 32,
             enable_lookup_cache: true,
             trusted_nfs: false,
         }
@@ -127,13 +145,15 @@ impl ThreadedHost {
         let stats = HostStats::new();
         let running = Arc::new(AtomicBool::new(true));
         let epoch = Instant::now();
+        let burst_size = config.burst_size.max(1);
 
         let (ingress_tx, ingress_rx) = spsc_ring::<Packet>(config.ingress_capacity.max(1));
         let (egress_tx, egress_rx) = spsc_ring::<HostOutput>(config.egress_capacity.max(1));
         // The egress ring technically has two producing threads (RX for
         // rules that forward without touching an NF, TX for everything
         // else); the producer handle is shared behind a mutex since egress
-        // is off the per-NF fast path.
+        // is off the per-NF fast path, and each thread takes the lock once
+        // per burst rather than once per packet.
         let egress_producer: SharedEgress = Arc::new(Mutex::new(egress_tx));
 
         // Per-NF rings. Each NF has two input rings (fed by RX and TX
@@ -168,7 +188,17 @@ impl ThreadedHost {
             let epoch_clone = epoch;
             handles.push(std::thread::spawn(move || {
                 nf_thread_loop(
-                    service, nf, rx_c, tx_c, done_p, running, stats, table, trusted, epoch_clone,
+                    service,
+                    nf,
+                    rx_c,
+                    tx_c,
+                    done_p,
+                    running,
+                    stats,
+                    table,
+                    trusted,
+                    epoch_clone,
+                    burst_size,
                 );
             }));
         }
@@ -191,6 +221,7 @@ impl ThreadedHost {
                     stats,
                     running,
                     enable_cache,
+                    burst_size,
                 );
             }));
         }
@@ -212,6 +243,7 @@ impl ThreadedHost {
                     stats,
                     running,
                     enable_cache,
+                    burst_size,
                 );
             }));
         }
@@ -241,6 +273,23 @@ impl ThreadedHost {
         }
     }
 
+    /// Injects a burst of packets with one ring operation, stamping their
+    /// receive timestamps. Returns how many were accepted; the rest are
+    /// counted as overflow drops and discarded.
+    pub fn inject_burst(&self, packets: Vec<Packet>) -> usize {
+        let now = self.now_ns();
+        let mut burst = packets;
+        for packet in &mut burst {
+            packet.timestamp_ns = now;
+        }
+        let total = burst.len();
+        let pushed = self.ingress.push_n(&mut burst);
+        if pushed < total {
+            self.stats.add_overflow_drops((total - pushed) as u64);
+        }
+        pushed
+    }
+
     /// Nanoseconds since the host started (the clock used for packet
     /// timestamps).
     pub fn now_ns(&self) -> u64 {
@@ -250,6 +299,11 @@ impl ThreadedHost {
     /// Retrieves one transmitted packet, if any.
     pub fn poll_egress(&self) -> Option<HostOutput> {
         self.egress.pop()
+    }
+
+    /// Retrieves up to `max` transmitted packets with one ring operation.
+    pub fn poll_egress_burst(&self, max: usize) -> Vec<HostOutput> {
+        self.egress.pop_batch(max)
     }
 
     /// Number of packets currently waiting in the ingress ring.
@@ -289,6 +343,85 @@ impl Drop for ThreadedHost {
 /// the comment at its construction in [`ThreadedHost::start`].
 type SharedEgress = Arc<Mutex<Producer<HostOutput>>>;
 
+/// Per-thread staging buffers: descriptors dispatched during a burst are
+/// collected here and flushed to each NF ring (and the egress ring) with a
+/// single batched push at burst end.
+struct BurstStaging {
+    per_ring: Vec<Vec<WorkItem>>,
+    egress: Vec<HostOutput>,
+}
+
+impl BurstStaging {
+    fn new(rings: usize, burst_size: usize) -> Self {
+        BurstStaging {
+            per_ring: (0..rings).map(|_| Vec::with_capacity(burst_size)).collect(),
+            egress: Vec::with_capacity(burst_size),
+        }
+    }
+
+    /// Returns `true` if `extra` more items can be staged for `ring` without
+    /// exceeding its free space at flush time. Exact for the staging thread:
+    /// it is the ring's only producer and the consumer only drains.
+    fn has_room(&self, nf_rings: &[Producer<WorkItem>], ring: usize, extra: usize) -> bool {
+        nf_rings[ring].len() + self.per_ring[ring].len() + extra <= nf_rings[ring].capacity()
+    }
+
+    /// Flushes every staged descriptor. Items that do not fit their ring are
+    /// counted as overflow drops and their pending completion is accounted
+    /// for (matching the single-push failure path of the per-packet runtime).
+    fn flush(&mut self, nf_rings: &[Producer<WorkItem>], egress: &SharedEgress, stats: &HostStats) {
+        for (ring_index, staged) in self.per_ring.iter_mut().enumerate() {
+            if staged.is_empty() {
+                continue;
+            }
+            nf_rings[ring_index].push_n(staged);
+            for item in staged.drain(..) {
+                stats.add_overflow_drops(1);
+                item.shared.complete_one();
+            }
+        }
+        if !self.egress.is_empty() {
+            let total = self.egress.len();
+            let pushed = egress.lock().push_n(&mut self.egress);
+            stats.add_transmitted(pushed as u64);
+            if pushed < total {
+                stats.add_overflow_drops(self.egress.len() as u64);
+                self.egress.clear();
+            }
+        }
+    }
+}
+
+/// A burst-local memo of flow-table lookups: one table probe per distinct
+/// `(step, flow)` pair per burst, on top of the per-thread [`LookupCache`].
+/// Cleared at every burst boundary so that cross-layer messages applied
+/// between bursts are always visible to the next burst's lookups.
+#[derive(Default)]
+struct BurstLookupMemo {
+    entries: BurstMemo<(RulePort, FlowKey), Option<Decision>>,
+}
+
+impl BurstLookupMemo {
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn lookup(
+        &mut self,
+        table: &SharedFlowTable,
+        cache: &mut LookupCache,
+        enable_cache: bool,
+        step: RulePort,
+        key: &FlowKey,
+    ) -> Option<Decision> {
+        self.entries
+            .get_or_insert_with((step, *key), |(step, key)| {
+                lookup_with_cache(table, cache, enable_cache, *step, key)
+            })
+            .clone()
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn rx_thread_loop(
     ingress: Consumer<Packet>,
@@ -299,51 +432,60 @@ fn rx_thread_loop(
     stats: HostStats,
     running: Arc<AtomicBool>,
     enable_cache: bool,
+    burst_size: usize,
 ) {
     let mut cache = LookupCache::new(4096);
+    let mut memo = BurstLookupMemo::default();
+    let mut staging = BurstStaging::new(nf_rings.len(), burst_size);
+    let mut burst: Vec<Packet> = Vec::with_capacity(burst_size);
     let mut idle: u32 = 0;
     while running.load(Ordering::Acquire) {
-        let Some(packet) = ingress.pop() else {
+        burst.clear();
+        if ingress.pop_n(&mut burst, burst_size) == 0 {
             idle_backoff(&mut idle);
             continue;
-        };
+        }
         idle = 0;
-        stats.add_received(1);
-        let Some(key) = packet.flow_key() else {
-            stats.add_dropped(1);
-            continue;
-        };
-        let step = RulePort::Nic(packet.ingress_port);
-        let decision = lookup_with_cache(&table, &mut cache, enable_cache, step, &key);
-        let Some(decision) = decision else {
-            // No controller thread is attached in the threaded runtime; a
-            // miss is counted and the packet is dropped.
-            stats.add_controller_punts(1);
-            continue;
-        };
-        dispatch(
-            packet,
-            key,
-            &decision.actions,
-            decision.parallel,
-            &nf_rings,
-            &service_instances,
-            &egress,
-            &stats,
-        );
+        stats.add_received(burst.len() as u64);
+        memo.clear();
+        for packet in burst.drain(..) {
+            let Some(key) = packet.flow_key() else {
+                stats.add_dropped(1);
+                continue;
+            };
+            let step = RulePort::Nic(packet.ingress_port);
+            let decision = memo.lookup(&table, &mut cache, enable_cache, step, &key);
+            let Some(decision) = decision else {
+                // No controller thread is attached in the threaded runtime; a
+                // miss is counted and the packet is dropped.
+                stats.add_controller_punts(1);
+                continue;
+            };
+            dispatch(
+                packet,
+                key,
+                &decision.actions,
+                decision.parallel,
+                &mut staging,
+                &nf_rings,
+                &service_instances,
+                &stats,
+            );
+        }
+        staging.flush(&nf_rings, &egress, &stats);
     }
 }
 
-/// Dispatches a packet according to an action list (shared by RX and TX).
+/// Stages a packet according to an action list (shared by RX and TX).
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     packet: Packet,
     key: FlowKey,
     actions: &[Action],
     parallel: bool,
+    staging: &mut BurstStaging,
     nf_rings: &[Producer<WorkItem>],
     service_instances: &HashMap<ServiceId, Vec<usize>>,
-    egress: &SharedEgress,
     stats: &HostStats,
 ) {
     if parallel {
@@ -360,9 +502,17 @@ fn dispatch(
         }
         let indices: Vec<usize> = targets
             .iter()
-            .filter_map(|s| pick_instance(service_instances, nf_rings, *s))
+            .filter_map(|s| pick_instance(service_instances, nf_rings, staging, *s))
             .collect();
-        if indices.len() != targets.len() || indices.iter().any(|i| nf_rings[*i].is_full()) {
+        if indices.len() != targets.len() {
+            stats.add_overflow_drops(1);
+            return;
+        }
+        // All-or-nothing: a parallel packet must reach *every* target NF or
+        // none — partial delivery would let a packet bypass e.g. a firewall
+        // whose ring happened to be full and still be forwarded on the other
+        // NFs' verdicts alone.
+        if !parallel_fits(staging, nf_rings, &indices) {
             stats.add_overflow_drops(1);
             return;
         }
@@ -371,63 +521,87 @@ fn dispatch(
         let collector = Arc::new(Mutex::new(Vec::with_capacity(indices.len())));
         let exit_service = *targets.last().expect("targets is non-empty");
         for index in indices {
-            let item = WorkItem {
+            staging.per_ring[index].push(WorkItem {
                 shared: shared.clone(),
                 key,
                 exit_service,
                 collector: Arc::clone(&collector),
-            };
-            if nf_rings[index].push(item).is_err() {
-                // The capacity check above makes this unlikely; account for
-                // the reader that will never run.
-                stats.add_overflow_drops(1);
-                shared.complete_one();
-            }
+            });
         }
         return;
     }
 
     match actions.first().copied() {
         Some(Action::ToService(service)) => {
-            match pick_instance(service_instances, nf_rings, service) {
+            match pick_instance(service_instances, nf_rings, staging, service) {
                 Some(index) => {
                     let shared = SharedPacket::new(packet, 1);
-                    let item = WorkItem {
+                    staging.per_ring[index].push(WorkItem {
                         shared,
                         key,
                         exit_service: service,
                         collector: Arc::new(Mutex::new(Vec::with_capacity(1))),
-                    };
-                    if nf_rings[index].push(item).is_err() {
-                        stats.add_overflow_drops(1);
-                    }
+                    });
                 }
                 None => stats.add_dropped(1),
             }
         }
         Some(Action::ToPort(port)) => {
-            if egress.lock().push((port, packet)).is_err() {
-                stats.add_overflow_drops(1);
-            } else {
-                stats.add_transmitted(1);
-            }
+            // transmitted/overflow accounting happens at flush
+            staging.egress.push((port, packet));
         }
         Some(Action::ToController) => stats.add_controller_punts(1),
         Some(Action::Drop) | None => stats.add_dropped(1),
     }
 }
 
-/// Picks the least-loaded instance (by ring occupancy) of a service.
+/// Length of the longest prefix of `items` in which no two work items share
+/// a packet buffer (always ≥ 1 for a non-empty slice). Used to split bursts
+/// that would otherwise write-lock the same buffer twice.
+fn distinct_buffer_prefix(items: &[WorkItem]) -> usize {
+    if items.is_empty() {
+        return 0;
+    }
+    let mut end = 1;
+    'grow: while end < items.len() {
+        for earlier in &items[..end] {
+            if earlier.shared.same_buffer(&items[end].shared) {
+                break 'grow;
+            }
+        }
+        end += 1;
+    }
+    end
+}
+
+/// Checks that every target ring of a parallel dispatch can take its staged
+/// copies (counting duplicate targets with multiplicity).
+fn parallel_fits(
+    staging: &BurstStaging,
+    nf_rings: &[Producer<WorkItem>],
+    indices: &[usize],
+) -> bool {
+    indices.iter().enumerate().all(|(position, &ring)| {
+        let copies_for_ring = indices[..=position].iter().filter(|i| **i == ring).count();
+        staging.has_room(nf_rings, ring, copies_for_ring)
+    })
+}
+
+/// Picks the least-loaded instance of a service, counting both the ring's
+/// occupancy and the items already staged for it this burst (staged items
+/// are invisible to `len()` until flush, so ignoring them would send a whole
+/// burst to the instance that merely looked emptiest at burst start).
 fn pick_instance(
     service_instances: &HashMap<ServiceId, Vec<usize>>,
     nf_rings: &[Producer<WorkItem>],
+    staging: &BurstStaging,
     service: ServiceId,
 ) -> Option<usize> {
     let candidates = service_instances.get(&service)?;
     candidates
         .iter()
         .copied()
-        .min_by_key(|index| nf_rings[*index].len())
+        .min_by_key(|index| nf_rings[*index].len() + staging.per_ring[*index].len())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -442,6 +616,7 @@ fn nf_thread_loop(
     table: SharedFlowTable,
     trusted: bool,
     epoch: Instant,
+    burst_size: usize,
 ) {
     let mut ctx = NfContext::new(0);
     {
@@ -451,37 +626,88 @@ fn nf_thread_loop(
             table.with_write(|t| apply_nf_message(t, service, &message, trusted));
         }
     }
+    let read_only = nf.read_only();
+    let mut items: Vec<WorkItem> = Vec::with_capacity(burst_size);
+    let mut verdicts = VerdictSlice::with_capacity(burst_size);
+    let mut done_staging: Vec<DoneItem> = Vec::with_capacity(burst_size);
     let mut idle: u32 = 0;
     while running.load(Ordering::Acquire) {
-        let item = from_rx.pop().or_else(|| from_tx.pop());
-        let Some(item) = item else {
+        items.clear();
+        let got = from_rx.pop_n(&mut items, burst_size);
+        if got < burst_size {
+            from_tx.pop_n(&mut items, burst_size - got);
+        }
+        if items.is_empty() {
             idle_backoff(&mut idle);
             continue;
-        };
+        }
         idle = 0;
         ctx.set_now_ns(epoch.elapsed().as_nanos() as u64);
-        let verdict = if nf.read_only() {
-            item.shared.with_read(|p| nf.process(p, &mut ctx))
+        let slots = verdicts.reset(items.len());
+        if read_only {
+            // Lock the whole burst for reading and hand the NF one batch.
+            // Parallel NFs on other threads can hold read guards on the same
+            // descriptors simultaneously. Bursts are still split on repeated
+            // buffers: two read guards on one lock from this thread could
+            // deadlock against a queued writer (std's RwLock is
+            // writer-preferring), and a repeated buffer is possible with
+            // hand-installed action lists naming one service twice.
+            let mut start = 0;
+            while start < items.len() {
+                let end = start + distinct_buffer_prefix(&items[start..]);
+                let chunk = &items[start..end];
+                let guards: Vec<_> = chunk.iter().map(|item| item.shared.read_guard()).collect();
+                let refs: Vec<&Packet> = guards.iter().map(|guard| &**guard).collect();
+                nf.process_batch(&PacketBatch::new(&refs), &mut slots[start..end], &mut ctx);
+                start = end;
+            }
         } else {
-            item.shared.with_write(|p| nf.process_mut(p, &mut ctx))
-        };
-        stats.add_nf_invocations(1);
+            // A mutating NF is the sole owner of every descriptor it is
+            // handed (never scheduled in parallel with other NFs), so the
+            // write locks are uncontended — except when a (hand-installed)
+            // action list names the same service twice, which puts two
+            // WorkItems over one buffer into the same burst. Write-locking
+            // those together would self-deadlock, so the burst is split into
+            // chunks with no repeated buffer.
+            let mut start = 0;
+            while start < items.len() {
+                let end = start + distinct_buffer_prefix(&items[start..]);
+                let chunk = &items[start..end];
+                let mut guards: Vec<_> =
+                    chunk.iter().map(|item| item.shared.write_guard()).collect();
+                let mut refs: Vec<&mut Packet> =
+                    guards.iter_mut().map(|guard| &mut **guard).collect();
+                let mut batch = PacketBatchMut::new(&mut refs);
+                nf.process_batch_mut(&mut batch, &mut slots[start..end], &mut ctx);
+                start = end;
+            }
+        }
+        stats.add_nf_invocations(items.len() as u64);
+        // Cross-layer messages emitted anywhere inside the burst are applied
+        // to the shared table *before* completed descriptors are handed to
+        // the TX thread, so the next burst's lookups (on every thread)
+        // already see them.
         for message in ctx.take_messages() {
             stats.add_nf_messages(1);
             table.with_write(|t| apply_nf_message(t, service, &message, trusted));
         }
-        item.collector.lock().push(verdict);
-        let last = item.shared.complete_one();
-        if last {
-            let done_item = DoneItem {
-                shared: item.shared,
-                key: item.key,
-                exit_service: item.exit_service,
-                collector: item.collector,
-            };
-            if done.push(done_item).is_err() {
-                stats.add_overflow_drops(1);
+        for (index, item) in items.drain(..).enumerate() {
+            item.collector.lock().push(verdicts.as_slice()[index]);
+            if item.shared.complete_one() {
+                done_staging.push(DoneItem {
+                    shared: item.shared,
+                    key: item.key,
+                    exit_service: item.exit_service,
+                    collector: item.collector,
+                });
             }
+        }
+        done.push_n(&mut done_staging);
+        // Whatever did not fit the done ring is dropped, mirroring the
+        // per-packet runtime's push-failure path.
+        if !done_staging.is_empty() {
+            stats.add_overflow_drops(done_staging.len() as u64);
+            done_staging.clear();
         }
     }
 }
@@ -496,56 +722,67 @@ fn tx_thread_loop(
     stats: HostStats,
     running: Arc<AtomicBool>,
     enable_cache: bool,
+    burst_size: usize,
 ) {
     let mut cache = LookupCache::new(4096);
+    let mut memo = BurstLookupMemo::default();
+    let mut staging = BurstStaging::new(nf_rings.len(), burst_size);
+    let mut burst: Vec<DoneItem> = Vec::with_capacity(burst_size);
     let mut idle: u32 = 0;
     while running.load(Ordering::Acquire) {
         let mut did_work = false;
         for ring in &done_rings {
-            let Some(item) = ring.pop() else { continue };
+            burst.clear();
+            if ring.pop_n(&mut burst, burst_size) == 0 {
+                continue;
+            }
             did_work = true;
-            let verdicts = item.collector.lock().clone();
-            let resolved = resolve_parallel_verdicts(&verdicts);
-            let step = RulePort::Service(item.exit_service);
-            let action = match resolved {
-                Verdict::Discard => Action::Drop,
-                Verdict::Default => {
-                    match lookup_with_cache(&table, &mut cache, enable_cache, step, &item.key) {
-                        Some(decision) => {
-                            // Follow the whole decision (it may itself be a
-                            // parallel rule or a multi-action list).
-                            forward_decision(
-                                item,
-                                &decision.actions,
-                                decision.parallel,
-                                &nf_rings,
-                                &service_instances,
-                                &egress_shared,
-                                &stats,
-                            );
-                            continue;
+            memo.clear();
+            for item in burst.drain(..) {
+                let verdicts = item.collector.lock().clone();
+                let resolved = resolve_parallel_verdicts(&verdicts);
+                let step = RulePort::Service(item.exit_service);
+                let action = match resolved {
+                    Verdict::Discard => Action::Drop,
+                    Verdict::Default => {
+                        match memo.lookup(&table, &mut cache, enable_cache, step, &item.key) {
+                            Some(decision) => {
+                                // Follow the whole decision (it may itself be
+                                // a parallel rule or a multi-action list).
+                                forward_decision(
+                                    item,
+                                    &decision.actions,
+                                    decision.parallel,
+                                    &mut staging,
+                                    &nf_rings,
+                                    &service_instances,
+                                    &stats,
+                                );
+                                continue;
+                            }
+                            None => Action::ToController,
                         }
-                        None => Action::ToController,
                     }
-                }
-                other => {
-                    let requested = other.as_action().expect("non-default verdict");
-                    match lookup_with_cache(&table, &mut cache, enable_cache, step, &item.key) {
-                        Some(decision) if decision.allows(requested) => requested,
-                        Some(decision) => decision.default_action().unwrap_or(Action::Drop),
-                        None => requested,
+                    other => {
+                        let requested = other.as_action().expect("non-default verdict");
+                        match memo.lookup(&table, &mut cache, enable_cache, step, &item.key) {
+                            Some(decision) if decision.allows(requested) => requested,
+                            Some(decision) => decision.default_action().unwrap_or(Action::Drop),
+                            None => requested,
+                        }
                     }
-                }
-            };
-            forward_decision(
-                item,
-                &[action],
-                false,
-                &nf_rings,
-                &service_instances,
-                &egress_shared,
-                &stats,
-            );
+                };
+                forward_decision(
+                    item,
+                    &[action],
+                    false,
+                    &mut staging,
+                    &nf_rings,
+                    &service_instances,
+                    &stats,
+                );
+            }
+            staging.flush(&nf_rings, &egress_shared, &stats);
         }
         if !did_work {
             idle_backoff(&mut idle);
@@ -556,27 +793,23 @@ fn tx_thread_loop(
 }
 
 /// Forwards a completed packet according to an action list by re-arming its
-/// shared buffer and dispatching again (or transmitting / dropping it).
+/// shared buffer and staging it again (or staging it for egress / dropping
+/// it).
 #[allow(clippy::too_many_arguments)]
 fn forward_decision(
     item: DoneItem,
     actions: &[Action],
     parallel: bool,
+    staging: &mut BurstStaging,
     nf_rings: &[Producer<WorkItem>],
     service_instances: &HashMap<ServiceId, Vec<usize>>,
-    egress: &SharedEgress,
     stats: &HostStats,
 ) {
     // Fast paths that do not need to re-dispatch the descriptor.
     if !parallel {
         match actions.first().copied() {
             Some(Action::ToPort(port)) => {
-                let packet = item.shared.clone_packet();
-                if egress.lock().push((port, packet)).is_err() {
-                    stats.add_overflow_drops(1);
-                } else {
-                    stats.add_transmitted(1);
-                }
+                staging.egress.push((port, item.shared.clone_packet()));
                 return;
             }
             Some(Action::Drop) | None => {
@@ -605,9 +838,17 @@ fn forward_decision(
     }
     let indices: Vec<usize> = targets
         .iter()
-        .filter_map(|s| pick_instance(service_instances, nf_rings, *s))
+        .filter_map(|s| pick_instance(service_instances, nf_rings, staging, *s))
         .collect();
-    if indices.len() != targets.len() || indices.iter().any(|i| nf_rings[*i].is_full()) {
+    if indices.len() != targets.len() {
+        stats.add_overflow_drops(1);
+        return;
+    }
+    // All-or-nothing for any multi-target re-dispatch (parallel or a
+    // sequential rule listing several services): partial delivery would let
+    // the packet's fate be decided by a subset of the NFs it was meant to
+    // visit. See the matching check in `dispatch`.
+    if !parallel_fits(staging, nf_rings, &indices) {
         stats.add_overflow_drops(1);
         return;
     }
@@ -618,16 +859,12 @@ fn forward_decision(
     let collector = Arc::new(Mutex::new(Vec::with_capacity(indices.len())));
     let exit_service = *targets.last().expect("targets is non-empty");
     for index in indices {
-        let work = WorkItem {
+        staging.per_ring[index].push(WorkItem {
             shared: item.shared.clone(),
             key: item.key,
             exit_service,
             collector: Arc::clone(&collector),
-        };
-        if nf_rings[index].push(work).is_err() {
-            stats.add_overflow_drops(1);
-            item.shared.complete_one();
-        }
+        });
     }
 }
 
@@ -684,13 +921,55 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         let mut out = Vec::new();
         while out.len() < expected && Instant::now() < deadline {
-            if let Some(item) = host.poll_egress() {
-                out.push(item);
-            } else {
+            let burst = host.poll_egress_burst(64);
+            if burst.is_empty() {
                 std::thread::yield_now();
+            } else {
+                out.extend(burst);
             }
         }
         out
+    }
+
+    #[test]
+    fn distinct_buffer_prefix_splits_on_repeated_buffers() {
+        let item = |shared: &SharedPacket| WorkItem {
+            shared: shared.clone(),
+            key: packet(1).flow_key().unwrap(),
+            exit_service: ServiceId::new(1),
+            collector: Arc::new(Mutex::new(Vec::new())),
+        };
+        let a = SharedPacket::new(packet(1), 2);
+        let b = SharedPacket::new(packet(2), 1);
+        assert_eq!(distinct_buffer_prefix(&[]), 0);
+        assert_eq!(distinct_buffer_prefix(&[item(&a)]), 1);
+        // a, b, a: the second `a` must start a new chunk.
+        assert_eq!(distinct_buffer_prefix(&[item(&a), item(&b), item(&a)]), 2);
+        // a, a: even adjacent repeats split.
+        assert_eq!(distinct_buffer_prefix(&[item(&a), item(&a)]), 1);
+    }
+
+    #[test]
+    fn parallel_fits_accounts_for_staged_items_and_multiplicity() {
+        let (ring_a, _keep_a) = spsc_ring::<WorkItem>(2);
+        let (ring_b, _keep_b) = spsc_ring::<WorkItem>(2);
+        let rings = vec![ring_a, ring_b];
+        let mut staging = BurstStaging::new(2, 4);
+        // Empty staging: both rings take up to two copies.
+        assert!(parallel_fits(&staging, &rings, &[0, 1]));
+        assert!(parallel_fits(&staging, &rings, &[0, 0]));
+        assert!(!parallel_fits(&staging, &rings, &[0, 0, 0]));
+        // One item already staged for ring 0 leaves room for one more copy.
+        let shared = SharedPacket::new(packet(9), 1);
+        staging.per_ring[0].push(WorkItem {
+            shared: shared.clone(),
+            key: packet(9).flow_key().unwrap(),
+            exit_service: ServiceId::new(1),
+            collector: Arc::new(Mutex::new(Vec::new())),
+        });
+        assert!(parallel_fits(&staging, &rings, &[0]));
+        assert!(!parallel_fits(&staging, &rings, &[0, 0]));
+        assert!(parallel_fits(&staging, &rings, &[0, 1]));
     }
 
     #[test]
@@ -710,6 +989,21 @@ mod tests {
         let snap = host.stats().snapshot();
         assert_eq!(snap.received, 50);
         assert_eq!(snap.transmitted, 50);
+        host.shutdown();
+    }
+
+    #[test]
+    fn burst_injection_round_trips() {
+        let table = SharedFlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToPort(1)],
+        ));
+        let host = ThreadedHost::start(table, vec![], ThreadedHostConfig::default());
+        let burst: Vec<Packet> = (0..64).map(packet).collect();
+        assert_eq!(host.inject_burst(burst), 64);
+        let outputs = collect_outputs(&host, 64);
+        assert_eq!(outputs.len(), 64);
         host.shutdown();
     }
 
@@ -738,6 +1032,36 @@ mod tests {
     }
 
     #[test]
+    fn sequential_chain_with_burst_size_one_still_works() {
+        // burst_size == 1 degrades to the per-packet runtime.
+        let (graph, ids) = catalog::chain(&[("a", true), ("b", true)]);
+        let table = SharedFlowTable::new();
+        for rule in graph.compile(&CompileOptions::default()) {
+            table.insert(rule);
+        }
+        let nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)> = ids
+            .iter()
+            .map(|id| (*id, Box::new(NoOpNf::new()) as Box<dyn NetworkFunction>))
+            .collect();
+        let host = ThreadedHost::start(
+            table,
+            nfs,
+            ThreadedHostConfig {
+                burst_size: 1,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        for i in 0..40 {
+            assert!(host.inject(packet(i)));
+        }
+        let outputs = collect_outputs(&host, 40);
+        assert_eq!(outputs.len(), 40);
+        let snap = host.stats().snapshot();
+        assert_eq!(snap.nf_invocations, 80);
+        host.shutdown();
+    }
+
+    #[test]
     fn parallel_chain_through_threads() {
         let (graph, ids) = catalog::chain(&[("a", true), ("b", true)]);
         let table = SharedFlowTable::new();
@@ -749,7 +1073,12 @@ mod tests {
         }
         let nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)> = ids
             .iter()
-            .map(|id| (*id, Box::new(ComputeNf::new(10)) as Box<dyn NetworkFunction>))
+            .map(|id| {
+                (
+                    *id,
+                    Box::new(ComputeNf::new(10)) as Box<dyn NetworkFunction>,
+                )
+            })
             .collect();
         let host = ThreadedHost::start(table, nfs, ThreadedHostConfig::default());
         for i in 0..50 {

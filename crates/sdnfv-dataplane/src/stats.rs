@@ -63,8 +63,18 @@ impl HostStats {
     }
 
     counter!(add_received, received, received, "packets received");
-    counter!(add_transmitted, transmitted, transmitted, "packets transmitted");
-    counter!(add_dropped, dropped, dropped, "packets dropped by NFs or rules");
+    counter!(
+        add_transmitted,
+        transmitted,
+        transmitted,
+        "packets transmitted"
+    );
+    counter!(
+        add_dropped,
+        dropped,
+        dropped,
+        "packets dropped by NFs or rules"
+    );
     counter!(
         add_overflow_drops,
         overflow_drops,
@@ -83,8 +93,18 @@ impl HostStats {
         parallel_dispatches,
         "packets dispatched to parallel NFs"
     );
-    counter!(add_nf_invocations, nf_invocations, nf_invocations, "NF invocations");
-    counter!(add_nf_messages, nf_messages, nf_messages, "NF cross-layer messages");
+    counter!(
+        add_nf_invocations,
+        nf_invocations,
+        nf_invocations,
+        "NF invocations"
+    );
+    counter!(
+        add_nf_messages,
+        nf_messages,
+        nf_messages,
+        "NF cross-layer messages"
+    );
 
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> HostStatsSnapshot {

@@ -187,8 +187,8 @@ impl FlowMatch {
     /// match — the kind the flow table can index in a hash map.
     pub fn is_exact(&self) -> bool {
         self.step.is_some()
-            && self.src_ip.map_or(false, |p| p.len == 32)
-            && self.dst_ip.map_or(false, |p| p.len == 32)
+            && self.src_ip.is_some_and(|p| p.len == 32)
+            && self.dst_ip.is_some_and(|p| p.len == 32)
             && self.src_port.is_some()
             && self.dst_port.is_some()
             && self.protocol.is_some()

@@ -148,7 +148,10 @@ mod tests {
             FlowMatch::any(),
             vec![Action::ToService(ServiceId::new(1)), Action::ToPort(0)],
         );
-        assert_eq!(rule.default_action(), Some(Action::ToService(ServiceId::new(1))));
+        assert_eq!(
+            rule.default_action(),
+            Some(Action::ToService(ServiceId::new(1)))
+        );
         assert!(rule.allows(Action::ToPort(0)));
         assert!(!rule.allows(Action::Drop));
         assert!(!rule.parallel);
@@ -205,7 +208,10 @@ mod tests {
 
     #[test]
     fn action_display() {
-        assert_eq!(Action::ToService(ServiceId::new(2)).to_string(), "output:svc-2");
+        assert_eq!(
+            Action::ToService(ServiceId::new(2)).to_string(),
+            "output:svc-2"
+        );
         assert_eq!(Action::ToPort(1).to_string(), "output:eth1");
         assert_eq!(Action::Drop.to_string(), "drop");
         assert_eq!(Action::ToController.to_string(), "controller");

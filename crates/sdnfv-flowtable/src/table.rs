@@ -263,13 +263,11 @@ fn matches_intersect(rule: &FlowMatch, filter: &FlowMatch) -> bool {
     {
         return false;
     }
-    let prefix_disjoint = |a: Option<crate::matching::IpPrefix>,
-                           b: Option<crate::matching::IpPrefix>| {
-        match (a, b) {
+    let prefix_disjoint =
+        |a: Option<crate::matching::IpPrefix>, b: Option<crate::matching::IpPrefix>| match (a, b) {
             (Some(x), Some(y)) => !(x.contains(y.addr) || y.contains(x.addr)),
             _ => false,
-        }
-    };
+        };
     if prefix_disjoint(rule.src_ip, filter.src_ip) || prefix_disjoint(rule.dst_ip, filter.dst_ip) {
         return false;
     }
@@ -400,7 +398,10 @@ mod tests {
             FlowMatch::exact(RulePort::Nic(0), &key(7)),
             vec![Action::ToService(svc(9))],
         ));
-        assert_eq!(table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id, exact);
+        assert_eq!(
+            table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id,
+            exact
+        );
         assert_eq!(
             table
                 .lookup(RulePort::Nic(0), &key(8))
@@ -426,7 +427,10 @@ mod tests {
             priority
         );
         table.remove(priority);
-        assert_eq!(table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id, exact);
+        assert_eq!(
+            table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id,
+            exact
+        );
     }
 
     #[test]
@@ -484,16 +488,22 @@ mod tests {
             vec![Action::ToService(svc(2)), Action::ToService(svc(3))],
         ));
         // svc(3) is allowed, so the default flips.
-        let updated = table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(3)), false);
+        let updated =
+            table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(3)), false);
         assert_eq!(updated, 1);
         assert_eq!(
-            table.peek(RulePort::Service(svc(1)), &key(1)).unwrap().default_action(),
+            table
+                .peek(RulePort::Service(svc(1)), &key(1))
+                .unwrap()
+                .default_action(),
             Some(Action::ToService(svc(3)))
         );
         // svc(9) is not an allowed next hop: without force nothing changes.
-        let updated = table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(9)), false);
+        let updated =
+            table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(9)), false);
         assert_eq!(updated, 0);
-        let updated = table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(9)), true);
+        let updated =
+            table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(9)), true);
         assert_eq!(updated, 1);
     }
 
@@ -506,10 +516,16 @@ mod tests {
         ));
         // Filter on a disjoint src port: no rule should change.
         let filter = FlowMatch::any().with_src_port(2000);
-        assert_eq!(table.change_default(svc(1), &filter, Action::ToService(svc(2)), false), 0);
+        assert_eq!(
+            table.change_default(svc(1), &filter, Action::ToService(svc(2)), false),
+            0
+        );
         // Overlapping filter applies.
         let filter = FlowMatch::any().with_src_port(1000);
-        assert_eq!(table.change_default(svc(1), &filter, Action::ToService(svc(2)), false), 1);
+        assert_eq!(
+            table.change_default(svc(1), &filter, Action::ToService(svc(2)), false),
+            1
+        );
     }
 
     #[test]
@@ -528,7 +544,10 @@ mod tests {
         let updated = table.retarget_defaults(svc(2), &FlowMatch::any(), Action::ToPort(0));
         assert_eq!(updated, 1);
         assert_eq!(
-            table.peek(RulePort::Service(svc(1)), &key(1)).unwrap().default_action(),
+            table
+                .peek(RulePort::Service(svc(1)), &key(1))
+                .unwrap()
+                .default_action(),
             Some(Action::ToPort(0))
         );
     }
@@ -549,11 +568,17 @@ mod tests {
         let updated = table.promote_where_allowed(&FlowMatch::any(), Action::ToService(svc(5)));
         assert_eq!(updated, 1);
         assert_eq!(
-            table.peek(RulePort::Service(svc(2)), &key(1)).unwrap().default_action(),
+            table
+                .peek(RulePort::Service(svc(2)), &key(1))
+                .unwrap()
+                .default_action(),
             Some(Action::ToService(svc(5)))
         );
         assert_eq!(
-            table.peek(RulePort::Service(svc(1)), &key(1)).unwrap().default_action(),
+            table
+                .peek(RulePort::Service(svc(1)), &key(1))
+                .unwrap()
+                .default_action(),
             Some(Action::ToService(svc(2)))
         );
         // Promoting again changes nothing (already the default).

@@ -1,6 +1,9 @@
 //! Property tests: the optimized flow table agrees with a naive reference
 //! matcher on every lookup.
 
+#![cfg(feature = "proptest")]
+// Gated off by default: the real `proptest` crate is unavailable in the
+// offline build environment (see shims/README.md and ROADMAP.md).
 use proptest::prelude::*;
 use sdnfv_flowtable::{Action, FlowMatch, FlowRule, FlowTable, IpPrefix, RulePort, ServiceId};
 use sdnfv_proto::flow::{FlowKey, IpProtocol};
@@ -14,7 +17,11 @@ fn arb_key() -> impl Strategy<Value = FlowKey> {
             Ipv4Addr::new(10, 0, 1, d),
             1000 + sp,
             80 + dp,
-            if tcp { IpProtocol::Tcp } else { IpProtocol::Udp },
+            if tcp {
+                IpProtocol::Tcp
+            } else {
+                IpProtocol::Udp
+            },
         )
     })
 }
@@ -39,7 +46,13 @@ fn arb_match() -> impl Strategy<Value = FlowMatch> {
             dst_ip: None,
             src_port: None,
             dst_port: dport.map(|d| 80 + d),
-            protocol: proto.map(|tcp| if tcp { IpProtocol::Tcp } else { IpProtocol::Udp }),
+            protocol: proto.map(|tcp| {
+                if tcp {
+                    IpProtocol::Tcp
+                } else {
+                    IpProtocol::Udp
+                }
+            }),
         })
 }
 
@@ -54,7 +67,10 @@ fn arb_rule() -> impl Strategy<Value = FlowRule> {
                 ],
             )
         } else {
-            FlowRule::new(m, vec![Action::ToService(ServiceId::new(svc)), Action::ToPort(0)])
+            FlowRule::new(
+                m,
+                vec![Action::ToService(ServiceId::new(svc)), Action::ToPort(0)],
+            )
         };
         rule.priority = prio;
         rule

@@ -4,6 +4,8 @@ use sdnfv_flowtable::{Action, FlowMatch, ServiceId};
 use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
 
+use crate::batch::{PacketBatch, PacketBatchMut};
+
 /// The per-packet action an NF requests when it finishes processing
 /// (paper §3.4 "NF Packet Actions").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,10 +135,17 @@ impl NfContext {
 /// A network function: the user-space packet-processing application running
 /// inside one NF "VM".
 ///
-/// The data plane invokes [`NetworkFunction::process`] for functions that
-/// declare themselves [read-only](NetworkFunction::read_only) (these may be
-/// scheduled in parallel on the same packet), and
-/// [`NetworkFunction::process_mut`] for functions that modify packets.
+/// The interface is **batch-first**: the data plane moves packets in bursts
+/// and invokes [`NetworkFunction::process_batch`] for functions that declare
+/// themselves [read-only](NetworkFunction::read_only) (these may be
+/// scheduled in parallel on the same burst), and
+/// [`NetworkFunction::process_batch_mut`] for functions that modify packets.
+/// Simple NFs only implement the per-packet
+/// [`process`](NetworkFunction::process) /
+/// [`process_mut`](NetworkFunction::process_mut) hooks and ride the default
+/// batch adapters, which loop over the burst; throughput-critical NFs
+/// override the batch entry points and amortize per-packet work (flow-key
+/// extraction, rule matching, state lookups) across the burst.
 pub trait NetworkFunction: Send {
     /// Human-readable service name (matched against service-graph vertex
     /// names by the orchestrator).
@@ -161,6 +170,45 @@ pub trait NetworkFunction: Send {
     fn process_mut(&mut self, packet: &mut Packet, ctx: &mut NfContext) -> Verdict {
         self.process(packet, ctx)
     }
+
+    /// Processes a burst of packets the function must not modify, writing
+    /// one verdict per packet.
+    ///
+    /// The caller guarantees `verdicts.len() == batch.len()` and that every
+    /// entry arrives pre-set to [`Verdict::Default`], so implementations
+    /// only write the entries that deviate from the default path. Messages
+    /// sent through `ctx` anywhere inside the burst are applied by the NF
+    /// Manager before the next burst's flow-table lookups.
+    ///
+    /// The default implementation is the per-packet adapter: it loops over
+    /// the burst calling [`process`](NetworkFunction::process).
+    fn process_batch(
+        &mut self,
+        batch: &PacketBatch<'_>,
+        verdicts: &mut [Verdict],
+        ctx: &mut NfContext,
+    ) {
+        debug_assert_eq!(batch.len(), verdicts.len());
+        for (slot, packet) in verdicts.iter_mut().zip(batch.iter()) {
+            *slot = self.process(packet, ctx);
+        }
+    }
+
+    /// Processes a burst of packets the function may modify in place,
+    /// writing one verdict per packet. Same contract as
+    /// [`process_batch`](NetworkFunction::process_batch); the default
+    /// implementation loops over [`process_mut`](NetworkFunction::process_mut).
+    fn process_batch_mut(
+        &mut self,
+        batch: &mut PacketBatchMut<'_>,
+        verdicts: &mut [Verdict],
+        ctx: &mut NfContext,
+    ) {
+        debug_assert_eq!(batch.len(), verdicts.len());
+        for (slot, packet) in verdicts.iter_mut().zip(batch.iter_mut()) {
+            *slot = self.process_mut(packet, ctx);
+        }
+    }
 }
 
 impl<T: NetworkFunction + ?Sized> NetworkFunction for Box<T> {
@@ -182,6 +230,24 @@ impl<T: NetworkFunction + ?Sized> NetworkFunction for Box<T> {
 
     fn process_mut(&mut self, packet: &mut Packet, ctx: &mut NfContext) -> Verdict {
         (**self).process_mut(packet, ctx)
+    }
+
+    fn process_batch(
+        &mut self,
+        batch: &PacketBatch<'_>,
+        verdicts: &mut [Verdict],
+        ctx: &mut NfContext,
+    ) {
+        (**self).process_batch(batch, verdicts, ctx)
+    }
+
+    fn process_batch_mut(
+        &mut self,
+        batch: &mut PacketBatchMut<'_>,
+        verdicts: &mut [Verdict],
+        ctx: &mut NfContext,
+    ) {
+        (**self).process_batch_mut(batch, verdicts, ctx)
     }
 }
 
@@ -239,6 +305,42 @@ mod tests {
         assert_eq!(nf.process(&pkt, &mut ctx), Verdict::Discard);
         assert_eq!(nf.process_mut(&mut pkt, &mut ctx), Verdict::Discard);
         assert_eq!(ctx.take_messages().len(), 2);
+    }
+
+    #[test]
+    fn batch_adapter_loops_over_scalar_hooks() {
+        use crate::batch::{PacketBatch, PacketBatchMut, VerdictSlice};
+        let mut nf = Fixed(Verdict::Discard);
+        let mut ctx = NfContext::new(0);
+        let a = PacketBuilder::udp().build();
+        let b = PacketBuilder::udp().build();
+        let refs = [&a, &b];
+        let mut verdicts = VerdictSlice::new();
+        nf.process_batch(&PacketBatch::new(&refs), verdicts.reset(2), &mut ctx);
+        assert_eq!(verdicts.as_slice(), &[Verdict::Discard, Verdict::Discard]);
+        // The scalar hook queued one message per packet.
+        assert_eq!(ctx.take_messages().len(), 2);
+
+        let mut ma = PacketBuilder::udp().build();
+        let mut mb = PacketBuilder::udp().build();
+        let mut mut_refs: Vec<&mut Packet> = vec![&mut ma, &mut mb];
+        let mut batch = PacketBatchMut::new(&mut mut_refs);
+        nf.process_batch_mut(&mut batch, verdicts.reset(2), &mut ctx);
+        assert_eq!(verdicts.as_slice(), &[Verdict::Discard, Verdict::Discard]);
+        assert_eq!(ctx.take_messages().len(), 2);
+    }
+
+    #[test]
+    fn boxed_nf_forwards_batch_hooks() {
+        use crate::batch::{PacketBatch, VerdictSlice};
+        let mut nf: Box<dyn NetworkFunction> = Box::new(Fixed(Verdict::Default));
+        let mut ctx = NfContext::new(0);
+        let pkt = PacketBuilder::udp().build();
+        let refs = [&pkt];
+        let mut verdicts = VerdictSlice::new();
+        nf.process_batch(&PacketBatch::new(&refs), verdicts.reset(1), &mut ctx);
+        assert_eq!(verdicts.as_slice(), &[Verdict::Default]);
+        assert_eq!(ctx.take_messages().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Batch-first packet processing types.
+//!
+//! DPDK-style data planes move packets in bursts, and so does this one: the
+//! NF Manager hands every network function a [`PacketBatch`] (or
+//! [`PacketBatchMut`] for functions that rewrite packets) plus a verdict
+//! slice to fill in, one [`Verdict`](crate::Verdict) per packet. Per-packet
+//! costs — ring cursor updates, flow-table lookups, virtual dispatch — are
+//! paid once per burst instead of once per frame.
+//!
+//! [`VerdictSlice`] is the reusable verdict buffer the dispatch layers keep
+//! between bursts so the hot path never reallocates.
+
+use sdnfv_proto::Packet;
+
+use crate::api::Verdict;
+
+/// An immutable burst of packets handed to a read-only NF.
+///
+/// The batch borrows its packets from wherever the dispatch layer keeps them
+/// (inline buffers, shared ring descriptors, …); NFs index or iterate it and
+/// write one verdict per packet into the slice passed alongside.
+#[derive(Debug)]
+pub struct PacketBatch<'a> {
+    packets: &'a [&'a Packet],
+}
+
+impl<'a> PacketBatch<'a> {
+    /// Wraps a slice of packet references as a batch.
+    pub fn new(packets: &'a [&'a Packet]) -> Self {
+        PacketBatch { packets }
+    }
+
+    /// Number of packets in the burst.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Returns `true` for an empty burst.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The `index`-th packet of the burst.
+    pub fn get(&self, index: usize) -> Option<&Packet> {
+        self.packets.get(index).copied()
+    }
+
+    /// Iterates the packets of the burst in order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a Packet> + '_ {
+        self.packets.iter().copied()
+    }
+}
+
+impl std::ops::Index<usize> for PacketBatch<'_> {
+    type Output = Packet;
+
+    fn index(&self, index: usize) -> &Packet {
+        self.packets[index]
+    }
+}
+
+/// A mutable burst of packets handed to an NF that rewrites packets.
+#[derive(Debug)]
+pub struct PacketBatchMut<'a> {
+    packets: &'a mut [&'a mut Packet],
+}
+
+impl<'a> PacketBatchMut<'a> {
+    /// Wraps a slice of mutable packet references as a batch.
+    pub fn new(packets: &'a mut [&'a mut Packet]) -> Self {
+        PacketBatchMut { packets }
+    }
+
+    /// Number of packets in the burst.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Returns `true` for an empty burst.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The `index`-th packet of the burst.
+    pub fn get(&self, index: usize) -> Option<&Packet> {
+        self.packets.get(index).map(|p| &**p)
+    }
+
+    /// Mutable access to the `index`-th packet of the burst.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut Packet> {
+        self.packets.get_mut(index).map(|p| &mut **p)
+    }
+
+    /// Iterates the packets of the burst immutably.
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> + use<'_, 'a> {
+        self.packets.iter().map(|p| &**p)
+    }
+
+    /// Iterates the packets of the burst mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Packet> + use<'_, 'a> {
+        self.packets.iter_mut().map(|p| &mut **p)
+    }
+}
+
+/// A reusable verdict buffer.
+///
+/// Dispatch layers keep one `VerdictSlice` per NF loop and call
+/// [`VerdictSlice::reset`] before each burst: the buffer is resized to the
+/// burst length with every entry set to [`Verdict::Default`], which is the
+/// contract batch implementations rely on (an NF only needs to write the
+/// entries it wants to deviate from the default path).
+#[derive(Debug, Default)]
+pub struct VerdictSlice {
+    verdicts: Vec<Verdict>,
+}
+
+impl VerdictSlice {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        VerdictSlice::default()
+    }
+
+    /// Creates a buffer pre-sized for bursts of `capacity` packets.
+    pub fn with_capacity(capacity: usize) -> Self {
+        VerdictSlice {
+            verdicts: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Resizes to `len` entries, all reset to [`Verdict::Default`], and
+    /// returns the slice to pass to
+    /// [`NetworkFunction::process_batch`](crate::NetworkFunction::process_batch).
+    pub fn reset(&mut self, len: usize) -> &mut [Verdict] {
+        self.verdicts.clear();
+        self.verdicts.resize(len, Verdict::Default);
+        &mut self.verdicts
+    }
+
+    /// The verdicts of the last burst.
+    pub fn as_slice(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Returns `true` if the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+}
+
+/// A tiny burst-scoped memo: a linear-probed `(key, value)` list.
+///
+/// Bursts are small (≤ a few hundred packets), so a linear scan beats
+/// hashing short keys like [`FlowKey`](sdnfv_proto::flow::FlowKey) into a
+/// map. Used wherever a per-burst computation should run once per distinct
+/// key — flow-table lookups in the dispatch layers, rule evaluation in
+/// vectorized NFs. Clear it at every burst boundary so decisions never
+/// outlive the burst they were made for.
+#[derive(Debug)]
+pub struct BurstMemo<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V> BurstMemo<K, V> {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        BurstMemo {
+            entries: Vec::with_capacity(8),
+        }
+    }
+
+    /// Forgets every entry (call at burst boundaries).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The value memoized for `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.entries
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// Returns the value memoized for `key`, computing and storing it with
+    /// `compute` on first sight.
+    pub fn get_or_insert_with(&mut self, key: K, compute: impl FnOnce(&K) -> V) -> &V {
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(index) => &self.entries[index].1,
+            None => {
+                let value = compute(&key);
+                self.entries.push((key, value));
+                &self.entries.last().expect("just pushed").1
+            }
+        }
+    }
+}
+
+impl<K: PartialEq, V> Default for BurstMemo<K, V> {
+    fn default() -> Self {
+        BurstMemo::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    #[test]
+    fn immutable_batch_indexing_and_iteration() {
+        let a = PacketBuilder::udp().src_port(1).build();
+        let b = PacketBuilder::udp().src_port(2).build();
+        let refs = [&a, &b];
+        let batch = PacketBatch::new(&refs);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.get(0).unwrap().udp().unwrap().src_port, 1);
+        assert_eq!(batch[1].udp().unwrap().src_port, 2);
+        assert!(batch.get(2).is_none());
+        let ports: Vec<u16> = batch.iter().map(|p| p.udp().unwrap().src_port).collect();
+        assert_eq!(ports, vec![1, 2]);
+    }
+
+    #[test]
+    fn mutable_batch_allows_rewrites() {
+        let mut a = PacketBuilder::udp().payload(b"aa").build();
+        let mut b = PacketBuilder::udp().payload(b"bb").build();
+        let mut refs: Vec<&mut sdnfv_proto::Packet> = vec![&mut a, &mut b];
+        let mut batch = PacketBatchMut::new(&mut refs);
+        assert_eq!(batch.len(), 2);
+        for pkt in batch.iter_mut() {
+            pkt.l4_payload_mut().unwrap()[0] = b'X';
+        }
+        assert_eq!(batch.get(0).unwrap().l4_payload().unwrap(), b"Xa");
+        assert_eq!(batch.get_mut(1).unwrap().l4_payload().unwrap(), b"Xb");
+        assert_eq!(batch.iter().count(), 2);
+    }
+
+    #[test]
+    fn burst_memo_computes_once_per_key() {
+        let mut memo: BurstMemo<u32, u32> = BurstMemo::new();
+        let mut computed = 0;
+        for key in [1, 2, 1, 1, 2, 3] {
+            memo.get_or_insert_with(key, |k| {
+                computed += 1;
+                k * 10
+            });
+        }
+        assert_eq!(computed, 3, "one computation per distinct key");
+        assert_eq!(memo.get(&1), Some(&10));
+        assert_eq!(memo.get(&3), Some(&30));
+        assert_eq!(memo.get(&4), None);
+        memo.clear();
+        assert_eq!(memo.get(&1), None);
+    }
+
+    #[test]
+    fn verdict_slice_resets_to_default() {
+        let mut vs = VerdictSlice::with_capacity(8);
+        assert!(vs.is_empty());
+        let slice = vs.reset(3);
+        slice[1] = Verdict::Discard;
+        assert_eq!(vs.len(), 3);
+        assert_eq!(
+            vs.as_slice(),
+            &[Verdict::Default, Verdict::Discard, Verdict::Default]
+        );
+        // A reset wipes previous verdicts, even when shrinking.
+        let slice = vs.reset(2);
+        assert_eq!(slice, &[Verdict::Default, Verdict::Default]);
+    }
+}

@@ -2,12 +2,16 @@
 //! functions used throughout the paper's use cases and evaluation.
 //!
 //! A network function is any type implementing [`NetworkFunction`]: it is
-//! handed packets one at a time, may keep arbitrary per-flow or cross-flow
-//! state, and for every packet returns a [`Verdict`] — follow the default
-//! path, discard, or steer to a specific service or port. Longer-lived
-//! routing changes are requested through [`NfMessage`]s emitted via the
-//! [`NfContext`], which the NF Manager forwards up the control hierarchy
-//! (paper §3.4).
+//! handed packets in bursts ([`PacketBatch`]), may keep arbitrary per-flow
+//! or cross-flow state, and for every packet yields a [`Verdict`] — follow
+//! the default path, discard, or steer to a specific service or port.
+//! Per-packet NFs implement only the scalar
+//! [`process`](NetworkFunction::process) hook and ride the built-in batch
+//! adapter; hot NFs override
+//! [`process_batch`](NetworkFunction::process_batch) and amortize work
+//! across the burst. Longer-lived routing changes are requested through
+//! [`NfMessage`]s emitted via the [`NfContext`], which the NF Manager
+//! forwards up the control hierarchy (paper §3.4).
 //!
 //! The [`nfs`] module contains the paper's functions: the anomaly-detection
 //! chain (firewall, sampler, IDS, DDoS detector, scrubber), the video
@@ -19,8 +23,10 @@
 #![forbid(unsafe_code)]
 
 pub mod api;
+pub mod batch;
 pub mod nfs;
 pub mod registry;
 
 pub use api::{NetworkFunction, NfContext, NfMessage, Verdict};
+pub use batch::{BurstMemo, PacketBatch, PacketBatchMut, VerdictSlice};
 pub use registry::NfRegistry;

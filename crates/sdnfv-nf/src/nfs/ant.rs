@@ -105,11 +105,7 @@ impl AntDetectorNf {
     }
 
     fn classify(ant_max_bytes: u64, ant_max_avg_packet: u64, window: &FlowWindow) -> FlowClass {
-        let avg_packet = if window.packets == 0 {
-            0
-        } else {
-            window.bytes / window.packets
-        };
+        let avg_packet = window.bytes.checked_div(window.packets).unwrap_or(0);
         if window.bytes <= ant_max_bytes && avg_packet <= ant_max_avg_packet {
             FlowClass::Ant
         } else {
@@ -214,7 +210,9 @@ mod tests {
         // Two ChangeDefault messages were emitted, one per flow.
         let msgs = ctx.take_messages();
         assert_eq!(msgs.len(), 2);
-        assert!(msgs.iter().all(|m| matches!(m, NfMessage::ChangeDefault { .. })));
+        assert!(msgs
+            .iter()
+            .all(|m| matches!(m, NfMessage::ChangeDefault { .. })));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! A stateless packet-filter firewall.
 
-use sdnfv_flowtable::FlowMatch;
+use sdnfv_flowtable::{FlowMatch, RulePort};
+use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::Packet;
 
 use crate::api::{NetworkFunction, NfContext, Verdict};
+use crate::batch::{BurstMemo, PacketBatch};
 
 /// One firewall rule: a match plus an allow/deny decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +79,15 @@ impl FirewallNf {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Evaluates the rule list for one flow (first match wins).
+    fn evaluate(&self, step: RulePort, key: &FlowKey) -> bool {
+        self.rules
+            .iter()
+            .find(|r| r.matcher.matches(step, key))
+            .map(|r| r.allow)
+            .unwrap_or(self.default_allow)
+    }
 }
 
 impl NetworkFunction for FirewallNf {
@@ -92,19 +103,45 @@ impl NetworkFunction for FirewallNf {
         };
         // The firewall's own rules are independent of the flow-table step, so
         // match with the packet's ingress port as the step.
-        let step = sdnfv_flowtable::RulePort::Nic(packet.ingress_port);
-        let allow = self
-            .rules
-            .iter()
-            .find(|r| r.matcher.matches(step, &key))
-            .map(|r| r.allow)
-            .unwrap_or(self.default_allow);
-        if allow {
+        let step = RulePort::Nic(packet.ingress_port);
+        if self.evaluate(step, &key) {
             self.passed += 1;
             Verdict::Default
         } else {
             self.dropped += 1;
             Verdict::Discard
+        }
+    }
+
+    /// Native batch path: the rule list is evaluated **once per distinct
+    /// flow in the burst** instead of once per packet — bursts of line-rate
+    /// traffic are dominated by a few flows, so this collapses the
+    /// first-match scan to a memo probe for most packets.
+    fn process_batch(
+        &mut self,
+        batch: &PacketBatch<'_>,
+        verdicts: &mut [Verdict],
+        _ctx: &mut NfContext,
+    ) {
+        debug_assert_eq!(batch.len(), verdicts.len());
+        let mut memo: BurstMemo<(RulePort, FlowKey), bool> = BurstMemo::new();
+        for (slot, packet) in verdicts.iter_mut().zip(batch.iter()) {
+            let Some(key) = packet.flow_key() else {
+                self.dropped += 1;
+                *slot = Verdict::Discard;
+                continue;
+            };
+            let step = RulePort::Nic(packet.ingress_port);
+            let evaluated = &*self;
+            let allow =
+                *memo.get_or_insert_with((step, key), |(step, key)| evaluated.evaluate(*step, key));
+            if allow {
+                self.passed += 1;
+                // `slot` is already Verdict::Default per the batch contract.
+            } else {
+                self.dropped += 1;
+                *slot = Verdict::Discard;
+            }
         }
     }
 }
@@ -124,7 +161,10 @@ mod tests {
     fn default_allow_passes_unmatched_traffic() {
         let mut fw = FirewallNf::allow_by_default();
         let mut ctx = NfContext::new(0);
-        assert_eq!(fw.process(&pkt_from([10, 0, 0, 1]), &mut ctx), Verdict::Default);
+        assert_eq!(
+            fw.process(&pkt_from([10, 0, 0, 1]), &mut ctx),
+            Verdict::Default
+        );
         assert_eq!(fw.passed(), 1);
         assert_eq!(fw.dropped(), 0);
     }
@@ -139,7 +179,10 @@ mod tests {
             fw.process(&pkt_from([192, 168, 3, 4]), &mut ctx),
             Verdict::Discard
         );
-        assert_eq!(fw.process(&pkt_from([10, 0, 0, 1]), &mut ctx), Verdict::Default);
+        assert_eq!(
+            fw.process(&pkt_from([10, 0, 0, 1]), &mut ctx),
+            Verdict::Default
+        );
         assert_eq!(fw.dropped(), 1);
         assert_eq!(fw.passed(), 1);
     }
@@ -151,12 +194,46 @@ mod tests {
             .with_rule(FirewallRule::allow(FlowMatch::any().with_src_ip(prefix)))
             .with_rule(FirewallRule::deny(FlowMatch::any().with_src_ip(prefix)));
         let mut ctx = NfContext::new(0);
-        assert_eq!(fw.process(&pkt_from([10, 9, 9, 9]), &mut ctx), Verdict::Default);
+        assert_eq!(
+            fw.process(&pkt_from([10, 9, 9, 9]), &mut ctx),
+            Verdict::Default
+        );
         // Unmatched traffic hits the deny default.
         assert_eq!(
             fw.process(&pkt_from([172, 16, 0, 1]), &mut ctx),
             Verdict::Discard
         );
+    }
+
+    #[test]
+    fn batch_path_matches_scalar_path() {
+        use crate::batch::{PacketBatch, VerdictSlice};
+        let rules = || {
+            FirewallNf::allow_by_default().with_rule(FirewallRule::deny(
+                FlowMatch::any().with_src_ip(IpPrefix::new(Ipv4Addr::new(192, 168, 0, 0), 16)),
+            ))
+        };
+        // A burst mixing repeated flows, an unmatched flow and a non-IP frame.
+        let denied = pkt_from([192, 168, 3, 4]);
+        let allowed = pkt_from([10, 0, 0, 1]);
+        let garbage = Packet::from_bytes(vec![0u8; 20]);
+        let refs = [&denied, &allowed, &denied, &garbage, &allowed, &denied];
+        let mut ctx = NfContext::new(0);
+
+        let mut scalar = rules();
+        let expected: Vec<Verdict> = refs.iter().map(|p| scalar.process(p, &mut ctx)).collect();
+
+        let mut batched = rules();
+        let mut verdicts = VerdictSlice::new();
+        batched.process_batch(
+            &PacketBatch::new(&refs),
+            verdicts.reset(refs.len()),
+            &mut ctx,
+        );
+
+        assert_eq!(verdicts.as_slice(), expected.as_slice());
+        assert_eq!(batched.passed(), scalar.passed());
+        assert_eq!(batched.dropped(), scalar.dropped());
     }
 
     #[test]

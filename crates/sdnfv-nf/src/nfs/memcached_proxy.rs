@@ -86,7 +86,11 @@ impl NetworkFunction for MemcachedProxyNf {
     fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
         // Read-only path (used only if misconfigured as parallel): classify
         // but do not rewrite.
-        match packet.l4_payload().ok().and_then(|p| Request::parse(p).ok()) {
+        match packet
+            .l4_payload()
+            .ok()
+            .and_then(|p| Request::parse(p).ok())
+        {
             Some(_) => Verdict::Default,
             None => {
                 self.not_memcached += 1;
@@ -96,7 +100,11 @@ impl NetworkFunction for MemcachedProxyNf {
     }
 
     fn process_mut(&mut self, packet: &mut Packet, _ctx: &mut NfContext) -> Verdict {
-        let request = match packet.l4_payload().ok().and_then(|p| Request::parse(p).ok()) {
+        let request = match packet
+            .l4_payload()
+            .ok()
+            .and_then(|p| Request::parse(p).ok())
+        {
             Some(r) => r,
             None => {
                 self.not_memcached += 1;

@@ -5,6 +5,7 @@ use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
 
 use crate::api::{NetworkFunction, NfContext, Verdict};
+use crate::batch::PacketBatch;
 
 /// A network function that performs no processing and follows the default
 /// path. It models the "no-op application" of Table 2.
@@ -33,6 +34,19 @@ impl NetworkFunction for NoOpNf {
     fn process(&mut self, _packet: &Packet, _ctx: &mut NfContext) -> Verdict {
         self.packets += 1;
         Verdict::Default
+    }
+
+    /// Native batch path: one counter bump per burst; the verdict slice
+    /// arrives pre-filled with [`Verdict::Default`], which is exactly the
+    /// no-op answer.
+    fn process_batch(
+        &mut self,
+        batch: &PacketBatch<'_>,
+        verdicts: &mut [Verdict],
+        _ctx: &mut NfContext,
+    ) {
+        debug_assert_eq!(batch.len(), verdicts.len());
+        self.packets += batch.len() as u64;
     }
 }
 
@@ -66,6 +80,18 @@ impl NetworkFunction for ForwarderNf {
         self.packets += 1;
         Verdict::ToPort(self.port)
     }
+
+    /// Native batch path: a single fill of the verdict slice per burst.
+    fn process_batch(
+        &mut self,
+        batch: &PacketBatch<'_>,
+        verdicts: &mut [Verdict],
+        _ctx: &mut NfContext,
+    ) {
+        debug_assert_eq!(batch.len(), verdicts.len());
+        self.packets += batch.len() as u64;
+        verdicts.fill(Verdict::ToPort(self.port));
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +110,30 @@ mod tests {
         assert!(nf.read_only());
         assert_eq!(nf.name(), "noop");
         assert!(!ctx.has_messages());
+    }
+
+    #[test]
+    fn batch_paths_match_scalar_paths() {
+        use crate::batch::{PacketBatch, VerdictSlice};
+        let a = PacketBuilder::udp().src_port(1).build();
+        let b = PacketBuilder::udp().src_port(2).build();
+        let refs = [&a, &b];
+        let batch = PacketBatch::new(&refs);
+        let mut ctx = NfContext::new(0);
+        let mut verdicts = VerdictSlice::new();
+
+        let mut noop = NoOpNf::new();
+        noop.process_batch(&batch, verdicts.reset(2), &mut ctx);
+        assert_eq!(noop.packets(), 2);
+        assert_eq!(verdicts.as_slice(), &[Verdict::Default, Verdict::Default]);
+
+        let mut fwd = ForwarderNf::new(7);
+        fwd.process_batch(&batch, verdicts.reset(2), &mut ctx);
+        assert_eq!(fwd.packets(), 2);
+        assert_eq!(
+            verdicts.as_slice(),
+            &[Verdict::ToPort(7), Verdict::ToPort(7)]
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ mod tests {
     const CACHE: ServiceId = ServiceId::new(6);
 
     fn packet(src_port: u16, size: usize) -> Packet {
-        PacketBuilder::udp().src_port(src_port).total_size(size).build()
+        PacketBuilder::udp()
+            .src_port(src_port)
+            .total_size(size)
+            .build()
     }
 
     #[test]
@@ -116,7 +119,10 @@ mod tests {
         // First packet: no elapsed time yet, forwarded by default.
         assert_eq!(nf.process(&packet(2, 100), &mut ctx), Verdict::Default);
         ctx.set_now_ns(1_000_000_000);
-        assert_eq!(nf.process(&packet(2, 100), &mut ctx), Verdict::ToService(CACHE));
+        assert_eq!(
+            nf.process(&packet(2, 100), &mut ctx),
+            Verdict::ToService(CACHE)
+        );
         assert_eq!(nf.skipped(), 1);
     }
 
@@ -134,7 +140,10 @@ mod tests {
             nf.process(&packet(3, 1000), &mut ctx);
         }
         assert_eq!(nf.process(&packet(3, 1000), &mut ctx), Verdict::Default);
-        assert_eq!(nf.process(&packet(4, 10), &mut ctx), Verdict::ToService(CACHE));
+        assert_eq!(
+            nf.process(&packet(4, 10), &mut ctx),
+            Verdict::ToService(CACHE)
+        );
     }
 
     #[test]

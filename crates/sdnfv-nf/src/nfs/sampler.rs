@@ -1,9 +1,11 @@
 //! A traffic sampler that diverts a subset of packets for deeper analysis.
 
 use sdnfv_flowtable::ServiceId;
+use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::Packet;
 
 use crate::api::{NetworkFunction, NfContext, Verdict};
+use crate::batch::{BurstMemo, PacketBatch};
 
 /// Samples packets either deterministically (every N-th packet) or by flow
 /// hash (a stable fraction of flows), steering samples to an analysis
@@ -73,13 +75,54 @@ impl NetworkFunction for SamplerNf {
                 .unwrap_or(false)
         } else {
             self.counter += 1;
-            self.counter % self.one_in == 0
+            self.counter.is_multiple_of(self.one_in)
         };
         if take {
             self.sampled += 1;
             Verdict::ToService(self.target)
         } else {
             Verdict::Default
+        }
+    }
+
+    /// Native batch path.
+    ///
+    /// Per-packet mode needs no packet inspection at all: which burst
+    /// offsets are sampled follows from counter arithmetic, so the loop
+    /// writes only the sampled slots (the rest stay `Default` per the batch
+    /// contract). Per-flow mode hashes each distinct flow in the burst once
+    /// and memoizes the decision.
+    fn process_batch(
+        &mut self,
+        batch: &PacketBatch<'_>,
+        verdicts: &mut [Verdict],
+        _ctx: &mut NfContext,
+    ) {
+        debug_assert_eq!(batch.len(), verdicts.len());
+        let n = batch.len() as u64;
+        if !self.per_flow {
+            // The sampled offsets are those where (counter + 1 + offset) is a
+            // multiple of one_in. Jump straight to the first one.
+            let mut offset = (self.one_in - 1) - (self.counter % self.one_in);
+            while offset < n {
+                verdicts[offset as usize] = Verdict::ToService(self.target);
+                self.sampled += 1;
+                offset += self.one_in;
+            }
+            self.counter += n;
+            return;
+        }
+        let mut memo: BurstMemo<FlowKey, bool> = BurstMemo::new();
+        for (slot, packet) in verdicts.iter_mut().zip(batch.iter()) {
+            let one_in = self.one_in;
+            let take = match packet.flow_key() {
+                Some(key) => *memo.get_or_insert_with(key, |key| key.stable_hash() % one_in == 0),
+                None => false,
+            };
+            if take {
+                self.sampled += 1;
+                *slot = Verdict::ToService(self.target);
+            }
         }
     }
 }
@@ -133,6 +176,46 @@ mod tests {
             }
         }
         assert!((50..=150).contains(&sampled_flows), "got {sampled_flows}");
+    }
+
+    #[test]
+    fn per_packet_batch_path_matches_scalar_sequence() {
+        use crate::batch::{PacketBatch, VerdictSlice};
+        let pkt = PacketBuilder::udp().build();
+        let mut ctx = NfContext::new(0);
+        let mut scalar = SamplerNf::per_packet(DDOS, 4);
+        let mut batched = SamplerNf::per_packet(DDOS, 4);
+        let mut verdicts = VerdictSlice::new();
+        // Uneven burst sizes so sampling points straddle burst boundaries.
+        for burst in [1usize, 3, 7, 4, 1, 9, 2] {
+            let refs: Vec<&sdnfv_proto::Packet> = std::iter::repeat_n(&pkt, burst).collect();
+            batched.process_batch(&PacketBatch::new(&refs), verdicts.reset(burst), &mut ctx);
+            let expected: Vec<Verdict> =
+                (0..burst).map(|_| scalar.process(&pkt, &mut ctx)).collect();
+            assert_eq!(verdicts.as_slice(), expected.as_slice());
+        }
+        assert_eq!(batched.sampled(), scalar.sampled());
+    }
+
+    #[test]
+    fn per_flow_batch_path_matches_scalar_path() {
+        use crate::batch::{PacketBatch, VerdictSlice};
+        let mut ctx = NfContext::new(0);
+        let mut scalar = SamplerNf::per_flow(DDOS, 2);
+        let mut batched = SamplerNf::per_flow(DDOS, 2);
+        let pkts: Vec<sdnfv_proto::Packet> = (0..32u16)
+            .map(|p| PacketBuilder::udp().src_port(p % 8).build())
+            .collect();
+        let refs: Vec<&sdnfv_proto::Packet> = pkts.iter().collect();
+        let mut verdicts = VerdictSlice::new();
+        batched.process_batch(
+            &PacketBatch::new(&refs),
+            verdicts.reset(refs.len()),
+            &mut ctx,
+        );
+        let expected: Vec<Verdict> = refs.iter().map(|p| scalar.process(p, &mut ctx)).collect();
+        assert_eq!(verdicts.as_slice(), expected.as_slice());
+        assert_eq!(batched.sampled(), scalar.sampled());
     }
 
     #[test]

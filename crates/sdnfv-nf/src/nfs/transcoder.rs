@@ -67,7 +67,7 @@ impl NetworkFunction for TranscoderNf {
         let hash = packet.flow_key().map(|k| k.stable_hash()).unwrap_or(0);
         let counter = self.per_flow_counters.entry(hash).or_insert(0);
         *counter += 1;
-        if *counter % self.keep_one_in == 0 {
+        if (*counter).is_multiple_of(self.keep_one_in) {
             self.transcoded += 1;
             Verdict::Default
         } else {

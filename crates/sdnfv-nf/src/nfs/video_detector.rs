@@ -60,7 +60,11 @@ impl VideoDetectorNf {
         }
         // Try to parse an HTTP response head out of the payload; until one is
         // seen the flow stays unknown and follows the default path.
-        let content = match packet.l4_payload().ok().and_then(|p| HttpResponse::parse(p).ok()) {
+        let content = match packet
+            .l4_payload()
+            .ok()
+            .and_then(|p| HttpResponse::parse(p).ok())
+        {
             Some(resp) if resp.is_video() => Content::Video,
             Some(_) => Content::Other,
             None => Content::Unknown,

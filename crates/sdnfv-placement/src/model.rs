@@ -126,8 +126,14 @@ mod tests {
         assert_eq!(problem.flows.len(), 10);
         assert!(problem.flows.iter().all(|f| f.chain.len() == 5));
         assert!(problem.flows.iter().all(|f| f.ingress != f.egress));
-        assert_eq!(problem.service(ServiceId::new(5)).unwrap().flows_per_core, 4);
-        assert_eq!(problem.service(ServiceId::new(1)).unwrap().flows_per_core, 10);
+        assert_eq!(
+            problem.service(ServiceId::new(5)).unwrap().flows_per_core,
+            4
+        );
+        assert_eq!(
+            problem.service(ServiceId::new(1)).unwrap().flows_per_core,
+            10
+        );
         assert!(problem.service(ServiceId::new(9)).is_none());
         // Deterministic.
         let again = PlacementProblem::paper_figure5(10, 1.0, 42);
@@ -138,6 +144,9 @@ mod tests {
     fn capacity_scaling_increases_cores() {
         let base = PlacementProblem::paper_figure5(1, 1.0, 1);
         let scaled = PlacementProblem::paper_figure5(1, 10.0, 1);
-        assert_eq!(base.topology.node(0).cores * 10, scaled.topology.node(0).cores);
+        assert_eq!(
+            base.topology.node(0).cores * 10,
+            scaled.topology.node(0).cores
+        );
     }
 }

@@ -116,7 +116,10 @@ impl LoadTracker {
     pub fn apply(&mut self, problem: &PlacementProblem, flow: &FlowSpec, asg: &FlowAssignment) {
         for (position, node) in asg.nodes.iter().enumerate() {
             let service = flow.chain[position];
-            let per_core = problem.service(service).map(|s| s.flows_per_core).unwrap_or(1);
+            let per_core = problem
+                .service(service)
+                .map(|s| s.flows_per_core)
+                .unwrap_or(1);
             let count = self.flows_on.entry((*node, service)).or_insert(0);
             let before = Self::cores_for(*count, per_core);
             *count += 1;
@@ -134,7 +137,10 @@ impl LoadTracker {
     pub fn remove(&mut self, problem: &PlacementProblem, flow: &FlowSpec, asg: &FlowAssignment) {
         for (position, node) in asg.nodes.iter().enumerate() {
             let service = flow.chain[position];
-            let per_core = problem.service(service).map(|s| s.flows_per_core).unwrap_or(1);
+            let per_core = problem
+                .service(service)
+                .map(|s| s.flows_per_core)
+                .unwrap_or(1);
             let count = self.flows_on.entry((*node, service)).or_insert(0);
             let before = Self::cores_for(*count, per_core);
             *count = count.saturating_sub(1);
@@ -163,7 +169,10 @@ impl LoadTracker {
             .iter()
             .filter(|(_, flows)| **flows > 0)
             .map(|((_, service), flows)| {
-                let per_core = problem.service(*service).map(|s| s.flows_per_core).unwrap_or(1);
+                let per_core = problem
+                    .service(*service)
+                    .map(|s| s.flows_per_core)
+                    .unwrap_or(1);
                 let cores = Self::cores_for(*flows, per_core);
                 f64::from(*flows) / f64::from(cores * per_core)
             })
@@ -203,7 +212,10 @@ impl Placement {
             if *flows == 0 {
                 continue;
             }
-            let per_core = problem.service(*service).map(|s| s.flows_per_core).unwrap_or(1);
+            let per_core = problem
+                .service(*service)
+                .map(|s| s.flows_per_core)
+                .unwrap_or(1);
             instances.insert((*node, *service), LoadTracker::cores_for(*flows, per_core));
         }
         UtilizationReport {
@@ -281,8 +293,18 @@ mod tests {
         let topology = Topology::new(
             vec![Node { cores: 1 }; 3],
             vec![
-                Link { a: 0, b: 1, delay: 1.0, capacity: 4.0 },
-                Link { a: 1, b: 2, delay: 1.0, capacity: 4.0 },
+                Link {
+                    a: 0,
+                    b: 1,
+                    delay: 1.0,
+                    capacity: 4.0,
+                },
+                Link {
+                    a: 1,
+                    b: 2,
+                    delay: 1.0,
+                    capacity: 4.0,
+                },
             ],
         );
         PlacementProblem {
@@ -352,9 +374,14 @@ mod tests {
         placement.assignments[0] = Some(assignment_on_node(&problem_tight, 0));
         placement.assignments[1] = Some(assignment_on_node(&problem_tight, 0));
         let errors = placement.validate(&problem_tight).unwrap_err();
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, PlacementError::CoreCapacityExceeded { node: 0, required: 2, available: 1 })));
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            PlacementError::CoreCapacityExceeded {
+                node: 0,
+                required: 2,
+                available: 1
+            }
+        )));
     }
 
     #[test]
@@ -368,9 +395,13 @@ mod tests {
             route: vec![problem.topology.shortest_path(0, 1).unwrap(), vec![]],
         });
         let errors = placement.validate(&problem).unwrap_err();
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, PlacementError::RouteDisconnected { flow: 0, segment: 1 })));
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            PlacementError::RouteDisconnected {
+                flow: 0,
+                segment: 1
+            }
+        )));
 
         // Delay violation.
         let mut tight = problem.clone();

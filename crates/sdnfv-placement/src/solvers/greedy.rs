@@ -118,9 +118,24 @@ mod tests {
         let topology = Topology::new(
             vec![Node { cores }; 4],
             vec![
-                Link { a: 0, b: 1, delay: 1.0, capacity: 100.0 },
-                Link { a: 1, b: 2, delay: 1.0, capacity: 100.0 },
-                Link { a: 2, b: 3, delay: 1.0, capacity: 100.0 },
+                Link {
+                    a: 0,
+                    b: 1,
+                    delay: 1.0,
+                    capacity: 100.0,
+                },
+                Link {
+                    a: 1,
+                    b: 2,
+                    delay: 1.0,
+                    capacity: 100.0,
+                },
+                Link {
+                    a: 2,
+                    b: 3,
+                    delay: 1.0,
+                    capacity: 100.0,
+                },
             ],
         );
         let services = vec![

@@ -33,9 +33,9 @@ impl PathCache {
     pub(crate) fn new(topology: &Topology) -> Self {
         let n = topology.node_count();
         let mut paths = vec![vec![None; n]; n];
-        for from in 0..n {
-            for (to, row) in paths[from].iter_mut().enumerate() {
-                *row = topology.shortest_path(from, to);
+        for (from, row) in paths.iter_mut().enumerate() {
+            for (to, entry) in row.iter_mut().enumerate() {
+                *entry = topology.shortest_path(from, to);
             }
         }
         PathCache { paths }
@@ -82,9 +82,24 @@ mod tests {
         let topology = Topology::new(
             vec![Node { cores: 1 }; 4],
             vec![
-                Link { a: 0, b: 1, delay: 1.0, capacity: 1.0 },
-                Link { a: 1, b: 2, delay: 1.0, capacity: 1.0 },
-                Link { a: 2, b: 3, delay: 1.0, capacity: 1.0 },
+                Link {
+                    a: 0,
+                    b: 1,
+                    delay: 1.0,
+                    capacity: 1.0,
+                },
+                Link {
+                    a: 1,
+                    b: 2,
+                    delay: 1.0,
+                    capacity: 1.0,
+                },
+                Link {
+                    a: 2,
+                    b: 3,
+                    delay: 1.0,
+                    capacity: 1.0,
+                },
             ],
         );
         let cache = PathCache::new(&topology);
@@ -96,7 +111,7 @@ mod tests {
     fn all_solvers_produce_valid_placements() {
         let problem = small_problem(6);
         let solvers: Vec<Box<dyn PlacementSolver>> = vec![
-            Box::new(GreedySolver::default()),
+            Box::new(GreedySolver),
             Box::new(OptimalSolver::default()),
             Box::new(DivisionSolver::default()),
         ];
@@ -116,7 +131,7 @@ mod tests {
     #[test]
     fn optimal_is_no_worse_than_greedy() {
         let problem = small_problem(8);
-        let greedy = GreedySolver::default().solve(&problem);
+        let greedy = GreedySolver.solve(&problem);
         let optimal = OptimalSolver::default().solve(&problem);
         let gr = greedy.utilization(&problem);
         let or = optimal.utilization(&problem);
@@ -131,8 +146,12 @@ mod tests {
     #[test]
     fn division_is_between_greedy_and_optimal_in_spirit() {
         let problem = small_problem(10);
-        let optimal = OptimalSolver::default().solve(&problem).utilization(&problem);
-        let division = DivisionSolver::default().solve(&problem).utilization(&problem);
+        let optimal = OptimalSolver::default()
+            .solve(&problem)
+            .utilization(&problem);
+        let division = DivisionSolver::default()
+            .solve(&problem)
+            .utilization(&problem);
         // The division heuristic should achieve at least 60% of the optimal
         // solver's placed flows (the paper reports ~85%).
         assert!(division.placed_flows * 100 >= optimal.placed_flows * 60);

@@ -65,9 +65,7 @@ fn segment_cost(
     bandwidth: f64,
 ) -> f64 {
     path.iter()
-        .map(|link| {
-            (tracker.link_load[*link] + bandwidth) / problem.topology.link(*link).capacity
-        })
+        .map(|link| (tracker.link_load[*link] + bandwidth) / problem.topology.link(*link).capacity)
         .fold(0.0, f64::max)
 }
 
@@ -146,7 +144,9 @@ pub(crate) fn place_flow_dp_with_bias(
     };
     let mut dp: Vec<Option<Entry>> = vec![None; n * extra_bound];
     for node in 0..n {
-        let Some(path) = cache.path(flow.ingress, node) else { continue };
+        let Some(path) = cache.path(flow.ingress, node) else {
+            continue;
+        };
         let Some((core, delta)) = node_cost(problem, tracker, node, flow.chain[0], 0) else {
             continue;
         };
@@ -166,16 +166,19 @@ pub(crate) fn place_flow_dp_with_bias(
         for node in 0..n {
             for prev in 0..n {
                 for prev_extra in 0..extra_bound {
-                    let Some(prev_entry) = dp[index(prev, prev_extra)] else { continue };
+                    let Some(prev_entry) = dp[index(prev, prev_extra)] else {
+                        continue;
+                    };
                     // Cores already consumed by this flow on `node`: only
                     // carried over when the flow stays on the same node.
                     let carried = if prev == node { prev_extra as u32 } else { 0 };
-                    let Some((core, delta)) =
-                        node_cost(problem, tracker, node, service, carried)
+                    let Some((core, delta)) = node_cost(problem, tracker, node, service, carried)
                     else {
                         continue;
                     };
-                    let Some(path) = cache.path(prev, node) else { continue };
+                    let Some(path) = cache.path(prev, node) else {
+                        continue;
+                    };
                     let link = segment_cost(problem, tracker, path, flow.bandwidth);
                     let cost = prev_entry.cost.max(link).max(core);
                     let opened = prev_entry.opened + delta;
@@ -204,8 +207,12 @@ pub(crate) fn place_flow_dp_with_bias(
     let mut best_final: Option<(Entry, NodeId, usize)> = None;
     for node in 0..n {
         for extra in 0..extra_bound {
-            let Some(entry) = dp[index(node, extra)] else { continue };
-            let Some(path) = cache.path(node, flow.egress) else { continue };
+            let Some(entry) = dp[index(node, extra)] else {
+                continue;
+            };
+            let Some(path) = cache.path(node, flow.egress) else {
+                continue;
+            };
             let link = segment_cost(problem, tracker, path, flow.bandwidth);
             let total_cost = entry.cost.max(link);
             let total_delay = entry.delay + problem.topology.path_delay(path);
@@ -214,7 +221,9 @@ pub(crate) fn place_flow_dp_with_bias(
             }
             let better = match &best_final {
                 None => true,
-                Some((existing, _, _)) => better_than(total_cost, entry.opened, total_delay, existing),
+                Some((existing, _, _)) => {
+                    better_than(total_cost, entry.opened, total_delay, existing)
+                }
             };
             if better {
                 best_final = Some((
@@ -304,17 +313,20 @@ impl PlacementSolver for OptimalSolver {
                             }
                             None => f64::INFINITY,
                         };
-                        if new_objective < old_objective - 1e-9 || current.is_none() {
-                            if placement.assignments[flow.id].as_ref() != Some(&new_assignment) {
-                                improved = true;
+                        match current {
+                            Some(old) if new_objective >= old_objective - 1e-9 => {
+                                // Keep the previous assignment.
+                                tracker.remove(problem, flow, &new_assignment);
+                                tracker.apply(problem, flow, &old);
+                                placement.assignments[flow.id] = Some(old);
                             }
-                            placement.assignments[flow.id] = Some(new_assignment);
-                        } else {
-                            // Keep the previous assignment.
-                            tracker.remove(problem, flow, &new_assignment);
-                            let old = current.expect("old_objective finite implies Some");
-                            tracker.apply(problem, flow, &old);
-                            placement.assignments[flow.id] = Some(old);
+                            _ => {
+                                if placement.assignments[flow.id].as_ref() != Some(&new_assignment)
+                                {
+                                    improved = true;
+                                }
+                                placement.assignments[flow.id] = Some(new_assignment);
+                            }
                         }
                     }
                     None => {
@@ -353,10 +365,30 @@ mod tests {
                 Node { cores: 0 },
             ],
             vec![
-                Link { a: 0, b: 1, delay: 1.0, capacity: 2.0 },
-                Link { a: 0, b: 2, delay: 1.0, capacity: 2.0 },
-                Link { a: 1, b: 3, delay: 1.0, capacity: 2.0 },
-                Link { a: 2, b: 3, delay: 1.0, capacity: 2.0 },
+                Link {
+                    a: 0,
+                    b: 1,
+                    delay: 1.0,
+                    capacity: 2.0,
+                },
+                Link {
+                    a: 0,
+                    b: 2,
+                    delay: 1.0,
+                    capacity: 2.0,
+                },
+                Link {
+                    a: 1,
+                    b: 3,
+                    delay: 1.0,
+                    capacity: 2.0,
+                },
+                Link {
+                    a: 2,
+                    b: 3,
+                    delay: 1.0,
+                    capacity: 2.0,
+                },
             ],
         );
         let service = ServiceSpec::new(ServiceId::new(1), "svc", 2);

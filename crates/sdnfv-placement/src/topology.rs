@@ -317,9 +317,24 @@ mod tests {
         let t = Topology::new(
             vec![Node { cores: 1 }; 3],
             vec![
-                Link { a: 0, b: 2, delay: 10.0, capacity: 1.0 },
-                Link { a: 0, b: 1, delay: 1.0, capacity: 1.0 },
-                Link { a: 1, b: 2, delay: 1.0, capacity: 1.0 },
+                Link {
+                    a: 0,
+                    b: 2,
+                    delay: 10.0,
+                    capacity: 1.0,
+                },
+                Link {
+                    a: 0,
+                    b: 1,
+                    delay: 1.0,
+                    capacity: 1.0,
+                },
+                Link {
+                    a: 1,
+                    b: 2,
+                    delay: 1.0,
+                    capacity: 1.0,
+                },
             ],
         );
         let path = t.shortest_path(0, 2).unwrap();
@@ -331,7 +346,20 @@ mod tests {
     fn disconnected_nodes_have_no_path() {
         let t = Topology::new(
             vec![Node { cores: 1 }; 4],
-            vec![Link { a: 0, b: 1, delay: 1.0, capacity: 1.0 }, Link { a: 2, b: 3, delay: 1.0, capacity: 1.0 }],
+            vec![
+                Link {
+                    a: 0,
+                    b: 1,
+                    delay: 1.0,
+                    capacity: 1.0,
+                },
+                Link {
+                    a: 2,
+                    b: 3,
+                    delay: 1.0,
+                    capacity: 1.0,
+                },
+            ],
         );
         assert!(t.shortest_path(0, 3).is_none());
     }
@@ -362,6 +390,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown node")]
     fn bad_link_panics() {
-        let _ = Topology::new(vec![Node { cores: 1 }], vec![Link { a: 0, b: 5, delay: 1.0, capacity: 1.0 }]);
+        let _ = Topology::new(
+            vec![Node { cores: 1 }],
+            vec![Link {
+                a: 0,
+                b: 5,
+                delay: 1.0,
+                capacity: 1.0,
+            }],
+        );
     }
 }

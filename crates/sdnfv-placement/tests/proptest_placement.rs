@@ -1,6 +1,9 @@
 //! Property tests: every solver's output satisfies the MILP constraints on
 //! randomly generated problem instances.
 
+#![cfg(feature = "proptest")]
+// Gated off by default: the real `proptest` crate is unavailable in the
+// offline build environment (see shims/README.md and ROADMAP.md).
 use proptest::prelude::*;
 use sdnfv_flowtable::ServiceId;
 use sdnfv_placement::model::{FlowSpec, PlacementProblem, ServiceSpec};
@@ -9,12 +12,12 @@ use sdnfv_placement::{DivisionSolver, GreedySolver, OptimalSolver, PlacementSolv
 
 fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
     (
-        6usize..14,          // nodes
-        1u32..4,             // cores per node
-        1usize..4,           // chain length
-        1usize..12,          // flow count
-        1u32..6,             // flows per core
-        1u64..1000,          // seed
+        6usize..14, // nodes
+        1u32..4,    // cores per node
+        1usize..4,  // chain length
+        1usize..12, // flow count
+        1u32..6,    // flows per core
+        1u64..1000, // seed
     )
         .prop_map(|(nodes, cores, chain_len, flow_count, per_core, seed)| {
             let links = nodes + nodes / 2 + 2;

@@ -129,7 +129,13 @@ mod tests {
     #[test]
     fn parse_rejects_short_buffer() {
         let err = EthernetHeader::parse(&[0u8; 10]).unwrap_err();
-        assert!(matches!(err, ProtoError::Truncated { layer: "ethernet", .. }));
+        assert!(matches!(
+            err,
+            ProtoError::Truncated {
+                layer: "ethernet",
+                ..
+            }
+        ));
     }
 
     #[test]

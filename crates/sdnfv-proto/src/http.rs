@@ -96,13 +96,14 @@ impl HttpRequest {
             reason: "empty payload".to_string(),
         })?;
         let mut parts = request_line.trim_end_matches('\r').split_whitespace();
-        let method = parts
-            .next()
-            .and_then(Method::from_token)
-            .ok_or_else(|| ProtoError::Malformed {
-                layer: "http",
-                reason: "unknown method".to_string(),
-            })?;
+        let method =
+            parts
+                .next()
+                .and_then(Method::from_token)
+                .ok_or_else(|| ProtoError::Malformed {
+                    layer: "http",
+                    reason: "unknown method".to_string(),
+                })?;
         let path = parts
             .next()
             .ok_or_else(|| ProtoError::Malformed {

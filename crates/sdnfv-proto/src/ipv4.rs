@@ -206,7 +206,10 @@ mod tests {
         bytes[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Header::parse(&bytes),
-            Err(ProtoError::InvalidField { field: "version", .. })
+            Err(ProtoError::InvalidField {
+                field: "version",
+                ..
+            })
         ));
     }
 

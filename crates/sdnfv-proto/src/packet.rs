@@ -404,7 +404,10 @@ mod tests {
         let pkt = PacketBuilder::udp().payload(b"x").total_size(512).build();
         assert_eq!(pkt.len(), 512);
         // Smaller-than-natural sizes are ignored.
-        let pkt = PacketBuilder::udp().payload(b"abcdef").total_size(10).build();
+        let pkt = PacketBuilder::udp()
+            .payload(b"abcdef")
+            .total_size(10)
+            .build();
         assert_eq!(
             pkt.len(),
             ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + 6

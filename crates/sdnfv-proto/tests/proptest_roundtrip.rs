@@ -1,5 +1,8 @@
 //! Property-based tests: parse/serialize round-trips and parser robustness.
 
+#![cfg(feature = "proptest")]
+// Gated off by default: the real `proptest` crate is unavailable in the
+// offline build environment (see shims/README.md and ROADMAP.md).
 use proptest::prelude::*;
 use sdnfv_proto::ethernet::{EtherType, EthernetHeader};
 use sdnfv_proto::flow::{FlowKey, IpProtocol};

@@ -7,7 +7,9 @@
 //!
 //! * [`spsc`] — bounded single-producer/single-consumer rings whose producer
 //!   and consumer handles are distinct owned types, enforcing the
-//!   one-producer/one-consumer discipline at compile time,
+//!   one-producer/one-consumer discipline at compile time; bursts move
+//!   through [`Producer::push_n`]/[`Consumer::pop_n`] with a single atomic
+//!   cursor update per burst,
 //! * [`pool`] — a bounded packet pool modelling the shared huge-page region
 //!   DPDK DMAs packets into; exhaustion translates to packet drops exactly
 //!   like a full mbuf pool,

@@ -58,6 +58,21 @@ impl SharedPacket {
         f(&self.inner.packet.read())
     }
 
+    /// Acquires a read guard on the packet. Used by the batch dispatch path,
+    /// which locks a whole burst of descriptors before handing the NF one
+    /// [`PacketBatch`](../../sdnfv_nf/batch/struct.PacketBatch.html) over all
+    /// of them.
+    pub fn read_guard(&self) -> std::sync::RwLockReadGuard<'_, Packet> {
+        self.inner.packet.read()
+    }
+
+    /// Acquires a write guard on the packet (batch twin of
+    /// [`SharedPacket::with_write`]). The data plane only write-locks
+    /// descriptors owned by exactly one NF, so the lock is uncontended.
+    pub fn write_guard(&self) -> std::sync::RwLockWriteGuard<'_, Packet> {
+        self.inner.packet.write()
+    }
+
     /// Runs `f` with exclusive write access to the packet.
     ///
     /// The data plane only grants this to NFs that declared themselves
@@ -101,6 +116,12 @@ impl SharedPacket {
     /// The parallelization factor the packet was dispatched with.
     pub fn readers(&self) -> u32 {
         self.inner.readers
+    }
+
+    /// Returns `true` if both handles reference the same underlying packet
+    /// buffer (used by batch dispatch to avoid locking one buffer twice).
+    pub fn same_buffer(&self, other: &SharedPacket) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Extracts the packet once all handles but this one are gone, or returns

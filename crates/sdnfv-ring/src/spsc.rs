@@ -1,12 +1,22 @@
 //! Bounded single-producer / single-consumer rings.
 //!
-//! The ring is backed by a lock-free array queue; the [`Producer`] and
-//! [`Consumer`] handles are separate owned (non-cloneable) types so that the
-//! single-producer / single-consumer discipline the paper relies on for
-//! lock-freedom is enforced by ownership rather than by convention.
+//! The ring is a native lock-free Lamport queue: the producer owns the
+//! `tail` cursor, the consumer owns the `head` cursor, and each side keeps a
+//! cached copy of the other's cursor so the common case touches no shared
+//! cache line it does not own. The [`Producer`] and [`Consumer`] handles are
+//! separate owned (non-cloneable) types so that the single-producer /
+//! single-consumer discipline the paper relies on for lock-freedom is
+//! enforced by ownership rather than by convention.
+//!
+//! Batching is first-class: [`Producer::push_n`] and [`Consumer::pop_n`]
+//! move a whole burst of elements with a **single atomic cursor update**,
+//! amortizing the release-store (and the consumer's acquire-load) over the
+//! burst — the DPDK `rte_ring_enqueue_burst` idiom the paper's NF Manager
+//! is built on (§4.1).
 
-use crossbeam::queue::ArrayQueue;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Error returned by [`Producer::push`] when the ring is full; the rejected
@@ -14,14 +24,54 @@ use std::sync::Arc;
 #[derive(Debug, PartialEq, Eq)]
 pub struct PushError<T>(pub T);
 
+/// Pads a cursor to its own cache line so producer and consumer cursors do
+/// not false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
 struct Shared<T> {
-    queue: ArrayQueue<T>,
-    /// Total elements ever enqueued (for occupancy statistics).
-    enqueued: AtomicU64,
-    /// Total elements ever dequeued.
-    dequeued: AtomicU64,
-    /// Pushes rejected because the ring was full (i.e. drops at this ring).
-    rejected: AtomicU64,
+    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Index mask; the physical buffer length is a power of two.
+    mask: usize,
+    /// Logical capacity as requested by the caller (≤ physical length).
+    capacity: usize,
+    /// Consumer cursor: total elements ever dequeued.
+    head: CachePadded<AtomicUsize>,
+    /// Producer cursor: total elements ever enqueued.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the producer/consumer protocol guarantees a slot is accessed by
+// exactly one side at a time (the cursors partition the buffer), so the ring
+// is Sync whenever the element can be sent between threads.
+unsafe impl<T: Send> Sync for Shared<T> {}
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Shared<T> {
+    #[inline]
+    unsafe fn slot(&self, pos: usize) -> *mut T {
+        (*self.buffer[pos & self.mask].get()).as_mut_ptr()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both handles are gone; drop any elements still queued.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let mut pos = head;
+        while pos != tail {
+            unsafe { std::ptr::drop_in_place(self.slot(pos)) };
+            pos = pos.wrapping_add(1);
+        }
+    }
 }
 
 /// Creates a bounded SPSC ring with space for `capacity` elements.
@@ -31,129 +81,239 @@ struct Shared<T> {
 /// Panics if `capacity` is zero.
 pub fn spsc_ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     assert!(capacity > 0, "ring capacity must be non-zero");
+    let physical = capacity.next_power_of_two();
+    let buffer: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..physical)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
     let shared = Arc::new(Shared {
-        queue: ArrayQueue::new(capacity),
-        enqueued: AtomicU64::new(0),
-        dequeued: AtomicU64::new(0),
-        rejected: AtomicU64::new(0),
+        buffer,
+        mask: physical - 1,
+        capacity,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
     });
     (
         Producer {
             shared: Arc::clone(&shared),
+            cached_head: Cell::new(0),
+            rejected: Cell::new(0),
         },
-        Consumer { shared },
+        Consumer {
+            shared,
+            cached_tail: Cell::new(0),
+        },
     )
 }
 
 /// The producing side of an SPSC ring.
-#[derive(Debug)]
 pub struct Producer<T> {
     shared: Arc<Shared<T>>,
+    /// Last observed consumer cursor; refreshed only when the ring looks
+    /// full, so steady-state pushes read no consumer-owned cache line.
+    cached_head: Cell<usize>,
+    /// Pushes rejected because the ring was full (i.e. drops at this ring).
+    rejected: Cell<u64>,
 }
 
-/// The consuming side of an SPSC ring.
-#[derive(Debug)]
-pub struct Consumer<T> {
-    shared: Arc<Shared<T>>,
-}
-
-impl<T> std::fmt::Debug for Shared<T> {
+impl<T> std::fmt::Debug for Producer<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared")
-            .field("len", &self.queue.len())
-            .field("capacity", &self.queue.capacity())
+        f.debug_struct("Producer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
             .finish()
     }
 }
 
 impl<T> Producer<T> {
+    /// Returns how many slots are free, refreshing the cached consumer
+    /// cursor if the cached view says fewer than `wanted` are available.
+    #[inline]
+    fn free_slots(&self, tail: usize, wanted: usize) -> usize {
+        let cap = self.shared.capacity;
+        let mut free = cap - tail.wrapping_sub(self.cached_head.get());
+        if free < wanted {
+            let head = self.shared.head.0.load(Ordering::Acquire);
+            self.cached_head.set(head);
+            free = cap - tail.wrapping_sub(head);
+        }
+        free
+    }
+
     /// Enqueues `value`, or returns it in a [`PushError`] if the ring is full.
     pub fn push(&self, value: T) -> Result<(), PushError<T>> {
-        match self.shared.queue.push(value) {
-            Ok(()) => {
-                self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(value) => {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(PushError(value))
-            }
+        let tail = self.shared.tail.0.load(Ordering::Relaxed);
+        if self.free_slots(tail, 1) == 0 {
+            self.rejected.set(self.rejected.get() + 1);
+            return Err(PushError(value));
         }
+        unsafe { self.shared.slot(tail).write(value) };
+        self.shared
+            .tail
+            .0
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues a burst: moves as many elements as fit from the **front** of
+    /// `items` (preserving order) and publishes them with a single release
+    /// store of the producer cursor. Returns how many were enqueued; the
+    /// unpushed remainder stays in `items`.
+    ///
+    /// Every element that did not fit counts toward
+    /// [`rejected`](Producer::rejected) — per call, so a caller that retries
+    /// the remainder counts it again (exactly as retried scalar
+    /// [`push`](Producer::push) calls do).
+    pub fn push_n(&self, items: &mut Vec<T>) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let tail = self.shared.tail.0.load(Ordering::Relaxed);
+        let take = self.free_slots(tail, items.len()).min(items.len());
+        let unpushed = (items.len() - take) as u64;
+        if unpushed > 0 {
+            self.rejected.set(self.rejected.get() + unpushed);
+        }
+        if take == 0 {
+            return 0;
+        }
+        for (offset, value) in items.drain(..take).enumerate() {
+            unsafe { self.shared.slot(tail.wrapping_add(offset)).write(value) };
+        }
+        // One atomic update publishes the whole burst.
+        self.shared
+            .tail
+            .0
+            .store(tail.wrapping_add(take), Ordering::Release);
+        take
     }
 
     /// Number of elements currently queued.
     pub fn len(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.len()
     }
 
     /// Returns `true` if the ring holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.shared.queue.is_empty()
+        self.len() == 0
     }
 
     /// Returns `true` if the ring is full.
     pub fn is_full(&self) -> bool {
-        self.shared.queue.is_full()
+        self.len() >= self.shared.capacity
     }
 
     /// Ring capacity.
     pub fn capacity(&self) -> usize {
-        self.shared.queue.capacity()
+        self.shared.capacity
     }
 
     /// Number of pushes rejected because the ring was full.
     pub fn rejected(&self) -> u64 {
-        self.shared.rejected.load(Ordering::Relaxed)
+        self.rejected.get()
+    }
+}
+
+/// The consuming side of an SPSC ring.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Last observed producer cursor; refreshed only when the ring looks
+    /// empty, so a draining consumer reads no producer-owned cache line.
+    cached_tail: Cell<usize>,
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
     }
 }
 
 impl<T> Consumer<T> {
+    /// Returns how many elements are visible, refreshing the cached producer
+    /// cursor if the cached view says fewer than `wanted`.
+    #[inline]
+    fn visible(&self, head: usize, wanted: usize) -> usize {
+        let mut available = self.cached_tail.get().wrapping_sub(head);
+        if available < wanted {
+            let tail = self.shared.tail.0.load(Ordering::Acquire);
+            self.cached_tail.set(tail);
+            available = tail.wrapping_sub(head);
+        }
+        available
+    }
+
     /// Dequeues the oldest element, if any.
     pub fn pop(&self) -> Option<T> {
-        let value = self.shared.queue.pop();
-        if value.is_some() {
-            self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        if self.visible(head, 1) == 0 {
+            return None;
         }
-        value
+        let value = unsafe { self.shared.slot(head).read() };
+        self.shared
+            .head
+            .0
+            .store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeues a burst: appends up to `max` elements to `out` and retires
+    /// them with a single release store of the consumer cursor. Returns how
+    /// many were dequeued.
+    pub fn pop_n(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        let take = self.visible(head, max).min(max);
+        if take == 0 {
+            return 0;
+        }
+        out.reserve(take);
+        for offset in 0..take {
+            out.push(unsafe { self.shared.slot(head.wrapping_add(offset)).read() });
+        }
+        // One atomic update retires the whole burst.
+        self.shared
+            .head
+            .0
+            .store(head.wrapping_add(take), Ordering::Release);
+        take
     }
 
     /// Dequeues up to `max` elements into a vector (batch receive, as used by
-    /// poll-mode RX/TX threads).
+    /// poll-mode RX/TX threads). Convenience wrapper over [`Consumer::pop_n`].
     pub fn pop_batch(&self, max: usize) -> Vec<T> {
-        let mut out = Vec::with_capacity(max.min(self.len()));
-        for _ in 0..max {
-            match self.pop() {
-                Some(v) => out.push(v),
-                None => break,
-            }
-        }
+        let mut out = Vec::new();
+        self.pop_n(&mut out, max);
         out
     }
 
     /// Number of elements currently queued. This is the "queue occupancy"
     /// signal the NF Manager's load balancer reads (paper §4.2).
     pub fn len(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.len()
     }
 
     /// Returns `true` if the ring holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.shared.queue.is_empty()
+        self.len() == 0
     }
 
     /// Ring capacity.
     pub fn capacity(&self) -> usize {
-        self.shared.queue.capacity()
+        self.shared.capacity
     }
 
     /// Total elements ever dequeued.
     pub fn dequeued(&self) -> u64 {
-        self.shared.dequeued.load(Ordering::Relaxed)
+        self.shared.head.0.load(Ordering::Acquire) as u64
     }
 
     /// Total elements ever enqueued.
     pub fn enqueued(&self) -> u64 {
-        self.shared.enqueued.load(Ordering::Relaxed)
+        self.shared.tail.0.load(Ordering::Acquire) as u64
     }
 }
 
@@ -208,6 +368,75 @@ mod tests {
     }
 
     #[test]
+    fn non_power_of_two_capacity_is_respected() {
+        let (tx, rx) = spsc_ring(3);
+        assert_eq!(tx.capacity(), 3);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        tx.push(3).unwrap();
+        assert!(tx.is_full());
+        assert_eq!(tx.push(4), Err(PushError(4)));
+        assert_eq!(rx.pop_batch(8), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn push_n_moves_a_prefix_and_preserves_order() {
+        let (tx, rx) = spsc_ring(4);
+        let mut burst = vec![1, 2, 3, 4, 5, 6];
+        assert_eq!(tx.push_n(&mut burst), 4);
+        assert_eq!(burst, vec![5, 6], "unpushed remainder stays put");
+        assert_eq!(tx.rejected(), 2, "partial push counts the remainder");
+        assert!(tx.is_full());
+        assert_eq!(tx.push_n(&mut burst), 0);
+        assert_eq!(tx.rejected(), 4, "full-ring push counts the whole burst");
+        assert_eq!(rx.pop_batch(10), vec![1, 2, 3, 4]);
+        assert_eq!(tx.push_n(&mut burst), 2);
+        assert!(burst.is_empty());
+        assert_eq!(tx.rejected(), 4, "successful burst adds nothing");
+        assert_eq!(rx.pop_batch(10), vec![5, 6]);
+    }
+
+    #[test]
+    fn pop_n_appends_and_respects_max() {
+        let (tx, rx) = spsc_ring(8);
+        for i in 0..6 {
+            tx.push(i).unwrap();
+        }
+        let mut out = vec![99];
+        assert_eq!(rx.pop_n(&mut out, 4), 4);
+        assert_eq!(out, vec![99, 0, 1, 2, 3]);
+        assert_eq!(rx.pop_n(&mut out, 4), 2);
+        assert_eq!(out, vec![99, 0, 1, 2, 3, 4, 5]);
+        assert_eq!(rx.pop_n(&mut out, 4), 0);
+    }
+
+    #[test]
+    fn batch_ops_wrap_around_the_buffer() {
+        let (tx, rx) = spsc_ring(4);
+        // Advance the cursors so bursts straddle the wrap point repeatedly.
+        for round in 0..100u64 {
+            let mut burst = vec![round * 3, round * 3 + 1, round * 3 + 2];
+            assert_eq!(tx.push_n(&mut burst), 3);
+            let mut out = Vec::new();
+            assert_eq!(rx.pop_n(&mut out, 3), 3);
+            assert_eq!(out, vec![round * 3, round * 3 + 1, round * 3 + 2]);
+        }
+    }
+
+    #[test]
+    fn queued_elements_are_dropped_with_the_ring() {
+        let payload = Arc::new(());
+        let (tx, rx) = spsc_ring(8);
+        for _ in 0..5 {
+            tx.push(Arc::clone(&payload)).unwrap();
+        }
+        let _ = rx.pop();
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&payload), 1, "queued clones were dropped");
+    }
+
+    #[test]
     fn cross_thread_delivery_preserves_all_elements() {
         let (tx, rx) = spsc_ring(64);
         const N: u64 = 100_000;
@@ -233,6 +462,43 @@ mod tests {
                     next += 1;
                 } else {
                     std::hint::spin_loop();
+                }
+            }
+            next
+        });
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), N);
+    }
+
+    #[test]
+    fn cross_thread_batched_delivery_preserves_all_elements() {
+        let (tx, rx) = spsc_ring(64);
+        const N: u64 = 100_000;
+        let producer = thread::spawn(move || {
+            let mut pending: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            while next < N || !pending.is_empty() {
+                while pending.len() < 32 && next < N {
+                    pending.push(next);
+                    next += 1;
+                }
+                if tx.push_n(&mut pending) == 0 {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let consumer = thread::spawn(move || {
+            let mut next = 0u64;
+            let mut out = Vec::new();
+            while next < N {
+                out.clear();
+                if rx.pop_n(&mut out, 32) == 0 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                for v in &out {
+                    assert_eq!(*v, next, "elements must arrive in order");
+                    next += 1;
                 }
             }
             next

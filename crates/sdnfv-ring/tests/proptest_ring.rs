@@ -1,5 +1,8 @@
 //! Property tests for the SPSC ring and packet pool invariants.
 
+#![cfg(feature = "proptest")]
+// Gated off by default: the real `proptest` crate is unavailable in the
+// offline build environment (see shims/README.md and ROADMAP.md).
 use proptest::prelude::*;
 use sdnfv_proto::packet::PacketBuilder;
 use sdnfv_ring::{spsc_ring, PacketPool, PushError, SharedPacket};

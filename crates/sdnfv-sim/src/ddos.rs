@@ -100,7 +100,11 @@ impl DdosExperiment {
         let threshold_scaled = self.threshold_gbps * 1e9 / 8.0 / SCALE;
         manager.add_nf(
             detector_svc,
-            Box::new(DdosDetectorNf::new(1_000_000_000, threshold_scaled as u64, 16)),
+            Box::new(DdosDetectorNf::new(
+                1_000_000_000,
+                threshold_scaled as u64,
+                16,
+            )),
         );
 
         // Control plane: alarm -> launch the scrubber.
@@ -218,7 +222,10 @@ mod tests {
             .expect("the scrubber must eventually start");
         // Detection happens once the aggregate crosses 3.2 Gbps, which with a
         // 0.045 Gbps/s ramp from t=30 s is around t=90 s.
-        assert!(detected > 30.0 && detected < 150.0, "detected at {detected}");
+        assert!(
+            detected > 30.0 && detected < 150.0,
+            "detected at {detected}"
+        );
         // The scrubber becomes active roughly one VM boot time later.
         let gap = active - detected;
         assert!(
@@ -235,14 +242,26 @@ mod tests {
         let early_out = result.outgoing.mean_between(5.0, 25.0).unwrap();
         assert!((early_out - 0.5).abs() < 0.15, "early outgoing {early_out}");
         // While the attack grows but before scrubbing, outgoing tracks incoming.
-        let before_scrub = result.outgoing.mean_between(active - 6.0, active - 1.0).unwrap();
+        let before_scrub = result
+            .outgoing
+            .mean_between(active - 6.0, active - 1.0)
+            .unwrap();
         assert!(before_scrub > 1.0);
         // Well after the scrubber starts, outgoing is back near the normal
         // rate even though incoming keeps rising.
-        let after_out = result.outgoing.mean_between(active + 10.0, active + 40.0).unwrap();
-        let after_in = result.incoming.mean_between(active + 10.0, active + 40.0).unwrap();
+        let after_out = result
+            .outgoing
+            .mean_between(active + 10.0, active + 40.0)
+            .unwrap();
+        let after_in = result
+            .incoming
+            .mean_between(active + 10.0, active + 40.0)
+            .unwrap();
         assert!(after_out < 1.0, "outgoing after scrubbing {after_out}");
-        assert!(after_in > 2.0, "incoming should still be large, got {after_in}");
+        assert!(
+            after_in > 2.0,
+            "incoming should still be large, got {after_in}"
+        );
     }
 
     #[test]
@@ -250,7 +269,10 @@ mod tests {
         let result = figure9();
         let at_100 = result.incoming.value_near(100.0).unwrap();
         // 0.5 normal + 70 s of 0.045 Gbps/s ramp ≈ 3.65 Gbps.
-        assert!((at_100 - 3.65).abs() < 0.5, "incoming at t=100 was {at_100}");
+        assert!(
+            (at_100 - 3.65).abs() < 0.5,
+            "incoming at t=100 was {at_100}"
+        );
         // And it is capped at normal + max attack.
         assert!(result.incoming.max_y().unwrap() <= 0.5 + 4.5 + 0.3);
     }

@@ -161,7 +161,11 @@ pub fn figure12() -> MemcachedResult {
         rates.push(rate * 5.0);
         rate *= 10.0;
     }
-    run(&ProxyModel::twemproxy(), &ProxyModel::sdnfv_default(), &rates)
+    run(
+        &ProxyModel::twemproxy(),
+        &ProxyModel::sdnfv_default(),
+        &rates,
+    )
 }
 
 #[cfg(test)]

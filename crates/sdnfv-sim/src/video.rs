@@ -100,10 +100,7 @@ impl VideoExperiment {
         ));
         manager.install_rule(FlowRule::new(
             FlowMatch::at_step(PE),
-            vec![
-                Action::ToPort(EGRESS),
-                Action::ToService(TC),
-            ],
+            vec![Action::ToPort(EGRESS), Action::ToService(TC)],
         ));
         manager.install_rule(FlowRule::new(
             FlowMatch::at_step(TC),
@@ -193,7 +190,8 @@ impl VideoExperiment {
                 }
             }
 
-            let packets_per_flow = (self.packets_per_flow_per_sec * self.step_secs).round() as usize;
+            let packets_per_flow =
+                (self.packets_per_flow_per_sec * self.step_secs).round() as usize;
             let mut out_sdnfv = 0usize;
             let mut out_sdn = 0.0f64;
             let mut offered_packets = 0usize;
@@ -222,7 +220,11 @@ impl VideoExperiment {
             offered.push(t, offered_packets as f64 / self.step_secs);
         }
 
-        VideoResult { sdnfv, sdn, offered }
+        VideoResult {
+            sdnfv,
+            sdn,
+            offered,
+        }
     }
 }
 

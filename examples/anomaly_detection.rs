@@ -30,9 +30,18 @@ fn main() {
         },
     );
     manager.add_nf(services.firewall, Box::new(FirewallNf::allow_by_default()));
-    manager.add_nf(services.sampler, Box::new(SamplerNf::per_packet(services.ddos, 2)));
-    manager.add_nf(services.ddos, Box::new(DdosDetectorNf::new(1_000_000_000, 1_000_000, 16)));
-    manager.add_nf(services.ids, Box::new(IdsNf::new(services.ids, services.scrubber)));
+    manager.add_nf(
+        services.sampler,
+        Box::new(SamplerNf::per_packet(services.ddos, 2)),
+    );
+    manager.add_nf(
+        services.ddos,
+        Box::new(DdosDetectorNf::new(1_000_000_000, 1_000_000, 16)),
+    );
+    manager.add_nf(
+        services.ids,
+        Box::new(IdsNf::new(services.ids, services.scrubber)),
+    );
     manager.add_nf(
         services.scrubber,
         Box::new(ScrubberNf::new().with_signature(b"UNION SELECT".to_vec())),
@@ -83,7 +92,9 @@ fn main() {
         for action in app.handle_manager_message(0, message.from, &message.message) {
             match action {
                 AppAction::LaunchNf { service_name, .. } => {
-                    let ticket = orchestrator.launch(0, &service_name, 0).expect("registered");
+                    let ticket = orchestrator
+                        .launch(0, &service_name, 0)
+                        .expect("registered");
                     println!(
                         "orchestrator: launching `{}`, ready after {:.2}s (VM boot)",
                         ticket.service_name,

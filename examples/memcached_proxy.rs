@@ -32,7 +32,10 @@ fn main() {
         FlowMatch::at_step(proxy_svc),
         vec![Action::ToPort(1)],
     ));
-    manager.add_nf(proxy_svc, Box::new(MemcachedProxyNf::new(backends.clone(), 1)));
+    manager.add_nf(
+        proxy_svc,
+        Box::new(MemcachedProxyNf::new(backends.clone(), 1)),
+    );
 
     // Send a batch of GET requests and show how they spread over backends.
     let mut per_backend: HashMap<Ipv4Addr, u32> = HashMap::new();
@@ -45,11 +48,15 @@ fn main() {
             .payload(&get_request(i as u16, &format!("user:{i}")))
             .ingress_port(0)
             .build();
-        if let PacketOutcome::Transmitted { packet, .. } = manager.process_packet(pkt, u64::from(i)) {
+        if let PacketOutcome::Transmitted { packet, .. } = manager.process_packet(pkt, u64::from(i))
+        {
             *per_backend.entry(packet.ipv4().unwrap().dst).or_insert(0) += 1;
         }
     }
-    println!("10,000 GET requests load-balanced across {} backends:", backends.len());
+    println!(
+        "10,000 GET requests load-balanced across {} backends:",
+        backends.len()
+    );
     let mut entries: Vec<_> = per_backend.into_iter().collect();
     entries.sort();
     for (backend, count) in entries {
@@ -59,7 +66,10 @@ fn main() {
     // Calibrate the proxy model from the real NF and print the Figure 12
     // comparison.
     let measured_ns = measure_proxy_ns_per_request(200_000);
-    println!("\nmeasured proxy cost: {measured_ns:.0} ns/request ({:.2} M req/s on one core)", 1e3 / measured_ns);
+    println!(
+        "\nmeasured proxy cost: {measured_ns:.0} ns/request ({:.2} M req/s on one core)",
+        1e3 / measured_ns
+    );
 
     let result = figure12();
     println!(

@@ -14,12 +14,14 @@ use sdnfv::placement::{
 fn main() {
     let flow_counts = [5usize, 10, 20, 30, 40];
     let solvers: Vec<Box<dyn PlacementSolver>> = vec![
-        Box::new(GreedySolver::default()),
+        Box::new(GreedySolver),
         Box::new(OptimalSolver::default()),
         Box::new(DivisionSolver::default()),
     ];
 
-    println!("maximum utilization (link / core) by number of flows — 22 nodes, 64 links, chain J1–J5");
+    println!(
+        "maximum utilization (link / core) by number of flows — 22 nodes, 64 links, chain J1–J5"
+    );
     println!(
         "{:>8} {:>22} {:>22} {:>22}",
         "flows", "greedy", "optimal", "division"

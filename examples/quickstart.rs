@@ -14,32 +14,46 @@ fn main() {
     // ---------------------------------------------------------------- inline
     // 1. A service graph: the paper's anomaly-detection application.
     let (graph, services) = catalog::anomaly_detection();
-    println!("service graph `{}` with {} services", graph.name(), graph.len());
+    println!(
+        "service graph `{}` with {} services",
+        graph.name(),
+        graph.len()
+    );
     println!("default path: {:?}", graph.default_path());
 
     // 2. An NF Manager with the graph's rules and one NF per service.
     let mut manager = NfManager::default();
     manager.install_graph(&graph, &CompileOptions::default());
     manager.add_nf(services.firewall, Box::new(FirewallNf::allow_by_default()));
-    manager.add_nf(services.sampler, Box::new(SamplerNf::per_packet(services.ddos, 4)));
+    manager.add_nf(
+        services.sampler,
+        Box::new(SamplerNf::per_packet(services.ddos, 4)),
+    );
     manager.add_nf(services.ddos, Box::new(NoOpNf::new()));
     manager.add_nf(services.ids, Box::new(NoOpNf::new()));
     manager.add_nf(services.scrubber, Box::new(NoOpNf::new()));
 
-    // 3. Push packets through and look at what happened.
+    // 3. Push traffic through in bursts (the batch-first fast path; use
+    //    `process_packet` for one-off packets) and look at what happened.
     let mut transmitted = 0;
-    for i in 0..1000u32 {
-        let packet = PacketBuilder::udp()
-            .src_ip([10, 0, 0, 1])
-            .dst_ip([10, 0, 1, 1])
-            .src_port(1024 + (i % 64) as u16)
-            .dst_port(80)
-            .ingress_port(0)
-            .total_size(256)
-            .build();
-        if let PacketOutcome::Transmitted { .. } = manager.process_packet(packet, u64::from(i)) {
-            transmitted += 1;
-        }
+    for burst_index in 0..(1000 / 32u32) {
+        let burst: Vec<_> = (0..32u32)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .src_ip([10, 0, 0, 1])
+                    .dst_ip([10, 0, 1, 1])
+                    .src_port(1024 + ((burst_index * 32 + i) % 64) as u16)
+                    .dst_port(80)
+                    .ingress_port(0)
+                    .total_size(256)
+                    .build()
+            })
+            .collect();
+        transmitted += manager
+            .process_burst(burst, u64::from(burst_index))
+            .iter()
+            .filter(|o| matches!(o, PacketOutcome::Transmitted { .. }))
+            .count();
     }
     let stats = manager.stats().snapshot();
     println!("\ninline engine: {transmitted} packets transmitted");
@@ -67,24 +81,45 @@ fn main() {
         .iter()
         .map(|id| (*id, Box::new(ComputeNf::new(8)) as Box<dyn NetworkFunction>))
         .collect();
-    let host = ThreadedHost::start(table, nfs, ThreadedHostConfig::default());
-    for i in 0..5_000u32 {
-        let pkt = PacketBuilder::udp()
-            .src_port((i % 512) as u16 + 1024)
-            .ingress_port(0)
-            .total_size(512)
-            .build();
-        while !host.inject(pkt.clone()) {
-            std::thread::yield_now();
-        }
-    }
-    let mut received = 0;
+    // Descriptors move between the RX/NF/TX threads in bursts of
+    // `burst_size` packets with one ring operation per burst.
+    let host = ThreadedHost::start(
+        table,
+        nfs,
+        ThreadedHostConfig {
+            burst_size: 32,
+            ..ThreadedHostConfig::default()
+        },
+    );
+    let mut injected = 0u32;
+    let mut received = 0u32;
     let mut total_latency_ns = 0u64;
-    while received < 5_000 {
-        if let Some((_, pkt)) = host.poll_egress() {
-            total_latency_ns += host.now_ns().saturating_sub(pkt.timestamp_ns);
-            received += 1;
+    let drain = |received: &mut u32, total_latency_ns: &mut u64| {
+        for (_, pkt) in host.poll_egress_burst(64) {
+            *total_latency_ns += host.now_ns().saturating_sub(pkt.timestamp_ns);
+            *received += 1;
         }
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while injected < 5_000 && std::time::Instant::now() < deadline {
+        // Keep the offered load below the NF ring capacity so nothing is
+        // dropped: drain egress while injecting.
+        if injected - received < 512 {
+            let burst: Vec<_> = (0..32u32)
+                .map(|i| {
+                    PacketBuilder::udp()
+                        .src_port(((injected + i) % 512) as u16 + 1024)
+                        .ingress_port(0)
+                        .total_size(512)
+                        .build()
+                })
+                .collect();
+            injected += host.inject_burst(burst) as u32;
+        }
+        drain(&mut received, &mut total_latency_ns);
+    }
+    while received < injected && std::time::Instant::now() < deadline {
+        drain(&mut received, &mut total_latency_ns);
     }
     println!("\nthreaded runtime: {received} packets through a 2-NF parallel chain");
     println!(

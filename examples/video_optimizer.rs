@@ -19,7 +19,11 @@ fn main() {
     let (graph, services) = catalog::video_optimizer();
     println!(
         "video optimizer graph: {:?}",
-        graph.default_path().iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        graph
+            .default_path()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
     );
 
     // Build the host: the full seven-service pipeline.
@@ -27,7 +31,10 @@ fn main() {
     let mut manager = NfManager::default();
     manager.install_graph(&graph, &CompileOptions::default());
     manager.add_nf(services.firewall, Box::new(FirewallNf::allow_by_default()));
-    manager.add_nf(services.video_detector, Box::new(VideoDetectorNf::new(Verdict::ToPort(1))));
+    manager.add_nf(
+        services.video_detector,
+        Box::new(VideoDetectorNf::new(Verdict::ToPort(1))),
+    );
     manager.add_nf(
         services.policy_engine,
         Box::new(PolicyEngineNf::new(
@@ -38,10 +45,16 @@ fn main() {
             policy.clone(),
         )),
     );
-    manager.add_nf(services.quality_detector, Box::new(QualityDetectorNf::new(50_000, services.cache)));
+    manager.add_nf(
+        services.quality_detector,
+        Box::new(QualityDetectorNf::new(50_000, services.cache)),
+    );
     manager.add_nf(services.transcoder, Box::new(TranscoderNf::halving()));
     manager.add_nf(services.cache, Box::new(CacheNf::new(1024)));
-    manager.add_nf(services.shaper, Box::new(ShaperNf::new(10_000_000, 1_000_000)));
+    manager.add_nf(
+        services.shaper,
+        Box::new(ShaperNf::new(10_000_000, 1_000_000)),
+    );
 
     // One video flow and one plain web flow.
     let video_header = response_with_content_type(200, "video/mp4");
@@ -50,15 +63,23 @@ fn main() {
         let mut out = 0;
         for i in 0..count {
             let pkt = if i == 0 {
-                PacketBuilder::tcp().src_port(src_port).dst_port(40000).payload(header)
+                PacketBuilder::tcp()
+                    .src_port(src_port)
+                    .dst_port(40000)
+                    .payload(header)
             } else {
-                PacketBuilder::tcp().src_port(src_port).dst_port(40000).total_size(1000)
+                PacketBuilder::tcp()
+                    .src_port(src_port)
+                    .dst_port(40000)
+                    .total_size(1000)
             }
             .src_ip([203, 0, 113, 10])
             .dst_ip([198, 51, 100, 20])
             .ingress_port(0)
             .build();
-            if let PacketOutcome::Transmitted { .. } = manager.process_packet(pkt, i as u64 * 1_000_000) {
+            if let PacketOutcome::Transmitted { .. } =
+                manager.process_packet(pkt, i as u64 * 1_000_000)
+            {
                 out += 1;
             }
         }
@@ -84,6 +105,8 @@ fn main() {
     let sdnfv_during = result.sdnfv.mean_between(70.0, 230.0).unwrap_or(f64::NAN);
     let sdn_during_early = result.sdn.mean_between(62.0, 90.0).unwrap_or(f64::NAN);
     println!("  output before the policy window: {before:.0} packets/s");
-    println!("  SDNFV inside the window:         {sdnfv_during:.0} packets/s (throttled immediately)");
+    println!(
+        "  SDNFV inside the window:         {sdnfv_during:.0} packets/s (throttled immediately)"
+    );
     println!("  SDN just after the change:       {sdn_during_early:.0} packets/s (lagging — only new flows throttled)");
 }

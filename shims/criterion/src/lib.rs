@@ -1,0 +1,290 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the macro + builder surface the workspace's benches use and
+//! measures with plain wall-clock timing: a short warm-up to calibrate the
+//! per-iteration cost, then a timed measurement window. Results print as
+//! `<group>/<name>  time: <ns>/iter` plus a throughput line when
+//! [`BenchmarkGroup::throughput`] was set. It is deliberately simpler than
+//! real criterion (no statistics, no comparisons) but produces honest
+//! relative numbers for A/B benches in one process.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Measurement configuration and entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no CLI parsing.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            throughput: None,
+        }
+    }
+}
+
+/// Per-iteration data volume, used to derive throughput from timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes moved per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name, an input parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Identifier carrying only the input parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s where criterion does.
+pub trait IntoBenchmarkId {
+    /// The printable benchmark label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the per-iteration data volume used for throughput lines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        self.run(&label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_label();
+        self.run(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            ns_per_iter: f64::NAN,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{label}", self.name);
+        if bencher.iterations == 0 {
+            println!("{full:<55} (no measurement: Bencher::iter never called)");
+            return;
+        }
+        let ns = bencher.ns_per_iter;
+        let time = format_ns(ns);
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gibps = bytes as f64 / ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+                println!("{full:<55} time: {time:>12}/iter   thrpt: {gibps:.3} GiB/s");
+            }
+            Some(Throughput::Elements(elems)) => {
+                let melems = elems as f64 / ns * 1e9 / 1e6;
+                println!("{full:<55} time: {time:>12}/iter   thrpt: {melems:.3} Melem/s");
+            }
+            None => println!("{full:<55} time: {time:>12}/iter"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock cost per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for the warm-up window to estimate cost and reach a
+        // steady state.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+        // Measurement: fixed iteration count sized to the measurement window,
+        // timed as one block to amortize clock reads.
+        let target =
+            ((self.measurement.as_nanos() as f64 / est_ns) as u64).clamp(10, 2_000_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            std_black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / target as f64;
+        self.iterations = target;
+    }
+}
+
+/// Expands to a function running each benchmark target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to a `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

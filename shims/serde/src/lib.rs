@@ -1,0 +1,6 @@
+//! Offline shim for the `serde` crate: provides the `Serialize` and
+//! `Deserialize` derive macros (as no-ops) so that derive annotations
+//! across the workspace keep compiling without network access. See
+//! shims/README.md for the restoration plan.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the `Serialize`/`Deserialize` derive
+//! macros expand to nothing, and `#[serde(...)]` helper attributes are
+//! accepted and ignored. This keeps `#[derive(Serialize, Deserialize)]`
+//! annotations compiling without pulling in the real serde machinery;
+//! actual (de)serialization is unavailable until the real dependency is
+//! restored (see shims/README.md).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,7 @@
+//! Root package of the SDNFV reproduction workspace.
+//!
+//! This package only exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual system lives
+//! in the crates under `crates/` and is re-exported here for convenience.
+
+pub use sdnfv::*;

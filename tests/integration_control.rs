@@ -73,7 +73,10 @@ fn ddos_alarm_launches_scrubber_and_requestme_reroutes_traffic() {
     manager.add_nf(svc.firewall, Box::new(NoOpNf::new()));
     manager.add_nf(svc.sampler, Box::new(SamplerNf::per_packet(svc.ddos, 1)));
     // Low threshold so a handful of packets triggers the alarm.
-    manager.add_nf(svc.ddos, Box::new(DdosDetectorNf::new(1_000_000_000, 10_000, 16)));
+    manager.add_nf(
+        svc.ddos,
+        Box::new(DdosDetectorNf::new(1_000_000_000, 10_000, 16)),
+    );
     manager.add_nf(svc.ids, Box::new(NoOpNf::new()));
 
     let mut app = SdnfvApplication::new();
@@ -169,7 +172,11 @@ fn placement_plan_feeds_orchestrator() {
     let mut total = 0;
     for (host, instances) in per_host {
         for (service_id, count) in instances {
-            let spec = problem.services.iter().find(|s| s.id == service_id).unwrap();
+            let spec = problem
+                .services
+                .iter()
+                .find(|s| s.id == service_id)
+                .unwrap();
             for _ in 0..count {
                 assert!(orchestrator.launch(host, &spec.name, 0).is_some());
                 total += 1;

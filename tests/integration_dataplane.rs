@@ -2,13 +2,12 @@
 //! tables, NFs attached, packets pushed through both engines.
 
 use sdnfv::dataplane::{
-    LoadBalancePolicy, NfManager, NfManagerConfig, PacketOutcome, ThreadedHost,
-    ThreadedHostConfig,
+    LoadBalancePolicy, NfManager, NfManagerConfig, PacketOutcome, ThreadedHost, ThreadedHostConfig,
 };
-use sdnfv::flowtable::{ServiceId, SharedFlowTable};
+use sdnfv::flowtable::{FlowMatch, ServiceId, SharedFlowTable};
 use sdnfv::graph::{catalog, CompileOptions};
 use sdnfv::nf::nfs::{ComputeNf, FirewallNf, IdsNf, NoOpNf, SamplerNf, ScrubberNf};
-use sdnfv::nf::NetworkFunction;
+use sdnfv::nf::{NetworkFunction, NfContext, NfMessage, Verdict};
 use sdnfv::proto::packet::{Packet, PacketBuilder};
 use std::time::{Duration, Instant};
 
@@ -79,7 +78,8 @@ fn parallel_and_sequential_chains_agree_on_results() {
                 .ingress_port(0)
                 .total_size(512)
                 .build();
-            if let PacketOutcome::Transmitted { port, .. } = manager.process_packet(pkt, u64::from(i))
+            if let PacketOutcome::Transmitted { port, .. } =
+                manager.process_packet(pkt, u64::from(i))
             {
                 assert_eq!(port, 1);
                 transmitted += 1;
@@ -120,6 +120,151 @@ fn flow_hash_load_balancing_keeps_flows_sticky() {
         manager.service_invocations(ids[0])
     };
     assert_eq!(run(&mut manager), 300);
+}
+
+/// An NF that emits one cross-layer message from *inside* a batch (via the
+/// per-packet adapter) the first time it sees the trigger src port.
+struct Announcer {
+    trigger_port: u16,
+    message: Option<NfMessage>,
+}
+
+impl NetworkFunction for Announcer {
+    fn name(&self) -> &str {
+        "announcer"
+    }
+
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
+        let is_trigger = packet
+            .flow_key()
+            .map(|k| k.src_port == self.trigger_port)
+            .unwrap_or(false);
+        if is_trigger {
+            if let Some(message) = self.message.take() {
+                ctx.send(message);
+            }
+        }
+        Verdict::Default
+    }
+}
+
+#[test]
+fn skip_me_sent_mid_batch_applies_before_next_bursts_lookups() {
+    // Chain a -> b -> port 1. Service a announces SkipMe from inside the
+    // first burst; the second burst's ingress lookups must already bypass a.
+    let (graph, ids) = catalog::chain(&[("a", true), ("b", true)]);
+    let mut manager = NfManager::default();
+    manager.install_graph(&graph, &CompileOptions::default());
+    manager.add_nf(
+        ids[0],
+        Box::new(Announcer {
+            trigger_port: 1002,
+            message: Some(NfMessage::SkipMe {
+                flows: FlowMatch::any(),
+            }),
+        }),
+    );
+    manager.add_nf(ids[1], Box::new(NoOpNf::new()));
+
+    let burst = |base: u16| -> Vec<Packet> {
+        (0..6)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .src_port(base + i)
+                    .ingress_port(0)
+                    .build()
+            })
+            .collect()
+    };
+
+    // First burst: every packet still traverses a (the trigger fires on the
+    // third packet of the batch, but the burst's ingress lookups happened
+    // before the batch ran).
+    let outcomes = manager.process_burst(burst(1000), 0);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o, PacketOutcome::Transmitted { port: 1, .. })));
+    assert_eq!(manager.service_invocations(ids[0]), 6);
+    assert_eq!(manager.service_invocations(ids[1]), 6);
+
+    // Second burst: the SkipMe is visible to the ingress lookups, so a is
+    // bypassed entirely and traffic flows straight to b.
+    let outcomes = manager.process_burst(burst(2000), 1);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o, PacketOutcome::Transmitted { port: 1, .. })));
+    assert_eq!(manager.service_invocations(ids[0]), 6, "a must be skipped");
+    assert_eq!(manager.service_invocations(ids[1]), 12);
+
+    // The message was also queued for the control plane, attributed to a.
+    let messages = manager.take_messages();
+    assert!(messages
+        .iter()
+        .any(|m| m.from == ids[0] && matches!(m.message, NfMessage::SkipMe { .. })));
+}
+
+#[test]
+fn change_default_sent_mid_batch_pins_the_flow_for_later_bursts() {
+    // Anomaly-detection graph: the sampler pins one "suspicious" flow to the
+    // DDoS detector with a per-flow ChangeDefault sent from inside a batch.
+    let (graph, svc) = catalog::anomaly_detection();
+    let mut manager = NfManager::default();
+    manager.install_graph(&graph, &CompileOptions::default());
+
+    let attack = || {
+        PacketBuilder::udp()
+            .src_ip([10, 0, 0, 66])
+            .dst_ip([10, 0, 0, 2])
+            .src_port(4444)
+            .dst_port(80)
+            .ingress_port(0)
+            .build()
+    };
+    let clean = |port: u16| {
+        PacketBuilder::udp()
+            .src_ip([10, 0, 0, 1])
+            .dst_ip([10, 0, 0, 2])
+            .src_port(port)
+            .dst_port(80)
+            .ingress_port(0)
+            .build()
+    };
+    let attack_key = attack().flow_key().expect("ipv4 packet");
+    let pin = NfMessage::ChangeDefault {
+        flows: FlowMatch::exact(svc.sampler, &attack_key),
+        service: svc.sampler,
+        new_default: sdnfv::flowtable::Action::ToService(svc.ddos),
+    };
+
+    manager.add_nf(svc.firewall, Box::new(NoOpNf::new()));
+    manager.add_nf(
+        svc.sampler,
+        Box::new(Announcer {
+            trigger_port: 4444,
+            message: Some(pin),
+        }),
+    );
+    manager.add_nf(svc.ddos, Box::new(NoOpNf::new()));
+    manager.add_nf(svc.ids, Box::new(NoOpNf::new()));
+    manager.add_nf(svc.scrubber, Box::new(NoOpNf::new()));
+
+    // Burst 1: clean, attack, clean. The pin is emitted inside the sampler's
+    // batch; the attack packet's own next lookup already honours it.
+    let outcomes = manager.process_burst(vec![clean(100), attack(), clean(101)], 0);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o, PacketOutcome::Transmitted { .. })));
+    let after_first = manager.service_invocations(svc.ddos);
+    assert_eq!(after_first, 1, "only the attack flow visits the detector");
+
+    // Burst 2: the pinned flow keeps going through the detector, clean flows
+    // keep bypassing it — the rule survived the burst boundary (including
+    // the lookup cache, whose generation the mid-batch message bumped).
+    let outcomes = manager.process_burst(vec![attack(), clean(102), attack()], 1);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o, PacketOutcome::Transmitted { .. })));
+    assert_eq!(manager.service_invocations(svc.ddos), after_first + 2);
 }
 
 #[test]
@@ -177,7 +322,10 @@ fn threaded_host_handles_mixed_chain_with_rewriting_nf() {
     assert_eq!(outputs.len(), 100);
     for (port, packet) in &outputs {
         assert_eq!(*port, 1);
-        assert_eq!(packet.ipv4().unwrap().dst, std::net::Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(
+            packet.ipv4().unwrap().dst,
+            std::net::Ipv4Addr::new(1, 2, 3, 4)
+        );
     }
     host.shutdown();
 }

@@ -10,7 +10,7 @@ use sdnfv::placement::{
 fn all_solvers_satisfy_constraints_on_the_paper_topology() {
     let problem = PlacementProblem::paper_figure5(25, 1.0, 16631);
     for solver in [
-        Box::new(GreedySolver::default()) as Box<dyn PlacementSolver>,
+        Box::new(GreedySolver) as Box<dyn PlacementSolver>,
         Box::new(OptimalSolver::default()),
         Box::new(DivisionSolver::default()),
     ] {
@@ -28,7 +28,7 @@ fn all_solvers_satisfy_constraints_on_the_paper_topology() {
 #[test]
 fn optimal_objective_beats_greedy_when_both_place_everything() {
     let problem = PlacementProblem::paper_figure5(15, 1.0, 16631);
-    let greedy = GreedySolver::default().solve(&problem);
+    let greedy = GreedySolver.solve(&problem);
     let optimal = OptimalSolver::default().solve(&problem);
     if greedy.placed_flows() == problem.flows.len() && optimal.placed_flows() == problem.flows.len()
     {
@@ -64,10 +64,13 @@ fn division_heuristic_is_never_worse_than_greedy_and_scales_with_capacity() {
         }
         supported
     };
-    let greedy_1x = count_supported(&GreedySolver::default(), 1.0);
+    let greedy_1x = count_supported(&GreedySolver, 1.0);
     let division_1x = count_supported(&DivisionSolver::default(), 1.0);
-    assert!(division_1x >= greedy_1x, "division {division_1x} < greedy {greedy_1x} at 1x");
-    let greedy_2x = count_supported(&GreedySolver::default(), 2.0);
+    assert!(
+        division_1x >= greedy_1x,
+        "division {division_1x} < greedy {greedy_1x} at 1x"
+    );
+    let greedy_2x = count_supported(&GreedySolver, 2.0);
     let division_2x = count_supported(&DivisionSolver::default(), 2.0);
     assert!(
         division_2x > greedy_2x,
@@ -86,5 +89,8 @@ fn extra_capacity_increases_supported_flows() {
         placed_scaled >= placed_base,
         "4x capacity should not place fewer flows ({placed_scaled} vs {placed_base})"
     );
-    assert_eq!(placed_scaled, 60, "with 4x capacity all 60 flows should fit");
+    assert_eq!(
+        placed_scaled, 60,
+        "with 4x capacity all 60 flows should fit"
+    );
 }

@@ -36,7 +36,7 @@ fn figure5_optimal_supports_more_flows_than_greedy() {
         }
         supported
     };
-    let greedy = supported(&GreedySolver::default());
+    let greedy = supported(&GreedySolver);
     let optimal = supported(&OptimalSolver::default());
     assert!(
         optimal > greedy,
@@ -110,5 +110,8 @@ fn figure12_sdnfv_proxy_outperforms_twemproxy_by_orders_of_magnitude() {
     assert!(result.sdnfv_capacity_rps / result.twemproxy_capacity_rps > 50.0);
     // And the real NF implementation is indeed in the right ballpark.
     let measured = memcached::measure_proxy_ns_per_request(20_000);
-    assert!(measured < 20_000.0, "proxy should cost well under 20µs/request");
+    assert!(
+        measured < 20_000.0,
+        "proxy should cost well under 20µs/request"
+    );
 }
