@@ -3,9 +3,16 @@
 //! scalar entry point and through the batch-first `process_burst` path
 //! (burst of 32) — so both dispatch modes are visible per packet size. The
 //! Gbps curves on the threaded runtime come from `figures -- fig7`.
+//!
+//! The `fig7_threaded_shards` group adds the shard-count axis on the
+//! threaded runtime: the same 2-NF chain, 256-byte packets, pumped through
+//! the sharded `ThreadedHost` at `num_shards` ∈ {1, 2, 4} with backpressure
+//! (shard scaling needs cores; on a single-CPU box the numbers record
+//! scheduling overhead, not speedup).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sdnfv_dataplane::NfManager;
+use sdnfv_bench::{build_sharded_host, pump_packets, Composition, Workload};
+use sdnfv_dataplane::{NfManager, ThreadedHostConfig};
 use sdnfv_graph::{catalog, CompileOptions};
 use sdnfv_nf::nfs::NoOpNf;
 use sdnfv_proto::packet::{Packet, PacketBuilder};
@@ -59,5 +66,30 @@ fn bench_fig7(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig7);
+fn bench_fig7_threaded_shards(c: &mut Criterion) {
+    const QUANTUM: usize = 4096;
+    const PACKET_SIZE: usize = 256;
+    let mut group = c.benchmark_group("fig7_threaded_shards");
+    for num_shards in [1usize, 2, 4] {
+        let host = build_sharded_host(
+            2,
+            Composition::Sequential,
+            Workload::NoOp,
+            ThreadedHostConfig {
+                num_shards,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        group.throughput(Throughput::Bytes((QUANTUM * PACKET_SIZE) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("2vm_chain_256B", num_shards),
+            &(),
+            |b, _| b.iter(|| black_box(pump_packets(&host, QUANTUM, 64, PACKET_SIZE))),
+        );
+        host.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7, bench_fig7_threaded_shards);
 criterion_main!(benches);

@@ -6,12 +6,13 @@
 //!   packet through the host's flow table and network functions on the
 //!   calling thread. It is deterministic, which makes it the engine of
 //!   choice for the discrete-event simulator and for unit tests.
-//! * [`runtime::ThreadedHost`] — the multi-threaded runtime mirroring the
-//!   paper's implementation: a poll-mode RX thread, per-NF "VM" threads fed
-//!   through lock-free SPSC rings, TX threads resolving actions and
-//!   forwarding packets, and an asynchronous flow-controller path for table
-//!   misses. This engine is what the latency/throughput experiments
-//!   (Table 2, Figures 6 and 7) run on.
+//! * [`runtime::ThreadedHost`] — the multi-threaded, **sharded** runtime
+//!   mirroring the paper's implementation: packets are steered by 5-tuple
+//!   flow hash into independent pipeline shards (RSS-style), each running a
+//!   poll-mode dispatch/egress worker plus per-NF "VM" threads fed through
+//!   lock-free SPSC rings, with credit-based ingress backpressure instead of
+//!   silent overflow drops. This engine is what the latency/throughput
+//!   experiments (Table 2, Figures 6 and 7) run on.
 //!
 //! Shared building blocks:
 //!
@@ -39,5 +40,8 @@ pub use conflict::resolve_parallel_verdicts;
 pub use loadbalance::LoadBalancePolicy;
 pub use manager::{NfManager, NfManagerConfig, PacketOutcome};
 pub use messages::{apply_nf_message, AppliedChange, NfManagerMessage};
-pub use runtime::{HostOutput, ThreadedHost, ThreadedHostConfig};
-pub use stats::HostStats;
+pub use runtime::{
+    shard_for_flow, BurstInjection, HostOutput, InjectResult, OverflowPolicy, ThreadedHost,
+    ThreadedHostConfig,
+};
+pub use stats::{HostStats, HostStatsSnapshot, ShardStats};

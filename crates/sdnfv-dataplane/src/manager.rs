@@ -233,12 +233,14 @@ impl NfManager {
 
     /// Processes one packet to completion through the host.
     ///
-    /// This is the scalar convenience wrapper over
-    /// [`NfManager::process_burst`] — the burst path is the primary engine.
+    /// This runs the dedicated scalar walk (shared with the `len == 1` fast
+    /// path of [`NfManager::process_burst`]): same semantics and statistics
+    /// as the burst engine, none of its per-burst bookkeeping allocations —
+    /// the cost profile the Table 2 / Figure 6 latency paths and the
+    /// per-packet simulators rely on.
     pub fn process_packet(&mut self, packet: Packet, now_ns: u64) -> PacketOutcome {
-        self.process_burst(vec![packet], now_ns)
-            .pop()
-            .expect("one outcome per packet")
+        self.stats.add_received(1);
+        self.process_single(packet, now_ns)
     }
 
     /// Processes a burst of packets to completion through the host,
@@ -252,8 +254,16 @@ impl NfManager {
     /// an NF emits anywhere inside a batch are applied before the next
     /// round's lookups, so a `SkipMe`/`ChangeDefault` affects every
     /// subsequent burst decision.
-    pub fn process_burst(&mut self, packets: Vec<Packet>, now_ns: u64) -> Vec<PacketOutcome> {
+    ///
+    /// A one-packet burst takes the scalar fast path: nothing can be
+    /// amortized across a burst of one, so the lock-step machinery (and its
+    /// per-round bookkeeping allocations) is skipped entirely.
+    pub fn process_burst(&mut self, mut packets: Vec<Packet>, now_ns: u64) -> Vec<PacketOutcome> {
         self.stats.add_received(packets.len() as u64);
+        if packets.len() == 1 {
+            let packet = packets.pop().expect("length checked");
+            return vec![self.process_single(packet, now_ns)];
+        }
         let mut outcomes: Vec<Option<PacketOutcome>> = Vec::with_capacity(packets.len());
         outcomes.resize_with(packets.len(), || None);
 
@@ -286,6 +296,78 @@ impl NfManager {
             .into_iter()
             .map(|o| o.expect("every packet reaches an outcome"))
             .collect()
+    }
+
+    /// The scalar engine: walks one packet through its service chain with no
+    /// per-burst bookkeeping. Semantics (and every counter) match the burst
+    /// path exactly — the caller has already counted the packet as received.
+    fn process_single(&mut self, mut packet: Packet, now_ns: u64) -> PacketOutcome {
+        let Some(key) = packet.flow_key() else {
+            self.stats.add_dropped(1);
+            return PacketOutcome::Dropped;
+        };
+        let mut step = RulePort::Nic(packet.ingress_port);
+        let mut forced: Option<Action> = None;
+        let mut hops = 0usize;
+        loop {
+            if hops >= self.config.max_chain_hops {
+                // The hop bound was exceeded (mis-configured rules).
+                self.stats.add_dropped(1);
+                return PacketOutcome::Dropped;
+            }
+            hops += 1;
+            let plan = if let Some(action) = forced.take() {
+                Plan::from_action(action)
+            } else {
+                match self.lookup(step, &key) {
+                    None => Plan::Punt,
+                    Some(decision) if decision.parallel => Plan::Parallel(decision),
+                    Some(decision) => match decision.default_action() {
+                        Some(action) => Plan::from_action(action),
+                        None => Plan::Drop,
+                    },
+                }
+            };
+            match plan {
+                Plan::Drop => {
+                    self.stats.add_dropped(1);
+                    return PacketOutcome::Dropped;
+                }
+                Plan::Punt => {
+                    self.stats.add_controller_punts(1);
+                    return PacketOutcome::PuntedToController { packet };
+                }
+                Plan::Transmit(port) => {
+                    self.stats.add_transmitted(1);
+                    return PacketOutcome::Transmitted { port, packet };
+                }
+                Plan::Parallel(decision) => {
+                    match self.run_parallel(&decision, &mut packet, &key, now_ns, &mut step) {
+                        ParallelOutcome::Continue(next_forced) => forced = next_forced,
+                        ParallelOutcome::Finished(outcome) => return outcome,
+                    }
+                }
+                Plan::Invoke(service) => match self.invoke(service, &mut packet, &key, now_ns) {
+                    None => {
+                        // No instance of the service is attached: the packet
+                        // cannot make progress.
+                        self.stats.add_dropped(1);
+                        return PacketOutcome::Dropped;
+                    }
+                    Some(verdict) => {
+                        step = RulePort::Service(service);
+                        forced = match verdict {
+                            Verdict::Default => None,
+                            Verdict::Discard => Some(Action::Drop),
+                            other => {
+                                let requested = other.as_action().expect("non-default verdict");
+                                Some(self.validate_requested(step, &key, requested))
+                            }
+                        };
+                    }
+                },
+            }
+        }
     }
 
     /// Runs one lock-step round over the in-flight packets: resolve an
@@ -507,8 +589,16 @@ impl NfManager {
     }
 
     /// Invokes one instance of `service` on the packet, returning its
-    /// verdict, or `None` if no instance is attached.
-    fn invoke(&mut self, service: ServiceId, packet: &mut Packet, now_ns: u64) -> Option<Verdict> {
+    /// verdict, or `None` if no instance is attached. `key` is the packet's
+    /// ingress-time flow key — the balancing unit, kept stable even if an NF
+    /// rewrote the packet's headers mid-chain (matching the burst path).
+    fn invoke(
+        &mut self,
+        service: ServiceId,
+        packet: &mut Packet,
+        key: &FlowKey,
+        now_ns: u64,
+    ) -> Option<Verdict> {
         let instances = self.instances.get_mut(&service)?;
         if instances.is_empty() {
             return None;
@@ -518,8 +608,7 @@ impl NfManager {
             .balancers
             .entry(service)
             .or_insert_with(|| LoadBalancer::new(self.config.load_balance));
-        let key = packet.flow_key();
-        let index = balancer.pick(&queue_lengths, key.as_ref()).unwrap_or(0);
+        let index = balancer.pick(&queue_lengths, Some(key)).unwrap_or(0);
         let instance = &mut instances[index];
         instance.invocations += 1;
         let mut ctx = NfContext::new(now_ns);
@@ -550,7 +639,7 @@ impl NfManager {
             match action {
                 Action::ToService(service) => {
                     last_service = Some(*service);
-                    match self.invoke(*service, packet, now_ns) {
+                    match self.invoke(*service, packet, key, now_ns) {
                         Some(v) => verdicts.push(v),
                         None => verdicts.push(Verdict::Default),
                     }

@@ -1,9 +1,18 @@
 //! Counters describing the activity of one NF host.
+//!
+//! The sharded threaded runtime keeps one set of counters **per shard** so
+//! the hot path never bounces a shared cache line between shards:
+//! [`HostStats`] is a bundle of [`ShardStats`], each shard's threads hold a
+//! clone of their own [`ShardStats`], and [`HostStats::snapshot`] merges all
+//! shards into one [`HostStatsSnapshot`]. Single-pipeline users (the inline
+//! `NfManager`, single-shard hosts) see the same API as before: the
+//! counter methods on `HostStats` itself operate on shard 0.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A snapshot of the host counters.
+/// A snapshot of the host counters (for one shard, or merged over all
+/// shards — see [`HostStats::snapshot`] / [`HostStats::shard_snapshot`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HostStatsSnapshot {
     /// Packets received from the wire (or the traffic generator).
@@ -14,6 +23,9 @@ pub struct HostStatsSnapshot {
     pub dropped: u64,
     /// Packets dropped because a ring or the packet pool was full.
     pub overflow_drops: u64,
+    /// Injections rejected by ingress backpressure (credits exhausted); the
+    /// packet was handed back to the caller, not dropped.
+    pub throttled: u64,
     /// Packets punted to the SDN controller on a flow-table miss.
     pub controller_punts: u64,
     /// Packets dispatched to more than one NF in parallel.
@@ -24,10 +36,19 @@ pub struct HostStatsSnapshot {
     pub nf_messages: u64,
 }
 
-/// Thread-safe counters shared by all threads of one host.
-#[derive(Debug, Clone, Default)]
-pub struct HostStats {
-    inner: Arc<Counters>,
+impl HostStatsSnapshot {
+    /// Merges another snapshot into this one (summing every counter).
+    pub fn merge(&mut self, other: &HostStatsSnapshot) {
+        self.received += other.received;
+        self.transmitted += other.transmitted;
+        self.dropped += other.dropped;
+        self.overflow_drops += other.overflow_drops;
+        self.throttled += other.throttled;
+        self.controller_punts += other.controller_punts;
+        self.parallel_dispatches += other.parallel_dispatches;
+        self.nf_invocations += other.nf_invocations;
+        self.nf_messages += other.nf_messages;
+    }
 }
 
 #[derive(Debug, Default)]
@@ -36,6 +57,7 @@ struct Counters {
     transmitted: AtomicU64,
     dropped: AtomicU64,
     overflow_drops: AtomicU64,
+    throttled: AtomicU64,
     controller_punts: AtomicU64,
     parallel_dispatches: AtomicU64,
     nf_invocations: AtomicU64,
@@ -56,10 +78,30 @@ macro_rules! counter {
     };
 }
 
-impl HostStats {
+macro_rules! shard0_counter {
+    ($inc:ident, $get:ident, $doc:literal) => {
+        #[doc = concat!("Increments the number of ", $doc, " (on shard 0).")]
+        pub fn $inc(&self, n: u64) {
+            self.shards[0].$inc(n);
+        }
+
+        #[doc = concat!("Returns the number of ", $doc, " (on shard 0).")]
+        pub fn $get(&self) -> u64 {
+            self.shards[0].$get()
+        }
+    };
+}
+
+/// Thread-safe counters shared by all threads of one shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    inner: Arc<Counters>,
+}
+
+impl ShardStats {
     /// Creates zeroed counters.
     pub fn new() -> Self {
-        HostStats::default()
+        ShardStats::default()
     }
 
     counter!(add_received, received, received, "packets received");
@@ -80,6 +122,12 @@ impl HostStats {
         overflow_drops,
         overflow_drops,
         "packets dropped due to full rings or pools"
+    );
+    counter!(
+        add_throttled,
+        throttled,
+        throttled,
+        "injections rejected by backpressure"
     );
     counter!(
         add_controller_punts,
@@ -106,18 +154,110 @@ impl HostStats {
         "NF cross-layer messages"
     );
 
-    /// Takes a consistent-enough snapshot of all counters.
+    /// Takes a consistent-enough snapshot of this shard's counters.
     pub fn snapshot(&self) -> HostStatsSnapshot {
         HostStatsSnapshot {
             received: self.received(),
             transmitted: self.transmitted(),
             dropped: self.dropped(),
             overflow_drops: self.overflow_drops(),
+            throttled: self.throttled(),
             controller_punts: self.controller_punts(),
             parallel_dispatches: self.parallel_dispatches(),
             nf_invocations: self.nf_invocations(),
             nf_messages: self.nf_messages(),
         }
+    }
+}
+
+/// Counters for a whole host: one [`ShardStats`] per shard plus a merged
+/// view. Cloning shares the underlying counters.
+#[derive(Debug, Clone)]
+pub struct HostStats {
+    shards: Vec<ShardStats>,
+}
+
+impl Default for HostStats {
+    fn default() -> Self {
+        HostStats::new()
+    }
+}
+
+impl HostStats {
+    /// Creates zeroed counters for a single-shard host.
+    pub fn new() -> Self {
+        HostStats::with_shards(1)
+    }
+
+    /// Creates zeroed counters for `num_shards` shards (at least one).
+    pub fn with_shards(num_shards: usize) -> Self {
+        let shards = (0..num_shards.max(1)).map(|_| ShardStats::new()).collect();
+        HostStats { shards }
+    }
+
+    /// Number of shards the counters are split over.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The counters of one shard (shared handle; clone it into the shard's
+    /// threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &ShardStats {
+        &self.shards[shard]
+    }
+
+    shard0_counter!(add_received, received, "packets received");
+    shard0_counter!(add_transmitted, transmitted, "packets transmitted");
+    shard0_counter!(add_dropped, dropped, "packets dropped by NFs or rules");
+    shard0_counter!(
+        add_overflow_drops,
+        overflow_drops,
+        "packets dropped due to full rings or pools"
+    );
+    shard0_counter!(
+        add_throttled,
+        throttled,
+        "injections rejected by backpressure"
+    );
+    shard0_counter!(
+        add_controller_punts,
+        controller_punts,
+        "packets punted to the SDN controller"
+    );
+    shard0_counter!(
+        add_parallel_dispatches,
+        parallel_dispatches,
+        "packets dispatched to parallel NFs"
+    );
+    shard0_counter!(add_nf_invocations, nf_invocations, "NF invocations");
+    shard0_counter!(add_nf_messages, nf_messages, "NF cross-layer messages");
+
+    /// Takes a consistent-enough snapshot of all counters, merged over every
+    /// shard.
+    pub fn snapshot(&self) -> HostStatsSnapshot {
+        let mut merged = HostStatsSnapshot::default();
+        for shard in &self.shards {
+            merged.merge(&shard.snapshot());
+        }
+        merged
+    }
+
+    /// Snapshot of one shard's counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_snapshot(&self, shard: usize) -> HostStatsSnapshot {
+        self.shards[shard].snapshot()
+    }
+
+    /// Snapshots of every shard, in shard order.
+    pub fn shard_snapshots(&self) -> Vec<HostStatsSnapshot> {
+        self.shards.iter().map(ShardStats::snapshot).collect()
     }
 }
 
@@ -133,6 +273,7 @@ mod tests {
         stats.add_transmitted(8);
         stats.add_dropped(2);
         stats.add_overflow_drops(1);
+        stats.add_throttled(6);
         stats.add_controller_punts(3);
         stats.add_parallel_dispatches(4);
         stats.add_nf_invocations(20);
@@ -142,6 +283,7 @@ mod tests {
         assert_eq!(snap.transmitted, 8);
         assert_eq!(snap.dropped, 2);
         assert_eq!(snap.overflow_drops, 1);
+        assert_eq!(snap.throttled, 6);
         assert_eq!(snap.controller_punts, 3);
         assert_eq!(snap.parallel_dispatches, 4);
         assert_eq!(snap.nf_invocations, 20);
@@ -155,5 +297,43 @@ mod tests {
         stats.add_received(1);
         clone.add_received(1);
         assert_eq!(stats.received(), 2);
+    }
+
+    #[test]
+    fn per_shard_counters_merge_into_host_snapshot() {
+        let stats = HostStats::with_shards(3);
+        assert_eq!(stats.num_shards(), 3);
+        stats.shard(0).add_received(5);
+        stats.shard(1).add_received(7);
+        stats.shard(2).add_received(1);
+        stats.shard(1).add_transmitted(7);
+        stats.shard(2).add_throttled(4);
+        assert_eq!(stats.shard_snapshot(0).received, 5);
+        assert_eq!(stats.shard_snapshot(1).received, 7);
+        assert_eq!(stats.shard_snapshot(1).transmitted, 7);
+        let merged = stats.snapshot();
+        assert_eq!(merged.received, 13);
+        assert_eq!(merged.transmitted, 7);
+        assert_eq!(merged.throttled, 4);
+        assert_eq!(stats.shard_snapshots().len(), 3);
+    }
+
+    #[test]
+    fn host_level_methods_hit_shard_zero() {
+        let stats = HostStats::with_shards(2);
+        stats.add_received(3);
+        assert_eq!(stats.shard_snapshot(0).received, 3);
+        assert_eq!(stats.shard_snapshot(1).received, 0);
+        let shard1 = stats.shard(1).clone();
+        shard1.add_received(2);
+        assert_eq!(stats.snapshot().received, 5);
+    }
+
+    #[test]
+    fn with_shards_zero_clamps_to_one() {
+        let stats = HostStats::with_shards(0);
+        assert_eq!(stats.num_shards(), 1);
+        stats.add_received(1);
+        assert_eq!(stats.snapshot().received, 1);
     }
 }

@@ -87,20 +87,30 @@ impl NfMessage {
 
 /// Per-packet execution context handed to an NF.
 ///
-/// It carries the current (virtual or wall-clock) time and collects the
-/// cross-layer messages the NF wants to send; the NF Manager drains them
-/// after the call returns.
+/// It carries the current (virtual or wall-clock) time, the index of the
+/// data-plane **shard** the NF instance serves, and collects the cross-layer
+/// messages the NF wants to send; the NF Manager drains them after the call
+/// returns.
 #[derive(Debug, Default)]
 pub struct NfContext {
     now_ns: u64,
+    shard: usize,
     messages: Vec<NfMessage>,
 }
 
 impl NfContext {
-    /// Creates a context for a packet processed at time `now_ns`.
+    /// Creates a context for a packet processed at time `now_ns` (on shard
+    /// 0 — the inline engine and single-shard hosts).
     pub fn new(now_ns: u64) -> Self {
+        NfContext::for_shard(0, now_ns)
+    }
+
+    /// Creates a context for a packet processed at time `now_ns` on data
+    /// plane shard `shard`.
+    pub fn for_shard(shard: usize, now_ns: u64) -> Self {
         NfContext {
             now_ns,
+            shard,
             messages: Vec::new(),
         }
     }
@@ -108,6 +118,14 @@ impl NfContext {
     /// Current time in nanoseconds.
     pub fn now_ns(&self) -> u64 {
         self.now_ns
+    }
+
+    /// The data-plane shard this NF instance serves. Flow-hash steering
+    /// guarantees every packet of a flow is processed on the same shard, so
+    /// per-flow NF state keyed by flow never needs cross-shard
+    /// synchronization.
+    pub fn shard(&self) -> usize {
+        self.shard
     }
 
     /// Updates the context's notion of time (used when one context is reused
@@ -284,6 +302,8 @@ mod tests {
     fn context_collects_messages() {
         let mut ctx = NfContext::new(42);
         assert_eq!(ctx.now_ns(), 42);
+        assert_eq!(ctx.shard(), 0, "plain contexts run on shard 0");
+        assert_eq!(NfContext::for_shard(3, 42).shard(), 3);
         assert!(!ctx.has_messages());
         ctx.send(NfMessage::custom("k", "v"));
         assert!(ctx.has_messages());

@@ -160,22 +160,66 @@ impl VerdictSlice {
 /// key — flow-table lookups in the dispatch layers, rule evaluation in
 /// vectorized NFs. Clear it at every burst boundary so decisions never
 /// outlive the burst they were made for.
+///
+/// The probe is **capped**: once the memo holds
+/// [`BYPASS_MIN_ENTRIES`](BurstMemo::BYPASS_MIN_ENTRIES) entries and the
+/// running hit rate of the burst is below 1 in
+/// [`BYPASS_HIT_DIVISOR`](BurstMemo::BYPASS_HIT_DIVISOR) probes, the memo
+/// stops scanning and inserting and computes values directly (keeping only a
+/// one-entry scratch slot so back-to-back repeats stay cheap). All-distinct
+/// traffic — a fig9-style spoofed-source DDoS, where memoization buys
+/// nothing — would otherwise grow the scan linearly with the burst and turn
+/// per-burst work O(burst²). The `compute` callback must therefore be pure
+/// (it already had to be: which probe computes and which hits is
+/// order-dependent); bypassing only re-runs it, never changes results.
 #[derive(Debug)]
 pub struct BurstMemo<K, V> {
     entries: Vec<(K, V)>,
+    /// Probes (`get_or_insert_with` calls) since the last `clear`.
+    probes: u32,
+    /// Probes that found their key memoized since the last `clear`.
+    hits: u32,
+    /// One-entry scratch slot used while bypassing, so runs of one key still
+    /// compute once.
+    scratch: Option<(K, V)>,
 }
 
 impl<K: PartialEq, V> BurstMemo<K, V> {
+    /// Entry count below which the memo never bypasses: the scan is cheap
+    /// and the hit rate is not yet meaningful.
+    pub const BYPASS_MIN_ENTRIES: usize = 32;
+
+    /// Hit-rate threshold for bypassing, as a divisor: memoization is
+    /// abandoned while fewer than one probe in this many hits.
+    pub const BYPASS_HIT_DIVISOR: u32 = 4;
+
     /// Creates an empty memo.
     pub fn new() -> Self {
         BurstMemo {
             entries: Vec::with_capacity(8),
+            probes: 0,
+            hits: 0,
+            scratch: None,
         }
     }
 
-    /// Forgets every entry (call at burst boundaries).
+    /// Forgets every entry and resets the hit-rate tracking (call at burst
+    /// boundaries).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.probes = 0;
+        self.hits = 0;
+        self.scratch = None;
+    }
+
+    /// Number of memoized entries (excluding the bypass scratch slot).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 
     /// The value memoized for `key`, if any.
@@ -185,11 +229,33 @@ impl<K: PartialEq, V> BurstMemo<K, V> {
             .find_map(|(k, v)| (k == key).then_some(v))
     }
 
+    /// Whether the memo is currently bypassing (low hit rate at the probe
+    /// cap — see the type docs).
+    fn bypassing(&self) -> bool {
+        self.entries.len() >= Self::BYPASS_MIN_ENTRIES
+            && self.hits.saturating_mul(Self::BYPASS_HIT_DIVISOR) < self.probes
+    }
+
     /// Returns the value memoized for `key`, computing and storing it with
-    /// `compute` on first sight.
+    /// `compute` on first sight. While the memo is bypassing (see the type
+    /// docs) the value is computed directly instead of scanned for, except
+    /// for immediate repeats of the previous key.
     pub fn get_or_insert_with(&mut self, key: K, compute: impl FnOnce(&K) -> V) -> &V {
+        self.probes = self.probes.saturating_add(1);
+        if self.bypassing() {
+            if self.scratch.as_ref().is_some_and(|(k, _)| *k == key) {
+                self.hits = self.hits.saturating_add(1);
+            } else {
+                let value = compute(&key);
+                self.scratch = Some((key, value));
+            }
+            return &self.scratch.as_ref().expect("scratch slot just filled").1;
+        }
         match self.entries.iter().position(|(k, _)| *k == key) {
-            Some(index) => &self.entries[index].1,
+            Some(index) => {
+                self.hits = self.hits.saturating_add(1);
+                &self.entries[index].1
+            }
             None => {
                 let value = compute(&key);
                 self.entries.push((key, value));
@@ -256,6 +322,61 @@ mod tests {
         assert_eq!(memo.get(&4), None);
         memo.clear();
         assert_eq!(memo.get(&1), None);
+    }
+
+    #[test]
+    fn burst_memo_bypasses_under_all_distinct_keys() {
+        // All-distinct traffic: the memo must stop growing (and scanning)
+        // once the probe cap is reached with a zero hit rate.
+        let mut memo: BurstMemo<u32, u32> = BurstMemo::new();
+        for key in 0..1000u32 {
+            let value = *memo.get_or_insert_with(key, |k| k + 1);
+            assert_eq!(value, key + 1, "bypassing never changes results");
+        }
+        assert_eq!(
+            memo.len(),
+            BurstMemo::<u32, u32>::BYPASS_MIN_ENTRIES,
+            "entry growth is capped under a zero hit rate"
+        );
+        // A clear resets the heuristic: memoization resumes.
+        memo.clear();
+        for key in 0..8u32 {
+            memo.get_or_insert_with(key, |k| *k);
+        }
+        assert_eq!(memo.len(), 8);
+    }
+
+    #[test]
+    fn burst_memo_keeps_memoizing_hot_flows() {
+        // Many probes over few keys: the hit rate stays high, so the memo
+        // keeps computing once per distinct key even past the probe cap.
+        let mut memo: BurstMemo<u32, u32> = BurstMemo::new();
+        let mut computed = 0;
+        for i in 0..1000u32 {
+            memo.get_or_insert_with(i % 8, |k| {
+                computed += 1;
+                *k
+            });
+        }
+        assert_eq!(computed, 8, "hot flows stay memoized");
+    }
+
+    #[test]
+    fn burst_memo_scratch_slot_absorbs_repeats_while_bypassing() {
+        let mut memo: BurstMemo<u32, u32> = BurstMemo::new();
+        // Engage the bypass with all-distinct keys...
+        for key in 0..100u32 {
+            memo.get_or_insert_with(key, |k| *k);
+        }
+        // ...then probe one key repeatedly: computed exactly once.
+        let mut computed = 0;
+        for _ in 0..10 {
+            memo.get_or_insert_with(7777, |k| {
+                computed += 1;
+                *k
+            });
+        }
+        assert_eq!(computed, 1, "scratch slot memoizes immediate repeats");
     }
 
     #[test]

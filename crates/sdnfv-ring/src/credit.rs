@@ -1,0 +1,137 @@
+//! Credit-based admission control for a bounded pipeline stage.
+//!
+//! A [`CreditGate`] is a shared counter of "packet slots" a pipeline shard is
+//! willing to hold in flight. The ingress side acquires one credit per packet
+//! before admitting it; the egress side releases the credit when the packet
+//! reaches a terminal state (transmitted, dropped by a verdict, punted).
+//! When no credits are available the ingress side *throttles* — it hands the
+//! packet back to the caller instead of silently dropping it inside the
+//! pipeline, which is the backpressure scheme the sharded
+//! [`sdnfv-dataplane`](../sdnfv_dataplane/index.html) runtime builds on.
+//!
+//! The gate is a single atomic: `try_acquire` is a CAS loop, `release` a
+//! fetch-add. Any number of threads may acquire and release concurrently.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared pool of admission credits (see the module docs).
+#[derive(Debug)]
+pub struct CreditGate {
+    capacity: usize,
+    available: AtomicUsize,
+}
+
+impl CreditGate {
+    /// Creates a gate holding `capacity` credits, all available.
+    pub fn new(capacity: usize) -> Self {
+        CreditGate {
+            capacity,
+            available: AtomicUsize::new(capacity),
+        }
+    }
+
+    /// Total credits the gate was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Credits currently available for acquisition.
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// Credits currently held (packets in flight behind this gate).
+    pub fn in_flight(&self) -> usize {
+        self.capacity.saturating_sub(self.available())
+    }
+
+    /// Attempts to take `n` credits at once; returns `false` (taking none)
+    /// if fewer than `n` are available.
+    pub fn try_acquire(&self, n: usize) -> bool {
+        let mut current = self.available.load(Ordering::Acquire);
+        loop {
+            if current < n {
+                return false;
+            }
+            match self.available.compare_exchange_weak(
+                current,
+                current - n,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Returns `n` credits to the pool.
+    ///
+    /// Releasing more credits than were acquired is a bookkeeping bug in the
+    /// caller; debug builds assert on it.
+    pub fn release(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let previous = self.available.fetch_add(n, Ordering::AcqRel);
+        debug_assert!(
+            previous + n <= self.capacity,
+            "credit release overflow: {previous} + {n} > capacity {}",
+            self.capacity
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_and_release_round_trip() {
+        let gate = CreditGate::new(4);
+        assert_eq!(gate.capacity(), 4);
+        assert_eq!(gate.available(), 4);
+        assert!(gate.try_acquire(3));
+        assert_eq!(gate.available(), 1);
+        assert_eq!(gate.in_flight(), 3);
+        assert!(!gate.try_acquire(2), "only one credit left");
+        assert!(gate.try_acquire(1));
+        assert!(!gate.try_acquire(1), "exhausted");
+        gate.release(4);
+        assert_eq!(gate.available(), 4);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_sized_operations_are_no_ops() {
+        let gate = CreditGate::new(2);
+        assert!(gate.try_acquire(0));
+        gate.release(0);
+        assert_eq!(gate.available(), 2);
+    }
+
+    #[test]
+    fn concurrent_acquire_release_conserves_credits() {
+        let gate = Arc::new(CreditGate::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let gate = Arc::clone(&gate);
+            handles.push(std::thread::spawn(move || {
+                let mut acquired = 0u64;
+                for _ in 0..10_000 {
+                    if gate.try_acquire(1) {
+                        acquired += 1;
+                        gate.release(1);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                acquired
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(gate.available(), 64, "all credits returned");
+    }
+}

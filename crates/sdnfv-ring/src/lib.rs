@@ -14,14 +14,20 @@
 //!   DPDK DMAs packets into; exhaustion translates to packet drops exactly
 //!   like a full mbuf pool,
 //! * [`shared`] — reference-counted packet handles used when the manager
-//!   dispatches one packet to several read-only NFs in parallel (§4.2).
+//!   dispatches one packet to several read-only NFs in parallel (§4.2),
+//! * [`credit`] — credit gates implementing ingress backpressure: a bounded
+//!   pipeline stage admits a packet only while it holds a credit, and the
+//!   egress side replenishes the credit when the packet leaves, so overload
+//!   throttles the sender instead of silently dropping inside the pipeline.
 
 #![warn(missing_docs)]
 
+pub mod credit;
 pub mod pool;
 pub mod shared;
 pub mod spsc;
 
+pub use credit::CreditGate;
 pub use pool::{PacketPool, PoolStats, PooledPacket};
 pub use shared::SharedPacket;
 pub use spsc::{spsc_ring, Consumer, Producer, PushError};

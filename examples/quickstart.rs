@@ -81,18 +81,23 @@ fn main() {
         .iter()
         .map(|id| (*id, Box::new(ComputeNf::new(8)) as Box<dyn NetworkFunction>))
         .collect();
-    // Descriptors move between the RX/NF/TX threads in bursts of
-    // `burst_size` packets with one ring operation per burst.
+    // Descriptors move between the worker and NF threads in bursts of
+    // `burst_size` packets with one ring operation per burst. The credit
+    // budget bounds how many packets the shard holds in flight — the
+    // backpressure knob that used to be a hand-rolled in-flight counter.
     let host = ThreadedHost::start(
         table,
         nfs,
         ThreadedHostConfig {
             burst_size: 32,
+            shard_credits: 256,
             ..ThreadedHostConfig::default()
         },
     );
     let mut injected = 0u32;
     let mut received = 0u32;
+    let mut throttled = 0u32;
+    let mut sequence = 0u32;
     let mut total_latency_ns = 0u64;
     let drain = |received: &mut u32, total_latency_ns: &mut u64| {
         for (_, pkt) in host.poll_egress_burst(64) {
@@ -100,23 +105,32 @@ fn main() {
             *received += 1;
         }
     };
+    // No hand-tuned in-flight bound: the host runs under credit-based
+    // backpressure (the default `OverflowPolicy::Backpressure`), so a
+    // saturated pipeline hands packets back as `Throttled` instead of
+    // silently dropping them — we just retry after draining egress.
+    let mut pending: Vec<_> = Vec::new();
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     while injected < 5_000 && std::time::Instant::now() < deadline {
-        // Keep the offered load below the NF ring capacity so nothing is
-        // dropped: drain egress while injecting.
-        if injected - received < 512 {
-            let burst: Vec<_> = (0..32u32)
-                .map(|i| {
-                    PacketBuilder::udp()
-                        .src_port(((injected + i) % 512) as u16 + 1024)
-                        .ingress_port(0)
-                        .total_size(512)
-                        .build()
-                })
-                .collect();
-            injected += host.inject_burst(burst) as u32;
+        while pending.len() < 32 {
+            pending.push(
+                PacketBuilder::udp()
+                    .src_port((sequence % 512) as u16 + 1024)
+                    .ingress_port(0)
+                    .total_size(512)
+                    .build(),
+            );
+            sequence += 1;
         }
+        let outcome = host.inject_burst(pending);
+        injected += outcome.admitted as u32;
+        throttled += outcome.throttled.len() as u32;
+        pending = outcome.throttled;
         drain(&mut received, &mut total_latency_ns);
+        if !pending.is_empty() {
+            // Fully throttled: give the pipeline a beat before retrying.
+            std::thread::yield_now();
+        }
     }
     while received < injected && std::time::Instant::now() < deadline {
         drain(&mut received, &mut total_latency_ns);
@@ -126,6 +140,7 @@ fn main() {
         "  average in-host latency: {:.1} µs",
         total_latency_ns as f64 / received as f64 / 1000.0
     );
+    println!("  backpressure retries (throttled injections): {throttled}");
     println!("  host stats: {:?}", host.stats().snapshot());
     host.shutdown();
 }

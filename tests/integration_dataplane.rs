@@ -305,12 +305,14 @@ fn threaded_host_handles_mixed_chain_with_rewriting_nf() {
     ];
     let host = ThreadedHost::start(table, nfs, ThreadedHostConfig::default());
     for i in 0..100u16 {
-        assert!(host.inject(
-            PacketBuilder::udp()
-                .src_port(7000 + i)
-                .ingress_port(0)
-                .build()
-        ));
+        assert!(host
+            .inject(
+                PacketBuilder::udp()
+                    .src_port(7000 + i)
+                    .ingress_port(0)
+                    .build()
+            )
+            .is_admitted());
     }
     let deadline = Instant::now() + Duration::from_secs(5);
     let mut outputs = Vec::new();
