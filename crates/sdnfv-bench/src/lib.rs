@@ -92,12 +92,26 @@ pub fn build_sharded_host(
 /// packets — and returns once every packet has come back out. The unit of
 /// work the shard-scaling benches time.
 pub fn pump_packets(host: &ThreadedHost, total: usize, flows: u16, packet_size: usize) -> usize {
+    pump_packets_with(host, total, flows, packet_size, |_| {})
+}
+
+/// [`pump_packets`] with a per-iteration hook: `tick` runs once per pump
+/// loop pass with the host, which is how the elastic benches interleave
+/// `ElasticNfManager::drive` with traffic.
+pub fn pump_packets_with(
+    host: &ThreadedHost,
+    total: usize,
+    flows: u16,
+    packet_size: usize,
+    mut tick: impl FnMut(&ThreadedHost),
+) -> usize {
     const BURST: usize = 32;
     let mut sent = 0usize;
     let mut received = 0usize;
     let mut flow: u16 = 0;
     let mut pending: Vec<Packet> = Vec::with_capacity(BURST);
     while received < total {
+        tick(host);
         if sent < total && pending.is_empty() {
             let want = BURST.min(total - sent);
             for _ in 0..want {

@@ -1,0 +1,846 @@
+//! The elastic NF manager: the paper's local, fast control loop (§3.5).
+//!
+//! The SDNFV hierarchy gives the *local* NF manager authority over fast
+//! resource decisions — replica scaling and queue management — driven by
+//! data-plane telemetry, while the SDN controller above only sets policy.
+//! [`ElasticNfManager`] closes that loop for a running
+//! [`ThreadedHost`]:
+//!
+//! 1. it absorbs the host's [`TelemetrySnapshot`] stream into a
+//!    [`TelemetryHub`] (merged latest-per-shard view);
+//! 2. [`ElasticNfManager::plan`] turns the view into typed
+//!    [`ControlAction`]s under an [`ElasticPolicy`] — scale a service's
+//!    replica count up when its worst input-ring fill crosses
+//!    `scale_up_fill`, back down when the shard is quiet, optionally
+//!    re-budget shard credits and rebalance steering weights;
+//! 3. [`ElasticNfManager::drive`] applies them: scale-ups go through the
+//!    [`NfvOrchestrator`] (modelling the VM boot delay — the new replica
+//!    only joins the data plane once its launch ticket matures), scale-downs
+//!    and credit resizes ride the host's per-shard control rings.
+//!
+//! [`deploy_sharded`] is the provisioning half: it turns a
+//! [`ShardPlacement`] (which services, how many replicas, on which shard)
+//! into a running host by instantiating every replica through the
+//! orchestrator and handing `ThreadedHost::start_sharded` a per-shard NF
+//! set — placement decisions, not hand-built NF lists, drive the sharded
+//! data plane.
+
+use std::collections::HashMap;
+
+use sdnfv_dataplane::{ThreadedHost, ThreadedHostConfig};
+use sdnfv_flowtable::{ServiceId, SharedFlowTable};
+use sdnfv_nf::NetworkFunction;
+use sdnfv_telemetry::{ControlAction, TelemetryHub, TelemetrySnapshot};
+
+use crate::orchestrator::NfvOrchestrator;
+
+/// The knobs of the elastic control loop (see [`ElasticNfManager`]).
+#[derive(Debug, Clone)]
+pub struct ElasticPolicy {
+    /// Scale a service up on a shard when the worst input-ring fill across
+    /// its replicas reaches this fraction.
+    pub scale_up_fill: f64,
+    /// Scale a service down on a shard when every replica's fill — and the
+    /// shard's ingress fill — is at or below this fraction.
+    pub scale_down_fill: f64,
+    /// Never grow a service past this many replicas per shard.
+    pub max_replicas: usize,
+    /// Never shrink a service below this many replicas per shard.
+    pub min_replicas: usize,
+    /// Minimum time between scale actions for one `(shard, service)` pair.
+    /// Also restarted when a booted replica is handed to the host, so keep
+    /// it comfortably above the host's telemetry interval — the window in
+    /// which the new replica exists but is not yet visible in snapshots.
+    pub cooldown_ns: u64,
+    /// Whether the loop also manages per-shard credit budgets.
+    pub manage_credits: bool,
+    /// With `manage_credits`: double the budget when credit occupancy
+    /// reaches this fraction.
+    pub credit_high_fill: f64,
+    /// With `manage_credits`: halve the budget when credit occupancy is at
+    /// or below this fraction.
+    pub credit_low_fill: f64,
+    /// Lower bound for managed credit budgets.
+    pub min_credits: usize,
+    /// Upper bound for managed credit budgets.
+    pub max_credits: usize,
+    /// When set, emit a [`ControlAction::SetSteeringWeights`] rebalance
+    /// whenever the most backlogged shard exceeds the least backlogged by
+    /// this ratio. Weights are each shard's backlog deficit on top of the
+    /// mean backlog (bounded skew), and a uniform reset is emitted once
+    /// when balance returns.
+    pub rebalance_ratio: Option<f64>,
+}
+
+impl Default for ElasticPolicy {
+    fn default() -> Self {
+        ElasticPolicy {
+            scale_up_fill: 0.75,
+            scale_down_fill: 0.10,
+            max_replicas: 4,
+            min_replicas: 1,
+            cooldown_ns: 50_000_000,
+            manage_credits: false,
+            credit_high_fill: 0.90,
+            credit_low_fill: 0.25,
+            min_credits: 64,
+            max_credits: 8192,
+            rebalance_ratio: None,
+        }
+    }
+}
+
+/// One shard's initial replica set, as instantiated by [`deploy_sharded`].
+type ShardNfSet = Vec<(ServiceId, Box<dyn NetworkFunction>)>;
+
+/// A replica launched through the orchestrator, waiting out its VM boot
+/// delay before it joins the data plane.
+struct PendingLaunch {
+    shard: usize,
+    service: ServiceId,
+    ready_at_ns: u64,
+    nf: Box<dyn NetworkFunction>,
+}
+
+/// The local elastic control loop over one [`ThreadedHost`] (see the
+/// module docs). Call [`ElasticNfManager::drive`] periodically from the
+/// host's management thread.
+pub struct ElasticNfManager {
+    policy: ElasticPolicy,
+    orchestrator: NfvOrchestrator,
+    /// Registry names of the services the loop may scale, keyed by id.
+    service_names: HashMap<ServiceId, String>,
+    hub: TelemetryHub,
+    last_scale_ns: HashMap<(usize, ServiceId), u64>,
+    /// Replica counts the manager has already made true (installs handed to
+    /// the host) that telemetry may not reflect yet — the floor `plan` uses
+    /// so a stale snapshot cannot trigger a duplicate scale-up.
+    expected_replicas: HashMap<(usize, ServiceId), usize>,
+    last_credit_ns: HashMap<usize, u64>,
+    /// Last credit budget requested per shard, to detect the runtime
+    /// clamping a grow (re-emitting it would loop forever).
+    last_credit_target: HashMap<usize, usize>,
+    last_rebalance_ns: Option<u64>,
+    /// Whether the steering table currently carries a non-uniform
+    /// assignment from a past rebalance (so it can be reset once the
+    /// imbalance has passed).
+    steering_skewed: bool,
+    pending: Vec<PendingLaunch>,
+    scale_ups: u64,
+    scale_downs: u64,
+}
+
+impl std::fmt::Debug for ElasticNfManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticNfManager")
+            .field("services", &self.service_names.len())
+            .field("pending", &self.pending.len())
+            .field("scale_ups", &self.scale_ups)
+            .field("scale_downs", &self.scale_downs)
+            .finish()
+    }
+}
+
+impl ElasticNfManager {
+    /// Creates the loop over an orchestrator (whose registry must be able
+    /// to instantiate every service registered for scaling).
+    pub fn new(orchestrator: NfvOrchestrator, policy: ElasticPolicy) -> Self {
+        ElasticNfManager {
+            policy,
+            orchestrator,
+            service_names: HashMap::new(),
+            hub: TelemetryHub::new(),
+            last_scale_ns: HashMap::new(),
+            expected_replicas: HashMap::new(),
+            last_credit_ns: HashMap::new(),
+            last_credit_target: HashMap::new(),
+            last_rebalance_ns: None,
+            steering_skewed: false,
+            pending: Vec::new(),
+            scale_ups: 0,
+            scale_downs: 0,
+        }
+    }
+
+    /// Registers a service for elastic scaling: `name` is the key the
+    /// orchestrator's NF registry instantiates replicas from. Unregistered
+    /// services are observed but never scaled.
+    ///
+    /// Rejects names the registry cannot instantiate — otherwise a typo
+    /// would surface only as a scale-up loop that silently launches
+    /// nothing.
+    pub fn register_service(
+        &mut self,
+        service: ServiceId,
+        name: impl Into<String>,
+    ) -> Result<(), String> {
+        let name = name.into();
+        if !self.orchestrator.can_launch(&name) {
+            return Err(format!(
+                "no NF registered under {name:?}; cannot scale service {service}"
+            ));
+        }
+        self.service_names.insert(service, name);
+        Ok(())
+    }
+
+    /// The merged telemetry view the loop decides from.
+    pub fn hub(&self) -> &TelemetryHub {
+        &self.hub
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ElasticPolicy {
+        &self.policy
+    }
+
+    /// The orchestrator used for launches.
+    pub fn orchestrator(&self) -> &NfvOrchestrator {
+        &self.orchestrator
+    }
+
+    /// Scale-up actions emitted so far.
+    pub fn scale_ups(&self) -> u64 {
+        self.scale_ups
+    }
+
+    /// Scale-down actions emitted so far.
+    pub fn scale_downs(&self) -> u64 {
+        self.scale_downs
+    }
+
+    /// Launched replicas still waiting out their boot delay.
+    pub fn pending_launches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds snapshots into the merged view without touching a host (the
+    /// testing / replay entry point; [`ElasticNfManager::drive`] does this
+    /// from the live host).
+    pub fn absorb(&mut self, snapshots: Vec<TelemetrySnapshot>) {
+        self.hub.absorb(snapshots);
+    }
+
+    /// Derives the control actions the current telemetry view calls for,
+    /// marking cooldowns so one burst of pressure yields one action.
+    pub fn plan(&mut self, now_ns: u64) -> Vec<ControlAction> {
+        let mut actions = Vec::new();
+        for snapshot in self.hub.latest_all() {
+            let shard = snapshot.shard;
+            for service in snapshot.services() {
+                if !self.service_names.contains_key(&service) {
+                    continue;
+                }
+                let pending_here = self
+                    .pending
+                    .iter()
+                    .filter(|p| p.shard == shard && p.service == service)
+                    .count();
+                let visible = snapshot.replicas(service);
+                let expected = match self.expected_replicas.get(&(shard, service)) {
+                    // Telemetry caught up with every install: drop the floor.
+                    Some(floor) if visible >= *floor => {
+                        self.expected_replicas.remove(&(shard, service));
+                        visible
+                    }
+                    Some(floor) => *floor,
+                    None => visible,
+                };
+                let replicas = expected + pending_here;
+                let fill = snapshot.worst_fill(service).unwrap_or(0.0);
+                let cooled = self
+                    .last_scale_ns
+                    .get(&(shard, service))
+                    .is_none_or(|last| now_ns.saturating_sub(*last) >= self.policy.cooldown_ns);
+                if !cooled {
+                    continue;
+                }
+                if fill >= self.policy.scale_up_fill && replicas < self.policy.max_replicas {
+                    actions.push(ControlAction::ScaleUp { shard, service });
+                    self.last_scale_ns.insert((shard, service), now_ns);
+                } else if pending_here == 0
+                    && replicas > self.policy.min_replicas
+                    && fill <= self.policy.scale_down_fill
+                    && snapshot.ingress_fill() <= self.policy.scale_down_fill
+                {
+                    actions.push(ControlAction::ScaleDown { shard, service });
+                    self.last_scale_ns.insert((shard, service), now_ns);
+                    // The retirement will drop the visible count; lower the
+                    // floor with it so the two never disagree upward.
+                    if let Some(floor) = self.expected_replicas.get_mut(&(shard, service)) {
+                        *floor = floor.saturating_sub(1);
+                        if *floor <= 1 {
+                            self.expected_replicas.remove(&(shard, service));
+                        }
+                    }
+                }
+            }
+            if self.policy.manage_credits && snapshot.credit_capacity > 0 {
+                let cooled = self
+                    .last_credit_ns
+                    .get(&shard)
+                    .is_none_or(|last| now_ns.saturating_sub(*last) >= self.policy.cooldown_ns);
+                if cooled {
+                    let fill = snapshot.credit_fill();
+                    let capacity = snapshot.credit_capacity;
+                    // A grow the runtime clamped (observed capacity stuck
+                    // below what we last asked for) must not be re-emitted:
+                    // the gate is already as large as the rings allow.
+                    let clamped = self
+                        .last_credit_target
+                        .get(&shard)
+                        .is_some_and(|target| *target > capacity);
+                    if fill >= self.policy.credit_high_fill
+                        && capacity < self.policy.max_credits
+                        && !clamped
+                    {
+                        let credits = (capacity * 2).min(self.policy.max_credits);
+                        actions.push(ControlAction::ResizeCredits { shard, credits });
+                        self.last_credit_ns.insert(shard, now_ns);
+                        self.last_credit_target.insert(shard, credits);
+                    } else if fill <= self.policy.credit_low_fill
+                        && capacity > self.policy.min_credits
+                    {
+                        let credits = (capacity / 2).max(self.policy.min_credits);
+                        actions.push(ControlAction::ResizeCredits { shard, credits });
+                        self.last_credit_ns.insert(shard, now_ns);
+                        self.last_credit_target.insert(shard, credits);
+                    }
+                }
+            }
+        }
+        if let Some(ratio) = self.policy.rebalance_ratio {
+            if let Some(action) = self.plan_rebalance(ratio, now_ns) {
+                self.last_rebalance_ns = Some(now_ns);
+                actions.push(action);
+            }
+        }
+        actions
+    }
+
+    /// Weighs shards by their backlog deficit when the imbalance exceeds
+    /// `ratio`, and restores uniform weights once it has passed. Requires a
+    /// snapshot from *every* shard (a partial weight vector would be
+    /// rejected by the host) and observes the same cooldown as the scale
+    /// actions so draining backlog is not re-homed every tick.
+    fn plan_rebalance(&mut self, ratio: f64, now_ns: u64) -> Option<ControlAction> {
+        let cooled = self
+            .last_rebalance_ns
+            .is_none_or(|last| now_ns.saturating_sub(last) >= self.policy.cooldown_ns);
+        if !cooled {
+            return None;
+        }
+        let num_shards = self.hub.num_shards();
+        if num_shards < 2 {
+            return None;
+        }
+        let mut backlogs = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            backlogs.push(self.hub.latest(shard)?.backlog());
+        }
+        let max = *backlogs.iter().max().expect("non-empty") as f64;
+        let min = *backlogs.iter().min().expect("non-empty") as f64;
+        if max < ratio * (min + 1.0) {
+            // Balanced again: a skew left behind by a past rebalance would
+            // otherwise persist forever — reset to uniform, once.
+            if self.steering_skewed {
+                self.steering_skewed = false;
+                return Some(ControlAction::SetSteeringWeights {
+                    weights: vec![1; num_shards],
+                });
+            }
+            return None;
+        }
+        // Weight each shard by its backlog deficit on top of a uniform
+        // base (the mean backlog), which bounds the skew — a transiently
+        // empty shard cannot grab essentially every bucket, and the swing
+        // back cannot ping-pong the whole table.
+        let base = backlogs.iter().sum::<usize>() as f64 / num_shards as f64 + 1.0;
+        let weights: Vec<u32> = backlogs
+            .iter()
+            .map(|b| (max - *b as f64 + base).ceil() as u32)
+            .collect();
+        self.steering_skewed = true;
+        Some(ControlAction::SetSteeringWeights { weights })
+    }
+
+    /// One control-loop tick against a live host: absorb fresh telemetry,
+    /// plan, apply. Scale-ups are launched through the orchestrator and
+    /// join the host once their boot delay matures (possibly on a later
+    /// tick); scale-downs, credit resizes and rebalances apply immediately.
+    /// Returns the actions emitted this tick.
+    pub fn drive(&mut self, host: &ThreadedHost) -> Vec<ControlAction> {
+        self.hub.absorb(host.poll_telemetry());
+        let now_ns = host.now_ns();
+        let actions = self.plan(now_ns);
+        for action in &actions {
+            match action {
+                ControlAction::ScaleUp { shard, service } => {
+                    let name = self.service_names[service].clone();
+                    if let Some(ticket) = self.orchestrator.launch(*shard, &name, now_ns) {
+                        self.scale_ups += 1;
+                        self.pending.push(PendingLaunch {
+                            shard: *shard,
+                            service: *service,
+                            ready_at_ns: ticket.ready_at_ns,
+                            nf: ticket.nf,
+                        });
+                    }
+                }
+                ControlAction::ScaleDown { shard, service } => {
+                    if host.remove_nf_replica(*shard, *service) {
+                        self.scale_downs += 1;
+                    }
+                }
+                ControlAction::ResizeCredits { shard, credits } => {
+                    let _ = host.resize_credits(*shard, *credits);
+                }
+                ControlAction::SetSteeringWeights { weights } => {
+                    let _ = host.set_steering_weights(weights);
+                }
+            }
+        }
+        self.install_matured(host, now_ns);
+        actions
+    }
+
+    /// Hands every boot-complete pending replica to the host. Replicas
+    /// whose control ring is momentarily full are handed back by the host
+    /// and stay pending for the next tick.
+    fn install_matured(&mut self, host: &ThreadedHost, now_ns: u64) {
+        let mut still_pending = Vec::new();
+        for launch in self.pending.drain(..) {
+            if launch.ready_at_ns > now_ns {
+                still_pending.push(launch);
+                continue;
+            }
+            let PendingLaunch {
+                shard,
+                service,
+                ready_at_ns,
+                nf,
+            } = launch;
+            match host.add_nf_replica(shard, service, nf) {
+                Ok(()) => {
+                    // The replica left `pending` but will not show in
+                    // telemetry until the worker has spawned it and the
+                    // next snapshot lands. Restart the cooldown and raise
+                    // the expected-replica floor so plan() cannot read that
+                    // stale window as "still under-provisioned" and
+                    // overshoot max_replicas.
+                    self.last_scale_ns.insert((shard, service), now_ns);
+                    let visible = self
+                        .hub
+                        .latest(shard)
+                        .map_or(0, |snapshot| snapshot.replicas(service));
+                    let floor = self
+                        .expected_replicas
+                        .entry((shard, service))
+                        .or_insert(visible);
+                    *floor = (*floor).max(visible) + 1;
+                }
+                Err(nf) => still_pending.push(PendingLaunch {
+                    shard,
+                    service,
+                    ready_at_ns,
+                    nf,
+                }),
+            }
+        }
+        self.pending = still_pending;
+    }
+}
+
+/// How many replicas of which services run on each shard — the placement
+/// decision [`deploy_sharded`] provisions.
+#[derive(Debug, Clone)]
+pub struct ShardPlacement {
+    /// One replica list per shard: `(service id, registry name, replicas)`.
+    pub per_shard: Vec<Vec<(ServiceId, String, usize)>>,
+}
+
+impl ShardPlacement {
+    /// The uniform placement: every shard runs `replicas` instances of
+    /// every listed service.
+    pub fn uniform(services: &[(ServiceId, &str)], num_shards: usize, replicas: usize) -> Self {
+        let per_shard = (0..num_shards.max(1))
+            .map(|_| {
+                services
+                    .iter()
+                    .map(|(id, name)| (*id, (*name).to_string(), replicas))
+                    .collect()
+            })
+            .collect();
+        ShardPlacement { per_shard }
+    }
+
+    /// Number of shards the placement spans.
+    pub fn num_shards(&self) -> usize {
+        self.per_shard.len()
+    }
+}
+
+/// Provisions a sharded host from a placement decision: every replica is
+/// instantiated through the orchestrator's registry and handed to
+/// `ThreadedHost::start_sharded` as that shard's NF set
+/// (`config.num_shards` is overridden by the placement's shard count).
+///
+/// Returns an error naming the first service the registry cannot
+/// instantiate; no host is started in that case.
+pub fn deploy_sharded(
+    orchestrator: &mut NfvOrchestrator,
+    placement: &ShardPlacement,
+    table: SharedFlowTable,
+    mut config: ThreadedHostConfig,
+) -> Result<ThreadedHost, String> {
+    let mut per_shard_nfs: Vec<ShardNfSet> = Vec::new();
+    for (shard, specs) in placement.per_shard.iter().enumerate() {
+        let mut nfs: ShardNfSet = Vec::new();
+        for (service, name, replicas) in specs {
+            for _ in 0..*replicas {
+                match orchestrator.launch(shard, name, 0) {
+                    Some(ticket) => nfs.push((*service, ticket.nf)),
+                    None => {
+                        return Err(format!(
+                            "no NF registered under {name:?} for service {service} on shard {shard}"
+                        ))
+                    }
+                }
+            }
+        }
+        per_shard_nfs.push(nfs);
+    }
+    config.num_shards = placement.num_shards();
+    // Index by the shard the runtime asks for rather than by call order, so
+    // the mapping cannot skew if `start_sharded` ever changes its calling
+    // pattern.
+    let mut prepared: Vec<Option<ShardNfSet>> = per_shard_nfs.into_iter().map(Some).collect();
+    Ok(ThreadedHost::start_sharded(
+        table,
+        move |shard| {
+            prepared[shard]
+                .take()
+                .expect("each shard's NF set is requested once")
+        },
+        config,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_nf::nfs::NoOpNf;
+    use sdnfv_nf::NfRegistry;
+    use sdnfv_telemetry::NfTelemetry;
+
+    fn svc(id: u32) -> ServiceId {
+        ServiceId::new(id)
+    }
+
+    fn registry() -> NfRegistry {
+        let mut registry = NfRegistry::new();
+        registry.register("noop", NoOpNf::new);
+        registry
+    }
+
+    fn manager(policy: ElasticPolicy) -> ElasticNfManager {
+        let mut manager = ElasticNfManager::new(NfvOrchestrator::new(registry(), 0), policy);
+        manager
+            .register_service(svc(1), "noop")
+            .expect("noop is in the registry");
+        manager
+    }
+
+    fn snapshot(shard: usize, seq: u64, fills: &[(u32, usize, usize, bool)]) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            shard,
+            seq,
+            at_ns: seq * 1_000,
+            ingress_depth: 0,
+            ingress_capacity: 1024,
+            egress_depth: 0,
+            egress_capacity: 1024,
+            credits_in_flight: 0,
+            credit_capacity: 256,
+            nfs: fills
+                .iter()
+                .enumerate()
+                .map(|(slot, (service, depth, capacity, draining))| NfTelemetry {
+                    service: svc(*service),
+                    slot,
+                    input_depth: *depth,
+                    input_capacity: *capacity,
+                    service_time_ewma_ns: 0,
+                    processed: 0,
+                    draining: *draining,
+                })
+                .collect(),
+            received: 0,
+            transmitted: 0,
+            dropped: 0,
+            controller_punts: 0,
+            throttled: 0,
+            applied_commands: 0,
+        }
+    }
+
+    #[test]
+    fn full_queue_triggers_one_scale_up_until_cooldown() {
+        let mut m = manager(ElasticPolicy {
+            cooldown_ns: 1_000,
+            ..ElasticPolicy::default()
+        });
+        m.absorb(vec![snapshot(0, 1, &[(1, 90, 100, false)])]);
+        let actions = m.plan(10);
+        assert_eq!(
+            actions,
+            vec![ControlAction::ScaleUp {
+                shard: 0,
+                service: svc(1)
+            }]
+        );
+        // Same pressure inside the cooldown: no duplicate action.
+        m.absorb(vec![snapshot(0, 2, &[(1, 95, 100, false)])]);
+        assert!(m.plan(500).is_empty());
+        // After the cooldown the alarm may fire again.
+        m.absorb(vec![snapshot(0, 3, &[(1, 95, 100, false)])]);
+        assert_eq!(m.plan(2_000).len(), 1);
+    }
+
+    #[test]
+    fn unregistered_services_are_never_scaled() {
+        let mut m = manager(ElasticPolicy::default());
+        m.absorb(vec![snapshot(0, 1, &[(9, 100, 100, false)])]);
+        assert!(m.plan(10).is_empty());
+    }
+
+    #[test]
+    fn quiet_shard_scales_down_but_never_below_minimum() {
+        let mut m = manager(ElasticPolicy {
+            cooldown_ns: 0,
+            ..ElasticPolicy::default()
+        });
+        // Two quiet replicas: one is retired.
+        m.absorb(vec![snapshot(
+            0,
+            1,
+            &[(1, 0, 100, false), (1, 1, 100, false)],
+        )]);
+        assert_eq!(
+            m.plan(10),
+            vec![ControlAction::ScaleDown {
+                shard: 0,
+                service: svc(1)
+            }]
+        );
+        // One replica left: the minimum holds.
+        m.absorb(vec![snapshot(0, 2, &[(1, 0, 100, false)])]);
+        assert!(m.plan(20).is_empty());
+    }
+
+    #[test]
+    fn draining_replicas_do_not_count_toward_scaling() {
+        let mut m = manager(ElasticPolicy {
+            cooldown_ns: 0,
+            ..ElasticPolicy::default()
+        });
+        // One live replica + one draining: not eligible for another
+        // scale-down even though two slots report.
+        m.absorb(vec![snapshot(
+            0,
+            1,
+            &[(1, 0, 100, false), (1, 50, 100, true)],
+        )]);
+        assert!(m.plan(10).is_empty());
+    }
+
+    #[test]
+    fn saturated_replica_cap_is_respected() {
+        let mut m = manager(ElasticPolicy {
+            max_replicas: 2,
+            cooldown_ns: 0,
+            ..ElasticPolicy::default()
+        });
+        m.absorb(vec![snapshot(
+            0,
+            1,
+            &[(1, 90, 100, false), (1, 95, 100, false)],
+        )]);
+        assert!(m.plan(10).is_empty(), "already at max replicas");
+    }
+
+    #[test]
+    fn credit_management_doubles_and_halves_within_bounds() {
+        let mut m = manager(ElasticPolicy {
+            manage_credits: true,
+            cooldown_ns: 0,
+            min_credits: 64,
+            max_credits: 1024,
+            ..ElasticPolicy::default()
+        });
+        let mut high = snapshot(0, 1, &[]);
+        high.credits_in_flight = 250;
+        high.credit_capacity = 256;
+        m.absorb(vec![high]);
+        assert_eq!(
+            m.plan(10),
+            vec![ControlAction::ResizeCredits {
+                shard: 0,
+                credits: 512
+            }]
+        );
+        let mut low = snapshot(0, 2, &[]);
+        low.credits_in_flight = 0;
+        low.credit_capacity = 512;
+        m.absorb(vec![low]);
+        assert_eq!(
+            m.plan(20),
+            vec![ControlAction::ResizeCredits {
+                shard: 0,
+                credits: 256
+            }]
+        );
+    }
+
+    #[test]
+    fn clamped_credit_grow_is_not_re_emitted() {
+        let mut m = manager(ElasticPolicy {
+            manage_credits: true,
+            cooldown_ns: 0,
+            min_credits: 64,
+            max_credits: 4096,
+            ..ElasticPolicy::default()
+        });
+        let mut high = snapshot(0, 1, &[]);
+        high.credits_in_flight = 250;
+        high.credit_capacity = 256;
+        m.absorb(vec![high.clone()]);
+        assert_eq!(
+            m.plan(10),
+            vec![ControlAction::ResizeCredits {
+                shard: 0,
+                credits: 512
+            }]
+        );
+        // The runtime clamped the grow: capacity is still 256. The plan
+        // must not keep re-emitting an ineffective grow forever.
+        high.seq = 2;
+        m.absorb(vec![high]);
+        assert!(m.plan(20).is_empty(), "clamped grow is not re-emitted");
+        // A shrink is still allowed once the pressure is gone.
+        let mut low = snapshot(0, 3, &[]);
+        low.credits_in_flight = 0;
+        low.credit_capacity = 256;
+        m.absorb(vec![low]);
+        assert_eq!(
+            m.plan(30),
+            vec![ControlAction::ResizeCredits {
+                shard: 0,
+                credits: 128
+            }]
+        );
+    }
+
+    #[test]
+    fn rebalance_needs_every_shard_and_observes_cooldown() {
+        let mut m = manager(ElasticPolicy {
+            rebalance_ratio: Some(4.0),
+            cooldown_ns: 1_000,
+            ..ElasticPolicy::default()
+        });
+        // Shards 0 and 2 report, shard 1 does not: a 2-entry weight vector
+        // would be rejected by a 3-shard host, so nothing is emitted.
+        let mut busy = snapshot(0, 1, &[]);
+        busy.ingress_depth = 900;
+        m.absorb(vec![busy.clone(), snapshot(2, 1, &[])]);
+        assert!(m.plan(10).is_empty(), "incomplete shard view: no rebalance");
+        // All shards report: one rebalance fires, then the cooldown holds.
+        m.absorb(vec![snapshot(1, 1, &[])]);
+        let actions = m.plan(20);
+        assert!(
+            matches!(
+                actions.as_slice(),
+                [ControlAction::SetSteeringWeights { weights }] if weights.len() == 3
+            ),
+            "expected a 3-shard rebalance, got {actions:?}"
+        );
+        busy.seq = 2;
+        m.absorb(vec![busy]);
+        assert!(m.plan(500).is_empty(), "cooldown suppresses re-emission");
+        assert_eq!(m.plan(2_000).len(), 1, "cooldown expires");
+    }
+
+    #[test]
+    fn imbalance_triggers_rebalance_weights() {
+        let mut m = manager(ElasticPolicy {
+            rebalance_ratio: Some(4.0),
+            ..ElasticPolicy::default()
+        });
+        let mut busy = snapshot(0, 1, &[(1, 0, 100, false)]);
+        busy.ingress_depth = 900;
+        let idle = snapshot(1, 1, &[(1, 0, 100, false)]);
+        m.absorb(vec![busy, idle]);
+        let actions = m.plan(10);
+        let Some(ControlAction::SetSteeringWeights { weights }) = actions.last() else {
+            panic!("expected a rebalance, got {actions:?}");
+        };
+        assert_eq!(weights.len(), 2);
+        assert!(weights[1] > weights[0], "idle shard gets more new buckets");
+        // The deficit-over-mean formula bounds the skew: the busy shard
+        // still receives a meaningful share of new buckets.
+        assert!(weights[1] < weights[0] * 4, "bounded skew, got {weights:?}");
+    }
+
+    #[test]
+    fn rebalance_resets_to_uniform_when_balance_returns() {
+        let mut m = manager(ElasticPolicy {
+            rebalance_ratio: Some(4.0),
+            cooldown_ns: 0,
+            ..ElasticPolicy::default()
+        });
+        let mut busy = snapshot(0, 1, &[]);
+        busy.ingress_depth = 900;
+        m.absorb(vec![busy, snapshot(1, 1, &[])]);
+        assert!(
+            matches!(
+                m.plan(10).as_slice(),
+                [ControlAction::SetSteeringWeights { .. }]
+            ),
+            "imbalance skews the table"
+        );
+        // Balance returns: exactly one uniform reset, then silence.
+        m.absorb(vec![snapshot(0, 2, &[]), snapshot(1, 2, &[])]);
+        assert_eq!(
+            m.plan(20),
+            vec![ControlAction::SetSteeringWeights {
+                weights: vec![1, 1]
+            }]
+        );
+        m.absorb(vec![snapshot(0, 3, &[]), snapshot(1, 3, &[])]);
+        assert!(m.plan(30).is_empty(), "reset is emitted once");
+    }
+
+    #[test]
+    fn uniform_placement_shape() {
+        let placement = ShardPlacement::uniform(&[(svc(1), "noop")], 3, 2);
+        assert_eq!(placement.num_shards(), 3);
+        for shard in &placement.per_shard {
+            assert_eq!(shard.len(), 1);
+            assert_eq!(shard[0].2, 2);
+        }
+    }
+
+    #[test]
+    fn deploy_rejects_unknown_services() {
+        let mut orchestrator = NfvOrchestrator::new(registry(), 0);
+        let placement = ShardPlacement::uniform(&[(svc(1), "missing")], 2, 1);
+        let err = deploy_sharded(
+            &mut orchestrator,
+            &placement,
+            SharedFlowTable::new(),
+            ThreadedHostConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("missing"));
+    }
+}

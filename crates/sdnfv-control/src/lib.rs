@@ -14,17 +14,27 @@
 //!   hierarchy: it owns the service graphs and policies, derives flow rules
 //!   for hosts, validates cross-layer messages coming up from NF Managers,
 //!   and reacts to application-level triggers (such as a DDoS alarm) by
-//!   launching new NFs and rewiring flows.
+//!   launching new NFs and rewiring flows;
+//! * the [`ElasticNfManager`](elastic::ElasticNfManager) — the paper's
+//!   *local* fast control loop (§3.5): it consumes the data plane's
+//!   telemetry stream and scales NF replicas, credit budgets and steering
+//!   weights on a running host, launching new replicas through the
+//!   orchestrator. [`deploy_sharded`](elastic::deploy_sharded) is its
+//!   provisioning counterpart, turning a
+//!   [`ShardPlacement`](elastic::ShardPlacement) into a running sharded
+//!   host.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod application;
 pub mod controller;
+pub mod elastic;
 pub mod orchestrator;
 
 pub use application::{AppAction, SdnfvApplication};
 pub use controller::{ControllerStats, SdnController};
+pub use elastic::{deploy_sharded, ElasticNfManager, ElasticPolicy, ShardPlacement};
 pub use orchestrator::{LaunchTicket, NfvOrchestrator};
 
 /// Identifier of an NF host (an NF Manager instance) in the network.

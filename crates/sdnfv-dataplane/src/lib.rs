@@ -33,6 +33,7 @@ pub mod loadbalance;
 pub mod manager;
 pub mod messages;
 pub mod runtime;
+pub mod scratch;
 pub mod stats;
 
 pub use cache::LookupCache;
@@ -42,6 +43,6 @@ pub use manager::{NfManager, NfManagerConfig, PacketOutcome};
 pub use messages::{apply_nf_message, AppliedChange, NfManagerMessage};
 pub use runtime::{
     shard_for_flow, BurstInjection, HostOutput, InjectResult, OverflowPolicy, ThreadedHost,
-    ThreadedHostConfig,
+    ThreadedHostConfig, STEER_BUCKETS,
 };
 pub use stats::{HostStats, HostStatsSnapshot, ShardStats};

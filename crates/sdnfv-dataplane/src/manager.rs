@@ -411,11 +411,13 @@ impl NfManager {
             plans.push(plan);
         }
 
-        // Phase B: finish terminal packets, run parallel rules, and bucket
-        // the rest by target service.
+        // Phase B: finish terminal packets, and bucket the rest — packets
+        // bound for one service together, packets governed by the same
+        // parallel rule together.
         let mut buckets: Vec<(ServiceId, Vec<InFlight>)> = Vec::new();
+        let mut parallel_buckets: Vec<(Decision, Vec<InFlight>)> = Vec::new();
         let mut survivors: Vec<InFlight> = Vec::with_capacity(active.len());
-        for (mut flight, plan) in active.drain(..).zip(plans) {
+        for (flight, plan) in active.drain(..).zip(plans) {
             match plan {
                 Plan::Drop => {
                     self.stats.add_dropped(1);
@@ -435,18 +437,12 @@ impl NfManager {
                     });
                 }
                 Plan::Parallel(decision) => {
-                    let mut step = flight.step;
-                    let key = flight.key;
-                    match self.run_parallel(&decision, &mut flight.packet, &key, now_ns, &mut step)
+                    match parallel_buckets
+                        .iter_mut()
+                        .find(|(d, _)| d.rule_id == decision.rule_id)
                     {
-                        ParallelOutcome::Continue(forced) => {
-                            flight.step = step;
-                            flight.forced = forced;
-                            survivors.push(flight);
-                        }
-                        ParallelOutcome::Finished(outcome) => {
-                            outcomes[flight.slot] = Some(outcome);
-                        }
+                        Some((_, members)) => members.push(flight),
+                        None => parallel_buckets.push((decision, vec![flight])),
                     }
                 }
                 Plan::Invoke(service) => match buckets.iter_mut().find(|(s, _)| *s == service) {
@@ -456,6 +452,13 @@ impl NfManager {
             }
         }
 
+        // Phase B': run each parallel rule's whole group through its
+        // services, one batched NF invocation per instance per service —
+        // the batched twin of the scalar `run_parallel`.
+        for (decision, members) in parallel_buckets {
+            self.run_parallel_batch(&decision, members, now_ns, outcomes, &mut survivors);
+        }
+
         // Phase C: per service, pick an instance per packet (preserving the
         // per-packet load-balancing semantics) and invoke each instance once
         // over its whole group.
@@ -463,6 +466,96 @@ impl NfManager {
             self.invoke_service_batch(service, members, now_ns, outcomes, &mut survivors);
         }
         survivors
+    }
+
+    /// Runs all services of one parallel rule over a whole group of packets
+    /// (the burst twin of [`NfManager::run_parallel`]): for every service
+    /// in the action list the group is invoked in per-instance batches, and
+    /// each packet's verdicts are then conflict-resolved exactly as in the
+    /// scalar path.
+    fn run_parallel_batch(
+        &mut self,
+        decision: &Decision,
+        mut members: Vec<InFlight>,
+        now_ns: u64,
+        outcomes: &mut [Option<PacketOutcome>],
+        survivors: &mut Vec<InFlight>,
+    ) {
+        self.stats.add_parallel_dispatches(members.len() as u64);
+        let mut verdicts_per_packet: Vec<Vec<Verdict>> = members
+            .iter()
+            .map(|_| Vec::with_capacity(decision.actions.len()))
+            .collect();
+        let mut last_service = None;
+        for action in &decision.actions {
+            match action {
+                Action::ToService(service) => {
+                    last_service = Some(*service);
+                    self.invoke_parallel_service_batch(
+                        *service,
+                        &mut members,
+                        now_ns,
+                        &mut verdicts_per_packet,
+                    );
+                }
+                // Parallel lists only ever contain services (the compiler
+                // guarantees it); anything else is treated as default.
+                _ => {
+                    for verdicts in &mut verdicts_per_packet {
+                        verdicts.push(Verdict::Default);
+                    }
+                }
+            }
+        }
+        let Some(last) = last_service else {
+            for flight in members {
+                self.stats.add_dropped(1);
+                outcomes[flight.slot] = Some(PacketOutcome::Dropped);
+            }
+            return;
+        };
+        let step = RulePort::Service(last);
+        for (mut flight, verdicts) in members.into_iter().zip(verdicts_per_packet) {
+            flight.step = step;
+            match resolve_parallel_verdicts(&verdicts) {
+                Verdict::Default => {
+                    flight.forced = None;
+                    survivors.push(flight);
+                }
+                Verdict::Discard => {
+                    self.stats.add_dropped(1);
+                    outcomes[flight.slot] = Some(PacketOutcome::Dropped);
+                }
+                other => {
+                    let requested = other.as_action().expect("non-default verdict");
+                    flight.forced = Some(self.validate_requested(step, &flight.key, requested));
+                    survivors.push(flight);
+                }
+            }
+        }
+    }
+
+    /// Invokes `service` over a parallel group, batched per chosen
+    /// instance, appending each packet's verdict to its per-packet verdict
+    /// list. Packets keep flowing even if no instance is attached (the
+    /// scalar path records a default verdict in that case).
+    fn invoke_parallel_service_batch(
+        &mut self,
+        service: ServiceId,
+        members: &mut [InFlight],
+        now_ns: u64,
+        verdicts_per_packet: &mut [Vec<Verdict>],
+    ) {
+        if !self.invoke_grouped(
+            service,
+            members,
+            now_ns,
+            GroupedVerdictSink::Collect(verdicts_per_packet),
+        ) {
+            for verdicts in verdicts_per_packet.iter_mut() {
+                verdicts.push(Verdict::Default);
+            }
+        }
     }
 
     /// Invokes `service` over `members`, batched per chosen instance, and
@@ -475,8 +568,7 @@ impl NfManager {
         outcomes: &mut [Option<PacketOutcome>],
         survivors: &mut Vec<InFlight>,
     ) {
-        let instance_count = self.instances.get(&service).map(|v| v.len()).unwrap_or(0);
-        if instance_count == 0 {
+        if !self.invoke_grouped(service, &mut members, now_ns, GroupedVerdictSink::Forward) {
             // No instance of the service is attached: the packets cannot
             // make progress.
             for flight in members {
@@ -485,9 +577,31 @@ impl NfManager {
             }
             return;
         }
+        survivors.append(&mut members);
+    }
 
-        // Pick an instance per packet, exactly as the scalar path does, so
-        // round-robin / flow-hash balancing observes every packet.
+    /// The shared mechanics of one service round over a grouped burst:
+    /// pick an instance per packet (exactly as the scalar path does, so
+    /// round-robin / flow-hash balancing observes every packet), invoke
+    /// each instance once over its whole group, apply that batch's
+    /// cross-layer messages, and hand the group's verdicts to `sink` —
+    /// all before the next instance runs, so verdict validation (the
+    /// [`GroupedVerdictSink::Forward`] sink) sees exactly the messages of
+    /// the batch that produced the verdict.
+    ///
+    /// Returns `false` (doing nothing) if no instance of `service` is
+    /// attached; the callers' recovery paths differ.
+    fn invoke_grouped(
+        &mut self,
+        service: ServiceId,
+        members: &mut [InFlight],
+        now_ns: u64,
+        mut sink: GroupedVerdictSink<'_>,
+    ) -> bool {
+        let instance_count = self.instances.get(&service).map(|v| v.len()).unwrap_or(0);
+        if instance_count == 0 {
+            return false;
+        }
         let queue_lengths: Vec<usize> = self.instances[&service]
             .iter()
             .map(|i| i.queue_len)
@@ -543,21 +657,30 @@ impl NfManager {
             // next round's table lookups.
             self.handle_messages(service, &mut ctx);
 
-            let step = RulePort::Service(service);
-            for (verdict, member_index) in verdicts.as_slice().iter().zip(group) {
-                let flight = &mut members[member_index];
-                flight.step = step;
-                flight.forced = match verdict {
-                    Verdict::Default => None,
-                    Verdict::Discard => Some(Action::Drop),
-                    other => {
-                        let requested = other.as_action().expect("non-default verdict");
-                        Some(self.validate_requested(step, &flight.key, requested))
+            match &mut sink {
+                GroupedVerdictSink::Forward => {
+                    let step = RulePort::Service(service);
+                    for (verdict, member_index) in verdicts.as_slice().iter().zip(group) {
+                        let flight = &mut members[member_index];
+                        flight.step = step;
+                        flight.forced = match verdict {
+                            Verdict::Default => None,
+                            Verdict::Discard => Some(Action::Drop),
+                            other => {
+                                let requested = other.as_action().expect("non-default verdict");
+                                Some(self.validate_requested(step, &flight.key, requested))
+                            }
+                        };
                     }
-                };
+                }
+                GroupedVerdictSink::Collect(verdicts_per_packet) => {
+                    for (verdict, member_index) in verdicts.as_slice().iter().zip(group) {
+                        verdicts_per_packet[member_index].push(*verdict);
+                    }
+                }
             }
         }
-        survivors.append(&mut members);
+        true
     }
 
     /// Looks up the decision for `(step, key)`, consulting the cache first.
@@ -674,6 +797,17 @@ enum ParallelOutcome {
     /// next lookup's default.
     Continue(Option<Action>),
     Finished(PacketOutcome),
+}
+
+/// Where [`NfManager::invoke_grouped`] delivers each instance batch's
+/// verdicts, immediately after that batch's cross-layer messages apply.
+enum GroupedVerdictSink<'a> {
+    /// Sequential chain: set each member's next step and validated forced
+    /// action in place.
+    Forward,
+    /// Parallel rule: append each member's verdict to its per-packet list
+    /// for later conflict resolution.
+    Collect(&'a mut [Vec<Verdict>]),
 }
 
 /// Per-packet state while a burst walks the service chains in lock-step.
@@ -974,6 +1108,100 @@ mod tests {
             batched.stats().snapshot().transmitted,
             scalar.stats().snapshot().transmitted
         );
+    }
+
+    #[test]
+    fn parallel_burst_matches_scalar_and_batches_dispatch() {
+        // A parallel-heavy graph: the firewall and the worker run as one
+        // parallel segment. The batched fan-out must produce the same
+        // outcomes and counters as the scalar walk — including conflict
+        // resolution when the firewall discards — while invoking each NF in
+        // batches rather than per packet.
+        let build = || {
+            let (graph, ids) = catalog::chain(&[("fw", true), ("w", true)]);
+            let mut manager = NfManager::default();
+            manager.install_graph(
+                &graph,
+                &CompileOptions {
+                    enable_parallel: true,
+                    ..CompileOptions::default()
+                },
+            );
+            manager.add_nf(
+                ids[0],
+                Box::new(FirewallNf::allow_by_default().with_rule(
+                    sdnfv_nf::nfs::FirewallRule::deny(FlowMatch::any().with_src_port(666)),
+                )),
+            );
+            manager.add_nf(ids[1], Box::new(NoOpNf::new()));
+            manager
+        };
+        let packets = || -> Vec<Packet> {
+            vec![
+                udp_packet(1),
+                udp_packet(666), // discarded by the parallel firewall
+                udp_packet(2),
+                udp_packet(1), // repeated flow: exercises the burst memo
+                udp_packet(666),
+                udp_packet(3),
+            ]
+        };
+
+        let mut scalar = build();
+        let scalar_outcomes: Vec<PacketOutcome> = packets()
+            .into_iter()
+            .map(|p| scalar.process_packet(p, 7))
+            .collect();
+
+        let mut batched = build();
+        let burst_outcomes = batched.process_burst(packets(), 7);
+
+        assert_eq!(burst_outcomes, scalar_outcomes);
+        let scalar_snap = scalar.stats().snapshot();
+        let batched_snap = batched.stats().snapshot();
+        assert_eq!(batched_snap.parallel_dispatches, 6);
+        assert_eq!(
+            batched_snap.parallel_dispatches,
+            scalar_snap.parallel_dispatches
+        );
+        assert_eq!(batched_snap.nf_invocations, scalar_snap.nf_invocations);
+        assert_eq!(batched_snap.dropped, scalar_snap.dropped);
+        assert_eq!(batched_snap.transmitted, scalar_snap.transmitted);
+    }
+
+    #[test]
+    fn parallel_burst_load_balances_across_replicas() {
+        // Two replicas of each parallel service: the batched fan-out must
+        // still pick an instance per packet.
+        let (graph, ids) = catalog::chain(&[("a", true), ("b", true)]);
+        let mut manager = NfManager::new(NfManagerConfig {
+            load_balance: LoadBalancePolicy::RoundRobin,
+            ..NfManagerConfig::default()
+        });
+        manager.install_graph(
+            &graph,
+            &CompileOptions {
+                enable_parallel: true,
+                ..CompileOptions::default()
+            },
+        );
+        for id in &ids {
+            manager.add_nf(*id, Box::new(NoOpNf::new()));
+            manager.add_nf(*id, Box::new(NoOpNf::new()));
+        }
+        let burst: Vec<Packet> = (0..8).map(udp_packet).collect();
+        let outcomes = manager.process_burst(burst, 0);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, PacketOutcome::Transmitted { .. })));
+        for id in &ids {
+            let per_instance: Vec<u64> = manager.instances[id]
+                .iter()
+                .map(|i| i.invocations)
+                .collect();
+            assert_eq!(per_instance, vec![4, 4], "round robin inside the burst");
+        }
+        assert_eq!(manager.stats().snapshot().parallel_dispatches, 8);
     }
 
     #[test]

@@ -53,17 +53,39 @@
 //! Packets are never copied between threads — descriptors reference the same
 //! [`SharedPacket`] buffer — except once at egress when the frame leaves the
 //! host.
+//!
+//! **Per-shard flow tables**: the table handed to `start_sharded` is the
+//! *template*; each shard works against its own
+//! [`FlowTablePartitions`] partition (a fork of the template), so shard
+//! lookups and NF cross-layer messages never contend on a lock another
+//! shard touches. Control-plane rules installed mid-run go through
+//! [`ThreadedHost::install_rule`], which broadcasts to every partition.
+//!
+//! **Telemetry and elastic control** (paper §3.5): every shard's worker
+//! periodically publishes a [`TelemetrySnapshot`] — queue-depth gauges for
+//! all its rings, credit occupancy, per-NF service-time EWMAs and the
+//! shard's cumulative counters — over a lock-free SPSC ring drained by
+//! [`ThreadedHost::poll_telemetry`]. In the other direction each shard has
+//! a **control ring** of commands the worker applies between bursts, with
+//! no stop-the-world: [`ThreadedHost::add_nf_replica`] spawns one more NF
+//! thread for a service, [`ThreadedHost::remove_nf_replica`] retires one
+//! (the replica drains its queue before its thread exits, so no packet is
+//! lost), and [`ThreadedHost::resize_credits`] re-budgets the shard's
+//! credit gate. [`ThreadedHost::set_steering_weights`] rebalances the
+//! flow-hash → shard bucket table on the injection side.
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use sdnfv_flowtable::{Action, Decision, RulePort, ServiceId, SharedFlowTable};
+use sdnfv_flowtable::{
+    Action, Decision, FlowRule, FlowTablePartitions, RuleId, RulePort, ServiceId, SharedFlowTable,
+};
 use sdnfv_nf::{
     BurstMemo, NetworkFunction, NfContext, PacketBatch, PacketBatchMut, Verdict, VerdictSlice,
 };
@@ -71,10 +93,12 @@ use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
 use sdnfv_ring::{spsc_ring, Consumer, CreditGate, Producer, PushError, SharedPacket};
+use sdnfv_telemetry::{Ewma, NfTelemetry, TelemetrySnapshot};
 
 use crate::cache::LookupCache;
 use crate::conflict::resolve_parallel_verdicts;
 use crate::messages::apply_nf_message;
+use crate::scratch::recycle;
 use crate::stats::{HostStats, ShardStats};
 
 /// What the host does when an ingress packet cannot be admitted.
@@ -120,6 +144,12 @@ pub struct ThreadedHostConfig {
     pub enable_lookup_cache: bool,
     /// Whether NFs are trusted when applying `ChangeDefault` messages.
     pub trusted_nfs: bool,
+    /// How often each shard's worker publishes a [`TelemetrySnapshot`]
+    /// (nanoseconds). `0` disables the exporter.
+    pub telemetry_interval_ns: u64,
+    /// Capacity of each shard's control-command ring (commands the worker
+    /// applies between bursts).
+    pub control_ring_capacity: usize,
 }
 
 impl Default for ThreadedHostConfig {
@@ -134,6 +164,8 @@ impl Default for ThreadedHostConfig {
             overflow_policy: OverflowPolicy::Backpressure,
             enable_lookup_cache: true,
             trusted_nfs: false,
+            telemetry_interval_ns: 1_000_000,
+            control_ring_capacity: 16,
         }
     }
 }
@@ -141,13 +173,42 @@ impl Default for ThreadedHostConfig {
 /// A packet that left the host: the egress port and the frame.
 pub type HostOutput = (Port, Packet);
 
-/// The shard a flow is steered to: its stable 5-tuple hash modulo the shard
-/// count. Exposed so tests and benches can predict (and assert) steering.
+/// Number of hash buckets in the flow-steering table: a flow's stable
+/// 5-tuple hash picks a bucket, the bucket maps to a shard. Rebalancing
+/// ([`ThreadedHost::set_steering_weights`]) remaps buckets, so only the
+/// flows of moved buckets change shard.
+pub const STEER_BUCKETS: usize = 1024;
+
+/// The shard a flow is steered to **by the default (uniform) bucket
+/// table**: its stable 5-tuple hash picks one of [`STEER_BUCKETS`] buckets,
+/// and bucket `b` maps to shard `b % num_shards`. Exposed so tests and
+/// benches can predict (and assert) steering of hosts that have not been
+/// rebalanced.
 pub fn shard_for_flow(key: &FlowKey, num_shards: usize) -> usize {
     if num_shards <= 1 {
         return 0;
     }
-    (key.stable_hash() % num_shards as u64) as usize
+    if num_shards >= STEER_BUCKETS {
+        return (key.stable_hash() % num_shards as u64) as usize;
+    }
+    (key.stable_hash() % STEER_BUCKETS as u64) as usize % num_shards
+}
+
+/// A command a shard's worker applies between bursts (the runtime half of a
+/// [`ControlAction`](sdnfv_telemetry::ControlAction)).
+enum ShardCommand {
+    /// Spawn one more replica (NF thread) of `service` on this shard.
+    AddNf {
+        service: ServiceId,
+        nf: Box<dyn NetworkFunction>,
+    },
+    /// Retire one replica of `service`: stop steering packets to it, let it
+    /// drain its queue, then join its thread. The last replica of a service
+    /// is never retired.
+    RemoveNf { service: ServiceId },
+    /// Re-budget the shard's credit gate (clamped to the internal ring
+    /// capacities; no-op under [`OverflowPolicy::Drop`]).
+    ResizeCredits { credits: usize },
 }
 
 /// The outcome of injecting one packet (see [`ThreadedHost::inject`]).
@@ -219,13 +280,15 @@ struct ShardPorts {
     ingress: Producer<IngressFrame>,
     egress: Consumer<HostOutput>,
     gate: Option<Arc<CreditGate>>,
+    control: Producer<ShardCommand>,
+    telemetry: Consumer<TelemetrySnapshot>,
 }
 
 /// A handle to a running multi-threaded NF host.
 pub struct ThreadedHost {
     shards: Vec<ShardPorts>,
     stats: HostStats,
-    table: SharedFlowTable,
+    tables: FlowTablePartitions,
     running: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
     epoch: Instant,
@@ -233,6 +296,9 @@ pub struct ThreadedHost {
     credit_capacity: usize,
     /// Round-robin start shard for egress polling, so no shard starves.
     egress_cursor: Cell<usize>,
+    /// Flow-steering bucket table (empty for single-shard hosts and for
+    /// shard counts ≥ [`STEER_BUCKETS`], which fall back to plain modulo).
+    steering: Vec<Cell<usize>>,
 }
 
 impl std::fmt::Debug for ThreadedHost {
@@ -240,7 +306,7 @@ impl std::fmt::Debug for ThreadedHost {
         f.debug_struct("ThreadedHost")
             .field("shards", &self.shards.len())
             .field("threads", &self.handles.len())
-            .field("rules", &self.table.len())
+            .field("rules", &self.tables.template().len())
             .finish()
     }
 }
@@ -303,60 +369,49 @@ impl ThreadedHost {
         let stats = HostStats::with_shards(num_shards);
         let running = Arc::new(AtomicBool::new(true));
         let epoch = Instant::now();
+        let tables = FlowTablePartitions::new(&table, num_shards);
         let mut handles = Vec::new();
         let mut shards = Vec::with_capacity(num_shards);
 
         for shard in 0..num_shards {
-            let nfs = nfs_for_shard(shard);
+            let initial_nfs = nfs_for_shard(shard);
             let shard_stats = stats.shard(shard).clone();
             let gate = matches!(config.overflow_policy, OverflowPolicy::Backpressure)
                 .then(|| Arc::new(CreditGate::new(credit_capacity)));
 
             let (ingress_tx, ingress_rx) = spsc_ring::<IngressFrame>(ingress_capacity);
             let (egress_tx, egress_rx) = spsc_ring::<HostOutput>(egress_capacity);
+            let (control_tx, control_rx) =
+                spsc_ring::<ShardCommand>(config.control_ring_capacity.max(1));
+            let (telemetry_tx, telemetry_rx) = spsc_ring::<TelemetrySnapshot>(16);
 
-            let mut nf_rings = Vec::new();
-            let mut done_rings = Vec::new();
-            let mut service_instances: HashMap<ServiceId, Vec<usize>> = HashMap::new();
-            let mut nf_setup = Vec::new();
-            for (index, (service, nf)) in nfs.into_iter().enumerate() {
-                let (in_p, in_c) = spsc_ring::<WorkItem>(nf_ring_capacity);
-                let (done_p, done_c) = spsc_ring::<DoneItem>(nf_ring_capacity);
-                nf_rings.push(in_p);
-                done_rings.push(done_c);
-                service_instances.entry(service).or_default().push(index);
-                nf_setup.push((service, nf, in_c, done_p));
-            }
-
-            for (service, nf, in_c, done_p) in nf_setup {
-                let running = Arc::clone(&running);
-                let stats = shard_stats.clone();
-                let table = table.clone();
-                let gate = gate.clone();
-                let trusted = config.trusted_nfs;
-                handles.push(std::thread::spawn(move || {
-                    nf_thread_loop(
-                        shard, service, nf, in_c, done_p, running, stats, gate, table, trusted,
-                        epoch, burst_size,
-                    );
-                }));
-            }
-
-            let staging = BurstStaging::new(nf_rings.len(), burst_size);
             let engine = ShardEngine {
-                nf_rings,
-                done_rings,
-                service_instances,
+                shard,
+                initial_nfs,
+                slots: Vec::new(),
+                service_instances: HashMap::new(),
                 egress: egress_tx,
                 gate: gate.clone(),
-                table: table.clone(),
+                table: tables.shard(shard).clone(),
                 stats: shard_stats,
                 running: Arc::clone(&running),
                 enable_cache: config.enable_lookup_cache,
                 burst_size,
+                nf_ring_capacity,
+                credit_clamp: nf_ring_capacity.min(ingress_capacity),
+                trusted: config.trusted_nfs,
+                epoch,
                 cache: LookupCache::new(4096),
                 memo: BurstLookupMemo::default(),
-                staging,
+                staging: BurstStaging::new(0, burst_size),
+                control: control_rx,
+                telemetry: telemetry_tx,
+                telemetry_interval_ns: config.telemetry_interval_ns,
+                last_telemetry: epoch,
+                telemetry_check: 0,
+                telemetry_seq: 0,
+                applied_commands: 0,
+                draining: 0,
             };
             handles.push(std::thread::spawn(move || engine.run(ingress_rx)));
 
@@ -364,19 +419,30 @@ impl ThreadedHost {
                 ingress: ingress_tx,
                 egress: egress_rx,
                 gate,
+                control: control_tx,
+                telemetry: telemetry_rx,
             });
         }
+
+        let steering = if num_shards > 1 && num_shards < STEER_BUCKETS {
+            (0..STEER_BUCKETS)
+                .map(|b| Cell::new(b % num_shards))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         ThreadedHost {
             shards,
             stats,
-            table,
+            tables,
             running,
             handles,
             epoch,
             policy: config.overflow_policy,
             credit_capacity,
             egress_cursor: Cell::new(0),
+            steering,
         }
     }
 
@@ -406,11 +472,35 @@ impl ThreadedHost {
         self.shards[shard].gate.as_ref().map(|g| g.available())
     }
 
+    /// The current credit budget of `shard` (it may differ from
+    /// [`ThreadedHost::credit_capacity`] after a
+    /// [`resize_credits`](ThreadedHost::resize_credits)), or `None` under
+    /// [`OverflowPolicy::Drop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn credit_budget(&self, shard: usize) -> Option<usize> {
+        self.shards[shard].gate.as_ref().map(|g| g.capacity())
+    }
+
+    /// The shard a flow hash steers to under the current bucket table.
+    fn steer_hash(&self, hash: u64) -> usize {
+        let num_shards = self.shards.len();
+        if num_shards <= 1 {
+            return 0;
+        }
+        if self.steering.is_empty() {
+            return (hash % num_shards as u64) as usize;
+        }
+        self.steering[(hash % self.steering.len() as u64) as usize].get()
+    }
+
     /// The shard a packet would be steered to.
     pub fn shard_of(&self, packet: &Packet) -> usize {
         packet
             .flow_key()
-            .map(|key| shard_for_flow(&key, self.shards.len()))
+            .map(|key| self.steer_hash(key.stable_hash()))
             .unwrap_or(0)
     }
 
@@ -422,7 +512,7 @@ impl ThreadedHost {
         let key = packet.flow_key();
         let shard = key
             .as_ref()
-            .map(|k| shard_for_flow(k, self.shards.len()))
+            .map(|k| self.steer_hash(k.stable_hash()))
             .unwrap_or(0);
         let ports = &self.shards[shard];
         if let Some(gate) = &ports.gate {
@@ -479,7 +569,7 @@ impl ThreadedHost {
             let key = packet.flow_key();
             let shard = key
                 .as_ref()
-                .map(|k| shard_for_flow(k, num_shards))
+                .map(|k| self.steer_hash(k.stable_hash()))
                 .unwrap_or(0);
             if let Some(gate) = &self.shards[shard].gate {
                 if !gate.try_acquire(1) {
@@ -579,9 +669,166 @@ impl ThreadedHost {
         &self.stats
     }
 
-    /// The host's shared flow table.
+    /// The host's **template** flow table — the control-plane view. For a
+    /// single-shard host this is the live table; multi-shard hosts serve
+    /// packets from per-shard partitions (see
+    /// [`ThreadedHost::shard_table`]), and mid-run rule installs must go
+    /// through [`ThreadedHost::install_rule`] to reach them.
     pub fn flow_table(&self) -> &SharedFlowTable {
-        &self.table
+        self.tables.template()
+    }
+
+    /// The flow-table partition serving `shard` (on a single-shard host,
+    /// the template itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_table(&self, shard: usize) -> &SharedFlowTable {
+        self.tables.shard(shard)
+    }
+
+    /// Installs a rule at the template layer and broadcasts it to every
+    /// shard partition (the control-plane write path). Returns the rule's
+    /// template id.
+    pub fn install_rule(&self, rule: FlowRule) -> RuleId {
+        self.tables.install(rule)
+    }
+
+    /// Drains every shard's telemetry ring, returning the published
+    /// [`TelemetrySnapshot`]s in shard order (oldest first within a shard).
+    /// Feed them to a
+    /// [`TelemetryHub`](sdnfv_telemetry::TelemetryHub) to keep a merged
+    /// latest-per-shard view.
+    pub fn poll_telemetry(&self) -> Vec<TelemetrySnapshot> {
+        let mut out = Vec::new();
+        for ports in &self.shards {
+            while let Some(snapshot) = ports.telemetry.pop() {
+                out.push(snapshot);
+            }
+        }
+        out
+    }
+
+    /// Asks `shard`'s worker to spawn one more replica of `service` running
+    /// `nf` (applied between bursts; no stop-the-world). If the shard's
+    /// control ring is momentarily full the NF instance is handed back in
+    /// `Err` so the caller can retry without re-instantiating it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn add_nf_replica(
+        &self,
+        shard: usize,
+        service: ServiceId,
+        nf: Box<dyn NetworkFunction>,
+    ) -> Result<(), Box<dyn NetworkFunction>> {
+        self.shards[shard]
+            .control
+            .push(ShardCommand::AddNf { service, nf })
+            .map_err(|PushError(command)| match command {
+                ShardCommand::AddNf { nf, .. } => nf,
+                _ => unreachable!("the rejected command is the one we pushed"),
+            })
+    }
+
+    /// Asks `shard`'s worker to retire one replica of `service`. The
+    /// replica stops receiving new packets immediately, drains its queue,
+    /// and its thread exits — no packet is lost. The worker refuses to
+    /// retire the last replica of a service. Returns `false` if the shard's
+    /// control ring is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn remove_nf_replica(&self, shard: usize, service: ServiceId) -> bool {
+        self.shards[shard]
+            .control
+            .push(ShardCommand::RemoveNf { service })
+            .is_ok()
+    }
+
+    /// Asks `shard`'s worker to re-budget its credit gate to `credits`
+    /// (clamped to the internal ring capacities). Returns `false` under
+    /// [`OverflowPolicy::Drop`] (there is no gate) or if the control ring
+    /// is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn resize_credits(&self, shard: usize, credits: usize) -> bool {
+        if self.shards[shard].gate.is_none() {
+            return false;
+        }
+        self.shards[shard]
+            .control
+            .push(ShardCommand::ResizeCredits { credits })
+            .is_ok()
+    }
+
+    /// Rebalances flow steering: shard `s` is assigned a share of the
+    /// [`STEER_BUCKETS`] hash buckets proportional to `weights[s]`,
+    /// moving as few buckets as possible from the current assignment.
+    /// Flows in moved buckets are re-homed to the new shard (their in-flight
+    /// packets complete on the old one); flows in unmoved buckets keep
+    /// their shard. Returns `false` for single-shard hosts, a weight-count
+    /// mismatch, or an all-zero weight vector.
+    pub fn set_steering_weights(&self, weights: &[u32]) -> bool {
+        let num_shards = self.shards.len();
+        if num_shards <= 1 || weights.len() != num_shards || self.steering.is_empty() {
+            return false;
+        }
+        let total: u64 = weights.iter().map(|w| u64::from(*w)).sum();
+        if total == 0 {
+            return false;
+        }
+        let buckets = self.steering.len();
+        // Largest-remainder apportionment of buckets to shards.
+        let mut target = vec![0usize; num_shards];
+        let mut remainder = vec![0u64; num_shards];
+        let mut assigned = 0usize;
+        for shard in 0..num_shards {
+            let exact = buckets as u64 * u64::from(weights[shard]);
+            target[shard] = (exact / total) as usize;
+            remainder[shard] = exact % total;
+            assigned += target[shard];
+        }
+        let mut order: Vec<usize> = (0..num_shards).collect();
+        order.sort_by(|a, b| remainder[*b].cmp(&remainder[*a]).then(a.cmp(b)));
+        for shard in order.iter().take(buckets - assigned) {
+            target[*shard] += 1;
+        }
+        // Move as few buckets as possible: over-quota shards give up their
+        // highest-index buckets, under-quota shards absorb them in order.
+        let mut current = vec![0usize; num_shards];
+        for cell in &self.steering {
+            current[cell.get()] += 1;
+        }
+        let mut freed: Vec<usize> = Vec::new();
+        for bucket in (0..buckets).rev() {
+            let shard = self.steering[bucket].get();
+            if current[shard] > target[shard] {
+                current[shard] -= 1;
+                freed.push(bucket);
+            }
+        }
+        let mut receiver = 0usize;
+        for bucket in freed {
+            while current[receiver] >= target[receiver] {
+                receiver += 1;
+            }
+            self.steering[bucket].set(receiver);
+            current[receiver] += 1;
+        }
+        true
+    }
+
+    /// The current bucket → shard steering assignment (empty when the host
+    /// steers by plain modulo: single shard, or ≥ [`STEER_BUCKETS`]
+    /// shards).
+    pub fn steering_table(&self) -> Vec<usize> {
+        self.steering.iter().map(Cell::get).collect()
     }
 
     /// Stops all threads and waits for them to exit.
@@ -602,6 +849,41 @@ impl Drop for ThreadedHost {
     }
 }
 
+/// Lock-free measurements one NF thread shares with its shard's worker: the
+/// worker reads them when composing a [`TelemetrySnapshot`].
+#[derive(Debug, Default)]
+struct NfProbe {
+    /// EWMA of per-packet service time, nanoseconds.
+    service_time_ewma_ns: AtomicU64,
+    /// Total packets processed.
+    processed: AtomicU64,
+}
+
+/// Lifecycle of one NF replica slot on a shard. Slot indices are stable for
+/// the worker's whole life; retired slots are reused by later scale-ups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Receiving and processing packets.
+    Active,
+    /// Scale-down in progress: no new packets are staged for the replica;
+    /// its thread exits once the input ring is empty.
+    Draining,
+    /// Thread joined, rings empty; the slot may be reused.
+    Retired,
+}
+
+/// One NF replica on a shard: its rings, its thread, and its telemetry
+/// probe.
+struct NfSlot {
+    service: ServiceId,
+    ring: Producer<WorkItem>,
+    done: Consumer<DoneItem>,
+    probe: Arc<NfProbe>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    state: SlotState,
+}
+
 /// Per-thread staging buffers: descriptors dispatched during a burst are
 /// collected here and flushed to each NF ring (and the egress ring) with a
 /// single batched push at burst end.
@@ -618,11 +900,12 @@ impl BurstStaging {
         }
     }
 
-    /// Returns `true` if `extra` more items can be staged for `ring` without
-    /// exceeding its free space at flush time. Exact for the staging thread:
-    /// it is the ring's only producer and the consumer only drains.
-    fn has_room(&self, nf_rings: &[Producer<WorkItem>], ring: usize, extra: usize) -> bool {
-        nf_rings[ring].len() + self.per_ring[ring].len() + extra <= nf_rings[ring].capacity()
+    /// Returns `true` if `extra` more items can be staged for slot `ring`
+    /// without exceeding its free space at flush time. Exact for the
+    /// staging thread: it is the ring's only producer and the consumer only
+    /// drains.
+    fn has_room(&self, slots: &[NfSlot], ring: usize, extra: usize) -> bool {
+        slots[ring].ring.len() + self.per_ring[ring].len() + extra <= slots[ring].ring.capacity()
     }
 }
 
@@ -658,49 +941,259 @@ impl BurstLookupMemo {
 
 /// One shard's worker: the RX dispatch role and the TX egress role of the
 /// shard's pipeline, run by a single thread so every ring it touches keeps a
-/// single producer and a single consumer.
+/// single producer and a single consumer. The worker also owns the shard's
+/// NF replica set — it spawns the NF threads (initially and on scale-up),
+/// retires them on scale-down, and is the single consumer of the shard's
+/// control ring and the single producer of its telemetry ring.
 struct ShardEngine {
-    nf_rings: Vec<Producer<WorkItem>>,
-    done_rings: Vec<Consumer<DoneItem>>,
+    shard: usize,
+    /// The replica set `start_sharded` was configured with; spawned at the
+    /// top of [`ShardEngine::run`].
+    initial_nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)>,
+    slots: Vec<NfSlot>,
     service_instances: HashMap<ServiceId, Vec<usize>>,
     egress: Producer<HostOutput>,
     gate: Option<Arc<CreditGate>>,
+    /// This shard's flow-table partition.
     table: SharedFlowTable,
     stats: ShardStats,
     running: Arc<AtomicBool>,
     enable_cache: bool,
     burst_size: usize,
+    nf_ring_capacity: usize,
+    /// Upper bound for credit resizes: the smallest internal ring capacity.
+    credit_clamp: usize,
+    trusted: bool,
+    epoch: Instant,
     cache: LookupCache,
     memo: BurstLookupMemo,
     staging: BurstStaging,
+    control: Consumer<ShardCommand>,
+    telemetry: Producer<TelemetrySnapshot>,
+    telemetry_interval_ns: u64,
+    last_telemetry: Instant,
+    /// Loop-iteration countdown between wall-clock checks, so the idle spin
+    /// path does not read the clock every iteration.
+    telemetry_check: u32,
+    telemetry_seq: u64,
+    applied_commands: u64,
+    /// Number of slots currently in [`SlotState::Draining`].
+    draining: usize,
 }
 
 impl ShardEngine {
     fn run(mut self, ingress: Consumer<IngressFrame>) {
+        for (service, nf) in std::mem::take(&mut self.initial_nfs) {
+            self.spawn_nf(service, nf);
+        }
         let mut rx_burst: Vec<IngressFrame> = Vec::with_capacity(self.burst_size);
         let mut done_burst: Vec<DoneItem> = Vec::with_capacity(self.burst_size);
         let mut idle: u32 = 0;
         while self.running.load(Ordering::Acquire) {
             let mut did_work = false;
+            while let Some(command) = self.control.pop() {
+                did_work = true;
+                self.apply_command(command);
+            }
             rx_burst.clear();
             if ingress.pop_n(&mut rx_burst, self.burst_size) > 0 {
                 did_work = true;
                 self.rx_round(&mut rx_burst);
             }
-            for nf_index in 0..self.done_rings.len() {
+            for nf_index in 0..self.slots.len() {
+                if self.slots[nf_index].state == SlotState::Retired {
+                    continue;
+                }
                 done_burst.clear();
-                if self.done_rings[nf_index].pop_n(&mut done_burst, self.burst_size) == 0 {
+                if self.slots[nf_index]
+                    .done
+                    .pop_n(&mut done_burst, self.burst_size)
+                    == 0
+                {
                     continue;
                 }
                 did_work = true;
                 self.tx_round(&mut done_burst);
             }
+            if self.draining > 0 {
+                self.retire_drained();
+            }
+            self.maybe_publish_telemetry(&ingress);
             if did_work {
                 idle = 0;
             } else {
                 idle_backoff(&mut idle);
             }
         }
+        // Shutdown: the global `running` flag stops the NF threads too;
+        // collect them so no thread outlives the host.
+        for slot in &mut self.slots {
+            if let Some(handle) = slot.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Spawns one NF replica thread and registers its slot (reusing a
+    /// retired slot if one exists).
+    fn spawn_nf(&mut self, service: ServiceId, nf: Box<dyn NetworkFunction>) {
+        let (ring, input) = spsc_ring::<WorkItem>(self.nf_ring_capacity);
+        let (done_tx, done) = spsc_ring::<DoneItem>(self.nf_ring_capacity);
+        let probe = Arc::new(NfProbe::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = NfThread {
+            shard: self.shard,
+            service,
+            nf,
+            input,
+            done: done_tx,
+            running: Arc::clone(&self.running),
+            stop: Arc::clone(&stop),
+            stats: self.stats.clone(),
+            gate: self.gate.clone(),
+            table: self.table.clone(),
+            probe: Arc::clone(&probe),
+            measure: self.telemetry_interval_ns != 0,
+            trusted: self.trusted,
+            epoch: self.epoch,
+            burst_size: self.burst_size,
+        };
+        let handle = std::thread::spawn(move || nf_thread_loop(thread));
+        let slot = NfSlot {
+            service,
+            ring,
+            done,
+            probe,
+            stop,
+            handle: Some(handle),
+            state: SlotState::Active,
+        };
+        let index = match self
+            .slots
+            .iter()
+            .position(|s| s.state == SlotState::Retired)
+        {
+            Some(index) => {
+                self.slots[index] = slot;
+                index
+            }
+            None => {
+                self.slots.push(slot);
+                self.staging
+                    .per_ring
+                    .push(Vec::with_capacity(self.burst_size));
+                self.slots.len() - 1
+            }
+        };
+        self.service_instances
+            .entry(service)
+            .or_default()
+            .push(index);
+    }
+
+    /// Begins retiring the most recently added replica of `service`:
+    /// removes it from dispatch and tells its thread to exit once its input
+    /// ring is drained. The last replica of a service is never retired.
+    fn begin_remove_nf(&mut self, service: ServiceId) {
+        let Some(instances) = self.service_instances.get_mut(&service) else {
+            return;
+        };
+        if instances.len() <= 1 {
+            return;
+        }
+        let index = instances.pop().expect("length checked");
+        let slot = &mut self.slots[index];
+        slot.state = SlotState::Draining;
+        slot.stop.store(true, Ordering::Release);
+        self.draining += 1;
+    }
+
+    /// Moves fully drained replicas from [`SlotState::Draining`] to
+    /// [`SlotState::Retired`], joining their threads.
+    fn retire_drained(&mut self) {
+        for slot in &mut self.slots {
+            if slot.state != SlotState::Draining {
+                continue;
+            }
+            let finished = slot.handle.as_ref().is_none_or(JoinHandle::is_finished);
+            if finished && slot.done.is_empty() {
+                if let Some(handle) = slot.handle.take() {
+                    let _ = handle.join();
+                }
+                slot.state = SlotState::Retired;
+                self.draining -= 1;
+            }
+        }
+    }
+
+    /// Applies one control command between bursts.
+    fn apply_command(&mut self, command: ShardCommand) {
+        match command {
+            ShardCommand::AddNf { service, nf } => self.spawn_nf(service, nf),
+            ShardCommand::RemoveNf { service } => self.begin_remove_nf(service),
+            ShardCommand::ResizeCredits { credits } => {
+                if let Some(gate) = &self.gate {
+                    gate.resize(credits.clamp(1, self.credit_clamp));
+                }
+            }
+        }
+        self.applied_commands += 1;
+    }
+
+    /// Publishes a [`TelemetrySnapshot`] if the export interval has
+    /// elapsed. A full telemetry ring skips the publish — counters are
+    /// cumulative, so a lagging consumer loses freshness, never events.
+    fn maybe_publish_telemetry(&mut self, ingress: &Consumer<IngressFrame>) {
+        if self.telemetry_interval_ns == 0 {
+            return;
+        }
+        if self.telemetry_check > 0 {
+            self.telemetry_check -= 1;
+            return;
+        }
+        self.telemetry_check = 32;
+        let now = Instant::now();
+        if now.duration_since(self.last_telemetry).as_nanos()
+            < u128::from(self.telemetry_interval_ns)
+        {
+            return;
+        }
+        self.last_telemetry = now;
+        self.telemetry_seq += 1;
+        let nfs = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.state != SlotState::Retired)
+            .map(|(slot_index, slot)| NfTelemetry {
+                service: slot.service,
+                slot: slot_index,
+                input_depth: slot.ring.len(),
+                input_capacity: slot.ring.capacity(),
+                service_time_ewma_ns: slot.probe.service_time_ewma_ns.load(Ordering::Relaxed),
+                processed: slot.probe.processed.load(Ordering::Relaxed),
+                draining: slot.state == SlotState::Draining,
+            })
+            .collect();
+        let snapshot = TelemetrySnapshot {
+            shard: self.shard,
+            seq: self.telemetry_seq,
+            at_ns: self.epoch.elapsed().as_nanos() as u64,
+            ingress_depth: ingress.len(),
+            ingress_capacity: ingress.capacity(),
+            egress_depth: self.egress.len(),
+            egress_capacity: self.egress.capacity(),
+            credits_in_flight: self.gate.as_ref().map_or(0, |g| g.in_flight()),
+            credit_capacity: self.gate.as_ref().map_or(0, |g| g.capacity()),
+            nfs,
+            received: self.stats.received(),
+            transmitted: self.stats.transmitted(),
+            dropped: self.stats.dropped(),
+            controller_punts: self.stats.controller_punts(),
+            throttled: self.stats.throttled(),
+            applied_commands: self.applied_commands,
+        };
+        let _ = self.telemetry.push(snapshot);
     }
 
     /// Releases `n` packet credits back to the shard's gate (no-op under
@@ -759,7 +1252,7 @@ impl ShardEngine {
             let indices: Vec<usize> = targets
                 .iter()
                 .filter_map(|s| {
-                    pick_instance(&self.service_instances, &self.nf_rings, &self.staging, *s)
+                    pick_instance(&self.service_instances, &self.slots, &self.staging, *s)
                 })
                 .collect();
             if indices.len() != targets.len() {
@@ -771,7 +1264,7 @@ impl ShardEngine {
             // or none — partial delivery would let a packet bypass e.g. a
             // firewall whose ring happened to be full and still be forwarded
             // on the other NFs' verdicts alone.
-            if !parallel_fits(&self.staging, &self.nf_rings, &indices) {
+            if !parallel_fits(&self.staging, &self.slots, &indices) {
                 self.stats.add_overflow_drops(1);
                 self.release_credits(1);
                 return;
@@ -793,12 +1286,7 @@ impl ShardEngine {
 
         match actions.first().copied() {
             Some(Action::ToService(service)) => {
-                match pick_instance(
-                    &self.service_instances,
-                    &self.nf_rings,
-                    &self.staging,
-                    service,
-                ) {
+                match pick_instance(&self.service_instances, &self.slots, &self.staging, service) {
                     Some(index) => {
                         let shared = SharedPacket::new(packet, 1);
                         self.staging.per_ring[index].push(WorkItem {
@@ -906,9 +1394,7 @@ impl ShardEngine {
         }
         let indices: Vec<usize> = targets
             .iter()
-            .filter_map(|s| {
-                pick_instance(&self.service_instances, &self.nf_rings, &self.staging, *s)
-            })
+            .filter_map(|s| pick_instance(&self.service_instances, &self.slots, &self.staging, *s))
             .collect();
         if indices.len() != targets.len() {
             self.stats.add_overflow_drops(1);
@@ -919,7 +1405,7 @@ impl ShardEngine {
         // sequential rule listing several services): partial delivery would
         // let the packet's fate be decided by a subset of the NFs it was
         // meant to visit. See the matching check in `dispatch`.
-        if !parallel_fits(&self.staging, &self.nf_rings, &indices) {
+        if !parallel_fits(&self.staging, &self.slots, &indices) {
             self.stats.add_overflow_drops(1);
             self.release_credits(1);
             return;
@@ -951,7 +1437,9 @@ impl ShardEngine {
             if self.staging.per_ring[ring_index].is_empty() {
                 continue;
             }
-            self.nf_rings[ring_index].push_n(&mut self.staging.per_ring[ring_index]);
+            self.slots[ring_index]
+                .ring
+                .push_n(&mut self.staging.per_ring[ring_index]);
             if self.staging.per_ring[ring_index].is_empty() {
                 continue;
             }
@@ -1022,14 +1510,10 @@ fn distinct_buffer_prefix(items: &[WorkItem]) -> usize {
 
 /// Checks that every target ring of a parallel dispatch can take its staged
 /// copies (counting duplicate targets with multiplicity).
-fn parallel_fits(
-    staging: &BurstStaging,
-    nf_rings: &[Producer<WorkItem>],
-    indices: &[usize],
-) -> bool {
+fn parallel_fits(staging: &BurstStaging, slots: &[NfSlot], indices: &[usize]) -> bool {
     indices.iter().enumerate().all(|(position, &ring)| {
         let copies_for_ring = indices[..=position].iter().filter(|i| **i == ring).count();
-        staging.has_room(nf_rings, ring, copies_for_ring)
+        staging.has_room(slots, ring, copies_for_ring)
     })
 }
 
@@ -1037,9 +1521,11 @@ fn parallel_fits(
 /// occupancy and the items already staged for it this burst (staged items
 /// are invisible to `len()` until flush, so ignoring them would send a whole
 /// burst to the instance that merely looked emptiest at burst start).
+/// Only [`SlotState::Active`] slots appear in `service_instances`, so
+/// draining replicas receive no new work.
 fn pick_instance(
     service_instances: &HashMap<ServiceId, Vec<usize>>,
-    nf_rings: &[Producer<WorkItem>],
+    slots: &[NfSlot],
     staging: &BurstStaging,
     service: ServiceId,
 ) -> Option<usize> {
@@ -1047,24 +1533,51 @@ fn pick_instance(
     candidates
         .iter()
         .copied()
-        .min_by_key(|index| nf_rings[*index].len() + staging.per_ring[*index].len())
+        .min_by_key(|index| slots[*index].ring.len() + staging.per_ring[*index].len())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn nf_thread_loop(
+/// Everything one NF replica thread needs, bundled for
+/// [`nf_thread_loop`].
+struct NfThread {
     shard: usize,
     service: ServiceId,
-    mut nf: Box<dyn NetworkFunction>,
+    nf: Box<dyn NetworkFunction>,
     input: Consumer<WorkItem>,
     done: Producer<DoneItem>,
     running: Arc<AtomicBool>,
+    /// Scale-down signal: exit once the input ring is empty.
+    stop: Arc<AtomicBool>,
     stats: ShardStats,
     gate: Option<Arc<CreditGate>>,
+    /// The owning shard's flow-table partition.
     table: SharedFlowTable,
+    probe: Arc<NfProbe>,
+    /// Whether to measure service times into the probe (off when the
+    /// host's telemetry exporter is disabled — nothing would read them).
+    measure: bool,
     trusted: bool,
     epoch: Instant,
     burst_size: usize,
-) {
+}
+
+fn nf_thread_loop(thread: NfThread) {
+    let NfThread {
+        shard,
+        service,
+        mut nf,
+        input,
+        done,
+        running,
+        stop,
+        stats,
+        gate,
+        table,
+        probe,
+        measure,
+        trusted,
+        epoch,
+        burst_size,
+    } = thread;
     let mut ctx = NfContext::for_shard(shard, 0);
     {
         nf.on_start(&mut ctx);
@@ -1077,16 +1590,33 @@ fn nf_thread_loop(
     let mut items: Vec<WorkItem> = Vec::with_capacity(burst_size);
     let mut verdicts = VerdictSlice::with_capacity(burst_size);
     let mut done_staging: Vec<DoneItem> = Vec::with_capacity(burst_size);
+    // Scratch allocations for the per-chunk guard and reference vectors.
+    // Their element types borrow from `items` for one chunk only, so the
+    // vectors are parked here empty (at the `'static` type) and re-typed to
+    // the chunk lifetime via `recycle` — no allocation per burst.
+    let mut read_guard_scratch: Vec<std::sync::RwLockReadGuard<'static, Packet>> =
+        Vec::with_capacity(burst_size);
+    let mut read_ref_scratch: Vec<&'static Packet> = Vec::with_capacity(burst_size);
+    let mut write_guard_scratch: Vec<std::sync::RwLockWriteGuard<'static, Packet>> =
+        Vec::with_capacity(burst_size);
+    let mut write_ref_scratch: Vec<&'static mut Packet> = Vec::with_capacity(burst_size);
+    let mut service_time = Ewma::default();
     let mut idle: u32 = 0;
     while running.load(Ordering::Acquire) {
         items.clear();
         if input.pop_n(&mut items, burst_size) == 0 {
+            // Scale-down: with the input ring drained and every completion
+            // already pushed, this replica's work is finished.
+            if stop.load(Ordering::Acquire) && input.is_empty() {
+                break;
+            }
             idle_backoff(&mut idle);
             continue;
         }
         idle = 0;
         ctx.set_now_ns(epoch.elapsed().as_nanos() as u64);
         let slots = verdicts.reset(items.len());
+        let burst_started = measure.then(Instant::now);
         if read_only {
             // Lock the whole burst for reading and hand the NF one batch.
             // Parallel NFs on other threads can hold read guards on the same
@@ -1099,9 +1629,15 @@ fn nf_thread_loop(
             while start < items.len() {
                 let end = start + distinct_buffer_prefix(&items[start..]);
                 let chunk = &items[start..end];
-                let guards: Vec<_> = chunk.iter().map(|item| item.shared.read_guard()).collect();
-                let refs: Vec<&Packet> = guards.iter().map(|guard| &**guard).collect();
+                let mut guards = recycle(std::mem::take(&mut read_guard_scratch));
+                guards.extend(chunk.iter().map(|item| item.shared.read_guard()));
+                let mut refs: Vec<&Packet> = recycle(std::mem::take(&mut read_ref_scratch));
+                refs.extend(guards.iter().map(|guard| &**guard));
                 nf.process_batch(&PacketBatch::new(&refs), &mut slots[start..end], &mut ctx);
+                refs.clear();
+                read_ref_scratch = recycle(refs);
+                guards.clear();
+                read_guard_scratch = recycle(guards);
                 start = end;
             }
         } else {
@@ -1116,14 +1652,28 @@ fn nf_thread_loop(
             while start < items.len() {
                 let end = start + distinct_buffer_prefix(&items[start..]);
                 let chunk = &items[start..end];
-                let mut guards: Vec<_> =
-                    chunk.iter().map(|item| item.shared.write_guard()).collect();
-                let mut refs: Vec<&mut Packet> =
-                    guards.iter_mut().map(|guard| &mut **guard).collect();
+                let mut guards = recycle(std::mem::take(&mut write_guard_scratch));
+                guards.extend(chunk.iter().map(|item| item.shared.write_guard()));
+                let mut refs: Vec<&mut Packet> = recycle(std::mem::take(&mut write_ref_scratch));
+                refs.extend(guards.iter_mut().map(|guard| &mut **guard));
                 let mut batch = PacketBatchMut::new(&mut refs);
                 nf.process_batch_mut(&mut batch, &mut slots[start..end], &mut ctx);
+                refs.clear();
+                write_ref_scratch = recycle(refs);
+                guards.clear();
+                write_guard_scratch = recycle(guards);
                 start = end;
             }
+        }
+        if let Some(started) = burst_started {
+            let per_packet_ns = started.elapsed().as_nanos() as u64 / items.len() as u64;
+            probe.service_time_ewma_ns.store(
+                service_time.update(per_packet_ns as f64) as u64,
+                Ordering::Relaxed,
+            );
+            probe
+                .processed
+                .fetch_add(items.len() as u64, Ordering::Relaxed);
         }
         stats.add_nf_invocations(items.len() as u64);
         // Cross-layer messages emitted anywhere inside the burst are applied
@@ -1271,16 +1821,33 @@ mod tests {
         assert_eq!(distinct_buffer_prefix(&[item(&a), item(&a)]), 1);
     }
 
+    /// Builds an inert NF slot (no thread) plus the handles that keep its
+    /// rings alive, for testing the staging arithmetic.
+    fn test_slot(capacity: usize) -> (NfSlot, Consumer<WorkItem>, Producer<DoneItem>) {
+        let (ring, input) = spsc_ring::<WorkItem>(capacity);
+        let (done_tx, done) = spsc_ring::<DoneItem>(capacity);
+        let slot = NfSlot {
+            service: ServiceId::new(1),
+            ring,
+            done,
+            probe: Arc::new(NfProbe::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+            handle: None,
+            state: SlotState::Active,
+        };
+        (slot, input, done_tx)
+    }
+
     #[test]
     fn parallel_fits_accounts_for_staged_items_and_multiplicity() {
-        let (ring_a, _keep_a) = spsc_ring::<WorkItem>(2);
-        let (ring_b, _keep_b) = spsc_ring::<WorkItem>(2);
-        let rings = vec![ring_a, ring_b];
+        let (slot_a, _keep_a, _keep_da) = test_slot(2);
+        let (slot_b, _keep_b, _keep_db) = test_slot(2);
+        let slots = vec![slot_a, slot_b];
         let mut staging = BurstStaging::new(2, 4);
         // Empty staging: both rings take up to two copies.
-        assert!(parallel_fits(&staging, &rings, &[0, 1]));
-        assert!(parallel_fits(&staging, &rings, &[0, 0]));
-        assert!(!parallel_fits(&staging, &rings, &[0, 0, 0]));
+        assert!(parallel_fits(&staging, &slots, &[0, 1]));
+        assert!(parallel_fits(&staging, &slots, &[0, 0]));
+        assert!(!parallel_fits(&staging, &slots, &[0, 0, 0]));
         // One item already staged for ring 0 leaves room for one more copy.
         let shared = SharedPacket::new(packet(9), 1);
         staging.per_ring[0].push(WorkItem {
@@ -1289,9 +1856,9 @@ mod tests {
             exit_service: ServiceId::new(1),
             collector: Arc::new(Mutex::new(Vec::new())),
         });
-        assert!(parallel_fits(&staging, &rings, &[0]));
-        assert!(!parallel_fits(&staging, &rings, &[0, 0]));
-        assert!(parallel_fits(&staging, &rings, &[0, 1]));
+        assert!(parallel_fits(&staging, &slots, &[0]));
+        assert!(!parallel_fits(&staging, &slots, &[0, 0]));
+        assert!(parallel_fits(&staging, &slots, &[0, 1]));
     }
 
     #[test]
@@ -1568,6 +2135,60 @@ mod tests {
         }
         assert!(dropped > 0, "flooding a tiny ring must drop");
         assert!(host.stats().snapshot().overflow_drops >= dropped);
+        host.shutdown();
+    }
+
+    #[test]
+    fn telemetry_snapshots_flow_without_traffic() {
+        let host = ThreadedHost::start(
+            forward_table(),
+            vec![(
+                ServiceId::new(1),
+                Box::new(NoOpNf::new()) as Box<dyn NetworkFunction>,
+            )],
+            ThreadedHostConfig {
+                nf_ring_capacity: 64,
+                shard_credits: 32,
+                telemetry_interval_ns: 100_000,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut snapshots = Vec::new();
+        while snapshots.len() < 3 && Instant::now() < deadline {
+            snapshots.extend(host.poll_telemetry());
+            std::thread::yield_now();
+        }
+        assert!(snapshots.len() >= 3, "idle host still exports gauges");
+        let last = snapshots.last().unwrap();
+        assert_eq!(last.shard, 0);
+        assert_eq!(last.nfs.len(), 1);
+        assert_eq!(last.nfs[0].service, ServiceId::new(1));
+        assert_eq!(last.nfs[0].input_capacity, 64);
+        assert!(!last.nfs[0].draining);
+        assert_eq!(last.credit_capacity, 32);
+        assert_eq!(last.credits_in_flight, 0);
+        // Sequence numbers are strictly increasing.
+        for pair in snapshots.windows(2) {
+            assert!(pair[1].seq > pair[0].seq);
+        }
+        host.shutdown();
+    }
+
+    #[test]
+    fn telemetry_can_be_disabled() {
+        let host = ThreadedHost::start(
+            forward_table(),
+            vec![],
+            ThreadedHostConfig {
+                telemetry_interval_ns: 0,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        assert!(host.inject(packet(1)).is_admitted());
+        let _ = collect_outputs(&host, 1);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(host.poll_telemetry().is_empty(), "exporter disabled");
         host.shutdown();
     }
 

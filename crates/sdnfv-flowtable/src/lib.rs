@@ -11,18 +11,22 @@
 //!    the NF picks — with the first entry being the default.
 //!
 //! This crate provides those tables: [`FlowMatch`] wildcard matching,
-//! [`FlowRule`]s, the single-threaded [`FlowTable`] and the lock-protected
-//! [`SharedFlowTable`] used by the multi-threaded NF Manager.
+//! [`FlowRule`]s, the single-threaded [`FlowTable`], the lock-protected
+//! [`SharedFlowTable`] used by the multi-threaded NF Manager, and the
+//! per-shard [`FlowTablePartitions`] the sharded runtime uses to keep every
+//! shard's lookups on a lock no other shard ever touches.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod matching;
+pub mod partition;
 pub mod rule;
 pub mod table;
 pub mod types;
 
 pub use matching::{FlowMatch, IpPrefix};
+pub use partition::FlowTablePartitions;
 pub use rule::{Action, Decision, FlowRule, RuleId};
 pub use table::{FlowTable, SharedFlowTable, TableStats};
 pub use types::{RulePort, ServiceId};

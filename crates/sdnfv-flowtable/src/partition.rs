@@ -1,0 +1,180 @@
+//! Per-shard flow-table partitions.
+//!
+//! The sharded data plane steers every packet of a flow to one shard, so no
+//! per-flow table state is ever read or written from two shards. A single
+//! [`SharedFlowTable`] would still funnel all shards through one
+//! reader/writer lock — every lookup takes the write lock (hit counters),
+//! making the table the last shared hot lock on the packet path.
+//!
+//! [`FlowTablePartitions`] removes it: the **template** table (the one the
+//! control plane configured) is forked once per shard at start, and each
+//! shard's worker and NF threads touch only their own partition. Control
+//! lives at the template layer: rules installed through
+//! [`FlowTablePartitions::install`] are broadcast to the template and every
+//! partition, while NF cross-layer messages (which only concern the sending
+//! shard's flows) are applied to that shard's partition alone.
+
+use crate::rule::{FlowRule, RuleId};
+use crate::table::SharedFlowTable;
+
+/// A template flow table plus one independent partition per shard (see the
+/// module docs). For a single shard the partition *is* the template — the
+/// unsharded topology keeps its exact semantics, including visibility of
+/// post-start mutations through the original table handle.
+#[derive(Debug, Clone)]
+pub struct FlowTablePartitions {
+    template: SharedFlowTable,
+    partitions: Vec<SharedFlowTable>,
+}
+
+impl FlowTablePartitions {
+    /// Builds partitions for `num_shards` shards from `template`.
+    ///
+    /// With one shard the partition shares the template's storage; with
+    /// more, each shard receives a [fork](SharedFlowTable::fork) of the
+    /// template's rules and from then on its own lock and counters.
+    pub fn new(template: &SharedFlowTable, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let partitions = if num_shards == 1 {
+            vec![template.clone()]
+        } else {
+            (0..num_shards).map(|_| template.fork()).collect()
+        };
+        FlowTablePartitions {
+            template: template.clone(),
+            partitions,
+        }
+    }
+
+    /// Number of per-shard partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The template layer — the table the control plane configured. Shard
+    /// packet paths never touch it when more than one partition exists.
+    pub fn template(&self) -> &SharedFlowTable {
+        &self.template
+    }
+
+    /// The partition serving `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &SharedFlowTable {
+        &self.partitions[shard]
+    }
+
+    /// Installs a rule at the template layer and broadcasts it to every
+    /// partition (the control-plane write path). Returns the rule's id *in
+    /// the template*; partition-local ids may differ and are an
+    /// implementation detail.
+    pub fn install(&self, rule: FlowRule) -> RuleId {
+        let id = self.template.insert(rule.clone());
+        if self.partitions.len() > 1 {
+            for partition in &self.partitions {
+                partition.insert(rule.clone());
+            }
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::FlowMatch;
+    use crate::rule::Action;
+    use crate::types::RulePort;
+    use sdnfv_proto::flow::{FlowKey, IpProtocol};
+    use std::net::Ipv4Addr;
+
+    fn key(last: u8) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, last),
+            Ipv4Addr::new(10, 0, 0, 200),
+            1000,
+            80,
+            IpProtocol::Udp,
+        )
+    }
+
+    fn forward_rule() -> FlowRule {
+        FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToPort(1)],
+        )
+    }
+
+    #[test]
+    fn single_shard_partition_is_the_template() {
+        let template = SharedFlowTable::new();
+        let parts = FlowTablePartitions::new(&template, 1);
+        assert_eq!(parts.num_partitions(), 1);
+        // Post-construction inserts through the original handle are visible
+        // to the shard: same storage.
+        template.insert(forward_rule());
+        assert_eq!(parts.shard(0).len(), 1);
+        // And shard lookups show up on the template's counters.
+        assert!(parts.shard(0).lookup(RulePort::Nic(0), &key(1)).is_some());
+        assert_eq!(parts.template().stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let template = SharedFlowTable::new();
+        assert_eq!(FlowTablePartitions::new(&template, 0).num_partitions(), 1);
+    }
+
+    #[test]
+    fn multi_shard_partitions_are_independent() {
+        let template = SharedFlowTable::new();
+        template.insert(forward_rule());
+        let parts = FlowTablePartitions::new(&template, 3);
+        assert_eq!(parts.num_partitions(), 3);
+        // Every partition starts with the template's rules.
+        for shard in 0..3 {
+            assert_eq!(parts.shard(shard).len(), 1);
+            assert!(parts
+                .shard(shard)
+                .lookup(RulePort::Nic(0), &key(1))
+                .is_some());
+        }
+        // Shard lookups never touch the template's lock or counters.
+        assert_eq!(parts.template().stats().lookups, 0);
+        // A mutation on shard 0 (an NF message path) is invisible elsewhere.
+        let g1 = parts.shard(1).generation();
+        parts.shard(0).with_write(|t| {
+            t.insert(FlowRule::new(FlowMatch::any(), vec![Action::Drop]));
+        });
+        assert_eq!(parts.shard(0).len(), 2);
+        assert_eq!(parts.shard(1).len(), 1);
+        assert_eq!(parts.shard(1).generation(), g1, "no cross-shard bump");
+        assert_eq!(parts.template().len(), 1);
+    }
+
+    #[test]
+    fn install_broadcasts_to_every_partition() {
+        let template = SharedFlowTable::new();
+        let parts = FlowTablePartitions::new(&template, 2);
+        parts.install(forward_rule());
+        assert_eq!(parts.template().len(), 1);
+        assert_eq!(parts.shard(0).len(), 1);
+        assert_eq!(parts.shard(1).len(), 1);
+    }
+
+    #[test]
+    fn fork_preserves_rules_and_resets_counters() {
+        let template = SharedFlowTable::new();
+        let id = template.insert(forward_rule());
+        let _ = template.lookup(RulePort::Nic(0), &key(1));
+        assert_eq!(template.stats().lookups, 1);
+        let fork = template.fork();
+        assert_eq!(fork.len(), 1);
+        assert_eq!(fork.stats().lookups, 0, "counters reset");
+        assert_eq!(fork.with_read(|t| t.hit_count(id)), 0, "hit counts reset");
+        let decision = fork.lookup(RulePort::Nic(0), &key(2)).unwrap();
+        assert_eq!(decision.rule_id, id, "rule ids preserved");
+    }
+}

@@ -27,7 +27,7 @@ pub struct TableStats {
 /// then by recency of installation. Exact per-flow rules are additionally
 /// indexed by their `(step, 5-tuple)` key so the common case — a packet of an
 /// established flow finishing at a service — is a hash lookup.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FlowTable {
     rules: HashMap<RuleId, FlowRule>,
     /// Lookup order: rule ids sorted by (priority desc, specificity desc,
@@ -347,6 +347,23 @@ impl SharedFlowTable {
     /// Lookup/hit/miss counters.
     pub fn stats(&self) -> TableStats {
         self.inner.read().stats()
+    }
+
+    /// Forks an independent deep copy of the table: same rules (ids,
+    /// priorities and installation order preserved), its own lock, zeroed
+    /// lookup counters and a fresh generation counter.
+    ///
+    /// This is the seeding step of per-shard partitioning
+    /// ([`FlowTablePartitions`](crate::partition::FlowTablePartitions)):
+    /// after the fork, mutations on either side are invisible to the other.
+    pub fn fork(&self) -> SharedFlowTable {
+        let mut copy = self.inner.read().clone();
+        copy.stats = TableStats::default();
+        copy.hit_counts.values_mut().for_each(|count| *count = 0);
+        SharedFlowTable {
+            inner: Arc::new(RwLock::new(copy)),
+            generation: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
     }
 }
 

@@ -218,7 +218,7 @@ pub trait NetworkFunction: Send {
     /// implementation loops over [`process_mut`](NetworkFunction::process_mut).
     fn process_batch_mut(
         &mut self,
-        batch: &mut PacketBatchMut<'_>,
+        batch: &mut PacketBatchMut<'_, '_>,
         verdicts: &mut [Verdict],
         ctx: &mut NfContext,
     ) {
@@ -261,7 +261,7 @@ impl<T: NetworkFunction + ?Sized> NetworkFunction for Box<T> {
 
     fn process_batch_mut(
         &mut self,
-        batch: &mut PacketBatchMut<'_>,
+        batch: &mut PacketBatchMut<'_, '_>,
         verdicts: &mut [Verdict],
         ctx: &mut NfContext,
     ) {

@@ -60,14 +60,18 @@ impl std::ops::Index<usize> for PacketBatch<'_> {
 }
 
 /// A mutable burst of packets handed to an NF that rewrites packets.
+///
+/// The slice borrow (`'s`) and the packet borrows (`'p`) are distinct
+/// lifetimes so dispatch layers can keep the backing `Vec` of references
+/// alive (and reuse its allocation) after the batch is dropped.
 #[derive(Debug)]
-pub struct PacketBatchMut<'a> {
-    packets: &'a mut [&'a mut Packet],
+pub struct PacketBatchMut<'s, 'p> {
+    packets: &'s mut [&'p mut Packet],
 }
 
-impl<'a> PacketBatchMut<'a> {
+impl<'s, 'p> PacketBatchMut<'s, 'p> {
     /// Wraps a slice of mutable packet references as a batch.
-    pub fn new(packets: &'a mut [&'a mut Packet]) -> Self {
+    pub fn new(packets: &'s mut [&'p mut Packet]) -> Self {
         PacketBatchMut { packets }
     }
 
@@ -92,12 +96,12 @@ impl<'a> PacketBatchMut<'a> {
     }
 
     /// Iterates the packets of the burst immutably.
-    pub fn iter(&self) -> impl Iterator<Item = &Packet> + use<'_, 'a> {
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> + use<'_, 's, 'p> {
         self.packets.iter().map(|p| &**p)
     }
 
     /// Iterates the packets of the burst mutably.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Packet> + use<'_, 'a> {
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Packet> + use<'_, 's, 'p> {
         self.packets.iter_mut().map(|p| &mut **p)
     }
 }

@@ -9,53 +9,63 @@
 //! pipeline, which is the backpressure scheme the sharded
 //! [`sdnfv-dataplane`](../sdnfv_dataplane/index.html) runtime builds on.
 //!
-//! The gate is a single atomic: `try_acquire` is a CAS loop, `release` a
+//! The gate is a pair of atomics: `try_acquire` is a CAS loop, `release` a
 //! fetch-add. Any number of threads may acquire and release concurrently.
+//! The budget is **elastic**: [`CreditGate::resize`] grows or shrinks the
+//! capacity while packets are in flight — shrinking lets the available
+//! count go temporarily negative, so outstanding packets drain normally and
+//! the gate converges to the new budget as their credits come back.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 
-/// A shared pool of admission credits (see the module docs).
+/// A shared, resizable pool of admission credits (see the module docs).
 #[derive(Debug)]
 pub struct CreditGate {
-    capacity: usize,
-    available: AtomicUsize,
+    capacity: AtomicUsize,
+    /// Credits currently available. Negative while a shrink waits for
+    /// in-flight packets to drain.
+    available: AtomicIsize,
 }
 
 impl CreditGate {
     /// Creates a gate holding `capacity` credits, all available.
     pub fn new(capacity: usize) -> Self {
         CreditGate {
-            capacity,
-            available: AtomicUsize::new(capacity),
+            capacity: AtomicUsize::new(capacity),
+            available: AtomicIsize::new(capacity as isize),
         }
     }
 
-    /// Total credits the gate was created with.
+    /// The gate's current credit budget.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity.load(Ordering::Acquire)
     }
 
-    /// Credits currently available for acquisition.
+    /// Credits currently available for acquisition (0 while a shrink is
+    /// draining).
     pub fn available(&self) -> usize {
-        self.available.load(Ordering::Acquire)
+        self.available.load(Ordering::Acquire).max(0) as usize
     }
 
     /// Credits currently held (packets in flight behind this gate).
     pub fn in_flight(&self) -> usize {
-        self.capacity.saturating_sub(self.available())
+        let capacity = self.capacity.load(Ordering::Acquire) as isize;
+        let available = self.available.load(Ordering::Acquire);
+        (capacity - available).max(0) as usize
     }
 
     /// Attempts to take `n` credits at once; returns `false` (taking none)
     /// if fewer than `n` are available.
     pub fn try_acquire(&self, n: usize) -> bool {
+        let wanted = n as isize;
         let mut current = self.available.load(Ordering::Acquire);
         loop {
-            if current < n {
+            if current < wanted {
                 return false;
             }
             match self.available.compare_exchange_weak(
                 current,
-                current - n,
+                current - wanted,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
@@ -73,12 +83,40 @@ impl CreditGate {
         if n == 0 {
             return;
         }
-        let previous = self.available.fetch_add(n, Ordering::AcqRel);
+        let previous = self.available.fetch_add(n as isize, Ordering::AcqRel);
         debug_assert!(
-            previous + n <= self.capacity,
+            previous + n as isize <= self.capacity.load(Ordering::Acquire) as isize,
             "credit release overflow: {previous} + {n} > capacity {}",
-            self.capacity
+            self.capacity.load(Ordering::Acquire)
         );
+    }
+
+    /// Changes the credit budget to `new_capacity` without interrupting
+    /// traffic.
+    ///
+    /// Growing hands out the extra credits immediately. Shrinking withdraws
+    /// credits that may currently be held by in-flight packets: the
+    /// available count goes negative and recovers as those packets reach a
+    /// terminal state and release — no packet is dropped and no new packet
+    /// is admitted past the new budget.
+    ///
+    /// Concurrent `resize` calls race each other (last write to the capacity
+    /// wins); the data-plane runtime serializes them on one control thread.
+    pub fn resize(&self, new_capacity: usize) {
+        // Ordering matters for the `release` overflow assert: when growing,
+        // publish the larger capacity before handing out credits; when
+        // shrinking, withdraw credits before publishing the smaller
+        // capacity. Either way the assert's bound is never transiently
+        // tighter than the credits actually outstanding.
+        let old = self.capacity.load(Ordering::Acquire);
+        let delta = new_capacity as isize - old as isize;
+        if delta > 0 {
+            self.capacity.store(new_capacity, Ordering::Release);
+            self.available.fetch_add(delta, Ordering::AcqRel);
+        } else if delta < 0 {
+            self.available.fetch_add(delta, Ordering::AcqRel);
+            self.capacity.store(new_capacity, Ordering::Release);
+        }
     }
 }
 
@@ -109,6 +147,49 @@ mod tests {
         assert!(gate.try_acquire(0));
         gate.release(0);
         assert_eq!(gate.available(), 2);
+    }
+
+    #[test]
+    fn grow_hands_out_credits_immediately() {
+        let gate = CreditGate::new(2);
+        assert!(gate.try_acquire(2));
+        assert!(!gate.try_acquire(1));
+        gate.resize(5);
+        assert_eq!(gate.capacity(), 5);
+        assert_eq!(gate.available(), 3);
+        assert_eq!(gate.in_flight(), 2);
+        assert!(gate.try_acquire(3));
+    }
+
+    #[test]
+    fn shrink_drains_through_in_flight_packets() {
+        let gate = CreditGate::new(8);
+        assert!(gate.try_acquire(6)); // 6 in flight, 2 available
+        gate.resize(4);
+        assert_eq!(gate.capacity(), 4);
+        // 6 in flight against a budget of 4: nothing available, nothing
+        // admitted until the overshoot drains.
+        assert_eq!(gate.available(), 0);
+        assert_eq!(gate.in_flight(), 6);
+        assert!(!gate.try_acquire(1));
+        gate.release(2);
+        assert_eq!(gate.available(), 0, "still one over budget");
+        assert!(!gate.try_acquire(1));
+        gate.release(4);
+        assert_eq!(gate.available(), 4);
+        assert_eq!(gate.in_flight(), 0);
+        assert!(gate.try_acquire(4));
+    }
+
+    #[test]
+    fn shrink_with_idle_gate_takes_effect_immediately() {
+        let gate = CreditGate::new(8);
+        gate.resize(3);
+        assert_eq!(gate.available(), 3);
+        assert!(gate.try_acquire(3));
+        assert!(!gate.try_acquire(1));
+        gate.release(3);
+        assert_eq!(gate.available(), 3);
     }
 
     #[test]

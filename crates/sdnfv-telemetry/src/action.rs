@@ -1,0 +1,128 @@
+//! The typed decisions an elastic controller hands back to the data plane.
+
+use sdnfv_flowtable::ServiceId;
+
+/// A resource decision derived from merged telemetry (paper §3.5): the
+/// local NF Manager's fast control loop emits these and the runtime applies
+/// them through per-shard control rings — no stop-the-world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Launch one more replica of `service` on `shard` (via the NFV
+    /// orchestrator, which models the VM boot delay).
+    ScaleUp {
+        /// Target shard.
+        shard: usize,
+        /// Service whose replica count grows.
+        service: ServiceId,
+    },
+    /// Retire one replica of `service` on `shard`. The runtime drains the
+    /// replica's queue before the NF thread exits, so no packet is lost.
+    ScaleDown {
+        /// Target shard.
+        shard: usize,
+        /// Service whose replica count shrinks.
+        service: ServiceId,
+    },
+    /// Resize `shard`'s ingress credit budget to `credits` (clamped by the
+    /// runtime to its internal ring capacities).
+    ResizeCredits {
+        /// Target shard.
+        shard: usize,
+        /// The new credit budget.
+        credits: usize,
+    },
+    /// Rebalance flow steering: shard `s` receives a share of *new* hash
+    /// buckets proportional to `weights[s]`. Flows whose bucket moves are
+    /// re-homed; flows in unmoved buckets keep their shard.
+    SetSteeringWeights {
+        /// One weight per shard (zero removes a shard from new-bucket
+        /// assignment; all-zero is rejected by the runtime).
+        weights: Vec<u32>,
+    },
+}
+
+impl ControlAction {
+    /// The shard the action targets, or `None` for host-wide actions.
+    pub fn shard(&self) -> Option<usize> {
+        match self {
+            ControlAction::ScaleUp { shard, .. }
+            | ControlAction::ScaleDown { shard, .. }
+            | ControlAction::ResizeCredits { shard, .. } => Some(*shard),
+            ControlAction::SetSteeringWeights { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ControlAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlAction::ScaleUp { shard, service } => {
+                write!(f, "scale-up {service} on shard {shard}")
+            }
+            ControlAction::ScaleDown { shard, service } => {
+                write!(f, "scale-down {service} on shard {shard}")
+            }
+            ControlAction::ResizeCredits { shard, credits } => {
+                write!(f, "resize credits on shard {shard} to {credits}")
+            }
+            ControlAction::SetSteeringWeights { weights } => {
+                write!(f, "set steering weights {weights:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_targeting() {
+        let svc = ServiceId::new(4);
+        assert_eq!(
+            ControlAction::ScaleUp {
+                shard: 2,
+                service: svc
+            }
+            .shard(),
+            Some(2)
+        );
+        assert_eq!(
+            ControlAction::ScaleDown {
+                shard: 0,
+                service: svc
+            }
+            .shard(),
+            Some(0)
+        );
+        assert_eq!(
+            ControlAction::ResizeCredits {
+                shard: 1,
+                credits: 64
+            }
+            .shard(),
+            Some(1)
+        );
+        assert_eq!(
+            ControlAction::SetSteeringWeights {
+                weights: vec![1, 2]
+            }
+            .shard(),
+            None
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let text = format!(
+            "{}",
+            ControlAction::ScaleUp {
+                shard: 1,
+                service: ServiceId::new(7)
+            }
+        );
+        assert!(text.contains("scale-up"));
+        assert!(text.contains("svc-7"));
+        assert!(text.contains("shard 1"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Exponentially weighted moving averages for service-time telemetry.
+
+/// An exponentially weighted moving average.
+///
+/// The first sample seeds the average directly; every later sample moves it
+/// by `alpha` toward the sample. NF threads keep one per instance to track
+/// per-packet service time without storing a history.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` (clamped to `(0, 1]`).
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            value: None,
+        }
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Folds one sample into the average and returns the updated value.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let next = match self.value {
+            None => sample,
+            Some(current) => current + self.alpha * (sample - current),
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// The current average, or `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The current average, or `0.0` before the first sample.
+    pub fn value_or_zero(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+}
+
+impl Default for Ewma {
+    /// The smoothing the data plane uses for service times: `alpha = 0.2`.
+    fn default() -> Self {
+        Ewma::new(0.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_the_average() {
+        let mut ewma = Ewma::new(0.5);
+        assert_eq!(ewma.value(), None);
+        assert_eq!(ewma.value_or_zero(), 0.0);
+        assert_eq!(ewma.update(10.0), 10.0);
+        assert_eq!(ewma.value(), Some(10.0));
+    }
+
+    #[test]
+    fn later_samples_move_by_alpha() {
+        let mut ewma = Ewma::new(0.5);
+        ewma.update(10.0);
+        assert_eq!(ewma.update(20.0), 15.0);
+        assert_eq!(ewma.update(15.0), 15.0);
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        assert_eq!(Ewma::new(7.0).alpha(), 1.0);
+        assert!(Ewma::new(-1.0).alpha() > 0.0);
+        let mut pass_through = Ewma::new(1.0);
+        pass_through.update(3.0);
+        assert_eq!(pass_through.update(9.0), 9.0);
+    }
+
+    #[test]
+    fn default_alpha_smooths() {
+        let mut ewma = Ewma::default();
+        ewma.update(100.0);
+        let next = ewma.update(0.0);
+        assert!(next > 0.0 && next < 100.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The consumer side of the telemetry bus: merging per-shard snapshot
+//! streams into one current view.
+
+use crate::snapshot::TelemetrySnapshot;
+
+/// Inter-snapshot rates for one shard, reconstructed from the cumulative
+/// counters of two consecutive snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardRates {
+    /// Wall-clock span the rates cover, in nanoseconds.
+    pub interval_ns: u64,
+    /// Packets received per second.
+    pub received_per_sec: f64,
+    /// Packets transmitted per second.
+    pub transmitted_per_sec: f64,
+    /// Controller punts per second.
+    pub punts_per_sec: f64,
+    /// Throttled injections per second.
+    pub throttled_per_sec: f64,
+}
+
+/// Merges the per-shard telemetry streams a
+/// [`ThreadedHost`](../../sdnfv_dataplane/runtime/struct.ThreadedHost.html)
+/// exports: keeps the most recent [`TelemetrySnapshot`] per shard and the
+/// one before it, so callers can read both gauges (queue depths, credit
+/// occupancy) and rates (punts/sec, throttles/sec).
+#[derive(Debug, Default)]
+pub struct TelemetryHub {
+    latest: Vec<Option<TelemetrySnapshot>>,
+    previous: Vec<Option<TelemetrySnapshot>>,
+    absorbed: u64,
+}
+
+impl TelemetryHub {
+    /// Creates an empty hub (shard slots grow on demand).
+    pub fn new() -> Self {
+        TelemetryHub::default()
+    }
+
+    /// Folds a batch of snapshots (as returned by
+    /// `ThreadedHost::poll_telemetry`) into the per-shard view. Snapshots
+    /// may arrive in any shard order; within a shard, stale sequence
+    /// numbers are ignored.
+    pub fn absorb(&mut self, snapshots: Vec<TelemetrySnapshot>) {
+        for snapshot in snapshots {
+            let shard = snapshot.shard;
+            if shard >= self.latest.len() {
+                self.latest.resize(shard + 1, None);
+                self.previous.resize(shard + 1, None);
+            }
+            match &self.latest[shard] {
+                Some(current) if current.seq >= snapshot.seq => continue,
+                _ => {}
+            }
+            self.previous[shard] = self.latest[shard].take();
+            self.latest[shard] = Some(snapshot);
+            self.absorbed += 1;
+        }
+    }
+
+    /// Number of shard slots the hub has seen snapshots for.
+    pub fn num_shards(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Total snapshots absorbed (stale ones excluded).
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// The most recent snapshot for `shard`, if any.
+    pub fn latest(&self, shard: usize) -> Option<&TelemetrySnapshot> {
+        self.latest.get(shard).and_then(Option::as_ref)
+    }
+
+    /// The most recent snapshot of every shard that has reported.
+    pub fn latest_all(&self) -> Vec<&TelemetrySnapshot> {
+        self.latest.iter().filter_map(Option::as_ref).collect()
+    }
+
+    /// Rates over the last two snapshots of `shard`, or `None` until two
+    /// have been absorbed (or if their clocks are not monotonic).
+    pub fn rates(&self, shard: usize) -> Option<ShardRates> {
+        let current = self.latest(shard)?;
+        let previous = self.previous.get(shard)?.as_ref()?;
+        let interval_ns = current.at_ns.checked_sub(previous.at_ns)?;
+        if interval_ns == 0 {
+            return None;
+        }
+        let per_sec =
+            |now: u64, then: u64| now.saturating_sub(then) as f64 * 1e9 / interval_ns as f64;
+        Some(ShardRates {
+            interval_ns,
+            received_per_sec: per_sec(current.received, previous.received),
+            transmitted_per_sec: per_sec(current.transmitted, previous.transmitted),
+            punts_per_sec: per_sec(current.controller_punts, previous.controller_punts),
+            throttled_per_sec: per_sec(current.throttled, previous.throttled),
+        })
+    }
+
+    /// Total pipeline backlog over every reporting shard.
+    pub fn total_backlog(&self) -> usize {
+        self.latest_all().iter().map(|s| s.backlog()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(shard: usize, seq: u64, at_ns: u64, punts: u64) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            shard,
+            seq,
+            at_ns,
+            ingress_depth: 0,
+            ingress_capacity: 64,
+            egress_depth: 0,
+            egress_capacity: 64,
+            credits_in_flight: 0,
+            credit_capacity: 64,
+            nfs: Vec::new(),
+            received: seq * 10,
+            transmitted: seq * 9,
+            dropped: 0,
+            controller_punts: punts,
+            throttled: 0,
+            applied_commands: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_latest_per_shard() {
+        let mut hub = TelemetryHub::new();
+        assert_eq!(hub.num_shards(), 0);
+        hub.absorb(vec![snapshot(0, 1, 100, 0), snapshot(2, 1, 100, 0)]);
+        assert_eq!(hub.num_shards(), 3);
+        assert_eq!(hub.latest(1), None);
+        hub.absorb(vec![snapshot(0, 2, 200, 3)]);
+        assert_eq!(hub.latest(0).unwrap().seq, 2);
+        assert_eq!(hub.latest_all().len(), 2);
+        assert_eq!(hub.absorbed(), 3);
+    }
+
+    #[test]
+    fn stale_sequences_are_ignored() {
+        let mut hub = TelemetryHub::new();
+        hub.absorb(vec![snapshot(0, 5, 500, 0)]);
+        hub.absorb(vec![snapshot(0, 4, 400, 0), snapshot(0, 5, 500, 0)]);
+        assert_eq!(hub.latest(0).unwrap().seq, 5);
+        assert_eq!(hub.absorbed(), 1);
+    }
+
+    #[test]
+    fn rates_come_from_consecutive_snapshots() {
+        let mut hub = TelemetryHub::new();
+        assert_eq!(hub.rates(0), None);
+        hub.absorb(vec![snapshot(0, 1, 1_000_000_000, 0)]);
+        assert_eq!(hub.rates(0), None, "one snapshot has no rate");
+        hub.absorb(vec![snapshot(0, 2, 2_000_000_000, 7)]);
+        let rates = hub.rates(0).unwrap();
+        assert_eq!(rates.interval_ns, 1_000_000_000);
+        assert!((rates.punts_per_sec - 7.0).abs() < 1e-9);
+        assert!((rates.received_per_sec - 10.0).abs() < 1e-9);
+        assert!((rates.transmitted_per_sec - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_interval_yields_no_rate() {
+        let mut hub = TelemetryHub::new();
+        hub.absorb(vec![snapshot(0, 1, 100, 0)]);
+        hub.absorb(vec![snapshot(0, 2, 100, 0)]);
+        assert_eq!(hub.rates(0), None);
+    }
+}

@@ -12,7 +12,8 @@
 //! | [`graph`] | `sdnfv-graph` | §3.2 service graphs |
 //! | [`nf`] | `sdnfv-nf` | §4.3 the SDNFV-User library and NFs |
 //! | [`dataplane`] | `sdnfv-dataplane` | §4.1–4.2 the NF Manager |
-//! | [`control`] | `sdnfv-control` | §3.1/§3.4 controller, orchestrator, application |
+//! | [`telemetry`] | `sdnfv-telemetry` | §3.5 telemetry bus and control actions |
+//! | [`control`] | `sdnfv-control` | §3.1/§3.4–3.5 controller, orchestrator, application, elastic manager |
 //! | [`placement`] | `sdnfv-placement` | §3.5 the placement engine |
 //! | [`sim`] | `sdnfv-sim` | §5 scenario simulators for the evaluation |
 //!
@@ -51,3 +52,4 @@ pub use sdnfv_placement as placement;
 pub use sdnfv_proto as proto;
 pub use sdnfv_ring as ring;
 pub use sdnfv_sim as sim;
+pub use sdnfv_telemetry as telemetry;
