@@ -1,0 +1,262 @@
+//! The cost and safety of re-homing steering buckets between shards: a
+//! 2-shard host pumps traffic while alternating steering rebalances move
+//! half the bucket space back and forth through the quiesce-then-move
+//! handshake.
+//!
+//! Two things are *asserted*, not just measured, because they are the
+//! state-safety contract of the handshake:
+//!
+//! * **packets lost during a re-home must be 0** — every admitted packet
+//!   (including those parked in bucket pens) comes back out;
+//! * **exact-flow rules lost must be 0** — shard-local rules installed for
+//!   pinned flows keep matching wherever their bucket lives.
+//!
+//! The re-home *pause* — from initiating the rebalance until every bucket
+//! move has completed — is recorded in microseconds.
+//!
+//! Environment knobs (for CI trend recording):
+//! * `SDNFV_BENCH_QUICK=1` — shrink the workload;
+//! * `SDNFV_BENCH_JSON=<path>` — write `{"results": [...]}` with packet
+//!   and rule conservation plus the re-home pause percentiles (the
+//!   `BENCH_rehome.json` CI artifact).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdnfv_dataplane::{ThreadedHost, ThreadedHostConfig};
+use sdnfv_flowtable::{Action, FlowMatch, FlowRule, RulePort, ServiceId, SharedFlowTable};
+use sdnfv_graph::{catalog, CompileOptions};
+use sdnfv_nf::nfs::ComputeNf;
+use sdnfv_nf::NetworkFunction;
+use sdnfv_proto::packet::{Packet, PacketBuilder};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WORKER_ROUNDS: u32 = 100;
+const FLOWS: u16 = 256;
+const PACKET_SIZE: usize = 256;
+/// Flows that get a shard-local exact-flow rule (outside the traffic flow
+/// id range so their drops never skew the packet-conservation tally).
+const RULED_FLOWS: [u16; 8] = [5000, 5001, 5002, 5003, 5004, 5005, 5006, 5007];
+
+fn quick_mode() -> bool {
+    std::env::var("SDNFV_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn quantum() -> usize {
+    if quick_mode() {
+        2048
+    } else {
+        8192
+    }
+}
+
+fn packet(flow: u16) -> Packet {
+    PacketBuilder::udp()
+        .src_ip([10, 0, 0, 1])
+        .dst_ip([10, 0, 0, 2])
+        .src_port(1024 + flow)
+        .dst_port(80)
+        .ingress_port(0)
+        .total_size(PACKET_SIZE)
+        .build()
+}
+
+fn worker_host() -> (ThreadedHost, ServiceId) {
+    let (graph, ids) = catalog::chain(&[("worker", true)]);
+    let table = SharedFlowTable::new();
+    for rule in graph.compile(&CompileOptions::default()) {
+        table.insert(rule);
+    }
+    let host = ThreadedHost::start_sharded(
+        table,
+        |_shard| {
+            vec![(
+                ids[0],
+                Box::new(ComputeNf::new(WORKER_ROUNDS)) as Box<dyn NetworkFunction>,
+            )]
+        },
+        ThreadedHostConfig {
+            num_shards: 2,
+            nf_ring_capacity: 256,
+            shard_credits: 256,
+            ..ThreadedHostConfig::default()
+        },
+    );
+    (host, ids[0])
+}
+
+/// Installs a shard-local exact-flow rule for each pinned flow in its
+/// current owner's partition. Returns how many were installed.
+fn install_ruled_flows(host: &ThreadedHost) -> usize {
+    for flow in RULED_FLOWS {
+        let key = packet(flow).flow_key().expect("udp packet");
+        let owner = host.shard_of(&packet(flow));
+        host.shard_table(owner).with_write(|t| {
+            t.insert(
+                FlowRule::new(FlowMatch::exact(RulePort::Nic(0), &key), vec![Action::Drop])
+                    .with_priority(100),
+            );
+        });
+    }
+    RULED_FLOWS.len()
+}
+
+/// How many pinned flows still have their exact rule in their *current*
+/// owner's partition (the rule-conservation check).
+fn surviving_rules(host: &ThreadedHost) -> usize {
+    RULED_FLOWS
+        .iter()
+        .filter(|flow| {
+            let key = packet(**flow).flow_key().expect("udp packet");
+            let owner = host.shard_of(&packet(**flow));
+            host.shard_table(owner)
+                .with_read(|t| t.exact_rule_id(RulePort::Nic(0), &key).is_some())
+        })
+        .count()
+}
+
+/// Pumps `total` packets through the host while a steering rebalance is in
+/// flight, measuring the re-home pause (initiate → every move complete).
+/// Returns `(drained, rehome_pause)`.
+fn pump_through_rehome(host: &ThreadedHost, total: usize, skew: bool) -> (usize, Duration) {
+    let weights: &[u32] = if skew { &[3, 1] } else { &[1, 3] };
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    let mut flow: u16 = 0;
+    let mut pending: Vec<Packet> = Vec::new();
+    // Prime in-flight traffic so the rebalance actually catches busy
+    // buckets (otherwise every move completes synchronously).
+    for _ in 0..4 {
+        let burst: Vec<Packet> = (0..32)
+            .map(|_| {
+                let p = packet(flow % FLOWS);
+                flow = flow.wrapping_add(1);
+                p
+            })
+            .collect();
+        let outcome = host.inject_burst(burst);
+        sent += outcome.admitted + outcome.dropped;
+        received += outcome.dropped;
+        pending.extend(outcome.throttled);
+    }
+    let rehome_started = Instant::now();
+    assert!(host.set_steering_weights(weights), "rebalance initiates");
+    let mut rehome_pause = None;
+    while received < total {
+        if host.pending_rehomes() == 0 && rehome_pause.is_none() {
+            rehome_pause = Some(rehome_started.elapsed());
+        }
+        if sent < total && pending.is_empty() {
+            let want = 32.min(total - sent);
+            for _ in 0..want {
+                pending.push(packet(flow % FLOWS));
+                flow = flow.wrapping_add(1);
+            }
+        }
+        let mut admitted_now = 0;
+        if !pending.is_empty() {
+            let outcome = host.inject_burst(std::mem::take(&mut pending));
+            admitted_now = outcome.admitted;
+            sent += outcome.admitted + outcome.dropped;
+            received += outcome.dropped;
+            pending = outcome.throttled;
+        }
+        let drained = host.poll_egress_burst(64).len();
+        received += drained;
+        if drained == 0 && admitted_now == 0 {
+            std::thread::yield_now();
+        }
+    }
+    // The tail of the re-home may outlive the traffic quantum.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while host.pending_rehomes() > 0 && Instant::now() < deadline {
+        let _ = host.poll_egress_burst(16);
+        std::thread::yield_now();
+    }
+    let pause = rehome_pause.unwrap_or_else(|| rehome_started.elapsed());
+    (received, pause)
+}
+
+fn bench_shard_rehome(c: &mut Criterion) {
+    let total = quantum();
+    let mut group = c.benchmark_group("shard_rehome");
+    if quick_mode() {
+        group.measurement_time(Duration::from_millis(300));
+    }
+    let (host, _worker) = worker_host();
+    install_ruled_flows(&host);
+    let mut skew = false;
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("pump_through_rebalance", |b| {
+        b.iter(|| {
+            skew = !skew;
+            let (received, _pause) = pump_through_rehome(&host, total, skew);
+            assert_eq!(received, total, "no packet lost during the re-home");
+            black_box(received)
+        })
+    });
+    assert_eq!(
+        surviving_rules(&host),
+        RULED_FLOWS.len(),
+        "no exact-flow rule lost during the re-homes"
+    );
+    host.shutdown();
+    group.finish();
+}
+
+/// Timed conservation report written as a JSON artifact
+/// (`SDNFV_BENCH_JSON=<path>`, the `BENCH_rehome.json` CI artifact).
+fn emit_rehome_json() {
+    let Ok(path) = std::env::var("SDNFV_BENCH_JSON") else {
+        return;
+    };
+    let total = quantum();
+    let rounds = if quick_mode() { 6 } else { 16 };
+    let (host, _worker) = worker_host();
+    let rules_installed = install_ruled_flows(&host);
+
+    let mut pauses_us: Vec<f64> = Vec::with_capacity(rounds);
+    let mut drained_total = 0usize;
+    for round in 0..rounds {
+        let (received, pause) = pump_through_rehome(&host, total, round % 2 == 0);
+        drained_total += received;
+        pauses_us.push(pause.as_secs_f64() * 1e6);
+    }
+    let report = host.rehome_report();
+    let snap = host.stats().snapshot();
+    let packets_lost =
+        (total * rounds).saturating_sub(drained_total) + snap.overflow_drops as usize;
+    let rules_lost = rules_installed - surviving_rules(&host);
+    host.shutdown();
+
+    pauses_us.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let percentile = |q: f64| pauses_us[((pauses_us.len() - 1) as f64 * q).round() as usize];
+    let json = format!(
+        "{{\n  \"bench\": \"shard_rehome\",\n  \"quantum\": {total},\n  \"rounds\": {rounds},\n  \
+         \"flows\": {FLOWS},\n  \"results\": [\n    {{\"packets_lost\": {packets_lost}, \
+         \"rules_lost\": {rules_lost}, \"rules_installed\": {rules_installed}, \
+         \"buckets_rehomed\": {}, \"rules_rehomed\": {}, \"packets_penned\": {}, \
+         \"rehome_pause_us_p50\": {:.1}, \"rehome_pause_us_p90\": {:.1}, \
+         \"rehome_pause_us_max\": {:.1}, \"throttled\": {}}}\n  ]\n}}\n",
+        report.buckets_rehomed,
+        report.rules_rehomed,
+        report.packets_penned,
+        percentile(0.5),
+        percentile(0.9),
+        percentile(1.0),
+        snap.throttled,
+    );
+    assert_eq!(packets_lost, 0, "re-homing must not lose packets");
+    assert_eq!(rules_lost, 0, "re-homing must not lose exact-flow rules");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote shard-rehome report to {path}"),
+        Err(err) => eprintln!("failed to write {path}: {err}"),
+    }
+}
+
+fn bench_and_report(c: &mut Criterion) {
+    bench_shard_rehome(c);
+    emit_rehome_json();
+}
+
+criterion_group!(benches, bench_and_report);
+criterion_main!(benches);

@@ -24,13 +24,22 @@
 //! orchestrator and handing `ThreadedHost::start_sharded` a per-shard NF
 //! set — placement decisions, not hand-built NF lists, drive the sharded
 //! data plane.
+//!
+//! On top of the per-shard replica loop, an optional [`ShardPolicy`] layer
+//! makes the **shard count** itself elastic: when the aggregate pipeline
+//! fill (or an EWMA-derived queueing-latency estimate) crosses its
+//! thresholds, the manager provisions a whole new shard's replica set
+//! through the orchestrator (honouring boot delays) and hands it to
+//! [`ThreadedHost::spawn_shard`], or retires the highest shard through
+//! [`ThreadedHost::retire_shard`] — both of which re-home steering buckets
+//! through the data plane's state-safe drain handshake.
 
 use std::collections::HashMap;
 
 use sdnfv_dataplane::{ThreadedHost, ThreadedHostConfig};
 use sdnfv_flowtable::{ServiceId, SharedFlowTable};
 use sdnfv_nf::NetworkFunction;
-use sdnfv_telemetry::{ControlAction, TelemetryHub, TelemetrySnapshot};
+use sdnfv_telemetry::{ControlAction, ShardLifecycleEvent, TelemetryHub, TelemetrySnapshot};
 
 use crate::orchestrator::NfvOrchestrator;
 
@@ -90,6 +99,45 @@ impl Default for ElasticPolicy {
     }
 }
 
+/// The knobs of the shard-count control loop (see
+/// [`ElasticNfManager::enable_shard_scaling`]).
+#[derive(Debug, Clone)]
+pub struct ShardPolicy {
+    /// Spawn a shard when the mean pipeline fill across shards — each
+    /// shard's worst of ingress fill and credit occupancy — reaches this
+    /// fraction.
+    pub scale_out_fill: f64,
+    /// Retire the highest shard when *every* shard's pipeline fill is at or
+    /// below this fraction (and the latency estimate, if an SLO is set, is
+    /// below half the SLO).
+    pub scale_in_fill: f64,
+    /// Optional latency trigger: spawn a shard when any shard's estimated
+    /// queueing latency — the sum over its NF replicas of service-time EWMA
+    /// × input-queue depth — reaches this many nanoseconds.
+    pub latency_slo_ns: Option<u64>,
+    /// Never shrink below this many shards.
+    pub min_shards: usize,
+    /// Never grow past this many shards.
+    pub max_shards: usize,
+    /// Minimum time between shard-count actions. Keep it comfortably above
+    /// the host's telemetry interval so a freshly spawned shard is visible
+    /// before the next decision.
+    pub cooldown_ns: u64,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy {
+            scale_out_fill: 0.75,
+            scale_in_fill: 0.10,
+            latency_slo_ns: None,
+            min_shards: 1,
+            max_shards: 4,
+            cooldown_ns: 100_000_000,
+        }
+    }
+}
+
 /// One shard's initial replica set, as instantiated by [`deploy_sharded`].
 type ShardNfSet = Vec<(ServiceId, Box<dyn NetworkFunction>)>;
 
@@ -100,6 +148,13 @@ struct PendingLaunch {
     service: ServiceId,
     ready_at_ns: u64,
     nf: Box<dyn NetworkFunction>,
+}
+
+/// A whole shard's replica set launched through the orchestrator, waiting
+/// for its slowest replica's boot delay before the shard is spawned.
+struct PendingShard {
+    ready_at_ns: u64,
+    nfs: ShardNfSet,
 }
 
 /// The local elastic control loop over one [`ThreadedHost`] (see the
@@ -128,6 +183,18 @@ pub struct ElasticNfManager {
     pending: Vec<PendingLaunch>,
     scale_ups: u64,
     scale_downs: u64,
+    /// Shard-count scaling, off until
+    /// [`ElasticNfManager::enable_shard_scaling`].
+    shard_policy: Option<ShardPolicy>,
+    /// The replica set a spawned shard is provisioned with:
+    /// `(service, registry name, replicas)`.
+    shard_template: Vec<(ServiceId, String, usize)>,
+    /// Shards launched through the orchestrator, waiting out their boot
+    /// delay (at most one at a time).
+    pending_shard: Option<PendingShard>,
+    last_shard_scale_ns: Option<u64>,
+    shard_spawns: u64,
+    shard_retires: u64,
 }
 
 impl std::fmt::Debug for ElasticNfManager {
@@ -159,6 +226,12 @@ impl ElasticNfManager {
             pending: Vec::new(),
             scale_ups: 0,
             scale_downs: 0,
+            shard_policy: None,
+            shard_template: Vec::new(),
+            pending_shard: None,
+            last_shard_scale_ns: None,
+            shard_spawns: 0,
+            shard_retires: 0,
         }
     }
 
@@ -212,6 +285,51 @@ impl ElasticNfManager {
     /// Launched replicas still waiting out their boot delay.
     pub fn pending_launches(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Shard spawns applied so far.
+    pub fn shard_spawns(&self) -> u64 {
+        self.shard_spawns
+    }
+
+    /// Shard retirements initiated so far.
+    pub fn shard_retires(&self) -> u64 {
+        self.shard_retires
+    }
+
+    /// Whether a launched shard is still waiting out its boot delay.
+    pub fn shard_pending(&self) -> bool {
+        self.pending_shard.is_some()
+    }
+
+    /// Turns on shard-count scaling: `policy` gives the triggers and
+    /// bounds, `template` the replica set a newly spawned shard is
+    /// provisioned with (`(service, registry name, replicas)` per entry —
+    /// typically one shard's slice of the [`ShardPlacement`] the host was
+    /// deployed from).
+    ///
+    /// Rejects a template the orchestrator's registry cannot instantiate,
+    /// and an empty template (a shard with no NFs could not serve its
+    /// share of traffic).
+    pub fn enable_shard_scaling(
+        &mut self,
+        policy: ShardPolicy,
+        template: Vec<(ServiceId, String, usize)>,
+    ) -> Result<(), String> {
+        if template.is_empty() {
+            return Err("shard template is empty; a spawned shard needs NFs".to_string());
+        }
+        for (service, name, _) in &template {
+            if !self.orchestrator.can_launch(name) {
+                return Err(format!(
+                    "no NF registered under {name:?}; cannot provision service {service} on \
+                     spawned shards"
+                ));
+            }
+        }
+        self.shard_policy = Some(policy);
+        self.shard_template = template;
+        Ok(())
     }
 
     /// Feeds snapshots into the merged view without touching a host (the
@@ -364,15 +482,140 @@ impl ElasticNfManager {
         Some(ControlAction::SetSteeringWeights { weights })
     }
 
-    /// One control-loop tick against a live host: absorb fresh telemetry,
-    /// plan, apply. Scale-ups are launched through the orchestrator and
-    /// join the host once their boot delay matures (possibly on a later
-    /// tick); scale-downs, credit resizes and rebalances apply immediately.
+    /// Derives the shard-count action the current telemetry view calls
+    /// for, given the host's live shard count and whether a retirement is
+    /// already in progress. Public for replay-style testing;
+    /// [`ElasticNfManager::drive`] calls it with live host state.
+    pub fn plan_shards(
+        &mut self,
+        now_ns: u64,
+        current_shards: usize,
+        retiring: bool,
+    ) -> Option<ControlAction> {
+        let policy = self.shard_policy.as_ref()?;
+        if retiring || self.pending_shard.is_some() {
+            return None;
+        }
+        let cooled = self
+            .last_shard_scale_ns
+            .is_none_or(|last| now_ns.saturating_sub(last) >= policy.cooldown_ns);
+        if !cooled {
+            return None;
+        }
+        let snapshots = self.hub.latest_all();
+        if snapshots.is_empty() {
+            return None;
+        }
+        // A shard's pipeline fill: the worst of its ingress occupancy and
+        // its credit occupancy (whichever saturates first is the
+        // bottleneck signal).
+        let fill = |s: &TelemetrySnapshot| s.ingress_fill().max(s.credit_fill());
+        let mean_fill = snapshots.iter().map(|s| fill(s)).sum::<f64>() / snapshots.len() as f64;
+        // EWMA-latency estimate: what a packet arriving now would wait for,
+        // summed over the shard's NF queues.
+        let latency_estimate = |s: &TelemetrySnapshot| {
+            s.nfs
+                .iter()
+                .map(|nf| {
+                    nf.service_time_ewma_ns
+                        .saturating_mul(nf.input_depth as u64)
+                })
+                .sum::<u64>()
+        };
+        let worst_latency = snapshots
+            .iter()
+            .map(|s| latency_estimate(s))
+            .max()
+            .unwrap_or(0);
+        let latency_breach = policy
+            .latency_slo_ns
+            .is_some_and(|slo| worst_latency >= slo);
+        if (mean_fill >= policy.scale_out_fill || latency_breach)
+            && current_shards < policy.max_shards
+        {
+            self.last_shard_scale_ns = Some(now_ns);
+            return Some(ControlAction::SpawnShard);
+        }
+        let latency_quiet = policy
+            .latency_slo_ns
+            .is_none_or(|slo| worst_latency < slo / 2);
+        if current_shards > policy.min_shards
+            && snapshots.len() >= current_shards
+            && snapshots.iter().all(|s| fill(s) <= policy.scale_in_fill)
+            && latency_quiet
+        {
+            self.last_shard_scale_ns = Some(now_ns);
+            return Some(ControlAction::RetireShard {
+                shard: current_shards - 1,
+            });
+        }
+        None
+    }
+
+    /// Provisions a new shard's replica set through the orchestrator,
+    /// leaving it pending until the slowest replica's boot delay matures.
+    fn launch_shard(&mut self, now_ns: u64) {
+        let mut nfs: ShardNfSet = Vec::new();
+        let mut ready_at_ns = now_ns;
+        for (service, name, replicas) in &self.shard_template {
+            for _ in 0..*replicas {
+                // `enable_shard_scaling` validated the registry, so launch
+                // cannot fail here.
+                if let Some(ticket) = self.orchestrator.launch(usize::MAX, name, now_ns) {
+                    ready_at_ns = ready_at_ns.max(ticket.ready_at_ns);
+                    nfs.push((*service, ticket.nf));
+                }
+            }
+        }
+        if nfs.is_empty() {
+            return;
+        }
+        self.pending_shard = Some(PendingShard { ready_at_ns, nfs });
+    }
+
+    /// Hands a boot-complete pending shard to the host. If the host cannot
+    /// accept it yet (a retirement is still finishing), it stays pending
+    /// for the next tick.
+    fn install_matured_shard(&mut self, host: &ThreadedHost, now_ns: u64) {
+        let Some(pending) = self.pending_shard.take() else {
+            return;
+        };
+        if pending.ready_at_ns > now_ns {
+            self.pending_shard = Some(pending);
+            return;
+        }
+        match host.spawn_shard(pending.nfs) {
+            Ok(_shard) => {
+                self.shard_spawns += 1;
+                self.last_shard_scale_ns = Some(now_ns);
+            }
+            Err(nfs) => {
+                self.pending_shard = Some(PendingShard {
+                    ready_at_ns: pending.ready_at_ns,
+                    nfs,
+                });
+            }
+        }
+    }
+
+    /// One control-loop tick against a live host: absorb fresh telemetry
+    /// and shard lifecycle events, plan (replica, credit, steering *and*
+    /// shard-count decisions), apply. Scale-ups and shard spawns are
+    /// launched through the orchestrator and join the host once their boot
+    /// delay matures (possibly on a later tick); scale-downs, credit
+    /// resizes, rebalances and shard retirements apply immediately.
     /// Returns the actions emitted this tick.
     pub fn drive(&mut self, host: &ThreadedHost) -> Vec<ControlAction> {
+        // Lifecycle first: a `Spawned` event resets its shard's hub slot,
+        // so processing it *before* absorbing this tick's snapshots keeps
+        // the spawned shard's first snapshot instead of wiping it.
+        self.observe_lifecycle(&host.take_shard_events());
         self.hub.absorb(host.poll_telemetry());
         let now_ns = host.now_ns();
-        let actions = self.plan(now_ns);
+        let mut actions = self.plan(now_ns);
+        if let Some(action) = self.plan_shards(now_ns, host.num_shards(), host.is_retiring()) {
+            actions.push(action);
+        }
         for action in &actions {
             match action {
                 ControlAction::ScaleUp { shard, service } => {
@@ -398,10 +641,43 @@ impl ElasticNfManager {
                 ControlAction::SetSteeringWeights { weights } => {
                     let _ = host.set_steering_weights(weights);
                 }
+                ControlAction::SpawnShard => self.launch_shard(now_ns),
+                ControlAction::RetireShard { .. } => {
+                    if host.retire_shard() {
+                        self.shard_retires += 1;
+                    } else {
+                        // The host refused (e.g. bucket moves still involve
+                        // the shard): give the cooldown back so the
+                        // retirement is re-planned next tick instead of
+                        // slipping a full cooldown on a no-op.
+                        self.last_shard_scale_ns = None;
+                    }
+                }
             }
         }
         self.install_matured(host, now_ns);
+        self.install_matured_shard(host, now_ns);
         actions
+    }
+
+    /// Folds shard lifecycle events into the manager's per-shard state: a
+    /// retired shard's telemetry view, cooldowns and pending launches are
+    /// dropped (its replicas died with its pipeline), so a respawned shard
+    /// at the same index starts clean.
+    fn observe_lifecycle(&mut self, events: &[ShardLifecycleEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        self.hub.observe_lifecycle(events);
+        for event in events {
+            if let ShardLifecycleEvent::Retired { shard, .. } = event {
+                self.last_scale_ns.retain(|(s, _), _| s != shard);
+                self.expected_replicas.retain(|(s, _), _| s != shard);
+                self.last_credit_ns.remove(shard);
+                self.last_credit_target.remove(shard);
+                self.pending.retain(|launch| launch.shard != *shard);
+            }
+        }
     }
 
     /// Hands every boot-complete pending replica to the host. Replicas
@@ -575,6 +851,7 @@ mod tests {
                     draining: *draining,
                 })
                 .collect(),
+            nf_slots_allocated: fills.len(),
             received: 0,
             transmitted: 0,
             dropped: 0,
@@ -818,6 +1095,92 @@ mod tests {
         );
         m.absorb(vec![snapshot(0, 3, &[]), snapshot(1, 3, &[])]);
         assert!(m.plan(30).is_empty(), "reset is emitted once");
+    }
+
+    fn shard_manager(policy: ShardPolicy) -> ElasticNfManager {
+        let mut manager = ElasticNfManager::new(
+            NfvOrchestrator::new(registry(), 0),
+            ElasticPolicy::default(),
+        );
+        manager
+            .enable_shard_scaling(policy, vec![(svc(1), "noop".to_string(), 1)])
+            .expect("noop is in the registry");
+        manager
+    }
+
+    #[test]
+    fn enable_shard_scaling_validates_the_template() {
+        let mut manager = ElasticNfManager::new(
+            NfvOrchestrator::new(registry(), 0),
+            ElasticPolicy::default(),
+        );
+        assert!(manager
+            .enable_shard_scaling(ShardPolicy::default(), vec![])
+            .is_err());
+        assert!(manager
+            .enable_shard_scaling(
+                ShardPolicy::default(),
+                vec![(svc(1), "missing".to_string(), 1)]
+            )
+            .is_err());
+        assert!(manager
+            .enable_shard_scaling(
+                ShardPolicy::default(),
+                vec![(svc(1), "noop".to_string(), 2)]
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn aggregate_fill_plans_spawn_until_cooldown_and_cap() {
+        let mut m = shard_manager(ShardPolicy {
+            scale_out_fill: 0.5,
+            max_shards: 2,
+            cooldown_ns: 1_000,
+            ..ShardPolicy::default()
+        });
+        let mut busy = snapshot(0, 1, &[]);
+        busy.ingress_depth = 900; // ingress fill ≈ 0.88
+        m.absorb(vec![busy.clone()]);
+        assert_eq!(m.plan_shards(10, 1, false), Some(ControlAction::SpawnShard));
+        // Cooldown holds; after it expires the cap holds.
+        assert_eq!(m.plan_shards(500, 1, false), None, "cooldown");
+        assert_eq!(m.plan_shards(5_000, 2, false), None, "at max_shards");
+        // A pending retirement also suppresses planning.
+        busy.seq = 2;
+        m.absorb(vec![busy]);
+        assert_eq!(m.plan_shards(10_000, 1, true), None, "retiring");
+    }
+
+    #[test]
+    fn latency_slo_triggers_spawn_and_quiet_plans_retire() {
+        let mut m = shard_manager(ShardPolicy {
+            scale_out_fill: 0.99, // fill alone never triggers
+            scale_in_fill: 0.05,
+            latency_slo_ns: Some(1_000_000),
+            min_shards: 1,
+            max_shards: 4,
+            cooldown_ns: 0,
+        });
+        // One replica with a deep queue and a slow EWMA: estimated wait
+        // 100 µs/packet × 20 packets = 2 ms ≥ the 1 ms SLO.
+        let mut slow = snapshot(0, 1, &[(1, 20, 100, false)]);
+        slow.nfs[0].service_time_ewma_ns = 100_000;
+        m.absorb(vec![slow]);
+        assert_eq!(m.plan_shards(10, 1, false), Some(ControlAction::SpawnShard));
+        // Quiet everywhere (and latency far under half the SLO): the
+        // highest shard is retired.
+        m.absorb(vec![
+            snapshot(0, 2, &[(1, 0, 100, false)]),
+            snapshot(1, 1, &[]),
+        ]);
+        assert_eq!(
+            m.plan_shards(20, 2, false),
+            Some(ControlAction::RetireShard { shard: 1 })
+        );
+        // But never below min_shards.
+        m.absorb(vec![snapshot(0, 3, &[(1, 0, 100, false)])]);
+        assert_eq!(m.plan_shards(30, 1, false), None);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod orchestrator;
 
 pub use application::{AppAction, SdnfvApplication};
 pub use controller::{ControllerStats, SdnController};
-pub use elastic::{deploy_sharded, ElasticNfManager, ElasticPolicy, ShardPlacement};
+pub use elastic::{deploy_sharded, ElasticNfManager, ElasticPolicy, ShardPlacement, ShardPolicy};
 pub use orchestrator::{LaunchTicket, NfvOrchestrator};
 
 /// Identifier of an NF host (an NF Manager instance) in the network.

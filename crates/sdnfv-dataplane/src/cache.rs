@@ -9,8 +9,32 @@
 
 use std::collections::HashMap;
 
-use sdnfv_flowtable::{Decision, RulePort};
+use sdnfv_flowtable::{Decision, RulePort, SharedFlowTable};
 use sdnfv_proto::flow::FlowKey;
+
+/// The cached-lookup protocol both engines share: consult `cache` (tagged
+/// with the table's generation) when `enabled`, fall back to the table, and
+/// remember the result. The single definition keeps the inline
+/// `NfManager` and the threaded runtime's lookup semantics identical.
+pub fn cached_lookup(
+    table: &SharedFlowTable,
+    cache: &mut LookupCache,
+    enabled: bool,
+    step: RulePort,
+    key: &FlowKey,
+) -> Option<Decision> {
+    if enabled {
+        let generation = table.generation();
+        if let Some(hit) = cache.get(key, step, generation) {
+            return Some(hit);
+        }
+        let decision = table.lookup(step, key)?;
+        cache.put(key, step, generation, decision.clone());
+        Some(decision)
+    } else {
+        table.lookup(step, key)
+    }
+}
 
 /// A bounded, generation-checked cache of flow-table decisions.
 #[derive(Debug)]

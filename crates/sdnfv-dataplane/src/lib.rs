@@ -32,6 +32,7 @@ pub mod conflict;
 pub mod loadbalance;
 pub mod manager;
 pub mod messages;
+pub mod rehome;
 pub mod runtime;
 pub mod scratch;
 pub mod stats;
@@ -41,6 +42,7 @@ pub use conflict::resolve_parallel_verdicts;
 pub use loadbalance::LoadBalancePolicy;
 pub use manager::{NfManager, NfManagerConfig, PacketOutcome};
 pub use messages::{apply_nf_message, AppliedChange, NfManagerMessage};
+pub use rehome::RehomeReport;
 pub use runtime::{
     shard_for_flow, BurstInjection, HostOutput, InjectResult, OverflowPolicy, ThreadedHost,
     ThreadedHostConfig, STEER_BUCKETS,

@@ -20,10 +20,11 @@ use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
 
-use crate::cache::LookupCache;
+use crate::cache::{cached_lookup, LookupCache};
 use crate::conflict::resolve_parallel_verdicts;
 use crate::loadbalance::{LoadBalancePolicy, LoadBalancer};
 use crate::messages::{apply_nf_message, AppliedChange, NfManagerMessage};
+use crate::scratch::recycle;
 use crate::stats::HostStats;
 
 /// Configuration of an [`NfManager`].
@@ -83,6 +84,36 @@ struct NfInstance {
     queue_len: usize,
 }
 
+/// Reusable per-round buffers for the grouped batch engine
+/// ([`NfManager::invoke_grouped`]): one allocation for the manager's whole
+/// life instead of a fresh context/verdict-slice/index-vector set per
+/// instance group per round. The reference vectors park their (empty)
+/// allocations at the `'static` type between rounds and are re-typed to
+/// the round's borrow via [`recycle`].
+struct RoundScratch {
+    ctx: NfContext,
+    verdicts: VerdictSlice,
+    queue_lengths: Vec<usize>,
+    picks: Vec<usize>,
+    group: Vec<usize>,
+    read_refs: Vec<&'static Packet>,
+    write_refs: Vec<&'static mut Packet>,
+}
+
+impl RoundScratch {
+    fn new() -> Self {
+        RoundScratch {
+            ctx: NfContext::new(0),
+            verdicts: VerdictSlice::new(),
+            queue_lengths: Vec::new(),
+            picks: Vec::new(),
+            group: Vec::new(),
+            read_refs: Vec::new(),
+            write_refs: Vec::new(),
+        }
+    }
+}
+
 /// The inline NF Manager engine.
 pub struct NfManager {
     config: NfManagerConfig,
@@ -92,6 +123,7 @@ pub struct NfManager {
     cache: LookupCache,
     stats: HostStats,
     outbox: Vec<NfManagerMessage>,
+    round: RoundScratch,
 }
 
 impl std::fmt::Debug for NfManager {
@@ -121,6 +153,7 @@ impl NfManager {
             cache,
             stats: HostStats::new(),
             outbox: Vec::new(),
+            round: RoundScratch::new(),
         }
     }
 
@@ -589,6 +622,10 @@ impl NfManager {
     /// [`GroupedVerdictSink::Forward`] sink) sees exactly the messages of
     /// the batch that produced the verdict.
     ///
+    /// All per-round buffers live in the manager's [`RoundScratch`] —
+    /// nothing is allocated per group; the borrow of `self.instances` is
+    /// split from the scratch/table/cache borrows by destructuring.
+    ///
     /// Returns `false` (doing nothing) if no instance of `service` is
     /// attached; the callers' recovery paths differ.
     fn invoke_grouped(
@@ -598,49 +635,68 @@ impl NfManager {
         now_ns: u64,
         mut sink: GroupedVerdictSink<'_>,
     ) -> bool {
-        let instance_count = self.instances.get(&service).map(|v| v.len()).unwrap_or(0);
+        let NfManager {
+            config,
+            table,
+            instances,
+            balancers,
+            cache,
+            stats,
+            outbox,
+            round,
+        } = self;
+        let Some(service_instances) = instances.get_mut(&service) else {
+            return false;
+        };
+        let instance_count = service_instances.len();
         if instance_count == 0 {
             return false;
         }
-        let queue_lengths: Vec<usize> = self.instances[&service]
-            .iter()
-            .map(|i| i.queue_len)
-            .collect();
-        let balancer = self
-            .balancers
+        round.queue_lengths.clear();
+        round
+            .queue_lengths
+            .extend(service_instances.iter().map(|i| i.queue_len));
+        let balancer = balancers
             .entry(service)
-            .or_insert_with(|| LoadBalancer::new(self.config.load_balance));
-        let picks: Vec<usize> = members
-            .iter()
-            .map(|f| balancer.pick(&queue_lengths, Some(&f.key)).unwrap_or(0))
-            .collect();
+            .or_insert_with(|| LoadBalancer::new(config.load_balance));
+        round.picks.clear();
+        for flight in members.iter() {
+            round.picks.push(
+                balancer
+                    .pick(&round.queue_lengths, Some(&flight.key))
+                    .unwrap_or(0),
+            );
+        }
 
+        #[allow(clippy::needless_range_loop)] // `service_instances` cannot stay
+        // borrowed across the sink handling below, so indexing beats iteration
         for instance_index in 0..instance_count {
-            let group: Vec<usize> = (0..members.len())
-                .filter(|i| picks[*i] == instance_index)
-                .collect();
-            if group.is_empty() {
+            round.group.clear();
+            for (member_index, pick) in round.picks.iter().enumerate() {
+                if *pick == instance_index {
+                    round.group.push(member_index);
+                }
+            }
+            if round.group.is_empty() {
                 continue;
             }
-            let mut ctx = NfContext::new(now_ns);
-            let mut verdicts = VerdictSlice::with_capacity(group.len());
-            let slots = verdicts.reset(group.len());
+            round.ctx.set_now_ns(now_ns);
+            let slots = round.verdicts.reset(round.group.len());
             {
-                let instances = self
-                    .instances
-                    .get_mut(&service)
-                    .expect("service checked above");
-                let instance = &mut instances[instance_index];
-                instance.invocations += group.len() as u64;
+                let instance = &mut service_instances[instance_index];
+                instance.invocations += round.group.len() as u64;
                 if instance.nf.read_only() {
-                    let refs: Vec<&Packet> = group.iter().map(|i| &members[*i].packet).collect();
+                    let mut refs: Vec<&Packet> = recycle(std::mem::take(&mut round.read_refs));
+                    refs.extend(round.group.iter().map(|i| &members[*i].packet));
                     instance
                         .nf
-                        .process_batch(&PacketBatch::new(&refs), slots, &mut ctx);
+                        .process_batch(&PacketBatch::new(&refs), slots, &mut round.ctx);
+                    refs.clear();
+                    round.read_refs = recycle(refs);
                 } else {
                     // Collect disjoint mutable borrows in one pass.
-                    let mut refs: Vec<&mut Packet> = Vec::with_capacity(group.len());
-                    let mut cursor = group.iter().peekable();
+                    let mut refs: Vec<&mut Packet> = recycle(std::mem::take(&mut round.write_refs));
+                    let mut cursor = round.group.iter().peekable();
                     for (index, member) in members.iter_mut().enumerate() {
                         if cursor.peek() == Some(&&index) {
                             cursor.next();
@@ -648,34 +704,56 @@ impl NfManager {
                         }
                     }
                     let mut batch = PacketBatchMut::new(&mut refs);
-                    instance.nf.process_batch_mut(&mut batch, slots, &mut ctx);
+                    instance
+                        .nf
+                        .process_batch_mut(&mut batch, slots, &mut round.ctx);
+                    refs.clear();
+                    round.write_refs = recycle(refs);
                 }
             }
-            self.stats.add_nf_invocations(group.len() as u64);
+            stats.add_nf_invocations(round.group.len() as u64);
             // Apply the batch's cross-layer messages before any further
             // lookup — including the verdict validation just below and the
             // next round's table lookups.
-            self.handle_messages(service, &mut ctx);
+            for message in round.ctx.take_messages() {
+                stats.add_nf_messages(1);
+                table.with_write(|t| apply_nf_message(t, service, &message, config.trusted_nfs));
+                outbox.push(NfManagerMessage {
+                    from: service,
+                    message,
+                });
+            }
 
             match &mut sink {
                 GroupedVerdictSink::Forward => {
                     let step = RulePort::Service(service);
-                    for (verdict, member_index) in verdicts.as_slice().iter().zip(group) {
-                        let flight = &mut members[member_index];
+                    for (verdict, member_index) in
+                        round.verdicts.as_slice().iter().zip(round.group.iter())
+                    {
+                        let flight = &mut members[*member_index];
                         flight.step = step;
                         flight.forced = match verdict {
                             Verdict::Default => None,
                             Verdict::Discard => Some(Action::Drop),
                             other => {
                                 let requested = other.as_action().expect("non-default verdict");
-                                Some(self.validate_requested(step, &flight.key, requested))
+                                Some(validate_requested_in(
+                                    table,
+                                    cache,
+                                    config.enable_lookup_cache,
+                                    step,
+                                    &flight.key,
+                                    requested,
+                                ))
                             }
                         };
                     }
                 }
                 GroupedVerdictSink::Collect(verdicts_per_packet) => {
-                    for (verdict, member_index) in verdicts.as_slice().iter().zip(group) {
-                        verdicts_per_packet[member_index].push(*verdict);
+                    for (verdict, member_index) in
+                        round.verdicts.as_slice().iter().zip(round.group.iter())
+                    {
+                        verdicts_per_packet[*member_index].push(*verdict);
                     }
                 }
             }
@@ -685,30 +763,27 @@ impl NfManager {
 
     /// Looks up the decision for `(step, key)`, consulting the cache first.
     fn lookup(&mut self, step: RulePort, key: &FlowKey) -> Option<Decision> {
-        if self.config.enable_lookup_cache {
-            let generation = self.table.generation();
-            if let Some(hit) = self.cache.get(key, step, generation) {
-                return Some(hit);
-            }
-            let decision = self.table.lookup(step, key)?;
-            self.cache.put(key, step, generation, decision.clone());
-            Some(decision)
-        } else {
-            self.table.lookup(step, key)
-        }
+        cached_lookup(
+            &self.table,
+            &mut self.cache,
+            self.config.enable_lookup_cache,
+            step,
+            key,
+        )
     }
 
     /// Validates an NF's explicit steering request against the allowed next
     /// hops at its step; disallowed requests fall back to the default action
     /// (or drop if there is none).
     fn validate_requested(&mut self, step: RulePort, key: &FlowKey, requested: Action) -> Action {
-        match self.lookup(step, key) {
-            Some(decision) if decision.allows(requested) => requested,
-            Some(decision) => decision.default_action().unwrap_or(Action::Drop),
-            // Drop requests are always honoured even without a rule.
-            None if requested == Action::Drop => Action::Drop,
-            None => Action::ToController,
-        }
+        validate_requested_in(
+            &self.table,
+            &mut self.cache,
+            self.config.enable_lookup_cache,
+            step,
+            key,
+            requested,
+        )
     }
 
     /// Invokes one instance of `service` on the packet, returning its
@@ -789,6 +864,26 @@ impl NfManager {
                 ParallelOutcome::Continue(Some(action))
             }
         }
+    }
+}
+
+/// Verdict validation over the manager's parts (rather than `&mut self`),
+/// so it can run while `self.instances` is mutably borrowed — the
+/// split-borrow half of the per-round allocation hoist.
+fn validate_requested_in(
+    table: &SharedFlowTable,
+    cache: &mut LookupCache,
+    enable_cache: bool,
+    step: RulePort,
+    key: &FlowKey,
+    requested: Action,
+) -> Action {
+    match cached_lookup(table, cache, enable_cache, step, key) {
+        Some(decision) if decision.allows(requested) => requested,
+        Some(decision) => decision.default_action().unwrap_or(Action::Drop),
+        // Drop requests are always honoured even without a rule.
+        None if requested == Action::Drop => Action::Drop,
+        None => Action::ToController,
     }
 }
 

@@ -1,0 +1,245 @@
+//! State-safe re-homing of flow-steering buckets between shards.
+//!
+//! Moving a steering bucket from one shard to another is only safe if no
+//! packet of the bucket's flows is mid-pipeline on the old shard when the
+//! steering entry flips: an in-flight packet could still install or consult
+//! shard-local exact-flow rules there, and those rules must travel with the
+//! flows. The runtime therefore re-homes buckets with a
+//! **quiesce-then-move handshake**:
+//!
+//! 1. **Park** the bucket: new arrivals are held in a small per-bucket pen
+//!    instead of entering the old shard's pipeline (the pen overflows into
+//!    ordinary backpressure, never into drops);
+//! 2. **Drain**: wait until the bucket's in-flight count — maintained by a
+//!    [`BucketTracker`] the injection side increments and the shard workers
+//!    decrement at each packet's last flow-state touchpoint — reaches zero;
+//! 3. **Export** the bucket's shard-local exact-flow rules into the new
+//!    owner's flow-table partition;
+//! 4. **Flip** the steering entry and release the pen into the new shard.
+//!
+//! Both plain steering rebalances (`set_steering_weights`) and shard
+//! scale-out/in (`spawn_shard` / `retire_shard`) go through this machinery,
+//! so neither can lose packets or flow-table state.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sdnfv_proto::flow::FlowKey;
+use sdnfv_proto::Packet;
+
+/// Per-bucket in-flight packet counts, shared between the injection side
+/// (increments on admission) and every shard worker (decrements when a
+/// packet makes its last possible flow-state touch: staged for egress,
+/// dropped, or punted). A bucket with a zero count has no packet anywhere
+/// between its shard's ingress ring and egress staging.
+#[derive(Debug)]
+pub struct BucketTracker {
+    in_flight: Vec<AtomicUsize>,
+}
+
+impl BucketTracker {
+    /// Creates a tracker for `buckets` steering buckets, all idle.
+    pub fn new(buckets: usize) -> Self {
+        BucketTracker {
+            in_flight: (0..buckets).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Number of tracked buckets.
+    pub fn buckets(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The bucket a flow belongs to.
+    pub fn bucket_of(&self, key: &FlowKey) -> usize {
+        (key.stable_hash() % self.in_flight.len() as u64) as usize
+    }
+
+    /// Records one packet of `bucket` entering a shard pipeline.
+    pub fn admit(&self, bucket: usize) {
+        self.in_flight[bucket].fetch_add(1, Ordering::Release);
+    }
+
+    /// Records one packet of `key`'s bucket leaving flow-state scope
+    /// (egress-staged, dropped or punted). Release ordering pairs with the
+    /// [`BucketTracker::in_flight`] acquire load, so a drain observer that
+    /// reads zero also observes every table write the packet caused.
+    pub fn finish(&self, key: &FlowKey) {
+        let bucket = self.bucket_of(key);
+        let previous = self.in_flight[bucket].fetch_sub(1, Ordering::Release);
+        debug_assert!(previous > 0, "bucket {bucket} finished more than admitted");
+    }
+
+    /// Packets of `bucket` currently inside a shard pipeline.
+    pub fn in_flight(&self, bucket: usize) -> usize {
+        self.in_flight[bucket].load(Ordering::Acquire)
+    }
+}
+
+/// One bucket mid-re-home: where it is moving, whether the steering entry
+/// has flipped yet, and the pen of packets that arrived while it was
+/// parked.
+#[derive(Debug)]
+pub struct BucketMove {
+    /// The bucket being moved.
+    pub bucket: usize,
+    /// The shard the bucket is leaving.
+    pub from: usize,
+    /// The shard the bucket is moving to.
+    pub to: usize,
+    /// Whether the drain completed: rules exported, steering entry flipped.
+    /// The move finishes once the pen is empty too.
+    pub flipped: bool,
+    /// Packets of the bucket that arrived while it was parked (with their
+    /// already-parsed flow keys), in arrival order. Released into the new
+    /// shard after the flip.
+    pub pen: VecDeque<(Packet, FlowKey)>,
+}
+
+/// Counters describing the re-homing activity of a host, for benches and
+/// acceptance tests (`packets lost` and `rules lost` during a re-home must
+/// both be zero — these counters make the mechanism observable).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RehomeReport {
+    /// Buckets whose re-home handshake has completed.
+    pub buckets_rehomed: u64,
+    /// Shard-local exact-flow rules carried between partitions by
+    /// completed re-homes.
+    pub rules_rehomed: u64,
+    /// Packets that waited in a per-bucket pen during a re-home (every one
+    /// of them was released into the bucket's new shard).
+    pub packets_penned: u64,
+    /// Injections rejected because a bucket's pen was full (surfaced as
+    /// ordinary backpressure to the caller — handed back, not dropped).
+    pub pen_throttled: u64,
+}
+
+/// A shard being retired: all its buckets are re-homed first, then its
+/// worker is stopped and joined, and finally its ports are removed once its
+/// egress ring has been drained by the host.
+#[derive(Debug)]
+pub struct RetiringShard {
+    /// The shard being drained away (always the highest index).
+    pub shard: usize,
+    /// Whether the worker has been told to stop (set once every bucket has
+    /// left the shard).
+    pub stop_sent: bool,
+}
+
+/// The host-side state of all in-progress re-homes.
+#[derive(Debug, Default)]
+pub struct RehomeState {
+    /// Active bucket moves, at most one per bucket.
+    pub moves: Vec<BucketMove>,
+    /// `parked[bucket]` is `true` while the bucket is mid-move (sized to
+    /// the steering table; empty until the first re-home).
+    pub parked: Vec<bool>,
+    /// The shard currently being retired, if any.
+    pub retiring: Option<RetiringShard>,
+    /// Cumulative re-home counters.
+    pub report: RehomeReport,
+}
+
+impl RehomeState {
+    /// Whether any re-home work is pending.
+    pub fn is_idle(&self) -> bool {
+        self.moves.is_empty() && self.retiring.is_none()
+    }
+
+    /// Whether `bucket` is currently parked (mid-move).
+    pub fn is_parked(&self, bucket: usize) -> bool {
+        self.parked.get(bucket).copied().unwrap_or(false)
+    }
+
+    /// Ensures the parked table covers `buckets` entries.
+    pub fn ensure_parked_table(&mut self, buckets: usize) {
+        if self.parked.len() < buckets {
+            self.parked.resize(buckets, false);
+        }
+    }
+
+    /// Begins a move for `bucket` (which must not already be moving).
+    pub fn begin_move(&mut self, bucket: usize, from: usize, to: usize) {
+        debug_assert!(!self.is_parked(bucket), "bucket {bucket} already moving");
+        self.parked[bucket] = true;
+        self.moves.push(BucketMove {
+            bucket,
+            from,
+            to,
+            flipped: false,
+            pen: VecDeque::new(),
+        });
+    }
+
+    /// The move currently holding `bucket`, if any.
+    pub fn move_for_bucket_mut(&mut self, bucket: usize) -> Option<&mut BucketMove> {
+        self.moves.iter_mut().find(|m| m.bucket == bucket)
+    }
+
+    /// Whether any active move still involves shard `shard` (as source or
+    /// destination).
+    pub fn shard_has_moves(&self, shard: usize) -> bool {
+        self.moves.iter().any(|m| m.from == shard || m.to == shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::flow::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn key(last: u8) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, last),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            80,
+            IpProtocol::Udp,
+        )
+    }
+
+    #[test]
+    fn tracker_counts_per_bucket() {
+        let tracker = BucketTracker::new(8);
+        assert_eq!(tracker.buckets(), 8);
+        let k = key(1);
+        let bucket = tracker.bucket_of(&k);
+        assert!(bucket < 8);
+        assert_eq!(tracker.in_flight(bucket), 0);
+        tracker.admit(bucket);
+        tracker.admit(bucket);
+        assert_eq!(tracker.in_flight(bucket), 2);
+        tracker.finish(&k);
+        assert_eq!(tracker.in_flight(bucket), 1);
+        tracker.finish(&k);
+        assert_eq!(tracker.in_flight(bucket), 0);
+    }
+
+    #[test]
+    fn bucket_of_is_stable() {
+        let tracker = BucketTracker::new(1024);
+        for last in 0..32 {
+            let k = key(last);
+            assert_eq!(tracker.bucket_of(&k), tracker.bucket_of(&k));
+        }
+    }
+
+    #[test]
+    fn state_tracks_parked_buckets_and_moves() {
+        let mut state = RehomeState::default();
+        assert!(state.is_idle());
+        assert!(!state.is_parked(3));
+        state.ensure_parked_table(8);
+        state.begin_move(3, 0, 1);
+        assert!(!state.is_idle());
+        assert!(state.is_parked(3));
+        assert!(state.shard_has_moves(0));
+        assert!(state.shard_has_moves(1));
+        assert!(!state.shard_has_moves(2));
+        let mv = state.move_for_bucket_mut(3).expect("bucket 3 is moving");
+        assert_eq!((mv.from, mv.to), (0, 1));
+        assert!(!mv.flipped);
+        assert!(state.move_for_bucket_mut(4).is_none());
+    }
+}

@@ -73,8 +73,24 @@
 //! lost), and [`ThreadedHost::resize_credits`] re-budgets the shard's
 //! credit gate. [`ThreadedHost::set_steering_weights`] rebalances the
 //! flow-hash → shard bucket table on the injection side.
+//!
+//! **Elastic shard count**: the pipeline count itself can change while
+//! traffic flows. [`ThreadedHost::spawn_shard`] brings up a complete new
+//! pipeline — worker thread, NF replica set, all rings, credit gate and a
+//! flow-table partition forked from the template — and re-homes a fair
+//! share of steering buckets onto it; [`ThreadedHost::retire_shard`] drains
+//! the highest shard's buckets back onto the survivors and tears its
+//! pipeline down (threads joined, rings reclaimed). Every bucket move —
+//! scale-out, scale-in or a plain [`set_steering_weights`] rebalance — goes
+//! through the **quiesce-then-move handshake** in [`crate::rehome`]: new
+//! arrivals for the bucket are parked in a small pen, the old shard drains
+//! the bucket's in-flight packets, the bucket's shard-local exact-flow
+//! rules are exported into the new owner's partition, and only then does
+//! the steering entry flip — so neither packets nor flow state are lost.
+//! Completed transitions are published as
+//! [`ShardLifecycleEvent`]s via [`ThreadedHost::take_shard_events`].
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -93,11 +109,12 @@ use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
 use sdnfv_ring::{spsc_ring, Consumer, CreditGate, Producer, PushError, SharedPacket};
-use sdnfv_telemetry::{Ewma, NfTelemetry, TelemetrySnapshot};
+use sdnfv_telemetry::{Ewma, NfTelemetry, ShardLifecycleEvent, TelemetrySnapshot};
 
-use crate::cache::LookupCache;
+use crate::cache::{cached_lookup, LookupCache};
 use crate::conflict::resolve_parallel_verdicts;
 use crate::messages::apply_nf_message;
+use crate::rehome::{BucketTracker, RehomeReport, RehomeState, RetiringShard};
 use crate::scratch::recycle;
 use crate::stats::{HostStats, ShardStats};
 
@@ -150,6 +167,10 @@ pub struct ThreadedHostConfig {
     /// Capacity of each shard's control-command ring (commands the worker
     /// applies between bursts).
     pub control_ring_capacity: usize,
+    /// Capacity of the per-bucket pen that holds arrivals while a steering
+    /// bucket is mid-re-home (quiesced). A full pen surfaces as ordinary
+    /// backpressure (or an overflow drop under [`OverflowPolicy::Drop`]).
+    pub rehome_pen: usize,
 }
 
 impl Default for ThreadedHostConfig {
@@ -166,6 +187,7 @@ impl Default for ThreadedHostConfig {
             trusted_nfs: false,
             telemetry_interval_ns: 1_000_000,
             control_ring_capacity: 16,
+            rehome_pen: 32,
         }
     }
 }
@@ -282,30 +304,57 @@ struct ShardPorts {
     gate: Option<Arc<CreditGate>>,
     control: Producer<ShardCommand>,
     telemetry: Consumer<TelemetrySnapshot>,
+    /// The shard's counters (shared with its threads), kept at hand so the
+    /// injection paths bump them without taking the stats registry lock.
+    stats: ShardStats,
+    /// Per-shard stop flag: set when the shard is retired so its worker
+    /// (and, transitively, its NF threads) wind down without touching the
+    /// host-wide `running` flag.
+    stop: Arc<AtomicBool>,
 }
 
 /// A handle to a running multi-threaded NF host.
+///
+/// The host handle is intended for a single management thread (it is not
+/// `Sync`): that thread injects traffic, polls egress and telemetry, and
+/// drives control — including the elastic shard lifecycle
+/// ([`ThreadedHost::spawn_shard`] / [`ThreadedHost::retire_shard`]) and the
+/// bucket re-home handshake, which advances opportunistically inside
+/// injection and polling calls.
 pub struct ThreadedHost {
-    shards: Vec<ShardPorts>,
+    shards: RefCell<Vec<ShardPorts>>,
     stats: HostStats,
     tables: FlowTablePartitions,
     running: Arc<AtomicBool>,
-    handles: Vec<JoinHandle<()>>,
+    handles: RefCell<Vec<JoinHandle<()>>>,
     epoch: Instant,
     policy: OverflowPolicy,
     credit_capacity: usize,
+    /// The (normalized) configuration, retained so shards spawned mid-run
+    /// get identical pipelines.
+    config: ThreadedHostConfig,
     /// Round-robin start shard for egress polling, so no shard starves.
     egress_cursor: Cell<usize>,
-    /// Flow-steering bucket table (empty for single-shard hosts and for
-    /// shard counts ≥ [`STEER_BUCKETS`], which fall back to plain modulo).
-    steering: Vec<Cell<usize>>,
+    /// Flow-steering bucket table (empty for single-shard hosts — which
+    /// steer everything to shard 0 — and for shard counts ≥
+    /// [`STEER_BUCKETS`], which fall back to plain modulo). Built lazily on
+    /// the first [`ThreadedHost::spawn_shard`] of a single-shard host.
+    steering: RefCell<Vec<usize>>,
+    /// Per-bucket in-flight packet counts (shared with every shard worker):
+    /// the drain condition of the re-home handshake.
+    tracker: Arc<BucketTracker>,
+    /// In-progress bucket moves and shard retirement.
+    rehome: RefCell<RehomeState>,
+    /// Completed shard lifecycle transitions awaiting
+    /// [`ThreadedHost::take_shard_events`].
+    events: RefCell<Vec<ShardLifecycleEvent>>,
 }
 
 impl std::fmt::Debug for ThreadedHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadedHost")
-            .field("shards", &self.shards.len())
-            .field("threads", &self.handles.len())
+            .field("shards", &self.shards.borrow().len())
+            .field("threads", &self.handles.borrow().len())
             .field("rules", &self.tables.template().len())
             .finish()
     }
@@ -352,103 +401,76 @@ impl ThreadedHost {
     where
         F: FnMut(usize) -> Vec<(ServiceId, Box<dyn NetworkFunction>)>,
     {
+        let mut config = config;
         let num_shards = config.num_shards.max(1);
-        let burst_size = config.burst_size.max(1);
-        let nf_ring_capacity = config.nf_ring_capacity.max(1);
-        let ingress_capacity = config.ingress_capacity.max(1);
-        let egress_capacity = config.egress_capacity.max(1);
+        config.num_shards = num_shards;
+        config.burst_size = config.burst_size.max(1);
+        config.nf_ring_capacity = config.nf_ring_capacity.max(1);
+        config.ingress_capacity = config.ingress_capacity.max(1);
+        config.egress_capacity = config.egress_capacity.max(1);
+        config.control_ring_capacity = config.control_ring_capacity.max(1);
+        config.rehome_pen = config.rehome_pen.max(1);
         // Clamping the credit budget to the smallest internal ring makes
         // in-pipeline overflow impossible: a shard never holds more packets
         // in flight than any one ring could absorb.
         let credit_capacity = config
             .shard_credits
             .max(1)
-            .min(nf_ring_capacity)
-            .min(ingress_capacity);
+            .min(config.nf_ring_capacity)
+            .min(config.ingress_capacity);
 
         let stats = HostStats::with_shards(num_shards);
         let running = Arc::new(AtomicBool::new(true));
         let epoch = Instant::now();
         let tables = FlowTablePartitions::new(&table, num_shards);
+        let tracker = Arc::new(BucketTracker::new(STEER_BUCKETS));
         let mut handles = Vec::new();
         let mut shards = Vec::with_capacity(num_shards);
 
         for shard in 0..num_shards {
-            let initial_nfs = nfs_for_shard(shard);
-            let shard_stats = stats.shard(shard).clone();
-            let gate = matches!(config.overflow_policy, OverflowPolicy::Backpressure)
-                .then(|| Arc::new(CreditGate::new(credit_capacity)));
-
-            let (ingress_tx, ingress_rx) = spsc_ring::<IngressFrame>(ingress_capacity);
-            let (egress_tx, egress_rx) = spsc_ring::<HostOutput>(egress_capacity);
-            let (control_tx, control_rx) =
-                spsc_ring::<ShardCommand>(config.control_ring_capacity.max(1));
-            let (telemetry_tx, telemetry_rx) = spsc_ring::<TelemetrySnapshot>(16);
-
-            let engine = ShardEngine {
+            let (ports, handle) = launch_pipeline(
                 shard,
-                initial_nfs,
-                slots: Vec::new(),
-                service_instances: HashMap::new(),
-                egress: egress_tx,
-                gate: gate.clone(),
-                table: tables.shard(shard).clone(),
-                stats: shard_stats,
-                running: Arc::clone(&running),
-                enable_cache: config.enable_lookup_cache,
-                burst_size,
-                nf_ring_capacity,
-                credit_clamp: nf_ring_capacity.min(ingress_capacity),
-                trusted: config.trusted_nfs,
+                nfs_for_shard(shard),
+                tables.shard(shard),
+                stats.shard(shard),
+                &running,
+                &tracker,
                 epoch,
-                cache: LookupCache::new(4096),
-                memo: BurstLookupMemo::default(),
-                staging: BurstStaging::new(0, burst_size),
-                control: control_rx,
-                telemetry: telemetry_tx,
-                telemetry_interval_ns: config.telemetry_interval_ns,
-                last_telemetry: epoch,
-                telemetry_check: 0,
-                telemetry_seq: 0,
-                applied_commands: 0,
-                draining: 0,
-            };
-            handles.push(std::thread::spawn(move || engine.run(ingress_rx)));
-
-            shards.push(ShardPorts {
-                ingress: ingress_tx,
-                egress: egress_rx,
-                gate,
-                control: control_tx,
-                telemetry: telemetry_rx,
-            });
+                &config,
+                credit_capacity,
+            );
+            handles.push(handle);
+            shards.push(ports);
         }
 
         let steering = if num_shards > 1 && num_shards < STEER_BUCKETS {
-            (0..STEER_BUCKETS)
-                .map(|b| Cell::new(b % num_shards))
-                .collect()
+            (0..STEER_BUCKETS).map(|b| b % num_shards).collect()
         } else {
             Vec::new()
         };
 
         ThreadedHost {
-            shards,
+            shards: RefCell::new(shards),
             stats,
             tables,
             running,
-            handles,
+            handles: RefCell::new(handles),
             epoch,
             policy: config.overflow_policy,
             credit_capacity,
+            config,
             egress_cursor: Cell::new(0),
-            steering,
+            steering: RefCell::new(steering),
+            tracker,
+            rehome: RefCell::new(RehomeState::default()),
+            events: RefCell::new(Vec::new()),
         }
     }
 
-    /// Number of pipeline shards.
+    /// Number of pipeline shards (a retiring shard counts until its
+    /// teardown completes).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.shards.borrow().len()
     }
 
     /// The overflow policy the host runs under.
@@ -469,7 +491,10 @@ impl ThreadedHost {
     ///
     /// Panics if `shard` is out of range.
     pub fn available_credits(&self, shard: usize) -> Option<usize> {
-        self.shards[shard].gate.as_ref().map(|g| g.available())
+        self.shards.borrow()[shard]
+            .gate
+            .as_ref()
+            .map(|g| g.available())
     }
 
     /// The current credit budget of `shard` (it may differ from
@@ -481,19 +506,23 @@ impl ThreadedHost {
     ///
     /// Panics if `shard` is out of range.
     pub fn credit_budget(&self, shard: usize) -> Option<usize> {
-        self.shards[shard].gate.as_ref().map(|g| g.capacity())
+        self.shards.borrow()[shard]
+            .gate
+            .as_ref()
+            .map(|g| g.capacity())
     }
 
     /// The shard a flow hash steers to under the current bucket table.
     fn steer_hash(&self, hash: u64) -> usize {
-        let num_shards = self.shards.len();
+        let num_shards = self.shards.borrow().len();
         if num_shards <= 1 {
             return 0;
         }
-        if self.steering.is_empty() {
+        let steering = self.steering.borrow();
+        if steering.is_empty() {
             return (hash % num_shards as u64) as usize;
         }
-        self.steering[(hash % self.steering.len() as u64) as usize].get()
+        steering[(hash % steering.len() as u64) as usize]
     }
 
     /// The shard a packet would be steered to.
@@ -507,59 +536,123 @@ impl ThreadedHost {
     /// Injects a packet into the host, stamping its receive timestamp, and
     /// reports the admission outcome. Under backpressure a rejected packet
     /// is handed back inside [`InjectResult::Throttled`] for retry.
+    ///
+    /// Packets of a steering bucket that is mid-re-home are parked in the
+    /// bucket's pen (still [`InjectResult::Admitted`] — they are released
+    /// into the bucket's new shard once the move completes); a full pen
+    /// surfaces as ordinary backpressure.
     pub fn inject(&self, mut packet: Packet) -> InjectResult {
+        self.advance_rehoming();
         packet.timestamp_ns = self.now_ns();
         let key = packet.flow_key();
-        let shard = key
-            .as_ref()
-            .map(|k| self.steer_hash(k.stable_hash()))
-            .unwrap_or(0);
-        let ports = &self.shards[shard];
+        let (shard, tracked) = match &key {
+            Some(k) => {
+                let hash = k.stable_hash();
+                let bucket = (hash % STEER_BUCKETS as u64) as usize;
+                if self.rehome.borrow().is_parked(bucket) {
+                    return self.park(bucket, packet, *k);
+                }
+                (self.steer_hash(hash), Some(bucket))
+            }
+            None => (0, None),
+        };
+        let shards = self.shards.borrow();
+        let ports = &shards[shard];
         if let Some(gate) = &ports.gate {
             if !gate.try_acquire(1) {
-                self.stats.shard(shard).add_throttled(1);
+                ports.stats.add_throttled(1);
                 return InjectResult::Throttled(packet);
             }
         }
         match ports.ingress.push(IngressFrame { packet, key }) {
-            Ok(()) => InjectResult::Admitted,
+            Ok(()) => {
+                if let Some(bucket) = tracked {
+                    self.tracker.admit(bucket);
+                }
+                InjectResult::Admitted
+            }
             Err(PushError(frame)) => match &ports.gate {
                 Some(gate) => {
                     gate.release(1);
-                    self.stats.shard(shard).add_throttled(1);
+                    ports.stats.add_throttled(1);
                     InjectResult::Throttled(frame.packet)
                 }
                 None => {
-                    self.stats.shard(shard).add_overflow_drops(1);
+                    ports.stats.add_overflow_drops(1);
                     InjectResult::Dropped
                 }
             },
         }
     }
 
+    /// Parks a packet whose bucket is mid-re-home in the bucket's pen.
+    fn park(&self, bucket: usize, packet: Packet, key: FlowKey) -> InjectResult {
+        let mut state = self.rehome.borrow_mut();
+        let report_shard = {
+            let mv = state
+                .move_for_bucket_mut(bucket)
+                .expect("a parked bucket has an active move");
+            if mv.pen.len() < self.config.rehome_pen {
+                mv.pen.push_back((packet, key));
+                None
+            } else {
+                Some((mv.to, packet))
+            }
+        };
+        match report_shard {
+            None => {
+                state.report.packets_penned += 1;
+                InjectResult::Admitted
+            }
+            Some((shard, packet)) => {
+                state.report.pen_throttled += 1;
+                drop(state);
+                let shards = self.shards.borrow();
+                match self.policy {
+                    OverflowPolicy::Backpressure => {
+                        shards[shard].stats.add_throttled(1);
+                        InjectResult::Throttled(packet)
+                    }
+                    OverflowPolicy::Drop => {
+                        shards[shard].stats.add_overflow_drops(1);
+                        InjectResult::Dropped
+                    }
+                }
+            }
+        }
+    }
+
     /// Injects a burst of packets — grouped per shard, one ring operation
     /// per shard — stamping their receive timestamps. The returned
     /// [`BurstInjection`] hands every throttled packet back for retry.
+    /// Packets of mid-re-home buckets are parked exactly as in
+    /// [`ThreadedHost::inject`] (parked packets count as admitted).
     pub fn inject_burst(&self, packets: Vec<Packet>) -> BurstInjection {
+        self.advance_rehoming();
         let now = self.now_ns();
-        let num_shards = self.shards.len();
         let mut result = BurstInjection::default();
-        if num_shards == 1 {
-            // Single shard: frame the admitted packets in one pass and push
-            // them directly, skipping the per-shard grouping.
+        let rehoming = !self.rehome.borrow().moves.is_empty();
+        let shards = self.shards.borrow();
+        let num_shards = shards.len();
+        if num_shards == 1 && !rehoming {
+            // Single shard (and no bucket mid-move — impossible with one
+            // shard anyway): frame the admitted packets in one pass and
+            // push them directly, skipping the per-shard grouping.
+            let ports = &shards[0];
             let mut frames: Vec<IngressFrame> = Vec::with_capacity(packets.len());
             for mut packet in packets {
                 packet.timestamp_ns = now;
                 let key = packet.flow_key();
-                if let Some(gate) = &self.shards[0].gate {
+                if let Some(gate) = &ports.gate {
                     if !gate.try_acquire(1) {
-                        self.stats.shard(0).add_throttled(1);
+                        ports.stats.add_throttled(1);
                         result.throttled.push(packet);
                         continue;
                     }
                 }
                 frames.push(IngressFrame { packet, key });
             }
+            drop(shards);
             self.push_shard_frames(0, frames, &mut result);
             return result;
         }
@@ -567,19 +660,34 @@ impl ThreadedHost {
         for mut packet in packets {
             packet.timestamp_ns = now;
             let key = packet.flow_key();
-            let shard = key
-                .as_ref()
-                .map(|k| self.steer_hash(k.stable_hash()))
-                .unwrap_or(0);
-            if let Some(gate) = &self.shards[shard].gate {
+            let shard = match &key {
+                Some(k) => {
+                    let hash = k.stable_hash();
+                    if rehoming {
+                        let bucket = (hash % STEER_BUCKETS as u64) as usize;
+                        if self.rehome.borrow().is_parked(bucket) {
+                            match self.park(bucket, packet, *k) {
+                                InjectResult::Admitted => result.admitted += 1,
+                                InjectResult::Throttled(p) => result.throttled.push(p),
+                                InjectResult::Dropped => result.dropped += 1,
+                            }
+                            continue;
+                        }
+                    }
+                    self.steer_hash(hash)
+                }
+                None => 0,
+            };
+            if let Some(gate) = &shards[shard].gate {
                 if !gate.try_acquire(1) {
-                    self.stats.shard(shard).add_throttled(1);
+                    shards[shard].stats.add_throttled(1);
                     result.throttled.push(packet);
                     continue;
                 }
             }
             staged[shard].push(IngressFrame { packet, key });
         }
+        drop(shards);
         for (shard, frames) in staged.into_iter().enumerate() {
             self.push_shard_frames(shard, frames, &mut result);
         }
@@ -598,22 +706,37 @@ impl ThreadedHost {
         if frames.is_empty() {
             return;
         }
-        let ports = &self.shards[shard];
+        let shards = self.shards.borrow();
+        let ports = &shards[shard];
+        // `push_n` drains the admitted prefix out of the vec, so bucket
+        // in-flight counts are recorded up front and rolled back for the
+        // leftovers the ring rejected (same management thread: the
+        // transient is never observed by a drain check).
+        for frame in &frames {
+            if let Some(key) = &frame.key {
+                self.tracker.admit(self.tracker.bucket_of(key));
+            }
+        }
         result.admitted += ports.ingress.push_n(&mut frames);
         if frames.is_empty() {
             return;
         }
         let leftover = frames.len();
+        for frame in &frames {
+            if let Some(key) = &frame.key {
+                self.tracker.finish(key);
+            }
+        }
         match &ports.gate {
             Some(gate) => {
                 gate.release(leftover);
-                self.stats.shard(shard).add_throttled(leftover as u64);
+                ports.stats.add_throttled(leftover as u64);
                 result
                     .throttled
                     .extend(frames.into_iter().map(|f| f.packet));
             }
             None => {
-                self.stats.shard(shard).add_overflow_drops(leftover as u64);
+                ports.stats.add_overflow_drops(leftover as u64);
                 result.dropped += leftover;
             }
         }
@@ -627,11 +750,13 @@ impl ThreadedHost {
 
     /// Retrieves one transmitted packet, if any, polling shards round-robin.
     pub fn poll_egress(&self) -> Option<HostOutput> {
-        let n = self.shards.len();
+        self.advance_rehoming();
+        let shards = self.shards.borrow();
+        let n = shards.len();
         let start = self.egress_cursor.get();
         for offset in 0..n {
             let shard = (start + offset) % n;
-            if let Some(out) = self.shards[shard].egress.pop() {
+            if let Some(out) = shards[shard].egress.pop() {
                 self.egress_cursor.set((shard + 1) % n);
                 return Some(out);
             }
@@ -642,7 +767,9 @@ impl ThreadedHost {
     /// Retrieves up to `max` transmitted packets, draining shards
     /// round-robin with one ring operation each.
     pub fn poll_egress_burst(&self, max: usize) -> Vec<HostOutput> {
-        let n = self.shards.len();
+        self.advance_rehoming();
+        let shards = self.shards.borrow();
+        let n = shards.len();
         let mut out = Vec::new();
         let start = self.egress_cursor.get();
         for offset in 0..n {
@@ -651,7 +778,7 @@ impl ThreadedHost {
             }
             let shard = (start + offset) % n;
             let room = max - out.len();
-            self.shards[shard].egress.pop_n(&mut out, room);
+            shards[shard].egress.pop_n(&mut out, room);
         }
         self.egress_cursor.set((start + 1) % n);
         out
@@ -660,7 +787,7 @@ impl ThreadedHost {
     /// Number of packets currently waiting in the ingress rings (all
     /// shards).
     pub fn ingress_depth(&self) -> usize {
-        self.shards.iter().map(|s| s.ingress.len()).sum()
+        self.shards.borrow().iter().map(|s| s.ingress.len()).sum()
     }
 
     /// Host statistics (merged snapshot via [`HostStats::snapshot`],
@@ -678,13 +805,13 @@ impl ThreadedHost {
         self.tables.template()
     }
 
-    /// The flow-table partition serving `shard` (on a single-shard host,
-    /// the template itself).
+    /// The flow-table partition serving `shard` (on a host started with a
+    /// single shard, shard 0's partition is the template itself).
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
-    pub fn shard_table(&self, shard: usize) -> &SharedFlowTable {
+    pub fn shard_table(&self, shard: usize) -> SharedFlowTable {
         self.tables.shard(shard)
     }
 
@@ -701,13 +828,22 @@ impl ThreadedHost {
     /// [`TelemetryHub`](sdnfv_telemetry::TelemetryHub) to keep a merged
     /// latest-per-shard view.
     pub fn poll_telemetry(&self) -> Vec<TelemetrySnapshot> {
+        self.advance_rehoming();
         let mut out = Vec::new();
-        for ports in &self.shards {
+        for ports in self.shards.borrow().iter() {
             while let Some(snapshot) = ports.telemetry.pop() {
                 out.push(snapshot);
             }
         }
         out
+    }
+
+    /// Drains the shard lifecycle transitions ([`ShardLifecycleEvent`])
+    /// that completed since the last call — the feed telemetry consumers
+    /// use to grow or prune their per-shard state.
+    pub fn take_shard_events(&self) -> Vec<ShardLifecycleEvent> {
+        self.advance_rehoming();
+        std::mem::take(&mut *self.events.borrow_mut())
     }
 
     /// Asks `shard`'s worker to spawn one more replica of `service` running
@@ -724,7 +860,7 @@ impl ThreadedHost {
         service: ServiceId,
         nf: Box<dyn NetworkFunction>,
     ) -> Result<(), Box<dyn NetworkFunction>> {
-        self.shards[shard]
+        self.shards.borrow()[shard]
             .control
             .push(ShardCommand::AddNf { service, nf })
             .map_err(|PushError(command)| match command {
@@ -743,7 +879,7 @@ impl ThreadedHost {
     ///
     /// Panics if `shard` is out of range.
     pub fn remove_nf_replica(&self, shard: usize, service: ServiceId) -> bool {
-        self.shards[shard]
+        self.shards.borrow()[shard]
             .control
             .push(ShardCommand::RemoveNf { service })
             .is_ok()
@@ -758,10 +894,11 @@ impl ThreadedHost {
     ///
     /// Panics if `shard` is out of range.
     pub fn resize_credits(&self, shard: usize, credits: usize) -> bool {
-        if self.shards[shard].gate.is_none() {
+        let shards = self.shards.borrow();
+        if shards[shard].gate.is_none() {
             return false;
         }
-        self.shards[shard]
+        shards[shard]
             .control
             .push(ShardCommand::ResizeCredits { credits })
             .is_ok()
@@ -770,46 +907,66 @@ impl ThreadedHost {
     /// Rebalances flow steering: shard `s` is assigned a share of the
     /// [`STEER_BUCKETS`] hash buckets proportional to `weights[s]`,
     /// moving as few buckets as possible from the current assignment.
-    /// Flows in moved buckets are re-homed to the new shard (their in-flight
-    /// packets complete on the old one); flows in unmoved buckets keep
-    /// their shard. Returns `false` for single-shard hosts, a weight-count
-    /// mismatch, or an all-zero weight vector.
+    ///
+    /// Every moved bucket goes through the state-safe re-home handshake:
+    /// the bucket is quiesced (arrivals parked), the old shard drains its
+    /// in-flight packets, the bucket's shard-local exact-flow rules are
+    /// exported into the new owner's flow-table partition, and only then
+    /// does the steering entry flip — no packet and no flow-table state is
+    /// lost. Idle buckets complete the handshake immediately; busy ones
+    /// finish over subsequent injection/polling calls. Buckets already
+    /// mid-re-home are left to finish their current move.
+    ///
+    /// Returns `false` for single-shard hosts, a weight-count mismatch, an
+    /// all-zero weight vector, or while a shard retirement is in progress.
     pub fn set_steering_weights(&self, weights: &[u32]) -> bool {
-        let num_shards = self.shards.len();
-        if num_shards <= 1 || weights.len() != num_shards || self.steering.is_empty() {
+        self.advance_rehoming();
+        let num_shards = self.shards.borrow().len();
+        if num_shards <= 1 || weights.len() != num_shards || self.steering.borrow().is_empty() {
             return false;
         }
-        let total: u64 = weights.iter().map(|w| u64::from(*w)).sum();
-        if total == 0 {
+        if self.rehome.borrow().retiring.is_some() {
             return false;
         }
-        let buckets = self.steering.len();
-        // Largest-remainder apportionment of buckets to shards.
-        let mut target = vec![0usize; num_shards];
-        let mut remainder = vec![0u64; num_shards];
-        let mut assigned = 0usize;
-        for shard in 0..num_shards {
-            let exact = buckets as u64 * u64::from(weights[shard]);
-            target[shard] = (exact / total) as usize;
-            remainder[shard] = exact % total;
-            assigned += target[shard];
+        let buckets = self.steering.borrow().len();
+        let Some(target) = apportion_targets(weights, buckets) else {
+            return false;
+        };
+        self.rebalance_to_targets(&target);
+        true
+    }
+
+    /// Moves buckets (via the re-home handshake) until each shard owns
+    /// `target[shard]` buckets, taking as few buckets as possible from
+    /// over-quota shards. Buckets already mid-move are skipped; their
+    /// destination counts toward its shard's quota.
+    fn rebalance_to_targets(&self, target: &[usize]) {
+        let mut steering = self.steering.borrow_mut();
+        let mut state = self.rehome.borrow_mut();
+        state.ensure_parked_table(steering.len());
+        let buckets = steering.len();
+        // Effective ownership: a mid-move bucket already belongs to its
+        // destination.
+        let mut current = vec![0usize; target.len()];
+        for (bucket, &owner) in steering.iter().enumerate() {
+            let effective = state
+                .moves
+                .iter()
+                .find(|m| m.bucket == bucket)
+                .map(|m| m.to)
+                .unwrap_or(owner);
+            current[effective] += 1;
         }
-        let mut order: Vec<usize> = (0..num_shards).collect();
-        order.sort_by(|a, b| remainder[*b].cmp(&remainder[*a]).then(a.cmp(b)));
-        for shard in order.iter().take(buckets - assigned) {
-            target[*shard] += 1;
-        }
-        // Move as few buckets as possible: over-quota shards give up their
-        // highest-index buckets, under-quota shards absorb them in order.
-        let mut current = vec![0usize; num_shards];
-        for cell in &self.steering {
-            current[cell.get()] += 1;
-        }
+        // Over-quota shards give up their highest-index (non-moving)
+        // buckets, under-quota shards absorb them in order.
         let mut freed: Vec<usize> = Vec::new();
         for bucket in (0..buckets).rev() {
-            let shard = self.steering[bucket].get();
-            if current[shard] > target[shard] {
-                current[shard] -= 1;
+            if state.is_parked(bucket) {
+                continue;
+            }
+            let owner = steering[bucket];
+            if current[owner] > target[owner] {
+                current[owner] -= 1;
                 freed.push(bucket);
             }
         }
@@ -818,35 +975,355 @@ impl ThreadedHost {
             while current[receiver] >= target[receiver] {
                 receiver += 1;
             }
-            self.steering[bucket].set(receiver);
             current[receiver] += 1;
+            let from = steering[bucket];
+            if from == receiver {
+                continue;
+            }
+            if self.tracker.in_flight(bucket) == 0 {
+                // Already quiesced: export the bucket's rules and flip in
+                // one step.
+                let moved = self
+                    .tables
+                    .move_exact_rules(from, receiver, |key| self.tracker.bucket_of(key) == bucket);
+                state.report.rules_rehomed += moved as u64;
+                state.report.buckets_rehomed += 1;
+                steering[bucket] = receiver;
+            } else {
+                state.begin_move(bucket, from, receiver);
+            }
         }
+    }
+
+    /// Advances every in-progress re-home: drains completed buckets (rule
+    /// export + steering flip + pen release) and finalizes a shard
+    /// retirement once its pipeline is empty. Called opportunistically from
+    /// injection and polling, so the handshake needs no dedicated thread.
+    fn advance_rehoming(&self) {
+        if self.rehome.borrow().is_idle() {
+            return;
+        }
+        let mut state = self.rehome.borrow_mut();
+        let mut steering = self.steering.borrow_mut();
+        let RehomeState {
+            moves,
+            parked,
+            retiring,
+            report,
+        } = &mut *state;
+        moves.retain_mut(|mv| {
+            if !mv.flipped {
+                if self.tracker.in_flight(mv.bucket) > 0 {
+                    return true;
+                }
+                // Quiesced: the old shard holds no packet of this bucket
+                // anywhere between ingress and egress staging, so its
+                // shard-local rules are stable — export, then flip.
+                let moved = self.tables.move_exact_rules(mv.from, mv.to, |key| {
+                    self.tracker.bucket_of(key) == mv.bucket
+                });
+                report.rules_rehomed += moved as u64;
+                steering[mv.bucket] = mv.to;
+                mv.flipped = true;
+            }
+            // Release the pen into the new shard (in arrival order).
+            let shards = self.shards.borrow();
+            let ports = &shards[mv.to];
+            while let Some((packet, key)) = mv.pen.pop_front() {
+                if let Some(gate) = &ports.gate {
+                    if !gate.try_acquire(1) {
+                        mv.pen.push_front((packet, key));
+                        return true;
+                    }
+                }
+                match ports.ingress.push(IngressFrame {
+                    packet,
+                    key: Some(key),
+                }) {
+                    Ok(()) => self.tracker.admit(mv.bucket),
+                    Err(PushError(frame)) => {
+                        if let Some(gate) = &ports.gate {
+                            gate.release(1);
+                        }
+                        let key = frame.key.expect("penned packets are keyed");
+                        mv.pen.push_front((frame.packet, key));
+                        return true;
+                    }
+                }
+            }
+            parked[mv.bucket] = false;
+            report.buckets_rehomed += 1;
+            false
+        });
+        if let Some(RetiringShard { shard, stop_sent }) = retiring {
+            let s = *shard;
+            if !*stop_sent
+                && !moves.iter().any(|m| m.from == s || m.to == s)
+                && !steering.contains(&s)
+            {
+                // Every bucket has left the shard and drained: nothing can
+                // reach its pipeline any more (its gate may transiently
+                // hold credits for egress-staged packets, which the worker
+                // releases as it flushes). Stop its worker (which retires
+                // the shard's NF threads in turn).
+                self.shards.borrow()[s].stop.store(true, Ordering::Release);
+                *stop_sent = true;
+            }
+            if *stop_sent {
+                let finished = self
+                    .handles
+                    .borrow()
+                    .last()
+                    .is_some_and(JoinHandle::is_finished);
+                let egress_empty = self.shards.borrow()[s].egress.is_empty();
+                if finished && egress_empty {
+                    if let Some(handle) = self.handles.borrow_mut().pop() {
+                        let _ = handle.join();
+                    }
+                    self.shards.borrow_mut().pop();
+                    self.tables.remove_last_partition();
+                    self.events.borrow_mut().push(ShardLifecycleEvent::Retired {
+                        shard: s,
+                        at_ns: self.epoch.elapsed().as_nanos() as u64,
+                    });
+                    *retiring = None;
+                }
+            }
+        }
+    }
+
+    /// Spawns a complete new pipeline shard — worker thread, the given NF
+    /// replica set, ingress/egress/control/telemetry rings, a credit gate
+    /// and a flow-table partition forked from the template — while traffic
+    /// flows, then re-homes a fair (uniform) share of steering buckets onto
+    /// it through the state-safe drain handshake. Returns the new shard's
+    /// index.
+    ///
+    /// Fails (handing the NF set back) while a shard retirement is in
+    /// progress, or if the host steers by plain modulo (≥
+    /// [`STEER_BUCKETS`] shards), where bucket re-homing is unavailable.
+    #[allow(clippy::type_complexity)]
+    pub fn spawn_shard(
+        &self,
+        nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)>,
+    ) -> Result<usize, Vec<(ServiceId, Box<dyn NetworkFunction>)>> {
+        self.advance_rehoming();
+        if self.rehome.borrow().retiring.is_some() {
+            return Err(nfs);
+        }
+        let shard = self.shards.borrow().len();
+        if shard + 1 >= STEER_BUCKETS {
+            return Err(nfs);
+        }
+        {
+            // A host started single-shard has no steering table yet; build
+            // the identity assignment (everything on shard 0) so the
+            // rebalance below can carve out the new shard's share.
+            let mut steering = self.steering.borrow_mut();
+            if steering.is_empty() {
+                debug_assert_eq!(shard, 1, "only single-shard hosts lack a table");
+                *steering = vec![0; STEER_BUCKETS];
+            }
+        }
+        let partition = self.tables.add_partition();
+        debug_assert_eq!(partition, shard, "partitions track shards");
+        let (ports, handle) = launch_pipeline(
+            shard,
+            nfs,
+            self.tables.shard(shard),
+            self.stats.ensure_shard(shard),
+            &self.running,
+            &self.tracker,
+            self.epoch,
+            &self.config,
+            self.credit_capacity,
+        );
+        self.shards.borrow_mut().push(ports);
+        self.handles.borrow_mut().push(handle);
+        self.events.borrow_mut().push(ShardLifecycleEvent::Spawned {
+            shard,
+            at_ns: self.epoch.elapsed().as_nanos() as u64,
+        });
+        // Give every shard (including the new one) a uniform bucket share.
+        let buckets = self.steering.borrow().len();
+        if let Some(target) = apportion_targets(&vec![1; shard + 1], buckets) {
+            self.rebalance_to_targets(&target);
+        }
+        self.advance_rehoming();
+        Ok(shard)
+    }
+
+    /// Begins retiring the highest-index shard: every steering bucket it
+    /// owns is re-homed onto the remaining shards through the drain
+    /// handshake (shard-local exact-flow rules travel along), then the
+    /// shard's worker and NF threads are stopped and joined and its rings
+    /// reclaimed. The retirement completes asynchronously over subsequent
+    /// injection/polling calls; [`ThreadedHost::num_shards`] drops and a
+    /// [`ShardLifecycleEvent::Retired`] is published when it does.
+    ///
+    /// Returns `false` for single-shard hosts, while another retirement or
+    /// a move involving the shard is still in progress, or on hosts that
+    /// steer by plain modulo.
+    pub fn retire_shard(&self) -> bool {
+        self.advance_rehoming();
+        let num_shards = self.shards.borrow().len();
+        if num_shards <= 1 || self.steering.borrow().is_empty() {
+            return false;
+        }
+        let shard = num_shards - 1;
+        {
+            let state = self.rehome.borrow();
+            if state.retiring.is_some() || state.shard_has_moves(shard) {
+                return false;
+            }
+        }
+        // Spread the retiring shard's buckets uniformly over the survivors.
+        let buckets = self.steering.borrow().len();
+        let mut target =
+            apportion_targets(&vec![1; shard], buckets).expect("uniform weights are non-zero");
+        target.push(0);
+        self.rebalance_to_targets(&target);
+        self.rehome.borrow_mut().retiring = Some(RetiringShard {
+            shard,
+            stop_sent: false,
+        });
+        self.advance_rehoming();
         true
+    }
+
+    /// Whether a shard retirement is still in progress.
+    pub fn is_retiring(&self) -> bool {
+        self.rehome.borrow().retiring.is_some()
+    }
+
+    /// Number of steering buckets currently mid-re-home.
+    pub fn pending_rehomes(&self) -> usize {
+        self.rehome.borrow().moves.len()
+    }
+
+    /// Cumulative re-home activity (buckets and rules moved, packets
+    /// penned) — the observability hook the `shard_rehome` bench asserts
+    /// on.
+    pub fn rehome_report(&self) -> RehomeReport {
+        self.rehome.borrow().report
     }
 
     /// The current bucket → shard steering assignment (empty when the host
     /// steers by plain modulo: single shard, or ≥ [`STEER_BUCKETS`]
     /// shards).
     pub fn steering_table(&self) -> Vec<usize> {
-        self.steering.iter().map(Cell::get).collect()
+        self.steering.borrow().clone()
     }
 
     /// Stops all threads and waits for them to exit.
-    pub fn shutdown(mut self) {
-        self.running.store(false, Ordering::Release);
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+    pub fn shutdown(self) {
+        drop(self);
     }
 }
 
 impl Drop for ThreadedHost {
     fn drop(&mut self) {
         self.running.store(false, Ordering::Release);
-        for handle in self.handles.drain(..) {
+        for handle in self.handles.borrow_mut().drain(..) {
             let _ = handle.join();
         }
     }
+}
+
+/// Largest-remainder apportionment of `buckets` bucket slots over weighted
+/// shards; `None` if the weights sum to zero.
+fn apportion_targets(weights: &[u32], buckets: usize) -> Option<Vec<usize>> {
+    let total: u64 = weights.iter().map(|w| u64::from(*w)).sum();
+    if total == 0 {
+        return None;
+    }
+    let num_shards = weights.len();
+    let mut target = vec![0usize; num_shards];
+    let mut remainder = vec![0u64; num_shards];
+    let mut assigned = 0usize;
+    for shard in 0..num_shards {
+        let exact = buckets as u64 * u64::from(weights[shard]);
+        target[shard] = (exact / total) as usize;
+        remainder[shard] = exact % total;
+        assigned += target[shard];
+    }
+    let mut order: Vec<usize> = (0..num_shards).collect();
+    order.sort_by(|a, b| remainder[*b].cmp(&remainder[*a]).then(a.cmp(b)));
+    for shard in order.iter().take(buckets - assigned) {
+        target[*shard] += 1;
+    }
+    Some(target)
+}
+
+/// Builds and starts one shard's full pipeline: its rings, credit gate and
+/// worker thread (which spawns the shard's NF threads). Shared by
+/// `start_sharded` and mid-run [`ThreadedHost::spawn_shard`].
+#[allow(clippy::too_many_arguments)]
+fn launch_pipeline(
+    shard: usize,
+    initial_nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)>,
+    table: SharedFlowTable,
+    stats: ShardStats,
+    running: &Arc<AtomicBool>,
+    tracker: &Arc<BucketTracker>,
+    epoch: Instant,
+    config: &ThreadedHostConfig,
+    credit_capacity: usize,
+) -> (ShardPorts, JoinHandle<()>) {
+    let gate = matches!(config.overflow_policy, OverflowPolicy::Backpressure)
+        .then(|| Arc::new(CreditGate::new(credit_capacity)));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (ingress_tx, ingress_rx) = spsc_ring::<IngressFrame>(config.ingress_capacity);
+    let (egress_tx, egress_rx) = spsc_ring::<HostOutput>(config.egress_capacity);
+    let (control_tx, control_rx) = spsc_ring::<ShardCommand>(config.control_ring_capacity);
+    let (telemetry_tx, telemetry_rx) = spsc_ring::<TelemetrySnapshot>(16);
+
+    let engine = ShardEngine {
+        shard,
+        initial_nfs,
+        slots: Vec::new(),
+        service_instances: HashMap::new(),
+        egress: egress_tx,
+        gate: gate.clone(),
+        table,
+        stats: stats.clone(),
+        running: Arc::clone(running),
+        stop: Arc::clone(&stop),
+        tracker: Arc::clone(tracker),
+        enable_cache: config.enable_lookup_cache,
+        burst_size: config.burst_size,
+        nf_ring_capacity: config.nf_ring_capacity,
+        credit_clamp: config.nf_ring_capacity.min(config.ingress_capacity),
+        trusted: config.trusted_nfs,
+        epoch,
+        cache: LookupCache::new(4096),
+        memo: BurstLookupMemo::default(),
+        staging: BurstStaging::new(0, config.burst_size),
+        control: control_rx,
+        telemetry: telemetry_tx,
+        telemetry_interval_ns: config.telemetry_interval_ns,
+        last_telemetry: epoch,
+        telemetry_check: 0,
+        telemetry_seq: 0,
+        applied_commands: 0,
+        draining: 0,
+        retired_slots: 0,
+    };
+    let handle = std::thread::spawn(move || engine.run(ingress_rx));
+
+    (
+        ShardPorts {
+            ingress: ingress_tx,
+            egress: egress_rx,
+            gate,
+            control: control_tx,
+            telemetry: telemetry_rx,
+            stats,
+            stop,
+        },
+        handle,
+    )
 }
 
 /// Lock-free measurements one NF thread shares with its shard's worker: the
@@ -859,8 +1336,10 @@ struct NfProbe {
     processed: AtomicU64,
 }
 
-/// Lifecycle of one NF replica slot on a shard. Slot indices are stable for
-/// the worker's whole life; retired slots are reused by later scale-ups.
+/// Lifecycle of one NF replica slot on a shard. Slot indices are stable
+/// between lifecycle events; retired slots are reused by prompt scale-ups
+/// and reclaimed (rings freed, indices compacted) once they have stayed
+/// retired past [`SLOT_COMPACTION_GRACE`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SlotState {
     /// Receiving and processing packets.
@@ -868,9 +1347,15 @@ enum SlotState {
     /// Scale-down in progress: no new packets are staged for the replica;
     /// its thread exits once the input ring is empty.
     Draining,
-    /// Thread joined, rings empty; the slot may be reused.
+    /// Thread joined, rings empty; the slot may be reused or compacted.
     Retired,
 }
+
+/// How long a retired NF slot keeps its (empty) rings available for reuse
+/// before the compaction pass reclaims them. A scale-up inside the grace
+/// window reuses the slot; a host that scales down and stays down gets its
+/// ring memory back.
+const SLOT_COMPACTION_GRACE: std::time::Duration = std::time::Duration::from_millis(1);
 
 /// One NF replica on a shard: its rings, its thread, and its telemetry
 /// probe.
@@ -882,6 +1367,8 @@ struct NfSlot {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
     state: SlotState,
+    /// When the slot entered [`SlotState::Retired`] (compaction timer).
+    retired_at: Option<Instant>,
 }
 
 /// Per-thread staging buffers: descriptors dispatched during a burst are
@@ -933,7 +1420,7 @@ impl BurstLookupMemo {
     ) -> Option<Decision> {
         self.entries
             .get_or_insert_with((step, *key), |(step, key)| {
-                lookup_with_cache(table, cache, enable_cache, *step, key)
+                cached_lookup(table, cache, enable_cache, *step, key)
             })
             .clone()
     }
@@ -958,6 +1445,13 @@ struct ShardEngine {
     table: SharedFlowTable,
     stats: ShardStats,
     running: Arc<AtomicBool>,
+    /// Per-shard retirement signal (the shard is drained and being torn
+    /// down; the host-wide `running` flag stays up).
+    stop: Arc<AtomicBool>,
+    /// Per-bucket in-flight counts: decremented at each packet's last
+    /// possible flow-state touch (egress staging, drop, punt) — the drain
+    /// condition of the bucket re-home handshake.
+    tracker: Arc<BucketTracker>,
     enable_cache: bool,
     burst_size: usize,
     nf_ring_capacity: usize,
@@ -979,6 +1473,9 @@ struct ShardEngine {
     applied_commands: u64,
     /// Number of slots currently in [`SlotState::Draining`].
     draining: usize,
+    /// Number of slots currently in [`SlotState::Retired`] (compaction
+    /// candidates).
+    retired_slots: usize,
 }
 
 impl ShardEngine {
@@ -989,7 +1486,7 @@ impl ShardEngine {
         let mut rx_burst: Vec<IngressFrame> = Vec::with_capacity(self.burst_size);
         let mut done_burst: Vec<DoneItem> = Vec::with_capacity(self.burst_size);
         let mut idle: u32 = 0;
-        while self.running.load(Ordering::Acquire) {
+        while self.running.load(Ordering::Acquire) && !self.stop.load(Ordering::Acquire) {
             let mut did_work = false;
             while let Some(command) = self.control.pop() {
                 did_work = true;
@@ -1018,6 +1515,9 @@ impl ShardEngine {
             if self.draining > 0 {
                 self.retire_drained();
             }
+            if self.retired_slots > 0 {
+                self.compact_retired_slots();
+            }
             self.maybe_publish_telemetry(&ingress);
             if did_work {
                 idle = 0;
@@ -1025,12 +1525,116 @@ impl ShardEngine {
                 idle_backoff(&mut idle);
             }
         }
-        // Shutdown: the global `running` flag stops the NF threads too;
-        // collect them so no thread outlives the host.
+        if self.running.load(Ordering::Acquire) {
+            // Per-shard retirement (not host shutdown): the shard's buckets
+            // have been re-homed and drained, so wind the NF threads down
+            // gracefully — every remaining completion is processed and no
+            // packet or credit is lost.
+            self.graceful_teardown(&ingress);
+        }
+        // Collect the NF threads so none outlives the shard (under host
+        // shutdown the global `running` flag stops them too).
         for slot in &mut self.slots {
             if let Some(handle) = slot.handle.take() {
                 let _ = handle.join();
             }
+        }
+    }
+
+    /// Winds the shard down after a retirement: tells every replica to
+    /// drain-and-exit, keeps serving their done rings until the pipeline is
+    /// empty, and accounts any straggler the host failed to drain first
+    /// (can't happen when the re-home handshake preceded the stop — kept
+    /// for defense in depth).
+    fn graceful_teardown(&mut self, ingress: &Consumer<IngressFrame>) {
+        for slot in &self.slots {
+            if slot.state != SlotState::Retired {
+                slot.stop.store(true, Ordering::Release);
+            }
+        }
+        let mut done_burst: Vec<DoneItem> = Vec::with_capacity(self.burst_size);
+        loop {
+            if !self.running.load(Ordering::Acquire) {
+                return; // host shutdown overrides the graceful wind-down
+            }
+            let mut busy = false;
+            for nf_index in 0..self.slots.len() {
+                if self.slots[nf_index].state == SlotState::Retired {
+                    continue;
+                }
+                done_burst.clear();
+                if self.slots[nf_index]
+                    .done
+                    .pop_n(&mut done_burst, self.burst_size)
+                    > 0
+                {
+                    busy = true;
+                    self.tx_round(&mut done_burst);
+                }
+            }
+            let threads_done = self
+                .slots
+                .iter()
+                .all(|slot| slot.handle.as_ref().is_none_or(JoinHandle::is_finished));
+            let rings_empty = self.slots.iter().all(|slot| slot.done.is_empty());
+            if !busy && threads_done && rings_empty {
+                break;
+            }
+            if !busy {
+                std::thread::yield_now();
+            }
+        }
+        // Stragglers in the ingress ring have no pipeline left; account
+        // them as overflow drops and give their credits and bucket counts
+        // back so nothing upstream waits forever.
+        while let Some(frame) = ingress.pop() {
+            self.stats.add_overflow_drops(1);
+            self.release_credits(1);
+            if let Some(key) = &frame.key {
+                self.tracker.finish(key);
+            }
+        }
+    }
+
+    /// Reclaims NF slots that have stayed [`SlotState::Retired`] past the
+    /// compaction grace: their rings are freed and the slot indices above
+    /// them shift down (the dispatch tables are rebuilt to match). Hosts
+    /// that scale down and stay down return to their baseline ring count.
+    fn compact_retired_slots(&mut self) {
+        let now = Instant::now();
+        let expired = |slot: &NfSlot| {
+            slot.state == SlotState::Retired
+                && slot
+                    .retired_at
+                    .is_none_or(|at| now.duration_since(at) >= SLOT_COMPACTION_GRACE)
+        };
+        if !self.slots.iter().any(expired) {
+            return;
+        }
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.slots.len());
+        let mut kept: Vec<NfSlot> = Vec::with_capacity(self.slots.len());
+        let mut kept_staging: Vec<Vec<WorkItem>> = Vec::with_capacity(self.slots.len());
+        for (index, slot) in self.slots.drain(..).enumerate() {
+            if expired(&slot) {
+                debug_assert!(self.staging.per_ring[index].is_empty());
+                remap.push(None);
+                self.retired_slots -= 1;
+                continue;
+            }
+            remap.push(Some(kept.len()));
+            kept.push(slot);
+            kept_staging.push(std::mem::take(&mut self.staging.per_ring[index]));
+        }
+        self.slots = kept;
+        self.staging.per_ring = kept_staging;
+        for indices in self.service_instances.values_mut() {
+            indices.retain_mut(|index| match remap[*index] {
+                Some(new_index) => {
+                    *index = new_index;
+                    true
+                }
+                None => false,
+            });
         }
     }
 
@@ -1051,6 +1655,7 @@ impl ShardEngine {
             stop: Arc::clone(&stop),
             stats: self.stats.clone(),
             gate: self.gate.clone(),
+            tracker: Arc::clone(&self.tracker),
             table: self.table.clone(),
             probe: Arc::clone(&probe),
             measure: self.telemetry_interval_ns != 0,
@@ -1067,6 +1672,7 @@ impl ShardEngine {
             stop,
             handle: Some(handle),
             state: SlotState::Active,
+            retired_at: None,
         };
         let index = match self
             .slots
@@ -1075,6 +1681,7 @@ impl ShardEngine {
         {
             Some(index) => {
                 self.slots[index] = slot;
+                self.retired_slots -= 1;
                 index
             }
             None => {
@@ -1109,7 +1716,9 @@ impl ShardEngine {
     }
 
     /// Moves fully drained replicas from [`SlotState::Draining`] to
-    /// [`SlotState::Retired`], joining their threads.
+    /// [`SlotState::Retired`], joining their threads. Retired slots stay
+    /// available for reuse for [`SLOT_COMPACTION_GRACE`], then the
+    /// compaction pass reclaims their rings.
     fn retire_drained(&mut self) {
         for slot in &mut self.slots {
             if slot.state != SlotState::Draining {
@@ -1121,7 +1730,9 @@ impl ShardEngine {
                     let _ = handle.join();
                 }
                 slot.state = SlotState::Retired;
+                slot.retired_at = Some(Instant::now());
                 self.draining -= 1;
+                self.retired_slots += 1;
             }
         }
     }
@@ -1186,6 +1797,7 @@ impl ShardEngine {
             credits_in_flight: self.gate.as_ref().map_or(0, |g| g.in_flight()),
             credit_capacity: self.gate.as_ref().map_or(0, |g| g.capacity()),
             nfs,
+            nf_slots_allocated: self.slots.len(),
             received: self.stats.received(),
             transmitted: self.stats.transmitted(),
             dropped: self.stats.dropped(),
@@ -1203,6 +1815,14 @@ impl ShardEngine {
         if let Some(gate) = &self.gate {
             gate.release(n);
         }
+    }
+
+    /// Records a keyed packet's last possible flow-state touch: it was
+    /// staged for egress, dropped or punted, so it can no longer read or
+    /// write this shard's flow table. Called exactly once per tracked
+    /// packet — the decrement side of the bucket-drain handshake.
+    fn finish_flow(&self, key: &FlowKey) {
+        self.tracker.finish(key);
     }
 
     fn lookup(&mut self, step: RulePort, key: &FlowKey) -> Option<Decision> {
@@ -1227,6 +1847,7 @@ impl ShardEngine {
                 // a miss is counted and the packet is dropped.
                 self.stats.add_controller_punts(1);
                 self.release_credits(1);
+                self.finish_flow(&key);
                 continue;
             };
             self.dispatch(packet, key, &decision.actions, decision.parallel);
@@ -1247,6 +1868,7 @@ impl ShardEngine {
             if targets.is_empty() {
                 self.stats.add_dropped(1);
                 self.release_credits(1);
+                self.finish_flow(&key);
                 return;
             }
             let indices: Vec<usize> = targets
@@ -1258,6 +1880,7 @@ impl ShardEngine {
             if indices.len() != targets.len() {
                 self.stats.add_overflow_drops(1);
                 self.release_credits(1);
+                self.finish_flow(&key);
                 return;
             }
             // All-or-nothing: a parallel packet must reach *every* target NF
@@ -1267,6 +1890,7 @@ impl ShardEngine {
             if !parallel_fits(&self.staging, &self.slots, &indices) {
                 self.stats.add_overflow_drops(1);
                 self.release_credits(1);
+                self.finish_flow(&key);
                 return;
             }
             self.stats.add_parallel_dispatches(1);
@@ -1299,21 +1923,27 @@ impl ShardEngine {
                     None => {
                         self.stats.add_dropped(1);
                         self.release_credits(1);
+                        self.finish_flow(&key);
                     }
                 }
             }
             Some(Action::ToPort(port)) => {
-                // transmitted accounting (and credit release) happens at
-                // flush, when the egress push lands
+                // Transmitted accounting (and credit release) happens at
+                // flush, when the egress push lands; the packet's
+                // flow-state work is already over, so its bucket count
+                // drops here.
+                self.finish_flow(&key);
                 self.staging.egress.push((port, packet));
             }
             Some(Action::ToController) => {
                 self.stats.add_controller_punts(1);
                 self.release_credits(1);
+                self.finish_flow(&key);
             }
             Some(Action::Drop) | None => {
                 self.stats.add_dropped(1);
                 self.release_credits(1);
+                self.finish_flow(&key);
             }
         }
     }
@@ -1362,17 +1992,20 @@ impl ShardEngine {
         if !parallel {
             match actions.first().copied() {
                 Some(Action::ToPort(port)) => {
+                    self.finish_flow(&item.key);
                     self.staging.egress.push((port, item.shared.clone_packet()));
                     return;
                 }
                 Some(Action::Drop) | None => {
                     self.stats.add_dropped(1);
                     self.release_credits(1);
+                    self.finish_flow(&item.key);
                     return;
                 }
                 Some(Action::ToController) => {
                     self.stats.add_controller_punts(1);
                     self.release_credits(1);
+                    self.finish_flow(&item.key);
                     return;
                 }
                 Some(Action::ToService(_)) => {}
@@ -1390,6 +2023,7 @@ impl ShardEngine {
         if targets.is_empty() {
             self.stats.add_dropped(1);
             self.release_credits(1);
+            self.finish_flow(&item.key);
             return;
         }
         let indices: Vec<usize> = targets
@@ -1399,6 +2033,7 @@ impl ShardEngine {
         if indices.len() != targets.len() {
             self.stats.add_overflow_drops(1);
             self.release_credits(1);
+            self.finish_flow(&item.key);
             return;
         }
         // All-or-nothing for any multi-target re-dispatch (parallel or a
@@ -1408,6 +2043,7 @@ impl ShardEngine {
         if !parallel_fits(&self.staging, &self.slots, &indices) {
             self.stats.add_overflow_drops(1);
             self.release_credits(1);
+            self.finish_flow(&item.key);
             return;
         }
         if parallel {
@@ -1449,14 +2085,19 @@ impl ShardEngine {
             // push-failure path.
             let mut dropped_items = 0u64;
             let mut dead_packets = 0usize;
+            let mut dead_keys: Vec<FlowKey> = Vec::new();
             for item in self.staging.per_ring[ring_index].drain(..) {
                 dropped_items += 1;
                 if item.shared.complete_one() {
                     dead_packets += 1;
+                    dead_keys.push(item.key);
                 }
             }
             self.stats.add_overflow_drops(dropped_items);
             self.release_credits(dead_packets);
+            for key in dead_keys {
+                self.finish_flow(&key);
+            }
         }
         loop {
             if self.staging.egress.is_empty() {
@@ -1549,6 +2190,9 @@ struct NfThread {
     stop: Arc<AtomicBool>,
     stats: ShardStats,
     gate: Option<Arc<CreditGate>>,
+    /// Per-bucket in-flight counts, for the (drop-policy-only) done-ring
+    /// overflow path where this thread terminates a packet itself.
+    tracker: Arc<BucketTracker>,
     /// The owning shard's flow-table partition.
     table: SharedFlowTable,
     probe: Arc<NfProbe>,
@@ -1571,6 +2215,7 @@ fn nf_thread_loop(thread: NfThread) {
         stop,
         stats,
         gate,
+        tracker,
         table,
         probe,
         measure,
@@ -1706,28 +2351,10 @@ fn nf_thread_loop(thread: NfThread) {
                 // Each DoneItem is the sole owner of its packet.
                 gate.release(leftover);
             }
-            done_staging.clear();
+            for item in done_staging.drain(..) {
+                tracker.finish(&item.key);
+            }
         }
-    }
-}
-
-fn lookup_with_cache(
-    table: &SharedFlowTable,
-    cache: &mut LookupCache,
-    enabled: bool,
-    step: RulePort,
-    key: &FlowKey,
-) -> Option<sdnfv_flowtable::Decision> {
-    if enabled {
-        let generation = table.generation();
-        if let Some(hit) = cache.get(key, step, generation) {
-            return Some(hit);
-        }
-        let decision = table.lookup(step, key)?;
-        cache.put(key, step, generation, decision.clone());
-        Some(decision)
-    } else {
-        table.lookup(step, key)
     }
 }
 
@@ -1834,6 +2461,7 @@ mod tests {
             stop: Arc::new(AtomicBool::new(false)),
             handle: None,
             state: SlotState::Active,
+            retired_at: None,
         };
         (slot, input, done_tx)
     }
@@ -2189,6 +2817,155 @@ mod tests {
         let _ = collect_outputs(&host, 1);
         std::thread::sleep(Duration::from_millis(20));
         assert!(host.poll_telemetry().is_empty(), "exporter disabled");
+        host.shutdown();
+    }
+
+    #[test]
+    fn apportion_targets_is_exact_and_weighted() {
+        assert_eq!(apportion_targets(&[0, 0], 8), None);
+        let uniform = apportion_targets(&[1, 1, 1, 1], 1024).unwrap();
+        assert_eq!(uniform, vec![256; 4]);
+        let skewed = apportion_targets(&[3, 1], 8).unwrap();
+        assert_eq!(skewed.iter().sum::<usize>(), 8);
+        assert_eq!(skewed, vec![6, 2]);
+        // Remainders are assigned, so the sum always matches.
+        let odd = apportion_targets(&[1, 1, 1], 1024).unwrap();
+        assert_eq!(odd.iter().sum::<usize>(), 1024);
+    }
+
+    #[test]
+    fn spawn_shard_grows_single_shard_host_and_spreads_traffic() {
+        let host = ThreadedHost::start(forward_table(), vec![], ThreadedHostConfig::default());
+        assert_eq!(host.num_shards(), 1);
+        assert!(host.steering_table().is_empty(), "modulo steering at start");
+        let shard = host
+            .spawn_shard(vec![])
+            .map_err(|_| "spawn refused")
+            .expect("spawn on an idle host");
+        assert_eq!(shard, 1);
+        assert_eq!(host.num_shards(), 2);
+        // The steering table was built and the new shard got a fair share.
+        let steering = host.steering_table();
+        assert_eq!(steering.len(), STEER_BUCKETS);
+        let moved = steering.iter().filter(|owner| **owner == 1).count();
+        assert_eq!(moved, STEER_BUCKETS / 2, "uniform share re-homed");
+        // Traffic spreads and nothing is lost.
+        for i in 0..100 {
+            assert!(host.inject(packet(i)).is_admitted());
+        }
+        let outputs = collect_outputs(&host, 100);
+        assert_eq!(outputs.len(), 100);
+        assert!(host.stats().shard_snapshot(1).received > 0);
+        // A lifecycle event announced the spawn.
+        let events = host.take_shard_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ShardLifecycleEvent::Spawned { shard: 1, .. })));
+        host.shutdown();
+    }
+
+    #[test]
+    fn retire_shard_completes_on_idle_host() {
+        let host = ThreadedHost::start_sharded(
+            forward_table(),
+            |_shard| vec![],
+            ThreadedHostConfig {
+                num_shards: 3,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        assert!(host.retire_shard());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while host.is_retiring() && Instant::now() < deadline {
+            let _ = host.poll_egress();
+            std::thread::yield_now();
+        }
+        assert!(!host.is_retiring());
+        assert_eq!(host.num_shards(), 2);
+        assert!(
+            !host.steering_table().contains(&2),
+            "no bucket points at it"
+        );
+        // Retiring the last shard is refused.
+        assert!(host.retire_shard());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while host.is_retiring() && Instant::now() < deadline {
+            let _ = host.poll_egress();
+            std::thread::yield_now();
+        }
+        assert_eq!(host.num_shards(), 1);
+        assert!(!host.retire_shard(), "a single-shard host cannot shrink");
+        host.shutdown();
+    }
+
+    #[test]
+    fn parked_bucket_pens_arrivals_and_bounds_the_pen() {
+        // Two shards with a slow compute NF, so a flooded flow's bucket
+        // reliably has in-flight packets when the rebalance hits it.
+        let (graph, ids) = catalog::chain(&[("w", true)]);
+        let table = SharedFlowTable::new();
+        for rule in graph.compile(&CompileOptions::default()) {
+            table.insert(rule);
+        }
+        let host = ThreadedHost::start_sharded(
+            table,
+            |_shard| {
+                vec![(
+                    ids[0],
+                    Box::new(ComputeNf::new(10_000)) as Box<dyn NetworkFunction>,
+                )]
+            },
+            ThreadedHostConfig {
+                num_shards: 2,
+                rehome_pen: 4,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        let mut admitted = 0u64;
+        let mut pen_admitted = 0u64;
+        let mut pen_throttled = 0u64;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // Retry until a rebalance catches the bucket busy and the pen both
+        // accepts and (once full) throttles — with the slow NF this lands
+        // on the first attempt in practice.
+        while pen_throttled == 0 && Instant::now() < deadline {
+            for _ in 0..8 {
+                if host.inject(packet(7)).is_admitted() {
+                    admitted += 1;
+                }
+            }
+            let victim = host.shard_of(&packet(7));
+            let weights: Vec<u32> = (0..2).map(|s| u32::from(s != victim)).collect();
+            assert!(host.set_steering_weights(&weights));
+            if host.pending_rehomes() == 0 {
+                continue; // the bucket was already idle: try again
+            }
+            for _ in 0..6 {
+                match host.inject(packet(7)) {
+                    InjectResult::Admitted => {
+                        admitted += 1;
+                        pen_admitted += 1;
+                    }
+                    InjectResult::Throttled(_) => pen_throttled += 1,
+                    InjectResult::Dropped => panic!("backpressure must not drop"),
+                }
+            }
+        }
+        assert!(pen_throttled > 0, "a full pen surfaces as backpressure");
+        assert!(pen_admitted >= 1, "the pen accepted arrivals first");
+        // Every admitted packet (parked ones included) comes back out.
+        let outputs = collect_outputs(&host, admitted as usize);
+        assert_eq!(outputs.len() as u64, admitted);
+        let until = Instant::now() + Duration::from_secs(5);
+        while host.pending_rehomes() > 0 && Instant::now() < until {
+            let _ = host.poll_egress();
+            std::thread::yield_now();
+        }
+        assert_eq!(host.pending_rehomes(), 0);
+        let report = host.rehome_report();
+        assert!(report.packets_penned >= 1, "pens were exercised");
+        assert!(report.pen_throttled >= 1, "the pen bound was hit");
+        assert_eq!(host.stats().snapshot().overflow_drops, 0);
         host.shutdown();
     }
 

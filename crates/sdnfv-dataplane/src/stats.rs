@@ -8,6 +8,7 @@
 //! `NfManager`, single-shard hosts) see the same API as before: the
 //! counter methods on `HostStats` itself operate on shard 0.
 
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -82,12 +83,12 @@ macro_rules! shard0_counter {
     ($inc:ident, $get:ident, $doc:literal) => {
         #[doc = concat!("Increments the number of ", $doc, " (on shard 0).")]
         pub fn $inc(&self, n: u64) {
-            self.shards[0].$inc(n);
+            self.shard0.$inc(n);
         }
 
         #[doc = concat!("Returns the number of ", $doc, " (on shard 0).")]
         pub fn $get(&self) -> u64 {
-            self.shards[0].$get()
+            self.shard0.$get()
         }
     };
 }
@@ -172,9 +173,18 @@ impl ShardStats {
 
 /// Counters for a whole host: one [`ShardStats`] per shard plus a merged
 /// view. Cloning shares the underlying counters.
+///
+/// The shard list is **growable** ([`HostStats::ensure_shard`]) so hosts
+/// can spawn shards mid-run; a retired shard's counters are kept (and
+/// reused if the shard index is respawned), so the merged snapshot never
+/// loses history when the data plane scales down.
 #[derive(Debug, Clone)]
 pub struct HostStats {
-    shards: Vec<ShardStats>,
+    shards: Arc<RwLock<Vec<ShardStats>>>,
+    /// Shard 0's counters, cached outside the lock: shard 0 always exists,
+    /// so the single-pipeline convenience methods (the inline `NfManager`'s
+    /// per-packet path) stay a plain atomic bump.
+    shard0: ShardStats,
 }
 
 impl Default for HostStats {
@@ -191,23 +201,39 @@ impl HostStats {
 
     /// Creates zeroed counters for `num_shards` shards (at least one).
     pub fn with_shards(num_shards: usize) -> Self {
-        let shards = (0..num_shards.max(1)).map(|_| ShardStats::new()).collect();
-        HostStats { shards }
+        let shards: Vec<ShardStats> = (0..num_shards.max(1)).map(|_| ShardStats::new()).collect();
+        let shard0 = shards[0].clone();
+        HostStats {
+            shards: Arc::new(RwLock::new(shards)),
+            shard0,
+        }
     }
 
-    /// Number of shards the counters are split over.
+    /// Number of shards the counters are split over (never shrinks: a
+    /// retired shard keeps its history).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.shards.read().len()
     }
 
-    /// The counters of one shard (shared handle; clone it into the shard's
-    /// threads).
+    /// The counters of one shard (a shared handle: clones observe the same
+    /// counters).
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
-    pub fn shard(&self, shard: usize) -> &ShardStats {
-        &self.shards[shard]
+    pub fn shard(&self, shard: usize) -> ShardStats {
+        self.shards.read()[shard].clone()
+    }
+
+    /// The counters of `shard`, growing the shard list if needed. A shard
+    /// index that was retired and respawned reuses its previous counters —
+    /// per-slot history accumulates rather than resetting.
+    pub fn ensure_shard(&self, shard: usize) -> ShardStats {
+        let mut shards = self.shards.write();
+        while shards.len() <= shard {
+            shards.push(ShardStats::new());
+        }
+        shards[shard].clone()
     }
 
     shard0_counter!(add_received, received, "packets received");
@@ -240,7 +266,7 @@ impl HostStats {
     /// shard.
     pub fn snapshot(&self) -> HostStatsSnapshot {
         let mut merged = HostStatsSnapshot::default();
-        for shard in &self.shards {
+        for shard in self.shards.read().iter() {
             merged.merge(&shard.snapshot());
         }
         merged
@@ -252,12 +278,16 @@ impl HostStats {
     ///
     /// Panics if `shard` is out of range.
     pub fn shard_snapshot(&self, shard: usize) -> HostStatsSnapshot {
-        self.shards[shard].snapshot()
+        self.shards.read()[shard].snapshot()
     }
 
     /// Snapshots of every shard, in shard order.
     pub fn shard_snapshots(&self) -> Vec<HostStatsSnapshot> {
-        self.shards.iter().map(ShardStats::snapshot).collect()
+        self.shards
+            .read()
+            .iter()
+            .map(ShardStats::snapshot)
+            .collect()
     }
 }
 
@@ -324,9 +354,24 @@ mod tests {
         stats.add_received(3);
         assert_eq!(stats.shard_snapshot(0).received, 3);
         assert_eq!(stats.shard_snapshot(1).received, 0);
-        let shard1 = stats.shard(1).clone();
+        let shard1 = stats.shard(1);
         shard1.add_received(2);
         assert_eq!(stats.snapshot().received, 5);
+    }
+
+    #[test]
+    fn ensure_shard_grows_and_reuses_slots() {
+        let stats = HostStats::with_shards(1);
+        let grown = stats.ensure_shard(2);
+        assert_eq!(stats.num_shards(), 3);
+        grown.add_received(4);
+        assert_eq!(stats.shard_snapshot(2).received, 4);
+        // Re-ensuring an existing slot hands back the same counters: a
+        // respawned shard accumulates onto its slot's history.
+        let again = stats.ensure_shard(2);
+        again.add_received(1);
+        assert_eq!(stats.shard_snapshot(2).received, 5);
+        assert_eq!(stats.num_shards(), 3);
     }
 
     #[test]

@@ -13,18 +13,37 @@
 //! [`FlowTablePartitions::install`] are broadcast to the template and every
 //! partition, while NF cross-layer messages (which only concern the sending
 //! shard's flows) are applied to that shard's partition alone.
+//!
+//! The partition set is **elastic**: [`FlowTablePartitions::add_partition`]
+//! forks a fresh partition for a shard spawned mid-run, and
+//! [`FlowTablePartitions::remove_last_partition`] retires one when a shard
+//! is drained away. When flow-steering buckets are re-homed between shards,
+//! [`FlowTablePartitions::move_exact_rules`] carries the moved flows'
+//! shard-local exact-flow rules along — the rule half of the bucket-drain
+//! handshake that makes rebalancing and shard scaling state-safe.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use sdnfv_proto::flow::FlowKey;
 
 use crate::rule::{FlowRule, RuleId};
 use crate::table::SharedFlowTable;
 
 /// A template flow table plus one independent partition per shard (see the
-/// module docs). For a single shard the partition *is* the template — the
-/// unsharded topology keeps its exact semantics, including visibility of
-/// post-start mutations through the original table handle.
+/// module docs). For a host started with a single shard the partition *is*
+/// the template — the unsharded topology keeps its exact semantics,
+/// including visibility of post-start mutations through the original table
+/// handle — and stays the template even if more (forked) partitions are
+/// added later.
 #[derive(Debug, Clone)]
 pub struct FlowTablePartitions {
     template: SharedFlowTable,
-    partitions: Vec<SharedFlowTable>,
+    partitions: Arc<RwLock<Vec<SharedFlowTable>>>,
+    /// Whether partition 0 shares the template's storage (single-shard
+    /// start). Broadcast installs must then skip it: the template insert
+    /// already reached it.
+    aliased: bool,
 }
 
 impl FlowTablePartitions {
@@ -35,35 +54,56 @@ impl FlowTablePartitions {
     /// template's rules and from then on its own lock and counters.
     pub fn new(template: &SharedFlowTable, num_shards: usize) -> Self {
         let num_shards = num_shards.max(1);
-        let partitions = if num_shards == 1 {
+        let aliased = num_shards == 1;
+        let partitions = if aliased {
             vec![template.clone()]
         } else {
             (0..num_shards).map(|_| template.fork()).collect()
         };
         FlowTablePartitions {
             template: template.clone(),
-            partitions,
+            partitions: Arc::new(RwLock::new(partitions)),
+            aliased,
         }
     }
 
     /// Number of per-shard partitions.
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        self.partitions.read().len()
     }
 
     /// The template layer — the table the control plane configured. Shard
-    /// packet paths never touch it when more than one partition exists.
+    /// packet paths never touch it when more than one partition exists
+    /// (except partition 0 of a host started single-shard, which keeps the
+    /// template's storage for life).
     pub fn template(&self) -> &SharedFlowTable {
         &self.template
     }
 
-    /// The partition serving `shard`.
+    /// The partition serving `shard` (a cheap shared handle).
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
-    pub fn shard(&self, shard: usize) -> &SharedFlowTable {
-        &self.partitions[shard]
+    pub fn shard(&self, shard: usize) -> SharedFlowTable {
+        self.partitions.read()[shard].clone()
+    }
+
+    /// Forks a fresh partition from the template's **current** rules for a
+    /// newly spawned shard and returns its index.
+    pub fn add_partition(&self) -> usize {
+        let mut partitions = self.partitions.write();
+        partitions.push(self.template.fork());
+        partitions.len() - 1
+    }
+
+    /// Drops the highest-index partition (its shard has been drained and
+    /// retired). The last partition is never removed.
+    pub fn remove_last_partition(&self) {
+        let mut partitions = self.partitions.write();
+        if partitions.len() > 1 {
+            partitions.pop();
+        }
     }
 
     /// Installs a rule at the template layer and broadcasts it to every
@@ -72,12 +112,64 @@ impl FlowTablePartitions {
     /// implementation detail.
     pub fn install(&self, rule: FlowRule) -> RuleId {
         let id = self.template.insert(rule.clone());
-        if self.partitions.len() > 1 {
-            for partition in &self.partitions {
-                partition.insert(rule.clone());
+        let partitions = self.partitions.read();
+        for (shard, partition) in partitions.iter().enumerate() {
+            if self.aliased && shard == 0 {
+                continue; // shares the template's storage: already inserted
             }
+            partition.insert(rule.clone());
         }
         id
+    }
+
+    /// Moves the exact-flow rules whose 5-tuple satisfies `belongs` from
+    /// shard `from`'s partition into shard `to`'s — the rule-export half of
+    /// a bucket re-home. Rules for which the destination already holds an
+    /// exact rule at the same `(step, key)` are left in place (template
+    /// rules broadcast to both sides stay put). Returns the number of rules
+    /// moved.
+    ///
+    /// The caller must have quiesced the moved flows first: no packet of a
+    /// moved flow may be in flight on `from` when this runs, or a
+    /// cross-layer message could install a rule after the export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is out of range, or if `from == to`.
+    pub fn move_exact_rules(
+        &self,
+        from: usize,
+        to: usize,
+        belongs: impl Fn(&FlowKey) -> bool,
+    ) -> usize {
+        assert_ne!(from, to, "a rule move needs two distinct partitions");
+        let (source, destination) = {
+            let partitions = self.partitions.read();
+            (partitions[from].clone(), partitions[to].clone())
+        };
+        // Collect candidates under the source lock, filter against the
+        // destination under its own lock, then install — never holding two
+        // partition locks at once, so no ordering can deadlock against the
+        // shards' packet paths.
+        let candidates: Vec<(RuleId, (crate::types::RulePort, FlowKey), FlowRule)> = source
+            .with_read(|table| {
+                table
+                    .exact_rules()
+                    .filter(|(_, step_key, _)| belongs(&step_key.1))
+                    .map(|(id, step_key, rule)| (id, step_key, rule.clone()))
+                    .collect()
+            });
+        let mut moved = 0;
+        for (id, (step, key), rule) in candidates {
+            let present = destination.with_read(|d| d.exact_rule_id(step, &key).is_some());
+            if present {
+                continue;
+            }
+            destination.insert(rule);
+            source.remove(id);
+            moved += 1;
+        }
+        moved
     }
 }
 
@@ -105,6 +197,14 @@ mod tests {
             FlowMatch::at_step(RulePort::Nic(0)),
             vec![Action::ToPort(1)],
         )
+    }
+
+    fn exact_drop_rule(last: u8) -> FlowRule {
+        FlowRule::new(
+            FlowMatch::exact(RulePort::Nic(0), &key(last)),
+            vec![Action::Drop],
+        )
+        .with_priority(50)
     }
 
     #[test]
@@ -161,6 +261,85 @@ mod tests {
         parts.install(forward_rule());
         assert_eq!(parts.template().len(), 1);
         assert_eq!(parts.shard(0).len(), 1);
+        assert_eq!(parts.shard(1).len(), 1);
+    }
+
+    #[test]
+    fn install_does_not_double_insert_into_aliased_partition() {
+        let template = SharedFlowTable::new();
+        let parts = FlowTablePartitions::new(&template, 1);
+        // Grow the aliased single-shard set: partition 0 stays the template,
+        // partition 1 is a fork.
+        assert_eq!(parts.add_partition(), 1);
+        parts.install(forward_rule());
+        assert_eq!(parts.template().len(), 1, "no duplicate in the template");
+        assert_eq!(parts.shard(0).len(), 1);
+        assert_eq!(parts.shard(1).len(), 1);
+    }
+
+    #[test]
+    fn add_and_remove_partitions() {
+        let template = SharedFlowTable::new();
+        template.insert(forward_rule());
+        let parts = FlowTablePartitions::new(&template, 2);
+        // A shard-local rule in shard 1, then grow: the new partition forks
+        // the template (without shard 1's local rule).
+        parts.shard(1).with_write(|t| {
+            t.insert(exact_drop_rule(9));
+        });
+        assert_eq!(parts.add_partition(), 2);
+        assert_eq!(parts.num_partitions(), 3);
+        assert_eq!(parts.shard(2).len(), 1, "fork carries template rules only");
+        parts.remove_last_partition();
+        assert_eq!(parts.num_partitions(), 2);
+        // The last partition is never removed.
+        parts.remove_last_partition();
+        parts.remove_last_partition();
+        assert_eq!(parts.num_partitions(), 1);
+    }
+
+    #[test]
+    fn move_exact_rules_carries_shard_local_rules() {
+        let template = SharedFlowTable::new();
+        template.insert(forward_rule());
+        let parts = FlowTablePartitions::new(&template, 2);
+        // Shard-local exact rules for flows 1 and 2 on shard 0.
+        parts.shard(0).with_write(|t| {
+            t.insert(exact_drop_rule(1));
+            t.insert(exact_drop_rule(2));
+        });
+        // Move only flow 1's rules to shard 1.
+        let moved = parts.move_exact_rules(0, 1, |k| *k == key(1));
+        assert_eq!(moved, 1);
+        assert!(parts
+            .shard(1)
+            .with_read(|t| t.exact_rule_id(RulePort::Nic(0), &key(1)).is_some()));
+        assert!(
+            parts
+                .shard(0)
+                .with_read(|t| t.exact_rule_id(RulePort::Nic(0), &key(1)).is_none()),
+            "moved rule left the source"
+        );
+        assert!(
+            parts
+                .shard(0)
+                .with_read(|t| t.exact_rule_id(RulePort::Nic(0), &key(2)).is_some()),
+            "unmoved flow keeps its rule"
+        );
+        // The moved rule governs the flow on its new shard.
+        let decision = parts.shard(1).lookup(RulePort::Nic(0), &key(1)).unwrap();
+        assert_eq!(decision.actions, vec![Action::Drop]);
+    }
+
+    #[test]
+    fn move_exact_rules_skips_rules_the_destination_already_has() {
+        let template = SharedFlowTable::new();
+        // An exact template rule is broadcast to both partitions by the
+        // fork; moving its bucket must not duplicate it.
+        template.insert(exact_drop_rule(3));
+        let parts = FlowTablePartitions::new(&template, 2);
+        assert_eq!(parts.move_exact_rules(0, 1, |_| true), 0);
+        assert_eq!(parts.shard(0).len(), 1, "template rule stays in place");
         assert_eq!(parts.shard(1).len(), 1);
     }
 

@@ -147,6 +147,17 @@ impl FlowTable {
         self.order.iter().map(move |id| (*id, &self.rules[id]))
     }
 
+    /// Iterates over the exact per-flow rules, yielding each rule's id, its
+    /// `(step, 5-tuple)` index key and the rule itself. This is the rule set
+    /// a bucket re-home exports between shard partitions.
+    pub fn exact_rules(
+        &self,
+    ) -> impl Iterator<Item = (RuleId, (RulePort, FlowKey), &FlowRule)> + '_ {
+        self.exact
+            .iter()
+            .map(move |(step_key, id)| (*id, *step_key, &self.rules[id]))
+    }
+
     /// Number of installed rules.
     pub fn len(&self) -> usize {
         self.rules.len()

@@ -39,6 +39,17 @@ pub enum ControlAction {
         /// assignment; all-zero is rejected by the runtime).
         weights: Vec<u32>,
     },
+    /// Spawn one more pipeline shard (worker thread, NF replica set, rings,
+    /// credit gate and flow-table partition), then re-home a fair share of
+    /// steering buckets onto it through the state-safe drain handshake.
+    SpawnShard,
+    /// Retire pipeline shard `shard` (always the highest index): re-home
+    /// every bucket it owns onto the remaining shards — carrying shard-local
+    /// exact-flow rules along — then tear its pipeline down.
+    RetireShard {
+        /// The shard to drain away.
+        shard: usize,
+    },
 }
 
 impl ControlAction {
@@ -47,8 +58,9 @@ impl ControlAction {
         match self {
             ControlAction::ScaleUp { shard, .. }
             | ControlAction::ScaleDown { shard, .. }
-            | ControlAction::ResizeCredits { shard, .. } => Some(*shard),
-            ControlAction::SetSteeringWeights { .. } => None,
+            | ControlAction::ResizeCredits { shard, .. }
+            | ControlAction::RetireShard { shard } => Some(*shard),
+            ControlAction::SetSteeringWeights { .. } | ControlAction::SpawnShard => None,
         }
     }
 }
@@ -68,6 +80,8 @@ impl std::fmt::Display for ControlAction {
             ControlAction::SetSteeringWeights { weights } => {
                 write!(f, "set steering weights {weights:?}")
             }
+            ControlAction::SpawnShard => write!(f, "spawn a new shard"),
+            ControlAction::RetireShard { shard } => write!(f, "retire shard {shard}"),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The consumer side of the telemetry bus: merging per-shard snapshot
 //! streams into one current view.
 
-use crate::snapshot::TelemetrySnapshot;
+use crate::snapshot::{ShardLifecycleEvent, TelemetrySnapshot};
 
 /// Inter-snapshot rates for one shard, reconstructed from the cumulative
 /// counters of two consecutive snapshots.
@@ -102,6 +102,40 @@ impl TelemetryHub {
     pub fn total_backlog(&self) -> usize {
         self.latest_all().iter().map(|s| s.backlog()).sum()
     }
+
+    /// Applies shard lifecycle events: a retired shard's snapshots are
+    /// forgotten (trailing slots are truncated away) so stale gauges of a
+    /// dead pipeline cannot drive control decisions; a spawned shard's slot
+    /// is (re-)opened and fills on its first snapshot.
+    pub fn observe_lifecycle(&mut self, events: &[ShardLifecycleEvent]) {
+        for event in events {
+            match event {
+                ShardLifecycleEvent::Spawned { shard, .. } => {
+                    if *shard >= self.latest.len() {
+                        self.latest.resize(shard + 1, None);
+                        self.previous.resize(shard + 1, None);
+                    } else {
+                        // A reused slot must not inherit the previous
+                        // incarnation's gauges.
+                        self.latest[*shard] = None;
+                        self.previous[*shard] = None;
+                    }
+                }
+                ShardLifecycleEvent::Retired { shard, .. } => {
+                    if let Some(slot) = self.latest.get_mut(*shard) {
+                        *slot = None;
+                    }
+                    if let Some(slot) = self.previous.get_mut(*shard) {
+                        *slot = None;
+                    }
+                    while self.latest.last().is_some_and(|slot| slot.is_none()) {
+                        self.latest.pop();
+                        self.previous.pop();
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +154,7 @@ mod tests {
             credits_in_flight: 0,
             credit_capacity: 64,
             nfs: Vec::new(),
+            nf_slots_allocated: 0,
             received: seq * 10,
             transmitted: seq * 9,
             dropped: 0,
@@ -163,6 +198,33 @@ mod tests {
         assert!((rates.punts_per_sec - 7.0).abs() < 1e-9);
         assert!((rates.received_per_sec - 10.0).abs() < 1e-9);
         assert!((rates.transmitted_per_sec - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifecycle_events_prune_and_reopen_shard_slots() {
+        let mut hub = TelemetryHub::new();
+        hub.absorb(vec![snapshot(0, 5, 100, 0), snapshot(1, 7, 100, 0)]);
+        assert_eq!(hub.num_shards(), 2);
+        // Retiring the last shard forgets its gauges and shrinks the view.
+        hub.observe_lifecycle(&[ShardLifecycleEvent::Retired {
+            shard: 1,
+            at_ns: 200,
+        }]);
+        assert_eq!(hub.num_shards(), 1);
+        assert_eq!(hub.latest(1), None);
+        // A respawned shard starts from a clean slot: the dead
+        // incarnation's sequence numbers no longer mask the new stream.
+        hub.observe_lifecycle(&[ShardLifecycleEvent::Spawned {
+            shard: 1,
+            at_ns: 300,
+        }]);
+        assert_eq!(hub.num_shards(), 2);
+        hub.absorb(vec![snapshot(1, 1, 400, 0)]);
+        assert_eq!(hub.latest(1).unwrap().seq, 1, "fresh stream accepted");
+        assert_eq!(
+            ShardLifecycleEvent::Spawned { shard: 1, at_ns: 0 }.shard(),
+            1
+        );
     }
 
     #[test]

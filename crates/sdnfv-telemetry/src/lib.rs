@@ -39,4 +39,4 @@ pub mod snapshot;
 pub use action::ControlAction;
 pub use ewma::Ewma;
 pub use hub::{ShardRates, TelemetryHub};
-pub use snapshot::{NfTelemetry, TelemetrySnapshot};
+pub use snapshot::{NfTelemetry, ShardLifecycleEvent, TelemetrySnapshot};

@@ -67,6 +67,11 @@ pub struct TelemetrySnapshot {
     pub credit_capacity: usize,
     /// Per-NF-instance telemetry, one entry per live replica.
     pub nfs: Vec<NfTelemetry>,
+    /// NF slots currently allocated on the shard — live replicas *plus*
+    /// retired slots whose rings have not been compacted yet. Falls back to
+    /// `nfs.len()` once the compaction pass has reclaimed every retired
+    /// slot.
+    pub nf_slots_allocated: usize,
     /// Cumulative packets received by the shard.
     pub received: u64,
     /// Cumulative packets transmitted by the shard.
@@ -79,6 +84,39 @@ pub struct TelemetrySnapshot {
     pub throttled: u64,
     /// Cumulative control commands the shard's worker has applied.
     pub applied_commands: u64,
+}
+
+/// A shard joining or leaving the data plane — published by the host when
+/// `spawn_shard` / `retire_shard` complete, so telemetry consumers (the
+/// [`TelemetryHub`](crate::hub::TelemetryHub), the elastic manager) can
+/// grow or prune their per-shard state instead of planning on ghosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardLifecycleEvent {
+    /// A new pipeline shard came up and will start publishing snapshots.
+    Spawned {
+        /// The new shard's index.
+        shard: usize,
+        /// Host-clock time of the spawn, in nanoseconds.
+        at_ns: u64,
+    },
+    /// A shard finished draining and its pipeline was torn down; no further
+    /// snapshots will arrive for it.
+    Retired {
+        /// The retired shard's (former) index.
+        shard: usize,
+        /// Host-clock time the teardown completed, in nanoseconds.
+        at_ns: u64,
+    },
+}
+
+impl ShardLifecycleEvent {
+    /// The shard the event concerns.
+    pub fn shard(&self) -> usize {
+        match self {
+            ShardLifecycleEvent::Spawned { shard, .. }
+            | ShardLifecycleEvent::Retired { shard, .. } => *shard,
+        }
+    }
 }
 
 impl TelemetrySnapshot {
@@ -172,6 +210,7 @@ mod tests {
             credits_in_flight: 24,
             credit_capacity: 64,
             nfs: vec![nf(1, 0, 10, 100), nf(1, 2, 50, 100), nf(2, 1, 0, 100)],
+            nf_slots_allocated: 3,
             received: 100,
             transmitted: 80,
             dropped: 0,

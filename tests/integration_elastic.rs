@@ -276,7 +276,9 @@ fn control_actions_apply_mid_traffic_without_loss() {
                 host.resize_credits(*shard, *credits)
             }
             ControlAction::SetSteeringWeights { weights } => host.set_steering_weights(weights),
-            ControlAction::ScaleUp { .. } => false,
+            ControlAction::ScaleUp { .. }
+            | ControlAction::SpawnShard
+            | ControlAction::RetireShard { .. } => false,
         }
     };
 
