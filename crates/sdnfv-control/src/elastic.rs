@@ -858,6 +858,8 @@ mod tests {
             controller_punts: 0,
             throttled: 0,
             applied_commands: 0,
+            rehome_pen_depth: 0,
+            rehome_pen_max_age_ns: 0,
         }
     }
 

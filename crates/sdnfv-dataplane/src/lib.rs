@@ -41,10 +41,10 @@ pub use cache::LookupCache;
 pub use conflict::resolve_parallel_verdicts;
 pub use loadbalance::LoadBalancePolicy;
 pub use manager::{NfManager, NfManagerConfig, PacketOutcome};
-pub use messages::{apply_nf_message, AppliedChange, NfManagerMessage};
+pub use messages::{apply_nf_message, apply_nf_message_tracked, AppliedChange, NfManagerMessage};
 pub use rehome::RehomeReport;
 pub use runtime::{
-    shard_for_flow, BurstInjection, HostOutput, InjectResult, OverflowPolicy, ThreadedHost,
-    ThreadedHostConfig, STEER_BUCKETS,
+    shard_for_flow, BurstInjection, HostOutput, InjectResult, OverflowPolicy, RehomeOrdering,
+    ThreadedHost, ThreadedHostConfig, STEER_BUCKETS,
 };
 pub use stats::{HostStats, HostStatsSnapshot, ShardStats};

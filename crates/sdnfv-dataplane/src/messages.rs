@@ -1,7 +1,7 @@
 //! Application of NF cross-layer messages to the host flow table
 //! (paper §3.4).
 
-use sdnfv_flowtable::{Action, FlowTable, RulePort, ServiceId};
+use sdnfv_flowtable::{Action, FlowTable, RulePort, ServiceId, WildcardMutation};
 use sdnfv_nf::NfMessage;
 
 /// A cross-layer message attributed to the NF (service) that sent it, as the
@@ -45,6 +45,24 @@ pub fn apply_nf_message(
     message: &NfMessage,
     force: bool,
 ) -> AppliedChange {
+    apply_nf_message_tracked(table, from, message, force).0
+}
+
+/// [`apply_nf_message`] plus provenance: alongside the [`AppliedChange`],
+/// returns the [`WildcardMutation`] the message performed, if it rewrote at
+/// least one **wildcard** rule (a `ChangeDefault` that resolved to an exact
+/// per-flow rule returns `None` — exact rules travel between shard
+/// partitions through the exact index, not the mutation log).
+///
+/// Sharded dispatch layers record the returned mutation in the partition's
+/// [`MutationLog`](sdnfv_flowtable::MutationLog), attributed to the
+/// mutating flow's steering bucket, so bucket re-homes can replay it.
+pub fn apply_nf_message_tracked(
+    table: &mut FlowTable,
+    from: ServiceId,
+    message: &NfMessage,
+    force: bool,
+) -> (AppliedChange, Option<WildcardMutation>) {
     match message {
         NfMessage::SkipMe { flows } => {
             // Find the sending service's own default action; if it has no
@@ -55,13 +73,24 @@ pub fn apply_nf_message(
                 .and_then(|(_, rule)| rule.default_action());
             match own_default {
                 Some(default) => {
-                    AppliedChange::RulesUpdated(table.retarget_defaults(from, flows, default))
+                    let updated = table.retarget_defaults(from, flows, default);
+                    let mutation = (updated > 0).then_some(WildcardMutation::RetargetDefaults {
+                        pointing_at: from,
+                        flows: *flows,
+                        new_default: default,
+                    });
+                    (AppliedChange::RulesUpdated(updated), mutation)
                 }
-                None => AppliedChange::RulesUpdated(0),
+                None => (AppliedChange::RulesUpdated(0), None),
             }
         }
         NfMessage::RequestMe { flows } => {
-            AppliedChange::RulesUpdated(table.promote_where_allowed(flows, Action::ToService(from)))
+            let updated = table.promote_where_allowed(flows, Action::ToService(from));
+            let mutation = (updated > 0).then_some(WildcardMutation::PromoteWhereAllowed {
+                flows: *flows,
+                action: Action::ToService(from),
+            });
+            (AppliedChange::RulesUpdated(updated), mutation)
         }
         NfMessage::ChangeDefault {
             flows,
@@ -79,10 +108,10 @@ pub fn apply_nf_message(
                         None => table.peek(step, &key).cloned().map(|rule| (None, rule)),
                     };
                     let Some((existing_id, base)) = template else {
-                        return AppliedChange::RulesUpdated(0);
+                        return (AppliedChange::RulesUpdated(0), None);
                     };
                     if !base.allows(*new_default) && !force {
-                        return AppliedChange::RulesUpdated(0);
+                        return (AppliedChange::RulesUpdated(0), None);
                     }
                     let mut specific = base.clone();
                     specific.matcher = *flows;
@@ -94,12 +123,19 @@ pub fn apply_nf_message(
                         table.remove(id);
                     }
                     table.insert(specific);
-                    return AppliedChange::RulesUpdated(1);
+                    return (AppliedChange::RulesUpdated(1), None);
                 }
             }
-            AppliedChange::RulesUpdated(table.change_default(*service, flows, *new_default, force))
+            let updated = table.change_default(*service, flows, *new_default, force);
+            let mutation = (updated > 0).then_some(WildcardMutation::ChangeDefault {
+                service: *service,
+                flows: *flows,
+                new_default: *new_default,
+                force,
+            });
+            (AppliedChange::RulesUpdated(updated), mutation)
         }
-        NfMessage::Custom { .. } => AppliedChange::ForwardToApplication,
+        NfMessage::Custom { .. } => (AppliedChange::ForwardToApplication, None),
     }
 }
 
@@ -281,6 +317,79 @@ mod tests {
             apply_nf_message(&mut t, FIREWALL, &msg, true),
             AppliedChange::RulesUpdated(1)
         );
+    }
+
+    #[test]
+    fn tracked_apply_reports_wildcard_mutations_only() {
+        let mut t = table();
+        // A wildcard ChangeDefault yields a replayable mutation…
+        let (change, mutation) = apply_nf_message_tracked(
+            &mut t,
+            SAMPLER,
+            &NfMessage::ChangeDefault {
+                flows: FlowMatch::any(),
+                service: SAMPLER,
+                new_default: Action::ToService(SCRUBBER),
+            },
+            false,
+        );
+        assert_eq!(change, AppliedChange::RulesUpdated(1));
+        assert!(matches!(
+            mutation,
+            Some(WildcardMutation::ChangeDefault { service, .. }) if service == SAMPLER
+        ));
+        // …an exact-flow ChangeDefault does not (it became an exact rule).
+        let (change, mutation) = apply_nf_message_tracked(
+            &mut t,
+            SAMPLER,
+            &NfMessage::ChangeDefault {
+                flows: FlowMatch::exact(RulePort::Service(SAMPLER), &key()),
+                service: SAMPLER,
+                new_default: Action::ToService(SCRUBBER),
+            },
+            false,
+        );
+        assert_eq!(change, AppliedChange::RulesUpdated(1));
+        assert!(mutation.is_none());
+        // A rejected message yields neither.
+        let (change, mutation) = apply_nf_message_tracked(
+            &mut t,
+            FIREWALL,
+            &NfMessage::ChangeDefault {
+                flows: FlowMatch::any(),
+                service: FIREWALL,
+                new_default: Action::ToPort(9),
+            },
+            false,
+        );
+        assert_eq!(change, AppliedChange::RulesUpdated(0));
+        assert!(mutation.is_none());
+        // SkipMe and RequestMe report their wildcard ops too (fresh tables:
+        // both must actually update a rule to count as a mutation).
+        let (_, mutation) = apply_nf_message_tracked(
+            &mut table(),
+            SCRUBBER,
+            &NfMessage::RequestMe {
+                flows: FlowMatch::any(),
+            },
+            false,
+        );
+        assert!(matches!(
+            mutation,
+            Some(WildcardMutation::PromoteWhereAllowed { .. })
+        ));
+        let (_, mutation) = apply_nf_message_tracked(
+            &mut table(),
+            SAMPLER,
+            &NfMessage::SkipMe {
+                flows: FlowMatch::any(),
+            },
+            false,
+        );
+        assert!(matches!(
+            mutation,
+            Some(WildcardMutation::RetargetDefaults { pointing_at, .. }) if pointing_at == SAMPLER
+        ));
     }
 
     #[test]

@@ -3,35 +3,54 @@
 //! Moving a steering bucket from one shard to another is only safe if no
 //! packet of the bucket's flows is mid-pipeline on the old shard when the
 //! steering entry flips: an in-flight packet could still install or consult
-//! shard-local exact-flow rules there, and those rules must travel with the
-//! flows. The runtime therefore re-homes buckets with a
-//! **quiesce-then-move handshake**:
+//! shard-local exact-flow rules there, mutate a wildcard rule, or touch
+//! NF-internal per-flow state — and all of that must travel with the flows.
+//! The runtime therefore re-homes buckets with a **state-complete
+//! quiesce-then-move handshake**:
 //!
-//! 1. **Park** the bucket: new arrivals are held in a small per-bucket pen
-//!    instead of entering the old shard's pipeline (the pen overflows into
-//!    ordinary backpressure, never into drops);
+//! 1. **Park** the bucket ([`MovePhase::Draining`]): new arrivals are held
+//!    in a small per-bucket pen instead of entering the old shard's
+//!    pipeline (the pen overflows into ordinary backpressure, never into
+//!    drops);
 //! 2. **Drain**: wait until the bucket's in-flight count — maintained by a
 //!    [`BucketTracker`] the injection side increments and the shard workers
 //!    decrement at each packet's last flow-state touchpoint — reaches zero;
-//! 3. **Export** the bucket's shard-local exact-flow rules into the new
-//!    owner's flow-table partition;
-//! 4. **Flip** the steering entry and release the pen into the new shard.
+//! 3. **Collect** ([`MovePhase::Collecting`]): ask the old shard's worker
+//!    to export the bucket's NF-internal per-flow state — every NF replica
+//!    is handed the bucket's flow keys (the partition's exact entries plus
+//!    the NF's own key set) and detaches its state for them;
+//! 4. **Move & flip**: the bucket's shard-local exact-flow rules *and* the
+//!    wildcard mutations attributed to it are exported into the new owner's
+//!    flow-table partition
+//!    ([`FlowTablePartitions::move_bucket_state`](sdnfv_flowtable::FlowTablePartitions::move_bucket_state)),
+//!    then the steering entry flips;
+//! 5. **Import** ([`MovePhase::Importing`]): the collected NF state is
+//!    shipped to the new shard's worker, which routes it into its replicas;
+//!    only once the import is acknowledged —
+//! 6. **Release** ([`MovePhase::Releasing`]): the pen drains into the new
+//!    shard, whose NFs now hold the flows' state.
 //!
 //! Both plain steering rebalances (`set_steering_weights`) and shard
 //! scale-out/in (`spawn_shard` / `retire_shard`) go through this machinery,
-//! so neither can lose packets or flow-table state.
+//! so neither can lose packets, flow-table state, wildcard-rule mutations
+//! or NF-internal flow state.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use sdnfv_flowtable::ServiceId;
+use sdnfv_nf::NfFlowState;
 use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::Packet;
 
 /// Per-bucket in-flight packet counts, shared between the injection side
 /// (increments on admission) and every shard worker (decrements when a
 /// packet makes its last possible flow-state touch: staged for egress,
-/// dropped, or punted). A bucket with a zero count has no packet anywhere
-/// between its shard's ingress ring and egress staging.
+/// dropped, or punted — or, under
+/// [`RehomeOrdering::Strict`](crate::runtime::RehomeOrdering::Strict), when
+/// the packet fully leaves the host). A bucket with a zero count has no
+/// packet anywhere between its shard's ingress ring and the release point.
 #[derive(Debug)]
 pub struct BucketTracker {
     in_flight: Vec<AtomicUsize>,
@@ -76,9 +95,33 @@ impl BucketTracker {
     }
 }
 
-/// One bucket mid-re-home: where it is moving, whether the steering entry
-/// has flipped yet, and the pen of packets that arrived while it was
-/// parked.
+/// Where one bucket move stands in the state-complete handshake (see the
+/// module docs for the full sequence).
+#[derive(Debug, Clone)]
+pub enum MovePhase {
+    /// Waiting for the bucket's in-flight count on the old shard to reach
+    /// zero.
+    Draining,
+    /// NF-state export request `id` is in flight to the old shard's worker.
+    Collecting {
+        /// Matches the request to the worker's
+        /// eventual export response (one request can cover many buckets).
+        id: u64,
+    },
+    /// Flow-table state moved and steering flipped; waiting for the new
+    /// shard's worker to confirm it imported the bucket's NF flow state
+    /// (the flag is shared with the in-flight import command).
+    Importing {
+        /// Set by the destination worker once every replica absorbed its
+        /// share of the state.
+        done: Arc<AtomicBool>,
+    },
+    /// Fully state-moved; the pen is draining into the new shard.
+    Releasing,
+}
+
+/// One bucket mid-re-home: where it is moving, how far the handshake has
+/// progressed, and the pen of packets that arrived while it was parked.
 #[derive(Debug)]
 pub struct BucketMove {
     /// The bucket being moved.
@@ -87,18 +130,43 @@ pub struct BucketMove {
     pub from: usize,
     /// The shard the bucket is moving to.
     pub to: usize,
-    /// Whether the drain completed: rules exported, steering entry flipped.
-    /// The move finishes once the pen is empty too.
-    pub flipped: bool,
+    /// Handshake progress.
+    pub phase: MovePhase,
     /// Packets of the bucket that arrived while it was parked (with their
     /// already-parsed flow keys), in arrival order. Released into the new
-    /// shard after the flip.
+    /// shard once the phase reaches [`MovePhase::Releasing`].
     pub pen: VecDeque<(Packet, FlowKey)>,
 }
 
+impl BucketMove {
+    /// Whether the steering entry has flipped (rules exported, new shard
+    /// owns the bucket).
+    pub fn flipped(&self) -> bool {
+        matches!(
+            self.phase,
+            MovePhase::Importing { .. } | MovePhase::Releasing
+        )
+    }
+}
+
+/// NF flow state collected on the old shard, on its way to the new owner's
+/// worker (batched per destination shard; the shared `done` flag gates the
+/// pen release of every bucket the batch covers).
+#[derive(Debug)]
+pub struct ImportDelivery {
+    /// Destination shard.
+    pub to: usize,
+    /// The exported `(service, flow, state)` triples.
+    pub states: Vec<(ServiceId, FlowKey, NfFlowState)>,
+    /// Acknowledgement flag shared with the covered moves'
+    /// [`MovePhase::Importing`] phases.
+    pub done: Arc<AtomicBool>,
+}
+
 /// Counters describing the re-homing activity of a host, for benches and
-/// acceptance tests (`packets lost` and `rules lost` during a re-home must
-/// both be zero — these counters make the mechanism observable).
+/// acceptance tests (`packets lost`, `rules lost`, `wildcard mutations
+/// lost` and `NF flow states lost` during a re-home must all be zero —
+/// these counters make the mechanism observable).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RehomeReport {
     /// Buckets whose re-home handshake has completed.
@@ -106,6 +174,13 @@ pub struct RehomeReport {
     /// Shard-local exact-flow rules carried between partitions by
     /// completed re-homes.
     pub rules_rehomed: u64,
+    /// Wildcard-rule mutations replayed into destination partitions.
+    pub wildcard_mutations_rehomed: u64,
+    /// Wildcard-mutation replays skipped because the destination held a
+    /// newer conflicting mutation (last-writer-wins).
+    pub wildcard_conflicts: u64,
+    /// NF-internal per-flow state payloads carried to new shards.
+    pub nf_flow_states_rehomed: u64,
     /// Packets that waited in a per-bucket pen during a re-home (every one
     /// of them was released into the bucket's new shard).
     pub packets_penned: u64,
@@ -126,6 +201,12 @@ pub struct RetiringShard {
     pub stop_sent: bool,
 }
 
+/// How many pen-age samples [`RehomeState`] retains for percentile
+/// reporting before older samples are dropped (the gauges in
+/// [`TelemetrySnapshot`](sdnfv_telemetry::TelemetrySnapshot) are live and
+/// unaffected by this cap).
+pub const PEN_AGE_SAMPLE_CAP: usize = 4096;
+
 /// The host-side state of all in-progress re-homes.
 #[derive(Debug, Default)]
 pub struct RehomeState {
@@ -134,16 +215,26 @@ pub struct RehomeState {
     /// `parked[bucket]` is `true` while the bucket is mid-move (sized to
     /// the steering table; empty until the first re-home).
     pub parked: Vec<bool>,
+    /// NF-state deliveries awaiting a slot in their destination shard's
+    /// control ring.
+    pub outbox: Vec<ImportDelivery>,
     /// The shard currently being retired, if any.
     pub retiring: Option<RetiringShard>,
     /// Cumulative re-home counters.
     pub report: RehomeReport,
+    /// Monotonic id generator for export requests.
+    pub next_export_id: u64,
+    /// Ages (nanoseconds spent parked) of packets released from pens, newest
+    /// last, capped at [`PEN_AGE_SAMPLE_CAP`] samples.
+    pen_ages_ns: Vec<u64>,
+    /// Samples dropped because the cap was reached.
+    pub pen_age_samples_dropped: u64,
 }
 
 impl RehomeState {
     /// Whether any re-home work is pending.
     pub fn is_idle(&self) -> bool {
-        self.moves.is_empty() && self.retiring.is_none()
+        self.moves.is_empty() && self.retiring.is_none() && self.outbox.is_empty()
     }
 
     /// Whether `bucket` is currently parked (mid-move).
@@ -166,7 +257,7 @@ impl RehomeState {
             bucket,
             from,
             to,
-            flipped: false,
+            phase: MovePhase::Draining,
             pen: VecDeque::new(),
         });
     }
@@ -180,6 +271,45 @@ impl RehomeState {
     /// destination).
     pub fn shard_has_moves(&self, shard: usize) -> bool {
         self.moves.iter().any(|m| m.from == shard || m.to == shard)
+            || self.outbox.iter().any(|d| d.to == shard)
+    }
+
+    /// A fresh export-request id.
+    pub fn allocate_export_id(&mut self) -> u64 {
+        self.next_export_id += 1;
+        self.next_export_id
+    }
+
+    /// Records how long a packet sat in a pen before release.
+    pub fn record_pen_age(&mut self, age_ns: u64) {
+        if self.pen_ages_ns.len() < PEN_AGE_SAMPLE_CAP {
+            self.pen_ages_ns.push(age_ns);
+        } else {
+            self.pen_age_samples_dropped += 1;
+        }
+    }
+
+    /// Drains the recorded pen-age samples (nanoseconds).
+    pub fn take_pen_ages_ns(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pen_ages_ns)
+    }
+
+    /// Total packets currently parked in pens destined for `shard`, and the
+    /// oldest such packet's arrival timestamp (host-clock nanoseconds) —
+    /// the live inputs of the pen gauges.
+    pub fn pen_gauges_for_shard(&self, shard: usize) -> (usize, Option<u64>) {
+        let mut depth = 0;
+        let mut oldest: Option<u64> = None;
+        for mv in self.moves.iter().filter(|m| m.to == shard) {
+            depth += mv.pen.len();
+            if let Some((packet, _)) = mv.pen.front() {
+                oldest = Some(match oldest {
+                    Some(current) => current.min(packet.timestamp_ns),
+                    None => packet.timestamp_ns,
+                });
+            }
+        }
+        (depth, oldest)
     }
 }
 
@@ -239,7 +369,74 @@ mod tests {
         assert!(!state.shard_has_moves(2));
         let mv = state.move_for_bucket_mut(3).expect("bucket 3 is moving");
         assert_eq!((mv.from, mv.to), (0, 1));
-        assert!(!mv.flipped);
+        assert!(matches!(mv.phase, MovePhase::Draining));
+        assert!(!mv.flipped());
+        mv.phase = MovePhase::Importing {
+            done: Arc::new(AtomicBool::new(false)),
+        };
+        assert!(mv.flipped());
         assert!(state.move_for_bucket_mut(4).is_none());
+    }
+
+    #[test]
+    fn outbox_deliveries_count_as_shard_involvement() {
+        let mut state = RehomeState::default();
+        state.outbox.push(ImportDelivery {
+            to: 2,
+            states: Vec::new(),
+            done: Arc::new(AtomicBool::new(false)),
+        });
+        assert!(state.shard_has_moves(2));
+        assert!(!state.is_idle());
+    }
+
+    #[test]
+    fn export_ids_are_unique() {
+        let mut state = RehomeState::default();
+        let a = state.allocate_export_id();
+        let b = state.allocate_export_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pen_age_samples_are_capped() {
+        let mut state = RehomeState::default();
+        for age in 0..(PEN_AGE_SAMPLE_CAP as u64 + 10) {
+            state.record_pen_age(age);
+        }
+        assert_eq!(state.take_pen_ages_ns().len(), PEN_AGE_SAMPLE_CAP);
+        assert_eq!(state.pen_age_samples_dropped, 10);
+        // Taking drains.
+        assert!(state.take_pen_ages_ns().is_empty());
+    }
+
+    #[test]
+    fn pen_gauges_report_depth_and_oldest_arrival() {
+        use sdnfv_proto::packet::PacketBuilder;
+        let mut state = RehomeState::default();
+        state.ensure_parked_table(4);
+        state.begin_move(0, 0, 1);
+        state.begin_move(1, 0, 1);
+        assert_eq!(state.pen_gauges_for_shard(1), (0, None));
+        let mut early = PacketBuilder::udp().src_port(1).build();
+        early.timestamp_ns = 100;
+        let k1 = early.flow_key().unwrap();
+        let mut late = PacketBuilder::udp().src_port(2).build();
+        late.timestamp_ns = 500;
+        let k2 = late.flow_key().unwrap();
+        state
+            .move_for_bucket_mut(0)
+            .unwrap()
+            .pen
+            .push_back((late, k2));
+        state
+            .move_for_bucket_mut(1)
+            .unwrap()
+            .pen
+            .push_back((early, k1));
+        let (depth, oldest) = state.pen_gauges_for_shard(1);
+        assert_eq!(depth, 2);
+        assert_eq!(oldest, Some(100), "oldest arrival across all pens");
+        assert_eq!(state.pen_gauges_for_shard(0), (0, None));
     }
 }

@@ -82,12 +82,18 @@
 //! the highest shard's buckets back onto the survivors and tears its
 //! pipeline down (threads joined, rings reclaimed). Every bucket move —
 //! scale-out, scale-in or a plain [`set_steering_weights`] rebalance — goes
-//! through the **quiesce-then-move handshake** in [`crate::rehome`]: new
-//! arrivals for the bucket are parked in a small pen, the old shard drains
-//! the bucket's in-flight packets, the bucket's shard-local exact-flow
-//! rules are exported into the new owner's partition, and only then does
-//! the steering entry flip — so neither packets nor flow state are lost.
-//! Completed transitions are published as
+//! through the **state-complete quiesce-then-move handshake** in
+//! [`crate::rehome`]: new arrivals for the bucket are parked in a small
+//! pen, the old shard drains the bucket's in-flight packets, the bucket's
+//! NF-internal per-flow state is collected from the old shard's replicas
+//! (via [`NetworkFunction::export_flow_state`]), its shard-local exact-flow
+//! rules *and* the wildcard mutations attributed to it are exported into
+//! the new owner's partition, the steering entry flips, the NF state is
+//! imported into the new shard's replicas, and only then is the pen
+//! released — so neither packets, flow-table state, wildcard-rule
+//! mutations nor NF flow state are lost. The
+//! [`RehomeOrdering`] knob additionally offers strict per-flow egress
+//! ordering across the move. Completed transitions are published as
 //! [`ShardLifecycleEvent`]s via [`ThreadedHost::take_shard_events`].
 
 use std::cell::{Cell, RefCell};
@@ -100,10 +106,12 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use sdnfv_flowtable::{
-    Action, Decision, FlowRule, FlowTablePartitions, RuleId, RulePort, ServiceId, SharedFlowTable,
+    Action, Decision, FlowRule, FlowTablePartitions, MutationLog, RuleId, RulePort, ServiceId,
+    SharedFlowTable,
 };
 use sdnfv_nf::{
-    BurstMemo, NetworkFunction, NfContext, PacketBatch, PacketBatchMut, Verdict, VerdictSlice,
+    BurstMemo, NetworkFunction, NfContext, NfFlowState, PacketBatch, PacketBatchMut, Verdict,
+    VerdictSlice,
 };
 use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::packet::Port;
@@ -113,10 +121,32 @@ use sdnfv_telemetry::{Ewma, NfTelemetry, ShardLifecycleEvent, TelemetrySnapshot}
 
 use crate::cache::{cached_lookup, LookupCache};
 use crate::conflict::resolve_parallel_verdicts;
-use crate::messages::apply_nf_message;
-use crate::rehome::{BucketTracker, RehomeReport, RehomeState, RetiringShard};
+use crate::messages::apply_nf_message_tracked;
+use crate::rehome::{
+    BucketTracker, ImportDelivery, MovePhase, RehomeReport, RehomeState, RetiringShard,
+};
 use crate::scratch::recycle;
 use crate::stats::{HostStats, ShardStats};
+
+/// When a moving bucket may be released to its new shard, relative to its
+/// packets' progress through the old shard — the per-flow egress-ordering
+/// knob of the re-home handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RehomeOrdering {
+    /// A bucket's in-flight count drops when each packet reaches *egress
+    /// staging* (past which it can no longer touch flow state). Short
+    /// re-home pauses, but a flow's last old-shard packets may still sit in
+    /// the old shard's egress ring while its first new-shard packets come
+    /// out — per-flow egress order can briefly interleave across the move.
+    #[default]
+    Relaxed,
+    /// A bucket's in-flight count drops only when each packet *fully
+    /// egresses* (is polled out of the host). Strict per-flow egress
+    /// ordering across the move, at the cost of a longer bucket pause (the
+    /// drain now waits on the host's egress polling) and a flow-key parse
+    /// per polled packet.
+    Strict,
+}
 
 /// What the host does when an ingress packet cannot be admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -171,6 +201,20 @@ pub struct ThreadedHostConfig {
     /// bucket is mid-re-home (quiesced). A full pen surfaces as ordinary
     /// backpressure (or an overflow drop under [`OverflowPolicy::Drop`]).
     pub rehome_pen: usize,
+    /// Whether a re-homed bucket is released at egress *staging* (fast,
+    /// default) or only at *full egress* (strict per-flow ordering across
+    /// the move) — see [`RehomeOrdering`].
+    pub rehome_ordering: RehomeOrdering,
+    /// Entry floor of the per-burst lookup memo's probe cap: below this
+    /// many memoized entries the memo never bypasses. Defaults to
+    /// [`BurstMemo::BYPASS_MIN_ENTRIES`]; raise it for traffic mixes whose
+    /// bursts legitimately carry many distinct flows, lower it to shed
+    /// memo overhead sooner under spoofed-source (fig9-style DDoS) floods.
+    pub memo_bypass_min_entries: usize,
+    /// Hit-rate divisor of the memo's probe cap: memoization is abandoned
+    /// while fewer than one probe in this many hits. Defaults to
+    /// [`BurstMemo::BYPASS_HIT_DIVISOR`]; `0` disables bypassing entirely.
+    pub memo_bypass_hit_divisor: u32,
 }
 
 impl Default for ThreadedHostConfig {
@@ -188,6 +232,9 @@ impl Default for ThreadedHostConfig {
             telemetry_interval_ns: 1_000_000,
             control_ring_capacity: 16,
             rehome_pen: 32,
+            rehome_ordering: RehomeOrdering::Relaxed,
+            memo_bypass_min_entries: BurstMemo::<u32, u32>::BYPASS_MIN_ENTRIES,
+            memo_bypass_hit_divisor: BurstMemo::<u32, u32>::BYPASS_HIT_DIVISOR,
         }
     }
 }
@@ -231,6 +278,113 @@ enum ShardCommand {
     /// Re-budget the shard's credit gate (clamped to the internal ring
     /// capacities; no-op under [`OverflowPolicy::Drop`]).
     ResizeCredits { credits: usize },
+    /// Collect NF-internal per-flow state for the given (quiesced) steering
+    /// buckets from every NF replica on this shard; reply with a
+    /// [`BucketStateExport`] tagged `id` on the shard's export ring.
+    /// `exact_keys` enumerates the buckets' flows discoverable from the
+    /// shard partition's exact-rule index; replicas add their own key sets.
+    ExportBucketState {
+        id: u64,
+        buckets: Vec<usize>,
+        exact_keys: Vec<FlowKey>,
+    },
+    /// Deliver re-homed NF flow state to this (destination) shard's
+    /// replicas; set `done` once every replica has absorbed its share —
+    /// the host releases the covered buckets' pens only after that, so no
+    /// packet can reach an NF before its flow's state does.
+    ImportBucketState {
+        states: Vec<(ServiceId, FlowKey, NfFlowState)>,
+        done: Arc<AtomicBool>,
+    },
+}
+
+/// A shard worker's reply to [`ShardCommand::ExportBucketState`]: every
+/// `(service, flow, state)` its NF replicas detached for the request's
+/// buckets.
+struct BucketStateExport {
+    /// Echo of the request id.
+    id: u64,
+    /// The exported state triples (possibly several per flow, one per
+    /// replica that held state — the importer merges).
+    states: Vec<(ServiceId, FlowKey, NfFlowState)>,
+}
+
+/// A state-migration request posted by the shard worker into one NF
+/// replica's mailbox (served by the NF thread between bursts).
+enum NfStateRequest {
+    /// Detach state for the given buckets' flows: the listed keys plus any
+    /// key of the NF's own set whose bucket is in `buckets`.
+    Export {
+        buckets: Vec<usize>,
+        keys: Vec<FlowKey>,
+    },
+    /// Absorb state exported on the flow's old shard.
+    Import { states: Vec<(FlowKey, NfFlowState)> },
+}
+
+/// A queued mailbox between a shard worker and one NF thread, carrying
+/// state-migration requests in and responses (exported state, or an empty
+/// import acknowledgement) out. Several requests can be in flight at once —
+/// overlapping bucket-move batches post new exports before earlier ones
+/// resolve, and a shard can import and export concurrently — so each
+/// request carries a worker-assigned token its response echoes. Requests
+/// are rare (one per bucket-move batch), so mutex-guarded queues polled via
+/// atomic flags are plenty — no ring needed.
+#[derive(Default)]
+struct NfStateChannel {
+    requests: Mutex<std::collections::VecDeque<(u64, NfStateRequest)>>,
+    responses: Mutex<std::collections::VecDeque<(u64, StateResponse)>>,
+    has_requests: AtomicBool,
+    has_responses: AtomicBool,
+}
+
+/// A replica's response payload: the `(flow, state)` pairs it exported
+/// (empty for an import acknowledgement).
+type StateResponse = Vec<(FlowKey, NfFlowState)>;
+
+impl NfStateChannel {
+    /// Worker side: queues a request under `token`.
+    fn post(&self, token: u64, request: NfStateRequest) {
+        self.requests.lock().push_back((token, request));
+        self.has_requests.store(true, Ordering::Release);
+    }
+
+    /// NF side: drains every pending request, in posting order.
+    fn take_requests(&self) -> Vec<(u64, NfStateRequest)> {
+        if !self.has_requests.swap(false, Ordering::AcqRel) {
+            return Vec::new();
+        }
+        self.requests.lock().drain(..).collect()
+    }
+
+    /// NF side: publishes the response to request `token`.
+    fn respond(&self, token: u64, response: StateResponse) {
+        self.responses.lock().push_back((token, response));
+        self.has_responses.store(true, Ordering::Release);
+    }
+
+    /// Worker side: drains every response that has arrived.
+    fn drain_responses(&self) -> Vec<(u64, StateResponse)> {
+        if !self.has_responses.swap(false, Ordering::AcqRel) {
+            return Vec::new();
+        }
+        self.responses.lock().drain(..).collect()
+    }
+}
+
+/// An export in progress on a shard worker: which replica requests (slot,
+/// token) still owe a response, and what has been gathered so far.
+struct PendingCollect {
+    id: u64,
+    outstanding: Vec<(usize, u64)>,
+    gathered: Vec<(ServiceId, FlowKey, NfFlowState)>,
+}
+
+/// An import in progress on a shard worker: which replica requests (slot,
+/// token) still owe an acknowledgement before `done` may be set.
+struct PendingImport {
+    outstanding: Vec<(usize, u64)>,
+    done: Arc<AtomicBool>,
 }
 
 /// The outcome of injecting one packet (see [`ThreadedHost::inject`]).
@@ -304,6 +458,9 @@ struct ShardPorts {
     gate: Option<Arc<CreditGate>>,
     control: Producer<ShardCommand>,
     telemetry: Consumer<TelemetrySnapshot>,
+    /// NF-state exports flowing back from the worker (replies to
+    /// [`ShardCommand::ExportBucketState`]).
+    exports: Consumer<BucketStateExport>,
     /// The shard's counters (shared with its threads), kept at hand so the
     /// injection paths bump them without taking the stats registry lock.
     stats: ShardStats,
@@ -432,6 +589,7 @@ impl ThreadedHost {
                 shard,
                 nfs_for_shard(shard),
                 tables.shard(shard),
+                tables.mutation_log(shard),
                 stats.shard(shard),
                 &running,
                 &tracker,
@@ -748,39 +906,66 @@ impl ThreadedHost {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    /// Under [`RehomeOrdering::Strict`] a packet's bucket in-flight count
+    /// is released only here, when it fully leaves the host (no-op under
+    /// the default [`RehomeOrdering::Relaxed`], where the shard worker
+    /// released it at egress staging).
+    fn finish_on_full_egress(&self, packet: &Packet) {
+        if matches!(self.config.rehome_ordering, RehomeOrdering::Strict) {
+            if let Some(key) = packet.flow_key() {
+                self.tracker.finish(&key);
+            }
+        }
+    }
+
     /// Retrieves one transmitted packet, if any, polling shards round-robin.
     pub fn poll_egress(&self) -> Option<HostOutput> {
         self.advance_rehoming();
-        let shards = self.shards.borrow();
-        let n = shards.len();
-        let start = self.egress_cursor.get();
-        for offset in 0..n {
-            let shard = (start + offset) % n;
-            if let Some(out) = shards[shard].egress.pop() {
-                self.egress_cursor.set((shard + 1) % n);
-                return Some(out);
+        let polled = {
+            let shards = self.shards.borrow();
+            let n = shards.len();
+            let start = self.egress_cursor.get();
+            let mut polled = None;
+            for offset in 0..n {
+                let shard = (start + offset) % n;
+                if let Some(out) = shards[shard].egress.pop() {
+                    self.egress_cursor.set((shard + 1) % n);
+                    polled = Some(out);
+                    break;
+                }
             }
+            polled
+        };
+        if let Some((_, packet)) = &polled {
+            self.finish_on_full_egress(packet);
         }
-        None
+        polled
     }
 
     /// Retrieves up to `max` transmitted packets, draining shards
     /// round-robin with one ring operation each.
     pub fn poll_egress_burst(&self, max: usize) -> Vec<HostOutput> {
         self.advance_rehoming();
-        let shards = self.shards.borrow();
-        let n = shards.len();
         let mut out = Vec::new();
-        let start = self.egress_cursor.get();
-        for offset in 0..n {
-            if out.len() >= max {
-                break;
+        {
+            let shards = self.shards.borrow();
+            let n = shards.len();
+            let start = self.egress_cursor.get();
+            for offset in 0..n {
+                if out.len() >= max {
+                    break;
+                }
+                let shard = (start + offset) % n;
+                let room = max - out.len();
+                shards[shard].egress.pop_n(&mut out, room);
             }
-            let shard = (start + offset) % n;
-            let room = max - out.len();
-            shards[shard].egress.pop_n(&mut out, room);
+            self.egress_cursor.set((start + 1) % n);
         }
-        self.egress_cursor.set((start + 1) % n);
+        if matches!(self.config.rehome_ordering, RehomeOrdering::Strict) {
+            for (_, packet) in &out {
+                self.finish_on_full_egress(packet);
+            }
+        }
         out
     }
 
@@ -835,7 +1020,30 @@ impl ThreadedHost {
                 out.push(snapshot);
             }
         }
+        // The re-home pens live on the host side (the injection path), so
+        // their gauges are stamped here rather than by the shard workers:
+        // each snapshot reports the pens destined for its shard, making a
+        // pathological flood onto a mid-move bucket visible instead of
+        // silent backpressure.
+        if !out.is_empty() {
+            let now_ns = self.now_ns();
+            let state = self.rehome.borrow();
+            for snapshot in &mut out {
+                let (depth, oldest) = state.pen_gauges_for_shard(snapshot.shard);
+                snapshot.rehome_pen_depth = depth;
+                snapshot.rehome_pen_max_age_ns =
+                    oldest.map_or(0, |arrived| now_ns.saturating_sub(arrived));
+            }
+        }
         out
+    }
+
+    /// Drains the ages (nanoseconds parked) of packets released from
+    /// re-home pens since the last call — the percentile feed of the
+    /// `shard_rehome` bench artifact. Samples are capped at
+    /// [`crate::rehome::PEN_AGE_SAMPLE_CAP`] between drains.
+    pub fn take_rehome_pen_ages_ns(&self) -> Vec<u64> {
+        self.rehome.borrow_mut().take_pen_ages_ns()
     }
 
     /// Drains the shard lifecycle transitions ([`ShardLifecycleEvent`])
@@ -941,7 +1149,7 @@ impl ThreadedHost {
     /// over-quota shards. Buckets already mid-move are skipped; their
     /// destination counts toward its shard's quota.
     fn rebalance_to_targets(&self, target: &[usize]) {
-        let mut steering = self.steering.borrow_mut();
+        let steering = self.steering.borrow();
         let mut state = self.rehome.borrow_mut();
         state.ensure_parked_table(steering.len());
         let buckets = steering.len();
@@ -980,51 +1188,60 @@ impl ThreadedHost {
             if from == receiver {
                 continue;
             }
-            if self.tracker.in_flight(bucket) == 0 {
-                // Already quiesced: export the bucket's rules and flip in
-                // one step.
-                let moved = self
-                    .tables
-                    .move_exact_rules(from, receiver, |key| self.tracker.bucket_of(key) == bucket);
-                state.report.rules_rehomed += moved as u64;
-                state.report.buckets_rehomed += 1;
-                steering[bucket] = receiver;
-            } else {
-                state.begin_move(bucket, from, receiver);
-            }
+            // Every move — even of an already-idle bucket — goes through
+            // the phased handshake: the old shard's NFs may hold per-flow
+            // state for the bucket's (idle) flows, and collecting it needs
+            // a round trip through the shard's worker and NF threads.
+            state.begin_move(bucket, from, receiver);
         }
     }
 
-    /// Advances every in-progress re-home: drains completed buckets (rule
-    /// export + steering flip + pen release) and finalizes a shard
-    /// retirement once its pipeline is empty. Called opportunistically from
-    /// injection and polling, so the handshake needs no dedicated thread.
+    /// Advances every in-progress re-home through the state-complete
+    /// handshake (drain → collect NF state → move rules + wildcard
+    /// mutations + flip → import NF state → release pen) and finalizes a
+    /// shard retirement once its pipeline is empty. Called opportunistically
+    /// from injection and polling, so the handshake needs no dedicated
+    /// thread.
     fn advance_rehoming(&self) {
         if self.rehome.borrow().is_idle() {
             return;
         }
+        let now_ns = self.now_ns();
         let mut state = self.rehome.borrow_mut();
         let mut steering = self.steering.borrow_mut();
+
+        // Phase 1 → 2: batch every freshly quiesced bucket into one
+        // NF-state export request per source shard (the control ring is
+        // shallow; per-bucket commands would not scale to a rebalance
+        // moving hundreds of buckets).
+        self.request_exports(&mut state);
+
+        // Phase 2 → 4/5: absorb completed exports — move the flow-table
+        // state, flip the steering entries, and queue the NF state for
+        // delivery to each destination shard.
+        self.absorb_exports(&mut state, &mut steering);
+
+        // Flush queued NF-state deliveries into destination control rings.
+        self.flush_import_outbox(&mut state);
+
+        // Phase 5 → 6 → done: release pens whose import was acknowledged.
         let RehomeState {
             moves,
             parked,
-            retiring,
             report,
+            ..
         } = &mut *state;
+        let mut released_ages: Vec<u64> = Vec::new();
         moves.retain_mut(|mv| {
-            if !mv.flipped {
-                if self.tracker.in_flight(mv.bucket) > 0 {
-                    return true;
+            match &mv.phase {
+                MovePhase::Draining | MovePhase::Collecting { .. } => return true,
+                MovePhase::Importing { done } => {
+                    if !done.load(Ordering::Acquire) {
+                        return true;
+                    }
+                    mv.phase = MovePhase::Releasing;
                 }
-                // Quiesced: the old shard holds no packet of this bucket
-                // anywhere between ingress and egress staging, so its
-                // shard-local rules are stable — export, then flip.
-                let moved = self.tables.move_exact_rules(mv.from, mv.to, |key| {
-                    self.tracker.bucket_of(key) == mv.bucket
-                });
-                report.rules_rehomed += moved as u64;
-                steering[mv.bucket] = mv.to;
-                mv.flipped = true;
+                MovePhase::Releasing => {}
             }
             // Release the pen into the new shard (in arrival order).
             let shards = self.shards.borrow();
@@ -1036,11 +1253,15 @@ impl ThreadedHost {
                         return true;
                     }
                 }
+                let age_ns = now_ns.saturating_sub(packet.timestamp_ns);
                 match ports.ingress.push(IngressFrame {
                     packet,
                     key: Some(key),
                 }) {
-                    Ok(()) => self.tracker.admit(mv.bucket),
+                    Ok(()) => {
+                        self.tracker.admit(mv.bucket);
+                        released_ages.push(age_ns);
+                    }
                     Err(PushError(frame)) => {
                         if let Some(gate) = &ports.gate {
                             gate.release(1);
@@ -1055,12 +1276,20 @@ impl ThreadedHost {
             report.buckets_rehomed += 1;
             false
         });
-        if let Some(RetiringShard { shard, stop_sent }) = retiring {
+        for age_ns in released_ages {
+            state.record_pen_age(age_ns);
+        }
+        let retiring_involved = |state: &RehomeState, s: usize| {
+            state.moves.iter().any(|m| m.from == s || m.to == s)
+                || state.outbox.iter().any(|d| d.to == s)
+        };
+        let still_involved = state
+            .retiring
+            .as_ref()
+            .map(|r| retiring_involved(&state, r.shard));
+        if let Some(RetiringShard { shard, stop_sent }) = &mut state.retiring {
             let s = *shard;
-            if !*stop_sent
-                && !moves.iter().any(|m| m.from == s || m.to == s)
-                && !steering.contains(&s)
-            {
+            if !*stop_sent && still_involved == Some(false) && !steering.contains(&s) {
                 // Every bucket has left the shard and drained: nothing can
                 // reach its pipeline any more (its gate may transiently
                 // hold credits for egress-staged packets, which the worker
@@ -1086,10 +1315,150 @@ impl ThreadedHost {
                         shard: s,
                         at_ns: self.epoch.elapsed().as_nanos() as u64,
                     });
-                    *retiring = None;
+                    state.retiring = None;
                 }
             }
         }
+    }
+
+    /// Batches every quiesced [`MovePhase::Draining`] bucket into one
+    /// NF-state export command per source shard and advances those moves to
+    /// [`MovePhase::Collecting`]. A full control ring simply leaves the
+    /// moves in `Draining` for the next advance tick.
+    fn request_exports(&self, state: &mut RehomeState) {
+        let mut by_source: Vec<(usize, Vec<usize>)> = Vec::new();
+        for mv in &state.moves {
+            if !matches!(mv.phase, MovePhase::Draining) {
+                continue;
+            }
+            if self.tracker.in_flight(mv.bucket) > 0 {
+                continue;
+            }
+            match by_source.iter_mut().find(|(from, _)| *from == mv.from) {
+                Some((_, buckets)) => buckets.push(mv.bucket),
+                None => by_source.push((mv.from, vec![mv.bucket])),
+            }
+        }
+        for (from, buckets) in by_source {
+            // The buckets' flows discoverable from the partition: its exact
+            // entries. NF replicas add their own key sets on top.
+            let exact_keys: Vec<FlowKey> = self.tables.shard(from).with_read(|table| {
+                table
+                    .exact_rules()
+                    .map(|(_, (_, key), _)| key)
+                    .filter(|key| buckets.contains(&self.tracker.bucket_of(key)))
+                    .collect()
+            });
+            let id = state.allocate_export_id();
+            let pushed = self.shards.borrow()[from]
+                .control
+                .push(ShardCommand::ExportBucketState {
+                    id,
+                    buckets: buckets.clone(),
+                    exact_keys,
+                })
+                .is_ok();
+            if !pushed {
+                continue; // retry next tick; the moves stay Draining
+            }
+            for mv in state.moves.iter_mut() {
+                if buckets.contains(&mv.bucket) {
+                    mv.phase = MovePhase::Collecting { id };
+                }
+            }
+        }
+    }
+
+    /// Drains every shard's export ring. For each completed export: moves
+    /// the covered buckets' flow-table state (exact rules + wildcard
+    /// mutations), flips their steering entries, and queues their NF flow
+    /// state for delivery to the destination shards (one
+    /// [`ImportDelivery`] per destination, its `done` flag shared with the
+    /// covered moves' [`MovePhase::Importing`] phases).
+    fn absorb_exports(&self, state: &mut RehomeState, steering: &mut [usize]) {
+        let mut exports: Vec<BucketStateExport> = Vec::new();
+        {
+            let shards = self.shards.borrow();
+            for ports in shards.iter() {
+                while let Some(export) = ports.exports.pop() {
+                    exports.push(export);
+                }
+            }
+        }
+        let RehomeState {
+            moves,
+            outbox,
+            report,
+            ..
+        } = state;
+        for export in exports {
+            let BucketStateExport { id, states } = export;
+            // The moves this export covers, grouped by destination shard.
+            let mut destinations: Vec<(usize, Vec<usize>)> = Vec::new();
+            for mv in moves
+                .iter_mut()
+                .filter(|mv| matches!(mv.phase, MovePhase::Collecting { id: got } if got == id))
+            {
+                let moved = self
+                    .tables
+                    .move_bucket_state(mv.from, mv.to, mv.bucket, |key| {
+                        self.tracker.bucket_of(key) == mv.bucket
+                    });
+                report.rules_rehomed += moved.exact_rules as u64;
+                report.wildcard_mutations_rehomed += moved.wildcard_mutations as u64;
+                report.wildcard_conflicts += moved.wildcard_conflicts as u64;
+                steering[mv.bucket] = mv.to;
+                match destinations.iter_mut().find(|(to, _)| *to == mv.to) {
+                    Some((_, buckets)) => buckets.push(mv.bucket),
+                    None => destinations.push((mv.to, vec![mv.bucket])),
+                }
+            }
+            for (to, buckets) in destinations {
+                let bucket_states: Vec<(ServiceId, FlowKey, NfFlowState)> = states
+                    .iter()
+                    .filter(|(_, key, _)| buckets.contains(&self.tracker.bucket_of(key)))
+                    .cloned()
+                    .collect();
+                let done = Arc::new(AtomicBool::new(bucket_states.is_empty()));
+                if !bucket_states.is_empty() {
+                    report.nf_flow_states_rehomed += bucket_states.len() as u64;
+                    outbox.push(ImportDelivery {
+                        to,
+                        states: bucket_states,
+                        done: Arc::clone(&done),
+                    });
+                }
+                for mv in moves.iter_mut().filter(|mv| {
+                    buckets.contains(&mv.bucket)
+                        && matches!(mv.phase, MovePhase::Collecting { id: got } if got == id)
+                }) {
+                    mv.phase = MovePhase::Importing {
+                        done: Arc::clone(&done),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Pushes queued NF-state deliveries into their destination shards'
+    /// control rings (a full ring leaves the delivery queued for the next
+    /// tick; its moves wait in [`MovePhase::Importing`] meanwhile).
+    fn flush_import_outbox(&self, state: &mut RehomeState) {
+        let shards = self.shards.borrow();
+        state.outbox.retain_mut(|delivery| {
+            let command = ShardCommand::ImportBucketState {
+                states: std::mem::take(&mut delivery.states),
+                done: Arc::clone(&delivery.done),
+            };
+            match shards[delivery.to].control.push(command) {
+                Ok(()) => false,
+                Err(PushError(ShardCommand::ImportBucketState { states, .. })) => {
+                    delivery.states = states;
+                    true
+                }
+                Err(PushError(_)) => unreachable!("the rejected command is the one we pushed"),
+            }
+        });
     }
 
     /// Spawns a complete new pipeline shard — worker thread, the given NF
@@ -1131,6 +1500,7 @@ impl ThreadedHost {
             shard,
             nfs,
             self.tables.shard(shard),
+            self.tables.mutation_log(shard),
             self.stats.ensure_shard(shard),
             &self.running,
             &self.tracker,
@@ -1263,6 +1633,7 @@ fn launch_pipeline(
     shard: usize,
     initial_nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)>,
     table: SharedFlowTable,
+    mutation_log: Arc<MutationLog>,
     stats: ShardStats,
     running: &Arc<AtomicBool>,
     tracker: &Arc<BucketTracker>,
@@ -1278,6 +1649,7 @@ fn launch_pipeline(
     let (egress_tx, egress_rx) = spsc_ring::<HostOutput>(config.egress_capacity);
     let (control_tx, control_rx) = spsc_ring::<ShardCommand>(config.control_ring_capacity);
     let (telemetry_tx, telemetry_rx) = spsc_ring::<TelemetrySnapshot>(16);
+    let (exports_tx, exports_rx) = spsc_ring::<BucketStateExport>(16);
 
     let engine = ShardEngine {
         shard,
@@ -1287,6 +1659,7 @@ fn launch_pipeline(
         egress: egress_tx,
         gate: gate.clone(),
         table,
+        mutation_log,
         stats: stats.clone(),
         running: Arc::clone(running),
         stop: Arc::clone(&stop),
@@ -1296,12 +1669,21 @@ fn launch_pipeline(
         nf_ring_capacity: config.nf_ring_capacity,
         credit_clamp: config.nf_ring_capacity.min(config.ingress_capacity),
         trusted: config.trusted_nfs,
+        ordering: config.rehome_ordering,
         epoch,
         cache: LookupCache::new(4096),
-        memo: BurstLookupMemo::default(),
+        memo: BurstLookupMemo::with_thresholds(
+            config.memo_bypass_min_entries,
+            config.memo_bypass_hit_divisor,
+        ),
         staging: BurstStaging::new(0, config.burst_size),
         control: control_rx,
         telemetry: telemetry_tx,
+        exports: exports_tx,
+        export_backlog: std::collections::VecDeque::new(),
+        pending_collects: Vec::new(),
+        pending_imports: Vec::new(),
+        state_token: 0,
         telemetry_interval_ns: config.telemetry_interval_ns,
         last_telemetry: epoch,
         telemetry_check: 0,
@@ -1319,6 +1701,7 @@ fn launch_pipeline(
             gate,
             control: control_tx,
             telemetry: telemetry_rx,
+            exports: exports_rx,
             stats,
             stop,
         },
@@ -1369,6 +1752,8 @@ struct NfSlot {
     state: SlotState,
     /// When the slot entered [`SlotState::Retired`] (compaction timer).
     retired_at: Option<Instant>,
+    /// State-migration mailbox shared with the replica's thread.
+    channel: Arc<NfStateChannel>,
 }
 
 /// Per-thread staging buffers: descriptors dispatched during a burst are
@@ -1406,6 +1791,15 @@ struct BurstLookupMemo {
 }
 
 impl BurstLookupMemo {
+    /// Builds the memo with the host's configured probe-cap thresholds
+    /// ([`ThreadedHostConfig::memo_bypass_min_entries`] /
+    /// [`ThreadedHostConfig::memo_bypass_hit_divisor`]).
+    fn with_thresholds(bypass_min_entries: usize, bypass_hit_divisor: u32) -> Self {
+        BurstLookupMemo {
+            entries: BurstMemo::with_thresholds(bypass_min_entries, bypass_hit_divisor),
+        }
+    }
+
     fn clear(&mut self) {
         self.entries.clear();
     }
@@ -1443,6 +1837,9 @@ struct ShardEngine {
     gate: Option<Arc<CreditGate>>,
     /// This shard's flow-table partition.
     table: SharedFlowTable,
+    /// The partition's wildcard-mutation provenance log (shared with the
+    /// shard's NF threads, which record into it).
+    mutation_log: Arc<MutationLog>,
     stats: ShardStats,
     running: Arc<AtomicBool>,
     /// Per-shard retirement signal (the shard is drained and being torn
@@ -1458,12 +1855,24 @@ struct ShardEngine {
     /// Upper bound for credit resizes: the smallest internal ring capacity.
     credit_clamp: usize,
     trusted: bool,
+    /// When bucket in-flight counts drop (egress staging vs full egress).
+    ordering: RehomeOrdering,
     epoch: Instant,
     cache: LookupCache,
     memo: BurstLookupMemo,
     staging: BurstStaging,
     control: Consumer<ShardCommand>,
     telemetry: Producer<TelemetrySnapshot>,
+    /// Replies to [`ShardCommand::ExportBucketState`], drained by the host.
+    exports: Producer<BucketStateExport>,
+    /// Completed exports the export ring had no room for (retried).
+    export_backlog: std::collections::VecDeque<BucketStateExport>,
+    /// NF-state exports awaiting replica responses.
+    pending_collects: Vec<PendingCollect>,
+    /// NF-state imports awaiting replica acknowledgements.
+    pending_imports: Vec<PendingImport>,
+    /// Token generator for replica state-migration requests.
+    state_token: u64,
     telemetry_interval_ns: u64,
     last_telemetry: Instant,
     /// Loop-iteration countdown between wall-clock checks, so the idle spin
@@ -1517,6 +1926,12 @@ impl ShardEngine {
             }
             if self.retired_slots > 0 {
                 self.compact_retired_slots();
+            }
+            if !self.pending_collects.is_empty()
+                || !self.pending_imports.is_empty()
+                || !self.export_backlog.is_empty()
+            {
+                did_work |= self.poll_state_exchanges();
             }
             self.maybe_publish_telemetry(&ingress);
             if did_work {
@@ -1596,10 +2011,44 @@ impl ShardEngine {
         }
     }
 
+    /// Settles every in-flight state-exchange entry pointing at slot
+    /// `index` before the slot is reclaimed (compaction) or reused for a
+    /// new replica: responses the old replica already queued are absorbed,
+    /// and anything still outstanding resolves empty — the replica is gone
+    /// and its channel is about to be replaced, so waiting on it would
+    /// stall the covering bucket move forever.
+    fn settle_slot_state_entries(&mut self, index: usize) {
+        let mut responses: HashMap<u64, StateResponse> = self.slots[index]
+            .channel
+            .drain_responses()
+            .into_iter()
+            .collect();
+        let service = self.slots[index].service;
+        for collect in &mut self.pending_collects {
+            collect.outstanding.retain(|&(slot, token)| {
+                if slot != index {
+                    return true;
+                }
+                if let Some(response) = responses.remove(&token) {
+                    collect.gathered.extend(
+                        response
+                            .into_iter()
+                            .map(|(key, state)| (service, key, state)),
+                    );
+                }
+                false
+            });
+        }
+        for import in &mut self.pending_imports {
+            import.outstanding.retain(|&(slot, _)| slot != index);
+        }
+    }
+
     /// Reclaims NF slots that have stayed [`SlotState::Retired`] past the
     /// compaction grace: their rings are freed and the slot indices above
-    /// them shift down (the dispatch tables are rebuilt to match). Hosts
-    /// that scale down and stay down return to their baseline ring count.
+    /// them shift down (the dispatch tables — and any in-flight
+    /// state-exchange bookkeeping — are rebuilt to match). Hosts that
+    /// scale down and stay down return to their baseline ring count.
     fn compact_retired_slots(&mut self) {
         let now = Instant::now();
         let expired = |slot: &NfSlot| {
@@ -1610,6 +2059,18 @@ impl ShardEngine {
         };
         if !self.slots.iter().any(expired) {
             return;
+        }
+        // Settle state-exchange entries referencing the slots about to go,
+        // so no pending list is left holding a soon-to-be-dangling index.
+        let going: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| expired(slot))
+            .map(|(index, _)| index)
+            .collect();
+        for index in going {
+            self.settle_slot_state_entries(index);
         }
         let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.slots.len());
         let mut kept: Vec<NfSlot> = Vec::with_capacity(self.slots.len());
@@ -1636,6 +2097,25 @@ impl ShardEngine {
                 None => false,
             });
         }
+        // Shift surviving state-exchange entries to the slots' new indices
+        // (entries for removed slots were settled above).
+        let remap_entry = |(slot, token): &mut (usize, u64)| match remap[*slot] {
+            Some(new_index) => {
+                *slot = new_index;
+                true
+            }
+            None => {
+                debug_assert!(false, "entry for a compacted slot survived settling");
+                let _ = token;
+                false
+            }
+        };
+        for collect in &mut self.pending_collects {
+            collect.outstanding.retain_mut(&remap_entry);
+        }
+        for import in &mut self.pending_imports {
+            import.outstanding.retain_mut(&remap_entry);
+        }
     }
 
     /// Spawns one NF replica thread and registers its slot (reusing a
@@ -1645,6 +2125,7 @@ impl ShardEngine {
         let (done_tx, done) = spsc_ring::<DoneItem>(self.nf_ring_capacity);
         let probe = Arc::new(NfProbe::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let channel = Arc::new(NfStateChannel::default());
         let thread = NfThread {
             shard: self.shard,
             service,
@@ -1657,6 +2138,8 @@ impl ShardEngine {
             gate: self.gate.clone(),
             tracker: Arc::clone(&self.tracker),
             table: self.table.clone(),
+            mutation_log: Arc::clone(&self.mutation_log),
+            channel: Arc::clone(&channel),
             probe: Arc::clone(&probe),
             measure: self.telemetry_interval_ns != 0,
             trusted: self.trusted,
@@ -1673,6 +2156,7 @@ impl ShardEngine {
             handle: Some(handle),
             state: SlotState::Active,
             retired_at: None,
+            channel,
         };
         let index = match self
             .slots
@@ -1680,6 +2164,10 @@ impl ShardEngine {
             .position(|s| s.state == SlotState::Retired)
         {
             Some(index) => {
+                // The reused slot gets a fresh state channel: settle any
+                // state-exchange entry still pointing at the old one, or it
+                // would wait forever on a channel the dead replica never saw.
+                self.settle_slot_state_entries(index);
                 self.slots[index] = slot;
                 self.retired_slots -= 1;
                 index
@@ -1747,8 +2235,179 @@ impl ShardEngine {
                     gate.resize(credits.clamp(1, self.credit_clamp));
                 }
             }
+            ShardCommand::ExportBucketState {
+                id,
+                buckets,
+                exact_keys,
+            } => self.begin_export(id, buckets, exact_keys),
+            ShardCommand::ImportBucketState { states, done } => self.begin_import(states, done),
         }
         self.applied_commands += 1;
+    }
+
+    /// A fresh token for one replica state-migration request.
+    fn next_state_token(&mut self) -> u64 {
+        self.state_token += 1;
+        self.state_token
+    }
+
+    /// Fans an NF-state export request out to every live replica; the
+    /// gathered responses are assembled by [`ShardEngine::poll_state_exchanges`].
+    fn begin_export(&mut self, id: u64, buckets: Vec<usize>, exact_keys: Vec<FlowKey>) {
+        let eligible: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| {
+                // A retired (or exited-while-draining) replica answered
+                // every request it ever saw; it holds no reachable state.
+                slot.state != SlotState::Retired
+                    && slot.handle.as_ref().is_some_and(|h| !h.is_finished())
+            })
+            .map(|(index, _)| index)
+            .collect();
+        let mut outstanding = Vec::new();
+        for index in eligible {
+            let token = self.next_state_token();
+            self.slots[index].channel.post(
+                token,
+                NfStateRequest::Export {
+                    buckets: buckets.clone(),
+                    keys: exact_keys.clone(),
+                },
+            );
+            outstanding.push((index, token));
+        }
+        self.pending_collects.push(PendingCollect {
+            id,
+            outstanding,
+            gathered: Vec::new(),
+        });
+        // Resolve immediately when there is nothing to wait for (a shard
+        // with no NFs exports an empty state set).
+        self.poll_state_exchanges();
+    }
+
+    /// Routes imported NF flow state to one live replica per service; the
+    /// shared `done` flag flips once every routed replica acknowledged.
+    ///
+    /// State for a service with several replicas is imported into the first
+    /// active one — consistent with how per-flow NF state already behaves
+    /// across replicas (dispatch balances per packet, so a flow's state was
+    /// an approximate, per-replica notion before the move too).
+    fn begin_import(
+        &mut self,
+        states: Vec<(ServiceId, FlowKey, NfFlowState)>,
+        done: Arc<AtomicBool>,
+    ) {
+        let mut per_slot: HashMap<usize, Vec<(FlowKey, NfFlowState)>> = HashMap::new();
+        for (service, key, state) in states {
+            let Some(&slot) = self
+                .service_instances
+                .get(&service)
+                .and_then(|indices| indices.first())
+            else {
+                // No replica of the service on this shard: the migrated
+                // state cannot be absorbed. Count the loss — this is the
+                // one gap in the zero-NF-state-loss contract, and it must
+                // be visible rather than silent.
+                self.stats.add_nf_state_import_drops(1);
+                continue;
+            };
+            per_slot.entry(slot).or_default().push((key, state));
+        }
+        let mut outstanding = Vec::new();
+        for (slot, states) in per_slot {
+            let token = self.next_state_token();
+            self.slots[slot]
+                .channel
+                .post(token, NfStateRequest::Import { states });
+            outstanding.push((slot, token));
+        }
+        self.pending_imports
+            .push(PendingImport { outstanding, done });
+        self.poll_state_exchanges();
+    }
+
+    /// Advances every in-flight state exchange: gathers export responses
+    /// (publishing completed exports on the export ring), collects import
+    /// acknowledgements (setting their `done` flags), and retries exports
+    /// the ring had no room for. Returns whether anything progressed.
+    fn poll_state_exchanges(&mut self) -> bool {
+        let mut progressed = false;
+        let slots = &self.slots;
+        // Drain every slot's arrived responses once, keyed (slot, token).
+        let mut responses: HashMap<(usize, u64), StateResponse> = HashMap::new();
+        for (index, slot) in slots.iter().enumerate() {
+            for (token, response) in slot.channel.drain_responses() {
+                responses.insert((index, token), response);
+            }
+        }
+        for collect in &mut self.pending_collects {
+            collect.outstanding.retain(|&(index, token)| {
+                let slot = &slots[index];
+                if let Some(response) = responses.remove(&(index, token)) {
+                    collect.gathered.extend(
+                        response
+                            .into_iter()
+                            .map(|(key, state)| (slot.service, key, state)),
+                    );
+                    progressed = true;
+                    return false;
+                }
+                // A replica that exited (drain completed) served every
+                // queued request before leaving its loop, so an entry with
+                // no response and a finished thread resolves empty.
+                if slot.handle.as_ref().is_none_or(JoinHandle::is_finished) {
+                    progressed = true;
+                    return false;
+                }
+                true
+            });
+        }
+        let mut finished: Vec<BucketStateExport> = Vec::new();
+        self.pending_collects.retain_mut(|collect| {
+            if !collect.outstanding.is_empty() {
+                return true;
+            }
+            finished.push(BucketStateExport {
+                id: collect.id,
+                states: std::mem::take(&mut collect.gathered),
+            });
+            false
+        });
+        self.export_backlog.extend(finished);
+        while let Some(export) = self.export_backlog.pop_front() {
+            if let Err(PushError(export)) = self.exports.push(export) {
+                self.export_backlog.push_front(export);
+                break;
+            }
+            progressed = true;
+        }
+        self.pending_imports.retain_mut(|import| {
+            import.outstanding.retain(|&(index, token)| {
+                if responses.remove(&(index, token)).is_some() {
+                    return false;
+                }
+                if slots[index]
+                    .handle
+                    .as_ref()
+                    .is_none_or(JoinHandle::is_finished)
+                {
+                    // Replica gone mid-import: its share of the state is
+                    // unrecoverable, but the move must not hang.
+                    return false;
+                }
+                true
+            });
+            if import.outstanding.is_empty() {
+                import.done.store(true, Ordering::Release);
+                progressed = true;
+                return false;
+            }
+            true
+        });
+        progressed
     }
 
     /// Publishes a [`TelemetrySnapshot`] if the export interval has
@@ -1804,6 +2463,10 @@ impl ShardEngine {
             controller_punts: self.stats.controller_punts(),
             throttled: self.stats.throttled(),
             applied_commands: self.applied_commands,
+            // The pens live host-side; ThreadedHost::poll_telemetry stamps
+            // these two before handing the snapshot to the consumer.
+            rehome_pen_depth: 0,
+            rehome_pen_max_age_ns: 0,
         };
         let _ = self.telemetry.push(snapshot);
     }
@@ -1823,6 +2486,38 @@ impl ShardEngine {
     /// packet — the decrement side of the bucket-drain handshake.
     fn finish_flow(&self, key: &FlowKey) {
         self.tracker.finish(key);
+    }
+
+    /// The bucket-count release point for packets bound for egress: under
+    /// the default [`RehomeOrdering::Relaxed`] the count drops here (egress
+    /// staging — the packet can no longer touch flow state); under
+    /// [`RehomeOrdering::Strict`] it drops only when the host polls the
+    /// packet out, so a moving bucket's release waits for full egress and
+    /// per-flow egress order is preserved across the move.
+    fn finish_at_egress_staging(&self, key: &FlowKey) {
+        if matches!(self.ordering, RehomeOrdering::Relaxed) {
+            self.tracker.finish(key);
+        }
+    }
+
+    /// Accounts the staged-egress packets that will never reach the host
+    /// (drop policy overflow, shutdown mid-stall) as overflow drops, and —
+    /// under [`RehomeOrdering::Strict`], where their bucket counts are
+    /// still held — releases those counts here.
+    fn drop_staged_egress(&mut self) {
+        let leftover = self.staging.egress.len();
+        if leftover == 0 {
+            return;
+        }
+        self.stats.add_overflow_drops(leftover as u64);
+        if matches!(self.ordering, RehomeOrdering::Strict) {
+            for (_, packet) in &self.staging.egress {
+                if let Some(key) = packet.flow_key() {
+                    self.tracker.finish(&key);
+                }
+            }
+        }
+        self.staging.egress.clear();
     }
 
     fn lookup(&mut self, step: RulePort, key: &FlowKey) -> Option<Decision> {
@@ -1931,8 +2626,8 @@ impl ShardEngine {
                 // Transmitted accounting (and credit release) happens at
                 // flush, when the egress push lands; the packet's
                 // flow-state work is already over, so its bucket count
-                // drops here.
-                self.finish_flow(&key);
+                // drops here (or at full egress under strict ordering).
+                self.finish_at_egress_staging(&key);
                 self.staging.egress.push((port, packet));
             }
             Some(Action::ToController) => {
@@ -1992,7 +2687,7 @@ impl ShardEngine {
         if !parallel {
             match actions.first().copied() {
                 Some(Action::ToPort(port)) => {
-                    self.finish_flow(&item.key);
+                    self.finish_at_egress_staging(&item.key);
                     self.staging.egress.push((port, item.shared.clone_packet()));
                     return;
                 }
@@ -2113,17 +2808,14 @@ impl ShardEngine {
                 if !self.running.load(Ordering::Acquire) {
                     // Shutting down mid-stall: account the remainder.
                     let leftover = self.staging.egress.len();
-                    self.stats.add_overflow_drops(leftover as u64);
                     self.release_credits(leftover);
-                    self.staging.egress.clear();
+                    self.drop_staged_egress();
                     break;
                 }
                 // Backpressure: wait for the host to drain egress.
                 std::thread::yield_now();
             } else {
-                let leftover = self.staging.egress.len();
-                self.stats.add_overflow_drops(leftover as u64);
-                self.staging.egress.clear();
+                self.drop_staged_egress();
                 break;
             }
         }
@@ -2191,10 +2883,15 @@ struct NfThread {
     stats: ShardStats,
     gate: Option<Arc<CreditGate>>,
     /// Per-bucket in-flight counts, for the (drop-policy-only) done-ring
-    /// overflow path where this thread terminates a packet itself.
+    /// overflow path where this thread terminates a packet itself, and for
+    /// attributing wildcard mutations to the mutating flow's bucket.
     tracker: Arc<BucketTracker>,
     /// The owning shard's flow-table partition.
     table: SharedFlowTable,
+    /// The partition's wildcard-mutation provenance log.
+    mutation_log: Arc<MutationLog>,
+    /// State-migration mailbox (export/import requests from the worker).
+    channel: Arc<NfStateChannel>,
     probe: Arc<NfProbe>,
     /// Whether to measure service times into the probe (off when the
     /// host's telemetry exporter is disabled — nothing would read them).
@@ -2202,6 +2899,69 @@ struct NfThread {
     trusted: bool,
     epoch: Instant,
     burst_size: usize,
+}
+
+/// Applies a context's queued cross-layer messages to the shard partition,
+/// recording every wildcard mutation in the partition's provenance log
+/// keyed by the mutating flow's steering bucket (unattributed messages are
+/// logged bucket-less and travel with every departing bucket).
+fn apply_ctx_messages(
+    ctx: &mut NfContext,
+    service: ServiceId,
+    table: &SharedFlowTable,
+    mutation_log: &MutationLog,
+    tracker: &BucketTracker,
+    trusted: bool,
+    stats: &ShardStats,
+) {
+    for attributed in ctx.take_attributed_messages() {
+        stats.add_nf_messages(1);
+        let (_, wildcard) = table
+            .with_write(|t| apply_nf_message_tracked(t, service, &attributed.message, trusted));
+        if let Some(mutation) = wildcard {
+            let bucket = attributed.flow.as_ref().map(|key| tracker.bucket_of(key));
+            mutation_log.record(bucket, mutation);
+        }
+    }
+}
+
+/// Serves every pending state-migration request from the worker, in
+/// posting order: detaches the requested buckets' flow state (export) or
+/// absorbs migrated state (import, acknowledged with an empty response).
+fn serve_state_requests(
+    nf: &mut Box<dyn NetworkFunction>,
+    channel: &NfStateChannel,
+    tracker: &BucketTracker,
+) {
+    for (token, request) in channel.take_requests() {
+        match request {
+            NfStateRequest::Export { buckets, keys } => {
+                let mut exported = Vec::new();
+                for key in &keys {
+                    if let Some(state) = nf.export_flow_state(key) {
+                        exported.push((*key, state));
+                    }
+                }
+                // The NF's own key set covers flows that hold state without
+                // an exact rule; export is a move, so keys already detached
+                // above simply return None here — no dedup needed.
+                for key in nf.flow_state_keys() {
+                    if buckets.contains(&tracker.bucket_of(&key)) {
+                        if let Some(state) = nf.export_flow_state(&key) {
+                            exported.push((key, state));
+                        }
+                    }
+                }
+                channel.respond(token, exported);
+            }
+            NfStateRequest::Import { states } => {
+                for (key, state) in states {
+                    nf.import_flow_state(&key, state);
+                }
+                channel.respond(token, Vec::new());
+            }
+        }
+    }
 }
 
 fn nf_thread_loop(thread: NfThread) {
@@ -2217,6 +2977,8 @@ fn nf_thread_loop(thread: NfThread) {
         gate,
         tracker,
         table,
+        mutation_log,
+        channel,
         probe,
         measure,
         trusted,
@@ -2226,10 +2988,15 @@ fn nf_thread_loop(thread: NfThread) {
     let mut ctx = NfContext::for_shard(shard, 0);
     {
         nf.on_start(&mut ctx);
-        for message in ctx.take_messages() {
-            stats.add_nf_messages(1);
-            table.with_write(|t| apply_nf_message(t, service, &message, trusted));
-        }
+        apply_ctx_messages(
+            &mut ctx,
+            service,
+            &table,
+            &mutation_log,
+            &tracker,
+            trusted,
+            &stats,
+        );
     }
     let read_only = nf.read_only();
     let mut items: Vec<WorkItem> = Vec::with_capacity(burst_size);
@@ -2248,11 +3015,19 @@ fn nf_thread_loop(thread: NfThread) {
     let mut service_time = Ewma::default();
     let mut idle: u32 = 0;
     while running.load(Ordering::Acquire) {
+        // Serve state-migration requests *before* popping packets: an
+        // imported flow's state must land before the flow's first re-homed
+        // packet (the host only releases the bucket's pen after the import
+        // acknowledgement, so checking here closes the ordering).
+        serve_state_requests(&mut nf, &channel, &tracker);
         items.clear();
         if input.pop_n(&mut items, burst_size) == 0 {
             // Scale-down: with the input ring drained and every completion
             // already pushed, this replica's work is finished.
             if stop.load(Ordering::Acquire) && input.is_empty() {
+                // One last look at the mailbox so a request racing the
+                // drain-exit is answered, not stranded.
+                serve_state_requests(&mut nf, &channel, &tracker);
                 break;
             }
             idle_backoff(&mut idle);
@@ -2324,11 +3099,18 @@ fn nf_thread_loop(thread: NfThread) {
         // Cross-layer messages emitted anywhere inside the burst are applied
         // to the shared table *before* completed descriptors are handed to
         // the worker's TX role, so the next burst's lookups (on every
-        // thread) already see them.
-        for message in ctx.take_messages() {
-            stats.add_nf_messages(1);
-            table.with_write(|t| apply_nf_message(t, service, &message, trusted));
-        }
+        // thread) already see them. Wildcard mutations land in the
+        // partition's provenance log, attributed to the mutating flow's
+        // bucket, so future bucket re-homes replay them.
+        apply_ctx_messages(
+            &mut ctx,
+            service,
+            &table,
+            &mutation_log,
+            &tracker,
+            trusted,
+            &stats,
+        );
         for (index, item) in items.drain(..).enumerate() {
             item.collector.lock().push(verdicts.as_slice()[index]);
             if item.shared.complete_one() {
@@ -2462,6 +3244,7 @@ mod tests {
             handle: None,
             state: SlotState::Active,
             retired_at: None,
+            channel: Arc::new(NfStateChannel::default()),
         };
         (slot, input, done_tx)
     }
@@ -2844,6 +3627,15 @@ mod tests {
             .expect("spawn on an idle host");
         assert_eq!(shard, 1);
         assert_eq!(host.num_shards(), 2);
+        // Even idle buckets go through the phased handshake (their NF state
+        // must be collected from the old shard's worker), so the re-home
+        // completes over a few advance ticks rather than synchronously.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while host.pending_rehomes() > 0 && Instant::now() < deadline {
+            let _ = host.poll_egress();
+            std::thread::yield_now();
+        }
+        assert_eq!(host.pending_rehomes(), 0, "idle buckets re-home promptly");
         // The steering table was built and the new shard got a fair share.
         let steering = host.steering_table();
         assert_eq!(steering.len(), STEER_BUCKETS);

@@ -35,6 +35,11 @@ pub struct HostStatsSnapshot {
     pub nf_invocations: u64,
     /// Cross-layer messages emitted by NFs.
     pub nf_messages: u64,
+    /// Migrated NF flow-state payloads discarded at import because the
+    /// destination shard had no replica of the owning service — the one
+    /// way a re-home can lose NF state, surfaced so zero-loss checks see
+    /// it.
+    pub nf_state_import_drops: u64,
 }
 
 impl HostStatsSnapshot {
@@ -49,6 +54,7 @@ impl HostStatsSnapshot {
         self.parallel_dispatches += other.parallel_dispatches;
         self.nf_invocations += other.nf_invocations;
         self.nf_messages += other.nf_messages;
+        self.nf_state_import_drops += other.nf_state_import_drops;
     }
 }
 
@@ -63,6 +69,7 @@ struct Counters {
     parallel_dispatches: AtomicU64,
     nf_invocations: AtomicU64,
     nf_messages: AtomicU64,
+    nf_state_import_drops: AtomicU64,
 }
 
 macro_rules! counter {
@@ -154,6 +161,12 @@ impl ShardStats {
         nf_messages,
         "NF cross-layer messages"
     );
+    counter!(
+        add_nf_state_import_drops,
+        nf_state_import_drops,
+        nf_state_import_drops,
+        "migrated NF flow states dropped at import (no replica)"
+    );
 
     /// Takes a consistent-enough snapshot of this shard's counters.
     pub fn snapshot(&self) -> HostStatsSnapshot {
@@ -167,6 +180,7 @@ impl ShardStats {
             parallel_dispatches: self.parallel_dispatches(),
             nf_invocations: self.nf_invocations(),
             nf_messages: self.nf_messages(),
+            nf_state_import_drops: self.nf_state_import_drops(),
         }
     }
 }
@@ -261,6 +275,11 @@ impl HostStats {
     );
     shard0_counter!(add_nf_invocations, nf_invocations, "NF invocations");
     shard0_counter!(add_nf_messages, nf_messages, "NF cross-layer messages");
+    shard0_counter!(
+        add_nf_state_import_drops,
+        nf_state_import_drops,
+        "migrated NF flow states dropped at import (no replica)"
+    );
 
     /// Takes a consistent-enough snapshot of all counters, merged over every
     /// shard.
@@ -308,6 +327,7 @@ mod tests {
         stats.add_parallel_dispatches(4);
         stats.add_nf_invocations(20);
         stats.add_nf_messages(1);
+        stats.add_nf_state_import_drops(1);
         let snap = stats.snapshot();
         assert_eq!(snap.received, 15);
         assert_eq!(snap.transmitted, 8);
@@ -318,6 +338,7 @@ mod tests {
         assert_eq!(snap.parallel_dispatches, 4);
         assert_eq!(snap.nf_invocations, 20);
         assert_eq!(snap.nf_messages, 1);
+        assert_eq!(snap.nf_state_import_drops, 1);
     }
 
     #[test]

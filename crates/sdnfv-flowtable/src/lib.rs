@@ -14,19 +14,23 @@
 //! [`FlowRule`]s, the single-threaded [`FlowTable`], the lock-protected
 //! [`SharedFlowTable`] used by the multi-threaded NF Manager, and the
 //! per-shard [`FlowTablePartitions`] the sharded runtime uses to keep every
-//! shard's lookups on a lock no other shard ever touches.
+//! shard's lookups on a lock no other shard ever touches — with a
+//! per-partition [`MutationLog`] recording wildcard-rule mutations so
+//! bucket re-homes can replay them ([`provenance`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod matching;
 pub mod partition;
+pub mod provenance;
 pub mod rule;
 pub mod table;
 pub mod types;
 
 pub use matching::{FlowMatch, IpPrefix};
-pub use partition::FlowTablePartitions;
+pub use partition::{BucketStateMoved, FlowTablePartitions};
+pub use provenance::{MutationLog, MutationRecord, WildcardMutation};
 pub use rule::{Action, Decision, FlowRule, RuleId};
 pub use table::{FlowTable, SharedFlowTable, TableStats};
 pub use types::{RulePort, ServiceId};

@@ -162,6 +162,32 @@ impl FlowMatch {
         true
     }
 
+    /// Conservative intersection test between two matches: they intersect
+    /// unless some field is constrained to provably disjoint values in both
+    /// (the `step` field is ignored — callers compare steps separately).
+    /// Used to decide whether an installed rule is affected by a message's
+    /// flow filter, and whether two wildcard mutations touch the same rules.
+    pub fn intersects(&self, other: &FlowMatch) -> bool {
+        fn fields_disjoint<T: PartialEq + Copy>(a: Option<T>, b: Option<T>) -> bool {
+            matches!((a, b), (Some(x), Some(y)) if x != y)
+        }
+        if fields_disjoint(self.src_port, other.src_port)
+            || fields_disjoint(self.dst_port, other.dst_port)
+            || fields_disjoint(self.protocol, other.protocol)
+        {
+            return false;
+        }
+        let prefix_disjoint = |a: Option<IpPrefix>, b: Option<IpPrefix>| match (a, b) {
+            (Some(x), Some(y)) => !(x.contains(y.addr) || y.contains(x.addr)),
+            _ => false,
+        };
+        if prefix_disjoint(self.src_ip, other.src_ip) || prefix_disjoint(self.dst_ip, other.dst_ip)
+        {
+            return false;
+        }
+        true
+    }
+
     /// A specificity score used to break ties between overlapping rules of
     /// equal priority: more constrained matches win.
     pub fn specificity(&self) -> u32 {

@@ -18,15 +18,20 @@
 //! forks a fresh partition for a shard spawned mid-run, and
 //! [`FlowTablePartitions::remove_last_partition`] retires one when a shard
 //! is drained away. When flow-steering buckets are re-homed between shards,
-//! [`FlowTablePartitions::move_exact_rules`] carries the moved flows'
-//! shard-local exact-flow rules along — the rule half of the bucket-drain
-//! handshake that makes rebalancing and shard scaling state-safe.
+//! [`FlowTablePartitions::move_bucket_state`] carries the moved flows'
+//! shard-local state along — both their exact-flow rules and the wildcard
+//! mutations attributed to the bucket in the source partition's
+//! [`MutationLog`] (replayed last-writer-wins) — the flow-table half of the
+//! bucket-drain handshake that makes rebalancing and shard scaling
+//! state-safe.
 
 use parking_lot::RwLock;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use sdnfv_proto::flow::FlowKey;
 
+use crate::provenance::MutationLog;
 use crate::rule::{FlowRule, RuleId};
 use crate::table::SharedFlowTable;
 
@@ -40,10 +45,29 @@ use crate::table::SharedFlowTable;
 pub struct FlowTablePartitions {
     template: SharedFlowTable,
     partitions: Arc<RwLock<Vec<SharedFlowTable>>>,
+    /// One wildcard-mutation provenance log per partition (see
+    /// [`MutationLog`]); all logs draw from one sequence counter so replay
+    /// conflicts resolve last-writer-wins across the whole set.
+    logs: Arc<RwLock<Vec<Arc<MutationLog>>>>,
+    /// The shared mutation sequence counter.
+    seq: Arc<AtomicU64>,
     /// Whether partition 0 shares the template's storage (single-shard
     /// start). Broadcast installs must then skip it: the template insert
     /// already reached it.
     aliased: bool,
+}
+
+/// What one [`FlowTablePartitions::move_bucket_state`] call carried between
+/// partitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BucketStateMoved {
+    /// Shard-local exact-flow rules moved into the destination.
+    pub exact_rules: usize,
+    /// Wildcard mutations replayed into the destination.
+    pub wildcard_mutations: usize,
+    /// Wildcard mutations skipped because the destination already held a
+    /// newer conflicting mutation (last-writer-wins).
+    pub wildcard_conflicts: usize,
 }
 
 impl FlowTablePartitions {
@@ -60,9 +84,15 @@ impl FlowTablePartitions {
         } else {
             (0..num_shards).map(|_| template.fork()).collect()
         };
+        let seq = Arc::new(AtomicU64::new(0));
+        let logs = (0..partitions.len())
+            .map(|_| Arc::new(MutationLog::new(Arc::clone(&seq))))
+            .collect();
         FlowTablePartitions {
             template: template.clone(),
             partitions: Arc::new(RwLock::new(partitions)),
+            logs: Arc::new(RwLock::new(logs)),
+            seq,
             aliased,
         }
     }
@@ -89,11 +119,27 @@ impl FlowTablePartitions {
         self.partitions.read()[shard].clone()
     }
 
+    /// The wildcard-mutation provenance log of `shard`'s partition (a cheap
+    /// shared handle). The shard's NF dispatch records every wildcard
+    /// mutation it applies here, attributed to the mutating flow's steering
+    /// bucket, so [`FlowTablePartitions::move_bucket_state`] can replay it
+    /// when the bucket leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn mutation_log(&self, shard: usize) -> Arc<MutationLog> {
+        Arc::clone(&self.logs.read()[shard])
+    }
+
     /// Forks a fresh partition from the template's **current** rules for a
     /// newly spawned shard and returns its index.
     pub fn add_partition(&self) -> usize {
         let mut partitions = self.partitions.write();
         partitions.push(self.template.fork());
+        self.logs
+            .write()
+            .push(Arc::new(MutationLog::new(Arc::clone(&self.seq))));
         partitions.len() - 1
     }
 
@@ -103,6 +149,7 @@ impl FlowTablePartitions {
         let mut partitions = self.partitions.write();
         if partitions.len() > 1 {
             partitions.pop();
+            self.logs.write().pop();
         }
     }
 
@@ -122,31 +169,47 @@ impl FlowTablePartitions {
         id
     }
 
-    /// Moves the exact-flow rules whose 5-tuple satisfies `belongs` from
-    /// shard `from`'s partition into shard `to`'s — the rule-export half of
-    /// a bucket re-home. Rules for which the destination already holds an
-    /// exact rule at the same `(step, key)` are left in place (template
-    /// rules broadcast to both sides stay put). Returns the number of rules
-    /// moved.
+    /// Moves all of steering bucket `bucket`'s shard-local flow-table state
+    /// from shard `from`'s partition into shard `to`'s — the flow-table half
+    /// of a bucket re-home:
+    ///
+    /// 1. **Exact-flow rules** whose 5-tuple satisfies `belongs` are moved
+    ///    (removed from the source, installed in the destination); rules the
+    ///    destination already holds at the same `(step, key)` are left in
+    ///    place (template rules broadcast to both sides stay put).
+    /// 2. **Wildcard mutations** recorded for the bucket in the source's
+    ///    [`MutationLog`] (plus every unattributed mutation) are replayed
+    ///    into the destination in sequence order. A mutation the destination
+    ///    log already holds (an earlier move carried it) is skipped
+    ///    silently; one the destination has a *newer conflicting* mutation
+    ///    for is skipped and counted as a conflict (last-writer-wins).
     ///
     /// The caller must have quiesced the moved flows first: no packet of a
     /// moved flow may be in flight on `from` when this runs, or a
-    /// cross-layer message could install a rule after the export.
+    /// cross-layer message could mutate state after the export.
     ///
     /// # Panics
     ///
     /// Panics if `from` or `to` is out of range, or if `from == to`.
-    pub fn move_exact_rules(
+    pub fn move_bucket_state(
         &self,
         from: usize,
         to: usize,
+        bucket: usize,
         belongs: impl Fn(&FlowKey) -> bool,
-    ) -> usize {
-        assert_ne!(from, to, "a rule move needs two distinct partitions");
-        let (source, destination) = {
+    ) -> BucketStateMoved {
+        assert_ne!(from, to, "a state move needs two distinct partitions");
+        let (source, destination, source_log, destination_log) = {
             let partitions = self.partitions.read();
-            (partitions[from].clone(), partitions[to].clone())
+            let logs = self.logs.read();
+            (
+                partitions[from].clone(),
+                partitions[to].clone(),
+                Arc::clone(&logs[from]),
+                Arc::clone(&logs[to]),
+            )
         };
+        let mut moved = BucketStateMoved::default();
         // Collect candidates under the source lock, filter against the
         // destination under its own lock, then install — never holding two
         // partition locks at once, so no ordering can deadlock against the
@@ -159,7 +222,6 @@ impl FlowTablePartitions {
                     .map(|(id, step_key, rule)| (id, step_key, rule.clone()))
                     .collect()
             });
-        let mut moved = 0;
         for (id, (step, key), rule) in candidates {
             let present = destination.with_read(|d| d.exact_rule_id(step, &key).is_some());
             if present {
@@ -167,7 +229,32 @@ impl FlowTablePartitions {
             }
             destination.insert(rule);
             source.remove(id);
-            moved += 1;
+            moved.exact_rules += 1;
+        }
+        // Replay the bucket's wildcard mutations, oldest first. Entries stay
+        // in the source log: a wildcard mutation also governs the source's
+        // remaining flows, and unattributed entries must travel with every
+        // future departing bucket too.
+        for record in source_log.records_for_bucket(bucket) {
+            if destination_log.contains_seq(record.seq) {
+                continue; // an earlier move already carried it
+            }
+            // Last-writer-wins against *both* logs: the destination may
+            // hold a newer conflicting mutation of its own, and the source
+            // may hold one attributed to a different (staying) bucket that
+            // superseded this record — replaying the older record would
+            // resurrect a state the global sequence order already retired.
+            let superseded = |log: &MutationLog| {
+                log.newest_conflicting_seq(&record.mutation)
+                    .is_some_and(|newest| newest > record.seq)
+            };
+            if superseded(&destination_log) || superseded(&source_log) {
+                moved.wildcard_conflicts += 1;
+                continue;
+            }
+            destination.with_write(|table| record.mutation.apply(table));
+            destination_log.absorb(record);
+            moved.wildcard_mutations += 1;
         }
         moved
     }
@@ -299,7 +386,7 @@ mod tests {
     }
 
     #[test]
-    fn move_exact_rules_carries_shard_local_rules() {
+    fn move_bucket_state_carries_shard_local_exact_rules() {
         let template = SharedFlowTable::new();
         template.insert(forward_rule());
         let parts = FlowTablePartitions::new(&template, 2);
@@ -309,8 +396,9 @@ mod tests {
             t.insert(exact_drop_rule(2));
         });
         // Move only flow 1's rules to shard 1.
-        let moved = parts.move_exact_rules(0, 1, |k| *k == key(1));
-        assert_eq!(moved, 1);
+        let moved = parts.move_bucket_state(0, 1, 0, |k| *k == key(1));
+        assert_eq!(moved.exact_rules, 1);
+        assert_eq!(moved.wildcard_mutations, 0);
         assert!(parts
             .shard(1)
             .with_read(|t| t.exact_rule_id(RulePort::Nic(0), &key(1)).is_some()));
@@ -332,15 +420,186 @@ mod tests {
     }
 
     #[test]
-    fn move_exact_rules_skips_rules_the_destination_already_has() {
+    fn move_bucket_state_skips_rules_the_destination_already_has() {
         let template = SharedFlowTable::new();
         // An exact template rule is broadcast to both partitions by the
         // fork; moving its bucket must not duplicate it.
         template.insert(exact_drop_rule(3));
         let parts = FlowTablePartitions::new(&template, 2);
-        assert_eq!(parts.move_exact_rules(0, 1, |_| true), 0);
+        assert_eq!(
+            parts.move_bucket_state(0, 1, 0, |_| true),
+            BucketStateMoved::default()
+        );
         assert_eq!(parts.shard(0).len(), 1, "template rule stays in place");
         assert_eq!(parts.shard(1).len(), 1);
+    }
+
+    #[test]
+    fn move_bucket_state_replays_the_buckets_wildcard_mutations() {
+        use crate::provenance::WildcardMutation;
+        let template = SharedFlowTable::new();
+        let worker = crate::types::ServiceId::new(7);
+        template.insert(FlowRule::new(
+            FlowMatch::at_step(worker),
+            vec![Action::ToPort(1), Action::ToPort(2)],
+        ));
+        let parts = FlowTablePartitions::new(&template, 2);
+        // A wildcard ChangeDefault lands in shard 0's partition, attributed
+        // to bucket 5 (the mutating flow's bucket).
+        let mutation = WildcardMutation::ChangeDefault {
+            service: worker,
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(2),
+            force: false,
+        };
+        parts
+            .shard(0)
+            .with_write(|t| assert_eq!(mutation.apply(t), 1));
+        parts.mutation_log(0).record(Some(5), mutation);
+
+        // Moving a different bucket does not carry it…
+        let moved = parts.move_bucket_state(0, 1, 6, |_| false);
+        assert_eq!(moved.wildcard_mutations, 0);
+        // …moving bucket 5 replays it into shard 1's partition.
+        let moved = parts.move_bucket_state(0, 1, 5, |_| false);
+        assert_eq!(moved.wildcard_mutations, 1);
+        assert_eq!(moved.wildcard_conflicts, 0);
+        assert_eq!(
+            parts.shard(1).with_read(|t| t
+                .peek(RulePort::Service(worker), &key(1))
+                .unwrap()
+                .default_action()),
+            Some(Action::ToPort(2)),
+            "the mutation now governs the flow on its new shard"
+        );
+        // Replaying again (e.g. the bucket bounces back and forth) is
+        // idempotent: the destination log already holds the record.
+        let again = parts.move_bucket_state(0, 1, 5, |_| false);
+        assert_eq!(again.wildcard_mutations, 0);
+        assert_eq!(again.wildcard_conflicts, 0);
+    }
+
+    #[test]
+    fn move_bucket_state_resolves_conflicts_last_writer_wins() {
+        use crate::provenance::WildcardMutation;
+        let template = SharedFlowTable::new();
+        let worker = crate::types::ServiceId::new(7);
+        template.insert(FlowRule::new(
+            FlowMatch::at_step(worker),
+            vec![Action::ToPort(1), Action::ToPort(2), Action::ToPort(3)],
+        ));
+        let parts = FlowTablePartitions::new(&template, 2);
+        let change_to = |port: u16| WildcardMutation::ChangeDefault {
+            service: worker,
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(port),
+            force: false,
+        };
+        // Older mutation in shard 0 (bucket 5), newer one in shard 1.
+        let older = change_to(2);
+        parts.shard(0).with_write(|t| older.apply(t));
+        parts.mutation_log(0).record(Some(5), older);
+        let newer = change_to(3);
+        parts.shard(1).with_write(|t| newer.apply(t));
+        parts.mutation_log(1).record(Some(9), newer);
+
+        // Bucket 5 moves to shard 1: its older mutation loses.
+        let moved = parts.move_bucket_state(0, 1, 5, |_| false);
+        assert_eq!(moved.wildcard_mutations, 0);
+        assert_eq!(moved.wildcard_conflicts, 1);
+        assert_eq!(
+            parts.shard(1).with_read(|t| t
+                .peek(RulePort::Service(worker), &key(1))
+                .unwrap()
+                .default_action()),
+            Some(Action::ToPort(3)),
+            "the destination's newer mutation stays in force"
+        );
+    }
+
+    #[test]
+    fn move_bucket_state_does_not_resurrect_mutations_superseded_at_the_source() {
+        use crate::provenance::WildcardMutation;
+        let template = SharedFlowTable::new();
+        let worker = crate::types::ServiceId::new(7);
+        template.insert(FlowRule::new(
+            FlowMatch::at_step(worker),
+            vec![Action::ToPort(1), Action::ToPort(2), Action::ToPort(3)],
+        ));
+        let parts = FlowTablePartitions::new(&template, 2);
+        let change_to = |port: u16| WildcardMutation::ChangeDefault {
+            service: worker,
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(port),
+            force: false,
+        };
+        // Bucket 5's flow mutates first; bucket 6's flow (staying put)
+        // supersedes it in the same partition. Record-time compaction keeps
+        // both (different bucket attributions), and the table reflects the
+        // newer one.
+        let older = change_to(2);
+        parts.shard(0).with_write(|t| older.apply(t));
+        parts.mutation_log(0).record(Some(5), older);
+        let newer = change_to(3);
+        parts.shard(0).with_write(|t| newer.apply(t));
+        parts.mutation_log(0).record(Some(6), newer);
+
+        // Moving bucket 5 alone must not replay the superseded mutation
+        // into a partition whose own log would let it pass.
+        let moved = parts.move_bucket_state(0, 1, 5, |_| false);
+        assert_eq!(moved.wildcard_mutations, 0);
+        assert_eq!(moved.wildcard_conflicts, 1);
+        assert_eq!(
+            parts.shard(1).with_read(|t| t
+                .peek(RulePort::Service(worker), &key(1))
+                .unwrap()
+                .default_action()),
+            Some(Action::ToPort(1)),
+            "the destination keeps its own lineage instead of the retired state"
+        );
+        // Bucket 6's later move carries the winning mutation.
+        let moved = parts.move_bucket_state(0, 1, 6, |_| false);
+        assert_eq!(moved.wildcard_mutations, 1);
+        assert_eq!(
+            parts.shard(1).with_read(|t| t
+                .peek(RulePort::Service(worker), &key(1))
+                .unwrap()
+                .default_action()),
+            Some(Action::ToPort(3))
+        );
+    }
+
+    #[test]
+    fn unattributed_mutations_travel_with_every_departing_bucket() {
+        use crate::provenance::WildcardMutation;
+        let template = SharedFlowTable::new();
+        let worker = crate::types::ServiceId::new(7);
+        template.insert(FlowRule::new(
+            FlowMatch::at_step(worker),
+            vec![Action::ToPort(1), Action::ToPort(2)],
+        ));
+        let parts = FlowTablePartitions::new(&template, 3);
+        let mutation = WildcardMutation::ChangeDefault {
+            service: worker,
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(2),
+            force: false,
+        };
+        parts.shard(0).with_write(|t| mutation.apply(t));
+        parts.mutation_log(0).record(None, mutation);
+        // Any bucket leaving shard 0 carries the unattributed mutation.
+        assert_eq!(
+            parts
+                .move_bucket_state(0, 1, 11, |_| false)
+                .wildcard_mutations,
+            1
+        );
+        assert_eq!(
+            parts
+                .move_bucket_state(0, 2, 12, |_| false)
+                .wildcard_mutations,
+            1
+        );
     }
 
     #[test]

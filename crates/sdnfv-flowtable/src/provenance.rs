@@ -1,0 +1,380 @@
+//! Provenance of wildcard-rule mutations inside a flow-table partition.
+//!
+//! NF cross-layer messages mutate the *shard-local* partition the sending
+//! NF runs against. Exact per-flow rules travel between partitions through
+//! the exact index ([`FlowTable::exact_rules`](crate::FlowTable::exact_rules)),
+//! but a message that rewrites a **wildcard** rule (a `ChangeDefault` on a
+//! template rule, a `SkipMe` retarget, a `RequestMe` promotion) leaves no
+//! per-flow trace: when the mutating flow's steering bucket is later
+//! re-homed to another shard, the mutation would silently stay behind.
+//!
+//! [`MutationLog`] closes that gap. Every wildcard mutation applied to a
+//! partition is recorded as a replayable [`WildcardMutation`], stamped with
+//! a sequence number global to the partition set and attributed to the
+//! mutating flow's steering bucket (or to no bucket, when the NF did not
+//! attribute the message — such mutations conservatively travel with
+//! *every* bucket that leaves the partition). A bucket re-home replays the
+//! bucket's mutations into the destination partition in sequence order,
+//! resolving conflicts last-writer-wins
+//! ([`FlowTablePartitions::move_bucket_state`](crate::FlowTablePartitions::move_bucket_state)).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::matching::FlowMatch;
+use crate::rule::Action;
+use crate::table::FlowTable;
+use crate::types::ServiceId;
+
+/// A replayable wildcard-rule mutation — the flow-table half of an NF
+/// cross-layer message that did **not** resolve to an exact per-flow rule.
+/// Each variant mirrors one [`FlowTable`] bulk-update primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WildcardMutation {
+    /// `SkipMe`: rules defaulting to `pointing_at` were retargeted to
+    /// `new_default` for flows matching `flows`.
+    RetargetDefaults {
+        /// Service whose defaults were stolen.
+        pointing_at: ServiceId,
+        /// Flow filter of the message.
+        flows: FlowMatch,
+        /// The replacement default.
+        new_default: Action,
+    },
+    /// `RequestMe`: every rule already listing `action` as an allowed next
+    /// hop made it the default for flows matching `flows`.
+    PromoteWhereAllowed {
+        /// Flow filter of the message.
+        flows: FlowMatch,
+        /// The promoted action.
+        action: Action,
+    },
+    /// `ChangeDefault`: the default of `service`'s rules became
+    /// `new_default` for flows matching `flows`.
+    ChangeDefault {
+        /// Service whose rules were updated.
+        service: ServiceId,
+        /// Flow filter of the message.
+        flows: FlowMatch,
+        /// The new default action.
+        new_default: Action,
+        /// Whether the service-graph constraint was bypassed.
+        force: bool,
+    },
+}
+
+impl WildcardMutation {
+    /// Re-applies the mutation to `table`, returning the number of rules it
+    /// updated (zero is fine — replay is idempotent).
+    pub fn apply(&self, table: &mut FlowTable) -> usize {
+        match self {
+            WildcardMutation::RetargetDefaults {
+                pointing_at,
+                flows,
+                new_default,
+            } => table.retarget_defaults(*pointing_at, flows, *new_default),
+            WildcardMutation::PromoteWhereAllowed { flows, action } => {
+                table.promote_where_allowed(flows, *action)
+            }
+            WildcardMutation::ChangeDefault {
+                service,
+                flows,
+                new_default,
+                force,
+            } => table.change_default(*service, flows, *new_default, *force),
+        }
+    }
+
+    /// The service whose rules the mutation rewrites, if it targets one.
+    fn affected_service(&self) -> Option<ServiceId> {
+        match self {
+            WildcardMutation::RetargetDefaults { pointing_at, .. } => Some(*pointing_at),
+            WildcardMutation::PromoteWhereAllowed { action, .. } => match action {
+                Action::ToService(s) => Some(*s),
+                _ => None,
+            },
+            WildcardMutation::ChangeDefault { service, .. } => Some(*service),
+        }
+    }
+
+    /// The message's flow filter.
+    fn flows(&self) -> &FlowMatch {
+        match self {
+            WildcardMutation::RetargetDefaults { flows, .. }
+            | WildcardMutation::PromoteWhereAllowed { flows, .. }
+            | WildcardMutation::ChangeDefault { flows, .. } => flows,
+        }
+    }
+
+    /// Whether two mutations may rewrite the same rules: both target the
+    /// same service and their flow filters intersect. Conflicting replays
+    /// are resolved last-writer-wins by sequence number.
+    pub fn conflicts_with(&self, other: &WildcardMutation) -> bool {
+        match (self.affected_service(), other.affected_service()) {
+            (Some(a), Some(b)) if a == b => self.flows().intersects(other.flows()),
+            _ => false,
+        }
+    }
+}
+
+/// One recorded mutation: its global sequence number, the steering bucket of
+/// the mutating flow (or `None` for unattributed messages, which travel with
+/// every departing bucket), and the replayable mutation itself.
+#[derive(Debug, Clone)]
+pub struct MutationRecord {
+    /// Global (partition-set-wide) order stamp: higher wins on conflict.
+    pub seq: u64,
+    /// Steering bucket of the mutating flow, if the NF attributed the
+    /// message to a flow.
+    pub bucket: Option<usize>,
+    /// The mutation.
+    pub mutation: WildcardMutation,
+}
+
+/// The per-partition log of wildcard mutations (see the module docs).
+///
+/// The log is shared between the partition's NF threads (which record) and
+/// the management thread driving re-homes (which replays), so it carries
+/// its own lock. Entries that conflict with a newer entry **of the same
+/// bucket attribution** are compacted away at record time — the newer entry
+/// wins on replay anyway — which bounds the log by the number of distinct
+/// (service, filter) scopes rather than by message volume.
+#[derive(Debug)]
+pub struct MutationLog {
+    entries: Mutex<Vec<MutationRecord>>,
+    /// Sequence counter shared by every log of one partition set.
+    seq: Arc<AtomicU64>,
+}
+
+impl MutationLog {
+    /// Creates a log drawing sequence numbers from `seq`.
+    pub fn new(seq: Arc<AtomicU64>) -> Self {
+        MutationLog {
+            entries: Mutex::new(Vec::new()),
+            seq,
+        }
+    }
+
+    /// Records a freshly applied mutation attributed to `bucket` and returns
+    /// its sequence number.
+    pub fn record(&self, bucket: Option<usize>, mutation: WildcardMutation) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.lock();
+        entries.retain(|entry| entry.bucket != bucket || !entry.mutation.conflicts_with(&mutation));
+        entries.push(MutationRecord {
+            seq,
+            bucket,
+            mutation,
+        });
+        seq
+    }
+
+    /// Appends a record replayed from another partition, keeping its
+    /// original sequence number (so a later move carries it onward with the
+    /// correct conflict ordering).
+    pub fn absorb(&self, record: MutationRecord) {
+        let mut entries = self.entries.lock();
+        entries.retain(|entry| {
+            entry.bucket != record.bucket
+                || entry.seq >= record.seq
+                || !entry.mutation.conflicts_with(&record.mutation)
+        });
+        entries.push(record);
+    }
+
+    /// The records a re-home of `bucket` must replay, in sequence order:
+    /// entries attributed to the bucket plus every unattributed entry.
+    pub fn records_for_bucket(&self, bucket: usize) -> Vec<MutationRecord> {
+        let entries = self.entries.lock();
+        let mut out: Vec<MutationRecord> = entries
+            .iter()
+            .filter(|entry| entry.bucket.is_none() || entry.bucket == Some(bucket))
+            .cloned()
+            .collect();
+        out.sort_by_key(|entry| entry.seq);
+        out
+    }
+
+    /// The newest sequence number of an entry conflicting with `mutation`,
+    /// if any — the destination-side half of last-writer-wins.
+    pub fn newest_conflicting_seq(&self, mutation: &WildcardMutation) -> Option<u64> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|entry| entry.mutation.conflicts_with(mutation))
+            .map(|entry| entry.seq)
+            .max()
+    }
+
+    /// Whether the log already holds the record with sequence number `seq`
+    /// (an earlier move already replayed it here).
+    pub fn contains_seq(&self, seq: u64) -> bool {
+        self.entries.lock().iter().any(|entry| entry.seq == seq)
+    }
+
+    /// Number of recorded mutations.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::FlowMatch;
+    use crate::rule::FlowRule;
+
+    fn svc(id: u32) -> ServiceId {
+        ServiceId::new(id)
+    }
+
+    fn change_default(service: u32, port: u16) -> WildcardMutation {
+        WildcardMutation::ChangeDefault {
+            service: svc(service),
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(port),
+            force: false,
+        }
+    }
+
+    fn log() -> MutationLog {
+        MutationLog::new(Arc::new(AtomicU64::new(0)))
+    }
+
+    #[test]
+    fn apply_replays_each_table_primitive() {
+        let mut table = FlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(1)),
+            vec![Action::ToService(svc(2)), Action::ToPort(1)],
+        ));
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(2)),
+            vec![Action::ToPort(1)],
+        ));
+        // ChangeDefault: svc(1) now defaults to port 1.
+        let updated = WildcardMutation::ChangeDefault {
+            service: svc(1),
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(1),
+            force: false,
+        }
+        .apply(&mut table);
+        assert_eq!(updated, 1);
+        // PromoteWhereAllowed: back to svc(2).
+        let updated = WildcardMutation::PromoteWhereAllowed {
+            flows: FlowMatch::any(),
+            action: Action::ToService(svc(2)),
+        }
+        .apply(&mut table);
+        assert_eq!(updated, 1);
+        // RetargetDefaults: rules pointing at svc(2) retarget to port 1.
+        let updated = WildcardMutation::RetargetDefaults {
+            pointing_at: svc(2),
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(1),
+        }
+        .apply(&mut table);
+        assert_eq!(updated, 1);
+    }
+
+    #[test]
+    fn conflicts_require_same_service_and_intersecting_flows() {
+        let a = change_default(1, 1);
+        let b = change_default(1, 2);
+        let c = change_default(2, 2);
+        assert!(a.conflicts_with(&b));
+        assert!(!a.conflicts_with(&c), "different services never conflict");
+        let disjoint = WildcardMutation::ChangeDefault {
+            service: svc(1),
+            flows: FlowMatch::any().with_src_port(9),
+            new_default: Action::ToPort(2),
+            force: false,
+        };
+        let other = WildcardMutation::ChangeDefault {
+            service: svc(1),
+            flows: FlowMatch::any().with_src_port(10),
+            new_default: Action::ToPort(2),
+            force: false,
+        };
+        assert!(!disjoint.conflicts_with(&other), "disjoint filters");
+        // Promote conflicts via the promoted service.
+        let promote = WildcardMutation::PromoteWhereAllowed {
+            flows: FlowMatch::any(),
+            action: Action::ToService(svc(3)),
+        };
+        let retarget = WildcardMutation::RetargetDefaults {
+            pointing_at: svc(3),
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(1),
+        };
+        assert!(promote.conflicts_with(&retarget));
+        let promote_port = WildcardMutation::PromoteWhereAllowed {
+            flows: FlowMatch::any(),
+            action: Action::ToPort(1),
+        };
+        assert!(!promote_port.conflicts_with(&retarget));
+    }
+
+    #[test]
+    fn record_assigns_increasing_seqs_and_compacts_conflicts() {
+        let log = log();
+        let s1 = log.record(Some(3), change_default(1, 1));
+        let s2 = log.record(Some(3), change_default(1, 2));
+        assert!(s2 > s1);
+        // The conflicting older entry of the same bucket was compacted.
+        assert_eq!(log.len(), 1);
+        let records = log.records_for_bucket(3);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq, s2);
+        // A different bucket's conflicting entry is kept.
+        log.record(Some(4), change_default(1, 3));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn unattributed_records_travel_with_every_bucket() {
+        let log = log();
+        log.record(None, change_default(1, 1));
+        log.record(Some(7), change_default(2, 1));
+        assert_eq!(log.records_for_bucket(7).len(), 2);
+        let other = log.records_for_bucket(8);
+        assert_eq!(other.len(), 1, "only the unattributed entry");
+        assert_eq!(other[0].bucket, None);
+    }
+
+    #[test]
+    fn newest_conflicting_seq_and_absorb() {
+        let source = log();
+        let destination = MutationLog::new(Arc::clone(&source.seq));
+        let s1 = source.record(Some(1), change_default(1, 1));
+        let s2 = destination.record(Some(2), change_default(1, 2));
+        assert!(s2 > s1);
+        let record = source.records_for_bucket(1).remove(0);
+        assert_eq!(
+            destination.newest_conflicting_seq(&record.mutation),
+            Some(s2),
+            "the destination's own mutation is newer"
+        );
+        assert!(!destination.contains_seq(s1));
+        destination.absorb(record);
+        assert!(destination.contains_seq(s1));
+        assert_eq!(destination.len(), 2);
+    }
+
+    #[test]
+    fn records_are_sorted_by_seq() {
+        let log = log();
+        log.record(None, change_default(1, 1));
+        log.record(Some(2), change_default(2, 1));
+        log.record(None, change_default(3, 1));
+        let records = log.records_for_bucket(2);
+        assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

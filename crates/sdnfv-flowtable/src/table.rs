@@ -262,27 +262,9 @@ impl FlowTable {
 }
 
 /// Conservative intersection test between an installed rule's matcher and a
-/// message's flow filter: they intersect unless a field is constrained to
-/// provably disjoint values in both.
+/// message's flow filter (see [`FlowMatch::intersects`]).
 fn matches_intersect(rule: &FlowMatch, filter: &FlowMatch) -> bool {
-    fn fields_disjoint<T: PartialEq + Copy>(a: Option<T>, b: Option<T>) -> bool {
-        matches!((a, b), (Some(x), Some(y)) if x != y)
-    }
-    if fields_disjoint(rule.src_port, filter.src_port)
-        || fields_disjoint(rule.dst_port, filter.dst_port)
-        || fields_disjoint(rule.protocol, filter.protocol)
-    {
-        return false;
-    }
-    let prefix_disjoint =
-        |a: Option<crate::matching::IpPrefix>, b: Option<crate::matching::IpPrefix>| match (a, b) {
-            (Some(x), Some(y)) => !(x.contains(y.addr) || y.contains(x.addr)),
-            _ => false,
-        };
-    if prefix_disjoint(rule.src_ip, filter.src_ip) || prefix_disjoint(rule.dst_ip, filter.dst_ip) {
-        return false;
-    }
-    true
+    rule.intersects(filter)
 }
 
 /// A [`FlowTable`] shareable between the NF Manager threads.

@@ -1,6 +1,7 @@
 //! The network-function programming interface (the "SDNFV-User library").
 
 use sdnfv_flowtable::{Action, FlowMatch, ServiceId};
+use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
 
@@ -85,6 +86,81 @@ impl NfMessage {
     }
 }
 
+/// A cross-layer message plus the flow that caused the NF to send it, when
+/// the NF attributed one ([`NfContext::send_for_flow`]).
+///
+/// Attribution is what lets the data plane assign a *wildcard* rule
+/// mutation to the mutating flow's steering bucket, so the mutation can
+/// travel with the bucket when it is re-homed to another shard. Messages
+/// sent unattributed (plain [`NfContext::send`]) are conservatively treated
+/// as belonging to every bucket of the shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributedNfMessage {
+    /// The flow whose packet triggered the message, if the NF said so.
+    pub flow: Option<FlowKey>,
+    /// The message.
+    pub message: NfMessage,
+}
+
+/// An opaque chunk of NF-internal per-flow state, exported by
+/// [`NetworkFunction::export_flow_state`] on a flow's old shard and handed
+/// to [`NetworkFunction::import_flow_state`] on its new one.
+///
+/// The payload is deliberately schema-free — a list of named counters plus
+/// an optional raw byte blob — so NFs can round-trip their state without
+/// any serialization framework (the offline `serde` shim stays a no-op).
+/// Only the NF that produced a state needs to understand it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NfFlowState {
+    counters: Vec<(String, u64)>,
+    bytes: Vec<u8>,
+}
+
+impl NfFlowState {
+    /// Creates an empty state payload.
+    pub fn new() -> Self {
+        NfFlowState::default()
+    }
+
+    /// Creates a payload holding a single named counter.
+    pub fn with_counter(key: impl Into<String>, value: u64) -> Self {
+        let mut state = NfFlowState::new();
+        state.set_counter(key, value);
+        state
+    }
+
+    /// Sets (or overwrites) a named counter.
+    pub fn set_counter(&mut self, key: impl Into<String>, value: u64) {
+        let key = key.into();
+        match self.counters.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.counters.push((key, value)),
+        }
+    }
+
+    /// Reads a named counter.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(*v))
+    }
+
+    /// Replaces the raw byte payload.
+    pub fn set_bytes(&mut self, bytes: Vec<u8>) {
+        self.bytes = bytes;
+    }
+
+    /// The raw byte payload.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Returns `true` if the payload carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.bytes.is_empty()
+    }
+}
+
 /// Per-packet execution context handed to an NF.
 ///
 /// It carries the current (virtual or wall-clock) time, the index of the
@@ -95,7 +171,7 @@ impl NfMessage {
 pub struct NfContext {
     now_ns: u64,
     shard: usize,
-    messages: Vec<NfMessage>,
+    messages: Vec<AttributedNfMessage>,
 }
 
 impl NfContext {
@@ -134,13 +210,40 @@ impl NfContext {
         self.now_ns = now_ns;
     }
 
-    /// Queues a cross-layer message for the NF Manager.
+    /// Queues a cross-layer message for the NF Manager, unattributed to any
+    /// flow. Prefer [`NfContext::send_for_flow`] when the message was
+    /// triggered by a specific packet: attribution lets the sharded data
+    /// plane carry the resulting wildcard mutation along when the flow's
+    /// steering bucket is re-homed; unattributed wildcard mutations are
+    /// conservatively replayed with *every* departing bucket.
     pub fn send(&mut self, message: NfMessage) {
-        self.messages.push(message);
+        self.messages.push(AttributedNfMessage {
+            flow: None,
+            message,
+        });
     }
 
-    /// Drains the queued messages (called by the NF Manager).
+    /// Queues a cross-layer message attributed to the flow whose packet
+    /// triggered it (see [`NfContext::send`] for why attribution matters).
+    pub fn send_for_flow(&mut self, flow: &FlowKey, message: NfMessage) {
+        self.messages.push(AttributedNfMessage {
+            flow: Some(*flow),
+            message,
+        });
+    }
+
+    /// Drains the queued messages (called by the NF Manager), dropping the
+    /// flow attributions. Dispatch layers that feed a sharded flow table
+    /// use [`NfContext::take_attributed_messages`] instead.
     pub fn take_messages(&mut self) -> Vec<NfMessage> {
+        std::mem::take(&mut self.messages)
+            .into_iter()
+            .map(|attributed| attributed.message)
+            .collect()
+    }
+
+    /// Drains the queued messages with their flow attributions.
+    pub fn take_attributed_messages(&mut self) -> Vec<AttributedNfMessage> {
         std::mem::take(&mut self.messages)
     }
 
@@ -179,6 +282,46 @@ pub trait NetworkFunction: Send {
     /// receives any packet. NFs that need to announce themselves (e.g. a
     /// scrubber sending `RequestMe` on startup) do so here.
     fn on_start(&mut self, _ctx: &mut NfContext) {}
+
+    /// Detaches and returns this instance's internal state for flow `key`,
+    /// if it holds any — the export half of NF state migration.
+    ///
+    /// When the sharded data plane re-homes a flow's steering bucket to
+    /// another shard, it calls this on the old shard's instances (after the
+    /// flow has fully quiesced) and feeds the payloads to
+    /// [`import_flow_state`](NetworkFunction::import_flow_state) on the new
+    /// shard, so per-flow counters, flags and windows survive the move.
+    /// Implementations should *remove* the flow's state: the old instance
+    /// will never see the flow again.
+    ///
+    /// The default keeps no per-flow state and exports nothing.
+    fn export_flow_state(&mut self, _key: &FlowKey) -> Option<NfFlowState> {
+        None
+    }
+
+    /// Absorbs a state payload previously exported for flow `key` by
+    /// another instance of the same NF — the import half of NF state
+    /// migration. Called before the flow's first packet arrives on the new
+    /// shard. May be called more than once per flow (one payload per old
+    /// replica), so implementations should *merge* rather than overwrite
+    /// where that is meaningful.
+    ///
+    /// The default discards the payload.
+    fn import_flow_state(&mut self, _key: &FlowKey, _state: NfFlowState) {}
+
+    /// The flows this instance currently holds internal state for.
+    ///
+    /// The re-home handshake enumerates a bucket's flows from the flow
+    /// table's exact entries *plus* this set, so state for flows that never
+    /// installed an exact rule still migrates. NFs that key state by
+    /// something irreversible (a bare hash) cannot implement this — their
+    /// state only migrates for flows discoverable elsewhere; prefer keying
+    /// by [`FlowKey`].
+    ///
+    /// The default reports no keys.
+    fn flow_state_keys(&self) -> Vec<FlowKey> {
+        Vec::new()
+    }
 
     /// Processes a packet the function must not modify.
     fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict;
@@ -240,6 +383,18 @@ impl<T: NetworkFunction + ?Sized> NetworkFunction for Box<T> {
 
     fn on_start(&mut self, ctx: &mut NfContext) {
         (**self).on_start(ctx)
+    }
+
+    fn export_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+        (**self).export_flow_state(key)
+    }
+
+    fn import_flow_state(&mut self, key: &FlowKey, state: NfFlowState) {
+        (**self).import_flow_state(key, state)
+    }
+
+    fn flow_state_keys(&self) -> Vec<FlowKey> {
+        (**self).flow_state_keys()
     }
 
     fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
@@ -361,6 +516,47 @@ mod tests {
         nf.process_batch(&PacketBatch::new(&refs), verdicts.reset(1), &mut ctx);
         assert_eq!(verdicts.as_slice(), &[Verdict::Default]);
         assert_eq!(ctx.take_messages().len(), 1);
+    }
+
+    #[test]
+    fn flow_state_payload_round_trips() {
+        let mut state = NfFlowState::new();
+        assert!(state.is_empty());
+        state.set_counter("hits", 3);
+        state.set_counter("hits", 5); // overwrite
+        state.set_counter("bytes", 100);
+        state.set_bytes(vec![1, 2, 3]);
+        assert!(!state.is_empty());
+        assert_eq!(state.counter("hits"), Some(5));
+        assert_eq!(state.counter("bytes"), Some(100));
+        assert_eq!(state.counter("missing"), None);
+        assert_eq!(state.bytes(), &[1, 2, 3]);
+        assert_eq!(NfFlowState::with_counter("n", 1).counter("n"), Some(1));
+    }
+
+    #[test]
+    fn default_state_hooks_are_no_ops() {
+        let mut nf: Box<dyn NetworkFunction> = Box::new(Fixed(Verdict::Default));
+        let key = PacketBuilder::udp().build().flow_key().unwrap();
+        assert_eq!(nf.export_flow_state(&key), None);
+        nf.import_flow_state(&key, NfFlowState::with_counter("x", 1));
+        assert!(nf.flow_state_keys().is_empty());
+    }
+
+    #[test]
+    fn attributed_messages_carry_the_flow() {
+        let mut ctx = NfContext::new(0);
+        let key = PacketBuilder::udp().build().flow_key().unwrap();
+        ctx.send(NfMessage::custom("a", "1"));
+        ctx.send_for_flow(&key, NfMessage::custom("b", "2"));
+        let attributed = ctx.take_attributed_messages();
+        assert_eq!(attributed.len(), 2);
+        assert_eq!(attributed[0].flow, None);
+        assert_eq!(attributed[1].flow, Some(key));
+        // take_messages strips attribution but keeps order.
+        ctx.send_for_flow(&key, NfMessage::custom("c", "3"));
+        let plain = ctx.take_messages();
+        assert_eq!(plain, vec![NfMessage::custom("c", "3")]);
     }
 
     #[test]

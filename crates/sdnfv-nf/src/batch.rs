@@ -186,24 +186,40 @@ pub struct BurstMemo<K, V> {
     /// One-entry scratch slot used while bypassing, so runs of one key still
     /// compute once.
     scratch: Option<(K, V)>,
+    /// Entry count below which this memo never bypasses (defaults to
+    /// [`BurstMemo::BYPASS_MIN_ENTRIES`]).
+    bypass_min_entries: usize,
+    /// Hit-rate divisor for bypassing (defaults to
+    /// [`BurstMemo::BYPASS_HIT_DIVISOR`]).
+    bypass_hit_divisor: u32,
 }
 
 impl<K: PartialEq, V> BurstMemo<K, V> {
-    /// Entry count below which the memo never bypasses: the scan is cheap
-    /// and the hit rate is not yet meaningful.
+    /// Default entry count below which the memo never bypasses: the scan is
+    /// cheap and the hit rate is not yet meaningful.
     pub const BYPASS_MIN_ENTRIES: usize = 32;
 
-    /// Hit-rate threshold for bypassing, as a divisor: memoization is
-    /// abandoned while fewer than one probe in this many hits.
+    /// Default hit-rate threshold for bypassing, as a divisor: memoization
+    /// is abandoned while fewer than one probe in this many hits.
     pub const BYPASS_HIT_DIVISOR: u32 = 4;
 
-    /// Creates an empty memo.
+    /// Creates an empty memo with the default probe-cap thresholds.
     pub fn new() -> Self {
+        BurstMemo::with_thresholds(Self::BYPASS_MIN_ENTRIES, Self::BYPASS_HIT_DIVISOR)
+    }
+
+    /// Creates an empty memo with explicit probe-cap thresholds — the knobs
+    /// DDoS-style profiles tune when the defaults mis-fire (a
+    /// `bypass_hit_divisor` of 0 disables bypassing entirely; a
+    /// `bypass_min_entries` of 0 is clamped to 1).
+    pub fn with_thresholds(bypass_min_entries: usize, bypass_hit_divisor: u32) -> Self {
         BurstMemo {
             entries: Vec::with_capacity(8),
             probes: 0,
             hits: 0,
             scratch: None,
+            bypass_min_entries: bypass_min_entries.max(1),
+            bypass_hit_divisor,
         }
     }
 
@@ -234,10 +250,11 @@ impl<K: PartialEq, V> BurstMemo<K, V> {
     }
 
     /// Whether the memo is currently bypassing (low hit rate at the probe
-    /// cap — see the type docs).
+    /// cap — see the type docs). A zero hit divisor disables bypassing.
     fn bypassing(&self) -> bool {
-        self.entries.len() >= Self::BYPASS_MIN_ENTRIES
-            && self.hits.saturating_mul(Self::BYPASS_HIT_DIVISOR) < self.probes
+        self.bypass_hit_divisor != 0
+            && self.entries.len() >= self.bypass_min_entries
+            && self.hits.saturating_mul(self.bypass_hit_divisor) < self.probes
     }
 
     /// Returns the value memoized for `key`, computing and storing it with
@@ -381,6 +398,26 @@ mod tests {
             });
         }
         assert_eq!(computed, 1, "scratch slot memoizes immediate repeats");
+    }
+
+    #[test]
+    fn burst_memo_thresholds_are_configurable() {
+        // A lower entry cap engages the bypass sooner…
+        let mut memo: BurstMemo<u32, u32> = BurstMemo::with_thresholds(4, 4);
+        for key in 0..100u32 {
+            memo.get_or_insert_with(key, |k| *k);
+        }
+        assert_eq!(memo.len(), 4, "growth capped at the configured floor");
+        // …and a zero divisor disables bypassing entirely.
+        let mut memo: BurstMemo<u32, u32> = BurstMemo::with_thresholds(4, 0);
+        for key in 0..100u32 {
+            memo.get_or_insert_with(key, |k| *k);
+        }
+        assert_eq!(memo.len(), 100, "bypass disabled: every key memoized");
+        // A zero entry floor is clamped rather than bypassing immediately.
+        let mut memo: BurstMemo<u32, u32> = BurstMemo::with_thresholds(0, 4);
+        memo.get_or_insert_with(1, |k| *k);
+        assert_eq!(memo.len(), 1);
     }
 
     #[test]

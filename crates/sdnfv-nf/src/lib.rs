@@ -27,6 +27,6 @@ pub mod batch;
 pub mod nfs;
 pub mod registry;
 
-pub use api::{NetworkFunction, NfContext, NfMessage, Verdict};
+pub use api::{AttributedNfMessage, NetworkFunction, NfContext, NfFlowState, NfMessage, Verdict};
 pub use batch::{BurstMemo, PacketBatch, PacketBatchMut, VerdictSlice};
 pub use registry::NfRegistry;

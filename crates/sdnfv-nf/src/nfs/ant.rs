@@ -5,7 +5,7 @@ use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::Packet;
 use std::collections::HashMap;
 
-use crate::api::{NetworkFunction, NfContext, NfMessage, Verdict};
+use crate::api::{NetworkFunction, NfContext, NfFlowState, NfMessage, Verdict};
 
 /// Classification of a monitored flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,12 +133,32 @@ impl AntDetectorNf {
                 FlowClass::Ant => self.ant_action,
                 FlowClass::Elephant => self.elephant_action,
             };
-            ctx.send(NfMessage::ChangeDefault {
-                flows: FlowMatch::exact(RulePort::Service(self.own_service), &key),
-                service: self.own_service,
-                new_default: action,
-            });
+            ctx.send_for_flow(
+                &key,
+                NfMessage::ChangeDefault {
+                    flows: FlowMatch::exact(RulePort::Service(self.own_service), &key),
+                    service: self.own_service,
+                    new_default: action,
+                },
+            );
         }
+    }
+}
+
+/// Encoding of [`FlowClass`] inside an exported [`NfFlowState`].
+fn class_to_counter(class: Option<FlowClass>) -> u64 {
+    match class {
+        None => 0,
+        Some(FlowClass::Ant) => 1,
+        Some(FlowClass::Elephant) => 2,
+    }
+}
+
+fn counter_to_class(value: Option<u64>) -> Option<FlowClass> {
+    match value {
+        Some(1) => Some(FlowClass::Ant),
+        Some(2) => Some(FlowClass::Elephant),
+        _ => None,
     }
 }
 
@@ -163,6 +183,34 @@ impl NetworkFunction for AntDetectorNf {
         state.window.bytes += packet.len() as u64;
         state.window.packets += 1;
         Verdict::Default
+    }
+
+    fn export_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+        let flow = self.flows.remove(key)?;
+        let mut state = NfFlowState::new();
+        state.set_counter("window_bytes", flow.window.bytes);
+        state.set_counter("window_packets", flow.window.packets);
+        state.set_counter("class", class_to_counter(flow.class));
+        Some(state)
+    }
+
+    fn import_flow_state(&mut self, key: &FlowKey, state: NfFlowState) {
+        let entry = self.flows.entry(*key).or_insert(FlowState {
+            window: FlowWindow::default(),
+            class: None,
+        });
+        // Merge: window tallies add (the flow's packets may have been split
+        // across replicas); an imported classification fills a missing one
+        // but does not override a class this instance already derived.
+        entry.window.bytes += state.counter("window_bytes").unwrap_or(0);
+        entry.window.packets += state.counter("window_packets").unwrap_or(0);
+        if entry.class.is_none() {
+            entry.class = counter_to_class(state.counter("class"));
+        }
+    }
+
+    fn flow_state_keys(&self) -> Vec<FlowKey> {
+        self.flows.keys().copied().collect()
     }
 }
 
@@ -273,6 +321,43 @@ mod tests {
         let nf = AntDetectorNf::paper_defaults(SELF, 2, 1);
         assert_eq!(nf.name(), "ant-detector");
         assert!(nf.read_only());
+    }
+
+    #[test]
+    fn window_state_migrates_and_merges() {
+        let mut old_shard = detector();
+        let mut new_shard = detector();
+        let mut ctx = NfContext::new(0);
+        let key = big_packet(9).flow_key().unwrap();
+        // Build up an elephant-grade window on the old shard, classify it.
+        for _ in 0..20 {
+            old_shard.process(&big_packet(9), &mut ctx);
+        }
+        ctx.set_now_ns(1_500_000);
+        old_shard.process(&small_packet(9), &mut ctx);
+        assert_eq!(old_shard.class_of(&key), Some(FlowClass::Elephant));
+        assert!(old_shard.flow_state_keys().contains(&key));
+
+        // Migrate: the class and the in-progress window travel.
+        let state = old_shard.export_flow_state(&key).expect("flow tracked");
+        assert_eq!(state.counter("class"), Some(2));
+        assert_eq!(old_shard.class_of(&key), None, "export is a move");
+        new_shard.import_flow_state(&key, state);
+        assert_eq!(new_shard.class_of(&key), Some(FlowClass::Elephant));
+
+        // Window tallies merge additively on a replica split.
+        let mut with_own = detector();
+        with_own.process(&small_packet(9), &mut ctx);
+        let mut donor = detector();
+        donor.process(&small_packet(9), &mut ctx);
+        let donated = donor.export_flow_state(&key).expect("flow tracked");
+        with_own.import_flow_state(&key, donated);
+        let merged = with_own.export_flow_state(&key).expect("flow tracked");
+        assert_eq!(merged.counter("window_packets"), Some(2));
+        assert_eq!(merged.counter("window_bytes"), Some(128));
+        // An unknown class encoding decodes to None.
+        assert_eq!(counter_to_class(Some(9)), None);
+        assert_eq!(counter_to_class(None), None);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! A signature-based intrusion detection NF.
 
 use sdnfv_flowtable::{Action, FlowMatch, RulePort, ServiceId};
+use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::Packet;
 use std::collections::HashSet;
 
-use crate::api::{NetworkFunction, NfContext, NfMessage, Verdict};
+use crate::api::{NetworkFunction, NfContext, NfFlowState, NfMessage, Verdict};
 
 /// Scans packet payloads for malicious signatures (e.g. SQL exploits in HTTP
 /// requests). When a signature is found the offending packet is diverted to
@@ -18,7 +19,10 @@ pub struct IdsNf {
     own_service: ServiceId,
     scrubber: ServiceId,
     signatures: Vec<Vec<u8>>,
-    flagged_flows: HashSet<u64>,
+    /// Flows pinned to the scrubber. Keyed by the full [`FlowKey`] (not a
+    /// bare hash) so the re-home handshake can enumerate and migrate the
+    /// set when a flow's steering bucket changes shards.
+    flagged_flows: HashSet<FlowKey>,
     alerts: u64,
     inspected: u64,
 }
@@ -64,6 +68,11 @@ impl IdsNf {
         self.inspected
     }
 
+    /// Whether `key`'s flow has been flagged (pinned to the scrubber).
+    pub fn is_flagged(&self, key: &FlowKey) -> bool {
+        self.flagged_flows.contains(key)
+    }
+
     fn payload_matches(&self, packet: &Packet) -> bool {
         let Ok(payload) = packet.l4_payload() else {
             return false;
@@ -89,24 +98,43 @@ impl NetworkFunction for IdsNf {
         // Already-flagged flows keep going to the scrubber even if later
         // packets look innocent.
         if let Some(key) = key {
-            if self.flagged_flows.contains(&key.stable_hash()) {
+            if self.flagged_flows.contains(&key) {
                 return Verdict::ToService(self.scrubber);
             }
         }
         if self.payload_matches(packet) {
             self.alerts += 1;
             if let Some(key) = key {
-                self.flagged_flows.insert(key.stable_hash());
+                self.flagged_flows.insert(key);
                 // Pin the rest of the flow to the scrubber.
-                ctx.send(NfMessage::ChangeDefault {
-                    flows: FlowMatch::exact(RulePort::Service(self.own_service), &key),
-                    service: self.own_service,
-                    new_default: Action::ToService(self.scrubber),
-                });
+                ctx.send_for_flow(
+                    &key,
+                    NfMessage::ChangeDefault {
+                        flows: FlowMatch::exact(RulePort::Service(self.own_service), &key),
+                        service: self.own_service,
+                        new_default: Action::ToService(self.scrubber),
+                    },
+                );
             }
             return Verdict::ToService(self.scrubber);
         }
         Verdict::Default
+    }
+
+    fn export_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+        self.flagged_flows
+            .remove(key)
+            .then(|| NfFlowState::with_counter("flagged", 1))
+    }
+
+    fn import_flow_state(&mut self, key: &FlowKey, state: NfFlowState) {
+        if state.counter("flagged") == Some(1) {
+            self.flagged_flows.insert(*key);
+        }
+    }
+
+    fn flow_state_keys(&self) -> Vec<FlowKey> {
+        self.flagged_flows.iter().copied().collect()
     }
 }
 
@@ -178,6 +206,33 @@ mod tests {
             ids.process(&http_packet("x=UNION SELECT", 2), &mut ctx),
             Verdict::Default,
             "default signatures are not active when a custom set is supplied"
+        );
+    }
+
+    #[test]
+    fn flagged_flow_state_migrates_between_instances() {
+        let mut old_shard = IdsNf::new(IDS, SCRUBBER);
+        let mut new_shard = IdsNf::new(IDS, SCRUBBER);
+        let mut ctx = NfContext::new(0);
+        let bad = http_packet("q=' OR '1'='1", 4242);
+        let key = bad.flow_key().expect("tcp packet");
+        old_shard.process(&bad, &mut ctx);
+        assert!(old_shard.is_flagged(&key));
+        assert_eq!(old_shard.flow_state_keys(), vec![key]);
+
+        // Export removes the state from the old instance…
+        let state = old_shard.export_flow_state(&key).expect("flow is flagged");
+        assert!(!old_shard.is_flagged(&key));
+        assert_eq!(old_shard.export_flow_state(&key), None, "export is a move");
+        // …and import restores it on the new one: an innocuous packet of
+        // the migrated flow is still scrubbed.
+        new_shard.import_flow_state(&key, state);
+        assert!(new_shard.is_flagged(&key));
+        let innocent = http_packet("q=hello", 4242);
+        assert_eq!(
+            new_shard.process(&innocent, &mut ctx),
+            Verdict::ToService(SCRUBBER),
+            "the migrated flag keeps governing the flow"
         );
     }
 

@@ -2,11 +2,12 @@
 
 use parking_lot::RwLock;
 use sdnfv_flowtable::{Action, FlowMatch, RulePort, ServiceId};
+use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::Packet;
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::sync::Arc;
 
-use crate::api::{NetworkFunction, NfContext, NfMessage, Verdict};
+use crate::api::{NetworkFunction, NfContext, NfFlowState, NfMessage, Verdict};
 
 #[derive(Debug, Default)]
 struct PolicyState {
@@ -70,11 +71,13 @@ pub struct PolicyEngineNf {
     fast_action: Action,
     policy: PolicyHandle,
     seen_version: u64,
-    /// Flows that have been offloaded to the fast path (by flow hash).
-    offloaded: HashMap<u64, FlowMatch>,
-    /// Flows whose default has already been pointed at the transcoder (by
-    /// flow hash) — the ChangeDefault is only sent once per flow.
-    throttled: HashMap<u64, ()>,
+    /// Flows that have been offloaded to the fast path. Keyed by the full
+    /// [`FlowKey`] (not a bare hash) so the set can be enumerated and
+    /// migrated when a flow's steering bucket is re-homed.
+    offloaded: HashSet<FlowKey>,
+    /// Flows whose default has already been pointed at the transcoder —
+    /// the ChangeDefault is only sent once per flow.
+    throttled: HashSet<FlowKey>,
     throttled_packets: u64,
     fast_packets: u64,
 }
@@ -95,8 +98,8 @@ impl PolicyEngineNf {
             fast_action,
             policy,
             seen_version: 0,
-            offloaded: HashMap::new(),
-            throttled: HashMap::new(),
+            offloaded: HashSet::new(),
+            throttled: HashSet::new(),
             throttled_packets: 0,
             fast_packets: 0,
         }
@@ -112,7 +115,7 @@ impl PolicyEngineNf {
         self.fast_packets
     }
 
-    fn note_policy_transition(&mut self, ctx: &mut NfContext) {
+    fn note_policy_transition(&mut self, trigger: Option<&FlowKey>, ctx: &mut NfContext) {
         let (throttle, version) = self.policy.snapshot();
         if version == self.seen_version {
             return;
@@ -121,9 +124,15 @@ impl PolicyEngineNf {
         if throttle {
             // Pull every offloaded flow back through the policy engine so it
             // can be redirected to the transcoder (RequestMe in the paper).
-            ctx.send(NfMessage::RequestMe {
+            // Attributed to the packet that observed the transition, so the
+            // wildcard mutation follows that flow's bucket on a re-home.
+            let message = NfMessage::RequestMe {
                 flows: FlowMatch::any(),
-            });
+            };
+            match trigger {
+                Some(key) => ctx.send_for_flow(key, message),
+                None => ctx.send(message),
+            }
             self.offloaded.clear();
         } else {
             self.throttled.clear();
@@ -137,36 +146,40 @@ impl NetworkFunction for PolicyEngineNf {
     }
 
     fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
-        self.note_policy_transition(ctx);
+        let key = packet.flow_key();
+        self.note_policy_transition(key.as_ref(), ctx);
         let throttle = self.policy.throttle();
-        let Some(key) = packet.flow_key() else {
+        let Some(key) = key else {
             return Verdict::Default;
         };
         if throttle {
             self.throttled_packets += 1;
             // Route this flow's future packets to the transcoder by default
             // (once per flow), and send this packet there too.
-            if self.throttled.insert(key.stable_hash(), ()).is_none() {
-                ctx.send(NfMessage::ChangeDefault {
-                    flows: FlowMatch::exact(RulePort::Service(self.own_service), &key),
-                    service: self.own_service,
-                    new_default: Action::ToService(self.transcoder),
-                });
+            if self.throttled.insert(key) {
+                ctx.send_for_flow(
+                    &key,
+                    NfMessage::ChangeDefault {
+                        flows: FlowMatch::exact(RulePort::Service(self.own_service), &key),
+                        service: self.own_service,
+                        new_default: Action::ToService(self.transcoder),
+                    },
+                );
             }
             Verdict::ToService(self.transcoder)
         } else {
             self.fast_packets += 1;
-            let hash = key.stable_hash();
-            if !self.offloaded.contains_key(&hash) {
+            if self.offloaded.insert(key) {
                 // Offload the flow: the video detector should send it
                 // straight out rather than through the policy engine.
-                let filter = FlowMatch::exact(RulePort::Service(self.video_detector), &key);
-                ctx.send(NfMessage::ChangeDefault {
-                    flows: filter,
-                    service: self.video_detector,
-                    new_default: self.fast_action,
-                });
-                self.offloaded.insert(hash, filter);
+                ctx.send_for_flow(
+                    &key,
+                    NfMessage::ChangeDefault {
+                        flows: FlowMatch::exact(RulePort::Service(self.video_detector), &key),
+                        service: self.video_detector,
+                        new_default: self.fast_action,
+                    },
+                );
             }
             match self.fast_action {
                 Action::ToPort(p) => Verdict::ToPort(p),
@@ -175,6 +188,37 @@ impl NetworkFunction for PolicyEngineNf {
                 Action::ToController => Verdict::Default,
             }
         }
+    }
+
+    fn export_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+        let offloaded = self.offloaded.remove(key);
+        let throttled = self.throttled.remove(key);
+        if !offloaded && !throttled {
+            return None;
+        }
+        let mut state = NfFlowState::new();
+        state.set_counter("offloaded", u64::from(offloaded));
+        state.set_counter("throttled", u64::from(throttled));
+        Some(state)
+    }
+
+    fn import_flow_state(&mut self, key: &FlowKey, state: NfFlowState) {
+        if state.counter("offloaded") == Some(1) {
+            self.offloaded.insert(*key);
+        }
+        if state.counter("throttled") == Some(1) {
+            self.throttled.insert(*key);
+        }
+    }
+
+    fn flow_state_keys(&self) -> Vec<FlowKey> {
+        self.offloaded
+            .iter()
+            .chain(self.throttled.iter())
+            .copied()
+            .collect::<HashSet<FlowKey>>()
+            .into_iter()
+            .collect()
     }
 }
 
@@ -259,6 +303,33 @@ mod tests {
         policy.set_throttle(true);
         let (_, v1) = policy.snapshot();
         assert_eq!(v1, v0 + 1);
+    }
+
+    #[test]
+    fn offload_state_migrates_between_instances() {
+        let policy = PolicyHandle::new();
+        let mut old_shard = PolicyEngineNf::new(PE, VD, TC, Action::ToPort(1), policy.clone());
+        let mut new_shard = PolicyEngineNf::new(PE, VD, TC, Action::ToPort(1), policy);
+        let mut ctx = NfContext::new(0);
+        let pkt = video_packet(300);
+        let key = pkt.flow_key().unwrap();
+        // Establish the flow on the old shard: the offload message fires.
+        old_shard.process(&pkt, &mut ctx);
+        assert_eq!(ctx.take_messages().len(), 1);
+        assert_eq!(old_shard.flow_state_keys(), vec![key]);
+
+        // Migrate the flow's state, then process on the new shard: without
+        // the migration the offload would fire again; with it, it does not.
+        let state = old_shard.export_flow_state(&key).expect("flow has state");
+        assert_eq!(state.counter("offloaded"), Some(1));
+        assert_eq!(state.counter("throttled"), Some(0));
+        assert_eq!(old_shard.export_flow_state(&key), None, "export is a move");
+        new_shard.import_flow_state(&key, state);
+        new_shard.process(&pkt, &mut ctx);
+        assert!(
+            !ctx.has_messages(),
+            "the migrated offload mark suppresses a duplicate ChangeDefault"
+        );
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use sdnfv_flowtable::ServiceId;
 use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::Packet;
+use std::collections::HashMap;
 
-use crate::api::{NetworkFunction, NfContext, Verdict};
+use crate::api::{NetworkFunction, NfContext, NfFlowState, Verdict};
 use crate::batch::{BurstMemo, PacketBatch};
 
 /// Samples packets either deterministically (every N-th packet) or by flow
@@ -20,6 +21,11 @@ pub struct SamplerNf {
     per_flow: bool,
     counter: u64,
     sampled: u64,
+    /// Per-flow reservoir (per-flow mode only): how many packets of each
+    /// sampled flow have been diverted so far. Touched only for sampled
+    /// packets, keyed by the full [`FlowKey`] so the tally migrates when
+    /// the flow's steering bucket is re-homed to another shard.
+    flow_reservoir: HashMap<FlowKey, u64>,
 }
 
 impl SamplerNf {
@@ -37,6 +43,7 @@ impl SamplerNf {
             per_flow: false,
             counter: 0,
             sampled: 0,
+            flow_reservoir: HashMap::new(),
         }
     }
 
@@ -53,12 +60,19 @@ impl SamplerNf {
             per_flow: true,
             counter: 0,
             sampled: 0,
+            flow_reservoir: HashMap::new(),
         }
     }
 
     /// Number of packets diverted to the analysis service.
     pub fn sampled(&self) -> u64 {
         self.sampled
+    }
+
+    /// How many of `key`'s packets this instance has diverted (per-flow
+    /// mode only; always 0 in per-packet mode, which keeps no flow state).
+    pub fn flow_sampled(&self, key: &FlowKey) -> u64 {
+        self.flow_reservoir.get(key).copied().unwrap_or(0)
     }
 }
 
@@ -68,17 +82,20 @@ impl NetworkFunction for SamplerNf {
     }
 
     fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
-        let take = if self.per_flow {
-            packet
-                .flow_key()
-                .map(|k| k.stable_hash() % self.one_in == 0)
-                .unwrap_or(false)
+        let (take, key) = if self.per_flow {
+            match packet.flow_key() {
+                Some(k) => (k.stable_hash() % self.one_in == 0, Some(k)),
+                None => (false, None),
+            }
         } else {
             self.counter += 1;
-            self.counter.is_multiple_of(self.one_in)
+            (self.counter.is_multiple_of(self.one_in), None)
         };
         if take {
             self.sampled += 1;
+            if let Some(key) = key {
+                *self.flow_reservoir.entry(key).or_insert(0) += 1;
+            }
             Verdict::ToService(self.target)
         } else {
             Verdict::Default
@@ -115,15 +132,36 @@ impl NetworkFunction for SamplerNf {
         let mut memo: BurstMemo<FlowKey, bool> = BurstMemo::new();
         for (slot, packet) in verdicts.iter_mut().zip(batch.iter()) {
             let one_in = self.one_in;
-            let take = match packet.flow_key() {
+            let key = packet.flow_key();
+            let take = match key {
                 Some(key) => *memo.get_or_insert_with(key, |key| key.stable_hash() % one_in == 0),
                 None => false,
             };
             if take {
                 self.sampled += 1;
+                if let Some(key) = key {
+                    *self.flow_reservoir.entry(key).or_insert(0) += 1;
+                }
                 *slot = Verdict::ToService(self.target);
             }
         }
+    }
+
+    fn export_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+        self.flow_reservoir
+            .remove(key)
+            .map(|sampled| NfFlowState::with_counter("sampled", sampled))
+    }
+
+    fn import_flow_state(&mut self, key: &FlowKey, state: NfFlowState) {
+        if let Some(sampled) = state.counter("sampled") {
+            // Merge: the flow's packets may have been split across replicas.
+            *self.flow_reservoir.entry(*key).or_insert(0) += sampled;
+        }
+    }
+
+    fn flow_state_keys(&self) -> Vec<FlowKey> {
+        self.flow_reservoir.keys().copied().collect()
     }
 }
 
@@ -222,5 +260,33 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_rate_panics() {
         let _ = SamplerNf::per_packet(DDOS, 0);
+    }
+
+    #[test]
+    fn per_flow_reservoir_migrates_and_merges() {
+        let mut ctx = NfContext::new(0);
+        let mut old_shard = SamplerNf::per_flow(DDOS, 1); // sample everything
+        let mut new_shard = SamplerNf::per_flow(DDOS, 1);
+        let pkt = PacketBuilder::udp().src_port(77).build();
+        let key = pkt.flow_key().unwrap();
+        for _ in 0..3 {
+            old_shard.process(&pkt, &mut ctx);
+        }
+        assert_eq!(old_shard.flow_sampled(&key), 3);
+        assert_eq!(old_shard.flow_state_keys(), vec![key]);
+
+        // A packet already seen on the destination (replica split), then the
+        // migrated tally merges in.
+        new_shard.process(&pkt, &mut ctx);
+        let state = old_shard.export_flow_state(&key).expect("flow has state");
+        assert_eq!(old_shard.flow_sampled(&key), 0, "export is a move");
+        new_shard.import_flow_state(&key, state);
+        assert_eq!(new_shard.flow_sampled(&key), 4, "tallies merge additively");
+        // Per-packet mode keeps no per-flow state at all.
+        let mut per_packet = SamplerNf::per_packet(DDOS, 1);
+        per_packet.process(&pkt, &mut ctx);
+        assert_eq!(per_packet.flow_sampled(&key), 0);
+        assert!(per_packet.flow_state_keys().is_empty());
+        assert_eq!(per_packet.export_flow_state(&key), None);
     }
 }

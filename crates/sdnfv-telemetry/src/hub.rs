@@ -103,6 +103,21 @@ impl TelemetryHub {
         self.latest_all().iter().map(|s| s.backlog()).sum()
     }
 
+    /// Total packets parked in re-home pens across every reporting shard.
+    pub fn total_rehome_pen_depth(&self) -> usize {
+        self.latest_all().iter().map(|s| s.rehome_pen_depth).sum()
+    }
+
+    /// The worst (oldest) pen age across every reporting shard, in
+    /// nanoseconds — the flood-onto-a-mid-move-bucket alarm gauge.
+    pub fn worst_rehome_pen_age_ns(&self) -> u64 {
+        self.latest_all()
+            .iter()
+            .map(|s| s.rehome_pen_max_age_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Applies shard lifecycle events: a retired shard's snapshots are
     /// forgotten (trailing slots are truncated away) so stale gauges of a
     /// dead pipeline cannot drive control decisions; a spawned shard's slot
@@ -161,6 +176,8 @@ mod tests {
             controller_punts: punts,
             throttled: 0,
             applied_commands: 0,
+            rehome_pen_depth: 0,
+            rehome_pen_max_age_ns: 0,
         }
     }
 
@@ -225,6 +242,22 @@ mod tests {
             ShardLifecycleEvent::Spawned { shard: 1, at_ns: 0 }.shard(),
             1
         );
+    }
+
+    #[test]
+    fn pen_gauges_aggregate_across_shards() {
+        let mut hub = TelemetryHub::new();
+        assert_eq!(hub.total_rehome_pen_depth(), 0);
+        assert_eq!(hub.worst_rehome_pen_age_ns(), 0);
+        let mut a = snapshot(0, 1, 100, 0);
+        a.rehome_pen_depth = 4;
+        a.rehome_pen_max_age_ns = 1_000;
+        let mut b = snapshot(1, 1, 100, 0);
+        b.rehome_pen_depth = 2;
+        b.rehome_pen_max_age_ns = 9_000;
+        hub.absorb(vec![a, b]);
+        assert_eq!(hub.total_rehome_pen_depth(), 6);
+        assert_eq!(hub.worst_rehome_pen_age_ns(), 9_000);
     }
 
     #[test]

@@ -84,6 +84,15 @@ pub struct TelemetrySnapshot {
     pub throttled: u64,
     /// Cumulative control commands the shard's worker has applied.
     pub applied_commands: u64,
+    /// Packets currently parked in re-home pens destined for this shard
+    /// (stamped by the host when the snapshot is polled — the pens live on
+    /// the injection side, not in the shard worker).
+    pub rehome_pen_depth: usize,
+    /// Age of the oldest packet parked in a pen destined for this shard,
+    /// in nanoseconds (0 when no packet is penned). A growing value means
+    /// a mid-move bucket is being flooded while its drain is stuck —
+    /// backpressure that would otherwise be silent.
+    pub rehome_pen_max_age_ns: u64,
 }
 
 /// A shard joining or leaving the data plane — published by the host when
@@ -217,6 +226,8 @@ mod tests {
             controller_punts: 5,
             throttled: 15,
             applied_commands: 0,
+            rehome_pen_depth: 3,
+            rehome_pen_max_age_ns: 2_000,
         }
     }
 

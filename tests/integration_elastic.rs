@@ -485,7 +485,18 @@ fn steering_weights_rebalance_traffic() {
             ..ThreadedHostConfig::default()
         },
     );
+    // The re-home handshake completes over a few polling ticks (even idle
+    // buckets collect NF state from their old shard's worker first).
+    let settle = |host: &ThreadedHost| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while host.pending_rehomes() > 0 && Instant::now() < deadline {
+            let _ = host.poll_egress();
+            std::thread::yield_now();
+        }
+        assert_eq!(host.pending_rehomes(), 0, "rebalance settles");
+    };
     assert!(host.set_steering_weights(&[1, 0, 0, 0]));
+    settle(&host);
     assert!(host.steering_table().iter().all(|shard| *shard == 0));
     for flow in 0..200u16 {
         assert!(host.inject(packet(flow)).is_admitted());
@@ -501,6 +512,7 @@ fn steering_weights_rebalance_traffic() {
 
     // Restore uniform weights: new traffic spreads again.
     assert!(host.set_steering_weights(&[1, 1, 1, 1]));
+    settle(&host);
     for flow in 0..200u16 {
         assert!(host.inject(packet(flow)).is_admitted());
     }

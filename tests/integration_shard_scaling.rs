@@ -11,13 +11,17 @@
 use sdnfv::control::{
     deploy_sharded, ElasticNfManager, ElasticPolicy, NfvOrchestrator, ShardPlacement, ShardPolicy,
 };
-use sdnfv::dataplane::{shard_for_flow, OverflowPolicy, ThreadedHost, ThreadedHostConfig};
+use sdnfv::dataplane::{
+    shard_for_flow, HostOutput, OverflowPolicy, RehomeOrdering, ThreadedHost, ThreadedHostConfig,
+};
 use sdnfv::flowtable::{Action, FlowMatch, FlowRule, RulePort, ServiceId, SharedFlowTable};
 use sdnfv::graph::{catalog, CompileOptions};
-use sdnfv::nf::nfs::{ComputeNf, NoOpNf};
-use sdnfv::nf::{NetworkFunction, NfRegistry};
+use sdnfv::nf::nfs::{ComputeNf, IdsNf, NoOpNf};
+use sdnfv::nf::{NetworkFunction, NfContext, NfFlowState, NfMessage, NfRegistry, Verdict};
+use sdnfv::proto::flow::FlowKey;
 use sdnfv::proto::packet::{Packet, PacketBuilder};
 use sdnfv::telemetry::ShardLifecycleEvent;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 fn packet(flow: u16) -> Packet {
@@ -591,6 +595,512 @@ fn credit_gate_converges_through_retirement() {
     let snap = host.stats().snapshot();
     assert_eq!(snap.overflow_drops, 0);
     assert_eq!(snap.transmitted, admitted);
+    host.shutdown();
+}
+
+/// Collects exactly `expected` egressed packets (with their ports).
+fn collect(host: &ThreadedHost, expected: usize, deadline: Duration) -> Vec<HostOutput> {
+    let until = Instant::now() + deadline;
+    let mut out = Vec::new();
+    while out.len() < expected && Instant::now() < until {
+        let got = host.poll_egress_burst(64);
+        if got.is_empty() {
+            std::thread::yield_now();
+        }
+        out.extend(got);
+    }
+    out
+}
+
+/// Polls until every pending re-home completes.
+fn settle(host: &ThreadedHost) {
+    assert!(
+        wait_for(host, Duration::from_secs(10), || host.pending_rehomes()
+            == 0),
+        "re-homes settle"
+    );
+}
+
+/// A service-chain table `NIC 0 → worker → {port 1 (default), port 2}`:
+/// the two-port menu lets test NFs flip the default with `ChangeDefault`.
+fn two_port_table(worker: ServiceId) -> SharedFlowTable {
+    let table = SharedFlowTable::new();
+    table.insert(FlowRule::new(
+        FlowMatch::at_step(RulePort::Nic(0)),
+        vec![Action::ToService(worker)],
+    ));
+    table.insert(FlowRule::new(
+        FlowMatch::at_step(worker),
+        vec![Action::ToPort(1), Action::ToPort(2)],
+    ));
+    table
+}
+
+/// Test NF: on the first packet of the trigger flow, emits a **wildcard**
+/// `ChangeDefault` flipping its own default edge to port 2 — the
+/// shard-local wildcard mutation whose survival across bucket moves this
+/// suite regresses.
+struct WildcardPinNf {
+    own: ServiceId,
+    trigger_src_port: u16,
+    fired: bool,
+}
+
+impl NetworkFunction for WildcardPinNf {
+    fn name(&self) -> &str {
+        "wildcard-pin"
+    }
+
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
+        if !self.fired {
+            if let Some(key) = packet.flow_key() {
+                if key.src_port == self.trigger_src_port {
+                    self.fired = true;
+                    ctx.send_for_flow(
+                        &key,
+                        NfMessage::ChangeDefault {
+                            flows: FlowMatch::any(),
+                            service: self.own,
+                            new_default: Action::ToPort(2),
+                        },
+                    );
+                }
+            }
+        }
+        Verdict::Default
+    }
+}
+
+/// Test NF modeling an IDS-style per-flow counter: once a flow's count
+/// reaches `threshold`, its default edge is pinned to port 2 via an exact
+/// `ChangeDefault`. The counter itself lives only inside the NF, so the
+/// pin can fire across a re-home **only if** the NF state migrated.
+struct CounterPinNf {
+    own: ServiceId,
+    threshold: u64,
+    counts: HashMap<FlowKey, u64>,
+}
+
+impl CounterPinNf {
+    fn new(own: ServiceId, threshold: u64) -> Self {
+        CounterPinNf {
+            own,
+            threshold,
+            counts: HashMap::new(),
+        }
+    }
+}
+
+impl NetworkFunction for CounterPinNf {
+    fn name(&self) -> &str {
+        "counter-pin"
+    }
+
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext) -> Verdict {
+        let Some(key) = packet.flow_key() else {
+            return Verdict::Default;
+        };
+        let count = self.counts.entry(key).or_insert(0);
+        *count += 1;
+        if *count == self.threshold {
+            ctx.send_for_flow(
+                &key,
+                NfMessage::ChangeDefault {
+                    flows: FlowMatch::exact(RulePort::Service(self.own), &key),
+                    service: self.own,
+                    new_default: Action::ToPort(2),
+                },
+            );
+        }
+        Verdict::Default
+    }
+
+    fn export_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+        self.counts
+            .remove(key)
+            .map(|count| NfFlowState::with_counter("count", count))
+    }
+
+    fn import_flow_state(&mut self, key: &FlowKey, state: NfFlowState) {
+        if let Some(count) = state.counter("count") {
+            *self.counts.entry(*key).or_insert(0) += count;
+        }
+    }
+
+    fn flow_state_keys(&self) -> Vec<FlowKey> {
+        self.counts.keys().copied().collect()
+    }
+}
+
+/// Test NF standing in for a scrubber that eats everything it is handed —
+/// makes "the flow went to the scrubber" observable as a drop.
+struct DiscardNf;
+
+impl NetworkFunction for DiscardNf {
+    fn name(&self) -> &str {
+        "discard"
+    }
+
+    fn process(&mut self, _packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+        Verdict::Discard
+    }
+}
+
+/// **Regression (wildcard-mutation loss, rebalance):** a wildcard
+/// `ChangeDefault` applied inside one shard's partition pre-move must keep
+/// governing the mutating flow's packets after its bucket is re-homed —
+/// previously the mutation silently stayed behind in the old partition.
+#[test]
+fn wildcard_mutation_survives_rebalance() {
+    let worker = ServiceId::new(1);
+    let trigger = flow_on(0, 2);
+    let host = ThreadedHost::start_sharded(
+        two_port_table(worker),
+        |_shard| {
+            vec![(
+                worker,
+                Box::new(WildcardPinNf {
+                    own: worker,
+                    trigger_src_port: 1024 + (trigger % 4096),
+                    fired: false,
+                }) as Box<dyn NetworkFunction>,
+            )]
+        },
+        ThreadedHostConfig {
+            num_shards: 2,
+            ..ThreadedHostConfig::default()
+        },
+    );
+    // First trigger packet fires the wildcard mutation (its own egress may
+    // still take the old default — messages apply before the *next* burst).
+    assert!(host.inject(packet(trigger)).is_admitted());
+    assert_eq!(collect(&host, 1, Duration::from_secs(5)).len(), 1);
+    // The mutation governs the flow on shard 0 …
+    assert!(host.inject(packet(trigger)).is_admitted());
+    let out = collect(&host, 1, Duration::from_secs(5));
+    assert_eq!(out[0].0, 2, "wildcard mutation flipped the default");
+    // … and is shard-local: shard 1's partition still defaults to port 1.
+    let key = packet(trigger).flow_key().unwrap();
+    assert_eq!(
+        host.shard_table(1).with_read(|t| t
+            .peek(RulePort::Service(worker), &key)
+            .unwrap()
+            .default_action()),
+        Some(Action::ToPort(1))
+    );
+
+    // Re-home every bucket (including the mutating flow's) to shard 1.
+    assert!(host.set_steering_weights(&[0, 1]));
+    settle(&host);
+    assert_eq!(host.shard_of(&packet(trigger)), 1);
+
+    // The wildcard mutation traveled: post-move packets of the mutating
+    // flow still egress on port 2, served from shard 1's partition.
+    assert!(host.inject(packet(trigger)).is_admitted());
+    let out = collect(&host, 1, Duration::from_secs(5));
+    assert_eq!(out[0].0, 2, "the mutation governs post-move packets");
+    assert_eq!(
+        host.shard_table(1).with_read(|t| t
+            .peek(RulePort::Service(worker), &key)
+            .unwrap()
+            .default_action()),
+        Some(Action::ToPort(2)),
+        "the destination partition absorbed the replayed mutation"
+    );
+    assert!(host.rehome_report().wildcard_mutations_rehomed >= 1);
+    host.shutdown();
+}
+
+/// Retire-shard variant of the wildcard regression: the mutation lives in
+/// the retiring shard's partition and must survive onto the survivor.
+#[test]
+fn wildcard_mutation_survives_shard_retirement() {
+    let worker = ServiceId::new(1);
+    let trigger = flow_on(1, 2);
+    let host = ThreadedHost::start_sharded(
+        two_port_table(worker),
+        |_shard| {
+            vec![(
+                worker,
+                Box::new(WildcardPinNf {
+                    own: worker,
+                    trigger_src_port: 1024 + (trigger % 4096),
+                    fired: false,
+                }) as Box<dyn NetworkFunction>,
+            )]
+        },
+        ThreadedHostConfig {
+            num_shards: 2,
+            ..ThreadedHostConfig::default()
+        },
+    );
+    assert_eq!(host.shard_of(&packet(trigger)), 1);
+    assert!(host.inject(packet(trigger)).is_admitted());
+    assert_eq!(collect(&host, 1, Duration::from_secs(5)).len(), 1);
+    assert!(host.inject(packet(trigger)).is_admitted());
+    assert_eq!(
+        collect(&host, 1, Duration::from_secs(5))[0].0,
+        2,
+        "mutation active on the shard about to retire"
+    );
+
+    assert!(host.retire_shard());
+    assert!(
+        wait_for(&host, Duration::from_secs(10), || !host.is_retiring()),
+        "retirement completes"
+    );
+    assert_eq!(host.num_shards(), 1);
+    assert!(host.inject(packet(trigger)).is_admitted());
+    assert_eq!(
+        collect(&host, 1, Duration::from_secs(5))[0].0,
+        2,
+        "the mutation followed the bucket onto the survivor"
+    );
+    host.shutdown();
+}
+
+/// **Regression (NF-internal flow-state loss, rebalance):** an IDS-style
+/// per-flow counter must survive a re-home. The counter reaches its
+/// threshold only if the old shard's tally migrates — the pin (an exact
+/// `ChangeDefault` continuation) then fires on the *new* shard.
+#[test]
+fn nf_flow_state_survives_rebalance() {
+    let worker = ServiceId::new(1);
+    let flow = flow_on(0, 2);
+    let host = ThreadedHost::start_sharded(
+        two_port_table(worker),
+        |_shard| {
+            vec![(
+                worker,
+                Box::new(CounterPinNf::new(worker, 5)) as Box<dyn NetworkFunction>,
+            )]
+        },
+        ThreadedHostConfig {
+            num_shards: 2,
+            ..ThreadedHostConfig::default()
+        },
+    );
+    // Four packets on shard 0: one short of the pin threshold. The flow
+    // has NF state but no exact rule — only `flow_state_keys` exposes it.
+    for _ in 0..4 {
+        assert!(host.inject(packet(flow)).is_admitted());
+    }
+    assert_eq!(collect(&host, 4, Duration::from_secs(5)).len(), 4);
+
+    // Move the flow's bucket to shard 1, then send the fifth packet.
+    assert!(host.set_steering_weights(&[0, 1]));
+    settle(&host);
+    assert!(host.rehome_report().nf_flow_states_rehomed >= 1);
+    assert!(host.inject(packet(flow)).is_admitted());
+    assert_eq!(collect(&host, 1, Duration::from_secs(5)).len(), 1);
+    // The fifth packet crossed the threshold on the new shard (4 migrated
+    // + 1): the pin rule now exists in shard 1's partition and governs the
+    // sixth packet. Without state migration the new shard's count would be
+    // 1 and the pin could not have fired.
+    assert!(host.inject(packet(flow)).is_admitted());
+    let out = collect(&host, 1, Duration::from_secs(5));
+    assert_eq!(out[0].0, 2, "the migrated counter fired the pin");
+    let key = packet(flow).flow_key().unwrap();
+    assert!(host
+        .shard_table(1)
+        .with_read(|t| t.exact_rule_id(RulePort::Service(worker), &key).is_some()));
+    host.shutdown();
+}
+
+/// Retire-shard variant of the NF-state regression.
+#[test]
+fn nf_flow_state_survives_shard_retirement() {
+    let worker = ServiceId::new(1);
+    let flow = flow_on(1, 2);
+    let host = ThreadedHost::start_sharded(
+        two_port_table(worker),
+        |_shard| {
+            vec![(
+                worker,
+                Box::new(CounterPinNf::new(worker, 5)) as Box<dyn NetworkFunction>,
+            )]
+        },
+        ThreadedHostConfig {
+            num_shards: 2,
+            ..ThreadedHostConfig::default()
+        },
+    );
+    for _ in 0..4 {
+        assert!(host.inject(packet(flow)).is_admitted());
+    }
+    assert_eq!(collect(&host, 4, Duration::from_secs(5)).len(), 4);
+    assert!(host.retire_shard());
+    assert!(
+        wait_for(&host, Duration::from_secs(10), || !host.is_retiring()),
+        "retirement completes"
+    );
+    assert!(host.inject(packet(flow)).is_admitted());
+    assert_eq!(collect(&host, 1, Duration::from_secs(5)).len(), 1);
+    assert!(host.inject(packet(flow)).is_admitted());
+    assert_eq!(
+        collect(&host, 1, Duration::from_secs(5))[0].0,
+        2,
+        "the counter survived the retirement and fired on the survivor"
+    );
+    host.shutdown();
+}
+
+/// End to end with the real built-in IDS: a flagged flow keeps being
+/// scrubbed after its bucket moves — both the exact pin rule *and* the
+/// IDS's internal flagged set travel with the bucket.
+#[test]
+fn ids_flagged_flow_keeps_scrubbing_after_rehome() {
+    let ids = ServiceId::new(1);
+    let scrubber = ServiceId::new(2);
+    let table = SharedFlowTable::new();
+    table.insert(FlowRule::new(
+        FlowMatch::at_step(RulePort::Nic(0)),
+        vec![Action::ToService(ids)],
+    ));
+    table.insert(FlowRule::new(
+        FlowMatch::at_step(ids),
+        vec![Action::ToPort(1), Action::ToService(scrubber)],
+    ));
+    table.insert(FlowRule::new(
+        FlowMatch::at_step(scrubber),
+        vec![Action::ToPort(1)],
+    ));
+    let host = ThreadedHost::start_sharded(
+        table,
+        |_shard| {
+            vec![
+                (
+                    ids,
+                    Box::new(IdsNf::new(ids, scrubber)) as Box<dyn NetworkFunction>,
+                ),
+                (scrubber, Box::new(DiscardNf) as Box<dyn NetworkFunction>),
+            ]
+        },
+        ThreadedHostConfig {
+            num_shards: 2,
+            ..ThreadedHostConfig::default()
+        },
+    );
+    let flow = flow_on(0, 2);
+    let attack = |payload: &str| {
+        PacketBuilder::udp()
+            .src_ip([10, 0, 0, 1])
+            .dst_ip([10, 0, 0, 2])
+            .src_port(1024 + (flow % 4096))
+            .dst_port(80)
+            .ingress_port(0)
+            .payload(payload.as_bytes())
+            .build()
+    };
+    // The malicious packet flags the flow (scrubbed → discarded).
+    assert!(host.inject(attack("q=UNION SELECT secrets")).is_admitted());
+    assert!(
+        wait_for(&host, Duration::from_secs(5), || host
+            .stats()
+            .snapshot()
+            .dropped
+            == 1),
+        "the malicious packet was scrubbed"
+    );
+    // Move the flow's bucket to shard 1 and send an *innocent* packet:
+    // the flag (NF state) and the pin (exact rule) both traveled, so it
+    // is still scrubbed rather than forwarded.
+    assert!(host.set_steering_weights(&[0, 1]));
+    settle(&host);
+    assert!(host.inject(attack("q=hello world")).is_admitted());
+    assert!(
+        wait_for(&host, Duration::from_secs(5), || host
+            .stats()
+            .snapshot()
+            .dropped
+            == 2),
+        "the flagged flow is still scrubbed after the re-home"
+    );
+    assert_eq!(host.stats().snapshot().transmitted, 0, "nothing leaked");
+    host.shutdown();
+}
+
+/// The `RehomeOrdering::Strict` knob: a moving bucket is released only
+/// once its packets have *fully egressed*, so per-flow egress order is
+/// preserved across the move (and the pen gauges expose the wait).
+#[test]
+fn strict_ordering_releases_buckets_at_full_egress_in_order() {
+    let host = ThreadedHost::start_sharded(
+        forward_table(),
+        |_shard| vec![],
+        ThreadedHostConfig {
+            num_shards: 2,
+            rehome_ordering: RehomeOrdering::Strict,
+            telemetry_interval_ns: 200_000,
+            ..ThreadedHostConfig::default()
+        },
+    );
+    let flow = flow_on(0, 2);
+    let seq_packet = |seq: u8| {
+        PacketBuilder::udp()
+            .src_ip([10, 0, 0, 1])
+            .dst_ip([10, 0, 0, 2])
+            .src_port(1024 + (flow % 4096))
+            .dst_port(80)
+            .ingress_port(0)
+            .payload(&[seq])
+            .build()
+    };
+    // Ten packets of one flow reach the old shard's egress ring (counted
+    // as transmitted at staging) — but are not polled out yet.
+    for seq in 0..10u8 {
+        assert!(host.inject(seq_packet(seq)).is_admitted());
+    }
+    assert!(wait_for(&host, Duration::from_secs(5), || {
+        host.stats().shard_snapshot(0).transmitted == 10
+    }));
+
+    // Rebalance everything onto shard 1. Under Strict the flow's bucket
+    // cannot flip while its packets sit unpolled in shard 0's egress ring.
+    assert!(host.set_steering_weights(&[0, 1]));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while host.pending_rehomes() > 1 && Instant::now() < deadline {
+        // Advance the handshake without draining egress: idle buckets
+        // complete, the busy one must stay parked.
+        let _ = host.take_shard_events();
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        host.pending_rehomes(),
+        1,
+        "only the flow's bucket is still mid-move"
+    );
+    // Arrivals for the parked bucket wait in its pen, visible as gauges.
+    for seq in 10..15u8 {
+        assert!(host.inject(seq_packet(seq)).is_admitted());
+    }
+    assert!(
+        wait_for(&host, Duration::from_secs(5), || {
+            host.poll_telemetry().iter().any(|snap| {
+                snap.shard == 1 && snap.rehome_pen_depth == 5 && snap.rehome_pen_max_age_ns > 0
+            })
+        }),
+        "pen depth and age are visible in shard 1's telemetry"
+    );
+    assert_eq!(host.rehome_report().packets_penned, 5);
+
+    // Now drain: the ten staged packets come out first, the bucket
+    // releases, and the five penned packets follow — in strict per-flow
+    // order 0..15.
+    let out = collect(&host, 15, Duration::from_secs(10));
+    assert_eq!(out.len(), 15);
+    let sequence: Vec<u8> = out
+        .iter()
+        .map(|(_, packet)| packet.l4_payload().unwrap()[0])
+        .collect();
+    assert_eq!(
+        sequence,
+        (0..15u8).collect::<Vec<u8>>(),
+        "per-flow egress order is preserved across the move"
+    );
+    settle(&host);
+    let ages = host.take_rehome_pen_ages_ns();
+    assert_eq!(ages.len(), 5, "one age sample per released penned packet");
     host.shutdown();
 }
 
