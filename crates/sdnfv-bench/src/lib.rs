@@ -206,8 +206,8 @@ pub fn measure_latency(host: &ThreadedHost, packets: usize, packet_size: usize) 
         }
         let deadline = Instant::now() + Duration::from_secs(2);
         loop {
-            if let Some((_, out)) = host.poll_egress() {
-                let latency_ns = host.now_ns().saturating_sub(out.timestamp_ns);
+            if let Some(out) = host.poll_egress() {
+                let latency_ns = host.now_ns().saturating_sub(out.packet.timestamp_ns);
                 sample.latencies_us.push(latency_ns as f64 / 1000.0);
                 break;
             }
@@ -234,15 +234,15 @@ pub fn measure_throughput_gbps(host: &ThreadedHost, packet_size: usize, duration
                 break;
             }
         }
-        while let Some((_, out)) = host.poll_egress() {
-            received_bytes += out.len() as u64;
+        while let Some(out) = host.poll_egress() {
+            received_bytes += out.packet.len() as u64;
         }
     }
     // Drain what is still in flight.
     let drain_deadline = Instant::now() + Duration::from_millis(200);
     while Instant::now() < drain_deadline {
-        while let Some((_, out)) = host.poll_egress() {
-            received_bytes += out.len() as u64;
+        while let Some(out) = host.poll_egress() {
+            received_bytes += out.packet.len() as u64;
         }
     }
     received_bytes as f64 * 8.0 / start.elapsed().as_secs_f64() / 1e9

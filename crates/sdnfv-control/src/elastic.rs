@@ -39,7 +39,9 @@ use std::collections::HashMap;
 use sdnfv_dataplane::{ThreadedHost, ThreadedHostConfig};
 use sdnfv_flowtable::{ServiceId, SharedFlowTable};
 use sdnfv_nf::NetworkFunction;
-use sdnfv_telemetry::{ControlAction, ShardLifecycleEvent, TelemetryHub, TelemetrySnapshot};
+use sdnfv_telemetry::{
+    ControlAction, ShardLifecycleEvent, TelemetryHub, TelemetrySnapshot, TelemetrySource,
+};
 
 use crate::orchestrator::NfvOrchestrator;
 
@@ -606,11 +608,25 @@ impl ElasticNfManager {
     /// resizes, rebalances and shard retirements apply immediately.
     /// Returns the actions emitted this tick.
     pub fn drive(&mut self, host: &ThreadedHost) -> Vec<ControlAction> {
+        self.drive_via(&mut &*host, host)
+    }
+
+    /// Like [`ElasticNfManager::drive`], but observing the data plane
+    /// through an injectable [`TelemetrySource`] instead of the host's own
+    /// rings. The deterministic-simulation harness passes a fault-injecting
+    /// adapter here (dropping, duplicating or delaying snapshots off a
+    /// seeded plan) while actions still apply to the real `host` — the
+    /// decision code exercised under faults is exactly the shipping code.
+    pub fn drive_via<S: TelemetrySource>(
+        &mut self,
+        source: &mut S,
+        host: &ThreadedHost,
+    ) -> Vec<ControlAction> {
         // Lifecycle first: a `Spawned` event resets its shard's hub slot,
         // so processing it *before* absorbing this tick's snapshots keeps
         // the spawned shard's first snapshot instead of wiping it.
-        self.observe_lifecycle(&host.take_shard_events());
-        self.hub.absorb(host.poll_telemetry());
+        self.observe_lifecycle(&source.take_shard_events());
+        self.hub.absorb(source.poll_snapshots());
         let now_ns = host.now_ns();
         let mut actions = self.plan(now_ns);
         if let Some(action) = self.plan_shards(now_ns, host.num_shards(), host.is_retiring()) {

@@ -35,6 +35,7 @@ pub mod messages;
 pub mod rehome;
 pub mod runtime;
 pub mod scratch;
+pub mod sim;
 pub mod stats;
 
 pub use cache::LookupCache;
@@ -47,4 +48,5 @@ pub use runtime::{
     shard_for_flow, BurstInjection, HostOutput, InjectResult, OverflowPolicy, RehomeOrdering,
     ThreadedHost, ThreadedHostConfig, STEER_BUCKETS,
 };
+pub use sim::{SimActorInfo, SimActorKind, SimHandle};
 pub use stats::{HostStats, HostStatsSnapshot, ShardStats};

@@ -101,7 +101,6 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -117,7 +116,9 @@ use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
 use sdnfv_ring::{spsc_ring, Consumer, CreditGate, Producer, PushError, SharedPacket};
-use sdnfv_telemetry::{Ewma, NfTelemetry, ShardLifecycleEvent, TelemetrySnapshot};
+use sdnfv_telemetry::{
+    Ewma, HostClock, NfTelemetry, ShardLifecycleEvent, TelemetrySnapshot, TelemetrySource,
+};
 
 use crate::cache::{cached_lookup, LookupCache};
 use crate::conflict::resolve_parallel_verdicts;
@@ -239,8 +240,24 @@ impl Default for ThreadedHostConfig {
     }
 }
 
-/// A packet that left the host: the egress port and the frame.
-pub type HostOutput = (Port, Packet);
+/// A packet that left the host: the egress port, the frame, and the flow
+/// key parsed at ingress.
+///
+/// Carrying the ingress-time key through egress means the
+/// [`RehomeOrdering::Strict`] release path never re-parses the frame — and
+/// never *mis*-parses it: an NF that rewrites the 5-tuple mid-chain (NAT)
+/// no longer breaks the bucket-drain accounting, because the key that was
+/// admitted is the key that is released.
+#[derive(Debug, Clone)]
+pub struct HostOutput {
+    /// The NIC port the packet left on.
+    pub port: Port,
+    /// The transmitted frame.
+    pub packet: Packet,
+    /// The packet's flow key as parsed at ingress (keyless packets are
+    /// dropped at RX and never reach egress).
+    pub key: FlowKey,
+}
 
 /// Number of hash buckets in the flow-steering table: a flow's stable
 /// 5-tuple hash picks a bucket, the bucket maps to a shard. Rebalancing
@@ -320,6 +337,11 @@ enum NfStateRequest {
     },
     /// Absorb state exported on the flow's old shard.
     Import { states: Vec<(FlowKey, NfFlowState)> },
+    /// Scale-down handoff: detach *every* flow's state. Served only at the
+    /// replica's drain-exit — after its last packet — so the exported
+    /// counters are final; the worker re-imports them into a surviving
+    /// replica of the same service.
+    HandoffAll,
 }
 
 /// A queued mailbox between a shard worker and one NF thread, carrying
@@ -387,6 +409,74 @@ struct PendingImport {
     done: Arc<AtomicBool>,
 }
 
+/// A scale-down state handoff in progress on a shard worker: the draining
+/// replica `(slot, token)` owes its full state export, which is then
+/// re-imported into a surviving replica of `service`.
+struct PendingHandoff {
+    slot: usize,
+    token: u64,
+    service: ServiceId,
+}
+
+/// A handle to one engine's execution: a real OS thread in the threaded
+/// runtime, or a finished-flag the simulation registry flips when the
+/// engine's step function reports completion. Everything that used to ask
+/// `JoinHandle::is_finished` asks this instead, so the shipping lifecycle
+/// code (drain-exit detection, retirement finalize) is identical under
+/// both drivers.
+pub(crate) enum TaskHandle {
+    /// A spawned OS thread.
+    Thread(JoinHandle<()>),
+    /// A sim-registered engine; the registry sets the flag when the
+    /// engine finishes (there is no thread to join).
+    Sim(Arc<AtomicBool>),
+}
+
+impl TaskHandle {
+    fn is_finished(&self) -> bool {
+        match self {
+            TaskHandle::Thread(handle) => handle.is_finished(),
+            TaskHandle::Sim(finished) => finished.load(Ordering::Acquire),
+        }
+    }
+
+    fn join(self) {
+        if let TaskHandle::Thread(handle) = self {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Where a shard's NF replicas execute: real threads (production) or
+/// step-actors registered with a simulation registry. The worker calls
+/// this for every `spawn_nf`, initial and elastic alike, so scale-ups
+/// under simulation create steppable actors instead of threads.
+pub(crate) trait ReplicaSpawner: Send {
+    /// Takes ownership of a fully wired replica bundle and starts (or
+    /// registers) it, returning the handle its lifecycle is tracked by.
+    fn spawn_replica(&mut self, thread: NfThread) -> TaskHandle;
+}
+
+/// The production spawner: one OS thread per replica.
+struct ThreadSpawner;
+
+impl ReplicaSpawner for ThreadSpawner {
+    fn spawn_replica(&mut self, thread: NfThread) -> TaskHandle {
+        TaskHandle::Thread(std::thread::spawn(move || nf_thread_loop(thread)))
+    }
+}
+
+/// How a host's pipelines execute: spawned OS threads, or engines
+/// registered with the crate's simulation registry
+/// ([`crate::sim::SimRegistry`]) and stepped explicitly by a scheduler.
+#[derive(Clone)]
+pub(crate) enum PipelineRuntime {
+    /// Production: one worker thread per shard, one thread per NF replica.
+    Threads,
+    /// Deterministic simulation: engines are registered as step-actors.
+    Sim(Arc<Mutex<crate::sim::SimRegistry>>),
+}
+
 /// The outcome of injecting one packet (see [`ThreadedHost::inject`]).
 #[derive(Debug, PartialEq, Eq)]
 #[must_use = "a throttled injection hands the packet back for retry"]
@@ -430,7 +520,7 @@ pub struct BurstInjection {
 
 /// A packet on its way from injection to a shard worker, with its flow key
 /// parsed once at admission.
-struct IngressFrame {
+pub(crate) struct IngressFrame {
     packet: Packet,
     key: Option<FlowKey>,
 }
@@ -483,8 +573,11 @@ pub struct ThreadedHost {
     stats: HostStats,
     tables: FlowTablePartitions,
     running: Arc<AtomicBool>,
-    handles: RefCell<Vec<JoinHandle<()>>>,
-    epoch: Instant,
+    handles: RefCell<Vec<TaskHandle>>,
+    clock: HostClock,
+    /// How pipelines execute (threads vs simulation registry); retained so
+    /// shards spawned mid-run join the same driver.
+    runtime: PipelineRuntime,
     policy: OverflowPolicy,
     credit_capacity: usize,
     /// The (normalized) configuration, retained so shards spawned mid-run
@@ -552,8 +645,31 @@ impl ThreadedHost {
     /// sees its shard's flows.
     pub fn start_sharded<F>(
         table: SharedFlowTable,
+        nfs_for_shard: F,
+        config: ThreadedHostConfig,
+    ) -> Self
+    where
+        F: FnMut(usize) -> Vec<(ServiceId, Box<dyn NetworkFunction>)>,
+    {
+        ThreadedHost::start_with_runtime(
+            table,
+            nfs_for_shard,
+            config,
+            HostClock::real(),
+            PipelineRuntime::Threads,
+        )
+    }
+
+    /// The shared constructor behind [`ThreadedHost::start_sharded`]
+    /// (threads, real clock) and [`crate::sim`]'s simulation entry point
+    /// (step-actors, virtual clock) — one body, so the code under
+    /// simulation is the code that ships.
+    pub(crate) fn start_with_runtime<F>(
+        table: SharedFlowTable,
         mut nfs_for_shard: F,
         config: ThreadedHostConfig,
+        clock: HostClock,
+        runtime: PipelineRuntime,
     ) -> Self
     where
         F: FnMut(usize) -> Vec<(ServiceId, Box<dyn NetworkFunction>)>,
@@ -578,7 +694,6 @@ impl ThreadedHost {
 
         let stats = HostStats::with_shards(num_shards);
         let running = Arc::new(AtomicBool::new(true));
-        let epoch = Instant::now();
         let tables = FlowTablePartitions::new(&table, num_shards);
         let tracker = Arc::new(BucketTracker::new(STEER_BUCKETS));
         let mut handles = Vec::new();
@@ -593,9 +708,10 @@ impl ThreadedHost {
                 stats.shard(shard),
                 &running,
                 &tracker,
-                epoch,
+                clock.clone(),
                 &config,
                 credit_capacity,
+                &runtime,
             );
             handles.push(handle);
             shards.push(ports);
@@ -613,7 +729,8 @@ impl ThreadedHost {
             tables,
             running,
             handles: RefCell::new(handles),
-            epoch,
+            clock,
+            runtime,
             policy: config.overflow_policy,
             credit_capacity,
             config,
@@ -901,20 +1018,20 @@ impl ThreadedHost {
     }
 
     /// Nanoseconds since the host started (the clock used for packet
-    /// timestamps).
+    /// timestamps). Under simulation this is the virtual clock's current
+    /// instant.
     pub fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+        self.clock.now_ns()
     }
 
     /// Under [`RehomeOrdering::Strict`] a packet's bucket in-flight count
     /// is released only here, when it fully leaves the host (no-op under
     /// the default [`RehomeOrdering::Relaxed`], where the shard worker
-    /// released it at egress staging).
-    fn finish_on_full_egress(&self, packet: &Packet) {
+    /// released it at egress staging). The key carried from ingress is
+    /// released — not a re-parse of the (possibly NF-rewritten) frame.
+    fn finish_on_full_egress(&self, out: &HostOutput) {
         if matches!(self.config.rehome_ordering, RehomeOrdering::Strict) {
-            if let Some(key) = packet.flow_key() {
-                self.tracker.finish(&key);
-            }
+            self.tracker.finish(&out.key);
         }
     }
 
@@ -936,8 +1053,8 @@ impl ThreadedHost {
             }
             polled
         };
-        if let Some((_, packet)) = &polled {
-            self.finish_on_full_egress(packet);
+        if let Some(out) = &polled {
+            self.finish_on_full_egress(out);
         }
         polled
     }
@@ -962,8 +1079,8 @@ impl ThreadedHost {
             self.egress_cursor.set((start + 1) % n);
         }
         if matches!(self.config.rehome_ordering, RehomeOrdering::Strict) {
-            for (_, packet) in &out {
-                self.finish_on_full_egress(packet);
+            for polled in &out {
+                self.finish_on_full_egress(polled);
             }
         }
         out
@@ -1303,17 +1420,17 @@ impl ThreadedHost {
                     .handles
                     .borrow()
                     .last()
-                    .is_some_and(JoinHandle::is_finished);
+                    .is_some_and(TaskHandle::is_finished);
                 let egress_empty = self.shards.borrow()[s].egress.is_empty();
                 if finished && egress_empty {
                     if let Some(handle) = self.handles.borrow_mut().pop() {
-                        let _ = handle.join();
+                        handle.join();
                     }
                     self.shards.borrow_mut().pop();
                     self.tables.remove_last_partition();
                     self.events.borrow_mut().push(ShardLifecycleEvent::Retired {
                         shard: s,
-                        at_ns: self.epoch.elapsed().as_nanos() as u64,
+                        at_ns: self.clock.now_ns(),
                     });
                     state.retiring = None;
                 }
@@ -1504,15 +1621,16 @@ impl ThreadedHost {
             self.stats.ensure_shard(shard),
             &self.running,
             &self.tracker,
-            self.epoch,
+            self.clock.clone(),
             &self.config,
             self.credit_capacity,
+            &self.runtime,
         );
         self.shards.borrow_mut().push(ports);
         self.handles.borrow_mut().push(handle);
         self.events.borrow_mut().push(ShardLifecycleEvent::Spawned {
             shard,
-            at_ns: self.epoch.elapsed().as_nanos() as u64,
+            at_ns: self.clock.now_ns(),
         });
         // Give every shard (including the new one) a uniform bucket share.
         let buckets = self.steering.borrow().len();
@@ -1595,8 +1713,22 @@ impl Drop for ThreadedHost {
     fn drop(&mut self) {
         self.running.store(false, Ordering::Release);
         for handle in self.handles.borrow_mut().drain(..) {
-            let _ = handle.join();
+            handle.join();
         }
+    }
+}
+
+/// The host's own telemetry feed — the pristine [`TelemetrySource`] the
+/// elastic control loop observes in production. The deterministic
+/// simulation harness wraps this same host in a fault-injecting source
+/// instead; the control loop cannot tell the difference.
+impl TelemetrySource for &ThreadedHost {
+    fn take_shard_events(&mut self) -> Vec<ShardLifecycleEvent> {
+        ThreadedHost::take_shard_events(self)
+    }
+
+    fn poll_snapshots(&mut self) -> Vec<TelemetrySnapshot> {
+        self.poll_telemetry()
     }
 }
 
@@ -1637,10 +1769,11 @@ fn launch_pipeline(
     stats: ShardStats,
     running: &Arc<AtomicBool>,
     tracker: &Arc<BucketTracker>,
-    epoch: Instant,
+    clock: HostClock,
     config: &ThreadedHostConfig,
     credit_capacity: usize,
-) -> (ShardPorts, JoinHandle<()>) {
+    runtime: &PipelineRuntime,
+) -> (ShardPorts, TaskHandle) {
     let gate = matches!(config.overflow_policy, OverflowPolicy::Backpressure)
         .then(|| Arc::new(CreditGate::new(credit_capacity)));
     let stop = Arc::new(AtomicBool::new(false));
@@ -1651,9 +1784,15 @@ fn launch_pipeline(
     let (telemetry_tx, telemetry_rx) = spsc_ring::<TelemetrySnapshot>(16);
     let (exports_tx, exports_rx) = spsc_ring::<BucketStateExport>(16);
 
+    let spawner: Box<dyn ReplicaSpawner> = match runtime {
+        PipelineRuntime::Threads => Box::new(ThreadSpawner),
+        PipelineRuntime::Sim(registry) => Box::new(crate::sim::SimSpawner::new(registry)),
+    };
     let engine = ShardEngine {
         shard,
         initial_nfs,
+        started: false,
+        phase: EnginePhase::Running,
         slots: Vec::new(),
         service_instances: HashMap::new(),
         egress: egress_tx,
@@ -1670,29 +1809,40 @@ fn launch_pipeline(
         credit_clamp: config.nf_ring_capacity.min(config.ingress_capacity),
         trusted: config.trusted_nfs,
         ordering: config.rehome_ordering,
-        epoch,
+        clock,
+        spawner,
         cache: LookupCache::new(4096),
         memo: BurstLookupMemo::with_thresholds(
             config.memo_bypass_min_entries,
             config.memo_bypass_hit_divisor,
         ),
         staging: BurstStaging::new(0, config.burst_size),
+        rx_burst: Vec::with_capacity(config.burst_size),
+        done_burst: Vec::with_capacity(config.burst_size),
         control: control_rx,
         telemetry: telemetry_tx,
         exports: exports_tx,
         export_backlog: std::collections::VecDeque::new(),
         pending_collects: Vec::new(),
         pending_imports: Vec::new(),
+        pending_handoffs: Vec::new(),
         state_token: 0,
         telemetry_interval_ns: config.telemetry_interval_ns,
-        last_telemetry: epoch,
+        last_telemetry_ns: 0,
         telemetry_check: 0,
         telemetry_seq: 0,
         applied_commands: 0,
         draining: 0,
         retired_slots: 0,
     };
-    let handle = std::thread::spawn(move || engine.run(ingress_rx));
+    let handle = match runtime {
+        PipelineRuntime::Threads => {
+            TaskHandle::Thread(std::thread::spawn(move || engine.run(ingress_rx)))
+        }
+        PipelineRuntime::Sim(registry) => {
+            TaskHandle::Sim(crate::sim::register_worker(registry, engine, ingress_rx))
+        }
+    };
 
     (
         ShardPorts {
@@ -1722,7 +1872,7 @@ struct NfProbe {
 /// Lifecycle of one NF replica slot on a shard. Slot indices are stable
 /// between lifecycle events; retired slots are reused by prompt scale-ups
 /// and reclaimed (rings freed, indices compacted) once they have stayed
-/// retired past [`SLOT_COMPACTION_GRACE`].
+/// retired past [`SLOT_COMPACTION_GRACE_NS`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SlotState {
     /// Receiving and processing packets.
@@ -1737,8 +1887,8 @@ enum SlotState {
 /// How long a retired NF slot keeps its (empty) rings available for reuse
 /// before the compaction pass reclaims them. A scale-up inside the grace
 /// window reuses the slot; a host that scales down and stays down gets its
-/// ring memory back.
-const SLOT_COMPACTION_GRACE: std::time::Duration = std::time::Duration::from_millis(1);
+/// ring memory back. Measured on the host clock (virtual under simulation).
+const SLOT_COMPACTION_GRACE_NS: u64 = 1_000_000;
 
 /// One NF replica on a shard: its rings, its thread, and its telemetry
 /// probe.
@@ -1748,10 +1898,11 @@ struct NfSlot {
     done: Consumer<DoneItem>,
     probe: Arc<NfProbe>,
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    handle: Option<TaskHandle>,
     state: SlotState,
-    /// When the slot entered [`SlotState::Retired`] (compaction timer).
-    retired_at: Option<Instant>,
+    /// When the slot entered [`SlotState::Retired`] (compaction timer),
+    /// nanoseconds on the host clock.
+    retired_at: Option<u64>,
     /// State-migration mailbox shared with the replica's thread.
     channel: Arc<NfStateChannel>,
 }
@@ -1820,17 +1971,41 @@ impl BurstLookupMemo {
     }
 }
 
+/// Where a [`ShardEngine`] is in its lifecycle. The engine is a
+/// step-callable state machine: the threaded runtime calls
+/// [`ShardEngine::step`] in a spin loop, the deterministic simulator calls
+/// it once per scheduled turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EnginePhase {
+    /// Normal operation: dispatching, draining done rings, serving control.
+    Running,
+    /// Per-shard retirement: replicas told to drain-and-exit; the engine
+    /// keeps serving done rings until the pipeline is empty.
+    TearingDown,
+    /// Terminal: nothing left to do; `step` is a no-op.
+    Finished,
+}
+
 /// One shard's worker: the RX dispatch role and the TX egress role of the
-/// shard's pipeline, run by a single thread so every ring it touches keeps a
-/// single producer and a single consumer. The worker also owns the shard's
-/// NF replica set — it spawns the NF threads (initially and on scale-up),
-/// retires them on scale-down, and is the single consumer of the shard's
-/// control ring and the single producer of its telemetry ring.
-struct ShardEngine {
+/// shard's pipeline, driven by a single caller so every ring it touches
+/// keeps a single producer and a single consumer. The worker also owns the
+/// shard's NF replica set — it spawns the NF replicas (initially and on
+/// scale-up), retires them on scale-down, and is the single consumer of the
+/// shard's control ring and the single producer of its telemetry ring.
+///
+/// The engine is deliberately a *state machine*, not a loop: all protocol
+/// work happens inside [`ShardEngine::step`], which both the threaded
+/// runtime (via [`ShardEngine::run`]) and the deterministic simulation
+/// harness (which interleaves `step` calls under a seeded schedule) drive.
+/// The code under simulation is therefore the shipping code.
+pub(crate) struct ShardEngine {
     shard: usize,
-    /// The replica set `start_sharded` was configured with; spawned at the
-    /// top of [`ShardEngine::run`].
+    /// The replica set `start_sharded` was configured with; spawned on the
+    /// first [`ShardEngine::step`].
     initial_nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)>,
+    /// Whether the initial replica set has been spawned yet.
+    started: bool,
+    phase: EnginePhase,
     slots: Vec<NfSlot>,
     service_instances: HashMap<ServiceId, Vec<usize>>,
     egress: Producer<HostOutput>,
@@ -1857,10 +2032,19 @@ struct ShardEngine {
     trusted: bool,
     /// When bucket in-flight counts drop (egress staging vs full egress).
     ordering: RehomeOrdering,
-    epoch: Instant,
+    /// Host clock (real or virtual); the epoch for every timestamp the
+    /// engine publishes or compares.
+    clock: HostClock,
+    /// How NF replicas are launched: OS threads in production, registered
+    /// simulation actors under the deterministic harness.
+    spawner: Box<dyn ReplicaSpawner>,
     cache: LookupCache,
     memo: BurstLookupMemo,
     staging: BurstStaging,
+    /// Reused RX burst buffer (popped ingress frames).
+    rx_burst: Vec<IngressFrame>,
+    /// Reused TX burst buffer (popped done items).
+    done_burst: Vec<DoneItem>,
     control: Consumer<ShardCommand>,
     telemetry: Producer<TelemetrySnapshot>,
     /// Replies to [`ShardCommand::ExportBucketState`], drained by the host.
@@ -1871,11 +2055,15 @@ struct ShardEngine {
     pending_collects: Vec<PendingCollect>,
     /// NF-state imports awaiting replica acknowledgements.
     pending_imports: Vec<PendingImport>,
+    /// Per-flow NF state handoffs from draining replicas awaiting the
+    /// replica's drain-exit response (scale-down state preservation).
+    pending_handoffs: Vec<PendingHandoff>,
     /// Token generator for replica state-migration requests.
     state_token: u64,
     telemetry_interval_ns: u64,
-    last_telemetry: Instant,
-    /// Loop-iteration countdown between wall-clock checks, so the idle spin
+    /// Host-clock instant of the last published snapshot.
+    last_telemetry_ns: u64,
+    /// Loop-iteration countdown between clock checks, so the idle spin
     /// path does not read the clock every iteration.
     telemetry_check: u32,
     telemetry_seq: u64,
@@ -1888,127 +2076,159 @@ struct ShardEngine {
 }
 
 impl ShardEngine {
+    /// Threaded driver: spins [`ShardEngine::step`] until the engine
+    /// reaches [`EnginePhase::Finished`], then collects the NF threads so
+    /// none outlives the shard.
     fn run(mut self, ingress: Consumer<IngressFrame>) {
-        for (service, nf) in std::mem::take(&mut self.initial_nfs) {
-            self.spawn_nf(service, nf);
-        }
-        let mut rx_burst: Vec<IngressFrame> = Vec::with_capacity(self.burst_size);
-        let mut done_burst: Vec<DoneItem> = Vec::with_capacity(self.burst_size);
         let mut idle: u32 = 0;
-        while self.running.load(Ordering::Acquire) && !self.stop.load(Ordering::Acquire) {
-            let mut did_work = false;
-            while let Some(command) = self.control.pop() {
-                did_work = true;
-                self.apply_command(command);
-            }
-            rx_burst.clear();
-            if ingress.pop_n(&mut rx_burst, self.burst_size) > 0 {
-                did_work = true;
-                self.rx_round(&mut rx_burst);
-            }
-            for nf_index in 0..self.slots.len() {
-                if self.slots[nf_index].state == SlotState::Retired {
-                    continue;
-                }
-                done_burst.clear();
-                if self.slots[nf_index]
-                    .done
-                    .pop_n(&mut done_burst, self.burst_size)
-                    == 0
-                {
-                    continue;
-                }
-                did_work = true;
-                self.tx_round(&mut done_burst);
-            }
-            if self.draining > 0 {
-                self.retire_drained();
-            }
-            if self.retired_slots > 0 {
-                self.compact_retired_slots();
-            }
-            if !self.pending_collects.is_empty()
-                || !self.pending_imports.is_empty()
-                || !self.export_backlog.is_empty()
-            {
-                did_work |= self.poll_state_exchanges();
-            }
-            self.maybe_publish_telemetry(&ingress);
-            if did_work {
+        while self.phase != EnginePhase::Finished {
+            if self.step(&ingress) {
                 idle = 0;
             } else {
                 idle_backoff(&mut idle);
             }
         }
-        if self.running.load(Ordering::Acquire) {
-            // Per-shard retirement (not host shutdown): the shard's buckets
-            // have been re-homed and drained, so wind the NF threads down
-            // gracefully — every remaining completion is processed and no
-            // packet or credit is lost.
-            self.graceful_teardown(&ingress);
-        }
-        // Collect the NF threads so none outlives the shard (under host
-        // shutdown the global `running` flag stops them too).
         for slot in &mut self.slots {
             if let Some(handle) = slot.handle.take() {
-                let _ = handle.join();
+                handle.join();
             }
         }
     }
 
-    /// Winds the shard down after a retirement: tells every replica to
-    /// drain-and-exit, keeps serving their done rings until the pipeline is
-    /// empty, and accounts any straggler the host failed to drain first
-    /// (can't happen when the re-home handshake preceded the stop — kept
-    /// for defense in depth).
-    fn graceful_teardown(&mut self, ingress: &Consumer<IngressFrame>) {
-        for slot in &self.slots {
-            if slot.state != SlotState::Retired {
-                slot.stop.store(true, Ordering::Release);
+    /// One turn of the shard worker's state machine. Returns whether any
+    /// work was done (the threaded driver uses this for idle backoff; the
+    /// simulator for quiescence detection).
+    ///
+    /// Never blocks: a full egress ring leaves staged packets parked in
+    /// `staging.egress` to be retried next step (bounded by the credit
+    /// clamp), instead of spinning in place as the old thread loop did.
+    pub(crate) fn step(&mut self, ingress: &Consumer<IngressFrame>) -> bool {
+        if !self.started {
+            self.started = true;
+            for (service, nf) in std::mem::take(&mut self.initial_nfs) {
+                self.spawn_nf(service, nf);
             }
         }
-        let mut done_burst: Vec<DoneItem> = Vec::with_capacity(self.burst_size);
-        loop {
-            if !self.running.load(Ordering::Acquire) {
-                return; // host shutdown overrides the graceful wind-down
-            }
-            let mut busy = false;
-            for nf_index in 0..self.slots.len() {
-                if self.slots[nf_index].state == SlotState::Retired {
-                    continue;
+        match self.phase {
+            EnginePhase::Finished => false,
+            EnginePhase::Running => {
+                if !self.running.load(Ordering::Acquire) {
+                    // Host shutdown: account whatever is still staged.
+                    self.abort_staged_egress();
+                    self.phase = EnginePhase::Finished;
+                    return true;
                 }
-                done_burst.clear();
-                if self.slots[nf_index]
-                    .done
-                    .pop_n(&mut done_burst, self.burst_size)
-                    > 0
+                if self.stop.load(Ordering::Acquire) {
+                    // Per-shard retirement (not host shutdown): the shard's
+                    // buckets have been re-homed and drained, so wind the
+                    // replicas down gracefully — every remaining completion
+                    // is processed and no packet or credit is lost.
+                    for slot in &self.slots {
+                        if slot.state != SlotState::Retired {
+                            slot.stop.store(true, Ordering::Release);
+                        }
+                    }
+                    self.phase = EnginePhase::TearingDown;
+                    return true;
+                }
+                let mut did_work = self.flush_staged_egress();
+                while let Some(command) = self.control.pop() {
+                    did_work = true;
+                    self.apply_command(command);
+                }
+                let mut rx_burst = std::mem::take(&mut self.rx_burst);
+                rx_burst.clear();
+                if ingress.pop_n(&mut rx_burst, self.burst_size) > 0 {
+                    did_work = true;
+                    self.rx_round(&mut rx_burst);
+                }
+                self.rx_burst = rx_burst;
+                did_work |= self.drain_done_rings();
+                if self.draining > 0 {
+                    self.retire_drained();
+                }
+                if self.retired_slots > 0 {
+                    self.compact_retired_slots();
+                }
+                if !self.pending_collects.is_empty()
+                    || !self.pending_imports.is_empty()
+                    || !self.pending_handoffs.is_empty()
+                    || !self.export_backlog.is_empty()
                 {
-                    busy = true;
-                    self.tx_round(&mut done_burst);
+                    did_work |= self.poll_state_exchanges();
                 }
+                self.maybe_publish_telemetry(ingress);
+                did_work
             }
-            let threads_done = self
-                .slots
-                .iter()
-                .all(|slot| slot.handle.as_ref().is_none_or(JoinHandle::is_finished));
-            let rings_empty = self.slots.iter().all(|slot| slot.done.is_empty());
-            if !busy && threads_done && rings_empty {
-                break;
-            }
-            if !busy {
-                std::thread::yield_now();
+            EnginePhase::TearingDown => {
+                if !self.running.load(Ordering::Acquire) {
+                    // Host shutdown overrides the graceful wind-down.
+                    self.abort_staged_egress();
+                    self.phase = EnginePhase::Finished;
+                    return true;
+                }
+                let mut busy = self.drain_done_rings();
+                busy |= self.flush_staged_egress();
+                if self.draining > 0 {
+                    self.retire_drained();
+                }
+                let threads_done = self
+                    .slots
+                    .iter()
+                    .all(|slot| slot.handle.as_ref().is_none_or(TaskHandle::is_finished));
+                let rings_empty = self.slots.iter().all(|slot| slot.done.is_empty());
+                if !busy && threads_done && rings_empty && self.staging.egress.is_empty() {
+                    // Stragglers in the ingress ring have no pipeline left;
+                    // account them as overflow drops and give their credits
+                    // and bucket counts back so nothing upstream waits
+                    // forever (can't happen when the re-home handshake
+                    // preceded the stop — kept for defense in depth).
+                    while let Some(frame) = ingress.pop() {
+                        self.stats.add_overflow_drops(1);
+                        self.release_credits(1);
+                        if let Some(key) = &frame.key {
+                            self.tracker.finish(key);
+                        }
+                    }
+                    self.phase = EnginePhase::Finished;
+                    return true;
+                }
+                busy
             }
         }
-        // Stragglers in the ingress ring have no pipeline left; account
-        // them as overflow drops and give their credits and bucket counts
-        // back so nothing upstream waits forever.
-        while let Some(frame) = ingress.pop() {
-            self.stats.add_overflow_drops(1);
-            self.release_credits(1);
-            if let Some(key) = &frame.key {
-                self.tracker.finish(key);
+    }
+
+    /// Pops and serves every non-retired replica's done ring once.
+    fn drain_done_rings(&mut self) -> bool {
+        let mut did_work = false;
+        let mut done_burst = std::mem::take(&mut self.done_burst);
+        for nf_index in 0..self.slots.len() {
+            if self.slots[nf_index].state == SlotState::Retired {
+                continue;
             }
+            done_burst.clear();
+            if self.slots[nf_index]
+                .done
+                .pop_n(&mut done_burst, self.burst_size)
+                == 0
+            {
+                continue;
+            }
+            did_work = true;
+            self.tx_round(&mut done_burst);
         }
+        self.done_burst = done_burst;
+        did_work
+    }
+
+    /// Whether the engine reached its terminal phase (simulation driver).
+    pub(crate) fn finished(&self) -> bool {
+        self.phase == EnginePhase::Finished
+    }
+
+    /// The shard this engine serves (simulation-registry labeling).
+    pub(crate) fn shard_index(&self) -> usize {
+        self.shard
     }
 
     /// Settles every in-flight state-exchange entry pointing at slot
@@ -2042,6 +2262,21 @@ impl ShardEngine {
         for import in &mut self.pending_imports {
             import.outstanding.retain(|&(slot, _)| slot != index);
         }
+        // Scale-down handoffs aimed at this slot: absorb any response the
+        // replica already queued; anything else is gone with the replica.
+        let mut absorbed: Vec<(ServiceId, StateResponse)> = Vec::new();
+        self.pending_handoffs.retain(|handoff| {
+            if handoff.slot != index {
+                return true;
+            }
+            if let Some(response) = responses.remove(&handoff.token) {
+                absorbed.push((handoff.service, response));
+            }
+            false
+        });
+        for (service, states) in absorbed {
+            self.absorb_handoff(service, states);
+        }
     }
 
     /// Reclaims NF slots that have stayed [`SlotState::Retired`] past the
@@ -2050,12 +2285,12 @@ impl ShardEngine {
     /// state-exchange bookkeeping — are rebuilt to match). Hosts that
     /// scale down and stay down return to their baseline ring count.
     fn compact_retired_slots(&mut self) {
-        let now = Instant::now();
+        let now_ns = self.clock.now_ns();
         let expired = |slot: &NfSlot| {
             slot.state == SlotState::Retired
                 && slot
                     .retired_at
-                    .is_none_or(|at| now.duration_since(at) >= SLOT_COMPACTION_GRACE)
+                    .is_none_or(|at| now_ns.saturating_sub(at) >= SLOT_COMPACTION_GRACE_NS)
         };
         if !self.slots.iter().any(expired) {
             return;
@@ -2116,6 +2351,17 @@ impl ShardEngine {
         for import in &mut self.pending_imports {
             import.outstanding.retain_mut(&remap_entry);
         }
+        self.pending_handoffs
+            .retain_mut(|handoff| match remap[handoff.slot] {
+                Some(new_index) => {
+                    handoff.slot = new_index;
+                    true
+                }
+                None => {
+                    debug_assert!(false, "handoff for a compacted slot survived settling");
+                    false
+                }
+            });
     }
 
     /// Spawns one NF replica thread and registers its slot (reusing a
@@ -2143,10 +2389,10 @@ impl ShardEngine {
             probe: Arc::clone(&probe),
             measure: self.telemetry_interval_ns != 0,
             trusted: self.trusted,
-            epoch: self.epoch,
+            clock: self.clock.clone(),
             burst_size: self.burst_size,
         };
-        let handle = std::thread::spawn(move || nf_thread_loop(thread));
+        let handle = self.spawner.spawn_replica(thread);
         let slot = NfSlot {
             service,
             ring,
@@ -2189,6 +2435,12 @@ impl ShardEngine {
     /// Begins retiring the most recently added replica of `service`:
     /// removes it from dispatch and tells its thread to exit once its input
     /// ring is drained. The last replica of a service is never retired.
+    ///
+    /// The replica's per-flow NF state is not abandoned: a
+    /// [`NfStateRequest::HandoffAll`] is posted, which the replica answers
+    /// at drain-exit (when its state is final) with everything it holds;
+    /// [`ShardEngine::poll_state_exchanges`] re-imports the answer into a
+    /// surviving replica of the same service.
     fn begin_remove_nf(&mut self, service: ServiceId) {
         let Some(instances) = self.service_instances.get_mut(&service) else {
             return;
@@ -2197,28 +2449,36 @@ impl ShardEngine {
             return;
         }
         let index = instances.pop().expect("length checked");
+        let token = self.next_state_token();
         let slot = &mut self.slots[index];
         slot.state = SlotState::Draining;
+        slot.channel.post(token, NfStateRequest::HandoffAll);
         slot.stop.store(true, Ordering::Release);
         self.draining += 1;
+        self.pending_handoffs.push(PendingHandoff {
+            slot: index,
+            token,
+            service,
+        });
     }
 
     /// Moves fully drained replicas from [`SlotState::Draining`] to
     /// [`SlotState::Retired`], joining their threads. Retired slots stay
-    /// available for reuse for [`SLOT_COMPACTION_GRACE`], then the
+    /// available for reuse for [`SLOT_COMPACTION_GRACE_NS`], then the
     /// compaction pass reclaims their rings.
     fn retire_drained(&mut self) {
+        let now_ns = self.clock.now_ns();
         for slot in &mut self.slots {
             if slot.state != SlotState::Draining {
                 continue;
             }
-            let finished = slot.handle.as_ref().is_none_or(JoinHandle::is_finished);
+            let finished = slot.handle.as_ref().is_none_or(TaskHandle::is_finished);
             if finished && slot.done.is_empty() {
                 if let Some(handle) = slot.handle.take() {
-                    let _ = handle.join();
+                    handle.join();
                 }
                 slot.state = SlotState::Retired;
-                slot.retired_at = Some(Instant::now());
+                slot.retired_at = Some(now_ns);
                 self.draining -= 1;
                 self.retired_slots += 1;
             }
@@ -2300,7 +2560,10 @@ impl ShardEngine {
         states: Vec<(ServiceId, FlowKey, NfFlowState)>,
         done: Arc<AtomicBool>,
     ) {
-        let mut per_slot: HashMap<usize, Vec<(FlowKey, NfFlowState)>> = HashMap::new();
+        // Grouped into a Vec (not a HashMap) so token assignment follows
+        // the arrival order of the states — iteration order must be
+        // deterministic for the simulation harness's replay guarantee.
+        let mut per_slot: Vec<(usize, Vec<(FlowKey, NfFlowState)>)> = Vec::new();
         for (service, key, state) in states {
             let Some(&slot) = self
                 .service_instances
@@ -2314,7 +2577,10 @@ impl ShardEngine {
                 self.stats.add_nf_state_import_drops(1);
                 continue;
             };
-            per_slot.entry(slot).or_default().push((key, state));
+            match per_slot.iter_mut().find(|(index, _)| *index == slot) {
+                Some((_, group)) => group.push((key, state)),
+                None => per_slot.push((slot, vec![(key, state)])),
+            }
         }
         let mut outstanding = Vec::new();
         for (slot, states) in per_slot {
@@ -2329,14 +2595,44 @@ impl ShardEngine {
         self.poll_state_exchanges();
     }
 
+    /// Re-imports the per-flow state a retiring replica handed off at
+    /// drain-exit into the first surviving replica of the same service.
+    /// With no survivor left on the shard the state is unrecoverable and
+    /// the loss is counted (`nf_state_import_drops`) rather than silent.
+    fn absorb_handoff(&mut self, service: ServiceId, states: StateResponse) {
+        if states.is_empty() {
+            return;
+        }
+        let Some(&slot) = self
+            .service_instances
+            .get(&service)
+            .and_then(|indices| indices.first())
+        else {
+            self.stats.add_nf_state_import_drops(states.len() as u64);
+            return;
+        };
+        self.stats.add_nf_state_handoffs(states.len() as u64);
+        let token = self.next_state_token();
+        self.slots[slot]
+            .channel
+            .post(token, NfStateRequest::Import { states });
+        self.pending_imports.push(PendingImport {
+            outstanding: vec![(slot, token)],
+            done: Arc::new(AtomicBool::new(false)),
+        });
+    }
+
     /// Advances every in-flight state exchange: gathers export responses
     /// (publishing completed exports on the export ring), collects import
-    /// acknowledgements (setting their `done` flags), and retries exports
-    /// the ring had no room for. Returns whether anything progressed.
+    /// acknowledgements (setting their `done` flags), absorbs scale-down
+    /// state handoffs, and retries exports the ring had no room for.
+    /// Returns whether anything progressed.
     fn poll_state_exchanges(&mut self) -> bool {
         let mut progressed = false;
         let slots = &self.slots;
         // Drain every slot's arrived responses once, keyed (slot, token).
+        // The map is consumed by key lookups only (never iterated), so its
+        // internal ordering cannot leak into observable behavior.
         let mut responses: HashMap<(usize, u64), StateResponse> = HashMap::new();
         for (index, slot) in slots.iter().enumerate() {
             for (token, response) in slot.channel.drain_responses() {
@@ -2358,7 +2654,7 @@ impl ShardEngine {
                 // A replica that exited (drain completed) served every
                 // queued request before leaving its loop, so an entry with
                 // no response and a finished thread resolves empty.
-                if slot.handle.as_ref().is_none_or(JoinHandle::is_finished) {
+                if slot.handle.as_ref().is_none_or(TaskHandle::is_finished) {
                     progressed = true;
                     return false;
                 }
@@ -2384,6 +2680,32 @@ impl ShardEngine {
             }
             progressed = true;
         }
+        // Scale-down handoffs: a retiring replica answers at drain-exit
+        // with all the per-flow state it still holds; re-import it into a
+        // surviving replica of the same service so no state is dropped.
+        let mut absorbed: Vec<(ServiceId, StateResponse)> = Vec::new();
+        self.pending_handoffs.retain(|handoff| {
+            if let Some(response) = responses.remove(&(handoff.slot, handoff.token)) {
+                absorbed.push((handoff.service, response));
+                progressed = true;
+                return false;
+            }
+            if slots[handoff.slot]
+                .handle
+                .as_ref()
+                .is_none_or(TaskHandle::is_finished)
+            {
+                // Exited without answering: only possible under host
+                // shutdown, where the state dies with the host anyway.
+                progressed = true;
+                return false;
+            }
+            true
+        });
+        for (service, states) in absorbed {
+            self.absorb_handoff(service, states);
+        }
+        let slots = &self.slots;
         self.pending_imports.retain_mut(|import| {
             import.outstanding.retain(|&(index, token)| {
                 if responses.remove(&(index, token)).is_some() {
@@ -2392,7 +2714,7 @@ impl ShardEngine {
                 if slots[index]
                     .handle
                     .as_ref()
-                    .is_none_or(JoinHandle::is_finished)
+                    .is_none_or(TaskHandle::is_finished)
                 {
                     // Replica gone mid-import: its share of the state is
                     // unrecoverable, but the move must not hang.
@@ -2422,13 +2744,11 @@ impl ShardEngine {
             return;
         }
         self.telemetry_check = 32;
-        let now = Instant::now();
-        if now.duration_since(self.last_telemetry).as_nanos()
-            < u128::from(self.telemetry_interval_ns)
-        {
+        let now_ns = self.clock.now_ns();
+        if now_ns.saturating_sub(self.last_telemetry_ns) < self.telemetry_interval_ns {
             return;
         }
-        self.last_telemetry = now;
+        self.last_telemetry_ns = now_ns;
         self.telemetry_seq += 1;
         let nfs = self
             .slots
@@ -2448,7 +2768,7 @@ impl ShardEngine {
         let snapshot = TelemetrySnapshot {
             shard: self.shard,
             seq: self.telemetry_seq,
-            at_ns: self.epoch.elapsed().as_nanos() as u64,
+            at_ns: now_ns,
             ingress_depth: ingress.len(),
             ingress_capacity: ingress.capacity(),
             egress_depth: self.egress.len(),
@@ -2511,13 +2831,21 @@ impl ShardEngine {
         }
         self.stats.add_overflow_drops(leftover as u64);
         if matches!(self.ordering, RehomeOrdering::Strict) {
-            for (_, packet) in &self.staging.egress {
-                if let Some(key) = packet.flow_key() {
-                    self.tracker.finish(&key);
-                }
+            for out in &self.staging.egress {
+                self.tracker.finish(&out.key);
             }
         }
         self.staging.egress.clear();
+    }
+
+    /// Accounts staged egress at engine shutdown: the host is gone, so the
+    /// packets' credits are released and the remainder dropped and counted.
+    fn abort_staged_egress(&mut self) {
+        let leftover = self.staging.egress.len();
+        if leftover > 0 {
+            self.release_credits(leftover);
+            self.drop_staged_egress();
+        }
     }
 
     fn lookup(&mut self, step: RulePort, key: &FlowKey) -> Option<Decision> {
@@ -2628,7 +2956,7 @@ impl ShardEngine {
                 // flow-state work is already over, so its bucket count
                 // drops here (or at full egress under strict ordering).
                 self.finish_at_egress_staging(&key);
-                self.staging.egress.push((port, packet));
+                self.staging.egress.push(HostOutput { port, packet, key });
             }
             Some(Action::ToController) => {
                 self.stats.add_controller_punts(1);
@@ -2688,7 +3016,11 @@ impl ShardEngine {
             match actions.first().copied() {
                 Some(Action::ToPort(port)) => {
                     self.finish_at_egress_staging(&item.key);
-                    self.staging.egress.push((port, item.shared.clone_packet()));
+                    self.staging.egress.push(HostOutput {
+                        port,
+                        packet: item.shared.clone_packet(),
+                        key: item.key,
+                    });
                     return;
                 }
                 Some(Action::Drop) | None => {
@@ -2759,10 +3091,13 @@ impl ShardEngine {
 
     /// Flushes every staged descriptor with one batched push per ring.
     ///
-    /// Under backpressure a full egress ring is *waited out* (the host is
-    /// not draining — stalling here is exactly the backpressure the credits
-    /// propagate to `inject`); under [`OverflowPolicy::Drop`] leftovers are
-    /// dropped and counted, matching the legacy runtime.
+    /// Under backpressure a full egress ring parks the remainder in
+    /// `staging.egress` — retried at the top of every subsequent
+    /// [`ShardEngine::step`] until the host drains the ring (this is
+    /// exactly the backpressure the credits propagate to `inject`, and it
+    /// keeps `step` non-blocking so a simulator can interleave the host's
+    /// drain with the worker's retry). Under [`OverflowPolicy::Drop`]
+    /// leftovers are dropped and counted, matching the legacy runtime.
     fn flush(&mut self) {
         for ring_index in 0..self.staging.per_ring.len() {
             if self.staging.per_ring[ring_index].is_empty() {
@@ -2794,31 +3129,24 @@ impl ShardEngine {
                 self.finish_flow(&key);
             }
         }
-        loop {
-            if self.staging.egress.is_empty() {
-                break;
-            }
-            let pushed = self.egress.push_n(&mut self.staging.egress);
-            self.stats.add_transmitted(pushed as u64);
-            self.release_credits(pushed);
-            if self.staging.egress.is_empty() {
-                break;
-            }
-            if self.gate.is_some() {
-                if !self.running.load(Ordering::Acquire) {
-                    // Shutting down mid-stall: account the remainder.
-                    let leftover = self.staging.egress.len();
-                    self.release_credits(leftover);
-                    self.drop_staged_egress();
-                    break;
-                }
-                // Backpressure: wait for the host to drain egress.
-                std::thread::yield_now();
-            } else {
-                self.drop_staged_egress();
-                break;
-            }
+        self.flush_staged_egress();
+    }
+
+    /// Pushes staged egress packets to the host's egress ring (batched).
+    /// Whatever does not fit stays staged under backpressure (retried next
+    /// step; bounded by the credit clamp) and is dropped and counted under
+    /// the drop policy. Returns whether any packet was transmitted.
+    fn flush_staged_egress(&mut self) -> bool {
+        if self.staging.egress.is_empty() {
+            return false;
         }
+        let pushed = self.egress.push_n(&mut self.staging.egress);
+        self.stats.add_transmitted(pushed as u64);
+        self.release_credits(pushed);
+        if !self.staging.egress.is_empty() && self.gate.is_none() {
+            self.drop_staged_egress();
+        }
+        pushed > 0
     }
 }
 
@@ -2871,7 +3199,7 @@ fn pick_instance(
 
 /// Everything one NF replica thread needs, bundled for
 /// [`nf_thread_loop`].
-struct NfThread {
+pub(crate) struct NfThread {
     shard: usize,
     service: ServiceId,
     nf: Box<dyn NetworkFunction>,
@@ -2897,8 +3225,15 @@ struct NfThread {
     /// host's telemetry exporter is disabled — nothing would read them).
     measure: bool,
     trusted: bool,
-    epoch: Instant,
+    clock: HostClock,
     burst_size: usize,
+}
+
+impl NfThread {
+    /// Display label for the replica's simulation-registry entry.
+    pub(crate) fn sim_label(&self) -> String {
+        format!("shard{}/nf{}", self.shard, self.service)
+    }
 }
 
 /// Applies a context's queued cross-layer messages to the shard partition,
@@ -2925,68 +3260,89 @@ fn apply_ctx_messages(
     }
 }
 
-/// Serves every pending state-migration request from the worker, in
-/// posting order: detaches the requested buckets' flow state (export) or
-/// absorbs migrated state (import, acknowledged with an empty response).
-fn serve_state_requests(
-    nf: &mut Box<dyn NetworkFunction>,
-    channel: &NfStateChannel,
-    tracker: &BucketTracker,
-) {
-    for (token, request) in channel.take_requests() {
-        match request {
-            NfStateRequest::Export { buckets, keys } => {
-                let mut exported = Vec::new();
-                for key in &keys {
-                    if let Some(state) = nf.export_flow_state(key) {
-                        exported.push((*key, state));
-                    }
-                }
-                // The NF's own key set covers flows that hold state without
-                // an exact rule; export is a move, so keys already detached
-                // above simply return None here — no dedup needed.
-                for key in nf.flow_state_keys() {
-                    if buckets.contains(&tracker.bucket_of(&key)) {
-                        if let Some(state) = nf.export_flow_state(&key) {
-                            exported.push((key, state));
-                        }
-                    }
-                }
-                channel.respond(token, exported);
-            }
-            NfStateRequest::Import { states } => {
-                for (key, state) in states {
-                    nf.import_flow_state(&key, state);
-                }
-                channel.respond(token, Vec::new());
-            }
-        }
-    }
+/// Per-chunk guard and reference scratch vectors for NF burst processing.
+/// Their element types borrow from the burst's items for one chunk only, so
+/// the vectors are parked here empty (at the `'static` type) and re-typed
+/// to the chunk lifetime via `recycle` — no allocation per burst. They live
+/// in a thread-local (not on [`NfEngine`]) because lock guards are not
+/// `Send` and the engine must be, for the simulation registry.
+struct GuardScratch {
+    read_guards: Vec<std::sync::RwLockReadGuard<'static, Packet>>,
+    read_refs: Vec<&'static Packet>,
+    write_guards: Vec<std::sync::RwLockWriteGuard<'static, Packet>>,
+    write_refs: Vec<&'static mut Packet>,
 }
 
-fn nf_thread_loop(thread: NfThread) {
-    let NfThread {
-        shard,
-        service,
-        mut nf,
-        input,
-        done,
-        running,
-        stop,
-        stats,
-        gate,
-        tracker,
-        table,
-        mutation_log,
-        channel,
-        probe,
-        measure,
-        trusted,
-        epoch,
-        burst_size,
-    } = thread;
-    let mut ctx = NfContext::for_shard(shard, 0);
-    {
+thread_local! {
+    static GUARD_SCRATCH: std::cell::RefCell<GuardScratch> = const {
+        std::cell::RefCell::new(GuardScratch {
+            read_guards: Vec::new(),
+            read_refs: Vec::new(),
+            write_guards: Vec::new(),
+            write_refs: Vec::new(),
+        })
+    };
+}
+
+/// One NF replica as a step-callable state machine: the packet-processing
+/// loop body of the old dedicated NF thread, factored out so the threaded
+/// runtime ([`nf_thread_loop`]) and the deterministic simulation harness
+/// drive the identical code.
+pub(crate) struct NfEngine {
+    service: ServiceId,
+    nf: Box<dyn NetworkFunction>,
+    input: Consumer<WorkItem>,
+    done: Producer<DoneItem>,
+    running: Arc<AtomicBool>,
+    /// Scale-down signal: exit once the input ring is empty.
+    stop: Arc<AtomicBool>,
+    stats: ShardStats,
+    gate: Option<Arc<CreditGate>>,
+    tracker: Arc<BucketTracker>,
+    table: SharedFlowTable,
+    mutation_log: Arc<MutationLog>,
+    channel: Arc<NfStateChannel>,
+    probe: Arc<NfProbe>,
+    measure: bool,
+    trusted: bool,
+    clock: HostClock,
+    burst_size: usize,
+    ctx: NfContext,
+    read_only: bool,
+    items: Vec<WorkItem>,
+    verdicts: VerdictSlice,
+    done_staging: Vec<DoneItem>,
+    service_time: Ewma,
+    /// Tokens of [`NfStateRequest::HandoffAll`] requests, answered only at
+    /// drain-exit when the replica's state is final.
+    deferred_handoffs: Vec<u64>,
+    /// Terminal: the replica exited its loop (drain complete or shutdown).
+    pub(crate) finished: bool,
+}
+
+impl NfEngine {
+    pub(crate) fn new(thread: NfThread) -> Self {
+        let NfThread {
+            shard,
+            service,
+            mut nf,
+            input,
+            done,
+            running,
+            stop,
+            stats,
+            gate,
+            tracker,
+            table,
+            mutation_log,
+            channel,
+            probe,
+            measure,
+            trusted,
+            clock,
+            burst_size,
+        } = thread;
+        let mut ctx = NfContext::for_shard(shard, clock.now_ns());
         nf.on_start(&mut ctx);
         apply_ctx_messages(
             &mut ctx,
@@ -2997,47 +3353,127 @@ fn nf_thread_loop(thread: NfThread) {
             trusted,
             &stats,
         );
+        let read_only = nf.read_only();
+        NfEngine {
+            service,
+            nf,
+            input,
+            done,
+            running,
+            stop,
+            stats,
+            gate,
+            tracker,
+            table,
+            mutation_log,
+            channel,
+            probe,
+            measure,
+            trusted,
+            clock,
+            burst_size,
+            ctx,
+            read_only,
+            items: Vec::with_capacity(burst_size),
+            verdicts: VerdictSlice::with_capacity(burst_size),
+            done_staging: Vec::with_capacity(burst_size),
+            service_time: Ewma::default(),
+            deferred_handoffs: Vec::new(),
+            finished: false,
+        }
     }
-    let read_only = nf.read_only();
-    let mut items: Vec<WorkItem> = Vec::with_capacity(burst_size);
-    let mut verdicts = VerdictSlice::with_capacity(burst_size);
-    let mut done_staging: Vec<DoneItem> = Vec::with_capacity(burst_size);
-    // Scratch allocations for the per-chunk guard and reference vectors.
-    // Their element types borrow from `items` for one chunk only, so the
-    // vectors are parked here empty (at the `'static` type) and re-typed to
-    // the chunk lifetime via `recycle` — no allocation per burst.
-    let mut read_guard_scratch: Vec<std::sync::RwLockReadGuard<'static, Packet>> =
-        Vec::with_capacity(burst_size);
-    let mut read_ref_scratch: Vec<&'static Packet> = Vec::with_capacity(burst_size);
-    let mut write_guard_scratch: Vec<std::sync::RwLockWriteGuard<'static, Packet>> =
-        Vec::with_capacity(burst_size);
-    let mut write_ref_scratch: Vec<&'static mut Packet> = Vec::with_capacity(burst_size);
-    let mut service_time = Ewma::default();
-    let mut idle: u32 = 0;
-    while running.load(Ordering::Acquire) {
+
+    /// Serves every pending state-migration request from the worker, in
+    /// posting order: detaches the requested buckets' flow state (export),
+    /// absorbs migrated state (import, acknowledged with an empty
+    /// response), or — for a scale-down [`NfStateRequest::HandoffAll`] —
+    /// defers until drain-exit, when the replica's state is final.
+    fn serve_state_requests(&mut self, at_exit: bool) {
+        for (token, request) in self.channel.take_requests() {
+            match request {
+                NfStateRequest::Export { buckets, keys } => {
+                    let mut exported = Vec::new();
+                    for key in &keys {
+                        if let Some(state) = self.nf.export_flow_state(key) {
+                            exported.push((*key, state));
+                        }
+                    }
+                    // The NF's own key set covers flows that hold state
+                    // without an exact rule; export is a move, so keys
+                    // already detached above simply return None here — no
+                    // dedup needed.
+                    for key in self.nf.flow_state_keys() {
+                        if buckets.contains(&self.tracker.bucket_of(&key)) {
+                            if let Some(state) = self.nf.export_flow_state(&key) {
+                                exported.push((key, state));
+                            }
+                        }
+                    }
+                    self.channel.respond(token, exported);
+                }
+                NfStateRequest::Import { states } => {
+                    for (key, state) in states {
+                        self.nf.import_flow_state(&key, state);
+                    }
+                    self.channel.respond(token, Vec::new());
+                }
+                NfStateRequest::HandoffAll => self.deferred_handoffs.push(token),
+            }
+        }
+        if at_exit {
+            // Drain-exit: everything the replica still holds moves out.
+            // Bucket exports queued alongside were served above (in posting
+            // order), so the handoff is exactly the remainder. Export is a
+            // move, so a second deferred token gets what the first left.
+            for token in std::mem::take(&mut self.deferred_handoffs) {
+                let mut exported = Vec::new();
+                for key in self.nf.flow_state_keys() {
+                    if let Some(state) = self.nf.export_flow_state(&key) {
+                        exported.push((key, state));
+                    }
+                }
+                self.channel.respond(token, exported);
+            }
+        }
+    }
+
+    /// One turn of the replica's state machine: serve state-migration
+    /// requests, then pop and process at most one burst. Returns whether
+    /// any work was done. Sets `finished` when the replica's loop is over
+    /// (host shutdown, or scale-down drain complete).
+    pub(crate) fn step(&mut self) -> bool {
+        if self.finished {
+            return false;
+        }
+        if !self.running.load(Ordering::Acquire) {
+            self.finished = true;
+            return false;
+        }
         // Serve state-migration requests *before* popping packets: an
         // imported flow's state must land before the flow's first re-homed
         // packet (the host only releases the bucket's pen after the import
         // acknowledgement, so checking here closes the ordering).
-        serve_state_requests(&mut nf, &channel, &tracker);
-        items.clear();
-        if input.pop_n(&mut items, burst_size) == 0 {
+        self.serve_state_requests(false);
+        self.items.clear();
+        let mut items = std::mem::take(&mut self.items);
+        if self.input.pop_n(&mut items, self.burst_size) == 0 {
+            self.items = items;
             // Scale-down: with the input ring drained and every completion
             // already pushed, this replica's work is finished.
-            if stop.load(Ordering::Acquire) && input.is_empty() {
+            if self.stop.load(Ordering::Acquire) && self.input.is_empty() {
                 // One last look at the mailbox so a request racing the
-                // drain-exit is answered, not stranded.
-                serve_state_requests(&mut nf, &channel, &tracker);
-                break;
+                // drain-exit is answered, not stranded — and the deferred
+                // state handoff goes out now that the state is final.
+                self.serve_state_requests(true);
+                self.finished = true;
+                return true;
             }
-            idle_backoff(&mut idle);
-            continue;
+            return false;
         }
-        idle = 0;
-        ctx.set_now_ns(epoch.elapsed().as_nanos() as u64);
-        let slots = verdicts.reset(items.len());
-        let burst_started = measure.then(Instant::now);
-        if read_only {
+        self.ctx.set_now_ns(self.clock.now_ns());
+        let slots = self.verdicts.reset(items.len());
+        let burst_started_ns = self.measure.then(|| self.clock.now_ns());
+        if self.read_only {
             // Lock the whole burst for reading and hand the NF one batch.
             // Parallel NFs on other threads can hold read guards on the same
             // descriptors simultaneously. Bursts are still split on repeated
@@ -3045,21 +3481,28 @@ fn nf_thread_loop(thread: NfThread) {
             // deadlock against a queued writer (std's RwLock is
             // writer-preferring), and a repeated buffer is possible with
             // hand-installed action lists naming one service twice.
-            let mut start = 0;
-            while start < items.len() {
-                let end = start + distinct_buffer_prefix(&items[start..]);
-                let chunk = &items[start..end];
-                let mut guards = recycle(std::mem::take(&mut read_guard_scratch));
-                guards.extend(chunk.iter().map(|item| item.shared.read_guard()));
-                let mut refs: Vec<&Packet> = recycle(std::mem::take(&mut read_ref_scratch));
-                refs.extend(guards.iter().map(|guard| &**guard));
-                nf.process_batch(&PacketBatch::new(&refs), &mut slots[start..end], &mut ctx);
-                refs.clear();
-                read_ref_scratch = recycle(refs);
-                guards.clear();
-                read_guard_scratch = recycle(guards);
-                start = end;
-            }
+            GUARD_SCRATCH.with(|scratch| {
+                let scratch = &mut *scratch.borrow_mut();
+                let mut start = 0;
+                while start < items.len() {
+                    let end = start + distinct_buffer_prefix(&items[start..]);
+                    let chunk = &items[start..end];
+                    let mut guards = recycle(std::mem::take(&mut scratch.read_guards));
+                    guards.extend(chunk.iter().map(|item| item.shared.read_guard()));
+                    let mut refs: Vec<&Packet> = recycle(std::mem::take(&mut scratch.read_refs));
+                    refs.extend(guards.iter().map(|guard| &**guard));
+                    self.nf.process_batch(
+                        &PacketBatch::new(&refs),
+                        &mut slots[start..end],
+                        &mut self.ctx,
+                    );
+                    refs.clear();
+                    scratch.read_refs = recycle(refs);
+                    guards.clear();
+                    scratch.read_guards = recycle(guards);
+                    start = end;
+                }
+            });
         } else {
             // A mutating NF is the sole owner of every descriptor it is
             // handed (never scheduled in parallel with other NFs), so the
@@ -3068,34 +3511,39 @@ fn nf_thread_loop(thread: NfThread) {
             // WorkItems over one buffer into the same burst. Write-locking
             // those together would self-deadlock, so the burst is split into
             // chunks with no repeated buffer.
-            let mut start = 0;
-            while start < items.len() {
-                let end = start + distinct_buffer_prefix(&items[start..]);
-                let chunk = &items[start..end];
-                let mut guards = recycle(std::mem::take(&mut write_guard_scratch));
-                guards.extend(chunk.iter().map(|item| item.shared.write_guard()));
-                let mut refs: Vec<&mut Packet> = recycle(std::mem::take(&mut write_ref_scratch));
-                refs.extend(guards.iter_mut().map(|guard| &mut **guard));
-                let mut batch = PacketBatchMut::new(&mut refs);
-                nf.process_batch_mut(&mut batch, &mut slots[start..end], &mut ctx);
-                refs.clear();
-                write_ref_scratch = recycle(refs);
-                guards.clear();
-                write_guard_scratch = recycle(guards);
-                start = end;
-            }
+            GUARD_SCRATCH.with(|scratch| {
+                let scratch = &mut *scratch.borrow_mut();
+                let mut start = 0;
+                while start < items.len() {
+                    let end = start + distinct_buffer_prefix(&items[start..]);
+                    let chunk = &items[start..end];
+                    let mut guards = recycle(std::mem::take(&mut scratch.write_guards));
+                    guards.extend(chunk.iter().map(|item| item.shared.write_guard()));
+                    let mut refs: Vec<&mut Packet> =
+                        recycle(std::mem::take(&mut scratch.write_refs));
+                    refs.extend(guards.iter_mut().map(|guard| &mut **guard));
+                    let mut batch = PacketBatchMut::new(&mut refs);
+                    self.nf
+                        .process_batch_mut(&mut batch, &mut slots[start..end], &mut self.ctx);
+                    refs.clear();
+                    scratch.write_refs = recycle(refs);
+                    guards.clear();
+                    scratch.write_guards = recycle(guards);
+                    start = end;
+                }
+            });
         }
-        if let Some(started) = burst_started {
-            let per_packet_ns = started.elapsed().as_nanos() as u64 / items.len() as u64;
-            probe.service_time_ewma_ns.store(
-                service_time.update(per_packet_ns as f64) as u64,
+        if let Some(started_ns) = burst_started_ns {
+            let per_packet_ns = self.clock.now_ns().saturating_sub(started_ns) / items.len() as u64;
+            self.probe.service_time_ewma_ns.store(
+                self.service_time.update(per_packet_ns as f64) as u64,
                 Ordering::Relaxed,
             );
-            probe
+            self.probe
                 .processed
                 .fetch_add(items.len() as u64, Ordering::Relaxed);
         }
-        stats.add_nf_invocations(items.len() as u64);
+        self.stats.add_nf_invocations(items.len() as u64);
         // Cross-layer messages emitted anywhere inside the burst are applied
         // to the shared table *before* completed descriptors are handed to
         // the worker's TX role, so the next burst's lookups (on every
@@ -3103,18 +3551,18 @@ fn nf_thread_loop(thread: NfThread) {
         // partition's provenance log, attributed to the mutating flow's
         // bucket, so future bucket re-homes replay them.
         apply_ctx_messages(
-            &mut ctx,
-            service,
-            &table,
-            &mutation_log,
-            &tracker,
-            trusted,
-            &stats,
+            &mut self.ctx,
+            self.service,
+            &self.table,
+            &self.mutation_log,
+            &self.tracker,
+            self.trusted,
+            &self.stats,
         );
         for (index, item) in items.drain(..).enumerate() {
-            item.collector.lock().push(verdicts.as_slice()[index]);
+            item.collector.lock().push(self.verdicts.as_slice()[index]);
             if item.shared.complete_one() {
-                done_staging.push(DoneItem {
+                self.done_staging.push(DoneItem {
                     shared: item.shared,
                     key: item.key,
                     exit_service: item.exit_service,
@@ -3122,20 +3570,36 @@ fn nf_thread_loop(thread: NfThread) {
                 });
             }
         }
-        done.push_n(&mut done_staging);
+        self.items = items;
+        self.done.push_n(&mut self.done_staging);
         // Whatever did not fit the done ring is dropped — unreachable under
         // backpressure (credits are clamped below the done-ring capacity),
         // and mirroring the legacy push-failure path under the drop policy.
-        if !done_staging.is_empty() {
-            let leftover = done_staging.len();
-            stats.add_overflow_drops(leftover as u64);
-            if let Some(gate) = &gate {
+        if !self.done_staging.is_empty() {
+            let leftover = self.done_staging.len();
+            self.stats.add_overflow_drops(leftover as u64);
+            if let Some(gate) = &self.gate {
                 // Each DoneItem is the sole owner of its packet.
                 gate.release(leftover);
             }
-            for item in done_staging.drain(..) {
-                tracker.finish(&item.key);
+            for item in self.done_staging.drain(..) {
+                self.tracker.finish(&item.key);
             }
+        }
+        true
+    }
+}
+
+/// Threaded driver for one NF replica: spins [`NfEngine::step`] until the
+/// engine finishes (host shutdown or scale-down drain complete).
+fn nf_thread_loop(thread: NfThread) {
+    let mut engine = NfEngine::new(thread);
+    let mut idle: u32 = 0;
+    while !engine.finished {
+        if engine.step() {
+            idle = 0;
+        } else {
+            idle_backoff(&mut idle);
         }
     }
 }
@@ -3156,7 +3620,7 @@ mod tests {
     use sdnfv_graph::{catalog, CompileOptions};
     use sdnfv_nf::nfs::{ComputeNf, NoOpNf};
     use sdnfv_proto::packet::PacketBuilder;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     fn packet(src_port: u16) -> Packet {
         PacketBuilder::udp()
@@ -3280,7 +3744,7 @@ mod tests {
         }
         let outputs = collect_outputs(&host, 50);
         assert_eq!(outputs.len(), 50);
-        assert!(outputs.iter().all(|(port, _)| *port == 1));
+        assert!(outputs.iter().all(|out| out.port == 1));
         let snap = host.stats().snapshot();
         assert_eq!(snap.received, 50);
         assert_eq!(snap.transmitted, 50);
@@ -3406,7 +3870,7 @@ mod tests {
         let host = ThreadedHost::start(forward_table(), vec![], ThreadedHostConfig::default());
         assert!(host.inject(packet(1)).is_admitted());
         let outputs = collect_outputs(&host, 1);
-        let (_, pkt) = &outputs[0];
+        let pkt = &outputs[0].packet;
         let latency = host.now_ns().saturating_sub(pkt.timestamp_ns);
         assert!(latency > 0);
         assert!(latency < 5_000_000_000, "latency should be far below 5s");

@@ -40,6 +40,10 @@ pub struct HostStatsSnapshot {
     /// way a re-home can lose NF state, surfaced so zero-loss checks see
     /// it.
     pub nf_state_import_drops: u64,
+    /// Per-flow NF state payloads handed off from a replica retired by a
+    /// scale-down to a surviving replica of the same service (the
+    /// state-preserving path; losses show up in `nf_state_import_drops`).
+    pub nf_state_handoffs: u64,
 }
 
 impl HostStatsSnapshot {
@@ -55,6 +59,7 @@ impl HostStatsSnapshot {
         self.nf_invocations += other.nf_invocations;
         self.nf_messages += other.nf_messages;
         self.nf_state_import_drops += other.nf_state_import_drops;
+        self.nf_state_handoffs += other.nf_state_handoffs;
     }
 }
 
@@ -70,6 +75,7 @@ struct Counters {
     nf_invocations: AtomicU64,
     nf_messages: AtomicU64,
     nf_state_import_drops: AtomicU64,
+    nf_state_handoffs: AtomicU64,
 }
 
 macro_rules! counter {
@@ -167,6 +173,12 @@ impl ShardStats {
         nf_state_import_drops,
         "migrated NF flow states dropped at import (no replica)"
     );
+    counter!(
+        add_nf_state_handoffs,
+        nf_state_handoffs,
+        nf_state_handoffs,
+        "NF flow states handed off on replica scale-down"
+    );
 
     /// Takes a consistent-enough snapshot of this shard's counters.
     pub fn snapshot(&self) -> HostStatsSnapshot {
@@ -181,6 +193,7 @@ impl ShardStats {
             nf_invocations: self.nf_invocations(),
             nf_messages: self.nf_messages(),
             nf_state_import_drops: self.nf_state_import_drops(),
+            nf_state_handoffs: self.nf_state_handoffs(),
         }
     }
 }
@@ -279,6 +292,11 @@ impl HostStats {
         add_nf_state_import_drops,
         nf_state_import_drops,
         "migrated NF flow states dropped at import (no replica)"
+    );
+    shard0_counter!(
+        add_nf_state_handoffs,
+        nf_state_handoffs,
+        "NF flow states handed off on replica scale-down"
     );
 
     /// Takes a consistent-enough snapshot of all counters, merged over every

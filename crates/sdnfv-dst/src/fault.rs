@@ -1,0 +1,208 @@
+//! Seeded fault injection.
+//!
+//! A [`FaultPlan`] is drawn from the run's seed: per-fault firing rates,
+//! so different seeds emphasize different adversities (one run hammers
+//! telemetry loss, another stalls NF replicas, another races bucket moves
+//! against scale-in). The plan only sets *rates*; every individual firing
+//! is a fresh draw from the schedule RNG, recorded in the trace.
+//!
+//! [`FaultySource`] is the telemetry-path fault: it wraps the live host's
+//! [`TelemetrySource`] feed and drops, duplicates, or delays snapshots.
+//! Per the source contract, drops and duplicates are always safe
+//! (cumulative counters) but per-shard order must be preserved — delay is
+//! therefore implemented by holding back a *suffix* of each batch, which
+//! keeps the global (hence per-shard) order intact.
+
+use std::collections::BTreeSet;
+
+use sdnfv_dataplane::ThreadedHost;
+use sdnfv_telemetry::{ShardLifecycleEvent, TelemetrySnapshot, TelemetrySource};
+
+use crate::rng::SplitMix64;
+use crate::trace::Trace;
+use crate::trace_event;
+
+/// The adversities a schedule can inject, for coverage accounting: a run
+/// reports which kinds actually fired so sweeps can assert breadth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A telemetry snapshot was dropped on the way to the control loop.
+    TelemetryDrop,
+    /// A telemetry snapshot was delivered twice.
+    TelemetryDup,
+    /// A suffix of a snapshot batch was delayed to a later control tick.
+    TelemetryDelay,
+    /// An NF replica (or shard worker) was not scheduled for several
+    /// ticks — a stalled VM in the paper's terms.
+    ActorStall,
+    /// The shard credit budget was resized while traffic (and possibly a
+    /// drain handshake) was in flight.
+    CreditResize,
+    /// A steering rebalance was issued while other moves / a retirement
+    /// could be in flight.
+    RaceRebalance,
+    /// A shard spawn or retirement was issued mid-schedule, racing
+    /// whatever the control loop and earlier ops left in flight.
+    RaceScaleShards,
+    /// An NF replica was added or removed mid-schedule (removal exercises
+    /// the retire-replica state handoff under load).
+    RaceReplica,
+}
+
+impl FaultKind {
+    /// Stable short name (used in traces and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::TelemetryDrop => "telemetry-drop",
+            FaultKind::TelemetryDup => "telemetry-dup",
+            FaultKind::TelemetryDelay => "telemetry-delay",
+            FaultKind::ActorStall => "actor-stall",
+            FaultKind::CreditResize => "credit-resize",
+            FaultKind::RaceRebalance => "race-rebalance",
+            FaultKind::RaceScaleShards => "race-scale-shards",
+            FaultKind::RaceReplica => "race-replica",
+        }
+    }
+}
+
+/// Per-fault firing rates (percent per opportunity), drawn from the seed.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Chance per tick that one actor is stalled for a few ticks.
+    pub stall: u64,
+    /// Chance per snapshot of being dropped.
+    pub telemetry_drop: u64,
+    /// Chance per snapshot of being duplicated.
+    pub telemetry_dup: u64,
+    /// Chance per batch of holding back a suffix until the next tick.
+    pub telemetry_delay: u64,
+    /// Chance per tick of a racing credit resize.
+    pub credit_resize: u64,
+    /// Chance per tick of a racing steering rebalance.
+    pub rebalance: u64,
+    /// Chance per tick of a racing shard spawn/retire.
+    pub scale_shards: u64,
+    /// Chance per tick of a racing replica add/remove.
+    pub replica: u64,
+}
+
+impl FaultPlan {
+    /// Draws a plan from the seed stream. Every rate is sampled from a
+    /// range whose low end is non-zero, so each fault kind has a real
+    /// chance of appearing in any schedule while the mix still varies
+    /// seed to seed.
+    pub fn from_rng(rng: &mut SplitMix64) -> FaultPlan {
+        FaultPlan {
+            stall: rng.gen_between(5, 35),
+            telemetry_drop: rng.gen_between(5, 40),
+            telemetry_dup: rng.gen_between(5, 30),
+            telemetry_delay: rng.gen_between(5, 40),
+            credit_resize: rng.gen_between(2, 12),
+            rebalance: rng.gen_between(2, 12),
+            scale_shards: rng.gen_between(3, 15),
+            replica: rng.gen_between(3, 15),
+        }
+    }
+
+    /// One-line summary for the trace header.
+    pub fn summary(&self) -> String {
+        format!(
+            "faults%: stall={} tdrop={} tdup={} tdelay={} credits={} rebalance={} shards={} \
+             replica={}",
+            self.stall,
+            self.telemetry_drop,
+            self.telemetry_dup,
+            self.telemetry_delay,
+            self.credit_resize,
+            self.rebalance,
+            self.scale_shards,
+            self.replica,
+        )
+    }
+}
+
+/// A fault-injecting [`TelemetrySource`] over the live host, built fresh
+/// for each control-loop tick (it borrows the harness's RNG, held-back
+/// buffer, coverage set and trace for that tick).
+pub struct FaultySource<'a> {
+    /// The host whose rings are actually drained.
+    pub host: &'a ThreadedHost,
+    /// The telemetry-fault RNG stream.
+    pub rng: &'a mut SplitMix64,
+    /// The plan's firing rates.
+    pub plan: &'a FaultPlan,
+    /// Snapshots held back by an earlier delay, delivered first.
+    pub held: &'a mut Vec<TelemetrySnapshot>,
+    /// Coverage: which fault kinds have fired this run.
+    pub fired: &'a mut BTreeSet<FaultKind>,
+    /// The run trace.
+    pub trace: &'a mut Trace,
+    /// Current schedule tick (for trace lines).
+    pub tick: u64,
+    /// Whether faults are active (the quiescence phase turns them off and
+    /// flushes `held`).
+    pub active: bool,
+}
+
+impl TelemetrySource for FaultySource<'_> {
+    fn take_shard_events(&mut self) -> Vec<ShardLifecycleEvent> {
+        // Lifecycle events are delivered pristine: unlike snapshots they
+        // are not cumulative, so dropping one would desynchronize the
+        // manager's shard view forever — that is a harness bug, not an
+        // interesting fault.
+        self.host.take_shard_events()
+    }
+
+    fn poll_snapshots(&mut self) -> Vec<TelemetrySnapshot> {
+        let mut host = self.host;
+        let fresh = host.poll_snapshots();
+        let mut out: Vec<TelemetrySnapshot> = std::mem::take(self.held);
+        if !self.active {
+            out.extend(fresh);
+            return out;
+        }
+        for snapshot in fresh {
+            if self.rng.chance(self.plan.telemetry_drop) {
+                self.fired.insert(FaultKind::TelemetryDrop);
+                trace_event!(
+                    self.trace,
+                    "tick {}: fault telemetry-drop shard={} seq={}",
+                    self.tick,
+                    snapshot.shard,
+                    snapshot.seq
+                );
+                continue;
+            }
+            let dup = self.rng.chance(self.plan.telemetry_dup);
+            if dup {
+                self.fired.insert(FaultKind::TelemetryDup);
+                trace_event!(
+                    self.trace,
+                    "tick {}: fault telemetry-dup shard={} seq={}",
+                    self.tick,
+                    snapshot.shard,
+                    snapshot.seq
+                );
+                out.push(snapshot.clone());
+            }
+            out.push(snapshot);
+        }
+        // Delay: hold back a suffix. Holding a *suffix* (rather than
+        // arbitrary elements) preserves per-shard snapshot order, which
+        // the TelemetrySource contract requires.
+        if !out.is_empty() && self.rng.chance(self.plan.telemetry_delay) {
+            let keep = self.rng.gen_range(out.len() as u64) as usize;
+            if keep < out.len() {
+                self.fired.insert(FaultKind::TelemetryDelay);
+                trace_event!(
+                    self.trace,
+                    "tick {}: fault telemetry-delay held={}",
+                    self.tick,
+                    out.len() - keep
+                );
+                *self.held = out.split_off(keep);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,174 @@
+//! The invariant oracle and the run report.
+//!
+//! After a schedule finishes (active phase → quiescence → probes →
+//! shutdown census) the oracle asserts the properties the re-home and
+//! scale protocols promise, regardless of interleaving or injected
+//! faults:
+//!
+//! * **packet conservation** — every admitted packet is accounted for:
+//!   `received == transmitted + dropped + overflow_drops +
+//!   controller_punts`, and everything transmitted was drained at egress;
+//! * **no NF flow state lost or duplicated** — the per-flow counter
+//!   census: the sum of counter state surviving in replicas at shutdown
+//!   equals the number of packets processed, per flow
+//!   (`nf_state_import_drops` must also stay 0);
+//! * **no exact-flow rules lost** — a flow pinned by a `ChangeDefault`
+//!   during the run still forwards to the pinned port when probed after
+//!   quiescence, however many times its bucket moved;
+//! * **no wildcard mutations lost** — same, for the wildcard default
+//!   flip;
+//! * **credit conservation** — after quiescence every shard's credit gate
+//!   is back to its full budget (nothing leaked in a drain or resize);
+//! * **eventual quiescence** — the host reaches zero pending re-homes,
+//!   no retiring shard, and an idle step fixpoint within a bounded number
+//!   of quiescence iterations.
+//!
+//! A violated invariant becomes a line in [`RunReport::violations`]; the
+//! report's failure message prints the seed and the replayable trace tail.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sdnfv_dataplane::HostStatsSnapshot;
+use sdnfv_proto::flow::FlowKey;
+
+use crate::fault::FaultKind;
+use crate::trace::Trace;
+
+/// Everything one simulated schedule produced.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The seed the schedule was derived from (replay key).
+    pub seed: u64,
+    /// Invariant violations (empty = the run passed).
+    pub violations: Vec<String>,
+    /// Which fault kinds actually fired.
+    pub fired: BTreeSet<FaultKind>,
+    /// The full event trace (byte-identical across same-seed replays).
+    pub trace: Trace,
+    /// Host counters at the end of the run (pre-shutdown).
+    pub stats: HostStatsSnapshot,
+    /// Packets admitted by the schedule (including probes).
+    pub injected: u64,
+    /// Packets drained at egress.
+    pub egressed: u64,
+    /// Flows pinned by the counter NF during the run.
+    pub pins: usize,
+    /// Highest shard count the host reached.
+    pub peak_shards: usize,
+}
+
+impl RunReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Short per-kind coverage string, e.g. `actor-stall,telemetry-drop`.
+    pub fn fault_coverage(&self) -> String {
+        self.fired
+            .iter()
+            .map(|k| k.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The failure report: seed, violations, and the trace tail. The seed
+    /// alone replays the identical schedule (`cargo run -p sdnfv-dst --bin
+    /// dst -- --seed <seed>` prints the full trace).
+    pub fn failure_message(&self) -> String {
+        let mut out = format!(
+            "DST schedule FAILED: seed={:#x} ({} violations)\n\
+             replay with: cargo run -p sdnfv-dst --bin dst -- --seed {}\n",
+            self.seed,
+            self.violations.len(),
+            self.seed,
+        );
+        for v in &self.violations {
+            out.push_str("  violation: ");
+            out.push_str(v);
+            out.push('\n');
+        }
+        out.push_str("trace tail:\n");
+        out.push_str(&self.trace.tail(60));
+        out
+    }
+}
+
+/// Packet-conservation checks over the final counters.
+pub fn check_conservation(
+    stats: &HostStatsSnapshot,
+    injected: u64,
+    egressed: u64,
+    violations: &mut Vec<String>,
+) {
+    if stats.received != injected {
+        violations.push(format!(
+            "conservation: host received {} but the schedule admitted {}",
+            stats.received, injected
+        ));
+    }
+    let accounted = stats.transmitted + stats.dropped + stats.overflow_drops;
+    if stats.received != accounted + stats.controller_punts {
+        violations.push(format!(
+            "conservation: received {} != transmitted {} + dropped {} + overflow {} + punts {}",
+            stats.received,
+            stats.transmitted,
+            stats.dropped,
+            stats.overflow_drops,
+            stats.controller_punts
+        ));
+    }
+    if egressed != stats.transmitted {
+        violations.push(format!(
+            "conservation: polled {} at egress but host transmitted {}",
+            egressed, stats.transmitted
+        ));
+    }
+}
+
+/// The zero that must stay zero: NF state discarded at import.
+pub fn check_zeros(stats: &HostStatsSnapshot, violations: &mut Vec<String>) {
+    if stats.nf_state_import_drops != 0 {
+        violations.push(format!(
+            "nf-state: {} flow-state payloads dropped at import",
+            stats.nf_state_import_drops
+        ));
+    }
+}
+
+/// The NF flow-state census: counter mass surviving in replicas at
+/// shutdown must equal packets processed, per flow. Loss (a dropped
+/// export/import) shows as `reported < processed`; duplication (a state
+/// payload applied twice) as `reported > processed`.
+pub fn check_flow_census(
+    processed: &BTreeMap<FlowKey, u64>,
+    reported: &BTreeMap<FlowKey, u64>,
+    violations: &mut Vec<String>,
+) {
+    for (key, want) in processed {
+        let got = reported.get(key).copied().unwrap_or(0);
+        if got != *want {
+            violations.push(format!(
+                "nf-state census: flow {}:{} processed {} packets but {} counter units survived \
+                 ({})",
+                key.src_port,
+                key.dst_port,
+                want,
+                got,
+                if got < *want {
+                    "state lost"
+                } else {
+                    "state duplicated"
+                }
+            ));
+        }
+    }
+    for key in reported.keys() {
+        if !processed.contains_key(key) {
+            violations.push(format!(
+                "nf-state census: flow {}:{} has surviving state but was never processed",
+                key.src_port, key.dst_port
+            ));
+        }
+    }
+}

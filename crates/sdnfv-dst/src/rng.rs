@@ -1,0 +1,108 @@
+//! The harness's only source of randomness: a hand-rolled SplitMix64.
+//!
+//! Determinism is the whole point of the harness, so it cannot depend on
+//! `rand` (whose algorithms may change across versions) or on any ambient
+//! entropy. SplitMix64 is tiny, fast, passes BigCrush, and — critically —
+//! its output for a given seed is fixed forever by the code below.
+
+/// A seeded SplitMix64 generator. Every random decision in a DST schedule
+/// comes from one of these, so the schedule is a pure function of the seed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`. `n` must be non-zero.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "gen_range(0)");
+        // Multiply-shift; the bias for n << 2^64 is far below anything a
+        // test schedule could observe.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A uniform value in `[lo, hi]` (inclusive).
+    pub fn gen_between(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.gen_range(hi - lo + 1)
+    }
+
+    /// `true` with probability `percent / 100`.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.gen_range(100) < percent
+    }
+
+    /// Forks an independent stream (for per-subsystem RNGs that must not
+    /// perturb each other's sequences when one draws more than the other).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.gen_range(13) < 13);
+            let v = rng.gen_between(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_parent_draws() {
+        // Forking pins the child stream at the fork point: later parent
+        // draws cannot change what the child produces.
+        let mut parent1 = SplitMix64::new(9);
+        let mut parent2 = SplitMix64::new(9);
+        let mut child1 = parent1.fork();
+        let mut child2 = parent2.fork();
+        let _ = parent1.next_u64(); // extra parent draw
+        for _ in 0..100 {
+            assert_eq!(child1.next_u64(), child2.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b: Vec<u32> = (0..20).collect();
+        SplitMix64::new(3).shuffle(&mut a);
+        SplitMix64::new(3).shuffle(&mut b);
+        assert_eq!(a, b);
+    }
+}

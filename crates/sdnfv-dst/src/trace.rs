@@ -1,0 +1,88 @@
+//! The replayable event trace a DST run records.
+//!
+//! Every externally visible decision the scheduler makes — clock advances,
+//! injections, control-plane operations, actor steps, fault firings,
+//! oracle phases — is appended as one formatted line. Because the schedule
+//! is a pure function of the seed, re-running the seed must reproduce the
+//! trace **byte for byte**; the determinism check in the harness does
+//! exactly that comparison. On failure the trace (plus the seed) is the
+//! bug report: replaying the seed replays the interleaving.
+
+use std::fmt::Write as _;
+
+/// An append-only, deterministic event log for one simulation run.
+#[derive(Debug, Default)]
+pub struct Trace {
+    lines: Vec<String>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one event line.
+    pub fn push(&mut self, line: String) {
+        self.lines.push(line);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The recorded lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The whole trace as one newline-joined string (the unit of the
+    /// byte-identical replay comparison).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// The last `n` lines rendered — what a failure report prints when the
+    /// full trace would drown the interesting tail.
+    pub fn tail(&self, n: usize) -> String {
+        let start = self.lines.len().saturating_sub(n);
+        let mut out = String::new();
+        for line in &self.lines[start..] {
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+/// Records one event line into `trace` with `format!` syntax.
+#[macro_export]
+macro_rules! trace_event {
+    ($trace:expr, $($arg:tt)*) => {
+        $trace.push(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_line_joined() {
+        let mut t = Trace::new();
+        trace_event!(t, "tick {}: inject flow={}", 1, 5);
+        trace_event!(t, "tick {}: step", 1);
+        assert_eq!(t.render(), "tick 1: inject flow=5\ntick 1: step\n");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.tail(1), "tick 1: step\n");
+    }
+}

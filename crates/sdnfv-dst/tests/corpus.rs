@@ -1,0 +1,118 @@
+//! The DST corpus: a pinned set of named regression seeds plus a broad
+//! randomized sweep.
+//!
+//! **Pinned seeds** encode schedules whose shapes exercised (or once
+//! exposed) specific protocol corners — they are regression tests by
+//! seed: the schedule a seed generates is frozen forever by the SplitMix64
+//! stream, so replaying the seed replays the exact interleaving. When a
+//! sweep (local or CI) finds a failing seed, fix the bug and add the seed
+//! here under a name describing what it caught.
+//!
+//! **Sweep** parts run 1000 fresh schedules between them (split four ways
+//! so `cargo test` parallelizes), double-checking determinism on every
+//! 64th seed and asserting the fault mix actually covered the plan's
+//! breadth.
+
+use std::collections::BTreeSet;
+
+use sdnfv_dst::{run_seed, run_seed_checked, DstConfig, FaultKind};
+
+/// Replays one pinned seed with the determinism double-run and asserts a
+/// clean pass.
+fn replay_pinned(seed: u64) -> sdnfv_dst::RunReport {
+    let report = run_seed_checked(&DstConfig::for_seed(seed));
+    assert!(report.passed(), "{}", report.failure_message());
+    report
+}
+
+/// Strict re-home ordering under the full fault mix (all telemetry faults,
+/// stalls, credit resizes, rebalances racing shard scale and replica
+/// churn), with replica scale-downs handing off NF state mid-schedule.
+#[test]
+fn pinned_seed_0x1_strict_ordering_full_fault_mix() {
+    let report = replay_pinned(0x1);
+    assert!(report.stats.nf_state_handoffs > 0);
+    assert!(report.pins > 0);
+}
+
+/// The replica-retired-on-scale-down state handoff: this schedule retires
+/// replicas while their per-flow counters are hot, so the run only passes
+/// if every retired replica's state lands in a surviving replica of the
+/// same service (the census would flag the loss otherwise). Regression
+/// for the scale-down path that previously dropped NF-internal state.
+#[test]
+fn pinned_seed_0x3_scale_down_state_handoff() {
+    let report = replay_pinned(0x3);
+    assert!(
+        report.stats.nf_state_handoffs > 0,
+        "schedule must exercise the retire-replica handoff"
+    );
+    assert_eq!(report.stats.nf_state_import_drops, 0);
+}
+
+/// Scale-out to three shards while the control loop observes through
+/// heavy telemetry loss — bucket re-homes onto freshly spawned shards
+/// racing replica churn and stalled actors.
+#[test]
+fn pinned_seed_0x15_scale_out_under_telemetry_loss() {
+    let report = replay_pinned(0x15);
+    assert!(report.peak_shards >= 3);
+    assert!(report.fired.contains(&FaultKind::TelemetryDrop));
+}
+
+/// Steering rebalances racing shard retirement (with duplicated
+/// telemetry), ending back at a single shard — every bucket the retiring
+/// shards owned re-homed with its rules and state intact.
+#[test]
+fn pinned_seed_0x21_rebalance_races_retirement() {
+    let report = replay_pinned(0x21);
+    assert!(report.fired.contains(&FaultKind::RaceRebalance));
+    assert!(report.fired.contains(&FaultKind::RaceScaleShards));
+    assert!(report.stats.nf_state_handoffs > 0);
+}
+
+/// One sweep part: `count` seeds from `base`, determinism-checked every
+/// 64th, with the union of fired fault kinds returned for the breadth
+/// assertion.
+fn sweep(base: u64, count: u64) -> BTreeSet<FaultKind> {
+    let mut coverage = BTreeSet::new();
+    for offset in 0..count {
+        let config = DstConfig::for_seed(base.wrapping_add(offset));
+        let report = if offset % 64 == 0 {
+            run_seed_checked(&config)
+        } else {
+            run_seed(&config)
+        };
+        coverage.extend(report.fired.iter().copied());
+        assert!(report.passed(), "{}", report.failure_message());
+    }
+    assert!(
+        coverage.len() >= 4,
+        "sweep from {base:#x} covered only {coverage:?}"
+    );
+    coverage
+}
+
+// 1000 randomized schedules, split four ways so the test runner overlaps
+// them. The per-part breadth assertion guarantees the acceptance bar of
+// spanning at least four fault types.
+
+#[test]
+fn sweep_randomized_schedules_part_a() {
+    sweep(0x5DFF_0000, 250);
+}
+
+#[test]
+fn sweep_randomized_schedules_part_b() {
+    sweep(0x5DFF_00FA, 250);
+}
+
+#[test]
+fn sweep_randomized_schedules_part_c() {
+    sweep(0x5DFF_01F4, 250);
+}
+
+#[test]
+fn sweep_randomized_schedules_part_d() {
+    sweep(0x5DFF_02EE, 250);
+}

@@ -13,6 +13,14 @@
 //! amortizing the release-store (and the consumer's acquire-load) over the
 //! burst — the DPDK `rte_ring_enqueue_burst` idiom the paper's NF Manager
 //! is built on (§4.1).
+//!
+//! **Determinism.** When producer and consumer are driven from one thread
+//! (the deterministic-simulation harness interleaves all actors on a
+//! single scheduler thread), every operation is a pure function of the
+//! call sequence: there is no internal concurrency, timing dependence or
+//! randomized state, so a replayed call sequence yields identical results
+//! — the property `sdnfv-dst` builds its byte-identical-replay guarantee
+//! on.
 
 use std::cell::{Cell, UnsafeCell};
 use std::mem::MaybeUninit;
@@ -207,6 +215,13 @@ impl<T> Producer<T> {
         self.shared.capacity
     }
 
+    /// Slots currently free for pushing. Exact from the producer side (the
+    /// consumer only ever makes more room), so a single-threaded scheduler
+    /// can use it to decide deterministically how much fits.
+    pub fn free_space(&self) -> usize {
+        self.capacity() - self.len()
+    }
+
     /// Number of pushes rejected because the ring was full.
     pub fn rejected(&self) -> u64 {
         self.rejected.get()
@@ -353,6 +368,41 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = spsc_ring::<u8>(0);
+    }
+
+    #[test]
+    fn free_space_is_exact_for_the_producer() {
+        let (tx, rx) = spsc_ring(4);
+        assert_eq!(tx.free_space(), 4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.free_space(), 2);
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(tx.free_space(), 3);
+        tx.push(3).unwrap();
+        tx.push(4).unwrap();
+        tx.push(5).unwrap();
+        assert_eq!(tx.free_space(), 0);
+        assert!(tx.is_full());
+    }
+
+    /// Single-threaded driving (the DST harness's mode) is deterministic:
+    /// the same call sequence yields the same results, twice.
+    #[test]
+    fn single_threaded_replay_is_identical() {
+        let run = || {
+            let (tx, rx) = spsc_ring(8);
+            let mut log = Vec::new();
+            for round in 0..50u32 {
+                let mut batch: Vec<u32> = (0..(round % 5)).map(|i| round * 10 + i).collect();
+                log.push(tx.push_n(&mut batch) as u32);
+                log.push(tx.free_space() as u32);
+                log.extend(rx.pop_batch((round % 3) as usize + 1));
+                log.push(rx.len() as u32);
+            }
+            log
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

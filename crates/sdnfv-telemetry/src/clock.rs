@@ -1,0 +1,120 @@
+//! The host clock: real wall time or a simulation-driven virtual time.
+//!
+//! Every timestamp the data plane and control loop consume — telemetry
+//! `at_ns`, shard-lifecycle events, slot-compaction grace periods, elastic
+//! cooldowns — is a nanosecond offset from the host's epoch. In the
+//! threaded runtime that offset comes from a monotonic [`Instant`]; under
+//! the deterministic-simulation harness (`sdnfv-dst`) it comes from a
+//! shared virtual counter the scheduler advances explicitly, so a seeded
+//! schedule replays with byte-identical timestamps. [`HostClock`] is the
+//! one switch between the two: the shipping code reads time only through
+//! it and never calls `Instant::now()` on a decision path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock: either anchored to real time at an epoch,
+/// or a shared virtual counter advanced by a simulation scheduler.
+///
+/// Clones of a virtual clock share the same counter, so every actor in a
+/// simulation observes the same instant; clones of a real clock share the
+/// same epoch.
+#[derive(Debug, Clone)]
+pub enum HostClock {
+    /// Wall-clock time, measured as nanoseconds elapsed since the epoch
+    /// captured at construction.
+    Real(Instant),
+    /// Virtual time: the current nanosecond offset, advanced only by
+    /// [`HostClock::advance_ns`] / [`HostClock::set_ns`]. Shared across
+    /// clones.
+    Virtual(Arc<AtomicU64>),
+}
+
+impl HostClock {
+    /// A real clock whose epoch is "now".
+    pub fn real() -> Self {
+        HostClock::Real(Instant::now())
+    }
+
+    /// A virtual clock starting at `start_ns`. Clones share the counter.
+    pub fn simulated(start_ns: u64) -> Self {
+        HostClock::Virtual(Arc::new(AtomicU64::new(start_ns)))
+    }
+
+    /// Nanoseconds since the epoch (real) or the current virtual instant.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            HostClock::Real(epoch) => epoch.elapsed().as_nanos() as u64,
+            HostClock::Virtual(ns) => ns.load(Ordering::Acquire),
+        }
+    }
+
+    /// Advance a virtual clock by `delta_ns` and return the new instant.
+    /// On a real clock this is a no-op (time advances on its own) and the
+    /// current time is returned.
+    pub fn advance_ns(&self, delta_ns: u64) -> u64 {
+        match self {
+            HostClock::Real(_) => self.now_ns(),
+            HostClock::Virtual(ns) => ns.fetch_add(delta_ns, Ordering::AcqRel) + delta_ns,
+        }
+    }
+
+    /// Jump a virtual clock to `at_ns` (must not move time backwards; the
+    /// clock saturates at its current value). No-op on a real clock.
+    pub fn set_ns(&self, at_ns: u64) {
+        if let HostClock::Virtual(ns) = self {
+            ns.fetch_max(at_ns, Ordering::AcqRel);
+        }
+    }
+
+    /// `true` when this is a virtual (simulation-driven) clock.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, HostClock::Virtual(_))
+    }
+}
+
+impl Default for HostClock {
+    fn default() -> Self {
+        HostClock::real()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_advances_on_its_own() {
+        let clock = HostClock::real();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+        assert!(!clock.is_virtual());
+        // advance/set are no-ops on real clocks
+        clock.set_ns(u64::MAX);
+        assert!(clock.now_ns() < u64::MAX / 2);
+    }
+
+    #[test]
+    fn virtual_clock_moves_only_when_told() {
+        let clock = HostClock::simulated(100);
+        assert!(clock.is_virtual());
+        assert_eq!(clock.now_ns(), 100);
+        assert_eq!(clock.now_ns(), 100, "virtual time is frozen");
+        assert_eq!(clock.advance_ns(50), 150);
+        assert_eq!(clock.now_ns(), 150);
+        clock.set_ns(1_000);
+        assert_eq!(clock.now_ns(), 1_000);
+        clock.set_ns(10); // backwards jump saturates
+        assert_eq!(clock.now_ns(), 1_000);
+    }
+
+    #[test]
+    fn clones_share_virtual_time() {
+        let clock = HostClock::simulated(0);
+        let observer = clock.clone();
+        clock.advance_ns(42);
+        assert_eq!(observer.now_ns(), 42);
+    }
+}

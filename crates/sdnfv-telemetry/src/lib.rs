@@ -32,11 +32,15 @@
 #![forbid(unsafe_code)]
 
 pub mod action;
+pub mod clock;
 pub mod ewma;
 pub mod hub;
 pub mod snapshot;
+pub mod source;
 
 pub use action::ControlAction;
+pub use clock::HostClock;
 pub use ewma::Ewma;
 pub use hub::{ShardRates, TelemetryHub};
 pub use snapshot::{NfTelemetry, ShardLifecycleEvent, TelemetrySnapshot};
+pub use source::TelemetrySource;

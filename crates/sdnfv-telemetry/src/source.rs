@@ -1,0 +1,26 @@
+//! An injectable source of telemetry for the elastic control loop.
+//!
+//! The `ElasticNfManager` observes the data plane through exactly two
+//! feeds: shard lifecycle events and periodic telemetry snapshots. In
+//! production both come straight off the `ThreadedHost`'s SPSC rings; under
+//! the deterministic-simulation harness a fault-injecting adapter wraps the
+//! same host and drops, duplicates, or delays snapshots according to a
+//! seeded plan. [`TelemetrySource`] is that seam: the control loop's
+//! observe phase is written against the trait, so the code making scaling
+//! decisions is identical whether the feed is pristine or adversarial.
+
+use crate::snapshot::{ShardLifecycleEvent, TelemetrySnapshot};
+
+/// The data-plane feed the elastic control loop observes each tick.
+///
+/// Implementations must preserve the per-shard cumulative-counter contract
+/// of [`TelemetrySnapshot`]: dropping snapshots is always safe (counters
+/// are cumulative, rates are reconstructed from deltas), but snapshots for
+/// one shard must never be reordered.
+pub trait TelemetrySource {
+    /// Drain shard spawn/retire events observed since the last call.
+    fn take_shard_events(&mut self) -> Vec<ShardLifecycleEvent>;
+
+    /// Drain telemetry snapshots published since the last call.
+    fn poll_snapshots(&mut self) -> Vec<TelemetrySnapshot>;
+}

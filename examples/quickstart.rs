@@ -100,8 +100,8 @@ fn main() {
     let mut sequence = 0u32;
     let mut total_latency_ns = 0u64;
     let drain = |received: &mut u32, total_latency_ns: &mut u64| {
-        for (_, pkt) in host.poll_egress_burst(64) {
-            *total_latency_ns += host.now_ns().saturating_sub(pkt.timestamp_ns);
+        for out in host.poll_egress_burst(64) {
+            *total_latency_ns += host.now_ns().saturating_sub(out.packet.timestamp_ns);
             *received += 1;
         }
     };

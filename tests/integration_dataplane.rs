@@ -322,10 +322,10 @@ fn threaded_host_handles_mixed_chain_with_rewriting_nf() {
         }
     }
     assert_eq!(outputs.len(), 100);
-    for (port, packet) in &outputs {
-        assert_eq!(*port, 1);
+    for out in &outputs {
+        assert_eq!(out.port, 1);
         assert_eq!(
-            packet.ipv4().unwrap().dst,
+            out.packet.ipv4().unwrap().dst,
             std::net::Ipv4Addr::new(1, 2, 3, 4)
         );
     }

@@ -778,7 +778,7 @@ fn wildcard_mutation_survives_rebalance() {
     // The mutation governs the flow on shard 0 …
     assert!(host.inject(packet(trigger)).is_admitted());
     let out = collect(&host, 1, Duration::from_secs(5));
-    assert_eq!(out[0].0, 2, "wildcard mutation flipped the default");
+    assert_eq!(out[0].port, 2, "wildcard mutation flipped the default");
     // … and is shard-local: shard 1's partition still defaults to port 1.
     let key = packet(trigger).flow_key().unwrap();
     assert_eq!(
@@ -798,7 +798,7 @@ fn wildcard_mutation_survives_rebalance() {
     // flow still egress on port 2, served from shard 1's partition.
     assert!(host.inject(packet(trigger)).is_admitted());
     let out = collect(&host, 1, Duration::from_secs(5));
-    assert_eq!(out[0].0, 2, "the mutation governs post-move packets");
+    assert_eq!(out[0].port, 2, "the mutation governs post-move packets");
     assert_eq!(
         host.shard_table(1).with_read(|t| t
             .peek(RulePort::Service(worker), &key)
@@ -839,7 +839,7 @@ fn wildcard_mutation_survives_shard_retirement() {
     assert_eq!(collect(&host, 1, Duration::from_secs(5)).len(), 1);
     assert!(host.inject(packet(trigger)).is_admitted());
     assert_eq!(
-        collect(&host, 1, Duration::from_secs(5))[0].0,
+        collect(&host, 1, Duration::from_secs(5))[0].port,
         2,
         "mutation active on the shard about to retire"
     );
@@ -852,7 +852,7 @@ fn wildcard_mutation_survives_shard_retirement() {
     assert_eq!(host.num_shards(), 1);
     assert!(host.inject(packet(trigger)).is_admitted());
     assert_eq!(
-        collect(&host, 1, Duration::from_secs(5))[0].0,
+        collect(&host, 1, Duration::from_secs(5))[0].port,
         2,
         "the mutation followed the bucket onto the survivor"
     );
@@ -899,7 +899,7 @@ fn nf_flow_state_survives_rebalance() {
     // 1 and the pin could not have fired.
     assert!(host.inject(packet(flow)).is_admitted());
     let out = collect(&host, 1, Duration::from_secs(5));
-    assert_eq!(out[0].0, 2, "the migrated counter fired the pin");
+    assert_eq!(out[0].port, 2, "the migrated counter fired the pin");
     let key = packet(flow).flow_key().unwrap();
     assert!(host
         .shard_table(1)
@@ -938,7 +938,7 @@ fn nf_flow_state_survives_shard_retirement() {
     assert_eq!(collect(&host, 1, Duration::from_secs(5)).len(), 1);
     assert!(host.inject(packet(flow)).is_admitted());
     assert_eq!(
-        collect(&host, 1, Duration::from_secs(5))[0].0,
+        collect(&host, 1, Duration::from_secs(5))[0].port,
         2,
         "the counter survived the retirement and fired on the survivor"
     );
@@ -1091,7 +1091,7 @@ fn strict_ordering_releases_buckets_at_full_egress_in_order() {
     assert_eq!(out.len(), 15);
     let sequence: Vec<u8> = out
         .iter()
-        .map(|(_, packet)| packet.l4_payload().unwrap()[0])
+        .map(|out| out.packet.l4_payload().unwrap()[0])
         .collect();
     assert_eq!(
         sequence,
@@ -1199,5 +1199,95 @@ fn elastic_manager_scales_shard_count_out_and_in() {
     assert_eq!(snap.overflow_drops, 0, "no silent drops anywhere");
     assert_eq!(snap.dropped, 0);
     assert_eq!(snap.transmitted, admitted);
+    host.shutdown();
+}
+
+/// **Regression (NF state loss on replica scale-down):** retiring a
+/// replica of a service hands its per-flow NF state to a surviving
+/// replica of the same service — previously the draining replica's state
+/// was silently dropped with it. Counters pin the flow once the
+/// *combined* (pre-handoff + post-handoff) count reaches the threshold,
+/// so the pin only fires if the state actually migrated; and the
+/// `nf_state_import_drops` counter must stay zero.
+#[test]
+fn scale_down_hands_nf_state_to_surviving_replica() {
+    let worker = ServiceId::new(1);
+    let host = ThreadedHost::start(
+        two_port_table(worker),
+        vec![
+            (
+                worker,
+                Box::new(CounterPinNf::new(worker, 6)) as Box<dyn NetworkFunction>,
+            ),
+            (
+                worker,
+                Box::new(CounterPinNf::new(worker, 6)) as Box<dyn NetworkFunction>,
+            ),
+        ],
+        ThreadedHostConfig::default(),
+    );
+
+    // Warm several flows to a count of 3 — flow-hash load balancing
+    // spreads them over both replicas, so the retiring replica holds live
+    // counter state when it drains.
+    let flows: Vec<u16> = (0..8).collect();
+    for _ in 0..3 {
+        for &flow in &flows {
+            assert!(host.inject(packet(flow)).is_admitted());
+        }
+    }
+    assert_eq!(
+        drain(&host, 3 * flows.len(), Duration::from_secs(10)),
+        3 * flows.len(),
+        "warm-up packets all egress"
+    );
+
+    // Scale down. The draining replica exports all of its per-flow state
+    // at drain-exit and the worker imports it into the survivor; the
+    // handoff counter proves the path ran, the import-drop counter proves
+    // nothing was discarded.
+    assert!(host.remove_nf_replica(0, worker));
+    assert!(
+        wait_for(&host, Duration::from_secs(10), || host
+            .stats()
+            .snapshot()
+            .nf_state_handoffs
+            > 0),
+        "the retiring replica's state is handed to the survivor"
+    );
+
+    // Three more packets per flow: the survivor's merged counts cross the
+    // threshold of 6 and every flow gets pinned to port 2 — which can only
+    // happen if the first three counts survived the scale-down.
+    for _ in 0..3 {
+        for &flow in &flows {
+            assert!(host.inject(packet(flow)).is_admitted());
+        }
+    }
+    assert_eq!(
+        drain(&host, 3 * flows.len(), Duration::from_secs(10)),
+        3 * flows.len()
+    );
+    for &flow in &flows {
+        assert!(host.inject(packet(flow)).is_admitted());
+    }
+    let pinned = {
+        let mut outputs = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while outputs.len() < flows.len() && Instant::now() < deadline {
+            outputs.extend(host.poll_egress_burst(16));
+            std::thread::yield_now();
+        }
+        outputs
+    };
+    assert_eq!(pinned.len(), flows.len());
+    assert!(
+        pinned.iter().all(|out| out.port == 2),
+        "every flow forwards on the pinned port after the handoff"
+    );
+
+    let snap = host.stats().snapshot();
+    assert_eq!(snap.nf_state_import_drops, 0, "no state discarded");
+    assert!(snap.nf_state_handoffs >= 1);
     host.shutdown();
 }
