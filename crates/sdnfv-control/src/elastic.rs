@@ -264,6 +264,19 @@ impl ElasticNfManager {
         &self.hub
     }
 
+    /// Total flow rules the data plane evicted via idle/hard timeouts, as
+    /// reported by the live shards' telemetry — the control plane's view
+    /// of the rule-lifecycle churn (dead flows whose pins were reclaimed).
+    pub fn rules_evicted(&self) -> u64 {
+        self.hub.total_rules_evicted()
+    }
+
+    /// Total per-flow NF state entries the data plane scrubbed after rule
+    /// evictions, as reported by the live shards' telemetry.
+    pub fn nf_state_scrubbed(&self) -> u64 {
+        self.hub.total_nf_state_scrubbed()
+    }
+
     /// The policy in force.
     pub fn policy(&self) -> &ElasticPolicy {
         &self.policy
@@ -647,12 +660,17 @@ impl ElasticNfManager {
                     }
                 }
                 ControlAction::ScaleDown { shard, service } => {
-                    if host.remove_nf_replica(*shard, *service) {
+                    // The plan was drawn from the telemetry view, which can
+                    // lag the host (a retirement this tick, or delayed
+                    // snapshots): re-validate the index before applying.
+                    if *shard < host.num_shards() && host.remove_nf_replica(*shard, *service) {
                         self.scale_downs += 1;
                     }
                 }
                 ControlAction::ResizeCredits { shard, credits } => {
-                    let _ = host.resize_credits(*shard, *credits);
+                    if *shard < host.num_shards() {
+                        let _ = host.resize_credits(*shard, *credits);
+                    }
                 }
                 ControlAction::SetSteeringWeights { weights } => {
                     let _ = host.set_steering_weights(weights);
@@ -712,6 +730,12 @@ impl ElasticNfManager {
                 ready_at_ns,
                 nf,
             } = launch;
+            if shard >= host.num_shards() {
+                // The target shard retired while the replica was booting
+                // (its `Retired` event may still be in flight); the
+                // replica has nowhere to go — drop it.
+                continue;
+            }
             match host.add_nf_replica(shard, service, nf) {
                 Ok(()) => {
                     // The replica left `pending` but will not show in
@@ -876,6 +900,9 @@ mod tests {
             applied_commands: 0,
             rehome_pen_depth: 0,
             rehome_pen_max_age_ns: 0,
+            rules_evicted_idle: 0,
+            rules_evicted_hard: 0,
+            nf_state_scrubbed: 0,
         }
     }
 

@@ -520,7 +520,7 @@ impl NfManager {
             .map(|_| Vec::with_capacity(decision.actions.len()))
             .collect();
         let mut last_service = None;
-        for action in &decision.actions {
+        for action in decision.actions.iter() {
             match action {
                 Action::ToService(service) => {
                     last_service = Some(*service);
@@ -763,12 +763,16 @@ impl NfManager {
 
     /// Looks up the decision for `(step, key)`, consulting the cache first.
     fn lookup(&mut self, step: RulePort, key: &FlowKey) -> Option<Decision> {
+        // The inline manager does not drive rule timeouts, so its cache
+        // entries never TTL out (now = 0, ttl = 0).
         cached_lookup(
             &self.table,
             &mut self.cache,
             self.config.enable_lookup_cache,
             step,
             key,
+            0,
+            0,
         )
     }
 
@@ -833,7 +837,7 @@ impl NfManager {
         self.stats.add_parallel_dispatches(1);
         let mut verdicts = Vec::with_capacity(decision.actions.len());
         let mut last_service = None;
-        for action in &decision.actions {
+        for action in decision.actions.iter() {
             match action {
                 Action::ToService(service) => {
                     last_service = Some(*service);
@@ -878,7 +882,7 @@ fn validate_requested_in(
     key: &FlowKey,
     requested: Action,
 ) -> Action {
-    match cached_lookup(table, cache, enable_cache, step, key) {
+    match cached_lookup(table, cache, enable_cache, step, key, 0, 0) {
         Some(decision) if decision.allows(requested) => requested,
         Some(decision) => decision.default_action().unwrap_or(Action::Drop),
         // Drop requests are always honoured even without a rule.

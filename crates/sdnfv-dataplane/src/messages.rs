@@ -25,6 +25,26 @@ pub enum AppliedChange {
     ForwardToApplication,
 }
 
+/// Timeouts stamped onto exact per-flow pin rules installed by
+/// `ChangeDefault` messages (the host's `pin_idle_timeout_ns` /
+/// `pin_hard_timeout_ns` knobs). `NONE` keeps pins forever — the
+/// pre-lifecycle behavior and the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PinTimeouts {
+    /// Idle timeout for newly installed pins, if any.
+    pub idle_ns: Option<u64>,
+    /// Hard timeout for newly installed pins, if any.
+    pub hard_ns: Option<u64>,
+}
+
+impl PinTimeouts {
+    /// No timeouts: pins live forever.
+    pub const NONE: PinTimeouts = PinTimeouts {
+        idle_ns: None,
+        hard_ns: None,
+    };
+}
+
 /// Applies a cross-layer message from service `from` to the host flow table.
 ///
 /// * `SkipMe(F, S)` — rules whose default points at `S` are retargeted to
@@ -62,6 +82,21 @@ pub fn apply_nf_message_tracked(
     from: ServiceId,
     message: &NfMessage,
     force: bool,
+) -> (AppliedChange, Option<WildcardMutation>) {
+    apply_nf_message_tracked_with(table, from, message, force, PinTimeouts::NONE)
+}
+
+/// [`apply_nf_message_tracked`] with explicit [`PinTimeouts`]: exact
+/// per-flow rules installed by `ChangeDefault` pins are stamped with the
+/// given idle/hard timeouts, entering the table's eviction lifecycle.
+/// Updates to an *existing* pin re-stamp it (re-installation restarts the
+/// hard-timeout clock, matching OpenFlow `OFPFC_MODIFY` + timeout).
+pub fn apply_nf_message_tracked_with(
+    table: &mut FlowTable,
+    from: ServiceId,
+    message: &NfMessage,
+    force: bool,
+    pin_timeouts: PinTimeouts,
 ) -> (AppliedChange, Option<WildcardMutation>) {
     match message {
         NfMessage::SkipMe { flows } => {
@@ -118,6 +153,8 @@ pub fn apply_nf_message_tracked(
                     if existing_id.is_none() {
                         specific.priority = base.priority.saturating_add(10);
                     }
+                    specific.idle_timeout_ns = pin_timeouts.idle_ns;
+                    specific.hard_timeout_ns = pin_timeouts.hard_ns;
                     specific.set_default_action(*new_default);
                     if let Some(id) = existing_id {
                         table.remove(id);
@@ -390,6 +427,40 @@ mod tests {
             mutation,
             Some(WildcardMutation::RetargetDefaults { pointing_at, .. }) if pointing_at == SAMPLER
         ));
+    }
+
+    #[test]
+    fn pin_timeouts_are_stamped_onto_exact_pins() {
+        let mut t = table();
+        let flows = FlowMatch::exact(RulePort::Service(SAMPLER), &key());
+        let timeouts = PinTimeouts {
+            idle_ns: Some(500),
+            hard_ns: Some(9_000),
+        };
+        let (change, _) = apply_nf_message_tracked_with(
+            &mut t,
+            SAMPLER,
+            &NfMessage::ChangeDefault {
+                flows,
+                service: SAMPLER,
+                new_default: Action::ToService(SCRUBBER),
+            },
+            false,
+            timeouts,
+        );
+        assert_eq!(change, AppliedChange::RulesUpdated(1));
+        let id = t
+            .exact_rule_id(RulePort::Service(SAMPLER), &key())
+            .expect("pin installed");
+        let pin = t.rule(id).unwrap();
+        assert_eq!(pin.idle_timeout_ns, Some(500));
+        assert_eq!(pin.hard_timeout_ns, Some(9_000));
+        // The wildcard rules keep no timeout (only pins are stamped).
+        for (rule_id, rule) in t.rules() {
+            if rule_id != id {
+                assert!(!rule.has_timeout());
+            }
+        }
     }
 
     #[test]

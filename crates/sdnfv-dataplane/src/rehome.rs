@@ -54,6 +54,13 @@ use sdnfv_proto::Packet;
 #[derive(Debug)]
 pub struct BucketTracker {
     in_flight: Vec<AtomicUsize>,
+    /// `true` while the bucket is mid-re-home. Shard workers consult this
+    /// before timing out exact-flow rules: a rule of a parked bucket may
+    /// be mid-export, and evicting it would race the re-home (the evicted
+    /// rule could be resurrected by the import, or the export could carry
+    /// a rule the control plane was just told died). Such rules are
+    /// deferred until the bucket settles.
+    parked: Vec<AtomicBool>,
 }
 
 impl BucketTracker {
@@ -61,6 +68,7 @@ impl BucketTracker {
     pub fn new(buckets: usize) -> Self {
         BucketTracker {
             in_flight: (0..buckets).map(|_| AtomicUsize::new(0)).collect(),
+            parked: (0..buckets).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -92,6 +100,22 @@ impl BucketTracker {
     /// Packets of `bucket` currently inside a shard pipeline.
     pub fn in_flight(&self, bucket: usize) -> usize {
         self.in_flight[bucket].load(Ordering::Acquire)
+    }
+
+    /// Marks `bucket` as mid-re-home: its exact-flow rules become
+    /// ineligible for timeout eviction until [`BucketTracker::unpark`].
+    pub fn park(&self, bucket: usize) {
+        self.parked[bucket].store(true, Ordering::Release);
+    }
+
+    /// Clears the mid-re-home mark of `bucket`.
+    pub fn unpark(&self, bucket: usize) {
+        self.parked[bucket].store(false, Ordering::Release);
+    }
+
+    /// Whether `bucket` is currently mid-re-home (eviction-protected).
+    pub fn is_parked(&self, bucket: usize) -> bool {
+        self.parked[bucket].load(Ordering::Acquire)
     }
 }
 
@@ -344,6 +368,17 @@ mod tests {
         assert_eq!(tracker.in_flight(bucket), 1);
         tracker.finish(&k);
         assert_eq!(tracker.in_flight(bucket), 0);
+    }
+
+    #[test]
+    fn tracker_park_bit_round_trips() {
+        let tracker = BucketTracker::new(4);
+        assert!(!tracker.is_parked(2));
+        tracker.park(2);
+        assert!(tracker.is_parked(2));
+        assert!(!tracker.is_parked(1));
+        tracker.unpark(2);
+        assert!(!tracker.is_parked(2));
     }
 
     #[test]

@@ -105,8 +105,8 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use sdnfv_flowtable::{
-    Action, Decision, FlowRule, FlowTablePartitions, MutationLog, RuleId, RulePort, ServiceId,
-    SharedFlowTable,
+    Action, Decision, EvictReason, EvictedRule, FlowRule, FlowTablePartitions, MutationLog, RuleId,
+    RulePort, ServiceId, SharedFlowTable,
 };
 use sdnfv_nf::{
     BurstMemo, NetworkFunction, NfContext, NfFlowState, PacketBatch, PacketBatchMut, Verdict,
@@ -122,7 +122,7 @@ use sdnfv_telemetry::{
 
 use crate::cache::{cached_lookup, LookupCache};
 use crate::conflict::resolve_parallel_verdicts;
-use crate::messages::apply_nf_message_tracked;
+use crate::messages::{apply_nf_message_tracked_with, PinTimeouts};
 use crate::rehome::{
     BucketTracker, ImportDelivery, MovePhase, RehomeReport, RehomeState, RetiringShard,
 };
@@ -216,6 +216,22 @@ pub struct ThreadedHostConfig {
     /// while fewer than one probe in this many hits. Defaults to
     /// [`BurstMemo::BYPASS_HIT_DIVISOR`]; `0` disables bypassing entirely.
     pub memo_bypass_hit_divisor: u32,
+    /// How often each shard sweeps its flow-table partition for expired
+    /// rules, in nanoseconds of the host clock (identical under the
+    /// simulated runtime). `0` disables the amortized sweeper — rules then
+    /// expire only lazily, when a lookup touches them.
+    pub rule_sweep_interval_ns: u64,
+    /// Eviction budget of one sweep: at most this many rules are evicted
+    /// per sweep pass, bounding the work injected between bursts.
+    pub max_evictions_per_sweep: usize,
+    /// OpenFlow-style idle timeout stamped onto exact per-flow rules
+    /// installed by NF `ChangeDefault` pins: the pin is evicted once this
+    /// many nanoseconds pass without its flow sending a packet. `None`
+    /// (the default) keeps pins forever, the pre-lifecycle behavior.
+    pub pin_idle_timeout_ns: Option<u64>,
+    /// OpenFlow-style hard timeout stamped onto exact per-flow pin rules:
+    /// evicted this long after installation regardless of traffic.
+    pub pin_hard_timeout_ns: Option<u64>,
 }
 
 impl Default for ThreadedHostConfig {
@@ -236,6 +252,10 @@ impl Default for ThreadedHostConfig {
             rehome_ordering: RehomeOrdering::Relaxed,
             memo_bypass_min_entries: BurstMemo::<u32, u32>::BYPASS_MIN_ENTRIES,
             memo_bypass_hit_divisor: BurstMemo::<u32, u32>::BYPASS_HIT_DIVISOR,
+            rule_sweep_interval_ns: 1_000_000,
+            max_evictions_per_sweep: 256,
+            pin_idle_timeout_ns: None,
+            pin_hard_timeout_ns: None,
         }
     }
 }
@@ -342,6 +362,10 @@ enum NfStateRequest {
     /// counters are final; the worker re-imports them into a surviving
     /// replica of the same service.
     HandoffAll,
+    /// Discard per-flow state for flows whose rules were evicted by the
+    /// timeout lifecycle — per-flow NF state dies with its rule. Fire and
+    /// forget: the NF thread serves it without posting a response.
+    Scrub { keys: Vec<FlowKey> },
 }
 
 /// A queued mailbox between a shard worker and one NF thread, carrying
@@ -1310,6 +1334,11 @@ impl ThreadedHost {
             // state for the bucket's (idle) flows, and collecting it needs
             // a round trip through the shard's worker and NF threads.
             state.begin_move(bucket, from, receiver);
+            // Mirror the parked bit into the shard-visible tracker so shard
+            // workers stop timing out the bucket's exact rules while its
+            // state is mid-export (an evicted-then-reimported rule would
+            // resurrect with a stale timeout clock).
+            self.tracker.park(bucket);
         }
     }
 
@@ -1390,6 +1419,7 @@ impl ThreadedHost {
                 }
             }
             parked[mv.bucket] = false;
+            self.tracker.unpark(mv.bucket);
             report.buckets_rehomed += 1;
             false
         });
@@ -1831,6 +1861,19 @@ fn launch_pipeline(
         last_telemetry_ns: 0,
         telemetry_check: 0,
         telemetry_seq: 0,
+        rule_sweep_interval_ns: config.rule_sweep_interval_ns,
+        max_evictions_per_sweep: config.max_evictions_per_sweep,
+        last_sweep_ns: 0,
+        sweep_check: 0,
+        approx_now_ns: 0,
+        // Half the sweep period: a cached decision survives at most one
+        // sweep interval before the table is consulted again, so idle
+        // timers keep refreshing under cache-hit traffic.
+        cache_ttl_ns: config.rule_sweep_interval_ns / 2,
+        pin_timeouts: PinTimeouts {
+            idle_ns: config.pin_idle_timeout_ns,
+            hard_ns: config.pin_hard_timeout_ns,
+        },
         applied_commands: 0,
         draining: 0,
         retired_slots: 0,
@@ -1962,10 +2005,12 @@ impl BurstLookupMemo {
         enable_cache: bool,
         step: RulePort,
         key: &FlowKey,
+        now_ns: u64,
+        ttl_ns: u64,
     ) -> Option<Decision> {
         self.entries
             .get_or_insert_with((step, *key), |(step, key)| {
-                cached_lookup(table, cache, enable_cache, *step, key)
+                cached_lookup(table, cache, enable_cache, *step, key, now_ns, ttl_ns)
             })
             .clone()
     }
@@ -2067,6 +2112,24 @@ pub(crate) struct ShardEngine {
     /// path does not read the clock every iteration.
     telemetry_check: u32,
     telemetry_seq: u64,
+    /// How often the worker sweeps the flow table for rules whose
+    /// idle/hard timeout elapsed (0 disables the sweep).
+    rule_sweep_interval_ns: u64,
+    /// Eviction budget per sweep, bounding the per-step pause.
+    max_evictions_per_sweep: usize,
+    /// Host-clock instant of the last timeout sweep.
+    last_sweep_ns: u64,
+    /// Loop-iteration countdown between sweep clock checks (same pattern
+    /// as `telemetry_check`).
+    sweep_check: u32,
+    /// Latest clock reading taken by the sweep path; the lookup cache's
+    /// TTL checks use it so the hot path never reads the clock itself.
+    approx_now_ns: u64,
+    /// TTL for lookup-cache entries, forcing periodic table fall-through
+    /// so idle timers refresh under cached traffic (0 = no TTL).
+    cache_ttl_ns: u64,
+    /// Idle/hard timeouts stamped onto NF-requested exact-pin rules.
+    pin_timeouts: PinTimeouts,
     applied_commands: u64,
     /// Number of slots currently in [`SlotState::Draining`].
     draining: usize,
@@ -2157,6 +2220,7 @@ impl ShardEngine {
                 {
                     did_work |= self.poll_state_exchanges();
                 }
+                did_work |= self.maybe_sweep_rules();
                 self.maybe_publish_telemetry(ingress);
                 did_work
             }
@@ -2391,6 +2455,7 @@ impl ShardEngine {
             trusted: self.trusted,
             clock: self.clock.clone(),
             burst_size: self.burst_size,
+            pin_timeouts: self.pin_timeouts,
         };
         let handle = self.spawner.spawn_replica(thread);
         let slot = NfSlot {
@@ -2732,6 +2797,87 @@ impl ShardEngine {
         progressed
     }
 
+    /// Runs one bounded pass of the flow table's timeout sweep if the
+    /// sweep interval has elapsed, then fans the evicted flows' keys out to
+    /// the shard's NF replicas as fire-and-forget scrub requests so their
+    /// per-flow state is reclaimed with the rule.
+    ///
+    /// Exact rules of a bucket that is mid-re-home are protected from the
+    /// sweep: their state is being exported, and evicting underneath the
+    /// handshake could resurrect a just-evicted rule on the destination
+    /// shard (or double-scrub its NF state).
+    fn maybe_sweep_rules(&mut self) -> bool {
+        if self.rule_sweep_interval_ns == 0 {
+            return false;
+        }
+        if self.sweep_check > 0 {
+            self.sweep_check -= 1;
+            return false;
+        }
+        self.sweep_check = 32;
+        let now_ns = self.clock.now_ns();
+        self.approx_now_ns = now_ns;
+        if now_ns.saturating_sub(self.last_sweep_ns) < self.rule_sweep_interval_ns {
+            return false;
+        }
+        self.last_sweep_ns = now_ns;
+        let tracker = Arc::clone(&self.tracker);
+        let evicted =
+            self.table
+                .sweep_expired(now_ns, self.max_evictions_per_sweep, |(_, key)| {
+                    tracker.is_parked(tracker.bucket_of(key))
+                });
+        if evicted.is_empty() {
+            return false;
+        }
+        self.note_evictions(evicted);
+        true
+    }
+
+    /// Counts a sweep's evictions into the shard's stats and posts the
+    /// evicted exact flows' keys to every live replica for NF-state scrub.
+    /// Scrubs are fire-and-forget: replicas post no response, so the
+    /// request needs no entry in the state-exchange bookkeeping.
+    fn note_evictions(&mut self, evicted: Vec<EvictedRule>) {
+        let mut idle = 0u64;
+        let mut hard = 0u64;
+        let mut keys: Vec<FlowKey> = Vec::new();
+        for eviction in evicted {
+            match eviction.reason {
+                EvictReason::Idle => idle += 1,
+                EvictReason::Hard => hard += 1,
+            }
+            if let Some((_, key)) = eviction.exact {
+                keys.push(key);
+            }
+        }
+        if idle > 0 {
+            self.stats.add_rules_evicted_idle(idle);
+        }
+        if hard > 0 {
+            self.stats.add_rules_evicted_hard(hard);
+        }
+        if keys.is_empty() {
+            return;
+        }
+        let live: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| {
+                slot.state != SlotState::Retired
+                    && slot.handle.as_ref().is_some_and(|h| !h.is_finished())
+            })
+            .map(|(index, _)| index)
+            .collect();
+        for index in live {
+            let token = self.next_state_token();
+            self.slots[index]
+                .channel
+                .post(token, NfStateRequest::Scrub { keys: keys.clone() });
+        }
+    }
+
     /// Publishes a [`TelemetrySnapshot`] if the export interval has
     /// elapsed. A full telemetry ring skips the publish — counters are
     /// cumulative, so a lagging consumer loses freshness, never events.
@@ -2787,6 +2933,9 @@ impl ShardEngine {
             // these two before handing the snapshot to the consumer.
             rehome_pen_depth: 0,
             rehome_pen_max_age_ns: 0,
+            rules_evicted_idle: self.stats.rules_evicted_idle(),
+            rules_evicted_hard: self.stats.rules_evicted_hard(),
+            nf_state_scrubbed: self.stats.nf_state_scrubbed(),
         };
         let _ = self.telemetry.push(snapshot);
     }
@@ -2849,8 +2998,15 @@ impl ShardEngine {
     }
 
     fn lookup(&mut self, step: RulePort, key: &FlowKey) -> Option<Decision> {
-        self.memo
-            .lookup(&self.table, &mut self.cache, self.enable_cache, step, key)
+        self.memo.lookup(
+            &self.table,
+            &mut self.cache,
+            self.enable_cache,
+            step,
+            key,
+            self.approx_now_ns,
+            self.cache_ttl_ns,
+        )
     }
 
     /// RX role: first lookup per distinct flow, then dispatch into NF rings.
@@ -3227,6 +3383,9 @@ pub(crate) struct NfThread {
     trusted: bool,
     clock: HostClock,
     burst_size: usize,
+    /// Idle/hard timeouts stamped onto the exact-pin rules this replica's
+    /// NF requests via cross-layer messages.
+    pin_timeouts: PinTimeouts,
 }
 
 impl NfThread {
@@ -3240,6 +3399,7 @@ impl NfThread {
 /// recording every wildcard mutation in the partition's provenance log
 /// keyed by the mutating flow's steering bucket (unattributed messages are
 /// logged bucket-less and travel with every departing bucket).
+#[allow(clippy::too_many_arguments)]
 fn apply_ctx_messages(
     ctx: &mut NfContext,
     service: ServiceId,
@@ -3248,11 +3408,13 @@ fn apply_ctx_messages(
     tracker: &BucketTracker,
     trusted: bool,
     stats: &ShardStats,
+    pin_timeouts: PinTimeouts,
 ) {
     for attributed in ctx.take_attributed_messages() {
         stats.add_nf_messages(1);
-        let (_, wildcard) = table
-            .with_write(|t| apply_nf_message_tracked(t, service, &attributed.message, trusted));
+        let (_, wildcard) = table.with_write(|t| {
+            apply_nf_message_tracked_with(t, service, &attributed.message, trusted, pin_timeouts)
+        });
         if let Some(mutation) = wildcard {
             let bucket = attributed.flow.as_ref().map(|key| tracker.bucket_of(key));
             mutation_log.record(bucket, mutation);
@@ -3307,6 +3469,7 @@ pub(crate) struct NfEngine {
     trusted: bool,
     clock: HostClock,
     burst_size: usize,
+    pin_timeouts: PinTimeouts,
     ctx: NfContext,
     read_only: bool,
     items: Vec<WorkItem>,
@@ -3341,6 +3504,7 @@ impl NfEngine {
             trusted,
             clock,
             burst_size,
+            pin_timeouts,
         } = thread;
         let mut ctx = NfContext::for_shard(shard, clock.now_ns());
         nf.on_start(&mut ctx);
@@ -3352,6 +3516,7 @@ impl NfEngine {
             &tracker,
             trusted,
             &stats,
+            pin_timeouts,
         );
         let read_only = nf.read_only();
         NfEngine {
@@ -3372,6 +3537,7 @@ impl NfEngine {
             trusted,
             clock,
             burst_size,
+            pin_timeouts,
             ctx,
             read_only,
             items: Vec::with_capacity(burst_size),
@@ -3418,6 +3584,21 @@ impl NfEngine {
                     self.channel.respond(token, Vec::new());
                 }
                 NfStateRequest::HandoffAll => self.deferred_handoffs.push(token),
+                NfStateRequest::Scrub { keys } => {
+                    // Fire-and-forget: the worker tracks no entry for scrub
+                    // tokens, so no response is posted. Scrub is a move —
+                    // a key another replica already scrubbed (or that this
+                    // replica never held state for) just returns None.
+                    let mut scrubbed = 0u64;
+                    for key in &keys {
+                        if self.nf.scrub_flow_state(key).is_some() {
+                            scrubbed += 1;
+                        }
+                    }
+                    if scrubbed > 0 {
+                        self.stats.add_nf_state_scrubbed(scrubbed);
+                    }
+                }
             }
         }
         if at_exit {
@@ -3558,6 +3739,7 @@ impl NfEngine {
             &self.tracker,
             self.trusted,
             &self.stats,
+            self.pin_timeouts,
         );
         for (index, item) in items.drain(..).enumerate() {
             item.collector.lock().push(self.verdicts.as_slice()[index]);
@@ -4236,5 +4418,282 @@ mod tests {
                 ..ThreadedHostConfig::default()
             },
         );
+    }
+
+    /// A minimal stateful NF for eviction tests: one per-flow packet
+    /// counter, with a scrub override that logs which keys were reclaimed.
+    struct FlowStateNf {
+        states: HashMap<FlowKey, u64>,
+        scrubbed: Arc<Mutex<Vec<FlowKey>>>,
+    }
+
+    impl NetworkFunction for FlowStateNf {
+        fn name(&self) -> &str {
+            "flow-state"
+        }
+
+        fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+            if let Some(key) = packet.flow_key() {
+                *self.states.entry(key).or_insert(0) += 1;
+            }
+            Verdict::Default
+        }
+
+        fn export_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+            self.states
+                .remove(key)
+                .map(|count| NfFlowState::with_counter("packets", count))
+        }
+
+        fn scrub_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+            let state = self.export_flow_state(key)?;
+            self.scrubbed.lock().push(*key);
+            Some(state)
+        }
+
+        fn import_flow_state(&mut self, key: &FlowKey, state: NfFlowState) {
+            *self.states.entry(*key).or_insert(0) += state.counter("packets").unwrap_or(0);
+        }
+
+        fn flow_state_keys(&self) -> Vec<FlowKey> {
+            self.states.keys().copied().collect()
+        }
+    }
+
+    #[test]
+    fn idle_eviction_scrubs_nf_state_and_reaches_telemetry() {
+        let service = ServiceId::new(1);
+        let table = SharedFlowTable::new();
+        // Wildcard fallback so the flow keeps forwarding after eviction.
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(service)],
+        ));
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(service),
+            vec![Action::ToPort(1)],
+        ));
+        let flow = packet(7).flow_key().unwrap();
+        table.insert(
+            FlowRule::new(
+                FlowMatch::exact(RulePort::Nic(0), &flow),
+                vec![Action::ToService(service)],
+            )
+            .with_idle_timeout_ns(Some(2_000_000)),
+        );
+        let scrubbed = Arc::new(Mutex::new(Vec::new()));
+        let scrub_log = Arc::clone(&scrubbed);
+        let (host, sim) = ThreadedHost::start_sim_sharded(
+            table,
+            move |_shard| {
+                vec![(
+                    service,
+                    Box::new(FlowStateNf {
+                        states: HashMap::new(),
+                        scrubbed: Arc::clone(&scrub_log),
+                    }) as Box<dyn NetworkFunction>,
+                )]
+            },
+            ThreadedHostConfig {
+                rule_sweep_interval_ns: 100_000,
+                telemetry_interval_ns: 100_000,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        // Phase 1: traffic every 0.5 ms refreshes the 2 ms idle timer —
+        // the rule survives 10 ms of such traffic even though most lookups
+        // are served by the per-thread cache (its TTL forces periodic
+        // table fall-through).
+        for _ in 0..20 {
+            sim.advance_clock_ns(500_000);
+            assert!(host.inject(packet(7)).is_admitted());
+            for _ in 0..40 {
+                sim.step_all();
+            }
+            let _ = host.poll_egress_burst(16);
+        }
+        let snap = host.stats().snapshot();
+        assert_eq!(
+            snap.rules_evicted_idle + snap.rules_evicted_hard,
+            0,
+            "traffic refreshes the idle timer"
+        );
+        // Phase 2: go quiet past the idle timeout. The sweep evicts the
+        // rule and the NF's per-flow state for the evicted key is
+        // scrubbed.
+        sim.advance_clock_ns(5_000_000);
+        for _ in 0..200 {
+            sim.step_all();
+        }
+        let snap = host.stats().snapshot();
+        assert_eq!(snap.rules_evicted_idle, 1);
+        assert_eq!(snap.rules_evicted_hard, 0);
+        assert_eq!(snap.nf_state_scrubbed, 1);
+        assert_eq!(scrubbed.lock().clone(), vec![flow]);
+        // The eviction surfaces on the telemetry bus, where the control
+        // plane's hub reads it. Drain the (bounded) telemetry ring of
+        // pre-eviction snapshots first, then let a fresh one publish.
+        let mut hub = sdnfv_telemetry::TelemetryHub::new();
+        hub.absorb(host.poll_telemetry());
+        sim.advance_clock_ns(200_000);
+        for _ in 0..80 {
+            sim.step_all();
+        }
+        hub.absorb(host.poll_telemetry());
+        assert_eq!(hub.total_rules_evicted(), 1);
+        assert_eq!(hub.total_nf_state_scrubbed(), 1);
+        // The flow still forwards via the wildcard rule — no punt.
+        assert!(host.inject(packet(7)).is_admitted());
+        for _ in 0..40 {
+            sim.step_all();
+        }
+        assert_eq!(host.poll_egress_burst(16).len(), 1);
+        assert_eq!(host.stats().snapshot().controller_punts, 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn hard_timeout_evicts_under_sustained_traffic() {
+        let table = SharedFlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToPort(1)],
+        ));
+        let flow = packet(9).flow_key().unwrap();
+        table.insert(
+            FlowRule::new(
+                FlowMatch::exact(RulePort::Nic(0), &flow),
+                vec![Action::ToPort(2)],
+            )
+            .with_hard_timeout_ns(Some(2_000_000)),
+        );
+        let (host, sim) = ThreadedHost::start_sim_sharded(
+            table,
+            |_shard| vec![],
+            ThreadedHostConfig {
+                rule_sweep_interval_ns: 100_000,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        let mut ports = Vec::new();
+        for _ in 0..10 {
+            sim.advance_clock_ns(500_000);
+            assert!(host.inject(packet(9)).is_admitted());
+            for _ in 0..40 {
+                sim.step_all();
+            }
+            for out in host.poll_egress_burst(16) {
+                ports.push(out.port);
+            }
+        }
+        assert_eq!(ports.len(), 10);
+        assert_eq!(ports[0], 2, "exact rule forwarded before the hard cutoff");
+        assert_eq!(
+            *ports.last().unwrap(),
+            1,
+            "hard timeout fired despite continuous traffic"
+        );
+        let snap = host.stats().snapshot();
+        assert_eq!(snap.rules_evicted_hard, 1);
+        assert_eq!(snap.rules_evicted_idle, 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn mid_rehome_bucket_defers_eviction_until_move_completes() {
+        let service = ServiceId::new(1);
+        let table = SharedFlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToPort(1)],
+        ));
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(service),
+            vec![Action::ToPort(1)],
+        ));
+        let flow = packet(7).flow_key().unwrap();
+        table.insert(
+            FlowRule::new(
+                FlowMatch::exact(RulePort::Nic(0), &flow),
+                vec![Action::ToService(service)],
+            )
+            .with_hard_timeout_ns(Some(1_000_000)),
+        );
+        let (host, sim) = ThreadedHost::start_sim_sharded(
+            table,
+            |_shard| {
+                vec![(
+                    service,
+                    Box::new(NoOpNf::new()) as Box<dyn NetworkFunction>,
+                )]
+            },
+            ThreadedHostConfig {
+                num_shards: 2,
+                rule_sweep_interval_ns: 100_000,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        let workers: Vec<u64> = sim
+            .actors()
+            .iter()
+            .filter(|a| a.kind == crate::sim::SimActorKind::Worker)
+            .map(|a| a.id)
+            .collect();
+        // Keep the flow's bucket busy: the packet is dispatched into the
+        // NF ring (stepping workers only) and sits there, holding the
+        // bucket's in-flight count, so the re-home cannot finish draining.
+        assert!(host.inject(packet(7)).is_admitted());
+        for _ in 0..5 {
+            for worker in &workers {
+                sim.step(*worker);
+            }
+        }
+        let victim = host.shard_of(&packet(7));
+        let weights: Vec<u32> = (0..2).map(|s| u32::from(s != victim as u32)).collect();
+        assert!(host.set_steering_weights(&weights));
+        assert!(host.pending_rehomes() > 0, "the busy bucket is mid-move");
+        // Sail far past the hard timeout while the bucket is parked: the
+        // sweep must defer the rule (its state is being exported).
+        sim.advance_clock_ns(10_000_000);
+        for _ in 0..200 {
+            for worker in &workers {
+                sim.step(*worker);
+            }
+        }
+        let snap = host.stats().snapshot();
+        assert_eq!(
+            snap.rules_evicted_idle + snap.rules_evicted_hard,
+            0,
+            "a mid-re-home bucket's exact rules are protected from eviction"
+        );
+        // Let the move complete (NFs drain, host advances the handshake).
+        for _ in 0..400 {
+            sim.step_all();
+            let _ = host.poll_egress_burst(64);
+            if host.pending_rehomes() == 0 {
+                break;
+            }
+        }
+        assert_eq!(host.pending_rehomes(), 0, "re-home completed");
+        // Unparked, each partition's copy of the broadcast-installed rule
+        // (host installs replicate exact rules to every shard; the move
+        // left the destination's pre-existing copy in place) evicts
+        // exactly once — and neither copy double-evicts or resurrects.
+        sim.advance_clock_ns(10_000_000);
+        for _ in 0..200 {
+            sim.step_all();
+        }
+        assert_eq!(host.stats().shard_snapshot(0).rules_evicted_hard, 1);
+        assert_eq!(host.stats().shard_snapshot(1).rules_evicted_hard, 1);
+        sim.advance_clock_ns(10_000_000);
+        for _ in 0..200 {
+            sim.step_all();
+        }
+        assert_eq!(
+            host.stats().snapshot().rules_evicted_hard,
+            2,
+            "evicted rules do not resurrect"
+        );
+        host.shutdown();
     }
 }

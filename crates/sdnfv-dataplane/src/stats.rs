@@ -44,6 +44,14 @@ pub struct HostStatsSnapshot {
     /// scale-down to a surviving replica of the same service (the
     /// state-preserving path; losses show up in `nf_state_import_drops`).
     pub nf_state_handoffs: u64,
+    /// Flow rules evicted because their idle timeout elapsed without
+    /// traffic.
+    pub rules_evicted_idle: u64,
+    /// Flow rules evicted because their hard timeout elapsed.
+    pub rules_evicted_hard: u64,
+    /// Per-flow NF state entries scrubbed because their flow's rule was
+    /// evicted by the timeout lifecycle.
+    pub nf_state_scrubbed: u64,
 }
 
 impl HostStatsSnapshot {
@@ -60,6 +68,9 @@ impl HostStatsSnapshot {
         self.nf_messages += other.nf_messages;
         self.nf_state_import_drops += other.nf_state_import_drops;
         self.nf_state_handoffs += other.nf_state_handoffs;
+        self.rules_evicted_idle += other.rules_evicted_idle;
+        self.rules_evicted_hard += other.rules_evicted_hard;
+        self.nf_state_scrubbed += other.nf_state_scrubbed;
     }
 }
 
@@ -76,6 +87,9 @@ struct Counters {
     nf_messages: AtomicU64,
     nf_state_import_drops: AtomicU64,
     nf_state_handoffs: AtomicU64,
+    rules_evicted_idle: AtomicU64,
+    rules_evicted_hard: AtomicU64,
+    nf_state_scrubbed: AtomicU64,
 }
 
 macro_rules! counter {
@@ -179,6 +193,24 @@ impl ShardStats {
         nf_state_handoffs,
         "NF flow states handed off on replica scale-down"
     );
+    counter!(
+        add_rules_evicted_idle,
+        rules_evicted_idle,
+        rules_evicted_idle,
+        "flow rules evicted on idle timeout"
+    );
+    counter!(
+        add_rules_evicted_hard,
+        rules_evicted_hard,
+        rules_evicted_hard,
+        "flow rules evicted on hard timeout"
+    );
+    counter!(
+        add_nf_state_scrubbed,
+        nf_state_scrubbed,
+        nf_state_scrubbed,
+        "NF flow states scrubbed after rule eviction"
+    );
 
     /// Takes a consistent-enough snapshot of this shard's counters.
     pub fn snapshot(&self) -> HostStatsSnapshot {
@@ -194,6 +226,9 @@ impl ShardStats {
             nf_messages: self.nf_messages(),
             nf_state_import_drops: self.nf_state_import_drops(),
             nf_state_handoffs: self.nf_state_handoffs(),
+            rules_evicted_idle: self.rules_evicted_idle(),
+            rules_evicted_hard: self.rules_evicted_hard(),
+            nf_state_scrubbed: self.nf_state_scrubbed(),
         }
     }
 }
@@ -298,6 +333,21 @@ impl HostStats {
         nf_state_handoffs,
         "NF flow states handed off on replica scale-down"
     );
+    shard0_counter!(
+        add_rules_evicted_idle,
+        rules_evicted_idle,
+        "flow rules evicted on idle timeout"
+    );
+    shard0_counter!(
+        add_rules_evicted_hard,
+        rules_evicted_hard,
+        "flow rules evicted on hard timeout"
+    );
+    shard0_counter!(
+        add_nf_state_scrubbed,
+        nf_state_scrubbed,
+        "NF flow states scrubbed after rule eviction"
+    );
 
     /// Takes a consistent-enough snapshot of all counters, merged over every
     /// shard.
@@ -346,6 +396,9 @@ mod tests {
         stats.add_nf_invocations(20);
         stats.add_nf_messages(1);
         stats.add_nf_state_import_drops(1);
+        stats.add_rules_evicted_idle(2);
+        stats.add_rules_evicted_hard(3);
+        stats.add_nf_state_scrubbed(4);
         let snap = stats.snapshot();
         assert_eq!(snap.received, 15);
         assert_eq!(snap.transmitted, 8);
@@ -357,6 +410,9 @@ mod tests {
         assert_eq!(snap.nf_invocations, 20);
         assert_eq!(snap.nf_messages, 1);
         assert_eq!(snap.nf_state_import_drops, 1);
+        assert_eq!(snap.rules_evicted_idle, 2);
+        assert_eq!(snap.rules_evicted_hard, 3);
+        assert_eq!(snap.nf_state_scrubbed, 4);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub enum FaultKind {
     /// An NF replica was added or removed mid-schedule (removal exercises
     /// the retire-replica state handoff under load).
     RaceReplica,
+    /// A burst of synthetic exact rules with short hard timeouts was
+    /// installed, churning the tuple-space tables while moves race.
+    RuleChurn,
+    /// The virtual clock jumped far past every idle timeout, forcing the
+    /// sweep to evict en masse (possibly mid-re-home).
+    EvictStorm,
 }
 
 impl FaultKind {
@@ -61,6 +67,8 @@ impl FaultKind {
             FaultKind::RaceRebalance => "race-rebalance",
             FaultKind::RaceScaleShards => "race-scale-shards",
             FaultKind::RaceReplica => "race-replica",
+            FaultKind::RuleChurn => "rule-churn",
+            FaultKind::EvictStorm => "evict-storm",
         }
     }
 }
@@ -84,6 +92,10 @@ pub struct FaultPlan {
     pub scale_shards: u64,
     /// Chance per tick of a racing replica add/remove.
     pub replica: u64,
+    /// Chance per tick of installing a burst of short-lived exact rules.
+    pub rule_churn: u64,
+    /// Chance per tick of a clock jump past every idle timeout.
+    pub evict_storm: u64,
 }
 
 impl FaultPlan {
@@ -101,6 +113,8 @@ impl FaultPlan {
             rebalance: rng.gen_between(2, 12),
             scale_shards: rng.gen_between(3, 15),
             replica: rng.gen_between(3, 15),
+            rule_churn: rng.gen_between(3, 15),
+            evict_storm: rng.gen_between(2, 10),
         }
     }
 
@@ -108,7 +122,7 @@ impl FaultPlan {
     pub fn summary(&self) -> String {
         format!(
             "faults%: stall={} tdrop={} tdup={} tdelay={} credits={} rebalance={} shards={} \
-             replica={}",
+             replica={} churn={} evict={}",
             self.stall,
             self.telemetry_drop,
             self.telemetry_dup,
@@ -117,6 +131,8 @@ impl FaultPlan {
             self.rebalance,
             self.scale_shards,
             self.replica,
+            self.rule_churn,
+            self.evict_storm,
         )
     }
 }

@@ -9,7 +9,9 @@
 //!    amount, maybe injects control-plane operations (shard spawns and
 //!    retirements, replica adds/removals, credit resizes, steering
 //!    rebalances) and faults (actor stalls; telemetry drop/dup/delay via
-//!    [`FaultySource`]), injects a random batch of packets from a fixed
+//!    [`FaultySource`]; bursts of short-lived exact rules churning the
+//!    tuple-space tables; evict-storm clock jumps that outrun rule
+//!    timeouts), injects a random batch of packets from a fixed
 //!    flow pool, steps the host's actors in a random order, drains a
 //!    random amount of egress, and sometimes ticks the elastic manager.
 //! 2. **Quiescence** — faults stop; the run steps everything until the
@@ -92,6 +94,10 @@ struct Ledger {
     /// Counter mass surviving in replicas, reported by each replica's
     /// `Drop` (state that migrated is reported by whoever holds it last).
     reported: Mutex<BTreeMap<FlowKey, u64>>,
+    /// Counter mass removed by rule-eviction scrubs — legitimate
+    /// retirement, not loss: the census accepts `reported + scrubbed ==
+    /// processed`.
+    scrubbed: Mutex<BTreeMap<FlowKey, u64>>,
     /// Flows for which a pin `ChangeDefault` has been sent.
     pinned: Mutex<BTreeSet<FlowKey>>,
     /// Whether the wildcard default mutation has been sent.
@@ -182,6 +188,16 @@ impl NetworkFunction for DstNf {
             .map(|count| NfFlowState::with_counter("count", count))
     }
 
+    fn scrub_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+        // A scrub means the flow's rule was evicted by timeout: the mass
+        // leaves `counts` for the ledger's scrubbed column, so the census
+        // can tell deliberate retirement from a lost payload.
+        self.counts.remove(key).map(|count| {
+            *self.ledger.scrubbed.lock().entry(*key).or_insert(0) += count;
+            NfFlowState::with_counter("count", count)
+        })
+    }
+
     fn import_flow_state(&mut self, key: &FlowKey, state: NfFlowState) {
         if let Some(count) = state.counter("count") {
             *self.counts.entry(*key).or_insert(0) += count;
@@ -212,6 +228,19 @@ fn pool_packet(flow: u16) -> Packet {
         .ingress_port(0)
         .total_size(128)
         .build()
+}
+
+/// A synthetic churn flow: `src_port 30000+n → dst_port 80` — disjoint
+/// from the pool's ports, so churn rules never steer schedule traffic.
+fn churn_key(n: u16) -> FlowKey {
+    PacketBuilder::udp()
+        .src_ip([10, 0, 0, 1])
+        .dst_ip([10, 0, 0, 2])
+        .src_port(30_000 + n)
+        .dst_port(80)
+        .build()
+        .flow_key()
+        .expect("churn packets are UDP")
 }
 
 /// `NIC 0 → counter service → {port 1 (default), port 2 (pin), port 3
@@ -270,6 +299,12 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
         ingress_capacity: 64,
         egress_capacity: 256,
         telemetry_interval_ns: 150_000,
+        // A short sweep interval so the timeout lifecycle runs constantly
+        // under the schedule's faults, and a pin idle window long enough
+        // that only evict-storm clock jumps (not ordinary tick time) can
+        // outrun it.
+        rule_sweep_interval_ns: 200_000,
+        pin_idle_timeout_ns: Some(30_000_000),
         rehome_ordering: if strict {
             RehomeOrdering::Strict
         } else {
@@ -337,6 +372,8 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
     let mut injected = 0u64;
     let mut egressed = 0u64;
     let mut peak_shards = host.num_shards();
+    let mut churn_keys: BTreeSet<FlowKey> = BTreeSet::new();
+    let mut churn_seq: u16 = 0;
 
     // ---------------------------------------------------------- active phase
     for tick in 0..config.ticks {
@@ -404,6 +441,41 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
                 );
                 fired.insert(FaultKind::ActorStall);
             }
+        }
+        if schedule_rng.chance(plan.rule_churn) {
+            // A burst of short-lived exact rules on flows the schedule
+            // never injects: they churn the tuple-space tables (and their
+            // deadline heaps) while moves and scale ops race, without
+            // touching the forwarding the probes assert. Host installs
+            // broadcast to every shard's partition, so each rule evicts
+            // once per partition copy.
+            let burst = schedule_rng.gen_between(1, 4);
+            for _ in 0..burst {
+                let key = churn_key(churn_seq);
+                churn_seq += 1;
+                let idle = schedule_rng.gen_between(300_000, 1_500_000);
+                let hard = schedule_rng.gen_between(800_000, 4_000_000);
+                host.install_rule(
+                    FlowRule::new(
+                        FlowMatch::exact(RulePort::Service(service), &key),
+                        vec![Action::ToPort(PORT_DEFAULT)],
+                    )
+                    .with_idle_timeout_ns(Some(idle))
+                    .with_hard_timeout_ns(Some(hard)),
+                );
+                churn_keys.insert(key);
+            }
+            trace_event!(trace, "tick {tick}: fault rule-churn burst={burst}");
+            fired.insert(FaultKind::RuleChurn);
+        }
+        if schedule_rng.chance(plan.evict_storm) {
+            // Jump the virtual clock far enough that every live churn
+            // rule's timeout (and, cumulatively, the pins' 30 ms idle
+            // window) is outrun, forcing the sweeps to evict en masse.
+            let jump = schedule_rng.gen_between(2_000_000, 8_000_000);
+            sim.advance_clock_ns(jump);
+            trace_event!(trace, "tick {tick}: fault evict-storm clock +{jump}");
+            fired.insert(FaultKind::EvictStorm);
         }
 
         // Traffic.
@@ -530,6 +602,56 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
         }
     }
 
+    // ------------------------------------------------------ eviction settling
+    // Every churn rule carries a hard timeout, so once the clock moves
+    // past the largest one the sweeps must evict every copy on every
+    // shard. A survivor means the lifecycle lost track of a copy — e.g.
+    // a bucket move or partition merge resurrected it past its deadline.
+    if !churn_keys.is_empty() {
+        let survivors = |host: &ThreadedHost| -> usize {
+            (0..host.num_shards())
+                .map(|shard| {
+                    host.shard_table(shard).with_read(|t| {
+                        churn_keys
+                            .iter()
+                            .filter(|key| {
+                                t.exact_rule_id(RulePort::Service(service), key).is_some()
+                            })
+                            .count()
+                    })
+                })
+                .sum()
+        };
+        let mut remaining = survivors(&host);
+        for _ in 0..200 {
+            if remaining == 0 {
+                break;
+            }
+            sim.advance_clock_ns(500_000);
+            sim.step_all();
+            egressed += host.poll_egress_burst(64).len() as u64;
+            remaining = survivors(&host);
+        }
+        let evicted_total: u64 = (0..host.num_shards())
+            .map(|s| {
+                let snap = host.stats().shard_snapshot(s);
+                snap.rules_evicted_idle + snap.rules_evicted_hard
+            })
+            .sum();
+        trace_event!(
+            trace,
+            "evict: {} churn rules installed, survivors={}, live-shard evictions={}",
+            churn_keys.len(),
+            remaining,
+            evicted_total
+        );
+        if remaining > 0 {
+            violations.push(format!(
+                "evict: {remaining} churn-rule copies survived past their hard timeout"
+            ));
+        }
+    }
+
     // ---------------------------------------------------------------- probes
     let pinned_before: BTreeSet<FlowKey> = ledger.pinned.lock().clone();
     let wildcard_before = ledger.wildcard_fired.load(Ordering::Acquire);
@@ -542,31 +664,53 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
     // Structural rule census: every pinned flow's exact rule must live in
     // exactly the partition of the shard its bucket currently steers to —
     // anywhere else it was either lost in a move or duplicated by one.
+    // A pin absent from *every* partition is different: pins carry the
+    // host's idle timeout, and an evict-storm clock jump can legitimately
+    // outrun the 30 ms window. Eviction is consistent behavior, not a
+    // lost update — the probe then expects the wildcard defaults.
     let steering = host.steering_table();
     let shards = host.num_shards();
+    let mut evicted_pins: BTreeSet<FlowKey> = BTreeSet::new();
     for key in &pinned_before {
         let owner = if steering.is_empty() {
             sdnfv_dataplane::shard_for_flow(key, shards)
         } else {
             steering[(key.stable_hash() % steering.len() as u64) as usize]
         };
+        let mut owner_present = false;
+        let mut present_anywhere = false;
         for shard in 0..shards {
             let present = host
                 .shard_table(shard)
                 .with_read(|t| t.exact_rule_id(RulePort::Service(service), key).is_some());
-            if shard == owner && !present {
-                violations.push(format!(
-                    "exact rule lost: pinned flow {}:{} has no exact rule in owner shard \
-                     {owner}'s partition",
-                    key.src_port, key.dst_port
-                ));
-            } else if shard != owner && present {
+            if !present {
+                continue;
+            }
+            present_anywhere = true;
+            if shard == owner {
+                owner_present = true;
+            } else {
                 violations.push(format!(
                     "exact rule stranded: pinned flow {}:{} has an exact rule in shard {shard} \
                      but is owned by shard {owner}",
                     key.src_port, key.dst_port
                 ));
             }
+        }
+        if !present_anywhere {
+            evicted_pins.insert(*key);
+            trace_event!(
+                trace,
+                "probe: pin {}:{} evicted by idle timeout",
+                key.src_port,
+                key.dst_port
+            );
+        } else if !owner_present {
+            violations.push(format!(
+                "exact rule lost: pinned flow {}:{} has no exact rule in owner shard {owner}'s \
+                 partition",
+                key.src_port, key.dst_port
+            ));
         }
     }
     for flow in 0..config.flows {
@@ -619,6 +763,31 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
                      {PORT_WILDCARD}"
                 ));
             }
+        } else if evicted_pins.contains(&key) {
+            // The pin's exact rule expired by idle timeout during the
+            // run; the flow legitimately falls back to the wildcard
+            // defaults. One more legal outcome: if the flow's counter
+            // state survived the eviction scrub (e.g. it was mid-handoff
+            // when the scrub fanned out), the probe packet itself crosses
+            // the threshold again and *re-pins* — evicted-then-reinstalled
+            // is consistent behavior, verified structurally by the rule
+            // being present again.
+            let repinned = port == PORT_PINNED
+                && (0..shards).any(|shard| {
+                    host.shard_table(shard).with_read(|t| {
+                        t.exact_rule_id(RulePort::Service(service), &key).is_some()
+                    })
+                });
+            if repinned {
+                trace_event!(trace, "probe: pin flow {flow} re-pinned after eviction");
+            }
+            let legal =
+                port == PORT_DEFAULT || (wildcard_before && port == PORT_WILDCARD) || repinned;
+            if !legal {
+                violations.push(format!(
+                    "evicted pin: flow {flow} egressed on unexpected port {port}"
+                ));
+            }
         } else if pinned_before.contains(&key) {
             // The pin normally forwards to PORT_PINNED, but a *later*
             // wildcard `ChangeDefault(any())` legitimately rewrites the
@@ -627,10 +796,23 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
             // caught structurally above.
             let legal = port == PORT_PINNED || (wildcard_before && port == PORT_WILDCARD);
             if !legal {
-                violations.push(format!(
-                    "exact pin lost: flow {flow} was pinned but egressed on port {port}, want \
-                     {PORT_PINNED}"
-                ));
+                // The pin's idle deadline can fall in the window between
+                // the structural census and this probe (the probe's own
+                // lookup then lazily evicts it). Re-check before calling
+                // it loss: absent everywhere now means it expired.
+                let still_present = (0..shards).any(|shard| {
+                    host.shard_table(shard)
+                        .with_read(|t| t.exact_rule_id(RulePort::Service(service), &key).is_some())
+                });
+                let fell_back = port == PORT_DEFAULT || (wildcard_before && port == PORT_WILDCARD);
+                if still_present || !fell_back {
+                    violations.push(format!(
+                        "exact pin lost: flow {flow} was pinned but egressed on port {port}, \
+                         want {PORT_PINNED}"
+                    ));
+                } else {
+                    trace_event!(trace, "probe: pin flow {flow} evicted mid-probe phase");
+                }
             }
         } else {
             // Unpinned: the default path, the wildcard default (legal on
@@ -684,7 +866,8 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
 
     let processed = ledger.processed.lock().clone();
     let reported = ledger.reported.lock().clone();
-    check_flow_census(&processed, &reported, &mut violations);
+    let scrubbed = ledger.scrubbed.lock().clone();
+    check_flow_census(&processed, &reported, &scrubbed, &mut violations);
     let pins = ledger.pinned.lock().len();
     trace_event!(
         trace,

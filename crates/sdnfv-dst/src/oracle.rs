@@ -9,12 +9,17 @@
 //!   `received == transmitted + dropped + overflow_drops +
 //!   controller_punts`, and everything transmitted was drained at egress;
 //! * **no NF flow state lost or duplicated** — the per-flow counter
-//!   census: the sum of counter state surviving in replicas at shutdown
-//!   equals the number of packets processed, per flow
-//!   (`nf_state_import_drops` must also stay 0);
+//!   census: counter state surviving in replicas at shutdown plus mass
+//!   retired by rule-eviction scrubs equals the number of packets
+//!   processed, per flow (`nf_state_import_drops` must also stay 0);
 //! * **no exact-flow rules lost** — a flow pinned by a `ChangeDefault`
 //!   during the run still forwards to the pinned port when probed after
-//!   quiescence, however many times its bucket moved;
+//!   quiescence, however many times its bucket moved — unless its rule's
+//!   idle timeout legitimately expired, in which case the flow must fall
+//!   back to the wildcard defaults (eviction is consistent behavior);
+//! * **no evicted rule survives** — every synthetic churn rule (short
+//!   hard timeout) is gone from every partition once the clock passes its
+//!   deadline;
 //! * **no wildcard mutations lost** — same, for the wildcard default
 //!   flip;
 //! * **credit conservation** — after quiescence every shard's credit gate
@@ -137,24 +142,32 @@ pub fn check_zeros(stats: &HostStatsSnapshot, violations: &mut Vec<String>) {
 }
 
 /// The NF flow-state census: counter mass surviving in replicas at
-/// shutdown must equal packets processed, per flow. Loss (a dropped
-/// export/import) shows as `reported < processed`; duplication (a state
-/// payload applied twice) as `reported > processed`.
+/// shutdown, plus mass deliberately retired by rule-eviction scrubs, must
+/// equal packets processed, per flow. A rule evicted by its idle/hard
+/// timeout (and possibly reinstalled later) is consistent behavior — its
+/// scrubbed mass is accounted, not lost. Loss (a dropped export/import)
+/// shows as `reported + scrubbed < processed`; duplication (a state
+/// payload applied twice) as `>`.
 pub fn check_flow_census(
     processed: &BTreeMap<FlowKey, u64>,
     reported: &BTreeMap<FlowKey, u64>,
+    scrubbed: &BTreeMap<FlowKey, u64>,
     violations: &mut Vec<String>,
 ) {
     for (key, want) in processed {
-        let got = reported.get(key).copied().unwrap_or(0);
+        let surviving = reported.get(key).copied().unwrap_or(0);
+        let retired = scrubbed.get(key).copied().unwrap_or(0);
+        let got = surviving + retired;
         if got != *want {
             violations.push(format!(
-                "nf-state census: flow {}:{} processed {} packets but {} counter units survived \
-                 ({})",
+                "nf-state census: flow {}:{} processed {} packets but {} counter units accounted \
+                 ({} surviving + {} scrubbed: {})",
                 key.src_port,
                 key.dst_port,
                 want,
                 got,
+                surviving,
+                retired,
                 if got < *want {
                     "state lost"
                 } else {
@@ -163,7 +176,7 @@ pub fn check_flow_census(
             ));
         }
     }
-    for key in reported.keys() {
+    for key in reported.keys().chain(scrubbed.keys()) {
         if !processed.contains_key(key) {
             violations.push(format!(
                 "nf-state census: flow {}:{} has surviving state but was never processed",

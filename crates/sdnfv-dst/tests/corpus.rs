@@ -71,6 +71,23 @@ fn pinned_seed_0x21_rebalance_races_retirement() {
     assert!(report.stats.nf_state_handoffs > 0);
 }
 
+/// Rule churn bursting short-lived exact rules into the tuple-space
+/// tables while evict-storm clock jumps outrun both their timeouts and
+/// the pins' 30 ms idle window: the run only passes if the sweeps evict
+/// every churn copy on every shard and the evicted pins fall back to the
+/// wildcard defaults when probed — eviction (and a subsequent re-pin) is
+/// consistent behavior, not a lost update.
+#[test]
+fn pinned_seed_0x7_rule_churn_evict_storm() {
+    let report = replay_pinned(0x7);
+    assert!(report.fired.contains(&FaultKind::RuleChurn));
+    assert!(report.fired.contains(&FaultKind::EvictStorm));
+    assert!(
+        report.trace.render().contains("evicted by idle timeout"),
+        "schedule must evict at least one pin"
+    );
+}
+
 /// One sweep part: `count` seeds from `base`, determinism-checked every
 /// 64th, with the union of fired fault kinds returned for the breadth
 /// assertion.

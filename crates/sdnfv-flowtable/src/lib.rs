@@ -32,5 +32,5 @@ pub use matching::{FlowMatch, IpPrefix};
 pub use partition::{BucketStateMoved, FlowTablePartitions};
 pub use provenance::{MutationLog, MutationRecord, WildcardMutation};
 pub use rule::{Action, Decision, FlowRule, RuleId};
-pub use table::{FlowTable, SharedFlowTable, TableStats};
+pub use table::{EvictReason, EvictedRule, FlowTable, SharedFlowTable, TableStats};
 pub use types::{RulePort, ServiceId};

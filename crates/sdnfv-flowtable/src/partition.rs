@@ -416,7 +416,7 @@ mod tests {
         );
         // The moved rule governs the flow on its new shard.
         let decision = parts.shard(1).lookup(RulePort::Nic(0), &key(1)).unwrap();
-        assert_eq!(decision.actions, vec![Action::Drop]);
+        assert_eq!(&decision.actions[..], &[Action::Drop]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 use sdnfv_proto::packet::Port;
 
@@ -62,6 +63,14 @@ pub struct FlowRule {
     /// use higher priorities than the wildcard rules derived from the
     /// service graph.
     pub priority: u16,
+    /// OpenFlow-style idle timeout: the rule is evicted once this many
+    /// nanoseconds pass without a lookup hitting it. `None` (the default)
+    /// never idles out.
+    pub idle_timeout_ns: Option<u64>,
+    /// OpenFlow-style hard timeout: the rule is evicted this many
+    /// nanoseconds after installation, regardless of traffic. `None` (the
+    /// default) never expires.
+    pub hard_timeout_ns: Option<u64>,
 }
 
 impl FlowRule {
@@ -72,16 +81,16 @@ impl FlowRule {
             actions,
             parallel: false,
             priority: 0,
+            idle_timeout_ns: None,
+            hard_timeout_ns: None,
         }
     }
 
     /// Creates a parallel-dispatch rule.
     pub fn parallel(matcher: FlowMatch, actions: Vec<Action>) -> Self {
         FlowRule {
-            matcher,
-            actions,
             parallel: true,
-            priority: 0,
+            ..FlowRule::new(matcher, actions)
         }
     }
 
@@ -89,6 +98,23 @@ impl FlowRule {
     pub fn with_priority(mut self, priority: u16) -> Self {
         self.priority = priority;
         self
+    }
+
+    /// Builder-style idle-timeout setter (`None` disables idle expiry).
+    pub fn with_idle_timeout_ns(mut self, idle_timeout_ns: Option<u64>) -> Self {
+        self.idle_timeout_ns = idle_timeout_ns;
+        self
+    }
+
+    /// Builder-style hard-timeout setter (`None` disables hard expiry).
+    pub fn with_hard_timeout_ns(mut self, hard_timeout_ns: Option<u64>) -> Self {
+        self.hard_timeout_ns = hard_timeout_ns;
+        self
+    }
+
+    /// Whether the rule can ever expire (has an idle or hard timeout).
+    pub fn has_timeout(&self) -> bool {
+        self.idle_timeout_ns.is_some() || self.hard_timeout_ns.is_some()
     }
 
     /// The default action (first in the list), if the rule has any actions.
@@ -115,12 +141,16 @@ impl FlowRule {
 /// The outcome of a flow-table lookup, detached from the table so it can be
 /// cached inside a packet descriptor (paper §4.2 "caching flow table
 /// lookups").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The action list is shared with the table entry via `Arc`, so handing a
+/// decision out (and cloning it into lookup caches and packet descriptors)
+/// never allocates on the per-packet path.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Decision {
     /// Rule that matched.
     pub rule_id: RuleId,
-    /// The rule's action list at lookup time.
-    pub actions: Vec<Action>,
+    /// The rule's action list at lookup time (shared, not copied).
+    pub actions: Arc<[Action]>,
     /// Whether the actions are parallel destinations.
     pub parallel: bool,
 }
@@ -198,7 +228,7 @@ mod tests {
     fn decision_mirrors_rule_semantics() {
         let d = Decision {
             rule_id: RuleId(4),
-            actions: vec![Action::Drop, Action::ToPort(1)],
+            actions: vec![Action::Drop, Action::ToPort(1)].into(),
             parallel: false,
         };
         assert_eq!(d.default_action(), Some(Action::Drop));
@@ -216,6 +246,17 @@ mod tests {
         assert_eq!(Action::Drop.to_string(), "drop");
         assert_eq!(Action::ToController.to_string(), "controller");
         assert_eq!(RuleId(3).to_string(), "rule-3");
+    }
+
+    #[test]
+    fn timeout_builders_set_expiry() {
+        let rule = FlowRule::new(FlowMatch::any(), vec![Action::Drop])
+            .with_idle_timeout_ns(Some(5))
+            .with_hard_timeout_ns(Some(9));
+        assert_eq!(rule.idle_timeout_ns, Some(5));
+        assert_eq!(rule.hard_timeout_ns, Some(9));
+        assert!(rule.has_timeout());
+        assert!(!FlowRule::new(FlowMatch::any(), vec![]).has_timeout());
     }
 
     #[test]

@@ -1,10 +1,39 @@
 //! The per-host flow table and its thread-safe wrapper.
+//!
+//! # Classifier layout
+//!
+//! The table keeps two structures, matching how OpenFlow switches split
+//! their TCAM from their exact-match tables:
+//!
+//! * **Exact index** — fully-specified `/32` five-tuple rules live in a
+//!   hash map keyed by `(step, flow key)`. The common case (a packet of an
+//!   established flow at a service) is one hash probe; exact insert/remove
+//!   is O(1) and never touches the wildcard structure.
+//! * **Tuple space** — wildcard rules are grouped by *mask shape* (which
+//!   [`FlowMatch`] fields are constrained, plus the two prefix lengths).
+//!   Each shape owns a hash table keyed by the rule's masked tuple, so a
+//!   lookup probes each shape with one hash of the packet's masked fields.
+//!   Shapes are kept sorted by their highest-priority rule, so the probe
+//!   loop exits as soon as no remaining shape can beat the best candidate.
+//!   Lookup cost is O(distinct mask shapes), not O(rules).
+//!
+//! # Lifecycle
+//!
+//! Rules may carry OpenFlow-style idle and hard timeouts. Expiry is
+//! *lazy* — a lookup that touches an expired rule evicts it on the spot —
+//! plus an amortized [`FlowTable::sweep`] driven from the owner's clock
+//! (a lazy-deletion deadline heap, so a sweep only inspects rules whose
+//! earliest possible deadline has passed). Evictions are queued as
+//! [`EvictedRule`] events for the data plane to drain and forward to the
+//! control plane and to NF flow-state cleanup.
 
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use sdnfv_proto::flow::FlowKey;
+use sdnfv_proto::flow::{FlowKey, IpProtocol};
 
 use crate::matching::FlowMatch;
 use crate::rule::{Action, Decision, FlowRule, RuleId};
@@ -19,23 +48,304 @@ pub struct TableStats {
     pub hits: u64,
     /// Lookups that matched no rule (table misses, i.e. controller punts).
     pub misses: u64,
+    /// Rules evicted because their idle timeout elapsed without traffic.
+    pub evicted_idle: u64,
+    /// Rules evicted because their hard timeout elapsed.
+    pub evicted_hard: u64,
+}
+
+/// Why a rule was evicted from the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The rule's idle timeout elapsed with no lookup hitting it.
+    Idle,
+    /// The rule's hard timeout elapsed (installation age), regardless of
+    /// traffic.
+    Hard,
+}
+
+/// A rule-eviction event, queued by the table and drained by the data
+/// plane ([`FlowTable::take_evicted`]) so the control plane learns which
+/// flows died and NF per-flow state can be scrubbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictedRule {
+    /// The evicted rule's id.
+    pub id: RuleId,
+    /// The evicted rule itself (its matcher and final action list).
+    pub rule: FlowRule,
+    /// For exact per-flow rules, the `(step, 5-tuple)` index key — the
+    /// handle NF flow-state cleanup needs. `None` for wildcard rules.
+    pub exact: Option<(RulePort, FlowKey)>,
+    /// Why the rule expired.
+    pub reason: EvictReason,
+}
+
+/// One installed rule plus its per-entry bookkeeping: the hit counter
+/// (folded in, so a lookup does not probe a side map), the shared action
+/// list handed out in [`Decision`]s without cloning, and the timestamps
+/// the timeout lifecycle runs on.
+#[derive(Debug, Clone)]
+struct RuleEntry {
+    rule: FlowRule,
+    /// `rule.actions` shared as an `Arc` so lookups are allocation-free;
+    /// rebuilt whenever a bulk mutation changes the action list.
+    shared_actions: Arc<[Action]>,
+    hits: u64,
+    installed_at_ns: u64,
+    last_hit_ns: u64,
+}
+
+impl RuleEntry {
+    fn new(rule: FlowRule, now_ns: u64) -> Self {
+        let shared_actions: Arc<[Action]> = rule.actions.clone().into();
+        RuleEntry {
+            rule,
+            shared_actions,
+            hits: 0,
+            installed_at_ns: now_ns,
+            last_hit_ns: now_ns,
+        }
+    }
+
+    fn refresh_shared_actions(&mut self) {
+        self.shared_actions = self.rule.actions.clone().into();
+    }
+
+    /// The earliest instant at which the entry *could* expire (the
+    /// deadline-heap key). `None` when the rule has no timeout.
+    fn earliest_deadline(&self) -> Option<u64> {
+        let hard = self
+            .rule
+            .hard_timeout_ns
+            .map(|t| self.installed_at_ns.saturating_add(t));
+        let idle = self
+            .rule
+            .idle_timeout_ns
+            .map(|t| self.last_hit_ns.saturating_add(t));
+        match (hard, idle) {
+            (Some(h), Some(i)) => Some(h.min(i)),
+            (Some(h), None) => Some(h),
+            (None, Some(i)) => Some(i),
+            (None, None) => None,
+        }
+    }
+
+    /// Whether the entry is expired at `now_ns` (hard timeout checked
+    /// first, mirroring OpenFlow's removal-reason precedence).
+    fn expiry(&self, now_ns: u64) -> Option<EvictReason> {
+        if let Some(hard) = self.rule.hard_timeout_ns {
+            if now_ns >= self.installed_at_ns.saturating_add(hard) {
+                return Some(EvictReason::Hard);
+            }
+        }
+        if let Some(idle) = self.rule.idle_timeout_ns {
+            if now_ns >= self.last_hit_ns.saturating_add(idle) {
+                return Some(EvictReason::Idle);
+            }
+        }
+        None
+    }
+}
+
+/// Which [`FlowMatch`] fields a wildcard rule constrains — the tuple-space
+/// grouping key. Two rules share a shape iff they mask the same fields
+/// with the same prefix lengths, which also fixes their specificity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MaskShape {
+    has_step: bool,
+    /// `None` = source IP unconstrained; `Some(len)` = prefix of that
+    /// length (0 is a legal, match-all prefix with its own specificity).
+    src_len: Option<u8>,
+    dst_len: Option<u8>,
+    has_src_port: bool,
+    has_dst_port: bool,
+    has_protocol: bool,
+}
+
+/// A packet's (or rule's) field values masked down to one shape — the
+/// per-shape hash key. Unconstrained fields are zeroed so they hash
+/// identically for every packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MaskedTuple {
+    step: Option<RulePort>,
+    src: u32,
+    dst: u32,
+    src_port: u16,
+    dst_port: u16,
+    protocol: Option<IpProtocol>,
+}
+
+fn mask_addr(addr: Ipv4Addr, len: u8) -> u32 {
+    if len == 0 {
+        return 0;
+    }
+    u32::from(addr) & (u32::MAX << (32 - u32::from(len.min(32))))
+}
+
+impl MaskShape {
+    fn of(m: &FlowMatch) -> Self {
+        MaskShape {
+            has_step: m.step.is_some(),
+            src_len: m.src_ip.map(|p| p.len),
+            dst_len: m.dst_ip.map(|p| p.len),
+            has_src_port: m.src_port.is_some(),
+            has_dst_port: m.dst_port.is_some(),
+            has_protocol: m.protocol.is_some(),
+        }
+    }
+
+    /// The masked tuple of a rule with this shape.
+    fn mask_rule(&self, m: &FlowMatch) -> MaskedTuple {
+        MaskedTuple {
+            step: m.step,
+            src: m.src_ip.map_or(0, |p| mask_addr(p.addr, p.len)),
+            dst: m.dst_ip.map_or(0, |p| mask_addr(p.addr, p.len)),
+            src_port: m.src_port.unwrap_or(0),
+            dst_port: m.dst_port.unwrap_or(0),
+            protocol: m.protocol,
+        }
+    }
+
+    /// Projects a packet's `(step, key)` onto this shape: the resulting
+    /// tuple equals a rule's masked tuple iff the rule matches the packet.
+    fn project(&self, step: RulePort, key: &FlowKey) -> MaskedTuple {
+        MaskedTuple {
+            step: self.has_step.then_some(step),
+            src: self.src_len.map_or(0, |len| mask_addr(key.src_ip, len)),
+            dst: self.dst_len.map_or(0, |len| mask_addr(key.dst_ip, len)),
+            src_port: if self.has_src_port { key.src_port } else { 0 },
+            dst_port: if self.has_dst_port { key.dst_port } else { 0 },
+            protocol: self.has_protocol.then_some(key.protocol),
+        }
+    }
+}
+
+/// All wildcard rules of one mask shape: a hash table keyed by masked
+/// tuple, plus a priority histogram so the probe loop knows the shape's
+/// current ceiling without scanning.
+#[derive(Debug, Clone)]
+struct ShapeBucket {
+    shape: MaskShape,
+    /// Specificity is a pure function of the shape, shared by every rule
+    /// in the bucket.
+    specificity: u32,
+    /// Creation sequence — the deterministic tiebreak when two shapes have
+    /// the same max priority.
+    seq: u64,
+    /// Masked tuple → `(priority, id)` candidates, sorted descending so
+    /// the first live entry is the bucket's best match.
+    rules: HashMap<MaskedTuple, Vec<(u16, RuleId)>>,
+    /// Priority histogram over every rule in the bucket; the last key is
+    /// the shape's max priority (the probe-order / early-exit key).
+    priorities: std::collections::BTreeMap<u16, usize>,
+}
+
+impl ShapeBucket {
+    fn max_priority(&self) -> u16 {
+        self.priorities.keys().next_back().copied().unwrap_or(0)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.priorities.is_empty()
+    }
+}
+
+/// The tuple-space classifier over all wildcard rules: one
+/// [`ShapeBucket`] per distinct mask shape, kept sorted by descending max
+/// priority (ties broken by creation order) for early-exit probing.
+#[derive(Debug, Clone, Default)]
+struct TupleSpace {
+    shapes: Vec<ShapeBucket>,
+    next_seq: u64,
+}
+
+impl TupleSpace {
+    fn insert(&mut self, id: RuleId, rule: &FlowRule) {
+        let shape = MaskShape::of(&rule.matcher);
+        let tuple = shape.mask_rule(&rule.matcher);
+        let index = match self.shapes.iter().position(|b| b.shape == shape) {
+            Some(index) => index,
+            None => {
+                self.shapes.push(ShapeBucket {
+                    shape,
+                    specificity: rule.matcher.specificity(),
+                    seq: self.next_seq,
+                    rules: HashMap::new(),
+                    priorities: std::collections::BTreeMap::new(),
+                });
+                self.next_seq += 1;
+                self.shapes.len() - 1
+            }
+        };
+        let bucket = &mut self.shapes[index];
+        let ids = bucket.rules.entry(tuple).or_default();
+        // Keep (priority desc, id desc): the first live entry wins.
+        let at = ids.partition_point(|&(p, other)| (p, other.0) > (rule.priority, id.0));
+        ids.insert(at, (rule.priority, id));
+        *bucket.priorities.entry(rule.priority).or_insert(0) += 1;
+        self.resort();
+    }
+
+    fn remove(&mut self, id: RuleId, rule: &FlowRule) {
+        let shape = MaskShape::of(&rule.matcher);
+        let tuple = shape.mask_rule(&rule.matcher);
+        let Some(index) = self.shapes.iter().position(|b| b.shape == shape) else {
+            return;
+        };
+        let bucket = &mut self.shapes[index];
+        if let Some(ids) = bucket.rules.get_mut(&tuple) {
+            if let Some(at) = ids.iter().position(|&(_, other)| other == id) {
+                ids.remove(at);
+                if let Some(count) = bucket.priorities.get_mut(&rule.priority) {
+                    *count -= 1;
+                    if *count == 0 {
+                        bucket.priorities.remove(&rule.priority);
+                    }
+                }
+            }
+            if ids.is_empty() {
+                bucket.rules.remove(&tuple);
+            }
+        }
+        if bucket.is_empty() {
+            self.shapes.remove(index);
+        }
+        self.resort();
+    }
+
+    /// Restores the probe order (max priority desc, creation seq asc).
+    /// The shape count is small by construction — this is O(S log S) per
+    /// rule-churn event, not per lookup.
+    fn resort(&mut self) {
+        self.shapes
+            .sort_by(|a, b| b.max_priority().cmp(&a.max_priority()).then(a.seq.cmp(&b.seq)));
+    }
 }
 
 /// The flow table held by one NF Manager.
 ///
-/// Rules are matched by priority (highest first), then by match specificity,
-/// then by recency of installation. Exact per-flow rules are additionally
-/// indexed by their `(step, 5-tuple)` key so the common case — a packet of an
-/// established flow finishing at a service — is a hash lookup.
+/// Rules are matched by priority (highest first), then by match
+/// specificity, then by recency of installation. Exact per-flow rules
+/// take precedence over wildcard rules of equal priority; a
+/// strictly-higher-priority wildcard still wins. See the module docs for
+/// the classifier layout and the timeout lifecycle.
 #[derive(Debug, Default, Clone)]
 pub struct FlowTable {
-    rules: HashMap<RuleId, FlowRule>,
-    /// Lookup order: rule ids sorted by (priority desc, specificity desc,
-    /// insertion order desc).
-    order: Vec<RuleId>,
+    rules: HashMap<RuleId, RuleEntry>,
     exact: HashMap<(RulePort, FlowKey), RuleId>,
+    wildcard: TupleSpace,
     next_id: u64,
-    hit_counts: HashMap<RuleId, u64>,
+    /// The table's notion of "now" (monotone, advanced by the owner's
+    /// clock). All timeout comparisons use this, so behavior is identical
+    /// under the real and the simulated clock.
+    now_ns: u64,
+    /// Lazy-deletion deadline heap: `(earliest possible expiry, rule id)`.
+    /// Entries are not updated when traffic refreshes an idle deadline;
+    /// a popped entry whose rule is gone or not yet expired is re-armed or
+    /// discarded.
+    deadlines: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Eviction events not yet drained by [`FlowTable::take_evicted`].
+    evicted: Vec<EvictedRule>,
     stats: TableStats,
 }
 
@@ -45,58 +355,117 @@ impl FlowTable {
         FlowTable::default()
     }
 
+    /// Advances the table clock (monotone). Timeouts only ever fire
+    /// against this clock, so a table whose owner never advances it never
+    /// expires anything.
+    pub fn advance_clock(&mut self, now_ns: u64) {
+        self.now_ns = self.now_ns.max(now_ns);
+    }
+
+    /// The table's current clock, in nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.now_ns
+    }
+
     /// Installs a rule and returns its id.
+    ///
+    /// Exact rules go to the exact index only and wildcard rules to their
+    /// shape bucket only — no full-table re-sort on either path, so flow
+    /// pinning stays O(1) in the table size. Installing an exact rule for
+    /// a `(step, key)` that already has one replaces the old rule.
     pub fn insert(&mut self, rule: FlowRule) -> RuleId {
         let id = RuleId(self.next_id);
         self.next_id += 1;
-        if let Some((step, key)) = rule.matcher.exact_key() {
-            self.exact.insert((step, key), id);
+        let entry = RuleEntry::new(rule, self.now_ns);
+        if let Some(step_key) = entry.rule.matcher.exact_key() {
+            if let Some(old) = self.exact.insert(step_key, id) {
+                // The old rule would be unreachable (exact rules are only
+                // found through the index); drop it rather than leak it.
+                self.rules.remove(&old);
+            }
+        } else {
+            self.wildcard.insert(id, &entry.rule);
         }
-        self.rules.insert(id, rule);
-        self.hit_counts.insert(id, 0);
-        self.rebuild_order();
+        if let Some(deadline) = entry.earliest_deadline() {
+            self.deadlines.push(Reverse((deadline, id.0)));
+        }
+        self.rules.insert(id, entry);
         id
     }
 
-    /// Removes a rule.
+    /// Removes a rule. O(1) for exact rules; O(shape bucket) for
+    /// wildcards.
     pub fn remove(&mut self, id: RuleId) -> Option<FlowRule> {
-        let rule = self.rules.remove(&id)?;
-        self.hit_counts.remove(&id);
-        if let Some(key) = rule.matcher.exact_key() {
-            if self.exact.get(&key) == Some(&id) {
-                self.exact.remove(&key);
+        let entry = self.rules.remove(&id)?;
+        self.unindex(id, &entry.rule);
+        Some(entry.rule)
+    }
+
+    fn unindex(&mut self, id: RuleId, rule: &FlowRule) {
+        if let Some(step_key) = rule.matcher.exact_key() {
+            if self.exact.get(&step_key) == Some(&id) {
+                self.exact.remove(&step_key);
             }
+        } else {
+            self.wildcard.remove(id, rule);
         }
-        self.rebuild_order();
-        Some(rule)
     }
 
-    fn rebuild_order(&mut self) {
-        let mut ids: Vec<RuleId> = self.rules.keys().copied().collect();
-        ids.sort_by(|a, b| {
-            let ra = &self.rules[a];
-            let rb = &self.rules[b];
-            rb.priority
-                .cmp(&ra.priority)
-                .then(rb.matcher.specificity().cmp(&ra.matcher.specificity()))
-                .then(b.0.cmp(&a.0))
+    /// Evicts a rule for `reason`: removes it from every index and queues
+    /// the [`EvictedRule`] event.
+    fn evict(&mut self, id: RuleId, reason: EvictReason) {
+        let Some(entry) = self.rules.remove(&id) else {
+            return;
+        };
+        let exact = entry.rule.matcher.exact_key();
+        self.unindex_removed(id, &entry.rule, exact);
+        match reason {
+            EvictReason::Idle => self.stats.evicted_idle += 1,
+            EvictReason::Hard => self.stats.evicted_hard += 1,
+        }
+        self.evicted.push(EvictedRule {
+            id,
+            rule: entry.rule,
+            exact,
+            reason,
         });
-        self.order = ids;
     }
 
-    /// Looks up the rule governing a packet of flow `key` at `step`.
+    fn unindex_removed(
+        &mut self,
+        id: RuleId,
+        rule: &FlowRule,
+        exact: Option<(RulePort, FlowKey)>,
+    ) {
+        if let Some(step_key) = exact {
+            if self.exact.get(&step_key) == Some(&id) {
+                self.exact.remove(&step_key);
+            }
+        } else {
+            self.wildcard.remove(id, rule);
+        }
+    }
+
+    /// Looks up the rule governing a packet of flow `key` at `step`,
+    /// counting the hit and refreshing the winning rule's idle timer.
+    /// Expired rules encountered on the way are evicted lazily.
     pub fn lookup(&mut self, step: RulePort, key: &FlowKey) -> Option<Decision> {
         self.stats.lookups += 1;
-        let id = self.find_rule_id(step, key);
-        match id {
+        let (winner, expired) = self.probe(step, key);
+        for (id, reason) in expired {
+            self.evict(id, reason);
+        }
+        match winner {
             Some(id) => {
                 self.stats.hits += 1;
-                *self.hit_counts.entry(id).or_insert(0) += 1;
-                let rule = &self.rules[&id];
+                let now_ns = self.now_ns;
+                let entry = self.rules.get_mut(&id).expect("probe returns live ids");
+                entry.hits += 1;
+                entry.last_hit_ns = now_ns;
                 Some(Decision {
                     rule_id: id,
-                    actions: rule.actions.clone(),
-                    parallel: rule.parallel,
+                    actions: Arc::clone(&entry.shared_actions),
+                    parallel: entry.rule.parallel,
                 })
             }
             None => {
@@ -106,34 +475,154 @@ impl FlowTable {
         }
     }
 
-    /// Read-only lookup that does not update statistics (used by tests and by
-    /// the control plane when validating messages).
+    /// Read-only lookup that does not update statistics or idle timers
+    /// (used by tests and by the control plane when validating messages).
+    /// Expired rules are skipped but not evicted (no `&mut`).
     pub fn peek(&self, step: RulePort, key: &FlowKey) -> Option<&FlowRule> {
-        self.find_rule_id(step, key).map(|id| &self.rules[&id])
+        let (winner, _expired) = self.probe(step, key);
+        winner.map(|id| &self.rules[&id].rule)
     }
 
-    fn find_rule_id(&self, step: RulePort, key: &FlowKey) -> Option<RuleId> {
-        // Exact rules take precedence over any wildcard of equal priority;
-        // but a higher-priority wildcard still wins, so consult the ordered
-        // scan and use the exact index only as a fast path when the winning
-        // priority band contains the exact rule.
-        if let Some(&exact_id) = self.exact.get(&(step, *key)) {
-            let exact_priority = self.rules[&exact_id].priority;
-            let better = self.order.iter().find(|id| {
-                let rule = &self.rules[id];
-                rule.priority > exact_priority && rule.matcher.matches(step, key)
-            });
-            return Some(better.copied().unwrap_or(exact_id));
+    /// The classifier core: exact fast path + tuple-space probe.
+    ///
+    /// Returns the winning live rule id (if any) and the expired rules
+    /// encountered, which the caller may evict. Win order: priority desc,
+    /// then specificity desc, then insertion id desc; an exact rule beats
+    /// any wildcard of equal priority.
+    fn probe(&self, step: RulePort, key: &FlowKey) -> (Option<RuleId>, Vec<(RuleId, EvictReason)>) {
+        let now_ns = self.now_ns;
+        let mut expired: Vec<(RuleId, EvictReason)> = Vec::new();
+        let exact = match self.exact.get(&(step, *key)).copied() {
+            Some(id) => match self.rules[&id].expiry(now_ns) {
+                Some(reason) => {
+                    expired.push((id, reason));
+                    None
+                }
+                None => Some(id),
+            },
+            None => None,
+        };
+        let exact_priority = exact.map(|id| self.rules[&id].rule.priority);
+        let mut best: Option<(u16, u32, RuleId)> = None;
+        for bucket in &self.wildcard.shapes {
+            let ceiling = bucket.max_priority();
+            // Shapes are sorted by max priority: once no remaining shape
+            // can beat the best candidate (or tie with the exact rule,
+            // which wins ties), stop probing.
+            if let Some((best_priority, _, _)) = best {
+                if ceiling < best_priority {
+                    break;
+                }
+            }
+            if let Some(exact_priority) = exact_priority {
+                if ceiling <= exact_priority {
+                    break;
+                }
+            }
+            let tuple = bucket.shape.project(step, key);
+            let Some(ids) = bucket.rules.get(&tuple) else {
+                continue;
+            };
+            for &(priority, id) in ids {
+                let entry = &self.rules[&id];
+                if let Some(reason) = entry.expiry(now_ns) {
+                    expired.push((id, reason));
+                    continue;
+                }
+                debug_assert!(entry.rule.matcher.matches(step, key));
+                if exact_priority.is_some_and(|ep| priority <= ep) {
+                    break;
+                }
+                let candidate = (priority, bucket.specificity, id);
+                if best.is_none_or(|(bp, bs, bi)| (priority, bucket.specificity, id.0) > (bp, bs, bi.0))
+                {
+                    best = Some(candidate);
+                }
+                // Entries are sorted (priority desc, id desc): the first
+                // live one is this bucket's best.
+                break;
+            }
         }
-        self.order
-            .iter()
-            .find(|id| self.rules[id].matcher.matches(step, key))
-            .copied()
+        let winner = match (exact, best) {
+            (Some(exact_id), Some((best_priority, _, best_id))) => {
+                let exact_priority = self.rules[&exact_id].rule.priority;
+                if best_priority > exact_priority {
+                    Some(best_id)
+                } else {
+                    Some(exact_id)
+                }
+            }
+            (Some(exact_id), None) => Some(exact_id),
+            (None, Some((_, _, best_id))) => Some(best_id),
+            (None, None) => None,
+        };
+        (winner, expired)
+    }
+
+    /// Evicts up to `max_evictions` expired rules whose deadline has
+    /// passed, driven by the lazy-deletion deadline heap (only rules whose
+    /// earliest possible deadline elapsed are inspected). Exact rules for
+    /// which `protected` returns `true` — e.g. rules of a bucket mid
+    /// re-home, whose export must not race an eviction — are deferred to a
+    /// later sweep. Returns the number of rules evicted.
+    pub fn sweep(
+        &mut self,
+        max_evictions: usize,
+        protected: impl Fn(&(RulePort, FlowKey)) -> bool,
+    ) -> usize {
+        let now_ns = self.now_ns;
+        let mut evictions = 0;
+        let mut deferred: Vec<Reverse<(u64, u64)>> = Vec::new();
+        while evictions < max_evictions {
+            let Some(&Reverse((deadline, raw))) = self.deadlines.peek() else {
+                break;
+            };
+            if deadline > now_ns {
+                break;
+            }
+            self.deadlines.pop();
+            let id = RuleId(raw);
+            let Some(entry) = self.rules.get(&id) else {
+                continue; // stale heap entry: the rule is already gone
+            };
+            match entry.expiry(now_ns) {
+                Some(reason) => {
+                    if let Some(step_key) = entry.rule.matcher.exact_key() {
+                        if protected(&step_key) {
+                            deferred.push(Reverse((deadline, raw)));
+                            continue;
+                        }
+                    }
+                    self.evict(id, reason);
+                    evictions += 1;
+                }
+                None => {
+                    // Traffic pushed the idle deadline forward since this
+                    // heap entry was armed: re-arm at the new deadline.
+                    if let Some(next) = entry.earliest_deadline() {
+                        self.deadlines.push(Reverse((next, raw)));
+                    }
+                }
+            }
+        }
+        self.deadlines.extend(deferred);
+        evictions
+    }
+
+    /// Drains the eviction events accumulated by lazy lookup expiry and
+    /// [`FlowTable::sweep`], in eviction order.
+    pub fn take_evicted(&mut self) -> Vec<EvictedRule> {
+        std::mem::take(&mut self.evicted)
+    }
+
+    /// Eviction events queued but not yet drained.
+    pub fn pending_evictions(&self) -> usize {
+        self.evicted.len()
     }
 
     /// Returns the rule with the given id.
     pub fn rule(&self, id: RuleId) -> Option<&FlowRule> {
-        self.rules.get(&id)
+        self.rules.get(&id).map(|entry| &entry.rule)
     }
 
     /// Returns the id of the exact per-flow rule installed for `(step, key)`,
@@ -142,9 +631,28 @@ impl FlowTable {
         self.exact.get(&(step, *key)).copied()
     }
 
-    /// Iterates over all installed rules.
+    /// Rule ids sorted in match order (priority desc, specificity desc,
+    /// insertion desc) — computed on demand; the hot path no longer
+    /// maintains a global order.
+    fn sorted_ids(&self) -> Vec<RuleId> {
+        let mut ids: Vec<RuleId> = self.rules.keys().copied().collect();
+        ids.sort_by(|a, b| {
+            let ra = &self.rules[a].rule;
+            let rb = &self.rules[b].rule;
+            rb.priority
+                .cmp(&ra.priority)
+                .then(rb.matcher.specificity().cmp(&ra.matcher.specificity()))
+                .then(b.0.cmp(&a.0))
+        });
+        ids
+    }
+
+    /// Iterates over all installed rules in match order (a control-plane
+    /// convenience; the order is computed on demand).
     pub fn rules(&self) -> impl Iterator<Item = (RuleId, &FlowRule)> {
-        self.order.iter().map(move |id| (*id, &self.rules[id]))
+        self.sorted_ids()
+            .into_iter()
+            .map(move |id| (id, &self.rules[&id].rule))
     }
 
     /// Iterates over the exact per-flow rules, yielding each rule's id, its
@@ -155,7 +663,7 @@ impl FlowTable {
     ) -> impl Iterator<Item = (RuleId, (RulePort, FlowKey), &FlowRule)> + '_ {
         self.exact
             .iter()
-            .map(move |(step_key, id)| (*id, *step_key, &self.rules[id]))
+            .map(move |(step_key, id)| (*id, *step_key, &self.rules[id].rule))
     }
 
     /// Number of installed rules.
@@ -170,10 +678,17 @@ impl FlowTable {
 
     /// Number of times rule `id` has been hit.
     pub fn hit_count(&self, id: RuleId) -> u64 {
-        self.hit_counts.get(&id).copied().unwrap_or(0)
+        self.rules.get(&id).map_or(0, |entry| entry.hits)
     }
 
-    /// Lookup/hit/miss counters.
+    /// Resets every rule's hit counter (partition forks start fresh).
+    fn reset_hit_counts(&mut self) {
+        for entry in self.rules.values_mut() {
+            entry.hits = 0;
+        }
+    }
+
+    /// Lookup/hit/miss/eviction counters.
     pub fn stats(&self) -> TableStats {
         self.stats
     }
@@ -193,14 +708,15 @@ impl FlowTable {
         force: bool,
     ) -> usize {
         let mut updated = 0;
-        for rule in self.rules.values_mut() {
-            let applies = rule.matcher.step == Some(RulePort::Service(service))
-                && matches_intersect(&rule.matcher, flows);
+        for entry in self.rules.values_mut() {
+            let applies = entry.rule.matcher.step == Some(RulePort::Service(service))
+                && matches_intersect(&entry.rule.matcher, flows);
             if !applies {
                 continue;
             }
-            if rule.allows(new_default) || force {
-                rule.set_default_action(new_default);
+            if entry.rule.allows(new_default) || force {
+                entry.rule.set_default_action(new_default);
+                entry.refresh_shared_actions();
                 updated += 1;
             }
         }
@@ -219,12 +735,13 @@ impl FlowTable {
         new_default: Action,
     ) -> usize {
         let mut updated = 0;
-        for rule in self.rules.values_mut() {
-            if rule.default_action() == Some(Action::ToService(pointing_at))
-                && matches_intersect(&rule.matcher, flows)
+        for entry in self.rules.values_mut() {
+            if entry.rule.default_action() == Some(Action::ToService(pointing_at))
+                && matches_intersect(&entry.rule.matcher, flows)
                 && new_default != Action::ToService(pointing_at)
             {
-                rule.set_default_action(new_default);
+                entry.rule.set_default_action(new_default);
+                entry.refresh_shared_actions();
                 updated += 1;
             }
         }
@@ -239,12 +756,13 @@ impl FlowTable {
     /// Returns the number of rules updated.
     pub fn promote_where_allowed(&mut self, flows: &FlowMatch, action: Action) -> usize {
         let mut updated = 0;
-        for rule in self.rules.values_mut() {
-            if rule.allows(action)
-                && rule.default_action() != Some(action)
-                && matches_intersect(&rule.matcher, flows)
+        for entry in self.rules.values_mut() {
+            if entry.rule.allows(action)
+                && entry.rule.default_action() != Some(action)
+                && matches_intersect(&entry.rule.matcher, flows)
             {
-                rule.set_default_action(action);
+                entry.rule.set_default_action(action);
+                entry.refresh_shared_actions();
                 updated += 1;
             }
         }
@@ -253,10 +771,10 @@ impl FlowTable {
 
     /// Rules whose step is the given service (the out-edges installed for it).
     pub fn rules_for_service(&self, service: ServiceId) -> Vec<(RuleId, &FlowRule)> {
-        self.order
-            .iter()
-            .filter(|id| self.rules[id].matcher.step == Some(RulePort::Service(service)))
-            .map(|id| (*id, &self.rules[id]))
+        self.sorted_ids()
+            .into_iter()
+            .filter(|id| self.rules[id].rule.matcher.step == Some(RulePort::Service(service)))
+            .map(|id| (id, &self.rules[&id].rule))
             .collect()
     }
 }
@@ -310,9 +828,42 @@ impl SharedFlowTable {
         self.inner.write().remove(id)
     }
 
-    /// Looks up the decision for a flow at a step.
+    /// Looks up the decision for a flow at a step. If the lookup lazily
+    /// evicted an expired rule on its way, the generation is bumped so
+    /// stale cached decisions for the dead rule are discarded.
     pub fn lookup(&self, step: RulePort, key: &FlowKey) -> Option<Decision> {
-        self.inner.write().lookup(step, key)
+        let mut guard = self.inner.write();
+        let before = guard.stats.evicted_idle + guard.stats.evicted_hard;
+        let decision = guard.lookup(step, key);
+        let evicted = guard.stats.evicted_idle + guard.stats.evicted_hard > before;
+        drop(guard);
+        if evicted {
+            self.bump();
+        }
+        decision
+    }
+
+    /// Advances the table clock to `now_ns` and evicts up to
+    /// `max_evictions` expired rules (see [`FlowTable::sweep`]), skipping
+    /// exact rules whose `(step, key)` is `protected` (mid-re-home).
+    /// Returns the drained eviction events — including any accumulated
+    /// from lazy lookup expiry since the last sweep — and bumps the
+    /// generation only when there are any.
+    pub fn sweep_expired(
+        &self,
+        now_ns: u64,
+        max_evictions: usize,
+        protected: impl Fn(&(RulePort, FlowKey)) -> bool,
+    ) -> Vec<EvictedRule> {
+        let mut guard = self.inner.write();
+        guard.advance_clock(now_ns);
+        guard.sweep(max_evictions, protected);
+        let events = guard.take_evicted();
+        drop(guard);
+        if !events.is_empty() {
+            self.bump();
+        }
+        events
     }
 
     /// Runs `f` with read access to the underlying table.
@@ -352,7 +903,7 @@ impl SharedFlowTable {
     pub fn fork(&self) -> SharedFlowTable {
         let mut copy = self.inner.read().clone();
         copy.stats = TableStats::default();
-        copy.hit_counts.values_mut().for_each(|count| *count = 0);
+        copy.reset_hit_counts();
         SharedFlowTable {
             inner: Arc::new(RwLock::new(copy)),
             generation: Arc::new(std::sync::atomic::AtomicU64::new(0)),
@@ -640,5 +1191,253 @@ mod tests {
         let d = table.lookup(RulePort::Service(svc(1)), &key(1)).unwrap();
         assert!(d.parallel);
         assert_eq!(d.actions.len(), 2);
+    }
+
+    #[test]
+    fn decisions_share_the_action_list() {
+        let mut table = FlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToPort(1)],
+        ));
+        let a = table.lookup(RulePort::Nic(0), &key(1)).unwrap();
+        let b = table.lookup(RulePort::Nic(0), &key(2)).unwrap();
+        // Both decisions point at the same allocation — the per-lookup
+        // action-vector clone is gone.
+        assert!(Arc::ptr_eq(&a.actions, &b.actions));
+    }
+
+    #[test]
+    fn bulk_mutation_refreshes_shared_actions() {
+        let mut table = FlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(svc(1)),
+            vec![Action::ToPort(0), Action::ToService(svc(2))],
+        ));
+        let before = table.lookup(RulePort::Service(svc(1)), &key(1)).unwrap();
+        assert_eq!(before.default_action(), Some(Action::ToPort(0)));
+        table.change_default(svc(1), &FlowMatch::any(), Action::ToService(svc(2)), false);
+        let after = table.lookup(RulePort::Service(svc(1)), &key(1)).unwrap();
+        assert_eq!(after.default_action(), Some(Action::ToService(svc(2))));
+        // The stale decision still sees the old list (detached snapshot).
+        assert_eq!(before.default_action(), Some(Action::ToPort(0)));
+    }
+
+    #[test]
+    fn exact_insert_replaces_previous_exact_rule() {
+        let mut table = FlowTable::new();
+        let old = table.insert(FlowRule::new(
+            FlowMatch::exact(RulePort::Nic(0), &key(7)),
+            vec![Action::Drop],
+        ));
+        let new = table.insert(FlowRule::new(
+            FlowMatch::exact(RulePort::Nic(0), &key(7)),
+            vec![Action::ToPort(1)],
+        ));
+        assert_eq!(table.len(), 1);
+        assert!(table.rule(old).is_none());
+        assert_eq!(table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id, new);
+    }
+
+    #[test]
+    fn idle_timeout_is_refreshed_by_traffic() {
+        let mut table = FlowTable::new();
+        let id = table.insert(
+            FlowRule::new(
+                FlowMatch::exact(RulePort::Nic(0), &key(7)),
+                vec![Action::ToPort(1)],
+            )
+            .with_idle_timeout_ns(Some(100)),
+        );
+        // Traffic every 60 ns keeps the rule alive well past 100 ns.
+        for step in 1..=5u64 {
+            table.advance_clock(step * 60);
+            assert!(table.lookup(RulePort::Nic(0), &key(7)).is_some());
+            assert_eq!(table.sweep(16, |_| false), 0);
+        }
+        // 100 ns of silence idles it out via the sweep.
+        table.advance_clock(5 * 60 + 100);
+        assert_eq!(table.sweep(16, |_| false), 1);
+        let events = table.take_evicted();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, id);
+        assert_eq!(events[0].reason, EvictReason::Idle);
+        assert_eq!(
+            events[0].exact,
+            Some((RulePort::Nic(0), key(7))),
+            "exact key travels with the event for NF state cleanup"
+        );
+        assert!(table.lookup(RulePort::Nic(0), &key(7)).is_none());
+        assert_eq!(table.stats().evicted_idle, 1);
+    }
+
+    #[test]
+    fn hard_timeout_fires_under_traffic() {
+        let mut table = FlowTable::new();
+        let id = table.insert(
+            FlowRule::new(
+                FlowMatch::exact(RulePort::Nic(0), &key(7)),
+                vec![Action::ToPort(1)],
+            )
+            .with_hard_timeout_ns(Some(100)),
+        );
+        table.advance_clock(90);
+        assert!(table.lookup(RulePort::Nic(0), &key(7)).is_some());
+        // Constant traffic does not save it from the hard deadline; the
+        // next lookup evicts it lazily.
+        table.advance_clock(100);
+        assert!(table.lookup(RulePort::Nic(0), &key(7)).is_none());
+        let events = table.take_evicted();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, id);
+        assert_eq!(events[0].reason, EvictReason::Hard);
+        assert_eq!(table.stats().evicted_hard, 1);
+    }
+
+    #[test]
+    fn expired_exact_rule_falls_back_to_wildcard() {
+        let mut table = FlowTable::new();
+        let wild = table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(svc(1))],
+        ));
+        table.insert(
+            FlowRule::new(
+                FlowMatch::exact(RulePort::Nic(0), &key(7)),
+                vec![Action::Drop],
+            )
+            .with_hard_timeout_ns(Some(50)),
+        );
+        table.advance_clock(50);
+        // The expired exact rule is evicted lazily and the wildcard wins.
+        let d = table.lookup(RulePort::Nic(0), &key(7)).unwrap();
+        assert_eq!(d.rule_id, wild);
+        assert_eq!(table.take_evicted().len(), 1);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn sweep_defers_protected_exact_rules() {
+        let mut table = FlowTable::new();
+        let id = table.insert(
+            FlowRule::new(
+                FlowMatch::exact(RulePort::Nic(0), &key(7)),
+                vec![Action::ToPort(1)],
+            )
+            .with_hard_timeout_ns(Some(10)),
+        );
+        table.advance_clock(100);
+        // Protected (e.g. its bucket is mid-re-home): the sweep skips it.
+        assert_eq!(table.sweep(16, |_| true), 0);
+        assert!(table.rule(id).is_some());
+        // Once the protection lifts, the deferred deadline fires.
+        assert_eq!(table.sweep(16, |_| false), 1);
+        assert!(table.rule(id).is_none());
+    }
+
+    #[test]
+    fn sweep_is_bounded_per_call() {
+        let mut table = FlowTable::new();
+        for last in 0..8u8 {
+            table.insert(
+                FlowRule::new(
+                    FlowMatch::exact(RulePort::Nic(0), &key(last)),
+                    vec![Action::Drop],
+                )
+                .with_hard_timeout_ns(Some(10)),
+            );
+        }
+        table.advance_clock(100);
+        assert_eq!(table.sweep(3, |_| false), 3);
+        assert_eq!(table.len(), 5);
+        assert_eq!(table.sweep(100, |_| false), 5);
+        assert!(table.is_empty());
+        assert_eq!(table.take_evicted().len(), 8);
+    }
+
+    #[test]
+    fn peek_skips_expired_without_evicting() {
+        let mut table = FlowTable::new();
+        table.insert(
+            FlowRule::new(
+                FlowMatch::exact(RulePort::Nic(0), &key(7)),
+                vec![Action::Drop],
+            )
+            .with_hard_timeout_ns(Some(10)),
+        );
+        table.advance_clock(50);
+        assert!(table.peek(RulePort::Nic(0), &key(7)).is_none());
+        // peek is read-only: the rule is still installed until a lookup or
+        // sweep evicts it.
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.pending_evictions(), 0);
+    }
+
+    #[test]
+    fn shared_sweep_bumps_generation_only_on_eviction() {
+        let shared = SharedFlowTable::new();
+        shared.insert(
+            FlowRule::new(
+                FlowMatch::exact(RulePort::Nic(0), &key(7)),
+                vec![Action::Drop],
+            )
+            .with_hard_timeout_ns(Some(100)),
+        );
+        let g = shared.generation();
+        assert!(shared.sweep_expired(50, 16, |_| false).is_empty());
+        assert_eq!(shared.generation(), g, "no eviction, no invalidation");
+        let events = shared.sweep_expired(100, 16, |_| false);
+        assert_eq!(events.len(), 1);
+        assert!(shared.generation() > g);
+    }
+
+    #[test]
+    fn tuple_space_probes_in_priority_order() {
+        let mut table = FlowTable::new();
+        // Three shapes: step-only, step+src/24, step+src_port.
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToPort(0)],
+        ));
+        let by_prefix = table.insert(
+            FlowRule::new(
+                FlowMatch::at_step(RulePort::Nic(0))
+                    .with_src_ip(IpPrefix::new(Ipv4Addr::new(10, 0, 0, 0), 24)),
+                vec![Action::ToPort(1)],
+            )
+            .with_priority(5),
+        );
+        let by_port = table.insert(
+            FlowRule::new(
+                FlowMatch::at_step(RulePort::Nic(0)).with_src_port(1000),
+                vec![Action::ToPort(2)],
+            )
+            .with_priority(9),
+        );
+        // key() has src 10.0.0.x and src_port 1000: the priority-9 shape wins.
+        assert_eq!(
+            table.lookup(RulePort::Nic(0), &key(1)).unwrap().rule_id,
+            by_port
+        );
+        table.remove(by_port);
+        assert_eq!(
+            table.lookup(RulePort::Nic(0), &key(1)).unwrap().rule_id,
+            by_prefix
+        );
+        // A key outside the /24 falls through to the step-only shape.
+        let outside = FlowKey::new(
+            Ipv4Addr::new(11, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 1, 1),
+            2000,
+            80,
+            IpProtocol::Tcp,
+        );
+        assert_eq!(
+            table
+                .lookup(RulePort::Nic(0), &outside)
+                .unwrap()
+                .default_action(),
+            Some(Action::ToPort(0))
+        );
     }
 }

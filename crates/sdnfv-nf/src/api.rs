@@ -299,6 +299,19 @@ pub trait NetworkFunction: Send {
         None
     }
 
+    /// Discards this instance's internal state for flow `key`, if any —
+    /// called when the flow's rule was evicted by the table's idle/hard
+    /// timeout lifecycle, so per-flow NF state dies with its rule. Returns
+    /// the discarded payload (callers ignore it; overrides may use it for
+    /// accounting, e.g. final-counter export to a collector).
+    ///
+    /// The default detaches via
+    /// [`export_flow_state`](NetworkFunction::export_flow_state), which is
+    /// exactly "remove and return".
+    fn scrub_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+        self.export_flow_state(key)
+    }
+
     /// Absorbs a state payload previously exported for flow `key` by
     /// another instance of the same NF — the import half of NF state
     /// migration. Called before the flow's first packet arrives on the new
@@ -387,6 +400,10 @@ impl<T: NetworkFunction + ?Sized> NetworkFunction for Box<T> {
 
     fn export_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
         (**self).export_flow_state(key)
+    }
+
+    fn scrub_flow_state(&mut self, key: &FlowKey) -> Option<NfFlowState> {
+        (**self).scrub_flow_state(key)
     }
 
     fn import_flow_state(&mut self, key: &FlowKey, state: NfFlowState) {

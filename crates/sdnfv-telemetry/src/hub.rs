@@ -118,6 +118,24 @@ impl TelemetryHub {
             .unwrap_or(0)
     }
 
+    /// Total flow rules evicted by the timeout lifecycle (idle + hard)
+    /// across every currently reporting shard. Counters are cumulative per
+    /// shard; a retired shard's contribution is forgotten with its
+    /// snapshots, so treat this as "evictions on the live data plane".
+    pub fn total_rules_evicted(&self) -> u64 {
+        self.latest_all()
+            .iter()
+            .map(|s| s.rules_evicted_idle + s.rules_evicted_hard)
+            .sum()
+    }
+
+    /// Total per-flow NF state entries scrubbed after rule eviction across
+    /// every currently reporting shard (same caveat as
+    /// [`TelemetryHub::total_rules_evicted`]).
+    pub fn total_nf_state_scrubbed(&self) -> u64 {
+        self.latest_all().iter().map(|s| s.nf_state_scrubbed).sum()
+    }
+
     /// Applies shard lifecycle events: a retired shard's snapshots are
     /// forgotten (trailing slots are truncated away) so stale gauges of a
     /// dead pipeline cannot drive control decisions; a spawned shard's slot
@@ -178,6 +196,9 @@ mod tests {
             applied_commands: 0,
             rehome_pen_depth: 0,
             rehome_pen_max_age_ns: 0,
+            rules_evicted_idle: 0,
+            rules_evicted_hard: 0,
+            nf_state_scrubbed: 0,
         }
     }
 
@@ -258,6 +279,23 @@ mod tests {
         hub.absorb(vec![a, b]);
         assert_eq!(hub.total_rehome_pen_depth(), 6);
         assert_eq!(hub.worst_rehome_pen_age_ns(), 9_000);
+    }
+
+    #[test]
+    fn eviction_totals_aggregate_across_shards() {
+        let mut hub = TelemetryHub::new();
+        assert_eq!(hub.total_rules_evicted(), 0);
+        assert_eq!(hub.total_nf_state_scrubbed(), 0);
+        let mut a = snapshot(0, 1, 100, 0);
+        a.rules_evicted_idle = 3;
+        a.rules_evicted_hard = 1;
+        a.nf_state_scrubbed = 2;
+        let mut b = snapshot(1, 1, 100, 0);
+        b.rules_evicted_idle = 5;
+        b.nf_state_scrubbed = 4;
+        hub.absorb(vec![a, b]);
+        assert_eq!(hub.total_rules_evicted(), 9);
+        assert_eq!(hub.total_nf_state_scrubbed(), 6);
     }
 
     #[test]

@@ -93,6 +93,15 @@ pub struct TelemetrySnapshot {
     /// a mid-move bucket is being flooded while its drain is stuck —
     /// backpressure that would otherwise be silent.
     pub rehome_pen_max_age_ns: u64,
+    /// Cumulative flow rules evicted on this shard because their idle
+    /// timeout elapsed without traffic.
+    pub rules_evicted_idle: u64,
+    /// Cumulative flow rules evicted on this shard because their hard
+    /// timeout elapsed.
+    pub rules_evicted_hard: u64,
+    /// Cumulative per-flow NF state entries scrubbed on this shard because
+    /// their flow's rule was evicted.
+    pub nf_state_scrubbed: u64,
 }
 
 /// A shard joining or leaving the data plane — published by the host when
@@ -228,6 +237,9 @@ mod tests {
             applied_commands: 0,
             rehome_pen_depth: 3,
             rehome_pen_max_age_ns: 2_000,
+            rules_evicted_idle: 0,
+            rules_evicted_hard: 0,
+            nf_state_scrubbed: 0,
         }
     }
 
