@@ -24,9 +24,7 @@
 //!   `BENCH_classifier.json` CI artifact).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sdnfv_flowtable::{
-    Action, FlowMatch, FlowRule, FlowTable, IpPrefix, RulePort, ServiceId,
-};
+use sdnfv_flowtable::{Action, FlowMatch, FlowRule, FlowTable, IpPrefix, RulePort, ServiceId};
 use sdnfv_proto::flow::{FlowKey, IpProtocol};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
@@ -132,10 +130,8 @@ fn wildcard_table(per_shape: usize) -> FlowTable {
     for i in 0..per_shape {
         let i32b = i as u32;
         table.insert(FlowRule::new(
-            FlowMatch::at_step(SVC).with_src_ip(IpPrefix::new(
-                Ipv4Addr::from(0x0A00_0000 | (i32b << 8)),
-                24,
-            )),
+            FlowMatch::at_step(SVC)
+                .with_src_ip(IpPrefix::new(Ipv4Addr::from(0x0A00_0000 | (i32b << 8)), 24)),
             vec![Action::ToPort(1)],
         ));
         table.insert(FlowRule::new(

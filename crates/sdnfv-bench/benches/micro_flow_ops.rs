@@ -70,15 +70,7 @@ fn bench_micro(c: &mut Criterion) {
         decision,
     );
     group.bench_function("cached_lookup", |b| {
-        b.iter(|| {
-            black_box(cache.get(
-                &key(1000),
-                RulePort::Service(ServiceId::new(3)),
-                0,
-                0,
-                0,
-            ))
-        })
+        b.iter(|| black_box(cache.get(&key(1000), RulePort::Service(ServiceId::new(3)), 0, 0, 0)))
     });
 
     let mut balancer = LoadBalancer::new(LoadBalancePolicy::MinQueue);

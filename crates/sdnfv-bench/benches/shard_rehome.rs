@@ -419,6 +419,9 @@ fn emit_rehome_json() {
     let nf_state_lost = STATEFUL_FLOWS.len() - surviving_nf_states(&host);
     let wildcard_rules_lost = usize::from(!wildcard_survived(&host));
     let report = host.rehome_report();
+    // The always-on latency histograms see the same pen dwells the sampled
+    // `take_rehome_pen_ages_ns` sees, but with every release recorded.
+    let pen_dwell = host.latency_report().pen_dwell;
     let snap = host.stats().snapshot();
     let packets_lost =
         (total * rounds).saturating_sub(drained_total) + snap.overflow_drops as usize;
@@ -445,7 +448,9 @@ fn emit_rehome_json() {
          \"nf_state_import_drops\": {}, \"packets_penned\": {}, \
          \"rehome_pause_us_p50\": {:.1}, \"rehome_pause_us_p90\": {:.1}, \
          \"rehome_pause_us_max\": {:.1}, \"pen_age_us_p50\": {:.1}, \"pen_age_us_p90\": {:.1}, \
-         \"pen_age_us_max\": {:.1}, \"throttled\": {}}}\n  ]\n}}\n",
+         \"pen_age_us_max\": {:.1}, \"pen_dwell_hist_count\": {}, \
+         \"pen_dwell_ns_p50\": {}, \"pen_dwell_ns_p99\": {}, \"pen_dwell_ns_p999\": {}, \
+         \"throttled\": {}}}\n  ]\n}}\n",
         STATEFUL_FLOWS.len(),
         report.buckets_rehomed,
         report.rules_rehomed,
@@ -460,6 +465,10 @@ fn emit_rehome_json() {
         percentile_of(&mut pen_ages, 0.5),
         percentile_of(&mut pen_ages, 0.9),
         percentile_of(&mut pen_ages, 1.0),
+        pen_dwell.count(),
+        pen_dwell.p50(),
+        pen_dwell.p99(),
+        pen_dwell.p999(),
         snap.throttled,
     );
     assert_eq!(packets_lost, 0, "re-homing must not lose packets");

@@ -200,6 +200,10 @@ impl SdnfvApplication {
                         .contains(&GraphNode::Sink),
                     (Some(_), Action::Drop) => true,
                     (Some(_), Action::ToController) => true,
+                    // A trace marker as a *default action* makes no sense
+                    // (the table strips markers from action lists); reject
+                    // it rather than silently installing a drop.
+                    (Some(_), Action::Trace) => false,
                     (None, _) => true,
                 };
                 vec![if allowed {

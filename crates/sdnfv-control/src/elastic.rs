@@ -675,6 +675,9 @@ impl ElasticNfManager {
                 ControlAction::SetSteeringWeights { weights } => {
                     let _ = host.set_steering_weights(weights);
                 }
+                ControlAction::SetTraceSampling { every } => {
+                    host.set_trace_sampling(*every);
+                }
                 ControlAction::SpawnShard => self.launch_shard(now_ns),
                 ControlAction::RetireShard { .. } => {
                     if host.retire_shard() {
@@ -847,7 +850,7 @@ mod tests {
     use super::*;
     use sdnfv_nf::nfs::NoOpNf;
     use sdnfv_nf::NfRegistry;
-    use sdnfv_telemetry::NfTelemetry;
+    use sdnfv_telemetry::{LatencyReport, NfTelemetry};
 
     fn svc(id: u32) -> ServiceId {
         ServiceId::new(id)
@@ -903,6 +906,10 @@ mod tests {
             rules_evicted_idle: 0,
             rules_evicted_hard: 0,
             nf_state_scrubbed: 0,
+            nf_state_handoffs: 0,
+            nf_state_import_drops: 0,
+            spans_dropped: 0,
+            latency: LatencyReport::default(),
         }
     }
 

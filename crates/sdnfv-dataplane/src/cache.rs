@@ -158,6 +158,7 @@ mod tests {
             rule_id: RuleId(svc as u64),
             actions: vec![Action::ToService(ServiceId::new(svc))].into(),
             parallel: false,
+            trace: false,
         }
     }
 

@@ -43,7 +43,7 @@ pub use conflict::resolve_parallel_verdicts;
 pub use loadbalance::LoadBalancePolicy;
 pub use manager::{NfManager, NfManagerConfig, PacketOutcome};
 pub use messages::{apply_nf_message, apply_nf_message_tracked, AppliedChange, NfManagerMessage};
-pub use rehome::RehomeReport;
+pub use rehome::{RehomeEvent, RehomeReport, RehomeStep};
 pub use runtime::{
     shard_for_flow, BurstInjection, HostOutput, InjectResult, OverflowPolicy, RehomeOrdering,
     ThreadedHost, ThreadedHostConfig, STEER_BUCKETS,

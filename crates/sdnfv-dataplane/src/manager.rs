@@ -940,6 +940,9 @@ impl Plan {
             Action::ToPort(port) => Plan::Transmit(port),
             Action::ToController => Plan::Punt,
             Action::ToService(service) => Plan::Invoke(service),
+            // The trace marker never reaches a decision's action list (the
+            // table strips it), so treat a stray one as a punt.
+            Action::Trace => Plan::Punt,
         }
     }
 }

@@ -231,6 +231,37 @@ pub struct RetiringShard {
 /// unaffected by this cap).
 pub const PEN_AGE_SAMPLE_CAP: usize = 4096;
 
+/// Re-home events retained between [`RehomeState::take_events`] drains;
+/// excess events are counted in `rehome_events_dropped` instead of growing
+/// the buffer without bound.
+pub const REHOME_EVENT_CAP: usize = 4096;
+
+/// Which step of a bucket move a [`RehomeEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RehomeStep {
+    /// The bucket was parked and its drain on the old shard began.
+    Begun,
+    /// The pen finished draining into the destination: the move is over.
+    Completed,
+}
+
+/// One step of one bucket's re-home — the feed a control-plane flight
+/// recorder journals so an operator can replay exactly when each bucket
+/// left its old shard and when it resumed on the new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RehomeEvent {
+    /// Host-clock nanoseconds when the step happened.
+    pub at_ns: u64,
+    /// The bucket being moved.
+    pub bucket: usize,
+    /// The shard the bucket is leaving.
+    pub from: usize,
+    /// The shard the bucket is moving to.
+    pub to: usize,
+    /// Which step this event records.
+    pub step: RehomeStep,
+}
+
 /// The host-side state of all in-progress re-homes.
 #[derive(Debug, Default)]
 pub struct RehomeState {
@@ -253,6 +284,11 @@ pub struct RehomeState {
     pen_ages_ns: Vec<u64>,
     /// Samples dropped because the cap was reached.
     pub pen_age_samples_dropped: u64,
+    /// Re-home steps awaiting a [`RehomeState::take_events`] drain, newest
+    /// last, capped at [`REHOME_EVENT_CAP`].
+    events: Vec<RehomeEvent>,
+    /// Events dropped because the cap was reached.
+    pub rehome_events_dropped: u64,
 }
 
 impl RehomeState {
@@ -273,8 +309,9 @@ impl RehomeState {
         }
     }
 
-    /// Begins a move for `bucket` (which must not already be moving).
-    pub fn begin_move(&mut self, bucket: usize, from: usize, to: usize) {
+    /// Begins a move for `bucket` (which must not already be moving),
+    /// journaling the [`RehomeStep::Begun`] event at `now_ns`.
+    pub fn begin_move(&mut self, bucket: usize, from: usize, to: usize, now_ns: u64) {
         debug_assert!(!self.is_parked(bucket), "bucket {bucket} already moving");
         self.parked[bucket] = true;
         self.moves.push(BucketMove {
@@ -284,6 +321,27 @@ impl RehomeState {
             phase: MovePhase::Draining,
             pen: VecDeque::new(),
         });
+        self.record_event(RehomeEvent {
+            at_ns: now_ns,
+            bucket,
+            from,
+            to,
+            step: RehomeStep::Begun,
+        });
+    }
+
+    /// Journals one re-home step (bounded by [`REHOME_EVENT_CAP`]).
+    pub fn record_event(&mut self, event: RehomeEvent) {
+        if self.events.len() < REHOME_EVENT_CAP {
+            self.events.push(event);
+        } else {
+            self.rehome_events_dropped += 1;
+        }
+    }
+
+    /// Drains the journaled re-home steps, oldest first.
+    pub fn take_events(&mut self) -> Vec<RehomeEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// The move currently holding `bucket`, if any.
@@ -396,7 +454,7 @@ mod tests {
         assert!(state.is_idle());
         assert!(!state.is_parked(3));
         state.ensure_parked_table(8);
-        state.begin_move(3, 0, 1);
+        state.begin_move(3, 0, 1, 0);
         assert!(!state.is_idle());
         assert!(state.is_parked(3));
         assert!(state.shard_has_moves(0));
@@ -450,8 +508,8 @@ mod tests {
         use sdnfv_proto::packet::PacketBuilder;
         let mut state = RehomeState::default();
         state.ensure_parked_table(4);
-        state.begin_move(0, 0, 1);
-        state.begin_move(1, 0, 1);
+        state.begin_move(0, 0, 1, 0);
+        state.begin_move(1, 0, 1, 0);
         assert_eq!(state.pen_gauges_for_shard(1), (0, None));
         let mut early = PacketBuilder::udp().src_port(1).build();
         early.timestamp_ns = 100;

@@ -117,14 +117,16 @@ use sdnfv_proto::packet::Port;
 use sdnfv_proto::Packet;
 use sdnfv_ring::{spsc_ring, Consumer, CreditGate, Producer, PushError, SharedPacket};
 use sdnfv_telemetry::{
-    Ewma, HostClock, NfTelemetry, ShardLifecycleEvent, TelemetrySnapshot, TelemetrySource,
+    Ewma, HostClock, LatencyHistogram, LatencyReport, NfTelemetry, ShardLifecycleEvent,
+    SpanVerdict, TelemetrySnapshot, TelemetrySource, TraceSpan, TraceStage,
 };
 
 use crate::cache::{cached_lookup, LookupCache};
 use crate::conflict::resolve_parallel_verdicts;
 use crate::messages::{apply_nf_message_tracked_with, PinTimeouts};
 use crate::rehome::{
-    BucketTracker, ImportDelivery, MovePhase, RehomeReport, RehomeState, RetiringShard,
+    BucketTracker, ImportDelivery, MovePhase, RehomeEvent, RehomeReport, RehomeState, RehomeStep,
+    RetiringShard,
 };
 use crate::scratch::recycle;
 use crate::stats::{HostStats, ShardStats};
@@ -232,6 +234,16 @@ pub struct ThreadedHostConfig {
     /// OpenFlow-style hard timeout stamped onto exact per-flow pin rules:
     /// evicted this long after installation regardless of traffic.
     pub pin_hard_timeout_ns: Option<u64>,
+    /// Flow-trace sampling: one of every `trace_sample_every` flows (by
+    /// stable flow hash) emits per-stage [`TraceSpan`]s. `0` (the default)
+    /// turns hash sampling off; flows pinned by an
+    /// [`Action::Trace`](sdnfv_flowtable::Action) rule are always traced.
+    /// Adjustable at run time via [`ThreadedHost::set_trace_sampling`].
+    pub trace_sample_every: u64,
+    /// Capacity of each shard's lossy trace-span ring. A full ring drops
+    /// the span (counted in `spans_dropped`) — tracing never blocks the
+    /// packet path.
+    pub trace_ring_capacity: usize,
 }
 
 impl Default for ThreadedHostConfig {
@@ -256,6 +268,8 @@ impl Default for ThreadedHostConfig {
             max_evictions_per_sweep: 256,
             pin_idle_timeout_ns: None,
             pin_hard_timeout_ns: None,
+            trace_sample_every: 0,
+            trace_ring_capacity: 1024,
         }
     }
 }
@@ -556,6 +570,10 @@ struct WorkItem {
     /// service in the dispatched action list).
     exit_service: ServiceId,
     collector: Arc<Mutex<Vec<Verdict>>>,
+    /// Whether the packet is trace-sampled (hash-sampled or rule-pinned):
+    /// the NF replica stamps its burst window onto the [`DoneItem`] and the
+    /// worker emits spans at each stage.
+    traced: bool,
 }
 
 struct DoneItem {
@@ -563,6 +581,45 @@ struct DoneItem {
     key: FlowKey,
     exit_service: ServiceId,
     collector: Arc<Mutex<Vec<Verdict>>>,
+    traced: bool,
+    /// Host-clock window of the NF burst that completed the packet (the
+    /// last replica, for parallel dispatch). Stamped by the NF thread so
+    /// the worker — the trace ring's single producer — can emit the NF
+    /// span without touching the replica's clock.
+    nf_started_ns: u64,
+    nf_ended_ns: u64,
+}
+
+/// Per-shard latency recorders: lock-free log-linear histograms shared by
+/// the shard's worker (end-to-end, ingress wait, egress wait), its NF
+/// threads (service time) and the host (re-home pen dwell). Snapshots ride
+/// each [`TelemetrySnapshot`] as a [`LatencyReport`]; the host can also
+/// read them live via [`ThreadedHost::latency_report`].
+#[derive(Debug, Default)]
+pub(crate) struct ShardLatency {
+    /// Ingress admission stamp → egress-ring push.
+    end_to_end: LatencyHistogram,
+    /// Ingress admission stamp → shard worker pop (includes pen dwell for
+    /// re-homed packets).
+    ingress_wait: LatencyHistogram,
+    /// Per-packet NF burst service time (burst wall time / burst length).
+    nf_service: LatencyHistogram,
+    /// Egress staging → egress-ring push.
+    egress_wait: LatencyHistogram,
+    /// Time parked in a re-home pen (host-side, destination shard).
+    pen_dwell: LatencyHistogram,
+}
+
+impl ShardLatency {
+    fn report(&self) -> LatencyReport {
+        LatencyReport {
+            end_to_end: self.end_to_end.snapshot(),
+            ingress_wait: self.ingress_wait.snapshot(),
+            nf_service: self.nf_service.snapshot(),
+            egress_wait: self.egress_wait.snapshot(),
+            pen_dwell: self.pen_dwell.snapshot(),
+        }
+    }
 }
 
 /// The host-side ports of one shard.
@@ -582,6 +639,12 @@ struct ShardPorts {
     /// (and, transitively, its NF threads) wind down without touching the
     /// host-wide `running` flag.
     stop: Arc<AtomicBool>,
+    /// Trace spans emitted by the shard's worker (lossy; drained by
+    /// [`ThreadedHost::poll_traces`]).
+    traces: Consumer<TraceSpan>,
+    /// The shard's latency histograms (shared with its threads; the host
+    /// records pen dwell here and merges reports on demand).
+    latency: Arc<ShardLatency>,
 }
 
 /// A handle to a running multi-threaded NF host.
@@ -622,6 +685,9 @@ pub struct ThreadedHost {
     /// Completed shard lifecycle transitions awaiting
     /// [`ThreadedHost::take_shard_events`].
     events: RefCell<Vec<ShardLifecycleEvent>>,
+    /// Host-wide flow-trace sampling knob (one of every N flows by stable
+    /// hash; 0 = off), shared with every shard worker.
+    trace_sampling: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for ThreadedHost {
@@ -707,6 +773,7 @@ impl ThreadedHost {
         config.egress_capacity = config.egress_capacity.max(1);
         config.control_ring_capacity = config.control_ring_capacity.max(1);
         config.rehome_pen = config.rehome_pen.max(1);
+        config.trace_ring_capacity = config.trace_ring_capacity.max(1);
         // Clamping the credit budget to the smallest internal ring makes
         // in-pipeline overflow impossible: a shard never holds more packets
         // in flight than any one ring could absorb.
@@ -720,6 +787,7 @@ impl ThreadedHost {
         let running = Arc::new(AtomicBool::new(true));
         let tables = FlowTablePartitions::new(&table, num_shards);
         let tracker = Arc::new(BucketTracker::new(STEER_BUCKETS));
+        let trace_sampling = Arc::new(AtomicU64::new(config.trace_sample_every));
         let mut handles = Vec::new();
         let mut shards = Vec::with_capacity(num_shards);
 
@@ -736,6 +804,7 @@ impl ThreadedHost {
                 &config,
                 credit_capacity,
                 &runtime,
+                &trace_sampling,
             );
             handles.push(handle);
             shards.push(ports);
@@ -763,6 +832,7 @@ impl ThreadedHost {
             tracker,
             rehome: RefCell::new(RehomeState::default()),
             events: RefCell::new(Vec::new()),
+            trace_sampling,
         }
     }
 
@@ -1187,6 +1257,53 @@ impl ThreadedHost {
         self.rehome.borrow_mut().take_pen_ages_ns()
     }
 
+    /// Sets the flow-trace sampling rate: one in `every` flows (by stable
+    /// flow hash) is traced end to end; `0` disables hash sampling. Flows
+    /// pinned by a rule carrying [`Action::Trace`] are traced regardless.
+    /// Takes effect on the next RX burst of every shard.
+    pub fn set_trace_sampling(&self, every: u64) {
+        self.trace_sampling.store(every, Ordering::Relaxed);
+    }
+
+    /// The current flow-trace sampling rate (`0` = hash sampling off).
+    pub fn trace_sampling(&self) -> u64 {
+        self.trace_sampling.load(Ordering::Relaxed)
+    }
+
+    /// Drains every shard's trace ring (in shard order) and returns the
+    /// collected spans. The rings are lossy: spans that did not fit are
+    /// counted in the `spans_dropped` statistic rather than blocking the
+    /// packet path.
+    pub fn poll_traces(&self) -> Vec<TraceSpan> {
+        let mut out = Vec::new();
+        for ports in self.shards.borrow().iter() {
+            while let Some(span) = ports.traces.pop() {
+                out.push(span);
+            }
+        }
+        out
+    }
+
+    /// Merged latency histograms across every shard (live and retired):
+    /// end-to-end plus the per-stage breakdown. Snapshotting is lock-free
+    /// and sound while the workers keep recording.
+    pub fn latency_report(&self) -> LatencyReport {
+        let mut merged = LatencyReport::default();
+        for ports in self.shards.borrow().iter() {
+            merged.merge(&ports.latency.report());
+        }
+        merged
+    }
+
+    /// Drains the bucket re-home steps ([`RehomeEvent`]) journaled since
+    /// the last call, oldest first — the feed a control-plane flight
+    /// recorder replays to reconstruct when each bucket left its old shard
+    /// and resumed on the new one.
+    pub fn take_rehome_events(&self) -> Vec<RehomeEvent> {
+        self.advance_rehoming();
+        self.rehome.borrow_mut().take_events()
+    }
+
     /// Drains the shard lifecycle transitions ([`ShardLifecycleEvent`])
     /// that completed since the last call — the feed telemetry consumers
     /// use to grow or prune their per-shard state.
@@ -1333,7 +1450,7 @@ impl ThreadedHost {
             // the phased handshake: the old shard's NFs may hold per-flow
             // state for the bucket's (idle) flows, and collecting it needs
             // a round trip through the shard's worker and NF threads.
-            state.begin_move(bucket, from, receiver);
+            state.begin_move(bucket, from, receiver, self.clock.now_ns());
             // Mirror the parked bit into the shard-visible tracker so shard
             // workers stop timing out the bucket's exact rules while its
             // state is mid-export (an evicted-then-reimported rule would
@@ -1378,6 +1495,7 @@ impl ThreadedHost {
             ..
         } = &mut *state;
         let mut released_ages: Vec<u64> = Vec::new();
+        let mut completed: Vec<(usize, usize, usize)> = Vec::new();
         moves.retain_mut(|mv| {
             match &mv.phase {
                 MovePhase::Draining | MovePhase::Collecting { .. } => return true,
@@ -1407,6 +1525,9 @@ impl ThreadedHost {
                     Ok(()) => {
                         self.tracker.admit(mv.bucket);
                         released_ages.push(age_ns);
+                        // Pen dwell lands in the destination shard's
+                        // histograms: that is where the packet resumes.
+                        ports.latency.pen_dwell.record(age_ns);
                     }
                     Err(PushError(frame)) => {
                         if let Some(gate) = &ports.gate {
@@ -1421,10 +1542,20 @@ impl ThreadedHost {
             parked[mv.bucket] = false;
             self.tracker.unpark(mv.bucket);
             report.buckets_rehomed += 1;
+            completed.push((mv.bucket, mv.from, mv.to));
             false
         });
         for age_ns in released_ages {
             state.record_pen_age(age_ns);
+        }
+        for (bucket, from, to) in completed {
+            state.record_event(RehomeEvent {
+                at_ns: now_ns,
+                bucket,
+                from,
+                to,
+                step: RehomeStep::Completed,
+            });
         }
         let retiring_involved = |state: &RehomeState, s: usize| {
             state.moves.iter().any(|m| m.from == s || m.to == s)
@@ -1655,6 +1786,7 @@ impl ThreadedHost {
             &self.config,
             self.credit_capacity,
             &self.runtime,
+            &self.trace_sampling,
         );
         self.shards.borrow_mut().push(ports);
         self.handles.borrow_mut().push(handle);
@@ -1803,16 +1935,19 @@ fn launch_pipeline(
     config: &ThreadedHostConfig,
     credit_capacity: usize,
     runtime: &PipelineRuntime,
+    trace_sampling: &Arc<AtomicU64>,
 ) -> (ShardPorts, TaskHandle) {
     let gate = matches!(config.overflow_policy, OverflowPolicy::Backpressure)
         .then(|| Arc::new(CreditGate::new(credit_capacity)));
     let stop = Arc::new(AtomicBool::new(false));
+    let latency = Arc::new(ShardLatency::default());
 
     let (ingress_tx, ingress_rx) = spsc_ring::<IngressFrame>(config.ingress_capacity);
     let (egress_tx, egress_rx) = spsc_ring::<HostOutput>(config.egress_capacity);
     let (control_tx, control_rx) = spsc_ring::<ShardCommand>(config.control_ring_capacity);
     let (telemetry_tx, telemetry_rx) = spsc_ring::<TelemetrySnapshot>(16);
     let (exports_tx, exports_rx) = spsc_ring::<BucketStateExport>(16);
+    let (traces_tx, traces_rx) = spsc_ring::<TraceSpan>(config.trace_ring_capacity);
 
     let spawner: Box<dyn ReplicaSpawner> = match runtime {
         PipelineRuntime::Threads => Box::new(ThreadSpawner),
@@ -1877,6 +2012,9 @@ fn launch_pipeline(
         applied_commands: 0,
         draining: 0,
         retired_slots: 0,
+        latency: Arc::clone(&latency),
+        traces: traces_tx,
+        trace_sampling: Arc::clone(trace_sampling),
     };
     let handle = match runtime {
         PipelineRuntime::Threads => {
@@ -1897,6 +2035,8 @@ fn launch_pipeline(
             exports: exports_rx,
             stats,
             stop,
+            traces: traces_rx,
+            latency,
         },
         handle,
     )
@@ -1956,6 +2096,26 @@ struct NfSlot {
 struct BurstStaging {
     per_ring: Vec<Vec<WorkItem>>,
     egress: Vec<HostOutput>,
+    /// Latency/trace metadata for each staged egress packet, index-aligned
+    /// with `egress` (a batched `push_n` admits a prefix of `egress`; the
+    /// same-length prefix of `egress_meta` describes exactly those
+    /// packets).
+    egress_meta: Vec<EgressMeta>,
+}
+
+/// Timing metadata of one staged egress packet, captured at staging time
+/// because the [`HostOutput`] itself is moved into the egress ring before
+/// the latency is known.
+#[derive(Debug, Clone, Copy)]
+struct EgressMeta {
+    /// The packet's ingress admission stamp (end-to-end latency start).
+    ingress_ns: u64,
+    /// When the packet entered `staging.egress` (egress-wait start).
+    staged_ns: u64,
+    /// Whether the packet is trace-sampled (an egress span is emitted).
+    traced: bool,
+    /// Stable flow hash (span correlation; 0 when not traced).
+    flow_hash: u64,
 }
 
 impl BurstStaging {
@@ -1963,6 +2123,7 @@ impl BurstStaging {
         BurstStaging {
             per_ring: (0..rings).map(|_| Vec::with_capacity(burst_size)).collect(),
             egress: Vec::with_capacity(burst_size),
+            egress_meta: Vec::with_capacity(burst_size),
         }
     }
 
@@ -1998,6 +2159,7 @@ impl BurstLookupMemo {
         self.entries.clear();
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn lookup(
         &mut self,
         table: &SharedFlowTable,
@@ -2136,6 +2298,15 @@ pub(crate) struct ShardEngine {
     /// Number of slots currently in [`SlotState::Retired`] (compaction
     /// candidates).
     retired_slots: usize,
+    /// The shard's latency histograms (shared with its NF threads and the
+    /// host).
+    latency: Arc<ShardLatency>,
+    /// Producer side of the shard's lossy trace-span ring. The worker is
+    /// the ring's **only** producer — NF threads report their burst windows
+    /// through [`DoneItem`] instead of pushing spans themselves.
+    traces: Producer<TraceSpan>,
+    /// Host-wide sampling knob (one of every N flows by stable hash).
+    trace_sampling: Arc<AtomicU64>,
 }
 
 impl ShardEngine {
@@ -2247,11 +2418,26 @@ impl ShardEngine {
                     // and bucket counts back so nothing upstream waits
                     // forever (can't happen when the re-home handshake
                     // preceded the stop — kept for defense in depth).
+                    let sample_every = self.trace_sampling.load(Ordering::Relaxed);
+                    let now_ns = self.clock.now_ns();
                     while let Some(frame) = ingress.pop() {
                         self.stats.add_overflow_drops(1);
                         self.release_credits(1);
                         if let Some(key) = &frame.key {
                             self.tracker.finish(key);
+                            // Straggler drops still terminate the traces of
+                            // hash-sampled flows, so span conservation holds
+                            // across a teardown.
+                            if sample_every != 0 && key.stable_hash() % sample_every == 0 {
+                                self.emit_span(
+                                    TraceStage::Rx,
+                                    0,
+                                    key.stable_hash(),
+                                    frame.packet.timestamp_ns,
+                                    now_ns,
+                                    SpanVerdict::Dropped,
+                                );
+                            }
                         }
                     }
                     self.phase = EnginePhase::Finished;
@@ -2456,6 +2642,7 @@ impl ShardEngine {
             clock: self.clock.clone(),
             burst_size: self.burst_size,
             pin_timeouts: self.pin_timeouts,
+            latency: Arc::clone(&self.latency),
         };
         let handle = self.spawner.spawn_replica(thread);
         let slot = NfSlot {
@@ -2822,11 +3009,11 @@ impl ShardEngine {
         }
         self.last_sweep_ns = now_ns;
         let tracker = Arc::clone(&self.tracker);
-        let evicted =
-            self.table
-                .sweep_expired(now_ns, self.max_evictions_per_sweep, |(_, key)| {
-                    tracker.is_parked(tracker.bucket_of(key))
-                });
+        let evicted = self
+            .table
+            .sweep_expired(now_ns, self.max_evictions_per_sweep, |(_, key)| {
+                tracker.is_parked(tracker.bucket_of(key))
+            });
         if evicted.is_empty() {
             return false;
         }
@@ -2936,8 +3123,50 @@ impl ShardEngine {
             rules_evicted_idle: self.stats.rules_evicted_idle(),
             rules_evicted_hard: self.stats.rules_evicted_hard(),
             nf_state_scrubbed: self.stats.nf_state_scrubbed(),
+            nf_state_handoffs: self.stats.nf_state_handoffs(),
+            nf_state_import_drops: self.stats.nf_state_import_drops(),
+            spans_dropped: self.stats.spans_dropped(),
+            latency: self.latency.report(),
         };
         let _ = self.telemetry.push(snapshot);
+    }
+
+    /// Emits one trace span onto the shard's lossy trace ring; a full ring
+    /// counts the span as dropped instead of blocking the packet path.
+    fn emit_span(
+        &mut self,
+        stage: TraceStage,
+        service: u32,
+        flow_hash: u64,
+        t_start_ns: u64,
+        t_end_ns: u64,
+        verdict: SpanVerdict,
+    ) {
+        let span = TraceSpan {
+            shard: self.shard,
+            stage,
+            service,
+            flow_hash,
+            t_start_ns,
+            t_end_ns,
+            verdict,
+        };
+        if self.traces.push(span).is_err() {
+            self.stats.add_spans_dropped(1);
+        }
+    }
+
+    /// Stages a packet for egress together with its latency/trace metadata
+    /// (kept index-aligned with `staging.egress` — see [`EgressMeta`]).
+    fn stage_egress(&mut self, out: HostOutput, staged_ns: u64, traced: bool) {
+        let flow_hash = if traced { out.key.stable_hash() } else { 0 };
+        self.staging.egress_meta.push(EgressMeta {
+            ingress_ns: out.packet.timestamp_ns,
+            staged_ns,
+            traced,
+            flow_hash,
+        });
+        self.staging.egress.push(out);
     }
 
     /// Releases `n` packet credits back to the shard's gate (no-op under
@@ -2985,6 +3214,23 @@ impl ShardEngine {
             }
         }
         self.staging.egress.clear();
+        if self.staging.egress_meta.iter().any(|m| m.traced) {
+            let now_ns = self.clock.now_ns();
+            for index in 0..self.staging.egress_meta.len() {
+                let meta = self.staging.egress_meta[index];
+                if meta.traced {
+                    self.emit_span(
+                        TraceStage::Egress,
+                        0,
+                        meta.flow_hash,
+                        meta.staged_ns,
+                        now_ns,
+                        SpanVerdict::Dropped,
+                    );
+                }
+            }
+        }
+        self.staging.egress_meta.clear();
     }
 
     /// Accounts staged egress at engine shutdown: the host is gone, so the
@@ -3013,13 +3259,22 @@ impl ShardEngine {
     fn rx_round(&mut self, burst: &mut Vec<IngressFrame>) {
         self.stats.add_received(burst.len() as u64);
         self.memo.clear();
+        // One clock read per burst covers the ingress-wait records, the
+        // trace-span stamps, and (as `approx_now_ns`) the lookup-cache TTL.
+        let now_ns = self.clock.now_ns();
+        self.approx_now_ns = now_ns;
+        let sample_every = self.trace_sampling.load(Ordering::Relaxed);
         for frame in burst.drain(..) {
             let IngressFrame { packet, key } = frame;
+            self.latency
+                .ingress_wait
+                .record(now_ns.saturating_sub(packet.timestamp_ns));
             let Some(key) = key else {
                 self.stats.add_dropped(1);
                 self.release_credits(1);
                 continue;
             };
+            let sampled = sample_every != 0 && key.stable_hash() % sample_every == 0;
             let step = RulePort::Nic(packet.ingress_port);
             let Some(decision) = self.lookup(step, &key) else {
                 // No controller thread is attached in the threaded runtime;
@@ -3027,15 +3282,56 @@ impl ShardEngine {
                 self.stats.add_controller_punts(1);
                 self.release_credits(1);
                 self.finish_flow(&key);
+                if sampled {
+                    self.emit_span(
+                        TraceStage::Rx,
+                        0,
+                        key.stable_hash(),
+                        packet.timestamp_ns,
+                        now_ns,
+                        SpanVerdict::Punted,
+                    );
+                }
                 continue;
             };
-            self.dispatch(packet, key, &decision.actions, decision.parallel);
+            let traced = sampled || decision.trace;
+            self.dispatch(
+                packet,
+                key,
+                &decision.actions,
+                decision.parallel,
+                traced,
+                now_ns,
+            );
         }
         self.flush();
     }
 
-    /// Stages a packet according to an action list (first dispatch).
-    fn dispatch(&mut self, packet: Packet, key: FlowKey, actions: &[Action], parallel: bool) {
+    /// Stages a packet according to an action list (first dispatch),
+    /// emitting the packet's RX span if it is traced: `Forwarded` when the
+    /// packet continues toward an NF or egress, terminal otherwise.
+    fn dispatch(
+        &mut self,
+        packet: Packet,
+        key: FlowKey,
+        actions: &[Action],
+        parallel: bool,
+        traced: bool,
+        now_ns: u64,
+    ) {
+        let ingress_ns = packet.timestamp_ns;
+        let rx_span = |engine: &mut Self, verdict: SpanVerdict| {
+            if traced {
+                engine.emit_span(
+                    TraceStage::Rx,
+                    0,
+                    key.stable_hash(),
+                    ingress_ns,
+                    now_ns,
+                    verdict,
+                );
+            }
+        };
         if parallel {
             let targets: Vec<ServiceId> = actions
                 .iter()
@@ -3048,6 +3344,7 @@ impl ShardEngine {
                 self.stats.add_dropped(1);
                 self.release_credits(1);
                 self.finish_flow(&key);
+                rx_span(self, SpanVerdict::Dropped);
                 return;
             }
             let indices: Vec<usize> = targets
@@ -3060,6 +3357,7 @@ impl ShardEngine {
                 self.stats.add_overflow_drops(1);
                 self.release_credits(1);
                 self.finish_flow(&key);
+                rx_span(self, SpanVerdict::Dropped);
                 return;
             }
             // All-or-nothing: a parallel packet must reach *every* target NF
@@ -3070,6 +3368,7 @@ impl ShardEngine {
                 self.stats.add_overflow_drops(1);
                 self.release_credits(1);
                 self.finish_flow(&key);
+                rx_span(self, SpanVerdict::Dropped);
                 return;
             }
             self.stats.add_parallel_dispatches(1);
@@ -3082,8 +3381,10 @@ impl ShardEngine {
                     key,
                     exit_service,
                     collector: Arc::clone(&collector),
+                    traced,
                 });
             }
+            rx_span(self, SpanVerdict::Forwarded);
             return;
         }
 
@@ -3097,12 +3398,15 @@ impl ShardEngine {
                             key,
                             exit_service: service,
                             collector: Arc::new(Mutex::new(Vec::with_capacity(1))),
+                            traced,
                         });
+                        rx_span(self, SpanVerdict::Forwarded);
                     }
                     None => {
                         self.stats.add_dropped(1);
                         self.release_credits(1);
                         self.finish_flow(&key);
+                        rx_span(self, SpanVerdict::Dropped);
                     }
                 }
             }
@@ -3112,17 +3416,20 @@ impl ShardEngine {
                 // flow-state work is already over, so its bucket count
                 // drops here (or at full egress under strict ordering).
                 self.finish_at_egress_staging(&key);
-                self.staging.egress.push(HostOutput { port, packet, key });
+                self.stage_egress(HostOutput { port, packet, key }, now_ns, traced);
+                rx_span(self, SpanVerdict::Forwarded);
             }
             Some(Action::ToController) => {
                 self.stats.add_controller_punts(1);
                 self.release_credits(1);
                 self.finish_flow(&key);
+                rx_span(self, SpanVerdict::Punted);
             }
-            Some(Action::Drop) | None => {
+            Some(Action::Drop) | Some(Action::Trace) | None => {
                 self.stats.add_dropped(1);
                 self.release_credits(1);
                 self.finish_flow(&key);
+                rx_span(self, SpanVerdict::Dropped);
             }
         }
     }
@@ -3131,7 +3438,22 @@ impl ShardEngine {
     /// either re-stage, stage for egress, or drop.
     fn tx_round(&mut self, burst: &mut Vec<DoneItem>) {
         self.memo.clear();
+        let now_ns = self.clock.now_ns();
+        self.approx_now_ns = now_ns;
         for item in burst.drain(..) {
+            if item.traced {
+                // The NF span covers the burst window the NF thread stamped;
+                // the worker emits it because it is the trace ring's single
+                // producer.
+                self.emit_span(
+                    TraceStage::Nf,
+                    item.exit_service.value(),
+                    item.key.stable_hash(),
+                    item.nf_started_ns,
+                    item.nf_ended_ns,
+                    SpanVerdict::Forwarded,
+                );
+            }
             let verdicts = item.collector.lock().clone();
             let resolved = resolve_parallel_verdicts(&verdicts);
             let step = RulePort::Service(item.exit_service);
@@ -3143,7 +3465,7 @@ impl ShardEngine {
                             // Follow the whole decision (it may itself be a
                             // parallel rule or a multi-action list).
                             let actions = decision.actions.clone();
-                            self.forward_decision(item, &actions, decision.parallel);
+                            self.forward_decision(item, &actions, decision.parallel, now_ns);
                             continue;
                         }
                         None => Action::ToController,
@@ -3158,7 +3480,7 @@ impl ShardEngine {
                     }
                 }
             };
-            self.forward_decision(item, &[action], false);
+            self.forward_decision(item, &[action], false, now_ns);
         }
         self.flush();
     }
@@ -3166,29 +3488,54 @@ impl ShardEngine {
     /// Forwards a completed packet according to an action list by re-arming
     /// its shared buffer and staging it again (or staging it for egress /
     /// dropping it).
-    fn forward_decision(&mut self, item: DoneItem, actions: &[Action], parallel: bool) {
+    fn forward_decision(
+        &mut self,
+        item: DoneItem,
+        actions: &[Action],
+        parallel: bool,
+        now_ns: u64,
+    ) {
+        let tx_span = |engine: &mut Self, item: &DoneItem, verdict: SpanVerdict| {
+            if item.traced {
+                engine.emit_span(
+                    TraceStage::Tx,
+                    item.exit_service.value(),
+                    item.key.stable_hash(),
+                    item.nf_ended_ns,
+                    now_ns,
+                    verdict,
+                );
+            }
+        };
         // Fast paths that do not need to re-dispatch the descriptor.
         if !parallel {
             match actions.first().copied() {
                 Some(Action::ToPort(port)) => {
                     self.finish_at_egress_staging(&item.key);
-                    self.staging.egress.push(HostOutput {
-                        port,
-                        packet: item.shared.clone_packet(),
-                        key: item.key,
-                    });
+                    let packet = item.shared.clone_packet();
+                    self.stage_egress(
+                        HostOutput {
+                            port,
+                            packet,
+                            key: item.key,
+                        },
+                        now_ns,
+                        item.traced,
+                    );
                     return;
                 }
-                Some(Action::Drop) | None => {
+                Some(Action::Drop) | Some(Action::Trace) | None => {
                     self.stats.add_dropped(1);
                     self.release_credits(1);
                     self.finish_flow(&item.key);
+                    tx_span(self, &item, SpanVerdict::Dropped);
                     return;
                 }
                 Some(Action::ToController) => {
                     self.stats.add_controller_punts(1);
                     self.release_credits(1);
                     self.finish_flow(&item.key);
+                    tx_span(self, &item, SpanVerdict::Punted);
                     return;
                 }
                 Some(Action::ToService(_)) => {}
@@ -3207,6 +3554,7 @@ impl ShardEngine {
             self.stats.add_dropped(1);
             self.release_credits(1);
             self.finish_flow(&item.key);
+            tx_span(self, &item, SpanVerdict::Dropped);
             return;
         }
         let indices: Vec<usize> = targets
@@ -3217,6 +3565,7 @@ impl ShardEngine {
             self.stats.add_overflow_drops(1);
             self.release_credits(1);
             self.finish_flow(&item.key);
+            tx_span(self, &item, SpanVerdict::Dropped);
             return;
         }
         // All-or-nothing for any multi-target re-dispatch (parallel or a
@@ -3227,6 +3576,7 @@ impl ShardEngine {
             self.stats.add_overflow_drops(1);
             self.release_credits(1);
             self.finish_flow(&item.key);
+            tx_span(self, &item, SpanVerdict::Dropped);
             return;
         }
         if parallel {
@@ -3241,8 +3591,10 @@ impl ShardEngine {
                 key: item.key,
                 exit_service,
                 collector: Arc::clone(&collector),
+                traced: item.traced,
             });
         }
+        tx_span(self, &item, SpanVerdict::Forwarded);
     }
 
     /// Flushes every staged descriptor with one batched push per ring.
@@ -3272,17 +3624,35 @@ impl ShardEngine {
             let mut dropped_items = 0u64;
             let mut dead_packets = 0usize;
             let mut dead_keys: Vec<FlowKey> = Vec::new();
+            let mut dead_traced: Vec<FlowKey> = Vec::new();
             for item in self.staging.per_ring[ring_index].drain(..) {
                 dropped_items += 1;
                 if item.shared.complete_one() {
                     dead_packets += 1;
                     dead_keys.push(item.key);
+                    if item.traced {
+                        dead_traced.push(item.key);
+                    }
                 }
             }
             self.stats.add_overflow_drops(dropped_items);
             self.release_credits(dead_packets);
             for key in dead_keys {
                 self.finish_flow(&key);
+            }
+            // Terminal span for traced packets that died at a full NF ring:
+            // the packet never reached the NF, so the Tx span is zero-width
+            // at the drop instant.
+            let now_ns = self.approx_now_ns;
+            for key in dead_traced {
+                self.emit_span(
+                    TraceStage::Tx,
+                    0,
+                    key.stable_hash(),
+                    now_ns,
+                    now_ns,
+                    SpanVerdict::Dropped,
+                );
             }
         }
         self.flush_staged_egress();
@@ -3299,6 +3669,32 @@ impl ShardEngine {
         let pushed = self.egress.push_n(&mut self.staging.egress);
         self.stats.add_transmitted(pushed as u64);
         self.release_credits(pushed);
+        if pushed > 0 {
+            // One clock read covers the whole egress batch: record
+            // end-to-end and egress-wait latency for every pushed packet
+            // and emit the terminal egress span for the traced ones.
+            let now_ns = self.clock.now_ns();
+            for index in 0..pushed {
+                let meta = self.staging.egress_meta[index];
+                self.latency
+                    .end_to_end
+                    .record(now_ns.saturating_sub(meta.ingress_ns));
+                self.latency
+                    .egress_wait
+                    .record(now_ns.saturating_sub(meta.staged_ns));
+                if meta.traced {
+                    self.emit_span(
+                        TraceStage::Egress,
+                        0,
+                        meta.flow_hash,
+                        meta.staged_ns,
+                        now_ns,
+                        SpanVerdict::Egressed,
+                    );
+                }
+            }
+            self.staging.egress_meta.drain(..pushed);
+        }
         if !self.staging.egress.is_empty() && self.gate.is_none() {
             self.drop_staged_egress();
         }
@@ -3386,6 +3782,8 @@ pub(crate) struct NfThread {
     /// Idle/hard timeouts stamped onto the exact-pin rules this replica's
     /// NF requests via cross-layer messages.
     pin_timeouts: PinTimeouts,
+    /// The owning shard's latency histograms (NF service time lands here).
+    latency: Arc<ShardLatency>,
 }
 
 impl NfThread {
@@ -3470,6 +3868,7 @@ pub(crate) struct NfEngine {
     clock: HostClock,
     burst_size: usize,
     pin_timeouts: PinTimeouts,
+    latency: Arc<ShardLatency>,
     ctx: NfContext,
     read_only: bool,
     items: Vec<WorkItem>,
@@ -3505,6 +3904,7 @@ impl NfEngine {
             clock,
             burst_size,
             pin_timeouts,
+            latency,
         } = thread;
         let mut ctx = NfContext::for_shard(shard, clock.now_ns());
         nf.on_start(&mut ctx);
@@ -3538,6 +3938,7 @@ impl NfEngine {
             clock,
             burst_size,
             pin_timeouts,
+            latency,
             ctx,
             read_only,
             items: Vec::with_capacity(burst_size),
@@ -3651,9 +4052,11 @@ impl NfEngine {
             }
             return false;
         }
-        self.ctx.set_now_ns(self.clock.now_ns());
+        // One clock read opens the burst window: it feeds the NF context,
+        // the service-time histogram, and (when traced) the NF span stamps.
+        let burst_started_ns = self.clock.now_ns();
+        self.ctx.set_now_ns(burst_started_ns);
         let slots = self.verdicts.reset(items.len());
-        let burst_started_ns = self.measure.then(|| self.clock.now_ns());
         if self.read_only {
             // Lock the whole burst for reading and hand the NF one batch.
             // Parallel NFs on other threads can hold read guards on the same
@@ -3714,8 +4117,12 @@ impl NfEngine {
                 }
             });
         }
-        if let Some(started_ns) = burst_started_ns {
-            let per_packet_ns = self.clock.now_ns().saturating_sub(started_ns) / items.len() as u64;
+        let burst_ended_ns = self.clock.now_ns();
+        let per_packet_ns = burst_ended_ns.saturating_sub(burst_started_ns) / items.len() as u64;
+        self.latency
+            .nf_service
+            .record_n(per_packet_ns, items.len() as u64);
+        if self.measure {
             self.probe.service_time_ewma_ns.store(
                 self.service_time.update(per_packet_ns as f64) as u64,
                 Ordering::Relaxed,
@@ -3749,6 +4156,9 @@ impl NfEngine {
                     key: item.key,
                     exit_service: item.exit_service,
                     collector: item.collector,
+                    traced: item.traced,
+                    nf_started_ns: burst_started_ns,
+                    nf_ended_ns: burst_ended_ns,
                 });
             }
         }
@@ -3766,6 +4176,12 @@ impl NfEngine {
             }
             for item in self.done_staging.drain(..) {
                 self.tracker.finish(&item.key);
+                // This thread is not the trace ring's producer, so a traced
+                // packet dying here cannot emit its terminal span — account
+                // it as a dropped span so conservation checks stay honest.
+                if item.traced {
+                    self.stats.add_spans_dropped(1);
+                }
             }
         }
         true
@@ -3838,6 +4254,22 @@ mod tests {
         table
     }
 
+    /// Drains trace spans until `expected` have arrived (or a 5s deadline
+    /// passes — workers may still be flushing when the packets egress).
+    fn collect_spans(host: &ThreadedHost, expected: usize) -> Vec<sdnfv_telemetry::TraceSpan> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut spans = Vec::new();
+        while spans.len() < expected && Instant::now() < deadline {
+            let batch = host.poll_traces();
+            if batch.is_empty() {
+                std::thread::yield_now();
+            } else {
+                spans.extend(batch);
+            }
+        }
+        spans
+    }
+
     #[test]
     fn shard_for_flow_is_stable_and_in_range() {
         let keys: Vec<FlowKey> = (0..64)
@@ -3865,6 +4297,7 @@ mod tests {
             key: packet(1).flow_key().unwrap(),
             exit_service: ServiceId::new(1),
             collector: Arc::new(Mutex::new(Vec::new())),
+            traced: false,
         };
         let a = SharedPacket::new(packet(1), 2);
         let b = SharedPacket::new(packet(2), 1);
@@ -3912,6 +4345,7 @@ mod tests {
             key: packet(9).flow_key().unwrap(),
             exit_service: ServiceId::new(1),
             collector: Arc::new(Mutex::new(Vec::new())),
+            traced: false,
         });
         assert!(parallel_fits(&staging, &slots, &[0]));
         assert!(!parallel_fits(&staging, &slots, &[0, 0]));
@@ -4621,12 +5055,7 @@ mod tests {
         );
         let (host, sim) = ThreadedHost::start_sim_sharded(
             table,
-            |_shard| {
-                vec![(
-                    service,
-                    Box::new(NoOpNf::new()) as Box<dyn NetworkFunction>,
-                )]
-            },
+            |_shard| vec![(service, Box::new(NoOpNf::new()) as Box<dyn NetworkFunction>)],
             ThreadedHostConfig {
                 num_shards: 2,
                 rule_sweep_interval_ns: 100_000,
@@ -4693,6 +5122,232 @@ mod tests {
             host.stats().snapshot().rules_evicted_hard,
             2,
             "evicted rules do not resurrect"
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn hash_sampling_emits_conserved_spans_and_latency() {
+        use sdnfv_telemetry::{SpanVerdict, TraceStage};
+        let host = ThreadedHost::start(
+            forward_table(),
+            vec![],
+            ThreadedHostConfig {
+                trace_sample_every: 1, // trace every flow
+                trace_ring_capacity: 4096,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        for i in 0..50 {
+            assert!(host.inject(packet(i)).is_admitted());
+        }
+        let outputs = collect_outputs(&host, 50);
+        assert_eq!(outputs.len(), 50);
+        let spans = collect_spans(&host, 100);
+        let snap = host.stats().snapshot();
+        assert_eq!(snap.spans_dropped, 0);
+        // Fast ToPort path: one RX span and one terminal egress span per
+        // admitted packet, nothing else.
+        let rx = spans
+            .iter()
+            .filter(|s| s.stage == TraceStage::Rx && s.verdict == SpanVerdict::Forwarded)
+            .count();
+        let egress = spans
+            .iter()
+            .filter(|s| s.stage == TraceStage::Egress && s.verdict == SpanVerdict::Egressed)
+            .count();
+        assert_eq!(rx, 50);
+        assert_eq!(egress, 50);
+        assert_eq!(spans.len(), 100);
+        // The histograms saw every packet too.
+        let latency = host.latency_report();
+        assert_eq!(latency.end_to_end.count(), 50);
+        assert_eq!(latency.ingress_wait.count(), 50);
+        assert_eq!(latency.egress_wait.count(), 50);
+        host.shutdown();
+    }
+
+    #[test]
+    fn rule_miss_emits_punted_span_for_sampled_flows() {
+        use sdnfv_telemetry::{SpanVerdict, TraceStage};
+        let host = ThreadedHost::start(
+            forward_table(),
+            vec![],
+            ThreadedHostConfig {
+                trace_sample_every: 1,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        // Ingress port 1 has no rule: the lookup misses and the packet is
+        // punted — its trace must still terminate.
+        let stray = PacketBuilder::udp()
+            .src_ip([10, 0, 0, 9])
+            .dst_ip([10, 0, 0, 2])
+            .src_port(7)
+            .dst_port(80)
+            .ingress_port(1)
+            .total_size(256)
+            .build();
+        assert!(host.inject(stray).is_admitted());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while host.stats().snapshot().controller_punts == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let spans = collect_spans(&host, 1);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, TraceStage::Rx);
+        assert_eq!(spans[0].verdict, SpanVerdict::Punted);
+        host.shutdown();
+    }
+
+    #[test]
+    fn trace_pin_rule_traces_unsampled_flows() {
+        use sdnfv_telemetry::TraceStage;
+        let table = SharedFlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToPort(1)],
+        ));
+        // A rule-level pin: packets from ingress port 2 are traced even
+        // with hash sampling off.
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(2)),
+            vec![Action::Trace, Action::ToPort(1)],
+        ));
+        let host = ThreadedHost::start(
+            table,
+            vec![],
+            ThreadedHostConfig::default(), // trace_sample_every = 0
+        );
+        assert_eq!(host.trace_sampling(), 0);
+        let build = |port: u8, src_port: u16| {
+            PacketBuilder::udp()
+                .src_ip([10, 0, 0, 1])
+                .dst_ip([10, 0, 0, 2])
+                .src_port(src_port)
+                .dst_port(80)
+                .ingress_port(u16::from(port))
+                .total_size(256)
+                .build()
+        };
+        for i in 0..10 {
+            assert!(host.inject(build(0, 1000 + i)).is_admitted());
+            assert!(host.inject(build(2, 2000 + i)).is_admitted());
+        }
+        let outputs = collect_outputs(&host, 20);
+        assert_eq!(outputs.len(), 20);
+        // Only the pinned flows (10 packets, RX + egress each) trace.
+        let spans = collect_spans(&host, 20);
+        assert_eq!(spans.len(), 20);
+        assert!(spans.iter().any(|s| s.stage == TraceStage::Egress));
+        assert_eq!(host.stats().snapshot().spans_dropped, 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn trace_ring_overflow_counts_dropped_spans_exactly() {
+        let host = ThreadedHost::start(
+            forward_table(),
+            vec![],
+            ThreadedHostConfig {
+                trace_sample_every: 1,
+                trace_ring_capacity: 4, // deliberately tiny, never drained
+                ..ThreadedHostConfig::default()
+            },
+        );
+        for i in 0..100 {
+            assert!(host.inject(packet(i)).is_admitted());
+        }
+        let outputs = collect_outputs(&host, 100);
+        assert_eq!(outputs.len(), 100);
+        // Every admitted packet generated exactly two spans (RX + egress);
+        // each either sits in the ring or was counted dropped — no span
+        // vanishes unaccounted. Poll until the books balance (workers may
+        // still be flushing the last burst when the packets egress).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut collected = 0u64;
+        let mut dropped = host.stats().snapshot().spans_dropped;
+        while collected + dropped < 200 && Instant::now() < deadline {
+            collected += host.poll_traces().len() as u64;
+            dropped = host.stats().snapshot().spans_dropped;
+            std::thread::yield_now();
+        }
+        assert_eq!(collected + dropped, 200);
+        assert!(dropped > 0, "a 4-slot ring cannot hold 200 spans");
+        host.shutdown();
+    }
+
+    #[test]
+    fn nf_path_emits_rx_nf_and_egress_spans() {
+        use sdnfv_telemetry::{SpanVerdict, TraceStage};
+        let (graph, ids) = catalog::chain(&[("a", true)]);
+        let table = SharedFlowTable::new();
+        for rule in graph.compile(&CompileOptions::default()) {
+            table.insert(rule);
+        }
+        let nfs: Vec<(ServiceId, Box<dyn NetworkFunction>)> = ids
+            .iter()
+            .map(|id| (*id, Box::new(NoOpNf::new()) as Box<dyn NetworkFunction>))
+            .collect();
+        let host = ThreadedHost::start(
+            table,
+            nfs,
+            ThreadedHostConfig {
+                trace_sample_every: 1,
+                trace_ring_capacity: 8192,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        for i in 0..30 {
+            assert!(host.inject(packet(i)).is_admitted());
+        }
+        let outputs = collect_outputs(&host, 30);
+        assert_eq!(outputs.len(), 30);
+        let spans = collect_spans(&host, 90);
+        assert_eq!(host.stats().snapshot().spans_dropped, 0);
+        let count = |stage: TraceStage| spans.iter().filter(|s| s.stage == stage).count();
+        assert_eq!(count(TraceStage::Rx), 30, "one RX span per packet");
+        assert_eq!(count(TraceStage::Nf), 30, "one NF span per packet");
+        assert_eq!(
+            count(TraceStage::Egress),
+            30,
+            "one terminal span per packet"
+        );
+        // Exactly one terminal (non-Forwarded) span per packet.
+        let terminals = spans
+            .iter()
+            .filter(|s| s.verdict != SpanVerdict::Forwarded)
+            .count();
+        assert_eq!(terminals, 30);
+        // NF spans carry the service id and a well-ordered burst window.
+        for span in spans.iter().filter(|s| s.stage == TraceStage::Nf) {
+            assert_eq!(span.service, ids[0].value());
+            assert!(span.t_start_ns <= span.t_end_ns);
+        }
+        // NF service time histogram recorded every invocation.
+        assert_eq!(host.latency_report().nf_service.count(), 30);
+        host.shutdown();
+    }
+
+    #[test]
+    fn trace_sampling_knob_is_live() {
+        let host = ThreadedHost::start(forward_table(), vec![], ThreadedHostConfig::default());
+        assert_eq!(host.trace_sampling(), 0);
+        for i in 0..20 {
+            assert!(host.inject(packet(i)).is_admitted());
+        }
+        assert_eq!(collect_outputs(&host, 20).len(), 20);
+        // Nothing sampled while the knob is off.
+        assert!(host.poll_traces().is_empty());
+        host.set_trace_sampling(1);
+        assert_eq!(host.trace_sampling(), 1);
+        for i in 20..40 {
+            assert!(host.inject(packet(i)).is_admitted());
+        }
+        assert_eq!(collect_outputs(&host, 20).len(), 20);
+        assert!(
+            !collect_spans(&host, 1).is_empty(),
+            "knob took effect mid-run"
         );
         host.shutdown();
     }

@@ -52,6 +52,10 @@ pub struct HostStatsSnapshot {
     /// Per-flow NF state entries scrubbed because their flow's rule was
     /// evicted by the timeout lifecycle.
     pub nf_state_scrubbed: u64,
+    /// Trace spans lost because a shard's lossy trace ring was full (or the
+    /// span's packet died on a path that cannot reach the ring). Tracing is
+    /// best-effort by design; this counter makes the loss explicit.
+    pub spans_dropped: u64,
 }
 
 impl HostStatsSnapshot {
@@ -71,6 +75,7 @@ impl HostStatsSnapshot {
         self.rules_evicted_idle += other.rules_evicted_idle;
         self.rules_evicted_hard += other.rules_evicted_hard;
         self.nf_state_scrubbed += other.nf_state_scrubbed;
+        self.spans_dropped += other.spans_dropped;
     }
 }
 
@@ -90,6 +95,7 @@ struct Counters {
     rules_evicted_idle: AtomicU64,
     rules_evicted_hard: AtomicU64,
     nf_state_scrubbed: AtomicU64,
+    spans_dropped: AtomicU64,
 }
 
 macro_rules! counter {
@@ -211,6 +217,12 @@ impl ShardStats {
         nf_state_scrubbed,
         "NF flow states scrubbed after rule eviction"
     );
+    counter!(
+        add_spans_dropped,
+        spans_dropped,
+        spans_dropped,
+        "trace spans lost to a full trace ring"
+    );
 
     /// Takes a consistent-enough snapshot of this shard's counters.
     pub fn snapshot(&self) -> HostStatsSnapshot {
@@ -229,6 +241,7 @@ impl ShardStats {
             rules_evicted_idle: self.rules_evicted_idle(),
             rules_evicted_hard: self.rules_evicted_hard(),
             nf_state_scrubbed: self.nf_state_scrubbed(),
+            spans_dropped: self.spans_dropped(),
         }
     }
 }
@@ -348,6 +361,11 @@ impl HostStats {
         nf_state_scrubbed,
         "NF flow states scrubbed after rule eviction"
     );
+    shard0_counter!(
+        add_spans_dropped,
+        spans_dropped,
+        "trace spans lost to a full trace ring"
+    );
 
     /// Takes a consistent-enough snapshot of all counters, merged over every
     /// shard.
@@ -399,6 +417,7 @@ mod tests {
         stats.add_rules_evicted_idle(2);
         stats.add_rules_evicted_hard(3);
         stats.add_nf_state_scrubbed(4);
+        stats.add_spans_dropped(2);
         let snap = stats.snapshot();
         assert_eq!(snap.received, 15);
         assert_eq!(snap.transmitted, 8);
@@ -413,6 +432,7 @@ mod tests {
         assert_eq!(snap.rules_evicted_idle, 2);
         assert_eq!(snap.rules_evicted_hard, 3);
         assert_eq!(snap.nf_state_scrubbed, 4);
+        assert_eq!(snap.spans_dropped, 2);
     }
 
     #[test]

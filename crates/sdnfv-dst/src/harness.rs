@@ -40,11 +40,13 @@ use sdnfv_dataplane::{
 };
 use sdnfv_flowtable::{Action, FlowMatch, FlowRule, RulePort, ServiceId, SharedFlowTable};
 use sdnfv_nf::{NetworkFunction, NfContext, NfFlowState, NfMessage, NfRegistry, Verdict};
+use sdnfv_obs::FlightRecorder;
 use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::packet::{Packet, PacketBuilder};
+use sdnfv_telemetry::TraceSpan;
 
 use crate::fault::{FaultKind, FaultPlan, FaultySource};
-use crate::oracle::{check_conservation, check_flow_census, check_zeros, RunReport};
+use crate::oracle::{check_conservation, check_flow_census, check_spans, check_zeros, RunReport};
 use crate::rng::SplitMix64;
 use crate::trace::Trace;
 use crate::trace_event;
@@ -55,6 +57,10 @@ const PORT_DEFAULT: u16 = 1;
 const PORT_PINNED: u16 = 2;
 /// The egress port the wildcard default mutation redirects to.
 const PORT_WILDCARD: u16 = 3;
+/// Flow-trace hash sampling rate every run is driven with: 1 of every 4
+/// flows emits per-stage spans, so the span-conservation oracle and the
+/// observability digests run under every schedule.
+const TRACE_SAMPLE_EVERY: u64 = 4;
 
 /// Tuning for one simulated schedule. Everything that shapes the run is
 /// here so a config + seed fully determines it.
@@ -310,13 +316,20 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
         } else {
             RehomeOrdering::Relaxed
         },
+        // Observability rides along on every schedule: hash-sampled flow
+        // tracing plus a ring deep enough that no span is shed between the
+        // per-tick drains (a shed span would weaken the conservation
+        // oracle, and `spans_dropped` reports it if it ever happens).
+        trace_sample_every: TRACE_SAMPLE_EVERY,
+        trace_ring_capacity: 4096,
         ..ThreadedHostConfig::default()
     };
     trace_event!(trace, "seed {:#x}: {}", config.seed, plan.summary());
     trace_event!(
         trace,
-        "host: shards=2 credits=64 ordering={}",
-        if strict { "strict" } else { "relaxed" }
+        "host: shards=2 credits=64 ordering={} trace-sampling=1/{}",
+        if strict { "strict" } else { "relaxed" },
+        TRACE_SAMPLE_EVERY
     );
 
     let (host, sim) = ThreadedHost::start_sim_sharded(
@@ -374,6 +387,14 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
     let mut peak_shards = host.num_shards();
     let mut churn_keys: BTreeSet<FlowKey> = BTreeSet::new();
     let mut churn_seq: u16 = 0;
+    // Observability state: every span the run emits, the count of admitted
+    // packets whose flow hash falls in the sample, and the control-plane
+    // flight recorder (the elastic manager owns the lifecycle event stream
+    // through its telemetry source, so the journal records actions and
+    // re-home steps — the streams nobody else consumes).
+    let mut spans: Vec<TraceSpan> = Vec::new();
+    let mut sampled_admitted = 0u64;
+    let mut recorder = FlightRecorder::new();
 
     // ---------------------------------------------------------- active phase
     for tick in 0..config.ticks {
@@ -484,10 +505,17 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
         let mut throttled = 0;
         for _ in 0..packets {
             let flow = schedule_rng.gen_range(config.flows as u64) as u16;
-            match host.inject(pool_packet(flow)) {
+            let packet = pool_packet(flow);
+            let sampled = packet
+                .flow_key()
+                .is_some_and(|key| key.stable_hash().is_multiple_of(TRACE_SAMPLE_EVERY));
+            match host.inject(packet) {
                 InjectResult::Admitted => {
                     admitted += 1;
                     injected += 1;
+                    if sampled {
+                        sampled_admitted += 1;
+                    }
                 }
                 InjectResult::Throttled(_) => throttled += 1,
                 InjectResult::Dropped => {}
@@ -525,6 +553,14 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
             egressed += outs.len() as u64;
         }
 
+        // Drain the observability streams: trace spans off the per-shard
+        // rings (keeping them from ever overflowing) and re-home events
+        // into the flight recorder.
+        spans.extend(host.poll_traces());
+        for event in host.take_rehome_events() {
+            recorder.record_rehome(&event);
+        }
+
         // Sometimes tick the elastic control loop, observing through the
         // fault-injecting telemetry source.
         if schedule_rng.chance(40) {
@@ -541,6 +577,9 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
             let actions = manager.drive_via(&mut source, &host);
             if !actions.is_empty() {
                 trace_event!(trace, "tick {tick}: manager actions {actions:?}");
+                for action in &actions {
+                    recorder.record_action(sim.now_ns(), action);
+                }
             }
         }
         peak_shards = peak_shards.max(host.num_shards());
@@ -555,6 +594,10 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
         let work = sim.step_all();
         let polled = host.poll_egress_burst(64);
         egressed += polled.len() as u64;
+        spans.extend(host.poll_traces());
+        for event in host.take_rehome_events() {
+            recorder.record_rehome(&event);
+        }
         let credits_ok = (0..host.num_shards()).all(|s| {
             match (host.available_credits(s), host.credit_budget(s)) {
                 (Some(available), Some(budget)) => available == budget,
@@ -726,6 +769,9 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
             }
         }
         injected += 1;
+        if key.stable_hash().is_multiple_of(TRACE_SAMPLE_EVERY) {
+            sampled_admitted += 1;
+        }
         let mut port = None;
         for _ in 0..400 {
             sim.advance_clock_ns(10_000);
@@ -774,9 +820,8 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
             // being present again.
             let repinned = port == PORT_PINNED
                 && (0..shards).any(|shard| {
-                    host.shard_table(shard).with_read(|t| {
-                        t.exact_rule_id(RulePort::Service(service), &key).is_some()
-                    })
+                    host.shard_table(shard)
+                        .with_read(|t| t.exact_rule_id(RulePort::Service(service), &key).is_some())
                 });
             if repinned {
                 trace_event!(trace, "probe: pin flow {flow} re-pinned after eviction");
@@ -830,8 +875,51 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
         }
     }
 
-    // ------------------------------------------------------ shutdown census
+    // -------------------------------------------------- observability census
+    // Final drain, then fold the whole observability surface into the
+    // replayable trace: span and journal digests are order-sensitive, so
+    // byte-identical replays prove the *observability* of the run is as
+    // deterministic as the run itself.
+    spans.extend(host.poll_traces());
+    for event in host.take_rehome_events() {
+        recorder.record_rehome(&event);
+    }
     let stats = host.stats().snapshot();
+    check_spans(
+        &spans,
+        sampled_admitted,
+        stats.spans_dropped,
+        &mut violations,
+    );
+    let span_digest = {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for span in &spans {
+            span.fold_digest(&mut hash);
+        }
+        hash
+    };
+    let latency = host.latency_report();
+    let latency_digest = latency
+        .stages()
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |hash, (_, stage)| {
+            hash.wrapping_mul(0x100_0000_01b3) ^ stage.digest()
+        });
+    trace_event!(
+        trace,
+        "obs: spans={} sampled={} dropped={} span_digest={:#018x} latency: e2e={} \
+         latency_digest={:#018x} journal={} journal_digest={:#018x}",
+        spans.len(),
+        sampled_admitted,
+        stats.spans_dropped,
+        span_digest,
+        latency.end_to_end.count(),
+        latency_digest,
+        recorder.len(),
+        recorder.digest()
+    );
+
+    // ------------------------------------------------------ shutdown census
     check_conservation(&stats, injected, egressed, &mut violations);
     check_zeros(&stats, &mut violations);
     trace_event!(

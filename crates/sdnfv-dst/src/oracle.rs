@@ -22,6 +22,10 @@
 //!   deadline;
 //! * **no wildcard mutations lost** — same, for the wildcard default
 //!   flip;
+//! * **span conservation** — with hash-sampled flow tracing on (every DST
+//!   run samples 1/4 of flows), each sampled admitted packet emits exactly
+//!   one RX span and exactly one terminal span, and no span runs
+//!   backwards in time (exact accounting gated on `spans_dropped == 0`);
 //! * **credit conservation** — after quiescence every shard's credit gate
 //!   is back to its full budget (nothing leaked in a drain or resize);
 //! * **eventual quiescence** — the host reaches zero pending re-homes,
@@ -35,6 +39,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use sdnfv_dataplane::HostStatsSnapshot;
 use sdnfv_proto::flow::FlowKey;
+use sdnfv_telemetry::{TraceSpan, TraceStage};
 
 use crate::fault::FaultKind;
 use crate::trace::Trace;
@@ -127,6 +132,50 @@ pub fn check_conservation(
         violations.push(format!(
             "conservation: polled {} at egress but host transmitted {}",
             egressed, stats.transmitted
+        ));
+    }
+}
+
+/// Span conservation: with hash sampling on and no span shed to a full
+/// trace ring, every sampled admitted packet must show up in the trace
+/// exactly once at RX and reach exactly one terminal verdict (`Egressed`,
+/// `Dropped` or `Punted`) — a missing terminal is a packet the trace lost
+/// track of; an extra one is a packet observed twice. Every span must
+/// also be well-ordered (`t_start <= t_end`). When `spans_dropped != 0`
+/// the exact accounting is impossible and only the ordering check runs.
+pub fn check_spans(
+    spans: &[TraceSpan],
+    sampled_admitted: u64,
+    spans_dropped: u64,
+    violations: &mut Vec<String>,
+) {
+    for span in spans {
+        if span.t_start_ns > span.t_end_ns {
+            violations.push(format!(
+                "span ordering: {:?}/{:?} span for flow {:#x} runs backwards ({} > {})",
+                span.stage, span.verdict, span.flow_hash, span.t_start_ns, span.t_end_ns
+            ));
+        }
+    }
+    if spans_dropped != 0 {
+        return;
+    }
+    let rx = spans.iter().filter(|s| s.stage == TraceStage::Rx).count() as u64;
+    let terminal = spans.iter().filter(|s| s.verdict.is_terminal()).count() as u64;
+    if rx != sampled_admitted {
+        violations.push(format!(
+            "span conservation: {rx} RX spans for {sampled_admitted} sampled admitted packets"
+        ));
+    }
+    if terminal != sampled_admitted {
+        violations.push(format!(
+            "span conservation: {terminal} terminal spans for {sampled_admitted} sampled \
+             admitted packets ({})",
+            if terminal < sampled_admitted {
+                "a traced packet vanished"
+            } else {
+                "a traced packet was observed twice"
+            }
         ));
     }
 }

@@ -35,6 +35,12 @@ pub enum Action {
     Drop,
     /// Punt the packet (header) to the SDN controller — the table-miss path.
     ToController,
+    /// Pin the matched flow for tracing: packets of this flow emit
+    /// per-stage trace spans regardless of the host's sampling rate. A
+    /// marker, not a forwarding action — the table strips it out of the
+    /// [`Decision`] action list and raises [`Decision::trace`] instead, so
+    /// the dispatch fast paths never see it.
+    Trace,
 }
 
 impl fmt::Display for Action {
@@ -44,6 +50,7 @@ impl fmt::Display for Action {
             Action::ToPort(p) => write!(f, "output:eth{p}"),
             Action::Drop => write!(f, "drop"),
             Action::ToController => write!(f, "controller"),
+            Action::Trace => write!(f, "trace"),
         }
     }
 }
@@ -149,10 +156,15 @@ impl FlowRule {
 pub struct Decision {
     /// Rule that matched.
     pub rule_id: RuleId,
-    /// The rule's action list at lookup time (shared, not copied).
+    /// The rule's action list at lookup time (shared, not copied). Never
+    /// contains [`Action::Trace`] — the table strips the marker and raises
+    /// [`Decision::trace`] instead.
     pub actions: Arc<[Action]>,
     /// Whether the actions are parallel destinations.
     pub parallel: bool,
+    /// Whether the matched rule pins this flow for span tracing (it carried
+    /// an [`Action::Trace`] marker).
+    pub trace: bool,
 }
 
 impl Decision {
@@ -230,6 +242,7 @@ mod tests {
             rule_id: RuleId(4),
             actions: vec![Action::Drop, Action::ToPort(1)].into(),
             parallel: false,
+            trace: false,
         };
         assert_eq!(d.default_action(), Some(Action::Drop));
         assert!(d.allows(Action::ToPort(1)));
@@ -245,6 +258,7 @@ mod tests {
         assert_eq!(Action::ToPort(1).to_string(), "output:eth1");
         assert_eq!(Action::Drop.to_string(), "drop");
         assert_eq!(Action::ToController.to_string(), "controller");
+        assert_eq!(Action::Trace.to_string(), "trace");
         assert_eq!(RuleId(3).to_string(), "rule-3");
     }
 

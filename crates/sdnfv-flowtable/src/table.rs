@@ -88,19 +88,38 @@ pub struct EvictedRule {
 struct RuleEntry {
     rule: FlowRule,
     /// `rule.actions` shared as an `Arc` so lookups are allocation-free;
-    /// rebuilt whenever a bulk mutation changes the action list.
+    /// rebuilt whenever a bulk mutation changes the action list. The
+    /// [`Action::Trace`] marker is stripped here (and surfaced as `trace`),
+    /// so decisions only ever carry forwarding actions.
     shared_actions: Arc<[Action]>,
+    /// Whether the rule carried an [`Action::Trace`] marker.
+    trace: bool,
     hits: u64,
     installed_at_ns: u64,
     last_hit_ns: u64,
 }
 
+fn forwarding_actions(actions: &[Action]) -> (Arc<[Action]>, bool) {
+    let trace = actions.contains(&Action::Trace);
+    let shared: Arc<[Action]> = if trace {
+        actions
+            .iter()
+            .copied()
+            .filter(|a| *a != Action::Trace)
+            .collect()
+    } else {
+        actions.to_vec().into()
+    };
+    (shared, trace)
+}
+
 impl RuleEntry {
     fn new(rule: FlowRule, now_ns: u64) -> Self {
-        let shared_actions: Arc<[Action]> = rule.actions.clone().into();
+        let (shared_actions, trace) = forwarding_actions(&rule.actions);
         RuleEntry {
             rule,
             shared_actions,
+            trace,
             hits: 0,
             installed_at_ns: now_ns,
             last_hit_ns: now_ns,
@@ -108,7 +127,9 @@ impl RuleEntry {
     }
 
     fn refresh_shared_actions(&mut self) {
-        self.shared_actions = self.rule.actions.clone().into();
+        let (shared, trace) = forwarding_actions(&self.rule.actions);
+        self.shared_actions = shared;
+        self.trace = trace;
     }
 
     /// The earliest instant at which the entry *could* expire (the
@@ -317,8 +338,11 @@ impl TupleSpace {
     /// The shape count is small by construction — this is O(S log S) per
     /// rule-churn event, not per lookup.
     fn resort(&mut self) {
-        self.shapes
-            .sort_by(|a, b| b.max_priority().cmp(&a.max_priority()).then(a.seq.cmp(&b.seq)));
+        self.shapes.sort_by(|a, b| {
+            b.max_priority()
+                .cmp(&a.max_priority())
+                .then(a.seq.cmp(&b.seq))
+        });
     }
 }
 
@@ -431,12 +455,7 @@ impl FlowTable {
         });
     }
 
-    fn unindex_removed(
-        &mut self,
-        id: RuleId,
-        rule: &FlowRule,
-        exact: Option<(RulePort, FlowKey)>,
-    ) {
+    fn unindex_removed(&mut self, id: RuleId, rule: &FlowRule, exact: Option<(RulePort, FlowKey)>) {
         if let Some(step_key) = exact {
             if self.exact.get(&step_key) == Some(&id) {
                 self.exact.remove(&step_key);
@@ -466,6 +485,7 @@ impl FlowTable {
                     rule_id: id,
                     actions: Arc::clone(&entry.shared_actions),
                     parallel: entry.rule.parallel,
+                    trace: entry.trace,
                 })
             }
             None => {
@@ -534,8 +554,9 @@ impl FlowTable {
                     break;
                 }
                 let candidate = (priority, bucket.specificity, id);
-                if best.is_none_or(|(bp, bs, bi)| (priority, bucket.specificity, id.0) > (bp, bs, bi.0))
-                {
+                if best.is_none_or(|(bp, bs, bi)| {
+                    (priority, bucket.specificity, id.0) > (bp, bs, bi.0)
+                }) {
                     best = Some(candidate);
                 }
                 // Entries are sorted (priority desc, id desc): the first
@@ -949,6 +970,32 @@ mod tests {
     }
 
     #[test]
+    fn trace_marker_is_stripped_from_decisions() {
+        let mut table = FlowTable::new();
+        let id = table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::Trace, Action::ToPort(2), Action::Drop],
+        ));
+        let d = table.lookup(RulePort::Nic(0), &key(1)).unwrap();
+        assert_eq!(d.rule_id, id);
+        assert!(d.trace, "Trace marker must raise the decision flag");
+        // Forwarding semantics are untouched: the marker is filtered out, so
+        // the default action is the first *forwarding* action.
+        assert_eq!(d.default_action(), Some(Action::ToPort(2)));
+        assert!(!d.allows(Action::Trace));
+        assert!(d.allows(Action::Drop));
+
+        // A rule without the marker yields trace == false.
+        let plain = table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(1)),
+            vec![Action::ToPort(0)],
+        ));
+        let d = table.lookup(RulePort::Nic(1), &key(1)).unwrap();
+        assert_eq!(d.rule_id, plain);
+        assert!(!d.trace);
+    }
+
+    #[test]
     fn exact_rule_beats_wildcard_of_same_priority() {
         let mut table = FlowTable::new();
         table.insert(FlowRule::new(
@@ -1236,7 +1283,10 @@ mod tests {
         ));
         assert_eq!(table.len(), 1);
         assert!(table.rule(old).is_none());
-        assert_eq!(table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id, new);
+        assert_eq!(
+            table.lookup(RulePort::Nic(0), &key(7)).unwrap().rule_id,
+            new
+        );
     }
 
     #[test]

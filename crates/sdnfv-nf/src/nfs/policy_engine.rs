@@ -185,7 +185,9 @@ impl NetworkFunction for PolicyEngineNf {
                 Action::ToPort(p) => Verdict::ToPort(p),
                 Action::ToService(s) => Verdict::ToService(s),
                 Action::Drop => Verdict::Discard,
-                Action::ToController => Verdict::Default,
+                // A trace marker is not a forwarding action; fall back to
+                // the rule default, as for controller-bound fast actions.
+                Action::ToController | Action::Trace => Verdict::Default,
             }
         }
     }

@@ -1,0 +1,274 @@
+//! [`ObsHub`]: the one-stop observability consumer for a running
+//! [`ThreadedHost`] — merged telemetry, collected trace spans, and the
+//! control-plane flight recorder, drained together in one call.
+
+use sdnfv_dataplane::runtime::ThreadedHost;
+use sdnfv_telemetry::{
+    ControlAction, LatencyReport, TelemetryHub, TelemetrySnapshot, TraceSpan, TraceStage,
+};
+
+use crate::flight::FlightRecorder;
+
+/// How many trace spans [`ObsHub`] retains between [`ObsHub::take_spans`]
+/// drains before counting further spans as shed.
+pub const SPAN_BUFFER_CAP: usize = 65_536;
+
+/// Per-shard eviction counters at the last observation, for computing the
+/// sweep deltas the flight recorder journals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct EvictionWatermark {
+    idle: u64,
+    hard: u64,
+    scrubbed: u64,
+}
+
+/// Aggregates everything the data plane exports about itself:
+///
+/// * **telemetry** — per-shard [`TelemetrySnapshot`](sdnfv_telemetry::TelemetrySnapshot)s
+///   merged by an inner [`TelemetryHub`] (queue gauges, rates, cumulative
+///   counters, latency histograms);
+/// * **traces** — sampled per-packet [`TraceSpan`]s, buffered for a
+///   consumer with per-stage counts;
+/// * **flight recorder** — a sequenced journal of control actions, shard
+///   lifecycle, bucket re-homes and eviction sweeps.
+///
+/// One [`ObsHub::observe`] call drains all of the host's feeds in a fixed
+/// order, so under a virtual clock two identical runs observe identically.
+#[derive(Debug)]
+pub struct ObsHub {
+    hub: TelemetryHub,
+    recorder: FlightRecorder,
+    spans: Vec<TraceSpan>,
+    spans_shed: u64,
+    spans_collected: u64,
+    spans_by_stage: [u64; 4],
+    eviction_marks: Vec<EvictionWatermark>,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        ObsHub::new()
+    }
+}
+
+impl ObsHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        ObsHub {
+            hub: TelemetryHub::new(),
+            recorder: FlightRecorder::new(),
+            spans: Vec::new(),
+            spans_shed: 0,
+            spans_collected: 0,
+            spans_by_stage: [0; 4],
+            eviction_marks: Vec::new(),
+        }
+    }
+
+    /// Drains every observability feed of `host` once, in a fixed order:
+    /// shard lifecycle events (journaled, then applied to the telemetry
+    /// view), bucket re-home steps (journaled), telemetry snapshots
+    /// (merged; eviction-sweep deltas journaled), and trace spans
+    /// (buffered). Call it from the same loop that drives the host.
+    pub fn observe(&mut self, host: &ThreadedHost) {
+        let lifecycle = host.take_shard_events();
+        for event in &lifecycle {
+            self.recorder.record_lifecycle(event);
+        }
+        self.hub.observe_lifecycle(&lifecycle);
+        for event in host.take_rehome_events() {
+            self.recorder.record_rehome(&event);
+        }
+        self.absorb_snapshots(host.poll_telemetry());
+        self.absorb_spans(host.poll_traces());
+    }
+
+    /// Merges a batch of telemetry snapshots into the view, journaling an
+    /// eviction-sweep record for every shard whose cumulative eviction
+    /// counters advanced since the last batch. Usable directly when the
+    /// snapshots come from somewhere other than a live host (a replayed
+    /// trace, a faulty-source adapter).
+    pub fn absorb_snapshots(&mut self, snapshots: Vec<TelemetrySnapshot>) {
+        for snapshot in &snapshots {
+            let shard = snapshot.shard;
+            if shard >= self.eviction_marks.len() {
+                self.eviction_marks
+                    .resize(shard + 1, EvictionWatermark::default());
+            }
+            let mark = &mut self.eviction_marks[shard];
+            // Counters are cumulative per shard; a snapshot below the
+            // watermark means the shard slot was reused by a fresh
+            // incarnation, whose counters restart from zero.
+            if snapshot.rules_evicted_idle < mark.idle
+                || snapshot.rules_evicted_hard < mark.hard
+                || snapshot.nf_state_scrubbed < mark.scrubbed
+            {
+                *mark = EvictionWatermark::default();
+            }
+            let idle = snapshot.rules_evicted_idle - mark.idle;
+            let hard = snapshot.rules_evicted_hard - mark.hard;
+            let scrubbed = snapshot.nf_state_scrubbed - mark.scrubbed;
+            if idle > 0 || hard > 0 || scrubbed > 0 {
+                self.recorder
+                    .record_evictions(snapshot.at_ns, shard, idle, hard, scrubbed);
+                *mark = EvictionWatermark {
+                    idle: snapshot.rules_evicted_idle,
+                    hard: snapshot.rules_evicted_hard,
+                    scrubbed: snapshot.nf_state_scrubbed,
+                };
+            }
+        }
+        self.hub.absorb(snapshots);
+    }
+
+    /// Buffers a batch of trace spans (bounded by [`SPAN_BUFFER_CAP`]) and
+    /// updates the per-stage tallies.
+    pub fn absorb_spans(&mut self, spans: Vec<TraceSpan>) {
+        for span in spans {
+            self.spans_collected += 1;
+            self.spans_by_stage[span.stage as usize] += 1;
+            if self.spans.len() < SPAN_BUFFER_CAP {
+                self.spans.push(span);
+            } else {
+                self.spans_shed += 1;
+            }
+        }
+    }
+
+    /// Journals control actions the caller's elastic loop issued this tick
+    /// (pass the return value of
+    /// [`ElasticNfManager::drive`](../../sdnfv_control/elastic/struct.ElasticNfManager.html#method.drive)).
+    pub fn record_actions(&mut self, at_ns: u64, actions: &[ControlAction]) {
+        for action in actions {
+            self.recorder.record_action(at_ns, action);
+        }
+    }
+
+    /// The merged telemetry view.
+    pub fn telemetry(&self) -> &TelemetryHub {
+        &self.hub
+    }
+
+    /// The control-plane journal.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the journal (to record events the hub cannot see
+    /// itself, or to drain it).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
+    }
+
+    /// Merged latency distributions across every live shard.
+    pub fn latency(&self) -> LatencyReport {
+        self.hub.merged_latency()
+    }
+
+    /// Takes the buffered trace spans, oldest first.
+    pub fn take_spans(&mut self) -> Vec<TraceSpan> {
+        std::mem::take(&mut self.spans)
+    }
+
+    /// Spans collected over the hub's lifetime (buffered or shed).
+    pub fn spans_collected(&self) -> u64 {
+        self.spans_collected
+    }
+
+    /// Spans collected for `stage` over the hub's lifetime.
+    pub fn spans_for_stage(&self, stage: TraceStage) -> u64 {
+        self.spans_by_stage[stage as usize]
+    }
+
+    /// Spans shed because the hub's buffer was full (distinct from the
+    /// data plane's own `spans_dropped`, which counts ring overflow).
+    pub fn spans_shed(&self) -> u64 {
+        self.spans_shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_telemetry::{NfTelemetry, TelemetrySnapshot};
+
+    fn snapshot(shard: usize, seq: u64, idle: u64, hard: u64, scrubbed: u64) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            shard,
+            seq,
+            at_ns: seq * 1_000,
+            ingress_depth: 0,
+            ingress_capacity: 64,
+            egress_depth: 0,
+            egress_capacity: 64,
+            credits_in_flight: 0,
+            credit_capacity: 64,
+            nfs: Vec::<NfTelemetry>::new(),
+            nf_slots_allocated: 0,
+            received: 0,
+            transmitted: 0,
+            dropped: 0,
+            controller_punts: 0,
+            throttled: 0,
+            applied_commands: 0,
+            rehome_pen_depth: 0,
+            rehome_pen_max_age_ns: 0,
+            rules_evicted_idle: idle,
+            rules_evicted_hard: hard,
+            nf_state_scrubbed: scrubbed,
+            nf_state_handoffs: 0,
+            nf_state_import_drops: 0,
+            spans_dropped: 0,
+            latency: LatencyReport::default(),
+        }
+    }
+
+    #[test]
+    fn eviction_sweeps_journal_deltas_not_totals() {
+        let mut hub = ObsHub::new();
+        hub.absorb_snapshots(vec![snapshot(0, 1, 0, 0, 0)]);
+        assert!(hub.recorder().is_empty(), "no evictions, no record");
+        hub.absorb_snapshots(vec![snapshot(0, 2, 5, 1, 3)]);
+        hub.absorb_snapshots(vec![snapshot(0, 3, 7, 1, 3)]);
+        let lines = hub.recorder().replay();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("evicted 5 idle + 1 hard rules, scrubbed 3"));
+        assert!(lines[1].contains("evicted 2 idle + 0 hard rules, scrubbed 0"));
+    }
+
+    #[test]
+    fn reused_shard_slot_resets_the_watermark() {
+        let mut hub = ObsHub::new();
+        hub.absorb_snapshots(vec![snapshot(0, 5, 10, 0, 0)]);
+        // A fresh incarnation restarts its counters below the watermark.
+        hub.absorb_snapshots(vec![snapshot(0, 6, 2, 0, 0)]);
+        let lines = hub.recorder().replay();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("evicted 2 idle"));
+    }
+
+    #[test]
+    fn span_buffer_tallies_by_stage_and_sheds_at_cap() {
+        let mut hub = ObsHub::new();
+        let span = |stage: TraceStage| TraceSpan {
+            shard: 0,
+            stage,
+            service: 0,
+            flow_hash: 1,
+            t_start_ns: 0,
+            t_end_ns: 1,
+            verdict: sdnfv_telemetry::SpanVerdict::Forwarded,
+        };
+        hub.absorb_spans(vec![
+            span(TraceStage::Rx),
+            span(TraceStage::Rx),
+            span(TraceStage::Egress),
+        ]);
+        assert_eq!(hub.spans_collected(), 3);
+        assert_eq!(hub.spans_for_stage(TraceStage::Rx), 2);
+        assert_eq!(hub.spans_for_stage(TraceStage::Egress), 1);
+        assert_eq!(hub.spans_shed(), 0);
+        assert_eq!(hub.take_spans().len(), 3);
+        assert!(hub.take_spans().is_empty(), "take drains the buffer");
+    }
+}

@@ -1,0 +1,32 @@
+//! End-to-end observability for the SDNFV data plane.
+//!
+//! Three feeds, one consumer:
+//!
+//! * **Latency histograms** — every shard worker records ingress wait, NF
+//!   service time, egress wait, pen dwell and end-to-end latency into
+//!   lock-free [`LatencyHistogram`](sdnfv_telemetry::LatencyHistogram)s,
+//!   published through the telemetry rings; merging per-shard snapshots is
+//!   exact, so whole-host p50/p99/p999 are true percentiles of the union.
+//! * **Sampled flow tracing** — one in N flows (controller-settable via
+//!   [`ControlAction::SetTraceSampling`](sdnfv_telemetry::ControlAction),
+//!   plus per-flow pins via the `Trace` rule action) emits a compact
+//!   [`TraceSpan`](sdnfv_telemetry::TraceSpan) at every pipeline stage,
+//!   over lossy per-shard rings with explicit drop accounting.
+//! * **Control-plane flight recorder** — a bounded, sequenced,
+//!   cause-linked journal of control actions, shard lifecycle, bucket
+//!   re-homes and eviction sweeps, replayable in order.
+//!
+//! [`ObsHub`] drains all three from a running
+//! [`ThreadedHost`](sdnfv_dataplane::ThreadedHost) in one call;
+//! [`prometheus_text`] and [`json_report`] render the merged view.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod expose;
+pub mod flight;
+pub mod hub;
+
+pub use expose::{json_report, prometheus_text};
+pub use flight::{FlightEvent, FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use hub::{ObsHub, SPAN_BUFFER_CAP};

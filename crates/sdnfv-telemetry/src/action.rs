@@ -50,6 +50,14 @@ pub enum ControlAction {
         /// The shard to drain away.
         shard: usize,
     },
+    /// Set the host-wide flow-trace sampling rate: one of every `every`
+    /// flows (by stable flow hash) emits per-stage trace spans; 0 turns
+    /// hash sampling off (flows pinned by a `Trace` rule action are always
+    /// traced regardless).
+    SetTraceSampling {
+        /// Sample one of every `every` flows (0 = off).
+        every: u64,
+    },
 }
 
 impl ControlAction {
@@ -60,7 +68,9 @@ impl ControlAction {
             | ControlAction::ScaleDown { shard, .. }
             | ControlAction::ResizeCredits { shard, .. }
             | ControlAction::RetireShard { shard } => Some(*shard),
-            ControlAction::SetSteeringWeights { .. } | ControlAction::SpawnShard => None,
+            ControlAction::SetSteeringWeights { .. }
+            | ControlAction::SpawnShard
+            | ControlAction::SetTraceSampling { .. } => None,
         }
     }
 }
@@ -82,6 +92,9 @@ impl std::fmt::Display for ControlAction {
             }
             ControlAction::SpawnShard => write!(f, "spawn a new shard"),
             ControlAction::RetireShard { shard } => write!(f, "retire shard {shard}"),
+            ControlAction::SetTraceSampling { every } => {
+                write!(f, "set trace sampling to 1/{every}")
+            }
         }
     }
 }

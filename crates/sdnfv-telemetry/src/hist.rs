@@ -1,0 +1,351 @@
+//! Lock-free, mergeable log-linear latency histograms (HDR-style).
+//!
+//! The data plane records nanosecond latencies on its hot paths, so the
+//! recorder must be cheap and wait-free: [`LatencyHistogram`] is a flat
+//! array of relaxed atomic counters indexed by a log-linear bucketing of
+//! the value — a handful of integer ops and one `fetch_add` per record,
+//! no locks, safe for any number of concurrent recorders (the shard
+//! worker and its NF replica threads share one histogram per stage).
+//!
+//! Buckets are exact below [`SUB_COUNT`] and sub-divide every power of
+//! two into [`SUB_COUNT`] linear sub-buckets above it, bounding the
+//! relative quantization error at `1/SUB_COUNT` (6.25%) across the full
+//! `u64` range. [`HistogramSnapshot`] is the frozen, mergeable view:
+//! merging per-shard snapshots is an element-wise add, so the merge of
+//! the shards equals the histogram of the union of their samples —
+//! exactly, not approximately (the property the hub's percentile
+//! aggregation and the test suite rely on).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Log₂ of the linear sub-buckets per power-of-two group.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two group (and the exact range floor).
+pub const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Power-of-two groups above the exact range.
+const GROUPS: usize = 64 - SUB_BITS as usize;
+/// Total bucket count covering all of `u64`.
+pub const BUCKETS: usize = (GROUPS + 1) * SUB_COUNT;
+
+/// Bucket index for a value: identity below [`SUB_COUNT`], then the
+/// `SUB_BITS` bits after the most significant bit select the sub-bucket
+/// within the value's power-of-two group.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let group = (msb - SUB_BITS + 1) as usize;
+    let sub = ((value >> (msb - SUB_BITS)) & (SUB_COUNT as u64 - 1)) as usize;
+    group * SUB_COUNT + sub
+}
+
+/// Inclusive lower bound of a bucket (the smallest value that maps to it).
+fn bucket_floor(index: usize) -> u64 {
+    let group = index / SUB_COUNT;
+    let sub = (index % SUB_COUNT) as u64;
+    if group == 0 {
+        sub
+    } else {
+        (SUB_COUNT as u64 + sub) << (group - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (the largest value that maps to it).
+fn bucket_ceil(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_floor(index + 1) - 1
+    }
+}
+
+/// A wait-free log-linear histogram of `u64` values (nanoseconds, by
+/// convention). Recording is a relaxed `fetch_add` on one bucket plus a
+/// `fetch_max` on the running maximum; any number of threads may record
+/// concurrently.
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64]>,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        LatencyHistogram {
+            counts: counts.into_boxed_slice(),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value (one bucket update).
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Freezes the current contents into a mergeable snapshot. Counts are
+    /// read relaxed: concurrent recorders may land an observation just
+    /// before or after the freeze, never corrupt it.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut last = 0usize;
+        for (index, bucket) in self.counts.iter().enumerate() {
+            if bucket.load(Ordering::Relaxed) != 0 {
+                last = index + 1;
+            }
+        }
+        HistogramSnapshot {
+            counts: self.counts[..last]
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &snap.count())
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+/// A frozen histogram: trimmed bucket counts plus the exact maximum.
+/// Merging is element-wise addition, so `merge(a, b)` is bucket-identical
+/// to a histogram that observed both sample sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, trimmed after the last non-zero bucket.
+    pub counts: Vec<u64>,
+    /// The largest recorded value (exact, not quantized).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Folds another snapshot into this one (element-wise add; the max is
+    /// the max of the two).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.max = self.max.max(other.max);
+    }
+
+    /// An upper bound on the value at quantile `q` in `[0, 1]`: the ceiling
+    /// of the bucket holding the q-th observation, clamped to the exact
+    /// recorded maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_ceil(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile upper bound.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// An order-sensitive FNV-1a digest of the bucket counts and max —
+    /// the deterministic-simulation harness folds it into the replay
+    /// trace so same-seed runs must produce bucket-identical histograms.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.counts.len() as u64);
+        for &count in &self.counts {
+            eat(count);
+        }
+        eat(self.max);
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_exact_below_sub_count() {
+        for v in 0..SUB_COUNT as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every probed value maps to a bucket whose [floor, ceil] range
+        // contains it, and floors are strictly increasing.
+        let probes: Vec<u64> = (0..200)
+            .map(|i| (i * i * 37 + i) as u64)
+            .chain([u64::MAX, u64::MAX - 1, 1 << 40, (1 << 40) + 12345])
+            .collect();
+        for &v in &probes {
+            let index = bucket_index(v);
+            assert!(index < BUCKETS, "index {index} for {v}");
+            assert!(bucket_floor(index) <= v, "floor of {v}");
+            assert!(v <= bucket_ceil(index), "ceil of {v}");
+        }
+        for index in 1..BUCKETS {
+            assert!(bucket_floor(index) > bucket_floor(index - 1));
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // The bucket ceiling over-reports by at most 1/SUB_COUNT.
+        for &v in &[100u64, 1_000, 10_000, 1_000_000, 123_456_789] {
+            let ceil = bucket_ceil(bucket_index(v));
+            assert!(ceil as f64 <= v as f64 * (1.0 + 1.0 / SUB_COUNT as f64) + 1.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_bound_the_true_quantile() {
+        let hist = LatencyHistogram::new();
+        let values: Vec<u64> = (1..=1000u64).map(|i| i * 100).collect();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.max, 100_000);
+        // True p50 is 50_000; the reported bound must cover it without
+        // exceeding the quantization error.
+        let p50 = snap.p50();
+        assert!(p50 >= 50_000, "p50 {p50}");
+        assert!(p50 as f64 <= 50_000.0 * 1.07, "p50 {p50}");
+        let p99 = snap.p99();
+        assert!(p99 >= 99_000, "p99 {p99}");
+        assert!(p99 as f64 <= 99_000.0 * 1.07, "p99 {p99}");
+        // p100 is clamped to the exact max.
+        assert_eq!(snap.percentile(1.0), 100_000);
+        assert_eq!(snap.p999().min(snap.max), snap.p999());
+    }
+
+    #[test]
+    fn merge_of_shards_equals_histogram_of_union() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let union = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * i % 77_777;
+            a.record(v);
+            union.record(v);
+        }
+        for i in 0..300u64 {
+            let v = i * 13 + 1_000_000;
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+        assert_eq!(merged.digest(), union.snapshot().digest());
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.percentile(1.0), 0);
+        let mut merged = HistogramSnapshot::default();
+        merged.merge(&snap);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_n(4242, 7);
+        for _ in 0..7 {
+            b.record(4242);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_nothing() {
+        use std::sync::Arc;
+        let hist = Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        hist.record(t * 1_000 + i % 97);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(hist.snapshot().count(), 40_000);
+    }
+}

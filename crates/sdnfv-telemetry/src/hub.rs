@@ -1,7 +1,7 @@
 //! The consumer side of the telemetry bus: merging per-shard snapshot
 //! streams into one current view.
 
-use crate::snapshot::{ShardLifecycleEvent, TelemetrySnapshot};
+use crate::snapshot::{LatencyReport, ShardLifecycleEvent, TelemetrySnapshot};
 
 /// Inter-snapshot rates for one shard, reconstructed from the cumulative
 /// counters of two consecutive snapshots.
@@ -28,7 +28,15 @@ pub struct ShardRates {
 pub struct TelemetryHub {
     latest: Vec<Option<TelemetrySnapshot>>,
     previous: Vec<Option<TelemetrySnapshot>>,
+    /// Shards `observe_lifecycle` saw retire and not respawn since. A
+    /// retired shard's snapshots may still be in flight (polled into a
+    /// batch before the lifecycle event was observed); absorbing one
+    /// would resurrect the dead pipeline's gauges permanently, so they
+    /// are rejected here. Never truncated: the flag must outlive the
+    /// trailing-slot truncation below.
+    retired: Vec<bool>,
     absorbed: u64,
+    rejected_retired: u64,
 }
 
 impl TelemetryHub {
@@ -44,6 +52,13 @@ impl TelemetryHub {
     pub fn absorb(&mut self, snapshots: Vec<TelemetrySnapshot>) {
         for snapshot in snapshots {
             let shard = snapshot.shard;
+            if self.retired.get(shard).copied().unwrap_or(false) {
+                // A straggler from a shard that already retired: folding
+                // it in would re-open the slot and let a dead pipeline's
+                // gauges contribute to merged rates forever.
+                self.rejected_retired += 1;
+                continue;
+            }
             if shard >= self.latest.len() {
                 self.latest.resize(shard + 1, None);
                 self.previous.resize(shard + 1, None);
@@ -136,6 +151,46 @@ impl TelemetryHub {
         self.latest_all().iter().map(|s| s.nf_state_scrubbed).sum()
     }
 
+    /// Total per-flow NF state entries handed off from retiring replicas
+    /// to survivors across every currently reporting shard.
+    pub fn total_nf_state_handoffs(&self) -> u64 {
+        self.latest_all().iter().map(|s| s.nf_state_handoffs).sum()
+    }
+
+    /// Total migrated NF state payloads dropped at import across every
+    /// currently reporting shard.
+    pub fn total_nf_state_import_drops(&self) -> u64 {
+        self.latest_all()
+            .iter()
+            .map(|s| s.nf_state_import_drops)
+            .sum()
+    }
+
+    /// Total trace spans lost to full trace rings across every currently
+    /// reporting shard.
+    pub fn total_spans_dropped(&self) -> u64 {
+        self.latest_all().iter().map(|s| s.spans_dropped).sum()
+    }
+
+    /// Snapshots rejected because their shard had already retired (the
+    /// straggler count the retired-slot guard absorbed).
+    pub fn rejected_retired(&self) -> u64 {
+        self.rejected_retired
+    }
+
+    /// Whole-host latency distributions: the per-stage histograms of
+    /// every currently reporting shard, merged. Because per-shard
+    /// histograms are cumulative and merging is exact, the merged report's
+    /// p50/p90/p99/p999 are the percentiles of the union of every live
+    /// shard's samples.
+    pub fn merged_latency(&self) -> LatencyReport {
+        let mut merged = LatencyReport::default();
+        for snapshot in self.latest_all() {
+            merged.merge(&snapshot.latency);
+        }
+        merged
+    }
+
     /// Applies shard lifecycle events: a retired shard's snapshots are
     /// forgotten (trailing slots are truncated away) so stale gauges of a
     /// dead pipeline cannot drive control decisions; a spawned shard's slot
@@ -153,8 +208,15 @@ impl TelemetryHub {
                         self.latest[*shard] = None;
                         self.previous[*shard] = None;
                     }
+                    if let Some(flag) = self.retired.get_mut(*shard) {
+                        *flag = false;
+                    }
                 }
                 ShardLifecycleEvent::Retired { shard, .. } => {
+                    if *shard >= self.retired.len() {
+                        self.retired.resize(shard + 1, false);
+                    }
+                    self.retired[*shard] = true;
                     if let Some(slot) = self.latest.get_mut(*shard) {
                         *slot = None;
                     }
@@ -199,6 +261,10 @@ mod tests {
             rules_evicted_idle: 0,
             rules_evicted_hard: 0,
             nf_state_scrubbed: 0,
+            nf_state_handoffs: 0,
+            nf_state_import_drops: 0,
+            spans_dropped: 0,
+            latency: LatencyReport::default(),
         }
     }
 
@@ -296,6 +362,64 @@ mod tests {
         hub.absorb(vec![a, b]);
         assert_eq!(hub.total_rules_evicted(), 9);
         assert_eq!(hub.total_nf_state_scrubbed(), 6);
+    }
+
+    #[test]
+    fn late_snapshot_from_retired_shard_is_rejected() {
+        let mut hub = TelemetryHub::new();
+        hub.absorb(vec![snapshot(0, 1, 100, 0), snapshot(1, 1, 100, 0)]);
+        assert_eq!(hub.num_shards(), 2);
+        // Shard 1 retires; its final snapshot was still in flight (polled
+        // into a batch before the lifecycle event was observed).
+        hub.observe_lifecycle(&[ShardLifecycleEvent::Retired {
+            shard: 1,
+            at_ns: 200,
+        }]);
+        assert_eq!(hub.num_shards(), 1);
+        hub.absorb(vec![snapshot(1, 2, 250, 9)]);
+        // The straggler must not re-open the slot or contribute to merges.
+        assert_eq!(hub.num_shards(), 1, "retired shard stays pruned");
+        assert_eq!(hub.latest(1), None);
+        assert_eq!(hub.latest_all().len(), 1);
+        assert_eq!(hub.rejected_retired(), 1);
+        // A genuine respawn lifts the guard and the new stream is absorbed.
+        hub.observe_lifecycle(&[ShardLifecycleEvent::Spawned {
+            shard: 1,
+            at_ns: 300,
+        }]);
+        hub.absorb(vec![snapshot(1, 1, 400, 0)]);
+        assert_eq!(hub.latest(1).unwrap().seq, 1);
+    }
+
+    #[test]
+    fn merged_latency_is_union_of_live_shards() {
+        use crate::hist::LatencyHistogram;
+        let mut hub = TelemetryHub::new();
+        let per_shard = |values: &[u64]| {
+            let hist = LatencyHistogram::new();
+            for &v in values {
+                hist.record(v);
+            }
+            hist.snapshot()
+        };
+        let mut a = snapshot(0, 1, 100, 0);
+        a.latency.end_to_end = per_shard(&[100, 200, 300]);
+        let mut b = snapshot(1, 1, 100, 0);
+        b.latency.end_to_end = per_shard(&[400, 500]);
+        hub.absorb(vec![a, b]);
+        let merged = hub.merged_latency();
+        assert_eq!(merged.end_to_end.count(), 5);
+        assert_eq!(merged.end_to_end.max, 500);
+        assert_eq!(merged.end_to_end, per_shard(&[100, 200, 300, 400, 500]));
+        // Retiring shard 1 removes its samples from the merged view.
+        hub.observe_lifecycle(&[ShardLifecycleEvent::Retired {
+            shard: 1,
+            at_ns: 200,
+        }]);
+        assert_eq!(hub.merged_latency().end_to_end.count(), 3);
+        assert_eq!(hub.total_spans_dropped(), 0);
+        assert_eq!(hub.total_nf_state_handoffs(), 0);
+        assert_eq!(hub.total_nf_state_import_drops(), 0);
     }
 
     #[test]

@@ -34,13 +34,17 @@
 pub mod action;
 pub mod clock;
 pub mod ewma;
+pub mod hist;
 pub mod hub;
 pub mod snapshot;
 pub mod source;
+pub mod trace;
 
 pub use action::ControlAction;
 pub use clock::HostClock;
 pub use ewma::Ewma;
+pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use hub::{ShardRates, TelemetryHub};
-pub use snapshot::{NfTelemetry, ShardLifecycleEvent, TelemetrySnapshot};
+pub use snapshot::{LatencyReport, NfTelemetry, ShardLifecycleEvent, TelemetrySnapshot};
 pub use source::TelemetrySource;
+pub use trace::{SpanVerdict, TraceSpan, TraceStage};

@@ -1,6 +1,50 @@
 //! The periodic per-shard telemetry record.
 
+use crate::hist::HistogramSnapshot;
 use sdnfv_flowtable::ServiceId;
+
+/// Per-stage latency distributions for one shard, frozen at snapshot
+/// time. Every histogram is cumulative since the shard came up (like the
+/// counters), so a lost snapshot loses freshness, never samples; merging
+/// the per-shard reports in the hub yields exact whole-host distributions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyReport {
+    /// Ingress admission → egress-ring push, per transmitted packet.
+    pub end_to_end: HistogramSnapshot,
+    /// Ingress admission → RX dispatch pop (ingress-ring wait; for a
+    /// packet re-homed mid-flight this includes its pen dwell).
+    pub ingress_wait: HistogramSnapshot,
+    /// Per-packet NF service time (burst time / burst size, recorded by
+    /// every replica of the shard into one shared histogram).
+    pub nf_service: HistogramSnapshot,
+    /// Egress staging → egress-ring push (egress backpressure wait).
+    pub egress_wait: HistogramSnapshot,
+    /// Re-home pen dwell of packets released to this shard.
+    pub pen_dwell: HistogramSnapshot,
+}
+
+impl LatencyReport {
+    /// Folds another report into this one, stage by stage.
+    pub fn merge(&mut self, other: &LatencyReport) {
+        self.end_to_end.merge(&other.end_to_end);
+        self.ingress_wait.merge(&other.ingress_wait);
+        self.nf_service.merge(&other.nf_service);
+        self.egress_wait.merge(&other.egress_wait);
+        self.pen_dwell.merge(&other.pen_dwell);
+    }
+
+    /// The stages as `(name, snapshot)` pairs, in a stable order
+    /// (exposition renderers iterate this).
+    pub fn stages(&self) -> [(&'static str, &HistogramSnapshot); 5] {
+        [
+            ("end_to_end", &self.end_to_end),
+            ("ingress_wait", &self.ingress_wait),
+            ("nf_service", &self.nf_service),
+            ("egress_wait", &self.egress_wait),
+            ("pen_dwell", &self.pen_dwell),
+        ]
+    }
+}
 
 /// Telemetry for one NF instance on a shard: its input-ring occupancy and
 /// the service time the NF thread measured.
@@ -102,6 +146,17 @@ pub struct TelemetrySnapshot {
     /// Cumulative per-flow NF state entries scrubbed on this shard because
     /// their flow's rule was evicted.
     pub nf_state_scrubbed: u64,
+    /// Cumulative per-flow NF state entries handed off from a retiring
+    /// replica to a surviving replica of the same service.
+    pub nf_state_handoffs: u64,
+    /// Cumulative migrated NF state payloads dropped because no replica of
+    /// their service was live to absorb them.
+    pub nf_state_import_drops: u64,
+    /// Cumulative trace spans discarded because the shard's trace ring was
+    /// full (lossy-by-design tracing makes its losses explicit).
+    pub spans_dropped: u64,
+    /// Per-stage latency distributions (cumulative, mergeable).
+    pub latency: LatencyReport,
 }
 
 /// A shard joining or leaving the data plane — published by the host when
@@ -240,6 +295,10 @@ mod tests {
             rules_evicted_idle: 0,
             rules_evicted_hard: 0,
             nf_state_scrubbed: 0,
+            nf_state_handoffs: 0,
+            nf_state_import_drops: 0,
+            spans_dropped: 0,
+            latency: LatencyReport::default(),
         }
     }
 

@@ -1,0 +1,146 @@
+//! Compact span records for sampled flow tracing.
+//!
+//! A traced packet (hash-sampled by the host's sampling knob, or pinned
+//! by a `Trace` rule action in the classifier) emits one span per
+//! pipeline stage it crosses: an RX span when the shard worker first
+//! dispatches it, one NF span per replica burst that processed it, and a
+//! terminal span when it reaches egress (or is dropped / punted along
+//! the way). Spans travel over a lossy per-shard SPSC ring — when the
+//! ring is full the span is counted in `spans_dropped`, never blocked
+//! on — and are drained host-side via `ThreadedHost::poll_traces`.
+
+/// The pipeline stage a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceStage {
+    /// The shard worker's RX dispatch role (ingress pop → staging).
+    Rx,
+    /// One NF replica's service burst.
+    Nf,
+    /// The shard worker's TX role resolving an NF verdict.
+    Tx,
+    /// The egress flush (staged → host egress ring).
+    Egress,
+}
+
+impl TraceStage {
+    /// Stable lowercase label (exposition and replay traces).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceStage::Rx => "rx",
+            TraceStage::Nf => "nf",
+            TraceStage::Tx => "tx",
+            TraceStage::Egress => "egress",
+        }
+    }
+}
+
+/// What happened to the packet at the end of the span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanVerdict {
+    /// Handed to one or more NF replicas (non-terminal).
+    Forwarded,
+    /// Pushed to the host egress ring (terminal).
+    Egressed,
+    /// Dropped (terminal).
+    Dropped,
+    /// Punted to the controller (terminal).
+    Punted,
+}
+
+impl SpanVerdict {
+    /// Whether this verdict ends the packet's journey through the host.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, SpanVerdict::Forwarded)
+    }
+
+    /// Stable lowercase label (exposition and replay traces).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanVerdict::Forwarded => "forwarded",
+            SpanVerdict::Egressed => "egressed",
+            SpanVerdict::Dropped => "dropped",
+            SpanVerdict::Punted => "punted",
+        }
+    }
+}
+
+/// One stage of one sampled packet's path through the data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Shard the stage ran on.
+    pub shard: usize,
+    /// Stage kind.
+    pub stage: TraceStage,
+    /// Service id of the NF replica ([`TraceStage::Nf`] spans; 0 otherwise).
+    pub service: u32,
+    /// The flow's stable hash (groups spans of one flow without carrying
+    /// the full key).
+    pub flow_hash: u64,
+    /// Host-clock start of the stage (ns). For RX spans this is the
+    /// packet's ingress admission stamp, so `t_end - t_start` is the
+    /// ingress-ring wait.
+    pub t_start_ns: u64,
+    /// Host-clock end of the stage (ns).
+    pub t_end_ns: u64,
+    /// Outcome at span end.
+    pub verdict: SpanVerdict,
+}
+
+impl TraceSpan {
+    /// The stage duration (saturating).
+    pub fn duration_ns(&self) -> u64 {
+        self.t_end_ns.saturating_sub(self.t_start_ns)
+    }
+
+    /// Folds the span into an FNV-1a accumulator (deterministic-replay
+    /// digests; order-sensitive).
+    pub fn fold_digest(&self, hash: &mut u64) {
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                *hash ^= byte as u64;
+                *hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.shard as u64);
+        eat(self.stage as u64);
+        eat(self.service as u64);
+        eat(self.flow_hash);
+        eat(self.t_start_ns);
+        eat(self.t_end_ns);
+        eat(self.verdict as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_terminality() {
+        assert!(!SpanVerdict::Forwarded.is_terminal());
+        assert!(SpanVerdict::Egressed.is_terminal());
+        assert!(SpanVerdict::Dropped.is_terminal());
+        assert!(SpanVerdict::Punted.is_terminal());
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let span = TraceSpan {
+            shard: 1,
+            stage: TraceStage::Rx,
+            service: 0,
+            flow_hash: 42,
+            t_start_ns: 10,
+            t_end_ns: 20,
+            verdict: SpanVerdict::Forwarded,
+        };
+        let mut a = 0xcbf2_9ce4_8422_2325u64;
+        let mut b = a;
+        span.fold_digest(&mut a);
+        let mut other = span;
+        other.t_end_ns = 21;
+        other.fold_digest(&mut b);
+        assert_ne!(a, b);
+        assert_eq!(span.duration_ns(), 10);
+    }
+}

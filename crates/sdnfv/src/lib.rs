@@ -14,6 +14,7 @@
 //! | [`dataplane`] | `sdnfv-dataplane` | §4.1–4.2 the NF Manager |
 //! | [`telemetry`] | `sdnfv-telemetry` | §3.5 telemetry bus and control actions |
 //! | [`control`] | `sdnfv-control` | §3.1/§3.4–3.5 controller, orchestrator, application, elastic manager |
+//! | [`obs`] | `sdnfv-obs` | latency percentiles, flow traces, control-plane flight recorder |
 //! | [`placement`] | `sdnfv-placement` | §3.5 the placement engine |
 //! | [`sim`] | `sdnfv-sim` | §5 scenario simulators for the evaluation |
 //!
@@ -48,6 +49,7 @@ pub use sdnfv_dataplane as dataplane;
 pub use sdnfv_flowtable as flowtable;
 pub use sdnfv_graph as graph;
 pub use sdnfv_nf as nf;
+pub use sdnfv_obs as obs;
 pub use sdnfv_placement as placement;
 pub use sdnfv_proto as proto;
 pub use sdnfv_ring as ring;

@@ -276,6 +276,10 @@ fn control_actions_apply_mid_traffic_without_loss() {
                 host.resize_credits(*shard, *credits)
             }
             ControlAction::SetSteeringWeights { weights } => host.set_steering_weights(weights),
+            ControlAction::SetTraceSampling { every } => {
+                host.set_trace_sampling(*every);
+                true
+            }
             ControlAction::ScaleUp { .. }
             | ControlAction::SpawnShard
             | ControlAction::RetireShard { .. } => false,
