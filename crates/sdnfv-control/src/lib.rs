@@ -22,7 +22,14 @@
 //!   orchestrator. [`deploy_sharded`](elastic::deploy_sharded) is its
 //!   provisioning counterpart, turning a
 //!   [`ShardPlacement`](elastic::ShardPlacement) into a running sharded
-//!   host.
+//!   host;
+//! * the [`Federation`](federation::Federation) — the controller's
+//!   multi-host layer: N hosts joined by a bounded interconnect mesh, with
+//!   controller-installed hand-off rules for chains whose segments live on
+//!   different hosts, cross-host bucket re-homing through the state-safe
+//!   drain handshake, and every host's telemetry folded into one global
+//!   view ([`deploy_federated`](federation::deploy_federated) provisions
+//!   the whole thing from per-host placements).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,11 +37,16 @@
 pub mod application;
 pub mod controller;
 pub mod elastic;
+pub mod federation;
 pub mod orchestrator;
 
 pub use application::{AppAction, SdnfvApplication};
 pub use controller::{ControllerStats, SdnController};
 pub use elastic::{deploy_sharded, ElasticNfManager, ElasticPolicy, ShardPlacement, ShardPolicy};
+pub use federation::{
+    chain_segments, deploy_federated, Federation, FederationConfig, FederationOutput,
+    FederationReport, WireStat,
+};
 pub use orchestrator::{LaunchTicket, NfvOrchestrator};
 
 /// Identifier of an NF host (an NF Manager instance) in the network.

@@ -37,16 +37,18 @@ pub mod runtime;
 pub mod scratch;
 pub mod sim;
 pub mod stats;
+pub mod wire;
 
 pub use cache::LookupCache;
 pub use conflict::resolve_parallel_verdicts;
 pub use loadbalance::LoadBalancePolicy;
 pub use manager::{NfManager, NfManagerConfig, PacketOutcome};
 pub use messages::{apply_nf_message, apply_nf_message_tracked, AppliedChange, NfManagerMessage};
-pub use rehome::{RehomeEvent, RehomeReport, RehomeStep};
+pub use rehome::{BucketHandout, RehomeEvent, RehomeReport, RehomeStep};
 pub use runtime::{
     shard_for_flow, BurstInjection, HostOutput, InjectResult, OverflowPolicy, RehomeOrdering,
-    ThreadedHost, ThreadedHostConfig, STEER_BUCKETS,
+    ReplicaDispatch, ThreadedHost, ThreadedHostConfig, STEER_BUCKETS,
 };
 pub use sim::{SimActorInfo, SimActorKind, SimHandle};
 pub use stats::{HostStats, HostStatsSnapshot, ShardStats};
+pub use wire::{HostLink, LoopbackWire, WireFrame};

@@ -39,7 +39,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use sdnfv_flowtable::ServiceId;
+use sdnfv_flowtable::{BucketStateBundle, ServiceId};
 use sdnfv_nf::NfFlowState;
 use sdnfv_proto::flow::FlowKey;
 use sdnfv_proto::Packet;
@@ -173,6 +173,67 @@ impl BucketMove {
     }
 }
 
+/// Where one **cross-host** bucket handout stands on the source host. The
+/// phases mirror [`MovePhase`] up to collection; from there the bundle
+/// leaves the host and the federation (which owns the wire and the
+/// destination host) drives the import and the release.
+#[derive(Debug, Clone)]
+pub enum HandoutPhase {
+    /// Waiting for the bucket's in-flight count on its shard to reach zero.
+    Draining,
+    /// NF-state export request `id` is in flight to the shard's worker.
+    Collecting {
+        /// Matches the request to the worker's eventual export response.
+        id: u64,
+    },
+    /// The portable bundle is assembled, waiting for
+    /// [`ThreadedHost::take_ready_handouts`](crate::runtime::ThreadedHost::take_ready_handouts).
+    Ready,
+    /// The bundle left the host; the pen keeps absorbing stray arrivals
+    /// until the federation confirms the destination's import
+    /// ([`ThreadedHost::finish_bucket_handout`](crate::runtime::ThreadedHost::finish_bucket_handout)).
+    AwaitingRelease,
+}
+
+/// One bucket leaving this host for another host: the outbound half of a
+/// cross-host re-home. The pen plays the same role as [`BucketMove::pen`] —
+/// arrivals while the bucket is parked wait here, in order — but it is
+/// returned to the federation at finish rather than drained into a local
+/// shard, because the bucket's new pipeline lives on another machine.
+#[derive(Debug)]
+pub struct OutboundHandout {
+    /// The bucket being handed to another host.
+    pub bucket: usize,
+    /// The shard that owns the bucket here.
+    pub from: usize,
+    /// Handshake progress.
+    pub phase: HandoutPhase,
+    /// Packets of the bucket that arrived while it was parked, with their
+    /// parsed flow keys, in arrival order.
+    pub pen: VecDeque<(Packet, FlowKey)>,
+    /// The assembled bundle, between collection and
+    /// [`HandoutPhase::Ready`] pickup.
+    pub bundle: Option<BucketHandout>,
+}
+
+/// Everything one steering bucket carries across the host interconnect:
+/// its shard-local flow-table state (exact rules and wildcard-mutation
+/// records, already extracted from the source partition) and the
+/// NF-internal per-flow state detached from the source shard's replicas.
+/// Produced by the source host's handout machinery, consumed by
+/// [`ThreadedHost::absorb_bucket_handout`](crate::runtime::ThreadedHost::absorb_bucket_handout)
+/// on the destination host.
+#[derive(Debug)]
+pub struct BucketHandout {
+    /// The steering bucket (bucket indices are host-independent: every host
+    /// hashes flows over the same [`STEER_BUCKETS`](crate::runtime::STEER_BUCKETS)).
+    pub bucket: usize,
+    /// Exact rules and wildcard-mutation records from the source partition.
+    pub table_state: BucketStateBundle,
+    /// NF per-flow state detached from the source shard's replicas.
+    pub nf_states: Vec<(ServiceId, FlowKey, NfFlowState)>,
+}
+
 /// NF flow state collected on the old shard, on its way to the new owner's
 /// worker (batched per destination shard; the shared `done` flag gates the
 /// pen release of every bucket the batch covers).
@@ -211,6 +272,12 @@ pub struct RehomeReport {
     /// Injections rejected because a bucket's pen was full (surfaced as
     /// ordinary backpressure to the caller — handed back, not dropped).
     pub pen_throttled: u64,
+    /// Buckets this host handed to another host (cross-host re-homes, as
+    /// the source).
+    pub buckets_handed_off: u64,
+    /// Buckets this host adopted from another host (cross-host re-homes,
+    /// as the destination).
+    pub buckets_adopted: u64,
 }
 
 /// A shard being retired: all its buckets are re-homed first, then its
@@ -218,7 +285,8 @@ pub struct RehomeReport {
 /// egress ring has been drained by the host.
 #[derive(Debug)]
 pub struct RetiringShard {
-    /// The shard being drained away (always the highest index).
+    /// The shard being drained away (any live index; a retired middle
+    /// slot becomes a reusable tombstone, a retired tail slot is reaped).
     pub shard: usize,
     /// Whether the worker has been told to stop (set once every bucket has
     /// left the shard).
@@ -267,6 +335,9 @@ pub struct RehomeEvent {
 pub struct RehomeState {
     /// Active bucket moves, at most one per bucket.
     pub moves: Vec<BucketMove>,
+    /// Active cross-host handouts, at most one per bucket (a bucket is
+    /// never simultaneously in `moves` and `outbound`).
+    pub outbound: Vec<OutboundHandout>,
     /// `parked[bucket]` is `true` while the bucket is mid-move (sized to
     /// the steering table; empty until the first re-home).
     pub parked: Vec<bool>,
@@ -294,7 +365,10 @@ pub struct RehomeState {
 impl RehomeState {
     /// Whether any re-home work is pending.
     pub fn is_idle(&self) -> bool {
-        self.moves.is_empty() && self.retiring.is_none() && self.outbox.is_empty()
+        self.moves.is_empty()
+            && self.outbound.is_empty()
+            && self.retiring.is_none()
+            && self.outbox.is_empty()
     }
 
     /// Whether `bucket` is currently parked (mid-move).
@@ -349,10 +423,39 @@ impl RehomeState {
         self.moves.iter_mut().find(|m| m.bucket == bucket)
     }
 
+    /// The cross-host handout currently holding `bucket`, if any.
+    pub fn outbound_for_bucket_mut(&mut self, bucket: usize) -> Option<&mut OutboundHandout> {
+        self.outbound.iter_mut().find(|h| h.bucket == bucket)
+    }
+
+    /// Begins a cross-host handout for `bucket` (which must not already be
+    /// moving), journaling the [`RehomeStep::Begun`] event at `now_ns` with
+    /// the destination recorded as the source shard itself (the real
+    /// destination is another host, outside this journal's shard space).
+    pub fn begin_handout(&mut self, bucket: usize, from: usize, now_ns: u64) {
+        debug_assert!(!self.is_parked(bucket), "bucket {bucket} already moving");
+        self.parked[bucket] = true;
+        self.outbound.push(OutboundHandout {
+            bucket,
+            from,
+            phase: HandoutPhase::Draining,
+            pen: VecDeque::new(),
+            bundle: None,
+        });
+        self.record_event(RehomeEvent {
+            at_ns: now_ns,
+            bucket,
+            from,
+            to: from,
+            step: RehomeStep::Begun,
+        });
+    }
+
     /// Whether any active move still involves shard `shard` (as source or
     /// destination).
     pub fn shard_has_moves(&self, shard: usize) -> bool {
         self.moves.iter().any(|m| m.from == shard || m.to == shard)
+            || self.outbound.iter().any(|h| h.from == shard)
             || self.outbox.iter().any(|d| d.to == shard)
     }
 

@@ -125,8 +125,8 @@ use crate::cache::{cached_lookup, LookupCache};
 use crate::conflict::resolve_parallel_verdicts;
 use crate::messages::{apply_nf_message_tracked_with, PinTimeouts};
 use crate::rehome::{
-    BucketTracker, ImportDelivery, MovePhase, RehomeEvent, RehomeReport, RehomeState, RehomeStep,
-    RetiringShard,
+    BucketHandout, BucketTracker, HandoutPhase, ImportDelivery, MovePhase, RehomeEvent,
+    RehomeReport, RehomeState, RehomeStep, RetiringShard,
 };
 use crate::scratch::recycle;
 use crate::stats::{HostStats, ShardStats};
@@ -149,6 +149,25 @@ pub enum RehomeOrdering {
     /// drain now waits on the host's egress polling) and a flow-key parse
     /// per polled packet.
     Strict,
+}
+
+/// How a shard worker distributes packets among multiple replicas of one
+/// service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaDispatch {
+    /// Flow-sticky (the default): a flow's stable 5-tuple hash picks one
+    /// replica, so **every packet of the flow — including packets of the
+    /// same burst — visits the same replica** and per-flow NF state stays
+    /// exact. Keyless packets fall back to the least-loaded replica.
+    /// Replica churn (add/remove) remaps a fraction of flows; the re-home
+    /// import path merges any state the old replica exported.
+    #[default]
+    Sticky,
+    /// Least-loaded: each packet goes to the replica with the shortest
+    /// input queue. Best instantaneous balance, but one flow's burst can be
+    /// split across replicas, leaving per-flow NF state (counters,
+    /// detection windows) fragmented. Kept for stateless service chains.
+    LeastLoaded,
 }
 
 /// What the host does when an ingress packet cannot be admitted.
@@ -244,6 +263,9 @@ pub struct ThreadedHostConfig {
     /// the span (counted in `spans_dropped`) — tracing never blocks the
     /// packet path.
     pub trace_ring_capacity: usize,
+    /// How packets are distributed among multiple replicas of one service
+    /// (see [`ReplicaDispatch`]). Defaults to flow-sticky.
+    pub replica_dispatch: ReplicaDispatch,
 }
 
 impl Default for ThreadedHostConfig {
@@ -270,6 +292,7 @@ impl Default for ThreadedHostConfig {
             pin_hard_timeout_ns: None,
             trace_sample_every: 0,
             trace_ring_capacity: 1024,
+            replica_dispatch: ReplicaDispatch::Sticky,
         }
     }
 }
@@ -645,6 +668,12 @@ struct ShardPorts {
     /// The shard's latency histograms (shared with its threads; the host
     /// records pen dwell here and merges reports on demand).
     latency: Arc<ShardLatency>,
+    /// Tombstone: `true` once the slot's shard has been fully retired (its
+    /// worker joined, its buckets re-homed away). A tombstoned slot keeps
+    /// its index — steering entries and stats stay valid — until either a
+    /// later [`ThreadedHost::spawn_shard`] reuses it or it becomes the
+    /// trailing slot and is reaped.
+    retired: Cell<bool>,
 }
 
 /// A handle to a running multi-threaded NF host.
@@ -660,7 +689,9 @@ pub struct ThreadedHost {
     stats: HostStats,
     tables: FlowTablePartitions,
     running: Arc<AtomicBool>,
-    handles: RefCell<Vec<TaskHandle>>,
+    /// Worker handles, indexed like `shards`; `None` marks a tombstoned
+    /// slot (its handle was joined at retirement).
+    handles: RefCell<Vec<Option<TaskHandle>>>,
     clock: HostClock,
     /// How pipelines execute (threads vs simulation registry); retained so
     /// shards spawned mid-run join the same driver.
@@ -694,7 +725,7 @@ impl std::fmt::Debug for ThreadedHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadedHost")
             .field("shards", &self.shards.borrow().len())
-            .field("threads", &self.handles.borrow().len())
+            .field("threads", &self.handles.borrow().iter().flatten().count())
             .field("rules", &self.tables.template().len())
             .finish()
     }
@@ -806,7 +837,7 @@ impl ThreadedHost {
                 &runtime,
                 &trace_sampling,
             );
-            handles.push(handle);
+            handles.push(Some(handle));
             shards.push(ports);
         }
 
@@ -836,10 +867,41 @@ impl ThreadedHost {
         }
     }
 
-    /// Number of pipeline shards (a retiring shard counts until its
-    /// teardown completes).
+    /// Number of pipeline shard **slots**, tombstones included (a retiring
+    /// shard counts until its teardown completes; a middle-slot tombstone
+    /// counts until the slot is reused or reaped). Use
+    /// [`ThreadedHost::num_live_shards`] for the number of shards actually
+    /// serving traffic.
     pub fn num_shards(&self) -> usize {
         self.shards.borrow().len()
+    }
+
+    /// Number of shards currently serving traffic (slots minus tombstones).
+    pub fn num_live_shards(&self) -> usize {
+        self.shards
+            .borrow()
+            .iter()
+            .filter(|p| !p.retired.get())
+            .count()
+    }
+
+    /// Whether slot `shard` currently holds a live (non-tombstoned) shard.
+    /// Out-of-range slots are not live.
+    pub fn is_live_shard(&self, shard: usize) -> bool {
+        self.shards
+            .borrow()
+            .get(shard)
+            .is_some_and(|p| !p.retired.get())
+    }
+
+    /// The lowest-index live shard — where keyless packets (which cannot be
+    /// flow-steered) are injected.
+    fn first_live_shard(&self) -> usize {
+        self.shards
+            .borrow()
+            .iter()
+            .position(|p| !p.retired.get())
+            .unwrap_or(0)
     }
 
     /// The overflow policy the host runs under.
@@ -923,7 +985,7 @@ impl ThreadedHost {
                 }
                 (self.steer_hash(hash), Some(bucket))
             }
-            None => (0, None),
+            None => (self.first_live_shard(), None),
         };
         let shards = self.shards.borrow();
         let ports = &shards[shard];
@@ -954,18 +1016,30 @@ impl ThreadedHost {
         }
     }
 
-    /// Parks a packet whose bucket is mid-re-home in the bucket's pen.
+    /// Parks a packet whose bucket is mid-re-home (locally, or handing out
+    /// to another host) in the bucket's pen.
     fn park(&self, bucket: usize, packet: Packet, key: FlowKey) -> InjectResult {
         let mut state = self.rehome.borrow_mut();
-        let report_shard = {
+        let pen_cap = self.config.rehome_pen;
+        let report_shard = if state.moves.iter().any(|m| m.bucket == bucket) {
             let mv = state
                 .move_for_bucket_mut(bucket)
                 .expect("a parked bucket has an active move");
-            if mv.pen.len() < self.config.rehome_pen {
+            if mv.pen.len() < pen_cap {
                 mv.pen.push_back((packet, key));
                 None
             } else {
                 Some((mv.to, packet))
+            }
+        } else {
+            let handout = state
+                .outbound_for_bucket_mut(bucket)
+                .expect("a parked bucket has an active move or handout");
+            if handout.pen.len() < pen_cap {
+                handout.pen.push_back((packet, key));
+                None
+            } else {
+                Some((handout.from, packet))
             }
         };
         match report_shard {
@@ -1000,13 +1074,17 @@ impl ThreadedHost {
         self.advance_rehoming();
         let now = self.now_ns();
         let mut result = BurstInjection::default();
-        let rehoming = !self.rehome.borrow().moves.is_empty();
+        let rehoming = {
+            let state = self.rehome.borrow();
+            !state.moves.is_empty() || !state.outbound.is_empty()
+        };
         let shards = self.shards.borrow();
         let num_shards = shards.len();
         if num_shards == 1 && !rehoming {
-            // Single shard (and no bucket mid-move — impossible with one
-            // shard anyway): frame the admitted packets in one pass and
-            // push them directly, skipping the per-shard grouping.
+            // Single shard with no bucket mid-move and no outbound handout
+            // (a single-shard host can still hand a bucket to another
+            // host): frame the admitted packets in one pass and push them
+            // directly, skipping the per-shard grouping.
             let ports = &shards[0];
             let mut frames: Vec<IngressFrame> = Vec::with_capacity(packets.len());
             for mut packet in packets {
@@ -1025,6 +1103,7 @@ impl ThreadedHost {
             self.push_shard_frames(0, frames, &mut result);
             return result;
         }
+        let keyless_shard = self.first_live_shard();
         let mut staged: Vec<Vec<IngressFrame>> = (0..num_shards).map(|_| Vec::new()).collect();
         for mut packet in packets {
             packet.timestamp_ns = now;
@@ -1045,7 +1124,7 @@ impl ThreadedHost {
                     }
                     self.steer_hash(hash)
                 }
-                None => 0,
+                None => keyless_shard,
             };
             if let Some(gate) = &shards[shard].gate {
                 if !gate.try_acquire(1) {
@@ -1326,6 +1405,9 @@ impl ThreadedHost {
         service: ServiceId,
         nf: Box<dyn NetworkFunction>,
     ) -> Result<(), Box<dyn NetworkFunction>> {
+        if self.shards.borrow()[shard].retired.get() {
+            return Err(nf); // tombstoned slot: no worker to apply it
+        }
         self.shards.borrow()[shard]
             .control
             .push(ShardCommand::AddNf { service, nf })
@@ -1345,7 +1427,11 @@ impl ThreadedHost {
     ///
     /// Panics if `shard` is out of range.
     pub fn remove_nf_replica(&self, shard: usize, service: ServiceId) -> bool {
-        self.shards.borrow()[shard]
+        let shards = self.shards.borrow();
+        if shards[shard].retired.get() {
+            return false;
+        }
+        shards[shard]
             .control
             .push(ShardCommand::RemoveNf { service })
             .is_ok()
@@ -1361,7 +1447,7 @@ impl ThreadedHost {
     /// Panics if `shard` is out of range.
     pub fn resize_credits(&self, shard: usize, credits: usize) -> bool {
         let shards = self.shards.borrow();
-        if shards[shard].gate.is_none() {
+        if shards[shard].gate.is_none() || shards[shard].retired.get() {
             return false;
         }
         shards[shard]
@@ -1394,8 +1480,19 @@ impl ThreadedHost {
         if self.rehome.borrow().retiring.is_some() {
             return false;
         }
+        // Tombstoned slots can never receive buckets, whatever the caller
+        // asked for (an all-tombstone-weighted request degenerates to
+        // all-zero and is rejected below).
+        let weights: Vec<u32> = {
+            let shards = self.shards.borrow();
+            weights
+                .iter()
+                .enumerate()
+                .map(|(s, &w)| if shards[s].retired.get() { 0 } else { w })
+                .collect()
+        };
         let buckets = self.steering.borrow().len();
-        let Some(target) = apportion_targets(weights, buckets) else {
+        let Some(target) = apportion_targets(&weights, buckets) else {
             return false;
         };
         self.rebalance_to_targets(&target);
@@ -1559,6 +1656,7 @@ impl ThreadedHost {
         }
         let retiring_involved = |state: &RehomeState, s: usize| {
             state.moves.iter().any(|m| m.from == s || m.to == s)
+                || state.outbound.iter().any(|h| h.from == s)
                 || state.outbox.iter().any(|d| d.to == s)
         };
         let still_involved = state
@@ -1577,18 +1675,31 @@ impl ThreadedHost {
                 *stop_sent = true;
             }
             if *stop_sent {
-                let finished = self
-                    .handles
-                    .borrow()
-                    .last()
+                let finished = self.handles.borrow()[s]
+                    .as_ref()
                     .is_some_and(TaskHandle::is_finished);
                 let egress_empty = self.shards.borrow()[s].egress.is_empty();
                 if finished && egress_empty {
-                    if let Some(handle) = self.handles.borrow_mut().pop() {
+                    if let Some(handle) = self.handles.borrow_mut()[s].take() {
                         handle.join();
                     }
-                    self.shards.borrow_mut().pop();
-                    self.tables.remove_last_partition();
+                    self.shards.borrow()[s].retired.set(true);
+                    // Reap trailing tombstones: a tail retirement (and any
+                    // middle tombstones it uncovers) fully releases its
+                    // slots, partitions included. Middle tombstones keep
+                    // their slot — indices stay stable — until reuse.
+                    loop {
+                        let trailing_retired = {
+                            let shards = self.shards.borrow();
+                            shards.len() > 1 && shards.last().is_some_and(|p| p.retired.get())
+                        };
+                        if !trailing_retired {
+                            break;
+                        }
+                        self.shards.borrow_mut().pop();
+                        self.handles.borrow_mut().pop();
+                        self.tables.remove_last_partition();
+                    }
                     self.events.borrow_mut().push(ShardLifecycleEvent::Retired {
                         shard: s,
                         at_ns: self.clock.now_ns(),
@@ -1645,6 +1756,41 @@ impl ThreadedHost {
                 }
             }
         }
+        // Cross-host handouts: one export request per quiesced bucket (its
+        // state is *extracted* into a portable bundle at absorb time, not
+        // moved to a sibling partition, so handouts never share an export
+        // id with local moves).
+        let quiesced: Vec<(usize, usize)> = state
+            .outbound
+            .iter()
+            .filter(|h| matches!(h.phase, HandoutPhase::Draining))
+            .filter(|h| self.tracker.in_flight(h.bucket) == 0)
+            .map(|h| (h.from, h.bucket))
+            .collect();
+        for (from, bucket) in quiesced {
+            let exact_keys: Vec<FlowKey> = self.tables.shard(from).with_read(|table| {
+                table
+                    .exact_rules()
+                    .map(|(_, (_, key), _)| key)
+                    .filter(|key| self.tracker.bucket_of(key) == bucket)
+                    .collect()
+            });
+            let id = state.allocate_export_id();
+            let pushed = self.shards.borrow()[from]
+                .control
+                .push(ShardCommand::ExportBucketState {
+                    id,
+                    buckets: vec![bucket],
+                    exact_keys,
+                })
+                .is_ok();
+            if !pushed {
+                continue; // retry next tick; the handout stays Draining
+            }
+            if let Some(handout) = state.outbound_for_bucket_mut(bucket) {
+                handout.phase = HandoutPhase::Collecting { id };
+            }
+        }
     }
 
     /// Drains every shard's export ring. For each completed export: moves
@@ -1665,12 +1811,42 @@ impl ThreadedHost {
         }
         let RehomeState {
             moves,
+            outbound,
             outbox,
             report,
             ..
         } = state;
         for export in exports {
             let BucketStateExport { id, states } = export;
+            // A cross-host handout's export covers exactly its bucket:
+            // extract the bucket's flow-table state out of the source
+            // partition, bundle it with the collected NF flow state, and
+            // mark the handout ready for the federation to collect. The
+            // bucket stays parked (pen absorbing arrivals) until the
+            // federation confirms the destination host's import.
+            if let Some(handout) = outbound
+                .iter_mut()
+                .find(|h| matches!(h.phase, HandoutPhase::Collecting { id: got } if got == id))
+            {
+                let table_state =
+                    self.tables
+                        .extract_bucket_state(handout.from, handout.bucket, |key| {
+                            self.tracker.bucket_of(key) == handout.bucket
+                        });
+                report.wildcard_conflicts += table_state.conflicts_at_source as u64;
+                let nf_states: Vec<(ServiceId, FlowKey, NfFlowState)> = states
+                    .iter()
+                    .filter(|(_, key, _)| self.tracker.bucket_of(key) == handout.bucket)
+                    .cloned()
+                    .collect();
+                handout.bundle = Some(BucketHandout {
+                    bucket: handout.bucket,
+                    table_state,
+                    nf_states,
+                });
+                handout.phase = HandoutPhase::Ready;
+                continue;
+            }
             // The moves this export covers, grouped by destination shard.
             let mut destinations: Vec<(usize, Vec<usize>)> = Vec::new();
             for mv in moves
@@ -1758,8 +1934,20 @@ impl ThreadedHost {
         if self.rehome.borrow().retiring.is_some() {
             return Err(nfs);
         }
-        let shard = self.shards.borrow().len();
-        if shard + 1 >= STEER_BUCKETS {
+        // Reuse the lowest tombstoned slot left by a middle-shard
+        // retirement, if any (its flow-table partition is re-forked from
+        // the template; the slot's cumulative stats counters carry over);
+        // otherwise append a new slot.
+        let reused = self
+            .shards
+            .borrow()
+            .iter()
+            .position(|ports| ports.retired.get());
+        let shard = match reused {
+            Some(slot) => slot,
+            None => self.shards.borrow().len(),
+        };
+        if reused.is_none() && shard + 1 >= STEER_BUCKETS {
             return Err(nfs);
         }
         {
@@ -1772,8 +1960,13 @@ impl ThreadedHost {
                 *steering = vec![0; STEER_BUCKETS];
             }
         }
-        let partition = self.tables.add_partition();
-        debug_assert_eq!(partition, shard, "partitions track shards");
+        match reused {
+            Some(slot) => self.tables.reset_partition(slot),
+            None => {
+                let partition = self.tables.add_partition();
+                debug_assert_eq!(partition, shard, "partitions track shards");
+            }
+        }
         let (ports, handle) = launch_pipeline(
             shard,
             nfs,
@@ -1788,50 +1981,98 @@ impl ThreadedHost {
             &self.runtime,
             &self.trace_sampling,
         );
-        self.shards.borrow_mut().push(ports);
-        self.handles.borrow_mut().push(handle);
+        match reused {
+            Some(slot) => {
+                self.shards.borrow_mut()[slot] = ports;
+                self.handles.borrow_mut()[slot] = Some(handle);
+            }
+            None => {
+                self.shards.borrow_mut().push(ports);
+                self.handles.borrow_mut().push(Some(handle));
+            }
+        }
         self.events.borrow_mut().push(ShardLifecycleEvent::Spawned {
             shard,
             at_ns: self.clock.now_ns(),
         });
-        // Give every shard (including the new one) a uniform bucket share.
+        // Give every live shard (including the new one) a uniform bucket
+        // share; tombstoned slots get none.
+        let weights: Vec<u32> = {
+            let shards = self.shards.borrow();
+            shards.iter().map(|p| u32::from(!p.retired.get())).collect()
+        };
         let buckets = self.steering.borrow().len();
-        if let Some(target) = apportion_targets(&vec![1; shard + 1], buckets) {
+        if let Some(target) = apportion_targets(&weights, buckets) {
             self.rebalance_to_targets(&target);
         }
         self.advance_rehoming();
         Ok(shard)
     }
 
-    /// Begins retiring the highest-index shard: every steering bucket it
-    /// owns is re-homed onto the remaining shards through the drain
-    /// handshake (shard-local exact-flow rules travel along), then the
-    /// shard's worker and NF threads are stopped and joined and its rings
-    /// reclaimed. The retirement completes asynchronously over subsequent
-    /// injection/polling calls; [`ThreadedHost::num_shards`] drops and a
-    /// [`ShardLifecycleEvent::Retired`] is published when it does.
+    /// Begins retiring the highest-index **live** shard: every steering
+    /// bucket it owns is re-homed onto the remaining shards through the
+    /// drain handshake (shard-local exact-flow rules travel along), then
+    /// the shard's worker and NF threads are stopped and joined and its
+    /// rings reclaimed. The retirement completes asynchronously over
+    /// subsequent injection/polling calls; [`ThreadedHost::num_shards`]
+    /// drops and a [`ShardLifecycleEvent::Retired`] is published when it
+    /// does. Equivalent to [`ThreadedHost::retire_shard_at`] on that shard.
     ///
     /// Returns `false` for single-shard hosts, while another retirement or
     /// a move involving the shard is still in progress, or on hosts that
     /// steer by plain modulo.
     pub fn retire_shard(&self) -> bool {
+        let highest_live = self.shards.borrow().iter().rposition(|p| !p.retired.get());
+        match highest_live {
+            Some(shard) => self.retire_shard_at(shard),
+            None => false,
+        }
+    }
+
+    /// Begins retiring **any** live shard, not just the highest-index one:
+    /// every steering bucket it owns is re-homed onto the remaining live
+    /// shards through the drain handshake, then its worker and NF threads
+    /// are stopped and joined. A retired middle slot becomes a tombstone —
+    /// it keeps its index so steering entries, per-slot stats and telemetry
+    /// attribution stay valid — and is reused by the next
+    /// [`ThreadedHost::spawn_shard`] (or reaped once it becomes the
+    /// trailing slot). The retirement completes asynchronously over
+    /// subsequent injection/polling calls;
+    /// [`ThreadedHost::num_live_shards`] drops and a
+    /// [`ShardLifecycleEvent::Retired`] is published when it does.
+    ///
+    /// Returns `false` if `shard` is out of range or already tombstoned, if
+    /// it is the only live shard, while another retirement or a move
+    /// involving the shard is in progress, or on hosts that steer by plain
+    /// modulo.
+    pub fn retire_shard_at(&self, shard: usize) -> bool {
         self.advance_rehoming();
-        let num_shards = self.shards.borrow().len();
-        if num_shards <= 1 || self.steering.borrow().is_empty() {
+        if !self.is_live_shard(shard) || self.num_live_shards() <= 1 {
             return false;
         }
-        let shard = num_shards - 1;
+        if self.steering.borrow().is_empty() {
+            return false;
+        }
         {
             let state = self.rehome.borrow();
             if state.retiring.is_some() || state.shard_has_moves(shard) {
                 return false;
             }
         }
-        // Spread the retiring shard's buckets uniformly over the survivors.
+        // Spread the retiring shard's buckets uniformly over the surviving
+        // live shards; tombstoned slots get none.
+        let weights: Vec<u32> = {
+            let shards = self.shards.borrow();
+            shards
+                .iter()
+                .enumerate()
+                .map(|(s, p)| u32::from(s != shard && !p.retired.get()))
+                .collect()
+        };
         let buckets = self.steering.borrow().len();
-        let mut target =
-            apportion_targets(&vec![1; shard], buckets).expect("uniform weights are non-zero");
-        target.push(0);
+        let Some(target) = apportion_targets(&weights, buckets) else {
+            return false;
+        };
         self.rebalance_to_targets(&target);
         self.rehome.borrow_mut().retiring = Some(RetiringShard {
             shard,
@@ -1841,14 +2082,158 @@ impl ThreadedHost {
         true
     }
 
+    /// The shard that owns `bucket` under the current steering table
+    /// (shard 0 on hosts without a table: single shard, or plain-modulo
+    /// steering).
+    pub fn shard_of_bucket(&self, bucket: usize) -> usize {
+        let steering = self.steering.borrow();
+        if steering.is_empty() {
+            0
+        } else {
+            steering[bucket % steering.len()]
+        }
+    }
+
+    /// Begins handing `bucket`'s entire serving state out of this host —
+    /// the source half of a **cross-host** re-home. The bucket is parked
+    /// (arrivals pen, exactly as for a local move), its owning shard
+    /// drains, and once quiesced the bucket's exact-flow rules, attributed
+    /// wildcard mutations and NF per-flow state are extracted into a
+    /// portable [`BucketHandout`]. The federation collects the bundle with
+    /// [`ThreadedHost::take_ready_handouts`], delivers it to the adopting
+    /// host's [`ThreadedHost::absorb_bucket_handout`], and — once the
+    /// import is acknowledged — calls
+    /// [`ThreadedHost::finish_bucket_handout`] here to reclaim the pen.
+    ///
+    /// Returns `false` if the bucket is already mid-move or mid-handout.
+    pub fn begin_bucket_handout(&self, bucket: usize) -> bool {
+        self.advance_rehoming();
+        let from = self.shard_of_bucket(bucket);
+        {
+            let buckets = {
+                let steering = self.steering.borrow();
+                if steering.is_empty() {
+                    STEER_BUCKETS
+                } else {
+                    steering.len()
+                }
+            };
+            let mut state = self.rehome.borrow_mut();
+            state.ensure_parked_table(buckets);
+            if state.is_parked(bucket) {
+                return false;
+            }
+            state.begin_handout(bucket, from, self.clock.now_ns());
+        }
+        self.tracker.park(bucket);
+        self.advance_rehoming();
+        true
+    }
+
+    /// Collects every handout whose bundle is assembled (drain complete,
+    /// state extracted). Each returned [`BucketHandout`] is on its way to
+    /// another host; its bucket stays parked here — pen absorbing stray
+    /// arrivals — until [`ThreadedHost::finish_bucket_handout`].
+    pub fn take_ready_handouts(&self) -> Vec<BucketHandout> {
+        self.advance_rehoming();
+        let mut state = self.rehome.borrow_mut();
+        let mut ready = Vec::new();
+        for handout in state.outbound.iter_mut() {
+            if matches!(handout.phase, HandoutPhase::Ready) {
+                if let Some(bundle) = handout.bundle.take() {
+                    handout.phase = HandoutPhase::AwaitingRelease;
+                    ready.push(bundle);
+                }
+            }
+        }
+        ready
+    }
+
+    /// Completes a cross-host handout after the destination host
+    /// acknowledged its import: unparks the bucket and returns the pen —
+    /// every packet that arrived mid-handout, with its parsed key, in
+    /// arrival order — for the federation to forward to the bucket's new
+    /// host. Returns an empty pen if no handout of `bucket` is awaiting
+    /// release.
+    pub fn finish_bucket_handout(&self, bucket: usize) -> Vec<(Packet, FlowKey)> {
+        let now_ns = self.now_ns();
+        let mut state = self.rehome.borrow_mut();
+        let Some(position) = state
+            .outbound
+            .iter()
+            .position(|h| h.bucket == bucket && matches!(h.phase, HandoutPhase::AwaitingRelease))
+        else {
+            return Vec::new();
+        };
+        let handout = state.outbound.swap_remove(position);
+        state.parked[bucket] = false;
+        self.tracker.unpark(bucket);
+        state.report.buckets_handed_off += 1;
+        for (packet, _) in &handout.pen {
+            state.record_pen_age(now_ns.saturating_sub(packet.timestamp_ns));
+        }
+        state.record_event(RehomeEvent {
+            at_ns: now_ns,
+            bucket,
+            from: handout.from,
+            to: handout.from,
+            step: RehomeStep::Completed,
+        });
+        handout.pen.into_iter().collect()
+    }
+
+    /// Adopts a bucket handed out by another host — the destination half of
+    /// a cross-host re-home. The bundle's exact rules and wildcard-mutation
+    /// records are absorbed into the partition of the shard that owns the
+    /// bucket here (replay skips records this host already superseded:
+    /// last-writer-wins by mutation sequence), and its NF flow state is
+    /// queued for import into that shard's replicas. Returns the import
+    /// acknowledgement flag: once it reads `true`, every replica holds its
+    /// share of the state and the federation may release the source host's
+    /// pen into this host.
+    pub fn absorb_bucket_handout(&self, handout: &BucketHandout) -> Arc<AtomicBool> {
+        let to = self.shard_of_bucket(handout.bucket);
+        let moved = self.tables.absorb_bucket_state(to, &handout.table_state);
+        let done = {
+            let mut state = self.rehome.borrow_mut();
+            state.report.rules_rehomed += moved.exact_rules as u64;
+            state.report.wildcard_mutations_rehomed += moved.wildcard_mutations as u64;
+            state.report.wildcard_conflicts += moved.wildcard_conflicts as u64;
+            state.report.buckets_adopted += 1;
+            let done = Arc::new(AtomicBool::new(handout.nf_states.is_empty()));
+            if !handout.nf_states.is_empty() {
+                state.report.nf_flow_states_rehomed += handout.nf_states.len() as u64;
+                state.outbox.push(ImportDelivery {
+                    to,
+                    states: handout.nf_states.clone(),
+                    done: Arc::clone(&done),
+                });
+            }
+            done
+        };
+        self.advance_rehoming();
+        done
+    }
+
+    /// Raises the floor of this host's wildcard-mutation sequence counter.
+    /// A federation assigns each host a disjoint sequence range (host index
+    /// in the high bits) so that mutation records carried across hosts by
+    /// bucket handouts never collide, and local mutations made *after* an
+    /// adoption always supersede the carried ones.
+    pub fn raise_mutation_seq_floor(&self, floor: u64) {
+        self.tables.raise_seq_floor(floor);
+    }
+
     /// Whether a shard retirement is still in progress.
     pub fn is_retiring(&self) -> bool {
         self.rehome.borrow().retiring.is_some()
     }
 
-    /// Number of steering buckets currently mid-re-home.
+    /// Number of steering buckets currently mid-re-home (local moves plus
+    /// outbound cross-host handouts).
     pub fn pending_rehomes(&self) -> usize {
-        self.rehome.borrow().moves.len()
+        let state = self.rehome.borrow();
+        state.moves.len() + state.outbound.len()
     }
 
     /// Cumulative re-home activity (buckets and rules moved, packets
@@ -1874,7 +2259,7 @@ impl ThreadedHost {
 impl Drop for ThreadedHost {
     fn drop(&mut self) {
         self.running.store(false, Ordering::Release);
-        for handle in self.handles.borrow_mut().drain(..) {
+        for handle in self.handles.borrow_mut().drain(..).flatten() {
             handle.join();
         }
     }
@@ -1960,6 +2345,7 @@ fn launch_pipeline(
         phase: EnginePhase::Running,
         slots: Vec::new(),
         service_instances: HashMap::new(),
+        replica_dispatch: config.replica_dispatch,
         egress: egress_tx,
         gate: gate.clone(),
         table,
@@ -2037,6 +2423,7 @@ fn launch_pipeline(
             stop,
             traces: traces_rx,
             latency,
+            retired: Cell::new(false),
         },
         handle,
     )
@@ -2215,6 +2602,9 @@ pub(crate) struct ShardEngine {
     phase: EnginePhase,
     slots: Vec<NfSlot>,
     service_instances: HashMap<ServiceId, Vec<usize>>,
+    /// How packets are spread over multiple replicas of one service (see
+    /// [`ReplicaDispatch`]).
+    replica_dispatch: ReplicaDispatch,
     egress: Producer<HostOutput>,
     gate: Option<Arc<CreditGate>>,
     /// This shard's flow-table partition.
@@ -3350,7 +3740,14 @@ impl ShardEngine {
             let indices: Vec<usize> = targets
                 .iter()
                 .filter_map(|s| {
-                    pick_instance(&self.service_instances, &self.slots, &self.staging, *s)
+                    pick_instance(
+                        &self.service_instances,
+                        &self.slots,
+                        &self.staging,
+                        *s,
+                        self.replica_dispatch,
+                        &key,
+                    )
                 })
                 .collect();
             if indices.len() != targets.len() {
@@ -3390,7 +3787,14 @@ impl ShardEngine {
 
         match actions.first().copied() {
             Some(Action::ToService(service)) => {
-                match pick_instance(&self.service_instances, &self.slots, &self.staging, service) {
+                match pick_instance(
+                    &self.service_instances,
+                    &self.slots,
+                    &self.staging,
+                    service,
+                    self.replica_dispatch,
+                    &key,
+                ) {
                     Some(index) => {
                         let shared = SharedPacket::new(packet, 1);
                         self.staging.per_ring[index].push(WorkItem {
@@ -3559,7 +3963,16 @@ impl ShardEngine {
         }
         let indices: Vec<usize> = targets
             .iter()
-            .filter_map(|s| pick_instance(&self.service_instances, &self.slots, &self.staging, *s))
+            .filter_map(|s| {
+                pick_instance(
+                    &self.service_instances,
+                    &self.slots,
+                    &self.staging,
+                    *s,
+                    self.replica_dispatch,
+                    &item.key,
+                )
+            })
             .collect();
         if indices.len() != targets.len() {
             self.stats.add_overflow_drops(1);
@@ -3730,23 +4143,45 @@ fn parallel_fits(staging: &BurstStaging, slots: &[NfSlot], indices: &[usize]) ->
     })
 }
 
-/// Picks the least-loaded instance of a service, counting both the ring's
-/// occupancy and the items already staged for it this burst (staged items
-/// are invisible to `len()` until flush, so ignoring them would send a whole
-/// burst to the instance that merely looked emptiest at burst start).
+/// Picks the replica of a service that serves this packet.
+///
+/// Under [`ReplicaDispatch::Sticky`] the flow's stable hash indexes the
+/// (insertion-ordered) replica list, so every packet of a flow reaches the
+/// same replica and per-flow NF state never splinters across instances. The
+/// credit clamp (budget ≤ smallest internal ring) keeps the pinned ring
+/// from overflowing even when the hash distribution is unlucky.
+///
+/// Under [`ReplicaDispatch::LeastLoaded`] the replica with the fewest
+/// queued-plus-staged items wins, counting both the ring's occupancy and
+/// the items already staged for it this burst (staged items are invisible
+/// to `len()` until flush, so ignoring them would send a whole burst to the
+/// instance that merely looked emptiest at burst start).
+///
 /// Only [`SlotState::Active`] slots appear in `service_instances`, so
-/// draining replicas receive no new work.
+/// draining replicas receive no new work. Replica churn (scale up/down)
+/// changes the sticky mapping — the NF state-handoff machinery covers the
+/// flows a drained replica was serving.
 fn pick_instance(
     service_instances: &HashMap<ServiceId, Vec<usize>>,
     slots: &[NfSlot],
     staging: &BurstStaging,
     service: ServiceId,
+    dispatch: ReplicaDispatch,
+    key: &FlowKey,
 ) -> Option<usize> {
     let candidates = service_instances.get(&service)?;
-    candidates
-        .iter()
-        .copied()
-        .min_by_key(|index| slots[*index].ring.len() + staging.per_ring[*index].len())
+    if candidates.is_empty() {
+        return None;
+    }
+    match dispatch {
+        ReplicaDispatch::Sticky => {
+            Some(candidates[(key.stable_hash() % candidates.len() as u64) as usize])
+        }
+        ReplicaDispatch::LeastLoaded => candidates
+            .iter()
+            .copied()
+            .min_by_key(|index| slots[*index].ring.len() + staging.per_ring[*index].len()),
+    }
 }
 
 /// Everything one NF replica thread needs, bundled for
@@ -5350,5 +5785,237 @@ mod tests {
             "knob took effect mid-run"
         );
         host.shutdown();
+    }
+
+    #[test]
+    fn retire_middle_shard_tombstones_and_reuses_the_slot() {
+        let host = ThreadedHost::start_sharded(
+            forward_table(),
+            |_shard| vec![],
+            ThreadedHostConfig {
+                num_shards: 3,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        assert!(host.retire_shard_at(1), "a middle shard can retire");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while host.is_retiring() && Instant::now() < deadline {
+            let _ = host.poll_egress();
+            std::thread::yield_now();
+        }
+        assert!(!host.is_retiring());
+        // The slot is tombstoned, not reaped: shards 0 and 2 keep their
+        // indices, so steering entries and per-shard stats stay valid.
+        assert_eq!(host.num_shards(), 3);
+        assert_eq!(host.num_live_shards(), 2);
+        assert!(!host.is_live_shard(1));
+        assert!(host.is_live_shard(2));
+        assert!(
+            !host.steering_table().contains(&1),
+            "no bucket points at the tombstone"
+        );
+        // Traffic still round-trips losslessly over the two live shards.
+        for i in 0..100 {
+            assert!(host.inject(packet(i)).is_admitted());
+        }
+        assert_eq!(collect_outputs(&host, 100).len(), 100);
+        assert_eq!(host.stats().snapshot().overflow_drops, 0);
+        // A later spawn recycles the tombstone instead of growing the host.
+        let slot = host
+            .spawn_shard(vec![])
+            .map_err(|_| "spawn refused")
+            .expect("spawn reuses the tombstone");
+        assert_eq!(slot, 1, "the lowest tombstoned slot is reused");
+        assert_eq!(host.num_shards(), 3);
+        assert_eq!(host.num_live_shards(), 3);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while host.pending_rehomes() > 0 && Instant::now() < deadline {
+            let _ = host.poll_egress();
+            std::thread::yield_now();
+        }
+        assert_eq!(host.pending_rehomes(), 0);
+        assert!(
+            host.steering_table().contains(&1),
+            "the revived shard serves buckets again"
+        );
+        for i in 0..100 {
+            assert!(host.inject(packet(i)).is_admitted());
+        }
+        assert_eq!(collect_outputs(&host, 100).len(), 100);
+        host.shutdown();
+    }
+
+    /// Records which replica of a service saw which flow, for the
+    /// dispatch-policy regression below.
+    struct RecorderNf {
+        replica: usize,
+        seen: Arc<Mutex<std::collections::HashSet<(usize, u64)>>>,
+    }
+
+    impl NetworkFunction for RecorderNf {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+
+        fn process(&mut self, packet: &Packet, _ctx: &mut NfContext) -> Verdict {
+            if let Some(key) = packet.flow_key() {
+                self.seen.lock().insert((self.replica, key.stable_hash()));
+            }
+            Verdict::Default
+        }
+    }
+
+    /// Runs 3 flows x 8 packets through a two-replica service and returns
+    /// how many distinct (replica, flow) owner pairs appeared — the number
+    /// of per-flow state copies a stateful NF would have ended up with.
+    fn replica_owner_pairs(dispatch: ReplicaDispatch) -> usize {
+        let service = ServiceId::new(1);
+        let table = SharedFlowTable::new();
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(RulePort::Nic(0)),
+            vec![Action::ToService(service)],
+        ));
+        table.insert(FlowRule::new(
+            FlowMatch::at_step(service),
+            vec![Action::ToPort(1)],
+        ));
+        let seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let log = Arc::clone(&seen);
+        let (host, sim) = ThreadedHost::start_sim_sharded(
+            table,
+            move |_shard| {
+                (0..2)
+                    .map(|replica| {
+                        (
+                            service,
+                            Box::new(RecorderNf {
+                                replica,
+                                seen: Arc::clone(&log),
+                            }) as Box<dyn NetworkFunction>,
+                        )
+                    })
+                    .collect()
+            },
+            ThreadedHostConfig {
+                replica_dispatch: dispatch,
+                ..ThreadedHostConfig::default()
+            },
+        );
+        // One interleaved burst: the whole burst stages before any replica
+        // drains, so least-loaded balancing alternates replicas mid-flow.
+        let burst: Vec<Packet> = (0..8u16).flat_map(|_| (0..3).map(packet)).collect();
+        let outcome = host.inject_burst(burst);
+        assert_eq!(outcome.admitted, 24);
+        for _ in 0..400 {
+            sim.step_all();
+        }
+        assert_eq!(host.poll_egress_burst(64).len(), 24);
+        host.shutdown();
+        let owners = seen.lock().len();
+        owners
+    }
+
+    #[test]
+    fn sticky_dispatch_keeps_each_flow_on_one_replica() {
+        assert_eq!(
+            replica_owner_pairs(ReplicaDispatch::Sticky),
+            3,
+            "sticky: exactly one state owner per flow"
+        );
+        assert!(
+            replica_owner_pairs(ReplicaDispatch::LeastLoaded) > 3,
+            "least-loaded splits a flow's state across replicas"
+        );
+    }
+
+    #[test]
+    fn bucket_handout_carries_rules_and_nf_state_to_another_host() {
+        let service = ServiceId::new(1);
+        let start_host = |scrubbed: &Arc<Mutex<Vec<FlowKey>>>| {
+            let table = SharedFlowTable::new();
+            table.insert(FlowRule::new(
+                FlowMatch::at_step(RulePort::Nic(0)),
+                vec![Action::ToService(service)],
+            ));
+            table.insert(FlowRule::new(
+                FlowMatch::at_step(service),
+                vec![Action::ToPort(1)],
+            ));
+            let log = Arc::clone(scrubbed);
+            ThreadedHost::start(
+                table,
+                vec![(
+                    service,
+                    Box::new(FlowStateNf {
+                        states: HashMap::new(),
+                        scrubbed: log,
+                    }) as Box<dyn NetworkFunction>,
+                )],
+                ThreadedHostConfig::default(),
+            )
+        };
+        let scrub_a = Arc::new(Mutex::new(Vec::new()));
+        let scrub_b = Arc::new(Mutex::new(Vec::new()));
+        let host_a = start_host(&scrub_a);
+        let host_b = start_host(&scrub_b);
+        // Federated hosts keep disjoint wildcard-mutation sequence ranges.
+        host_b.raise_mutation_seq_floor(1 << 32);
+        // Build per-flow NF state on A, plus an exact pin for the flow.
+        let flow = packet(7).flow_key().unwrap();
+        host_a.install_rule(FlowRule::new(
+            FlowMatch::exact(RulePort::Nic(0), &flow),
+            vec![Action::ToService(service)],
+        ));
+        for _ in 0..10 {
+            assert!(host_a.inject(packet(7)).is_admitted());
+        }
+        assert_eq!(collect_outputs(&host_a, 10).len(), 10);
+        let bucket = (flow.stable_hash() % STEER_BUCKETS as u64) as usize;
+        assert!(host_a.begin_bucket_handout(bucket));
+        assert!(
+            !host_a.begin_bucket_handout(bucket),
+            "a bucket mid-handout is refused"
+        );
+        // Arrivals during the handout are penned, not dropped.
+        assert!(host_a.inject(packet(7)).is_admitted());
+        // Drive A until the worker has exported the bucket's state bundle.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut handouts = Vec::new();
+        while handouts.is_empty() && Instant::now() < deadline {
+            handouts = host_a.take_ready_handouts();
+            std::thread::yield_now();
+        }
+        assert_eq!(handouts.len(), 1);
+        let handout = &handouts[0];
+        assert_eq!(handout.bucket, bucket);
+        assert_eq!(handout.table_state.exact_rules.len(), 1, "the pin travels");
+        assert_eq!(handout.nf_states.len(), 1, "the NF counter travels");
+        // B adopts: the rule installs and the NF state import is acked.
+        let done = host_b.absorb_bucket_handout(handout);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !done.load(Ordering::Acquire) && Instant::now() < deadline {
+            let _ = host_b.poll_egress();
+            std::thread::yield_now();
+        }
+        assert!(done.load(Ordering::Acquire), "import acked");
+        // Only now does A release: the penned packet forwards to B.
+        let pen = host_a.finish_bucket_handout(bucket);
+        assert_eq!(pen.len(), 1);
+        for (pkt, _key) in pen {
+            assert!(host_b.inject(pkt).is_admitted());
+        }
+        assert_eq!(collect_outputs(&host_b, 1).len(), 1);
+        // The ledgers agree end to end: one bucket moved, nothing lost.
+        let sent = host_a.rehome_report();
+        assert_eq!(sent.buckets_handed_off, 1);
+        assert!(sent.packets_penned >= 1);
+        let got = host_b.rehome_report();
+        assert_eq!(got.buckets_adopted, 1);
+        assert_eq!(got.rules_rehomed, 1);
+        assert_eq!(got.nf_flow_states_rehomed, 1);
+        assert_eq!(host_a.stats().snapshot().overflow_drops, 0);
+        assert_eq!(host_b.stats().snapshot().overflow_drops, 0);
+        host_a.shutdown();
+        host_b.shutdown();
     }
 }

@@ -1,0 +1,179 @@
+//! Host-interconnect abstraction for a federated deployment.
+//!
+//! The paper's architecture is one SDN controller coordinating *many* smart
+//! NF-hosts; packets hop between hosts when an NF chain's segments are
+//! placed on different machines, and bucket re-homes can move a flow's
+//! serving host mid-stream. This module is the wire those packets ride:
+//!
+//! * [`WireFrame`] — one packet in flight between two hosts, carrying its
+//!   pre-parsed 5-tuple and the NIC port it should appear on at the
+//!   destination (so the destination's flow-table rules at
+//!   `Nic(ingress_port)` pick up the hand-off).
+//! * [`HostLink`] — the transport trait. It is deliberately tiny —
+//!   push/pop/depth — so a real transport (a DPDK ring over a NIC pair, an
+//!   RDMA queue pair) can slot in behind the same federation code.
+//! * [`LoopbackWire`] — the in-process reference transport: a bounded SPSC
+//!   ring (the same [`sdnfv_ring`] primitive the intra-host pipeline uses),
+//!   with occupancy high-watermark and cumulative-transfer accounting so
+//!   benches can report interconnect depth.
+//!
+//! A full wire models a congested interconnect: [`HostLink::push`] hands
+//! the frame back and the federation's pump retries, giving the same
+//! backpressure-not-drop behavior as the intra-host credit gates.
+
+use std::cell::Cell;
+
+use sdnfv_proto::flow::FlowKey;
+use sdnfv_proto::packet::{Packet, Port};
+use sdnfv_ring::{spsc_ring, Consumer, Producer, PushError};
+
+/// One packet crossing the interconnect between two federated hosts.
+#[derive(Debug)]
+pub struct WireFrame {
+    /// The packet itself. Its `ingress_port` is rewritten to
+    /// [`WireFrame::ingress_port`] when the destination host injects it.
+    pub packet: Packet,
+    /// The packet's 5-tuple, parsed once at the source host's ingress and
+    /// carried so the destination never re-parses.
+    pub key: FlowKey,
+    /// The NIC port the packet enters the destination host on (the
+    /// destination's hand-off rules match at `Nic(ingress_port)`).
+    pub ingress_port: Port,
+}
+
+/// A unidirectional transport between two federated hosts.
+///
+/// Implementations must be bounded and order-preserving; `push` on a full
+/// link returns the frame to the caller (backpressure) rather than dropping
+/// it.
+pub trait HostLink {
+    /// Enqueues a frame; hands it back if the link is full.
+    fn push(&self, frame: WireFrame) -> Result<(), WireFrame>;
+    /// Dequeues the oldest frame, if any.
+    fn pop(&self) -> Option<WireFrame>;
+    /// Frames currently in flight on the link.
+    fn len(&self) -> usize;
+    /// Whether the link is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Bound on frames in flight.
+    fn capacity(&self) -> usize;
+    /// Cumulative frames accepted by `push` over the link's lifetime.
+    fn transferred(&self) -> u64;
+    /// Highest occupancy ever observed (after a push), for interconnect
+    /// depth reporting.
+    fn max_depth(&self) -> usize;
+}
+
+/// The in-process reference [`HostLink`]: a bounded SPSC ring between two
+/// hosts driven by one federation thread.
+///
+/// Both ring halves live in the same struct because the federation's pump
+/// is the single producer *and* single consumer — it forwards egress from
+/// the source host and injects into the destination host from one loop.
+#[derive(Debug)]
+pub struct LoopbackWire {
+    tx: Producer<WireFrame>,
+    rx: Consumer<WireFrame>,
+    max_depth: Cell<usize>,
+}
+
+impl LoopbackWire {
+    /// A wire holding at most `capacity` frames in flight.
+    pub fn new(capacity: usize) -> Self {
+        let (tx, rx) = spsc_ring(capacity.max(1));
+        LoopbackWire {
+            tx,
+            rx,
+            max_depth: Cell::new(0),
+        }
+    }
+}
+
+impl HostLink for LoopbackWire {
+    fn push(&self, frame: WireFrame) -> Result<(), WireFrame> {
+        match self.tx.push(frame) {
+            Ok(()) => {
+                let depth = self.tx.len();
+                if depth > self.max_depth.get() {
+                    self.max_depth.set(depth);
+                }
+                Ok(())
+            }
+            Err(PushError(frame)) => Err(frame),
+        }
+    }
+
+    fn pop(&self) -> Option<WireFrame> {
+        self.rx.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.rx.capacity()
+    }
+
+    fn transferred(&self) -> u64 {
+        self.rx.enqueued()
+    }
+
+    fn max_depth(&self) -> usize {
+        self.max_depth.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnfv_proto::packet::PacketBuilder;
+
+    fn frame(src_port: u16) -> WireFrame {
+        let packet = PacketBuilder::udp()
+            .src_ip([10, 0, 0, 1])
+            .dst_ip([10, 0, 0, 2])
+            .src_port(src_port)
+            .dst_port(80)
+            .build();
+        let key = packet.flow_key().unwrap();
+        WireFrame {
+            packet,
+            key,
+            ingress_port: 9,
+        }
+    }
+
+    #[test]
+    fn loopback_wire_preserves_order_and_counts() {
+        let wire = LoopbackWire::new(4);
+        assert!(wire.is_empty());
+        for port in 0..3 {
+            wire.push(frame(1000 + port)).unwrap();
+        }
+        assert_eq!(wire.len(), 3);
+        assert_eq!(wire.max_depth(), 3);
+        for port in 0..3 {
+            let out = wire.pop().expect("frame in order");
+            assert_eq!(out.key.src_port, 1000 + port);
+            assert_eq!(out.ingress_port, 9);
+        }
+        assert!(wire.pop().is_none());
+        assert_eq!(wire.transferred(), 3);
+        assert_eq!(wire.max_depth(), 3, "watermark survives the drain");
+    }
+
+    #[test]
+    fn full_wire_hands_the_frame_back() {
+        let wire = LoopbackWire::new(2);
+        wire.push(frame(1)).unwrap();
+        wire.push(frame(2)).unwrap();
+        let bounced = wire.push(frame(3)).expect_err("wire is full");
+        assert_eq!(bounced.key.src_port, 3, "the frame comes back intact");
+        assert_eq!(wire.capacity(), 2);
+        wire.pop().unwrap();
+        wire.push(bounced).expect("room after a pop");
+    }
+}

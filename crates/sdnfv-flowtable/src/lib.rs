@@ -29,7 +29,7 @@ pub mod table;
 pub mod types;
 
 pub use matching::{FlowMatch, IpPrefix};
-pub use partition::{BucketStateMoved, FlowTablePartitions};
+pub use partition::{BucketStateBundle, BucketStateMoved, FlowTablePartitions};
 pub use provenance::{MutationLog, MutationRecord, WildcardMutation};
 pub use rule::{Action, Decision, FlowRule, RuleId};
 pub use table::{EvictReason, EvictedRule, FlowTable, SharedFlowTable, TableStats};

@@ -26,14 +26,15 @@
 //! state-safe.
 
 use parking_lot::RwLock;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sdnfv_proto::flow::FlowKey;
 
-use crate::provenance::MutationLog;
+use crate::provenance::{MutationLog, MutationRecord};
 use crate::rule::{FlowRule, RuleId};
 use crate::table::SharedFlowTable;
+use crate::types::RulePort;
 
 /// A template flow table plus one independent partition per shard (see the
 /// module docs). For a host started with a single shard the partition *is*
@@ -53,8 +54,10 @@ pub struct FlowTablePartitions {
     seq: Arc<AtomicU64>,
     /// Whether partition 0 shares the template's storage (single-shard
     /// start). Broadcast installs must then skip it: the template insert
-    /// already reached it.
-    aliased: bool,
+    /// already reached it. Cleared if partition 0 is ever
+    /// [reset](FlowTablePartitions::reset_partition) (the reset re-forks
+    /// it, giving it independent storage).
+    aliased: Arc<AtomicBool>,
 }
 
 /// What one [`FlowTablePartitions::move_bucket_state`] call carried between
@@ -68,6 +71,28 @@ pub struct BucketStateMoved {
     /// Wildcard mutations skipped because the destination already held a
     /// newer conflicting mutation (last-writer-wins).
     pub wildcard_conflicts: usize,
+}
+
+/// The portable flow-table state of one steering bucket, extracted from a
+/// source partition set for a move that crosses a **host boundary** — where
+/// source and destination share no storage, no locks and no sequence
+/// counter, so the state must travel by value.
+/// [`FlowTablePartitions::extract_bucket_state`] produces it on the source
+/// host; [`FlowTablePartitions::absorb_bucket_state`] replays it on the
+/// destination.
+#[derive(Debug, Clone)]
+pub struct BucketStateBundle {
+    /// The steering bucket the state belongs to.
+    pub bucket: usize,
+    /// Exact-flow rules removed from the source partition, each with the
+    /// lookup step and 5-tuple it was indexed under.
+    pub exact_rules: Vec<(RulePort, FlowKey, FlowRule)>,
+    /// Wildcard mutation records to replay, in sequence order.
+    pub mutations: Vec<MutationRecord>,
+    /// Mutations dropped at extract time because the source log held a
+    /// newer conflicting record attributed to a staying bucket
+    /// (last-writer-wins, resolved before the bundle crosses the wire).
+    pub conflicts_at_source: usize,
 }
 
 impl FlowTablePartitions {
@@ -93,7 +118,7 @@ impl FlowTablePartitions {
             partitions: Arc::new(RwLock::new(partitions)),
             logs: Arc::new(RwLock::new(logs)),
             seq,
-            aliased,
+            aliased: Arc::new(AtomicBool::new(aliased)),
         }
     }
 
@@ -159,14 +184,38 @@ impl FlowTablePartitions {
     /// implementation detail.
     pub fn install(&self, rule: FlowRule) -> RuleId {
         let id = self.template.insert(rule.clone());
+        let aliased = self.aliased.load(Ordering::Relaxed);
         let partitions = self.partitions.read();
         for (shard, partition) in partitions.iter().enumerate() {
-            if self.aliased && shard == 0 {
+            if aliased && shard == 0 {
                 continue; // shares the template's storage: already inserted
             }
             partition.insert(rule.clone());
         }
         id
+    }
+
+    /// Re-initializes partition `shard` in place: a fresh fork of the
+    /// template's **current** rules and an empty mutation log (still drawing
+    /// from the shared sequence counter). Used when a retired shard's slot
+    /// is reused by a later spawn — the old partition's shard-local state
+    /// died with the shard (its buckets re-homed away first, carrying their
+    /// state), and the new incarnation must not inherit stale leftovers.
+    ///
+    /// Resetting partition 0 of an aliased (single-shard-start) set ends the
+    /// aliasing: the reset partition gets its own storage, and broadcast
+    /// installs reach it explicitly from then on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn reset_partition(&self, shard: usize) {
+        let mut partitions = self.partitions.write();
+        partitions[shard] = self.template.fork();
+        self.logs.write()[shard] = Arc::new(MutationLog::new(Arc::clone(&self.seq)));
+        if shard == 0 {
+            self.aliased.store(false, Ordering::Relaxed);
+        }
     }
 
     /// Moves all of steering bucket `bucket`'s shard-local flow-table state
@@ -257,6 +306,124 @@ impl FlowTablePartitions {
             moved.wildcard_mutations += 1;
         }
         moved
+    }
+
+    /// Extracts steering bucket `bucket`'s shard-local flow-table state from
+    /// shard `from`'s partition into a portable [`BucketStateBundle`] — the
+    /// source-host half of a **cross-host** bucket re-home. Exact-flow rules
+    /// whose 5-tuple satisfies `belongs` are *removed* from the partition
+    /// (they now live in the bundle); the bucket's wildcard mutation records
+    /// (plus every unattributed record) are *cloned* in sequence order —
+    /// they stay behind because they also govern the source's remaining
+    /// flows. Records the source log itself supersedes (a newer conflicting
+    /// record of a staying bucket) are dropped here and counted, so the wire
+    /// never carries state the global order already retired.
+    ///
+    /// The caller must have quiesced the bucket first, exactly as for
+    /// [`FlowTablePartitions::move_bucket_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn extract_bucket_state(
+        &self,
+        from: usize,
+        bucket: usize,
+        belongs: impl Fn(&FlowKey) -> bool,
+    ) -> BucketStateBundle {
+        let (source, source_log) = {
+            let partitions = self.partitions.read();
+            let logs = self.logs.read();
+            (partitions[from].clone(), Arc::clone(&logs[from]))
+        };
+        let candidates: Vec<(RuleId, (RulePort, FlowKey), FlowRule)> = source.with_read(|table| {
+            table
+                .exact_rules()
+                .filter(|(_, step_key, _)| belongs(&step_key.1))
+                .map(|(id, step_key, rule)| (id, step_key, rule.clone()))
+                .collect()
+        });
+        let mut exact_rules = Vec::with_capacity(candidates.len());
+        for (id, (step, key), rule) in candidates {
+            source.remove(id);
+            exact_rules.push((step, key, rule));
+        }
+        let mut conflicts_at_source = 0;
+        let mutations: Vec<MutationRecord> = source_log
+            .records_for_bucket(bucket)
+            .into_iter()
+            .filter(|record| {
+                let superseded = source_log
+                    .newest_conflicting_seq(&record.mutation)
+                    .is_some_and(|newest| newest > record.seq);
+                if superseded {
+                    conflicts_at_source += 1;
+                }
+                !superseded
+            })
+            .collect();
+        BucketStateBundle {
+            bucket,
+            exact_rules,
+            mutations,
+            conflicts_at_source,
+        }
+    }
+
+    /// Replays a [`BucketStateBundle`] into shard `to`'s partition — the
+    /// destination-host half of a cross-host bucket re-home. Exact rules the
+    /// destination already holds at the same `(step, key)` stay put
+    /// (template rules broadcast to both hosts); mutation records the
+    /// destination log already carries are skipped silently, and records the
+    /// destination holds a newer conflicting mutation for are skipped and
+    /// counted (last-writer-wins). The destination's sequence counter is
+    /// raised to at least the newest absorbed sequence number, so mutations
+    /// the destination records *after* the move supersede everything that
+    /// arrived with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn absorb_bucket_state(&self, to: usize, bundle: &BucketStateBundle) -> BucketStateMoved {
+        let (destination, destination_log) = {
+            let partitions = self.partitions.read();
+            let logs = self.logs.read();
+            (partitions[to].clone(), Arc::clone(&logs[to]))
+        };
+        let mut moved = BucketStateMoved::default();
+        for (step, key, rule) in &bundle.exact_rules {
+            let present = destination.with_read(|d| d.exact_rule_id(*step, key).is_some());
+            if present {
+                continue;
+            }
+            destination.insert(rule.clone());
+            moved.exact_rules += 1;
+        }
+        for record in &bundle.mutations {
+            self.seq.fetch_max(record.seq, Ordering::Relaxed);
+            if destination_log.contains_seq(record.seq) {
+                continue;
+            }
+            let superseded = destination_log
+                .newest_conflicting_seq(&record.mutation)
+                .is_some_and(|newest| newest > record.seq);
+            if superseded {
+                moved.wildcard_conflicts += 1;
+                continue;
+            }
+            destination.with_write(|table| record.mutation.apply(table));
+            destination_log.absorb(record.clone());
+            moved.wildcard_mutations += 1;
+        }
+        moved
+    }
+
+    /// Raises the partition set's mutation sequence counter to at least
+    /// `floor`. A federation assigns each host's partition set a disjoint
+    /// sequence range (e.g. `host_index << 32`) so records minted on
+    /// different hosts never collide when a bucket's state crosses the wire.
+    pub fn raise_seq_floor(&self, floor: u64) {
+        self.seq.fetch_max(floor, Ordering::Relaxed);
     }
 }
 
@@ -600,6 +767,147 @@ mod tests {
                 .wildcard_mutations,
             1
         );
+    }
+
+    #[test]
+    fn extract_and_absorb_carry_bucket_state_across_partition_sets() {
+        use crate::provenance::WildcardMutation;
+        let worker = crate::types::ServiceId::new(7);
+        let menu_rule = FlowRule::new(
+            FlowMatch::at_step(worker),
+            vec![Action::ToPort(1), Action::ToPort(2)],
+        );
+        // Two independent partition sets standing in for two hosts: no
+        // shared storage, locks or sequence counter.
+        let host_a = FlowTablePartitions::new(&SharedFlowTable::new(), 2);
+        let host_b = FlowTablePartitions::new(&SharedFlowTable::new(), 2);
+        host_a.install(menu_rule.clone());
+        host_b.install(menu_rule);
+        host_b.raise_seq_floor(1 << 32);
+        // Shard-local exact pin + an attributed wildcard mutation on host A.
+        host_a.shard(0).with_write(|t| {
+            t.insert(exact_drop_rule(1));
+        });
+        let mutation = WildcardMutation::ChangeDefault {
+            service: worker,
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(2),
+            force: false,
+        };
+        host_a.shard(0).with_write(|t| mutation.apply(t));
+        host_a.mutation_log(0).record(Some(5), mutation);
+
+        let bundle = host_a.extract_bucket_state(0, 5, |k| *k == key(1));
+        assert_eq!(bundle.exact_rules.len(), 1);
+        assert_eq!(bundle.mutations.len(), 1);
+        assert_eq!(bundle.conflicts_at_source, 0);
+        assert!(
+            host_a
+                .shard(0)
+                .with_read(|t| t.exact_rule_id(RulePort::Nic(0), &key(1)).is_none()),
+            "extracted rule left the source host"
+        );
+
+        let absorbed = host_b.absorb_bucket_state(1, &bundle);
+        assert_eq!(absorbed.exact_rules, 1);
+        assert_eq!(absorbed.wildcard_mutations, 1);
+        assert_eq!(absorbed.wildcard_conflicts, 0);
+        let decision = host_b.shard(1).lookup(RulePort::Nic(0), &key(1)).unwrap();
+        assert_eq!(&decision.actions[..], &[Action::Drop]);
+        assert_eq!(
+            host_b.shard(1).with_read(|t| t
+                .peek(RulePort::Service(worker), &key(2))
+                .unwrap()
+                .default_action()),
+            Some(Action::ToPort(2)),
+            "wildcard mutation replayed on the destination host"
+        );
+        // Absorbing the same bundle again is idempotent.
+        let again = host_b.absorb_bucket_state(1, &bundle);
+        assert_eq!(again.exact_rules, 0, "rule already present, not duplicated");
+        assert_eq!(again.wildcard_mutations, 0, "mutation replay deduped");
+        // A mutation host B records after the move supersedes the carried
+        // one: its sequence counter was raised past the absorbed records.
+        let newer = WildcardMutation::ChangeDefault {
+            service: worker,
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(1),
+            force: false,
+        };
+        let seq = host_b.mutation_log(1).record(Some(5), newer);
+        assert!(seq > bundle.mutations[0].seq);
+    }
+
+    #[test]
+    fn extract_drops_records_the_source_already_superseded() {
+        use crate::provenance::WildcardMutation;
+        let worker = crate::types::ServiceId::new(7);
+        let parts = FlowTablePartitions::new(&SharedFlowTable::new(), 2);
+        let change = |port: u16| WildcardMutation::ChangeDefault {
+            service: worker,
+            flows: FlowMatch::any(),
+            new_default: Action::ToPort(port),
+            force: false,
+        };
+        // Bucket 5's mutation is superseded by a staying bucket's newer one.
+        parts.mutation_log(0).record(Some(5), change(2));
+        parts.mutation_log(0).record(Some(6), change(1));
+        let bundle = parts.extract_bucket_state(0, 5, |_| false);
+        assert_eq!(bundle.mutations.len(), 0);
+        assert_eq!(bundle.conflicts_at_source, 1);
+    }
+
+    #[test]
+    fn reset_partition_reforks_from_the_template() {
+        let template = SharedFlowTable::new();
+        template.insert(forward_rule());
+        let parts = FlowTablePartitions::new(&template, 3);
+        parts.shard(1).with_write(|t| {
+            t.insert(exact_drop_rule(9));
+        });
+        parts.mutation_log(1).record(Some(3), {
+            use crate::provenance::WildcardMutation;
+            WildcardMutation::ChangeDefault {
+                service: crate::types::ServiceId::new(7),
+                flows: FlowMatch::any(),
+                new_default: Action::Drop,
+                force: false,
+            }
+        });
+        parts.reset_partition(1);
+        assert_eq!(parts.shard(1).len(), 1, "template rules only");
+        assert!(
+            parts.mutation_log(1).records_for_bucket(3).is_empty(),
+            "fresh mutation log"
+        );
+        // The shared sequence counter survives: new records keep ascending.
+        let seq_before = parts.mutation_log(0).record(None, {
+            use crate::provenance::WildcardMutation;
+            WildcardMutation::ChangeDefault {
+                service: crate::types::ServiceId::new(7),
+                flows: FlowMatch::any(),
+                new_default: Action::Drop,
+                force: false,
+            }
+        });
+        assert!(seq_before >= 2, "sequence counter was not reset");
+    }
+
+    #[test]
+    fn reset_partition_unaliases_a_single_shard_start() {
+        let template = SharedFlowTable::new();
+        let parts = FlowTablePartitions::new(&template, 1);
+        assert_eq!(parts.add_partition(), 1);
+        parts.reset_partition(0);
+        // Partition 0 no longer shares the template's storage…
+        template.insert(forward_rule());
+        assert_eq!(parts.shard(0).len(), 0, "aliasing ended");
+        // …and broadcast installs reach it explicitly (no double insert,
+        // no miss).
+        parts.install(exact_drop_rule(1));
+        assert_eq!(parts.template().len(), 2);
+        assert_eq!(parts.shard(0).len(), 1);
+        assert_eq!(parts.shard(1).len(), 1);
     }
 
     #[test]

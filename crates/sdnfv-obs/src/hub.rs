@@ -2,7 +2,10 @@
 //! [`ThreadedHost`] — merged telemetry, collected trace spans, and the
 //! control-plane flight recorder, drained together in one call.
 
+use std::collections::HashMap;
+
 use sdnfv_dataplane::runtime::ThreadedHost;
+use sdnfv_proto::flow::FlowKey;
 use sdnfv_telemetry::{
     ControlAction, LatencyReport, TelemetryHub, TelemetrySnapshot, TraceSpan, TraceStage,
 };
@@ -12,6 +15,10 @@ use crate::flight::FlightRecorder;
 /// How many trace spans [`ObsHub`] retains between [`ObsHub::take_spans`]
 /// drains before counting further spans as shed.
 pub const SPAN_BUFFER_CAP: usize = 65_536;
+
+/// How many distinct flows the hub's hash → 5-tuple registry retains;
+/// beyond this, new flows are counted as shed rather than registered.
+pub const FLOW_KEY_CAP: usize = 262_144;
 
 /// Per-shard eviction counters at the last observation, for computing the
 /// sweep deltas the flight recorder journals.
@@ -43,6 +50,8 @@ pub struct ObsHub {
     spans_collected: u64,
     spans_by_stage: [u64; 4],
     eviction_marks: Vec<EvictionWatermark>,
+    flow_keys: HashMap<u64, FlowKey>,
+    flow_keys_shed: u64,
 }
 
 impl Default for ObsHub {
@@ -62,6 +71,8 @@ impl ObsHub {
             spans_collected: 0,
             spans_by_stage: [0; 4],
             eviction_marks: Vec::new(),
+            flow_keys: HashMap::new(),
+            flow_keys_shed: 0,
         }
     }
 
@@ -133,6 +144,47 @@ impl ObsHub {
                 self.spans_shed += 1;
             }
         }
+    }
+
+    /// Registers a flow's 5-tuple under its stable hash, so a
+    /// [`TraceSpan`]'s `flow_hash` can be joined back to the concrete flow
+    /// it belongs to. Call it wherever the key is in hand anyway — an
+    /// injection path, a wire hand-off — it is idempotent per flow. Bounded
+    /// by [`FLOW_KEY_CAP`]; flows beyond the cap are counted as shed.
+    pub fn record_flow(&mut self, key: &FlowKey) {
+        let hash = key.stable_hash();
+        if self.flow_keys.contains_key(&hash) {
+            return;
+        }
+        if self.flow_keys.len() >= FLOW_KEY_CAP {
+            self.flow_keys_shed += 1;
+            return;
+        }
+        self.flow_keys.insert(hash, *key);
+    }
+
+    /// The 5-tuple registered under `hash`, if the flow has been recorded.
+    pub fn key_for_hash(&self, hash: u64) -> Option<&FlowKey> {
+        self.flow_keys.get(&hash)
+    }
+
+    /// Joins a span back to its flow's 5-tuple: `None` for unrecorded (or
+    /// untraced, `flow_hash == 0`) flows.
+    pub fn resolve_span(&self, span: &TraceSpan) -> Option<&FlowKey> {
+        if span.flow_hash == 0 {
+            return None;
+        }
+        self.key_for_hash(span.flow_hash)
+    }
+
+    /// Distinct flows currently registered in the hash → key map.
+    pub fn flows_recorded(&self) -> usize {
+        self.flow_keys.len()
+    }
+
+    /// Flows that could not be registered because the registry was full.
+    pub fn flow_keys_shed(&self) -> u64 {
+        self.flow_keys_shed
     }
 
     /// Journals control actions the caller's elastic loop issued this tick
@@ -245,6 +297,36 @@ mod tests {
         let lines = hub.recorder().replay();
         assert_eq!(lines.len(), 2);
         assert!(lines[1].contains("evicted 2 idle"));
+    }
+
+    #[test]
+    fn spans_join_back_to_recorded_flow_keys() {
+        use sdnfv_proto::flow::IpProtocol;
+        use std::net::Ipv4Addr;
+        let mut hub = ObsHub::new();
+        let key = FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            4242,
+            80,
+            IpProtocol::Udp,
+        );
+        hub.record_flow(&key);
+        hub.record_flow(&key);
+        assert_eq!(hub.flows_recorded(), 1, "idempotent per flow");
+        let span = |flow_hash: u64| TraceSpan {
+            shard: 0,
+            stage: TraceStage::Rx,
+            service: 0,
+            flow_hash,
+            t_start_ns: 0,
+            t_end_ns: 1,
+            verdict: sdnfv_telemetry::SpanVerdict::Forwarded,
+        };
+        assert_eq!(hub.resolve_span(&span(key.stable_hash())), Some(&key));
+        assert_eq!(hub.resolve_span(&span(0)), None, "untraced never joins");
+        assert_eq!(hub.resolve_span(&span(1)), None, "unknown hash");
+        assert_eq!(hub.flow_keys_shed(), 0);
     }
 
     #[test]

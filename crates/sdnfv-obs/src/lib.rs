@@ -29,4 +29,4 @@ pub mod hub;
 
 pub use expose::{json_report, prometheus_text};
 pub use flight::{FlightEvent, FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
-pub use hub::{ObsHub, SPAN_BUFFER_CAP};
+pub use hub::{ObsHub, FLOW_KEY_CAP, SPAN_BUFFER_CAP};

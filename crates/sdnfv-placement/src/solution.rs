@@ -199,6 +199,30 @@ impl Placement {
         self.assignments.iter().filter(|a| a.is_some()).count()
     }
 
+    /// The `(node, service)` segments this placement assigned to
+    /// `problem.flows[flow]`'s chain, in chain order — the form a deployer
+    /// (e.g. a federation installing cross-host chains) consumes. `None`
+    /// if the flow was rejected, unknown, or its assignment is malformed.
+    pub fn chain_segments(
+        &self,
+        problem: &PlacementProblem,
+        flow: usize,
+    ) -> Option<Vec<(NodeId, ServiceId)>> {
+        let assignment = self.assignments.get(flow)?.as_ref()?;
+        let spec = problem.flows.iter().find(|f| f.id == flow)?;
+        if assignment.nodes.len() != spec.chain.len() {
+            return None;
+        }
+        Some(
+            assignment
+                .nodes
+                .iter()
+                .zip(&spec.chain)
+                .map(|(node, service)| (*node, *service))
+                .collect(),
+        )
+    }
+
     /// Computes the utilization report for this placement.
     pub fn utilization(&self, problem: &PlacementProblem) -> UtilizationReport {
         let mut tracker = LoadTracker::new(problem);
@@ -426,6 +450,27 @@ mod tests {
         assert!(errors
             .iter()
             .any(|e| matches!(e, PlacementError::MalformedAssignment { flow: 0 })));
+    }
+
+    #[test]
+    fn chain_segments_follows_assignment_order() {
+        let problem = tiny_problem();
+        let mut placement = Placement::empty(&problem);
+        placement.assignments[0] = Some(assignment_on_node(&problem, 1));
+        assert_eq!(
+            placement.chain_segments(&problem, 0),
+            Some(vec![(1, ServiceId::new(1))])
+        );
+        // Rejected flow.
+        assert_eq!(placement.chain_segments(&problem, 1), None);
+        // Unknown flow.
+        assert_eq!(placement.chain_segments(&problem, 7), None);
+        // Malformed assignment: node count disagrees with the chain.
+        placement.assignments[1] = Some(FlowAssignment {
+            nodes: vec![],
+            route: vec![],
+        });
+        assert_eq!(placement.chain_segments(&problem, 1), None);
     }
 
     #[test]

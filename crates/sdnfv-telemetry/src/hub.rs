@@ -73,6 +73,23 @@ impl TelemetryHub {
         }
     }
 
+    /// Folds a batch of snapshots in after shifting every shard index by
+    /// `shard_offset` — the federation fold: host 0's shards land at
+    /// `0..n0`, host 1's at `n0..n0+n1`, and so on, giving one global
+    /// per-shard view over many hosts without the per-host streams
+    /// colliding on shard numbers.
+    pub fn absorb_offset(&mut self, snapshots: Vec<TelemetrySnapshot>, shard_offset: usize) {
+        self.absorb(
+            snapshots
+                .into_iter()
+                .map(|mut snapshot| {
+                    snapshot.shard += shard_offset;
+                    snapshot
+                })
+                .collect(),
+        );
+    }
+
     /// Number of shard slots the hub has seen snapshots for.
     pub fn num_shards(&self) -> usize {
         self.latest.len()
@@ -266,6 +283,19 @@ mod tests {
             spans_dropped: 0,
             latency: LatencyReport::default(),
         }
+    }
+
+    #[test]
+    fn absorb_offset_relocates_shard_slots() {
+        let mut global = TelemetryHub::new();
+        // Host 0 has two shards, host 1 has one: its shard 0 must land at
+        // global slot 2, not collide with host 0's shard 0.
+        global.absorb(vec![snapshot(0, 1, 100, 3), snapshot(1, 1, 100, 0)]);
+        global.absorb_offset(vec![snapshot(0, 1, 100, 5)], 2);
+        assert_eq!(global.num_shards(), 3);
+        assert_eq!(global.latest(0).unwrap().controller_punts, 3);
+        assert_eq!(global.latest(2).unwrap().controller_punts, 5);
+        assert_eq!(global.latest(2).unwrap().shard, 2, "index rewritten");
     }
 
     #[test]
