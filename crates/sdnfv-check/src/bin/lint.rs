@@ -1,0 +1,81 @@
+//! CLI runner for the project-invariant lint.
+//!
+//! `cargo run -p sdnfv-check --bin lint` scans every workspace `.rs` file,
+//! applies the checked-in allowlist (`crates/sdnfv-check/lint.allow`), and
+//! prints one machine-readable line per finding:
+//!
+//! ```text
+//! path:line: [rule] message
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or stale allowlist entries), 2 the
+//! allowlist itself failed to parse. Pass `--verbose` to also list the
+//! suppressed findings with their justifications.
+
+use std::path::PathBuf;
+
+use sdnfv_check::lint::{self, Allowlist};
+
+fn main() {
+    let verbose = std::env::args().any(|a| a == "--verbose");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("sdnfv-check sits two levels below the workspace root")
+        .to_path_buf();
+
+    let allow_path = root.join("crates/sdnfv-check/lint.allow");
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let allowlist = match Allowlist::parse(&allow_text) {
+        Ok(list) => list,
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::exit(2);
+        }
+    };
+
+    let files = lint::workspace_files(&root);
+    let mut findings = Vec::new();
+    for file in &files {
+        let Ok(source) = std::fs::read_to_string(root.join(file)) else {
+            continue;
+        };
+        findings.extend(lint::scan_source(file, &source));
+    }
+
+    let (kept, suppressed, unused) = allowlist.apply(findings);
+    for finding in &kept {
+        println!("{finding}");
+    }
+    for entry in &unused {
+        println!(
+            "lint.allow:{}: [stale-allow] entry `{} | {} | {}` suppressed nothing; remove it",
+            entry.defined_at, entry.rule, entry.path_suffix, entry.line_substring
+        );
+    }
+    if verbose {
+        for finding in &suppressed {
+            println!("allowed  {finding}");
+            if let Some(entry) = allowlist.entries.iter().find(|e| {
+                e.rule == finding.rule
+                    && finding
+                        .path
+                        .to_string_lossy()
+                        .replace('\\', "/")
+                        .ends_with(&e.path_suffix)
+            }) {
+                println!("         justification: {}", entry.justification);
+            }
+        }
+    }
+    eprintln!(
+        "lint: {} files scanned, {} findings, {} suppressed by allowlist, {} stale entries",
+        files.len(),
+        kept.len(),
+        suppressed.len(),
+        unused.len()
+    );
+    if !kept.is_empty() || !unused.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,44 @@
+//! CLI runner for the clean-primitive interleaving checks.
+//!
+//! `cargo run -p sdnfv-check --bin model [--release]` runs every check in
+//! [`sdnfv_check::checks::all`], printing the interleavings explored and
+//! wall time per check. Any violation (the model checker's formatted
+//! counterexample) or truncated search fails the run with exit code 1 —
+//! the contract the `model-check` CI job relies on.
+
+use std::panic;
+use std::time::Instant;
+
+fn main() {
+    let started = Instant::now();
+    let mut failures = 0usize;
+    for (name, run, opts) in sdnfv_check::checks::all() {
+        let check_started = Instant::now();
+        match panic::catch_unwind(move || run(opts)) {
+            Ok(executions) => {
+                println!(
+                    "ok   {name}: {executions} interleavings exhaustively explored \
+                     in {:?}",
+                    check_started.elapsed()
+                );
+            }
+            Err(payload) => {
+                failures += 1;
+                let message = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("(non-string panic payload)");
+                println!("FAIL {name}:\n{message}");
+            }
+        }
+    }
+    println!(
+        "model check: {} checks, {failures} failures, total {:?}",
+        sdnfv_check::checks::all().len(),
+        started.elapsed()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

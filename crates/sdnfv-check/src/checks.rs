@@ -1,0 +1,267 @@
+//! Bounded-exhaustive interleaving checks of the shipping primitives.
+//!
+//! Every function here builds a *fixed, finite* concurrent program out of
+//! the real `sdnfv-ring` / `sdnfv-telemetry` types — no spin loops, a
+//! bounded number of operations per thread — and hands it to
+//! [`sdnfv_ring::model::check`], which enumerates all interleavings up to
+//! the preemption bound and panics with a replayable counterexample on the
+//! first violation (data race, uninitialized read, assertion failure,
+//! deadlock). Each function returns the number of executions explored, and
+//! `check` itself asserts the search ran to exhaustion (was not truncated
+//! by `max_executions`).
+//!
+//! The assertions after the `join`s run on the root thread, which
+//! happens-after every spawned thread, so they state end-state invariants
+//! (credit conservation, FIFO order, counter totals); assertions *inside*
+//! the threads state per-step invariants the scheduler tries to break.
+
+use std::sync::Arc;
+
+use sdnfv_ring::model::{self, CheckOpts};
+use sdnfv_ring::{spsc_ring, CreditGate, PacketPool, SharedPacket};
+use sdnfv_telemetry::hist::LatencyHistogram;
+
+use sdnfv_proto::packet::PacketBuilder;
+use sdnfv_proto::Packet;
+
+fn pkt() -> Packet {
+    PacketBuilder::udp().payload(b"chk").build()
+}
+
+/// 1 producer × 1 consumer over a capacity-4 ring, mixing single-item
+/// `push`/`pop` with `push_n`/`pop_n` bursts. Verifies no unconsumed slot
+/// is overwritten, no element is popped twice, and FIFO order holds across
+/// burst boundaries.
+pub fn spsc_burst(opts: CheckOpts) -> u64 {
+    model::check("spsc_burst", opts, || {
+        let (producer, consumer) = spsc_ring::<u64>(4);
+        let p = model::spawn(move || {
+            producer.push(1).expect("capacity 4 cannot be full");
+            let mut burst = vec![2, 3];
+            let pushed = producer.push_n(&mut burst);
+            assert_eq!(pushed, 2, "burst must fit: 3 items in a 4-slot ring");
+        });
+        let c = model::spawn(move || {
+            let mut got = Vec::new();
+            // Exactly two bounded pop attempts — not a spin loop; whatever
+            // is still in flight is drained below, after the joins.
+            consumer.pop_n(&mut got, 2);
+            if let Some(v) = consumer.pop() {
+                got.push(v);
+            }
+            (consumer, got)
+        });
+        p.join();
+        let (consumer, mut got) = c.join();
+        // Root thread happens-after both; the drain must complete the
+        // sequence exactly.
+        while let Some(v) = consumer.pop() {
+            got.push(v);
+        }
+        assert_eq!(
+            got,
+            vec![1, 2, 3],
+            "ring lost, duplicated or reordered items"
+        );
+        assert_eq!(consumer.dequeued(), 3);
+        assert!(consumer.is_empty());
+    })
+}
+
+/// Capacity-2 ring driven past its capacity so the cursors wrap: the
+/// producer attempts four pushes (keeping a FIFO prefix: it stops at the
+/// first failure), the consumer makes bounded pop attempts. Exercises the
+/// `free_slots` Acquire edge (slot reuse) under wraparound.
+pub fn spsc_wraparound(opts: CheckOpts) -> u64 {
+    model::check("spsc_wraparound", opts, || {
+        let (producer, consumer) = spsc_ring::<u64>(2);
+        let p = model::spawn(move || {
+            let mut pushed = 0u64;
+            for v in 1..=4u64 {
+                // One retry per item, then give up — keeps the program
+                // finite while still reaching wrapped cursor states.
+                if producer.push(v).is_err() && producer.push(v).is_err() {
+                    break;
+                }
+                pushed = v;
+            }
+            pushed
+        });
+        let c = model::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                if let Some(v) = consumer.pop() {
+                    got.push(v);
+                }
+            }
+            (consumer, got)
+        });
+        let pushed = p.join();
+        let (consumer, mut got) = c.join();
+        while let Some(v) = consumer.pop() {
+            got.push(v);
+        }
+        let expect: Vec<u64> = (1..=pushed).collect();
+        assert_eq!(got, expect, "wrapped ring must stay FIFO and lossless");
+    })
+}
+
+/// Two credit holders race `try_acquire`/`release` against a third thread
+/// resizing the gate (grow then shrink). End-state invariants: credits are
+/// conserved, the gate converges to the final budget, and `release`'s
+/// overflow `debug_assert` (active in this build) never fires under any
+/// interleaving.
+pub fn credit_elastic(opts: CheckOpts) -> u64 {
+    model::check("credit_elastic", opts, || {
+        let gate = Arc::new(CreditGate::new(2));
+        let a = {
+            let gate = Arc::clone(&gate);
+            model::spawn(move || {
+                if gate.try_acquire(1) {
+                    gate.release(1);
+                }
+            })
+        };
+        let b = {
+            let gate = Arc::clone(&gate);
+            model::spawn(move || {
+                if gate.try_acquire(2) {
+                    gate.release(2);
+                }
+            })
+        };
+        let r = {
+            let gate = Arc::clone(&gate);
+            model::spawn(move || {
+                gate.resize(3);
+                gate.resize(1);
+            })
+        };
+        a.join();
+        b.join();
+        r.join();
+        assert_eq!(gate.capacity(), 1, "last resize wins");
+        assert_eq!(gate.in_flight(), 0, "all credits returned");
+        assert_eq!(gate.available(), 1, "gate converged to the new budget");
+    })
+}
+
+/// Credit conservation without resize: two threads acquire and release;
+/// the pool must return to full. The `try_acquire` CAS loop's relaxed
+/// hint load and relaxed failure ordering are what this check vouches for.
+pub fn credit_conservation(opts: CheckOpts) -> u64 {
+    model::check("credit_conservation", opts, || {
+        let gate = Arc::new(CreditGate::new(1));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                model::spawn(move || {
+                    let admitted = gate.try_acquire(1);
+                    if admitted {
+                        gate.release(1);
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        let admitted = workers.into_iter().map(|w| w.join()).filter(|&a| a).count();
+        assert!(admitted >= 1, "an uncontended credit must admit someone");
+        assert_eq!(gate.available(), 1, "credit leaked or duplicated");
+        assert_eq!(gate.in_flight(), 0);
+    })
+}
+
+/// Two concurrent recorders into one histogram (sharing a bucket, so the
+/// `fetch_add`s genuinely contend), snapshot after quiescence. Verifies the
+/// all-`Relaxed` recording loses no counts and the running max is exact.
+pub fn hist_record_merge(opts: CheckOpts) -> u64 {
+    model::check("hist_record_merge", opts, || {
+        let hist = Arc::new(LatencyHistogram::new());
+        let a = {
+            let hist = Arc::clone(&hist);
+            model::spawn(move || {
+                hist.record(3);
+                hist.record(100);
+            })
+        };
+        let b = {
+            let hist = Arc::clone(&hist);
+            model::spawn(move || {
+                hist.record_n(3, 2);
+            })
+        };
+        a.join();
+        b.join();
+        // Root happens-after both recorders: the snapshot must be exact.
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 4, "relaxed bucket counters lost an increment");
+        assert_eq!(snap.max, 100, "fetch_max lost the maximum");
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.count(), 8, "merge must be element-wise exact");
+    })
+}
+
+/// Two threads race one pool slot. Occupancy must never exceed capacity,
+/// every allocation must be accounted, and the pool must drain to empty —
+/// the invariants that justify the pool counter's `Relaxed` downgrade.
+pub fn pool_occupancy(opts: CheckOpts) -> u64 {
+    model::check("pool_occupancy", opts, || {
+        let pool = PacketPool::new(1);
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = pool.clone();
+                model::spawn(move || pool.alloc(pkt()).is_some())
+            })
+            .collect();
+        let admitted = workers.into_iter().map(|w| w.join()).filter(|&a| a).count() as u64;
+        let stats = pool.stats();
+        assert!(admitted >= 1, "an empty pool must admit someone");
+        assert_eq!(stats.allocated, admitted);
+        assert_eq!(
+            stats.allocated + stats.exhausted,
+            2,
+            "every attempt accounted"
+        );
+        assert_eq!(pool.in_use(), 0, "handles dropped, pool must be empty");
+    })
+}
+
+/// Two parallel NFs complete one shared packet: exactly one observes the
+/// final completion (and hands the packet to TX), after which the
+/// descriptor re-arms for the next dispatch — the refcount handoff that
+/// `complete_one`'s `AcqRel` comment promises.
+pub fn shared_completion(opts: CheckOpts) -> u64 {
+    model::check("shared_completion", opts, || {
+        let sp = SharedPacket::new(pkt(), 2);
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let sp = sp.clone();
+                model::spawn(move || sp.complete_one())
+            })
+            .collect();
+        let finals = workers.into_iter().map(|w| w.join()).filter(|&f| f).count();
+        assert_eq!(finals, 1, "exactly one completer must see the handoff");
+        assert_eq!(sp.remaining(), 0);
+        sp.re_arm(1);
+        assert!(sp.complete_one(), "re-armed descriptor completes again");
+    })
+}
+
+/// One clean check: `(name, entry point, search options)`.
+pub type Check = (&'static str, fn(CheckOpts) -> u64, CheckOpts);
+
+/// Every clean check with its name and a tuned preemption bound, in the
+/// order the `model` binary runs them.
+pub fn all() -> Vec<Check> {
+    let default = CheckOpts::default();
+    vec![
+        ("spsc_burst", spsc_burst as fn(CheckOpts) -> u64, default),
+        ("spsc_wraparound", spsc_wraparound, default),
+        ("credit_elastic", credit_elastic, default),
+        ("credit_conservation", credit_conservation, default),
+        ("hist_record_merge", hist_record_merge, default),
+        ("pool_occupancy", pool_occupancy, default),
+        ("shared_completion", shared_completion, default),
+    ]
+}

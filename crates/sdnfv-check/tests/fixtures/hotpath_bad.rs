@@ -1,0 +1,19 @@
+// Lint fixture for the hot-path-block rule. Scanned with the engine
+// file's synthetic path so `step` counts as a hot-path fn while
+// `control_plane_tick` does not. Never compiled.
+use std::sync::Mutex;
+
+pub struct Engine {
+    queue: Mutex<Vec<u64>>,
+}
+
+impl Engine {
+    pub fn step(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        self.queue.lock().unwrap().push(1);
+    }
+
+    pub fn control_plane_tick(&self) {
+        self.queue.lock().unwrap().clear();
+    }
+}

@@ -1,0 +1,43 @@
+// Lint fixture for the atomic-order rule. Scanned with a synthetic path
+// inside the lock-free core (crates/sdnfv-ring/src/). Never compiled.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Counter {
+    value: AtomicUsize,
+}
+
+impl Counter {
+    pub fn bare_load(&self) -> usize {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn documented_load(&self) -> usize {
+        // ORDER: Relaxed — fixture gauge, no pairing required.
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn multi_line_cas(&self) -> bool {
+        self.value
+            .compare_exchange(
+                0,
+                1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    pub fn documented_multi_line_cas(&self) -> bool {
+        // ORDER: AcqRel success — fixture handoff; Relaxed failure is a
+        // retry hint only.
+        self.value
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    pub fn seqcst_is_always_flagged(&self) -> usize {
+        // ORDER: SeqCst — the justification comment does not exempt
+        // SeqCst; it must go through the allowlist.
+        self.value.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,22 @@
+// Lint fixture: `unsafe` without a SAFETY justification must be flagged;
+// a `// SAFETY:` comment or a `# Safety` doc section satisfies the rule.
+// Never compiled — scanned by tests/lint_fixtures.rs.
+
+pub fn undocumented(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+/// Reads one byte.
+///
+/// # Safety
+/// Caller guarantees `ptr` is valid for reads — the doc section is an
+/// accepted justification for the `unsafe fn` itself.
+pub unsafe fn documented_by_doc(ptr: *const u8) -> u8 {
+    // SAFETY: forwarded contract from the caller (see `# Safety` above).
+    unsafe { *ptr }
+}
+
+pub fn documented_inline(ptr: *const u8) -> u8 {
+    // SAFETY: fixture — the caller derives `ptr` from a live reference.
+    unsafe { *ptr }
+}

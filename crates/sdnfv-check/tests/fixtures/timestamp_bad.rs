@@ -1,0 +1,16 @@
+// Lint fixture: a wall-clock read on a non-test path must be flagged;
+// the same read inside #[cfg(test)] must not. Never compiled — scanned
+// by tests/lint_fixtures.rs with a synthetic non-test path.
+use std::time::Instant;
+
+pub fn sample() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,18 @@
+// Lint fixture: todo!/unimplemented! must be flagged outside tests and
+// tolerated inside #[cfg(test)]. Never compiled.
+
+pub fn stub() {
+    todo!()
+}
+
+pub fn also_stub() -> usize {
+    unimplemented!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffolding_inside_tests_is_fine() {
+        todo!()
+    }
+}

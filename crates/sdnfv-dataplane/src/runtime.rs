@@ -98,7 +98,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -417,6 +417,12 @@ enum NfStateRequest {
 struct NfStateChannel {
     requests: Mutex<std::collections::VecDeque<(u64, NfStateRequest)>>,
     responses: Mutex<std::collections::VecDeque<(u64, StateResponse)>>,
+    /// Fault-injection hook (DST): while positive, `drain_responses`
+    /// returns nothing — export acks sit queued in the mailbox — and every
+    /// drain attempt decrements the counter, so a holdback of `n` delays
+    /// the acks by `n` worker polls. Zero (the default) is a no-op on the
+    /// fast path beyond one relaxed load.
+    ack_holdback: AtomicU32,
     has_requests: AtomicBool,
     has_responses: AtomicBool,
 }
@@ -448,9 +454,40 @@ impl NfStateChannel {
 
     /// Worker side: drains every response that has arrived.
     fn drain_responses(&self) -> Vec<(u64, StateResponse)> {
+        // DST fault hook: a positive holdback keeps acks in the mailbox
+        // for that many polls. Only this shard's worker drains, so the
+        // load/sub pair cannot race itself.
+        if self.ack_holdback.load(Ordering::Relaxed) > 0 {
+            self.ack_holdback.fetch_sub(1, Ordering::Relaxed);
+            return Vec::new();
+        }
         if !self.has_responses.swap(false, Ordering::AcqRel) {
             return Vec::new();
         }
+        self.responses.lock().drain(..).collect()
+    }
+
+    /// Fault injection (DST): delay delivery of queued and future export
+    /// acks by `polls` drain attempts.
+    fn delay_acks(&self, polls: u32) {
+        self.ack_holdback.store(polls, Ordering::Relaxed);
+    }
+
+    /// Worker side, final-look drain: bypasses the ack holdback *and* the
+    /// `has_responses` fast-path flag, draining whatever is physically
+    /// queued. Used where "no response" is about to be treated as "never
+    /// sent" — settling a reclaimed slot, or resolving entries for a
+    /// finished replica. A response can be queued yet undelivered (the DST
+    /// holdback fault, or the push→flag window in `respond` racing a
+    /// regular drain), and resolving the entry empty at that moment would
+    /// lose the exported state permanently.
+    fn drain_responses_final(&self) -> Vec<(u64, StateResponse)> {
+        // ORDER: Relaxed — teardown reset of the fault counter; nothing
+        // reads it concurrently with meaning.
+        self.ack_holdback.store(0, Ordering::Relaxed);
+        // ORDER: AcqRel — same edge as the regular drain; the queue lock
+        // below synchronizes the payload either way.
+        self.has_responses.swap(false, Ordering::AcqRel);
         self.responses.lock().drain(..).collect()
     }
 }
@@ -2878,9 +2915,13 @@ impl ShardEngine {
     /// and its channel is about to be replaced, so waiting on it would
     /// stall the covering bucket move forever.
     fn settle_slot_state_entries(&mut self, index: usize) {
+        // Final-look drain: the slot is going away, so anything still
+        // queued in its mailbox must be absorbed now — a regular drain
+        // could come up empty under the DST ack holdback (or the
+        // push→flag window in `respond`) while exported state sits queued.
         let mut responses: HashMap<u64, StateResponse> = self.slots[index]
             .channel
-            .drain_responses()
+            .drain_responses_final()
             .into_iter()
             .collect();
         let service = self.slots[index].service;
@@ -3284,7 +3325,26 @@ impl ShardEngine {
         for collect in &mut self.pending_collects {
             collect.outstanding.retain(|&(index, token)| {
                 let slot = &slots[index];
-                if let Some(response) = responses.remove(&(index, token)) {
+                let response = responses.remove(&(index, token)).or_else(|| {
+                    // A replica that exited (drain completed) served every
+                    // queued request before leaving its loop — but its last
+                    // acks can still be sitting undelivered in the mailbox
+                    // (the DST holdback fault, or the push→flag window in
+                    // `respond`). Take a final look at the queue itself
+                    // before treating "no response" as "never sent":
+                    // resolving the entry empty while the exported state is
+                    // queued would lose that state permanently (caught by
+                    // the DST state-mailbox-delay fault's census oracle).
+                    if slot.handle.as_ref().is_none_or(TaskHandle::is_finished) {
+                        for (tok, late) in slot.channel.drain_responses_final() {
+                            responses.insert((index, tok), late);
+                        }
+                        responses.remove(&(index, token))
+                    } else {
+                        None
+                    }
+                });
+                if let Some(response) = response {
                     collect.gathered.extend(
                         response
                             .into_iter()
@@ -3293,9 +3353,8 @@ impl ShardEngine {
                     progressed = true;
                     return false;
                 }
-                // A replica that exited (drain completed) served every
-                // queued request before leaving its loop, so an entry with
-                // no response and a finished thread resolves empty.
+                // Final look came up empty too: the replica really never
+                // answered, so the entry resolves empty.
                 if slot.handle.as_ref().is_none_or(TaskHandle::is_finished) {
                     progressed = true;
                     return false;
@@ -3327,16 +3386,29 @@ impl ShardEngine {
         // surviving replica of the same service so no state is dropped.
         let mut absorbed: Vec<(ServiceId, StateResponse)> = Vec::new();
         self.pending_handoffs.retain(|handoff| {
-            if let Some(response) = responses.remove(&(handoff.slot, handoff.token)) {
+            let slot = &slots[handoff.slot];
+            let response = responses
+                .remove(&(handoff.slot, handoff.token))
+                .or_else(|| {
+                    // A retiring replica answers at drain-exit and then
+                    // finishes — its handoff payload can still be queued
+                    // undelivered (DST holdback / respond's push→flag window).
+                    // Final look before declaring it unanswered.
+                    if slot.handle.as_ref().is_none_or(TaskHandle::is_finished) {
+                        for (tok, late) in slot.channel.drain_responses_final() {
+                            responses.insert((handoff.slot, tok), late);
+                        }
+                        responses.remove(&(handoff.slot, handoff.token))
+                    } else {
+                        None
+                    }
+                });
+            if let Some(response) = response {
                 absorbed.push((handoff.service, response));
                 progressed = true;
                 return false;
             }
-            if slots[handoff.slot]
-                .handle
-                .as_ref()
-                .is_none_or(TaskHandle::is_finished)
-            {
+            if slot.handle.as_ref().is_none_or(TaskHandle::is_finished) {
                 // Exited without answering: only possible under host
                 // shutdown, where the state dies with the host anyway.
                 progressed = true;
@@ -4452,6 +4524,13 @@ impl NfEngine {
                 self.channel.respond(token, exported);
             }
         }
+    }
+
+    /// Fault injection (DST): holds this replica's export acks in the
+    /// mailbox for `polls` worker drain attempts. See
+    /// [`NfStateChannel::delay_acks`].
+    pub(crate) fn delay_state_mailbox(&self, polls: u32) {
+        self.channel.delay_acks(polls);
     }
 
     /// One turn of the replica's state machine: serve state-migration

@@ -230,6 +230,27 @@ impl SimHandle {
         did_work
     }
 
+    /// Fault injection: delays the export-ack state mailbox of the NF
+    /// replica actor `id` — queued and future acks sit in the mailbox for
+    /// `polls` worker drain attempts before delivery resumes. Returns
+    /// `false` for unknown ids, finished actors, and non-NF actors. The
+    /// delay is bounded (it drains one poll per worker step), so it can
+    /// stretch a re-home handshake across arbitrary interleavings without
+    /// ever wedging it.
+    pub fn delay_state_mailbox(&self, id: u64, polls: u32) -> bool {
+        let registry = self.registry.lock();
+        match registry.cells.iter().find(|cell| cell.id == id) {
+            Some(cell) => match &cell.actor {
+                Some(SimActor::Nf(engine)) => {
+                    engine.delay_state_mailbox(polls);
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
     /// Steps every unfinished actor once, in registration order. Returns
     /// how many reported work — `0` means the host is quiescent for the
     /// current inputs.

@@ -53,6 +53,13 @@ pub enum FaultKind {
     /// The virtual clock jumped far past every idle timeout, forcing the
     /// sweep to evict en masse (possibly mid-re-home).
     EvictStorm,
+    /// One NF replica's export-ack state mailbox was held back for several
+    /// worker polls: the acks of an in-flight bucket-move batch sit queued
+    /// while the rest of the host keeps running. This is the *direct*
+    /// lost/delayed-export-ack fault (previously only approximated by
+    /// stalling the whole replica actor): the replica itself stays live
+    /// and keeps processing packets — only its acks are late.
+    DelayStateMailbox,
 }
 
 impl FaultKind {
@@ -69,6 +76,7 @@ impl FaultKind {
             FaultKind::RaceReplica => "race-replica",
             FaultKind::RuleChurn => "rule-churn",
             FaultKind::EvictStorm => "evict-storm",
+            FaultKind::DelayStateMailbox => "state-mailbox-delay",
         }
     }
 }
@@ -96,6 +104,8 @@ pub struct FaultPlan {
     pub rule_churn: u64,
     /// Chance per tick of a clock jump past every idle timeout.
     pub evict_storm: u64,
+    /// Chance per tick of holding back one replica's export-ack mailbox.
+    pub state_mailbox: u64,
 }
 
 impl FaultPlan {
@@ -115,6 +125,9 @@ impl FaultPlan {
             replica: rng.gen_between(3, 15),
             rule_churn: rng.gen_between(3, 15),
             evict_storm: rng.gen_between(2, 10),
+            // Drawn last so older seeds' plans shift by exactly one draw
+            // (the corpus was re-pinned for this; see tests/corpus.rs).
+            state_mailbox: rng.gen_between(4, 18),
         }
     }
 
@@ -122,7 +135,7 @@ impl FaultPlan {
     pub fn summary(&self) -> String {
         format!(
             "faults%: stall={} tdrop={} tdup={} tdelay={} credits={} rebalance={} shards={} \
-             replica={} churn={} evict={}",
+             replica={} churn={} evict={} mailbox={}",
             self.stall,
             self.telemetry_drop,
             self.telemetry_dup,
@@ -133,6 +146,7 @@ impl FaultPlan {
             self.replica,
             self.rule_churn,
             self.evict_storm,
+            self.state_mailbox,
         )
     }
 }

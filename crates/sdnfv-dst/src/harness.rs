@@ -498,6 +498,33 @@ pub fn run_seed(config: &DstConfig) -> RunReport {
             trace_event!(trace, "tick {tick}: fault evict-storm clock +{jump}");
             fired.insert(FaultKind::EvictStorm);
         }
+        if schedule_rng.chance(plan.state_mailbox) {
+            // The dedicated export-ack fault: hold one live replica's
+            // state-mailbox acks for a few worker polls, so any bucket-move
+            // batch in flight (or started while held) sees its exports
+            // resolve late, out of step with the rest of the handshake.
+            // Unlike ActorStall the replica keeps processing packets — only
+            // its acks are delayed — and the holdback drains one poll per
+            // worker step, so quiescence is never wedged.
+            let actors = sim.actors();
+            let nfs: Vec<_> = actors
+                .iter()
+                .filter(|a| a.kind == SimActorKind::Nf && !a.finished)
+                .collect();
+            if !nfs.is_empty() {
+                let pick = nfs[schedule_rng.gen_range(nfs.len() as u64) as usize];
+                let polls = schedule_rng.gen_between(2, 12) as u32;
+                if sim.delay_state_mailbox(pick.id, polls) {
+                    trace_event!(
+                        trace,
+                        "tick {tick}: fault state-mailbox-delay actor={} ({}) polls={polls}",
+                        pick.id,
+                        pick.label
+                    );
+                    fired.insert(FaultKind::DelayStateMailbox);
+                }
+            }
+        }
 
         // Traffic.
         let packets = schedule_rng.gen_range(9); // 0..=8

@@ -53,14 +53,32 @@ fn pinned_seed_0x3_scale_down_state_handoff() {
 /// Scale-out to three-plus shards while the control loop observes through
 /// heavy telemetry loss — bucket re-homes onto freshly spawned shards
 /// racing replica churn and stalled actors. (Re-pinned from seed 0x15
-/// when flow-sticky replica dispatch became the default: the new sticky
-/// load distribution changed that schedule's elastic decisions and it
-/// peaked at two shards.)
+/// when flow-sticky replica dispatch became the default, then from 0x17
+/// when the state-mailbox-delay fault added one draw to the plan stream
+/// and shifted every schedule; both predecessors peaked at two shards
+/// after their shift.)
 #[test]
-fn pinned_seed_0x17_scale_out_under_telemetry_loss() {
-    let report = replay_pinned(0x17);
+fn pinned_seed_0x19_scale_out_under_telemetry_loss() {
+    let report = replay_pinned(0x19);
     assert!(report.peak_shards >= 3);
     assert!(report.fired.contains(&FaultKind::TelemetryDrop));
+}
+
+/// The lost-export-ack regression: this schedule holds back NF replicas'
+/// export-ack mailboxes (the state-mailbox-delay fault) while scale-downs
+/// hand off per-flow state. Before `poll_state_exchanges` /
+/// `settle_slot_state_entries` took a final look at a finished replica's
+/// mailbox, the worker resolved those entries empty while the exported
+/// state sat queued undelivered, and the census flagged permanent NF
+/// state loss on this seed.
+#[test]
+fn pinned_seed_0x9_export_ack_holdback_handoff() {
+    let report = replay_pinned(0x9);
+    assert!(report.fired.contains(&FaultKind::DelayStateMailbox));
+    assert!(
+        report.stats.nf_state_handoffs > 0,
+        "schedule must hand off state while acks are held back"
+    );
 }
 
 /// Steering rebalances racing shard retirement (with duplicated
@@ -79,10 +97,12 @@ fn pinned_seed_0x21_rebalance_races_retirement() {
 /// the pins' 30 ms idle window: the run only passes if the sweeps evict
 /// every churn copy on every shard and the evicted pins fall back to the
 /// wildcard defaults when probed — eviction (and a subsequent re-pin) is
-/// consistent behavior, not a lost update.
+/// consistent behavior, not a lost update. (Re-pinned from seed 0x7 when
+/// the state-mailbox-delay fault's extra plan draw shifted every
+/// schedule; 0x7's new schedule no longer evicts a pin.)
 #[test]
-fn pinned_seed_0x7_rule_churn_evict_storm() {
-    let report = replay_pinned(0x7);
+fn pinned_seed_0xf_rule_churn_evict_storm() {
+    let report = replay_pinned(0xf);
     assert!(report.fired.contains(&FaultKind::RuleChurn));
     assert!(report.fired.contains(&FaultKind::EvictStorm));
     assert!(

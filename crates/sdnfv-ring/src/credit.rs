@@ -16,7 +16,7 @@
 //! count go temporarily negative, so outstanding packets drain normally and
 //! the gate converges to the new budget as their credits come back.
 
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use crate::sync::{AtomicIsize, AtomicUsize, Ordering};
 
 /// A shared, resizable pool of admission credits (see the module docs).
 #[derive(Debug)]
@@ -25,6 +25,15 @@ pub struct CreditGate {
     /// Credits currently available. Negative while a shrink waits for
     /// in-flight packets to drain.
     available: AtomicIsize,
+    /// High-watermark of every capacity this gate has ever had. The
+    /// `release` overflow assert checks against this instead of the live
+    /// capacity: a concurrent shrink can slip between `release`'s fetch-add
+    /// and its capacity load (no ordering prevents that — it is a
+    /// time-of-check race, found by the model checker's racing
+    /// release-vs-resize check), but nothing ever lowers the watermark, so
+    /// the bound it gives can never be transiently tighter than the credits
+    /// legitimately outstanding.
+    peak_capacity: AtomicUsize,
 }
 
 impl CreditGate {
@@ -33,24 +42,35 @@ impl CreditGate {
         CreditGate {
             capacity: AtomicUsize::new(capacity),
             available: AtomicIsize::new(capacity as isize),
+            peak_capacity: AtomicUsize::new(capacity),
         }
     }
 
     /// The gate's current credit budget.
     pub fn capacity(&self) -> usize {
-        self.capacity.load(Ordering::Acquire)
+        // ORDER: Relaxed — a monotonic-enough gauge for telemetry; callers
+        // that need a capacity consistent with credit movements get it via
+        // the happens-before the AcqRel credit RMWs below already establish.
+        // (Downgraded from Acquire; the model checker's racing-resize check
+        // passes with Relaxed.)
+        self.capacity.load(Ordering::Relaxed)
     }
 
     /// Credits currently available for acquisition (0 while a shrink is
     /// draining).
     pub fn available(&self) -> usize {
-        self.available.load(Ordering::Acquire).max(0) as usize
+        // ORDER: Relaxed — gauge; see `capacity`.
+        self.available.load(Ordering::Relaxed).max(0) as usize
     }
 
     /// Credits currently held (packets in flight behind this gate).
     pub fn in_flight(&self) -> usize {
-        let capacity = self.capacity.load(Ordering::Acquire) as isize;
-        let available = self.available.load(Ordering::Acquire);
+        // ORDER: Relaxed — gauge; the two loads are not a consistent pair
+        // under concurrent resize either way (the max(0) clamp absorbs the
+        // transient), so stronger orderings buy nothing.
+        let capacity = self.capacity.load(Ordering::Relaxed) as isize;
+        // ORDER: Relaxed — same gauge argument as the load above.
+        let available = self.available.load(Ordering::Relaxed);
         (capacity - available).max(0) as usize
     }
 
@@ -58,16 +78,27 @@ impl CreditGate {
     /// if fewer than `n` are available.
     pub fn try_acquire(&self, n: usize) -> bool {
         let wanted = n as isize;
-        let mut current = self.available.load(Ordering::Acquire);
+        // ORDER: Relaxed — this value is only a CAS hint; the CAS revalidates
+        // it, so a stale read costs one retry, never correctness. (Downgraded
+        // from Acquire; model-checked.)
+        let mut current = self.available.load(Ordering::Relaxed);
         loop {
             if current < wanted {
                 return false;
             }
+            // ORDER: success AcqRel — the acquire half folds the releasing
+            // threads' and resizer's history into this thread (so a later
+            // `release` computes its overflow assert against a capacity at
+            // least as new as the credits just consumed); the release half
+            // keeps this RMW a link in the location's release sequence for
+            // the next acquirer. Failure Relaxed — the returned value is
+            // only the next CAS hint (downgraded from Acquire;
+            // model-checked).
             match self.available.compare_exchange_weak(
                 current,
                 current - wanted,
                 Ordering::AcqRel,
-                Ordering::Acquire,
+                Ordering::Relaxed,
             ) {
                 Ok(_) => return true,
                 Err(actual) => current = actual,
@@ -83,11 +114,28 @@ impl CreditGate {
         if n == 0 {
             return;
         }
+        // ORDER: AcqRel — the release half publishes this packet's terminal
+        // state to the next acquirer of the credit; the acquire half
+        // synchronizes with `resize` (whose own AcqRel fetch-add on this
+        // location carries the capacity update), which is what makes the
+        // assert below sound.
         let previous = self.available.fetch_add(n as isize, Ordering::AcqRel);
+        // The bound is the capacity *high-watermark*, not the live capacity:
+        // asserting against the live value is racy — the model checker found
+        // a counterexample where a full shrink executes between the
+        // fetch-add above and the capacity load, making a correct release
+        // look like an overflow. No ordering fixes a time-of-check race;
+        // the monotonic watermark does.
+        // ORDER: Relaxed — sound because the AcqRel fetch-add above
+        // happens-after any grow that handed out the credits being returned
+        // (grow raises the watermark *before* its fetch-add), so coherence
+        // forces even a relaxed load to observe the raised watermark; and
+        // nothing ever lowers it. (Model-checked: the racing
+        // release-vs-resize check proves the assert never fires.)
         debug_assert!(
-            previous + n as isize <= self.capacity.load(Ordering::Acquire) as isize,
-            "credit release overflow: {previous} + {n} > capacity {}",
-            self.capacity.load(Ordering::Acquire)
+            previous + n as isize <= self.peak_capacity.load(Ordering::Relaxed) as isize,
+            "credit release overflow: {previous} + {n} > peak capacity {}",
+            self.peak_capacity.load(Ordering::Relaxed)
         );
     }
 
@@ -108,13 +156,35 @@ impl CreditGate {
         // shrinking, withdraw credits before publishing the smaller
         // capacity. Either way the assert's bound is never transiently
         // tighter than the credits actually outstanding.
-        let old = self.capacity.load(Ordering::Acquire);
+        // ORDER: Relaxed — resize calls are serialized by the caller (see
+        // above); the serializing handoff provides the happens-before that
+        // makes this load see the previous resize's store, and coherence
+        // does the rest. (Downgraded from Acquire; model-checked.)
+        let old = self.capacity.load(Ordering::Relaxed);
         let delta = new_capacity as isize - old as isize;
+        // ORDER: Relaxed — raised *before* any credits from a grow are
+        // handed out (sequenced before the fetch-add below), so a `release`
+        // whose RMW happens-after the grow observes the raised watermark by
+        // coherence; the RMW's atomicity keeps concurrent resizes from
+        // losing a max.
+        self.peak_capacity
+            .fetch_max(new_capacity, Ordering::Relaxed);
         if delta > 0 {
+            // ORDER: Release store sequenced before the AcqRel fetch-add, so
+            // any thread whose credit RMW happens-after ours also sees the
+            // grown capacity (the `release` assert relies on this order).
             self.capacity.store(new_capacity, Ordering::Release);
+            // ORDER: AcqRel — hands out the new credits while keeping this
+            // RMW a release-sequence link for concurrent acquirers.
             self.available.fetch_add(delta, Ordering::AcqRel);
         } else if delta < 0 {
+            // ORDER: withdraw first (AcqRel keeps the RMW chain intact),
+            // publish the smaller capacity after — a concurrent `release`
+            // may still read the old, larger capacity, which only loosens
+            // its overflow bound.
             self.available.fetch_add(delta, Ordering::AcqRel);
+            // ORDER: Release — pairs with the acquire half of the credit
+            // RMWs so later credit movements see the shrunken budget.
             self.capacity.store(new_capacity, Ordering::Release);
         }
     }

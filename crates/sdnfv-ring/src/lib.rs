@@ -19,13 +19,21 @@
 //!   pipeline stage admits a packet only while it holds a credit, and the
 //!   egress side replenishes the credit when the packet leaves, so overload
 //!   throttles the sender instead of silently dropping inside the pipeline.
+//!
+//! All four modules take their atomics from the [`sync`] facade, so the
+//! `model` cargo feature can swap in the recording atomics of the [`model`]
+//! interleaving checker (`sdnfv-check` drives it): the shipping primitives
+//! are themselves the checked code.
 
 #![warn(missing_docs)]
 
 pub mod credit;
+#[cfg(feature = "model")]
+pub mod model;
 pub mod pool;
 pub mod shared;
 pub mod spsc;
+pub mod sync;
 
 pub use credit::CreditGate;
 pub use pool::{PacketPool, PoolStats, PooledPacket};

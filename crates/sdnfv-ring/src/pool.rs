@@ -7,7 +7,7 @@
 //! the handle returns the slot, and allocation failures are counted so the
 //! data plane can report drops due to pool exhaustion.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use sdnfv_proto::Packet;
@@ -38,6 +38,7 @@ pub struct PacketPool {
 
 impl std::fmt::Debug for PacketPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ORDER: Relaxed — debug formatting reads a gauge, nothing more.
         f.debug_struct("PacketPool")
             .field("capacity", &self.inner.capacity)
             .field("in_use", &self.inner.in_use.load(Ordering::Relaxed))
@@ -68,12 +69,20 @@ impl PacketPool {
     /// dropping the frame because no mbuf was available.
     pub fn alloc(&self, packet: Packet) -> Option<PooledPacket> {
         // Reserve a slot optimistically; back out if we overshot capacity.
-        let prev = self.inner.in_use.fetch_add(1, Ordering::AcqRel);
+        // ORDER: Relaxed — `in_use` is a pure occupancy counter: the RMW's
+        // atomicity alone bounds it (no slot data is guarded by it; the
+        // packet travels inside the handle). Downgraded from AcqRel; the
+        // model checker's pool check proves the bound holds and no handle's
+        // packet is ever racy.
+        let prev = self.inner.in_use.fetch_add(1, Ordering::Relaxed);
         if prev >= self.inner.capacity {
-            self.inner.in_use.fetch_sub(1, Ordering::AcqRel);
+            // ORDER: Relaxed — undoing our own reservation; see above.
+            self.inner.in_use.fetch_sub(1, Ordering::Relaxed);
+            // ORDER: Relaxed — pure telemetry counter, no reader pairs with it.
             self.inner.exhausted.fetch_add(1, Ordering::Relaxed);
             return None;
         }
+        // ORDER: Relaxed — pure telemetry counter, no reader pairs with it.
         self.inner.allocated.fetch_add(1, Ordering::Relaxed);
         Some(PooledPacket {
             packet,
@@ -88,12 +97,16 @@ impl PacketPool {
 
     /// Packets currently allocated.
     pub fn in_use(&self) -> usize {
+        // ORDER: Relaxed — gauge; exactness is only meaningful to a caller
+        // that has otherwise synchronized with the allocating threads.
         self.inner.in_use.load(Ordering::Relaxed)
     }
 
     /// Returns a snapshot of the pool counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
+            // ORDER: Relaxed (all three) — independent telemetry counters;
+            // the snapshot is not required to be a consistent cut.
             in_use: self.inner.in_use.load(Ordering::Relaxed),
             allocated: self.inner.allocated.load(Ordering::Relaxed),
             exhausted: self.inner.exhausted.load(Ordering::Relaxed),
@@ -152,7 +165,10 @@ impl std::ops::DerefMut for PooledPacket {
 
 impl Drop for PooledPacket {
     fn drop(&mut self) {
-        self.pool.in_use.fetch_sub(1, Ordering::AcqRel);
+        // ORDER: Relaxed — occupancy counter; the packet leaves with the
+        // handle, so nothing downstream reads data "published" by this
+        // decrement (see `alloc`). Downgraded from AcqRel; model-checked.
+        self.pool.in_use.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

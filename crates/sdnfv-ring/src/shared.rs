@@ -8,8 +8,8 @@
 //! completion; whoever performs the final decrement learns that the packet is
 //! ready for the TX thread's conflict-resolution step.
 
+use crate::sync::{AtomicU32, Ordering};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use sdnfv_proto::Packet;
@@ -86,6 +86,13 @@ impl SharedPacket {
     /// for the final completion, i.e. when the caller should hand the packet
     /// to the TX thread for conflict resolution.
     pub fn complete_one(&self) -> bool {
+        // ORDER: AcqRel — classic refcount-release protocol: the release
+        // half publishes this NF's packet writes before the decrement, the
+        // acquire half makes the *final* decrementer (who returns `true` and
+        // hands the packet to TX conflict resolution) happen-after every
+        // earlier decrementer's work. The RwLock also orders packet data,
+        // but the descriptor handoff itself must not rely on it (the TX
+        // thread reads the verdict without locking). Model-checked.
         let prev = self.inner.remaining.fetch_sub(1, Ordering::AcqRel);
         assert!(prev > 0, "complete_one called more times than readers");
         prev == 1
@@ -93,6 +100,9 @@ impl SharedPacket {
 
     /// Number of parallel NFs that have not yet completed.
     pub fn remaining(&self) -> u32 {
+        // ORDER: Acquire — pairs with the release half of `complete_one`,
+        // so a dispatcher that observes 0 also observes all NFs' completed
+        // work before re-arming or reclaiming the descriptor.
         self.inner.remaining.load(Ordering::Acquire)
     }
 
@@ -106,6 +116,10 @@ impl SharedPacket {
     /// `readers` is zero.
     pub fn re_arm(&self, readers: u32) {
         assert!(readers > 0, "a shared packet needs at least one reader");
+        // ORDER: AcqRel — acquire so re-arming happens-after the previous
+        // round's final `complete_one` (whose work the next readers may
+        // read), release so the new readers' first decrement happens-after
+        // the TX thread's forwarding decision.
         let previous = self.inner.remaining.swap(readers, Ordering::AcqRel);
         assert_eq!(
             previous, 0,

@@ -22,10 +22,10 @@
 //! — the property `sdnfv-dst` builds its byte-identical-replay guarantee
 //! on.
 
-use std::cell::{Cell, UnsafeCell};
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 use std::sync::Arc;
+
+use crate::sync::{AtomicUsize, Ordering, Slot};
 
 /// Error returned by [`Producer::push`] when the ring is full; the rejected
 /// element is handed back to the caller.
@@ -38,7 +38,7 @@ pub struct PushError<T>(pub T);
 struct CachePadded<T>(T);
 
 struct Shared<T> {
-    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    buffer: Box<[Slot<T>]>,
     /// Index mask; the physical buffer length is a power of two.
     mask: usize,
     /// Logical capacity as requested by the caller (≤ physical length).
@@ -53,17 +53,26 @@ struct Shared<T> {
 // exactly one side at a time (the cursors partition the buffer), so the ring
 // is Sync whenever the element can be sent between threads.
 unsafe impl<T: Send> Sync for Shared<T> {}
+// SAFETY: same argument as Sync — the ring's contents are only `T`s (the
+// slots) and cursors, all movable to another thread when `T: Send`.
 unsafe impl<T: Send> Send for Shared<T> {}
 
 impl<T> Shared<T> {
     #[inline]
-    unsafe fn slot(&self, pos: usize) -> *mut T {
-        (*self.buffer[pos & self.mask].get()).as_mut_ptr()
+    fn slot(&self, pos: usize) -> &Slot<T> {
+        &self.buffer[pos & self.mask]
     }
 
     #[inline]
     fn len(&self) -> usize {
+        // ORDER: Acquire on both cursors keeps this gauge as fresh as the
+        // callers' other synchronization. Called from the producer, `tail`
+        // is exact and a stale `head` only over-reports occupancy; from the
+        // consumer, `head` is exact and a stale `tail` only under-reports —
+        // both errors are on the conservative side for their callers
+        // (backpressure and load-balancing decisions).
         let tail = self.tail.0.load(Ordering::Acquire);
+        // ORDER: Acquire — same one-sided-staleness argument as above.
         let head = self.head.0.load(Ordering::Acquire);
         tail.wrapping_sub(head)
     }
@@ -76,7 +85,10 @@ impl<T> Drop for Shared<T> {
         let tail = *self.tail.0.get_mut();
         let mut pos = head;
         while pos != tail {
-            unsafe { std::ptr::drop_in_place(self.slot(pos)) };
+            // SAFETY: `&mut self` proves exclusive access, and the cursors
+            // delimit exactly the slots holding initialized, un-consumed
+            // values.
+            unsafe { self.slot(pos).drop_in_place() };
             pos = pos.wrapping_add(1);
         }
     }
@@ -90,9 +102,7 @@ impl<T> Drop for Shared<T> {
 pub fn spsc_ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     assert!(capacity > 0, "ring capacity must be non-zero");
     let physical = capacity.next_power_of_two();
-    let buffer: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..physical)
-        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
-        .collect();
+    let buffer: Box<[Slot<T>]> = (0..physical).map(|_| Slot::new()).collect();
     let shared = Arc::new(Shared {
         buffer,
         mask: physical - 1,
@@ -140,6 +150,11 @@ impl<T> Producer<T> {
         let cap = self.shared.capacity;
         let mut free = cap - tail.wrapping_sub(self.cached_head.get());
         if free < wanted {
+            // ORDER: Acquire pairs with the consumer's Release store of
+            // `head`: observing head == h proves the consumer has finished
+            // reading every slot below h, so the producer may overwrite
+            // them. (This is the edge that makes slot reuse race-free; the
+            // model checker verifies it.)
             let head = self.shared.head.0.load(Ordering::Acquire);
             self.cached_head.set(head);
             free = cap - tail.wrapping_sub(head);
@@ -149,12 +164,19 @@ impl<T> Producer<T> {
 
     /// Enqueues `value`, or returns it in a [`PushError`] if the ring is full.
     pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        // ORDER: Relaxed — the producer is the only thread that ever stores
+        // `tail`, so its own last store is the only value this can observe.
         let tail = self.shared.tail.0.load(Ordering::Relaxed);
         if self.free_slots(tail, 1) == 0 {
             self.rejected.set(self.rejected.get() + 1);
             return Err(PushError(value));
         }
+        // SAFETY: `free_slots` proved slot `tail` is unoccupied and the
+        // cursor protocol gives the producer exclusive access to it until
+        // the release store below publishes it.
         unsafe { self.shared.slot(tail).write(value) };
+        // ORDER: Release publishes the slot write above; pairs with the
+        // consumer's Acquire load of `tail` in `visible`.
         self.shared
             .tail
             .0
@@ -175,6 +197,7 @@ impl<T> Producer<T> {
         if items.is_empty() {
             return 0;
         }
+        // ORDER: Relaxed — producer-owned cursor, see `push`.
         let tail = self.shared.tail.0.load(Ordering::Relaxed);
         let take = self.free_slots(tail, items.len()).min(items.len());
         let unpushed = (items.len() - take) as u64;
@@ -185,9 +208,13 @@ impl<T> Producer<T> {
             return 0;
         }
         for (offset, value) in items.drain(..take).enumerate() {
+            // SAFETY: `free_slots` proved all `take` slots starting at
+            // `tail` are unoccupied and producer-owned until published.
             unsafe { self.shared.slot(tail.wrapping_add(offset)).write(value) };
         }
         // One atomic update publishes the whole burst.
+        // ORDER: Release publishes every slot write of the burst at once;
+        // pairs with the consumer's Acquire load of `tail` in `visible`.
         self.shared
             .tail
             .0
@@ -252,6 +279,11 @@ impl<T> Consumer<T> {
     fn visible(&self, head: usize, wanted: usize) -> usize {
         let mut available = self.cached_tail.get().wrapping_sub(head);
         if available < wanted {
+            // ORDER: Acquire pairs with the producer's Release store of
+            // `tail`: observing tail == t makes every slot write below t
+            // visible, so the consumer may read those slots. (The model
+            // checker's seeded-bug suite proves weakening either side of
+            // this pair to Relaxed is caught as a data race.)
             let tail = self.shared.tail.0.load(Ordering::Acquire);
             self.cached_tail.set(tail);
             available = tail.wrapping_sub(head);
@@ -261,11 +293,18 @@ impl<T> Consumer<T> {
 
     /// Dequeues the oldest element, if any.
     pub fn pop(&self) -> Option<T> {
+        // ORDER: Relaxed — the consumer is the only thread that ever stores
+        // `head`, so its own last store is the only value this can observe.
         let head = self.shared.head.0.load(Ordering::Relaxed);
         if self.visible(head, 1) == 0 {
             return None;
         }
+        // SAFETY: `visible` proved slot `head` holds a published value the
+        // consumer now has exclusive access to (the producer will not touch
+        // it again until the release store below returns the slot).
         let value = unsafe { self.shared.slot(head).read() };
+        // ORDER: Release hands the consumed slot back to the producer;
+        // pairs with the producer's Acquire load of `head` in `free_slots`.
         self.shared
             .head
             .0
@@ -280,6 +319,7 @@ impl<T> Consumer<T> {
         if max == 0 {
             return 0;
         }
+        // ORDER: Relaxed — consumer-owned cursor, see `pop`.
         let head = self.shared.head.0.load(Ordering::Relaxed);
         let take = self.visible(head, max).min(max);
         if take == 0 {
@@ -287,9 +327,13 @@ impl<T> Consumer<T> {
         }
         out.reserve(take);
         for offset in 0..take {
+            // SAFETY: `visible` proved all `take` slots starting at `head`
+            // hold published values the consumer has exclusive access to.
             out.push(unsafe { self.shared.slot(head.wrapping_add(offset)).read() });
         }
         // One atomic update retires the whole burst.
+        // ORDER: Release returns every consumed slot of the burst at once;
+        // pairs with the producer's Acquire load of `head` in `free_slots`.
         self.shared
             .head
             .0
@@ -323,11 +367,15 @@ impl<T> Consumer<T> {
 
     /// Total elements ever dequeued.
     pub fn dequeued(&self) -> u64 {
+        // ORDER: Acquire so a caller that learned of traffic through other
+        // synchronization (e.g. the DST oracle after quiescence) sees a
+        // cursor at least as fresh; a stale value only under-reports.
         self.shared.head.0.load(Ordering::Acquire) as u64
     }
 
     /// Total elements ever enqueued.
     pub fn enqueued(&self) -> u64 {
+        // ORDER: Acquire — same freshness argument as `dequeued`.
         self.shared.tail.0.load(Ordering::Acquire) as u64
     }
 }

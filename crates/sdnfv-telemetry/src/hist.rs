@@ -16,7 +16,12 @@
 //! exactly, not approximately (the property the hub's percentile
 //! aggregation and the test suite rely on).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// Atomics come via the sdnfv-ring `sync` facade so the `sdnfv-check`
+// interleaving checker can drive this histogram with its recording
+// atomics (cargo feature unification turns the facade on workspace-wide
+// when any crate enables `sdnfv-ring/model`; outside a model execution
+// the instrumented types pass straight through to std).
+use sdnfv_ring::sync::{AtomicU64, Ordering};
 
 /// Log₂ of the linear sub-buckets per power-of-two group.
 const SUB_BITS: u32 = 4;
@@ -95,7 +100,14 @@ impl LatencyHistogram {
         if n == 0 {
             return;
         }
+        // ORDER: Relaxed — each bucket is an independent monotonic counter;
+        // RMW atomicity alone guarantees no lost increments, and nothing is
+        // published through a bucket. Cross-bucket consistency is explicitly
+        // not promised (see `snapshot`). Model-checked: concurrent
+        // record/record + record/snapshot interleavings lose no counts.
         self.counts[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        // ORDER: Relaxed — fetch_max races only with other maxima; the final
+        // value is the true max of all recorded values regardless of order.
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -103,17 +115,26 @@ impl LatencyHistogram {
     /// read relaxed: concurrent recorders may land an observation just
     /// before or after the freeze, never corrupt it.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ORDER: Relaxed throughout — the snapshot is deliberately not a
+        // consistent cut: a concurrent recorder's observation lands wholly
+        // before or wholly after the freeze per bucket. Callers that need
+        // an exact total (the DST oracle, the hub's end-of-window flush)
+        // snapshot only after quiescing recorders, which supplies the
+        // happens-before externally.
         let mut last = 0usize;
         for (index, bucket) in self.counts.iter().enumerate() {
+            // ORDER: Relaxed — see the snapshot-wide argument above.
             if bucket.load(Ordering::Relaxed) != 0 {
                 last = index + 1;
             }
         }
         HistogramSnapshot {
+            // ORDER: Relaxed — see the snapshot-wide argument above.
             counts: self.counts[..last]
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            // ORDER: Relaxed — see the snapshot-wide argument above.
             max: self.max.load(Ordering::Relaxed),
         }
     }
